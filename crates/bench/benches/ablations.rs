@@ -1,0 +1,109 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * memory-controller sequential coalescing on/off (the 3D splitting
+//!   mechanism),
+//! * `parvec` sweep at a fixed DSP budget,
+//! * temporal wave-front depth on the CPU (§V.B),
+//! * overlapped-blocking redundancy vs chain depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga_sim::{timing, FpgaDevice, GridDims, TimingOptions};
+use stencil_core::{BlockConfig, Grid2D, Stencil2D};
+
+fn bench_memctrl_coalescing(c: &mut Criterion) {
+    let device = FpgaDevice::arria10_gx1150();
+    let cfg = BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap();
+    let dims = GridDims::D3 { nx: 232, ny: 104, nz: 256 };
+    let mut g = c.benchmark_group("ablate_memctrl");
+    g.sample_size(10);
+    for coalescing in [true, false] {
+        g.bench_with_input(
+            BenchmarkId::new("timing_sim", if coalescing { "coalesced" } else { "naive_lsu" }),
+            &coalescing,
+            |b, &coalescing| {
+                let mut opts = TimingOptions::at_fmax(262.88);
+                opts.coalescing = coalescing;
+                b.iter(|| std::hint::black_box(timing::simulate(&device, &cfg, dims, 6, &opts)))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_parvec_sweep(c: &mut Criterion) {
+    let device = FpgaDevice::arria10_gx1150();
+    let mut g = c.benchmark_group("ablate_parvec");
+    g.sample_size(10);
+    for parvec in [2usize, 4, 8, 16] {
+        let partime = ((216 / parvec) / 4 * 4).max(4);
+        if let Ok(cfg) = BlockConfig::new_3d(1, 256, 256, parvec, partime) {
+            if !cfg.fits_dsps(1518) {
+                continue;
+            }
+            let dims = GridDims::D3 { nx: cfg.csize_x(), ny: cfg.csize_y(), nz: 192 };
+            g.bench_with_input(BenchmarkId::new("timing_sim", parvec), &cfg, |b, cfg| {
+                b.iter(|| {
+                    std::hint::black_box(timing::simulate(
+                        &device,
+                        cfg,
+                        dims,
+                        cfg.partime,
+                        &TimingOptions::at_fmax(280.0),
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_wavefront_depth(c: &mut Criterion) {
+    let st = Stencil2D::<f32>::random(2, 3).unwrap();
+    let grid = Grid2D::from_fn(256, 256, |x, y| ((x ^ y) % 31) as f32).unwrap();
+    let mut g = c.benchmark_group("ablate_wavefront");
+    g.sample_size(10);
+    for tsteps in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("cpu", tsteps), &tsteps, |b, &tsteps| {
+            b.iter(|| std::hint::black_box(cpu_engine::wavefront_2d(&st, &grid, 8, 64, tsteps)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_overlap_redundancy(c: &mut Criterion) {
+    // Chain depth sweep at fixed everything else: deeper chains buy
+    // temporal reuse but pay halo redundancy; the timing sim shows the
+    // trade-off directly.
+    let device = FpgaDevice::arria10_gx1150();
+    let mut g = c.benchmark_group("ablate_overlap");
+    g.sample_size(10);
+    for partime in [4usize, 12, 28] {
+        if let Ok(cfg) = BlockConfig::new_2d(3, 4096, 4, partime) {
+            if !cfg.fits_dsps(1518) {
+                continue;
+            }
+            let dims = GridDims::D2 { nx: 2 * cfg.csize_x(), ny: 1024 };
+            g.bench_with_input(BenchmarkId::new("timing_sim", partime), &cfg, |b, cfg| {
+                b.iter(|| {
+                    std::hint::black_box(timing::simulate(
+                        &device,
+                        cfg,
+                        dims,
+                        cfg.partime,
+                        &TimingOptions::at_fmax(300.0),
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_memctrl_coalescing,
+    bench_parvec_sweep,
+    bench_wavefront_depth,
+    bench_overlap_redundancy
+);
+criterion_main!(benches);

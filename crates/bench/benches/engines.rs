@@ -1,0 +1,87 @@
+//! Engine throughput benches: the oracle, the CPU engines (the YASK
+//! stand-ins whose measured GCell/s feeds the bandwidth-efficiency
+//! projection), and the FPGA functional simulator, across stencil radii.
+//!
+//! Criterion's throughput reporting is set to cell updates, so the
+//! `Melem/s` column reads directly as MCell/s.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cpu_engine::{engines, Tile};
+use stencil_core::{exec, BlockConfig, Grid2D, Grid3D, Stencil2D, Stencil3D};
+
+const N2: usize = 256;
+const N3: usize = 48;
+const ITERS: usize = 4;
+
+fn grid_2d() -> Grid2D<f32> {
+    Grid2D::from_fn(N2, N2, |x, y| ((x * 31 + y * 17) % 101) as f32 / 10.0).unwrap()
+}
+
+fn grid_3d() -> Grid3D<f32> {
+    Grid3D::from_fn(N3, N3, N3, |x, y, z| ((x + 3 * y + 7 * z) % 53) as f32).unwrap()
+}
+
+fn bench_2d_engines(c: &mut Criterion) {
+    let grid = grid_2d();
+    let mut g = c.benchmark_group("engines_2d");
+    g.throughput(Throughput::Elements((grid.len() * ITERS) as u64));
+    g.sample_size(10);
+    for rad in [1usize, 2, 4] {
+        let st = Stencil2D::<f32>::random(rad, 5).unwrap();
+        g.bench_with_input(BenchmarkId::new("oracle", rad), &st, |b, st| {
+            b.iter(|| std::hint::black_box(exec::run_2d(st, &grid, ITERS)))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", rad), &st, |b, st| {
+            b.iter(|| std::hint::black_box(engines::naive_2d(st, &grid, ITERS)))
+        });
+        g.bench_with_input(BenchmarkId::new("tiled", rad), &st, |b, st| {
+            b.iter(|| std::hint::black_box(engines::tiled_2d(st, &grid, ITERS, Tile::yask_default())))
+        });
+        g.bench_with_input(BenchmarkId::new("parallel", rad), &st, |b, st| {
+            b.iter(|| std::hint::black_box(engines::parallel_2d(st, &grid, ITERS)))
+        });
+        g.bench_with_input(BenchmarkId::new("folded", rad), &st, |b, st| {
+            b.iter(|| std::hint::black_box(cpu_engine::folded_run_2d(st, &grid, ITERS)))
+        });
+        g.bench_with_input(BenchmarkId::new("wavefront", rad), &st, |b, st| {
+            b.iter(|| std::hint::black_box(cpu_engine::wavefront_2d(st, &grid, ITERS, 64, 2)))
+        });
+        let cfg = BlockConfig::new_2d(rad, 64, 4, 4 / gcd(rad, 4)).unwrap();
+        g.bench_with_input(BenchmarkId::new("fpga_functional", rad), &st, |b, st| {
+            b.iter(|| std::hint::black_box(fpga_sim::functional::run_2d(st, &grid, &cfg, ITERS)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_3d_engines(c: &mut Criterion) {
+    let grid = grid_3d();
+    let mut g = c.benchmark_group("engines_3d");
+    g.throughput(Throughput::Elements((grid.len() * ITERS) as u64));
+    g.sample_size(10);
+    for rad in [1usize, 2] {
+        let st = Stencil3D::<f32>::random(rad, 9).unwrap();
+        g.bench_with_input(BenchmarkId::new("naive", rad), &st, |b, st| {
+            b.iter(|| std::hint::black_box(engines::naive_3d(st, &grid, ITERS)))
+        });
+        g.bench_with_input(BenchmarkId::new("parallel", rad), &st, |b, st| {
+            b.iter(|| std::hint::black_box(engines::parallel_3d(st, &grid, ITERS)))
+        });
+        let cfg = BlockConfig::new_3d(rad, 32, 32, 2, 4 / gcd(rad, 4)).unwrap();
+        g.bench_with_input(BenchmarkId::new("fpga_functional", rad), &st, |b, st| {
+            b.iter(|| std::hint::black_box(fpga_sim::functional::run_3d(st, &grid, &cfg, ITERS)))
+        });
+    }
+    g.finish();
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+criterion_group!(benches, bench_2d_engines, bench_3d_engines);
+criterion_main!(benches);

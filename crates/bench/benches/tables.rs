@@ -1,0 +1,99 @@
+//! Criterion benches regenerating every table and figure of the paper.
+//!
+//! Each bench group corresponds to one artifact: `table1`/`table2` (static
+//! characteristics), `table3` (the FPGA tune→synthesize→simulate pipeline,
+//! one bench per published row), `table4`/`table5` (cross-device
+//! comparisons), `fig3`/`fig4` (figure series). Throughput numbers printed
+//! by the harness are the *simulation* cost; the reproduced performance
+//! numbers themselves come from the `tables` binary and EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga_sim::FpgaDevice;
+use perf_model::devices;
+use stencil_bench::{compare, repro, Scale};
+use stencil_core::{Dim, StencilCharacteristics};
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/characteristics", |b| {
+        b.iter(|| std::hint::black_box(StencilCharacteristics::table1()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2/device_catalog", |b| {
+        b.iter(|| {
+            let t = devices::table2();
+            std::hint::black_box(t.iter().map(|d| d.flop_byte_ratio()).sum::<f64>())
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let device = FpgaDevice::arria10_gx1150();
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    for dim in [Dim::D2, Dim::D3] {
+        for rad in 1..=4 {
+            let label = format!("{}_rad{}", if dim == Dim::D2 { "2d" } else { "3d" }, rad);
+            g.bench_with_input(BenchmarkId::new("repro_row", label), &(dim, rad), |b, &(dim, rad)| {
+                b.iter(|| std::hint::black_box(repro::reproduce_row(&device, dim, rad, Scale::Smoke)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let device = FpgaDevice::arria10_gx1150();
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("build", |b| {
+        b.iter(|| std::hint::black_box(compare::table4(&device, Scale::Smoke)))
+    });
+    g.finish();
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let device = FpgaDevice::arria10_gx1150();
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.bench_function("build", |b| {
+        b.iter(|| std::hint::black_box(compare::table5(&device, Scale::Smoke)))
+    });
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let device = FpgaDevice::arria10_gx1150();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig3_gflops_series", |b| {
+        b.iter(|| std::hint::black_box(compare::fig3(&device, Scale::Smoke)))
+    });
+    g.bench_function("fig4_gcells_series", |b| {
+        b.iter(|| std::hint::black_box(compare::fig4(&device, Scale::Smoke)))
+    });
+    g.finish();
+}
+
+fn bench_related(c: &mut Criterion) {
+    let device = FpgaDevice::arria10_gx1150();
+    let mut g = c.benchmark_group("related");
+    g.sample_size(10);
+    g.bench_function("section6c", |b| {
+        b.iter(|| std::hint::black_box(compare::related(&device, Scale::Smoke)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_table4,
+    bench_table5,
+    bench_figures,
+    bench_related
+);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Standalone stencil benchmark binary — the role the modified baseline
+//! from Maruyama & Aoki \[12\] plays in the paper's §IV.A: a configurable
+//! high-order star-stencil benchmark with validation.
+//!
+//! ```text
+//! stencil_bench [--dim 2|3] [--rad R] [--nx N] [--ny N] [--nz N]
+//!               [--iters I] [--engine naive|tiled|parallel|folded|wavefront|fpga]
+//!               [--validate]
+//! ```
+//!
+//! Prints GCell/s and GFLOP/s for the chosen engine; `--validate` checks the
+//! result bit-exactly against the reference executor first.
+
+use cpu_engine::{engines, measure, Tile};
+use fpga_sim::{Accelerator, FpgaDevice};
+use stencil_core::{exec, BlockConfig, Grid2D, Grid3D, Stencil2D, Stencil3D};
+
+#[derive(Debug)]
+struct Args {
+    dim: usize,
+    rad: usize,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    iters: usize,
+    engine: String,
+    validate: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        dim: 2,
+        rad: 2,
+        nx: 512,
+        ny: 512,
+        nz: 64,
+        iters: 8,
+        engine: "parallel".into(),
+        validate: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).unwrap_or_else(|| usage()).clone()
+        };
+        match argv[i].as_str() {
+            "--dim" => a.dim = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--rad" => a.rad = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--nx" => a.nx = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--ny" => a.ny = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--nz" => a.nz = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--iters" => a.iters = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--engine" => a.engine = take(&mut i),
+            "--validate" => a.validate = true,
+            "--help" | "-h" => {
+                usage();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if a.rad == 0 || a.rad > 8 || (a.dim != 2 && a.dim != 3) {
+        usage();
+    }
+    a
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: stencil_bench [--dim 2|3] [--rad R] [--nx N] [--ny N] [--nz N] \
+         [--iters I] [--engine naive|tiled|parallel|folded|wavefront|fpga] [--validate]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let a = parse_args();
+    println!(
+        "stencil_bench: {}D star, radius {}, grid {}x{}{}, {} iterations, engine {}",
+        a.dim,
+        a.rad,
+        a.nx,
+        a.ny,
+        if a.dim == 3 { format!("x{}", a.nz) } else { String::new() },
+        a.iters,
+        a.engine
+    );
+
+    if a.dim == 2 {
+        run_2d(&a);
+    } else {
+        run_3d(&a);
+    }
+}
+
+fn run_2d(a: &Args) {
+    let st = Stencil2D::<f32>::random(a.rad, 1).unwrap();
+    let grid = Grid2D::from_fn(a.nx, a.ny, |x, y| ((x * 31 + y * 17) % 103) as f32).unwrap();
+    let (out, secs) = match a.engine.as_str() {
+        "naive" => measure::time(|| engines::naive_2d(&st, &grid, a.iters)),
+        "tiled" => measure::time(|| engines::tiled_2d(&st, &grid, a.iters, Tile::yask_default())),
+        "parallel" => measure::time(|| engines::parallel_2d(&st, &grid, a.iters)),
+        "folded" => measure::time(|| cpu_engine::folded_run_2d(&st, &grid, a.iters)),
+        "wavefront" => measure::time(|| cpu_engine::wavefront_2d(&st, &grid, a.iters, 128, 4)),
+        "fpga" => {
+            let cfg = BlockConfig::new_2d(a.rad, 128, 4, 4 / gcd(a.rad, 4)).unwrap();
+            let acc = Accelerator::synthesize(FpgaDevice::arria10_gx1150(), cfg, 5).unwrap();
+            let ((out, report), secs) = measure::time(|| acc.run_2d(&st, &grid, a.iters));
+            println!(
+                "  fpga model: {:.3} GCell/s at fmax {:.0} MHz (host sim took {:.2}s)",
+                report.gcell_per_s, report.fmax_mhz, secs
+            );
+            (out, secs)
+        }
+        _ => usage(),
+    };
+    report(a, out.as_slice().len(), secs, st.flops_per_cell());
+    if a.validate {
+        assert_eq!(out, exec::run_2d(&st, &grid, a.iters), "validation failed");
+        println!("  validation: bit-exact vs the reference executor ✓");
+    }
+}
+
+fn run_3d(a: &Args) {
+    let st = Stencil3D::<f32>::random(a.rad, 1).unwrap();
+    let grid =
+        Grid3D::from_fn(a.nx, a.ny, a.nz, |x, y, z| ((x + 3 * y + 7 * z) % 53) as f32).unwrap();
+    let (out, secs) = match a.engine.as_str() {
+        "naive" => measure::time(|| engines::naive_3d(&st, &grid, a.iters)),
+        "tiled" => measure::time(|| engines::tiled_3d(&st, &grid, a.iters, Tile::yask_default())),
+        "parallel" => measure::time(|| engines::parallel_3d(&st, &grid, a.iters)),
+        "wavefront" => {
+            measure::time(|| cpu_engine::wavefront_3d(&st, &grid, a.iters, 64, 64, 2))
+        }
+        "fpga" => {
+            let cfg = BlockConfig::new_3d(a.rad, 48, 48, 2, 4 / gcd(a.rad, 4)).unwrap();
+            let acc = Accelerator::synthesize(FpgaDevice::arria10_gx1150(), cfg, 5).unwrap();
+            let ((out, r), secs) = measure::time(|| acc.run_3d(&st, &grid, a.iters));
+            println!(
+                "  fpga model: {:.3} GCell/s at fmax {:.0} MHz (host sim took {:.2}s)",
+                r.gcell_per_s, r.fmax_mhz, secs
+            );
+            (out, secs)
+        }
+        _ => usage(),
+    };
+    report(a, out.as_slice().len(), secs, st.flops_per_cell());
+    if a.validate {
+        assert_eq!(out, exec::run_3d(&st, &grid, a.iters), "validation failed");
+        println!("  validation: bit-exact vs the reference executor ✓");
+    }
+}
+
+fn report(a: &Args, cells: usize, secs: f64, flops_per_cell: usize) {
+    let gcells = measure::gcells_per_s(cells, a.iters, secs);
+    println!(
+        "  host wall time {secs:.3}s: {:.4} GCell/s, {:.2} GFLOP/s",
+        gcells,
+        gcells * flops_per_cell as f64
+    );
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}

@@ -1,0 +1,504 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! tables <command> [--json] [--smoke]
+//!
+//! commands:
+//!   table1   stencil characteristics
+//!   table2   hardware characteristics
+//!   table3   FPGA results (tune → synthesize → simulate → score)
+//!   table4   2D cross-device comparison
+//!   table5   3D cross-device comparison
+//!   fig3     3D GFLOP/s series per device
+//!   fig4     3D GCell/s series per device
+//!   related  §VI.C comparison with prior FPGA work
+//!   highorder  radius 5-8 feasibility study (§VI.A outlook)
+//!   whatif   Stratix 10 GX (DDR4) vs MX (HBM2) what-if (conclusion)
+//!   sweep    full tuner landscape for one (dim, rad): every legal config scored
+//!   score    per-metric reproduced-vs-paper scorecard for Table III
+//!   priorwork  spatial+temporal vs temporal-only (§II refs 14-17) input limits
+//!   trends   §VI.A trend checks (GFLOP/s flat, GCell/s ∝ 1/rad)
+//!   ablate   design-choice ablations (coalescing, parvec, overlap)
+//!   all      everything above
+//! ```
+//!
+//! `--smoke` runs scaled-down grids (seconds instead of minutes in debug
+//! builds); the default is the paper's full problem sizes.
+
+use fpga_sim::{timing, FpgaDevice, TimingOptions};
+use perf_model::devices;
+use stencil_bench::render::{f, pct, table};
+use stencil_bench::{compare, repro, Scale};
+use stencil_core::{BlockConfig, StencilCharacteristics};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let device = FpgaDevice::arria10_gx1150();
+    match cmd {
+        "table1" => table1(json),
+        "table2" => table2(json),
+        "table3" => table3(&device, scale, json),
+        "table4" => table45(&device, scale, json, false),
+        "table5" => table45(&device, scale, json, true),
+        "fig3" => figures(&device, scale, json, 3),
+        "fig4" => figures(&device, scale, json, 4),
+        "related" => related(&device, scale, json),
+        "highorder" => highorder(&device, json),
+        "whatif" => whatif(json),
+        "sweep" => sweep(&device, json),
+        "score" => score(&device, scale, json),
+        "priorwork" => priorwork(&device),
+        "trends" => trends(&device, scale),
+        "ablate" => ablate(&device),
+        "all" => {
+            table1(json);
+            table2(json);
+            table3(&device, scale, json);
+            table45(&device, scale, json, false);
+            table45(&device, scale, json, true);
+            figures(&device, scale, json, 3);
+            figures(&device, scale, json, 4);
+            related(&device, scale, json);
+            highorder(&device, json);
+            whatif(json);
+            sweep(&device, json);
+            priorwork(&device);
+            score(&device, scale, json);
+            trends(&device, scale);
+            ablate(&device);
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table1(json: bool) {
+    let rows = StencilCharacteristics::table1();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    println!("\nTABLE I. STENCIL CHARACTERISTICS");
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:?}", r.dim),
+                r.rad.to_string(),
+                r.flops_per_cell.to_string(),
+                r.bytes_per_cell.to_string(),
+                f(r.flop_byte_ratio, 3),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(&["dim", "radius", "FLOP/cell", "B/cell", "FLOP/B"], &body)
+    );
+}
+
+fn table2(json: bool) {
+    let rows = devices::table2();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    println!("\nTABLE II. HARDWARE CHARACTERISTICS");
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.to_string(),
+                f(d.peak_gflops, 0),
+                f(d.peak_gbps, 1),
+                f(d.tdp_watts, 0),
+                d.node_nm.to_string(),
+                f(d.flop_byte_ratio(), 3),
+                d.year.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &["device", "GFLOP/s", "GB/s", "TDP", "nm", "FLOP/B", "year"],
+            &body
+        )
+    );
+}
+
+fn table3(device: &FpgaDevice, scale: Scale, json: bool) {
+    let rows = repro::reproduce_all(device, scale);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    println!("\nTABLE III. FPGA RESULTS (reproduced | paper)");
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:?}", r.config.dim),
+                r.config.rad.to_string(),
+                if r.config.bsize_y == 0 {
+                    r.config.bsize_x.to_string()
+                } else {
+                    format!("{}x{}", r.config.bsize_x, r.config.bsize_y)
+                },
+                r.config.parvec.to_string(),
+                r.config.partime.to_string(),
+                format!("{}|{}", f(r.estimated_gbs, 1), f(r.paper.estimated_gbs, 1)),
+                format!("{}|{}", f(r.measured_gbs, 1), f(r.paper.measured_gbs, 1)),
+                format!("{}|{}", f(r.measured_gflops, 1), f(r.paper.measured_gflops, 1)),
+                format!("{}|{}", f(r.fmax_mhz, 1), f(r.paper.fmax_mhz, 1)),
+                format!("{}|{}", pct(r.dsp_frac), pct(r.paper.dsp_frac)),
+                format!("{}|{}", f(r.power_watts, 1), f(r.paper.power_watts, 1)),
+                format!("{}|{}", pct(r.model_accuracy), pct(r.paper.model_accuracy)),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &[
+                "dim", "rad", "bsize", "pvec", "ptime", "est GB/s", "meas GB/s", "GFLOP/s",
+                "fmax", "DSP", "W", "accuracy"
+            ],
+            &body
+        )
+    );
+}
+
+fn table45(device: &FpgaDevice, scale: Scale, json: bool, three_d: bool) {
+    let rows = if three_d {
+        compare::table5(device, scale)
+    } else {
+        compare::table4(device, scale)
+    };
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    println!(
+        "\nTABLE {}. {}D STENCIL PERFORMANCE RESULTS (* = extrapolated)",
+        if three_d { "V" } else { "IV" },
+        if three_d { 3 } else { 2 }
+    );
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}{}", r.device, if r.extrapolated { " *" } else { "" }),
+                r.rad.to_string(),
+                f(r.gflops, 1),
+                f(r.gcells, 2),
+                f(r.gflops_per_watt, 3),
+                f(r.roofline_ratio, 2),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &["device", "rad", "GFLOP/s", "GCell/s", "GFLOP/s/W", "roofline"],
+            &body
+        )
+    );
+}
+
+fn figures(device: &FpgaDevice, scale: Scale, json: bool, which: u8) {
+    let series = if which == 3 {
+        compare::fig3(device, scale)
+    } else {
+        compare::fig4(device, scale)
+    };
+    if json {
+        println!("{}", serde_json::to_string_pretty(&series).unwrap());
+        return;
+    }
+    println!(
+        "\nFIG. {which}. 3D stencil performance in {} (series per device, radius 1-4)",
+        if which == 3 { "GFLOP/s" } else { "GCell/s" }
+    );
+    let max = series
+        .iter()
+        .flat_map(|s| s.values.iter().cloned())
+        .fold(0.0f64, f64::max);
+    for s in &series {
+        println!("  {:<22}{}", s.device, if s.extrapolated { " *" } else { "" });
+        for (i, v) in s.values.iter().enumerate() {
+            let bar = "#".repeat(((v / max) * 50.0).round() as usize);
+            println!("    rad {}: {:>9} {}", i + 1, f(*v, 2), bar);
+        }
+    }
+}
+
+fn related(device: &FpgaDevice, scale: Scale, json: bool) {
+    let c = compare::related(device, scale);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&c).unwrap());
+        return;
+    }
+    println!("\n§VI.C COMPARISON WITH OTHER FPGA WORK (GCell/s)");
+    println!(
+        "  4th-order 3D: ours {} vs Shafiq et al. [18] {} ({}x)",
+        f(c.ours_r4, 3),
+        f(c.shafiq_r4, 3),
+        f(c.ours_r4 / c.shafiq_r4, 1)
+    );
+    println!(
+        "  3rd-order 3D: ours {} vs Fu & Clapp [19] {} ({}x)",
+        f(c.ours_r3, 3),
+        f(c.fu_r3, 3),
+        f(c.ours_r3 / c.fu_r3, 1)
+    );
+}
+
+fn highorder(device: &FpgaDevice, json: bool) {
+    let rows = stencil_bench::high_order(device, 8);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    println!("\n§VI.A OUTLOOK: RADIUS 5-8 FEASIBILITY on {}", device.name);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let cfg = r
+                .config
+                .map(|c| {
+                    if c.bsize_y == 0 {
+                        format!("{}/pv{}/pt{}", c.bsize_x, c.parvec, c.partime)
+                    } else {
+                        format!("{}x{}/pv{}/pt{}", c.bsize_x, c.bsize_y, c.parvec, c.partime)
+                    }
+                })
+                .unwrap_or_else(|| "infeasible".into());
+            vec![
+                format!("{:?}", r.dim),
+                r.rad.to_string(),
+                cfg,
+                f(r.gcells, 2),
+                f(r.gflops, 1),
+                f(r.effective_gbs, 1),
+                if r.effective_gbs > device.peak_mem_gbps() { "yes" } else { "NO" }.into(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &["dim", "rad", "config", "GCell/s", "GFLOP/s", "eff GB/s", "beats 34.1 GB/s"],
+            &body
+        )
+    );
+}
+
+fn whatif(json: bool) {
+    let gx = FpgaDevice::stratix10_gx2800();
+    let mx = FpgaDevice::stratix10_mx2100();
+    let rows: Vec<_> = stencil_bench::what_if(&gx)
+        .into_iter()
+        .chain(stencil_bench::what_if(&mx))
+        .collect();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    println!("\nCONCLUSION WHAT-IF: 3D stencils on next-generation devices");
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.device.clone(),
+                r.rad.to_string(),
+                format!(
+                    "{}x{}/pv{}/pt{}",
+                    r.config.bsize_x, r.config.bsize_y, r.config.parvec, r.config.partime
+                ),
+                f(r.fmax_mhz, 0),
+                f(r.gcells, 2),
+                f(r.gflops, 1),
+                f(r.roofline_ratio, 2),
+                if r.memory_bound { "memory" } else { "pipeline" }.into(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &["device", "rad", "config", "fmax", "GCell/s", "GFLOP/s", "roofline", "bound by"],
+            &body
+        )
+    );
+}
+
+fn score(device: &FpgaDevice, scale: Scale, json: bool) {
+    let rows = stencil_bench::score_table3(device, scale);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    println!("\nSCORECARD: reproduced vs paper, per metric (relative delta)");
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .flat_map(|r| {
+            r.metrics.iter().map(move |m| {
+                vec![
+                    format!("{:?}", r.dim),
+                    r.rad.to_string(),
+                    m.metric.clone(),
+                    f(m.ours, 2),
+                    f(m.paper, 2),
+                    format!("{:+.1}%", m.rel_delta * 100.0),
+                ]
+            })
+        })
+        .collect();
+    print!(
+        "{}",
+        table(&["dim", "rad", "metric", "ours", "paper", "delta"], &body)
+    );
+    let worst = rows
+        .iter()
+        .map(|r| r.worst_delta())
+        .fold(0.0f64, f64::max);
+    println!(
+        "configs matched: {}/8; worst metric delta {:.1}%",
+        rows.iter().filter(|r| r.config_matches).count(),
+        worst * 100.0
+    );
+}
+
+fn sweep(device: &FpgaDevice, json: bool) {
+    use perf_model::tuner;
+    use stencil_core::Dim;
+    let cands = tuner::tune(device, Dim::D3, 2, usize::MAX);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&cands).unwrap());
+        return;
+    }
+    println!("\nTUNER LANDSCAPE: every legal 3D rad-2 configuration (model-scored)");
+    let body: Vec<Vec<String>> = cands
+        .iter()
+        .map(|c| {
+            vec![
+                format!(
+                    "{}x{}/pv{}/pt{}",
+                    c.config.bsize_x, c.config.bsize_y, c.config.parvec, c.config.partime
+                ),
+                f(c.fmax_mhz, 0),
+                f(c.estimate.gcells, 2),
+                f(c.estimate.gbs, 1),
+                if c.estimate.memory_bound { "memory" } else { "pipeline" }.into(),
+                c.dsps.to_string(),
+                f(c.score, 2),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &["config", "fmax", "est GCell/s", "est GB/s", "bound", "DSPs", "score"],
+            &body
+        )
+    );
+}
+
+fn priorwork(device: &FpgaDevice) {
+    use fpga_sim::unblocked;
+    println!("\n§II PRIOR-WORK COMPARISON: temporal-only (row-buffered) input limits");
+    println!("  (the paper's 2D grids are 15680-16096 cells wide)");
+    for rad in 1..=4usize {
+        let partime = [36usize, 21, 14, 10][rad - 1]; // comparable chain depths
+        let limit = unblocked::max_width_2d(device, rad, partime, 4);
+        let fits = limit >= 15680;
+        println!(
+            "  rad {rad}, partime {partime:>2}: max width {limit:>6} cells -> paper grids {}",
+            if fits { "fit" } else { "DO NOT fit (spatial blocking required)" }
+        );
+    }
+    println!("  3D: max square plane at rad 1, partime 12: {} (paper needs 696x728)",
+        unblocked::max_plane_3d(device, 1, 12, 16));
+}
+
+fn trends(device: &FpgaDevice, scale: Scale) {
+    println!("\n§VI.A TRENDS");
+    for dim in [stencil_core::Dim::D2, stencil_core::Dim::D3] {
+        let rows: Vec<_> = (1..=4)
+            .map(|rad| repro::reproduce_row(device, dim, rad, scale))
+            .collect();
+        let gf: Vec<f64> = rows.iter().map(|r| r.measured_gflops).collect();
+        let gc: Vec<f64> = rows.iter().map(|r| r.measured_gcells).collect();
+        println!(
+            "  {dim:?}: GFLOP/s {} (spread {:.0}%)  GCell/s {}",
+            gf.iter().map(|v| f(*v, 0)).collect::<Vec<_>>().join("/"),
+            (gf.iter().cloned().fold(0.0f64, f64::max)
+                / gf.iter().cloned().fold(f64::MAX, f64::min)
+                - 1.0)
+                * 100.0,
+            gc.iter().map(|v| f(*v, 1)).collect::<Vec<_>>().join("/"),
+        );
+    }
+}
+
+fn ablate(device: &FpgaDevice) {
+    println!("\nABLATIONS (2D rad 2 unless noted)");
+    let cfg = BlockConfig::new_2d(2, 4096, 4, 42).unwrap();
+    let dims = fpga_sim::GridDims::D2 { nx: 15712, ny: 4096 };
+
+    // Memory-controller coalescing on/off.
+    let on = TimingOptions::at_fmax(322.47);
+    let mut off = on;
+    off.coalescing = false;
+    let r_on = timing::simulate(device, &cfg, dims, 42, &on);
+    let r_off = timing::simulate(device, &cfg, dims, 42, &off);
+    println!(
+        "  LSU coalescing:      on {} GB/s, off {} GB/s ({}x)",
+        f(r_on.gbyte_per_s, 1),
+        f(r_off.gbyte_per_s, 1),
+        f(r_on.gbyte_per_s / r_off.gbyte_per_s, 2)
+    );
+
+    // parvec sweep at the DSP budget (3D rad 1).
+    println!("  parvec sweep (3D rad 1, partotal = 216):");
+    for parvec in [2usize, 4, 8, 16] {
+        let partime = (216 / parvec) / 4 * 4;
+        if partime == 0 {
+            continue;
+        }
+        if let Ok(c) = BlockConfig::new_3d(1, 256, 256, parvec, partime) {
+            let area = fpga_sim::AreaEstimate::for_config(device, &c);
+            if !area.fits(device) {
+                println!("    parvec {parvec:>2}: does not fit (BRAM)");
+                continue;
+            }
+            let d3 = fpga_sim::GridDims::D3 { nx: 696, ny: 696, nz: 128 };
+            let r = timing::simulate(device, &c, d3, partime, &TimingOptions::at_fmax(280.0));
+            println!(
+                "    parvec {parvec:>2} x partime {partime:>3}: {} GCell/s",
+                f(r.gcell_per_s, 2)
+            );
+        }
+    }
+
+    // Overlapped-blocking redundancy cost vs an ideal halo exchange.
+    let ideal = 1.0;
+    println!("  overlap redundancy (2D rad 2, partime 42): {}x vs ideal {}x", f(cfg.redundancy(), 3), f(ideal, 1));
+
+
+}

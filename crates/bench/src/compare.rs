@@ -1,0 +1,251 @@
+//! Tables IV / V and Figures 3 / 4: the cross-device comparison.
+//!
+//! FPGA rows come from the Table III reproduction pipeline; Xeon / Xeon Phi
+//! rows from the bandwidth-efficiency projection (`perf-model::hostmodel`);
+//! GTX 580 rows from Tang et al.'s published efficiencies; 980 Ti / P100
+//! rows from the paper's bandwidth extrapolation.
+
+use crate::repro::{self, Scale};
+use fpga_sim::FpgaDevice;
+use perf_model::devices::{self, Device};
+use perf_model::{extrapolate, hostmodel, roofline, BandwidthEfficiency};
+use serde::{Deserialize, Serialize};
+use stencil_core::Dim;
+
+/// One reproduced comparison row (matches `perf_model::paper::ComparisonRow`
+/// semantically).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompareRow {
+    /// Device name.
+    pub device: String,
+    /// Stencil radius.
+    pub rad: usize,
+    /// GFLOP/s.
+    pub gflops: f64,
+    /// GCell/s.
+    pub gcells: f64,
+    /// GFLOP/s/W.
+    pub gflops_per_watt: f64,
+    /// Roofline ratio.
+    pub roofline_ratio: f64,
+    /// True for bandwidth-extrapolated rows.
+    pub extrapolated: bool,
+}
+
+fn fpga_rows(device: &FpgaDevice, dim: Dim, scale: Scale) -> Vec<CompareRow> {
+    (1..=4)
+        .map(|rad| {
+            let r = repro::reproduce_row(device, dim, rad, scale);
+            CompareRow {
+                device: devices::ARRIA10.name.to_string(),
+                rad,
+                gflops: r.measured_gflops,
+                gcells: r.measured_gcells,
+                gflops_per_watt: r.measured_gflops / r.power_watts,
+                roofline_ratio: roofline::roofline_ratio(r.measured_gcells, &devices::ARRIA10),
+                extrapolated: false,
+            }
+        })
+        .collect()
+}
+
+fn projected_rows(
+    dev: &Device,
+    dim: Dim,
+    eff: &BandwidthEfficiency,
+    tdp_fraction: f64,
+    extrapolated: bool,
+) -> Vec<CompareRow> {
+    (1..=4)
+        .filter_map(|rad| {
+            eff.get(dim, rad).map(|e| {
+                let p = hostmodel::project(dev, dim, rad, e, tdp_fraction);
+                CompareRow {
+                    device: dev.name.to_string(),
+                    rad,
+                    gflops: p.gflops,
+                    gcells: p.gcells,
+                    gflops_per_watt: p.gflops_per_watt,
+                    roofline_ratio: p.roofline_ratio,
+                    extrapolated,
+                }
+            })
+        })
+        .collect()
+}
+
+/// Reproduces Table IV (2D: FPGA, Xeon, Xeon Phi).
+pub fn table4(device: &FpgaDevice, scale: Scale) -> Vec<CompareRow> {
+    let mut rows = fpga_rows(device, Dim::D2, scale);
+    rows.extend(projected_rows(
+        &devices::XEON,
+        Dim::D2,
+        &BandwidthEfficiency::paper_yask_xeon(),
+        hostmodel::XEON_POWER_TDP_FRACTION,
+        false,
+    ));
+    rows.extend(projected_rows(
+        &devices::XEON_PHI,
+        Dim::D2,
+        &BandwidthEfficiency::paper_yask_phi(),
+        hostmodel::PHI_POWER_TDP_FRACTION,
+        false,
+    ));
+    rows
+}
+
+/// Reproduces Table V (3D: the 2D devices plus the three GPUs).
+pub fn table5(device: &FpgaDevice, scale: Scale) -> Vec<CompareRow> {
+    let mut rows = fpga_rows(device, Dim::D3, scale);
+    rows.extend(projected_rows(
+        &devices::XEON,
+        Dim::D3,
+        &BandwidthEfficiency::paper_yask_xeon(),
+        hostmodel::XEON_POWER_TDP_FRACTION,
+        false,
+    ));
+    rows.extend(projected_rows(
+        &devices::XEON_PHI,
+        Dim::D3,
+        &BandwidthEfficiency::paper_yask_phi(),
+        hostmodel::PHI_POWER_TDP_FRACTION,
+        false,
+    ));
+    rows.extend(projected_rows(
+        &devices::GTX580,
+        Dim::D3,
+        &BandwidthEfficiency::paper_tang_gpu(),
+        extrapolate::GPU_POWER_TDP_FRACTION,
+        false,
+    ));
+    for (target, _) in [(devices::GTX980TI, ()), (devices::P100, ())] {
+        for e in extrapolate::extrapolate_3d(&devices::GTX580, &target) {
+            rows.push(CompareRow {
+                device: target.name.to_string(),
+                rad: e.rad,
+                gflops: e.gflops,
+                gcells: e.gcells,
+                gflops_per_watt: e.gflops_per_watt,
+                roofline_ratio: roofline::roofline_ratio(e.gcells, &target),
+                extrapolated: true,
+            });
+        }
+    }
+    rows
+}
+
+/// A figure series: one device's metric across radii 1–4 (Figures 3/4 are
+/// grouped bar charts of exactly this).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Device name.
+    pub device: String,
+    /// Values for radius 1..=4 (NaN-free; devices missing a radius are
+    /// excluded upstream).
+    pub values: Vec<f64>,
+    /// True when derived from extrapolated rows.
+    pub extrapolated: bool,
+}
+
+/// Builds figure series from comparison rows, selecting a metric.
+pub fn series(rows: &[CompareRow], metric: impl Fn(&CompareRow) -> f64) -> Vec<Series> {
+    let mut order: Vec<String> = Vec::new();
+    for r in rows {
+        if !order.contains(&r.device) {
+            order.push(r.device.clone());
+        }
+    }
+    order
+        .into_iter()
+        .map(|dev| {
+            let mut vals: Vec<(usize, f64, bool)> = rows
+                .iter()
+                .filter(|r| r.device == dev)
+                .map(|r| (r.rad, metric(r), r.extrapolated))
+                .collect();
+            vals.sort_by_key(|v| v.0);
+            Series {
+                device: dev,
+                extrapolated: vals.iter().any(|v| v.2),
+                values: vals.into_iter().map(|v| v.1).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Figure 3: 3D GFLOP/s by device and order.
+pub fn fig3(device: &FpgaDevice, scale: Scale) -> Vec<Series> {
+    series(&table5(device, scale), |r| r.gflops)
+}
+
+/// Figure 4: 3D GCell/s by device and order.
+pub fn fig4(device: &FpgaDevice, scale: Scale) -> Vec<Series> {
+    series(&table5(device, scale), |r| r.gcells)
+}
+
+/// §VI.C: our reproduced GCell/s vs the related FPGA work.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RelatedComparison {
+    /// Our 3D radius-4 GCell/s vs Shafiq et al. \[18\].
+    pub ours_r4: f64,
+    /// Shafiq et al.'s published number.
+    pub shafiq_r4: f64,
+    /// Our 3D radius-3 GCell/s vs Fu & Clapp \[19\].
+    pub ours_r3: f64,
+    /// Fu & Clapp's published number.
+    pub fu_r3: f64,
+}
+
+/// Builds the §VI.C comparison.
+pub fn related(device: &FpgaDevice, scale: Scale) -> RelatedComparison {
+    let r3 = repro::reproduce_row(device, Dim::D3, 3, scale);
+    let r4 = repro::reproduce_row(device, Dim::D3, 4, scale);
+    RelatedComparison {
+        ours_r4: r4.measured_gcells,
+        shafiq_r4: perf_model::paper::related::SHAFIQ_R4_GCELLS,
+        ours_r3: r3.measured_gcells,
+        fu_r3: perf_model::paper::related::FU_R3_GCELLS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_has_12_rows_and_fpga_wins_efficiency() {
+        let d = FpgaDevice::arria10_gx1150();
+        let rows = table4(&d, Scale::Smoke);
+        assert_eq!(rows.len(), 12);
+        for rad in 1..=4 {
+            let best = rows
+                .iter()
+                .filter(|r| r.rad == rad)
+                .max_by(|a, b| a.gflops_per_watt.partial_cmp(&b.gflops_per_watt).unwrap())
+                .unwrap();
+            assert!(best.device.contains("Arria"), "rad {rad}: {}", best.device);
+        }
+    }
+
+    #[test]
+    fn table5_has_24_rows_with_extrapolated_gpus() {
+        let d = FpgaDevice::arria10_gx1150();
+        let rows = table5(&d, Scale::Smoke);
+        assert_eq!(rows.len(), 24);
+        assert_eq!(rows.iter().filter(|r| r.extrapolated).count(), 8);
+    }
+
+    #[test]
+    fn series_are_radius_ordered() {
+        let d = FpgaDevice::arria10_gx1150();
+        let s = fig4(&d, Scale::Smoke);
+        assert_eq!(s.len(), 6);
+        for series in &s {
+            assert_eq!(series.values.len(), 4);
+        }
+        // FPGA GCell/s decreases with radius (Fig. 4's FPGA trend).
+        let fpga = &s[0];
+        assert!(fpga.device.contains("Arria"));
+        assert!(fpga.values.windows(2).all(|w| w[0] > w[1]), "{fpga:?}");
+    }
+}

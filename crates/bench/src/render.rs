@@ -1,0 +1,84 @@
+//! Minimal ASCII table rendering for the `tables` binary.
+
+/// Renders rows of equal-length string vectors as an aligned ASCII table.
+///
+/// # Panics
+/// Panics when rows have inconsistent widths.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    for r in rows {
+        assert_eq!(r.len(), cols, "row width mismatch");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (w, cell) in widths.iter_mut().zip(r) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:>w$} |", w = w));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(
+        header.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for r in rows {
+        out.push_str(&fmt_row(r.clone(), &widths));
+    }
+    out
+}
+
+/// Formats a float with `d` decimals.
+pub fn f(v: f64, d: usize) -> String {
+    format!("{v:.d$}")
+}
+
+/// Formats a fraction as a rounded percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.0}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let out = table(
+            &["a", "long_header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["100".into(), "x".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equally wide.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(out.contains("long_header"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(0.856), "86%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_panic() {
+        let _ = table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

@@ -1,0 +1,172 @@
+//! End-to-end reproduction of Table III: tune → synthesize → simulate →
+//! score against the published row.
+//!
+//! The pipeline is exactly the paper's flow: the §V.A tuner proposes the
+//! configuration, the "synthesis" models fmax/area/power, the timing
+//! simulator measures the block schedule against the DDR4 model, and the
+//! analytical model provides the estimate the measurement is scored
+//! against ("model accuracy").
+
+use fpga_sim::{timing, Accelerator, FpgaDevice, GridDims, TimingOptions};
+use perf_model::paper::Table3Row;
+use perf_model::{model, paper, tuner};
+use serde::{Deserialize, Serialize};
+use stencil_core::{BlockConfig, Dim};
+
+/// One reproduced Table III row, paired with the published one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Repro3Row {
+    /// The configuration the tuner chose (matches the paper's).
+    pub config: BlockConfig,
+    /// Input grid actually simulated.
+    pub input: (usize, usize, usize),
+    /// Modelled kernel clock, MHz.
+    pub fmax_mhz: f64,
+    /// Analytical estimate, effective GB/s.
+    pub estimated_gbs: f64,
+    /// Simulated ("measured") effective GB/s.
+    pub measured_gbs: f64,
+    /// Simulated GFLOP/s.
+    pub measured_gflops: f64,
+    /// Simulated GCell/s.
+    pub measured_gcells: f64,
+    /// Modelled DSP utilization fraction.
+    pub dsp_frac: f64,
+    /// Modelled BRAM bit utilization fraction.
+    pub bram_bits_frac: f64,
+    /// Modelled M20K block utilization fraction.
+    pub bram_blocks_frac: f64,
+    /// Modelled ALM utilization fraction.
+    pub logic_frac: f64,
+    /// Modelled board power, watts.
+    pub power_watts: f64,
+    /// measured / estimated — the paper's model-accuracy column.
+    pub model_accuracy: f64,
+    /// The published row this reproduces.
+    pub paper: Table3Row,
+}
+
+/// Scale of a reproduction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's grid sizes and 1000 iterations (use in release builds).
+    Full,
+    /// Grids one block wide and few iterations (fast; for tests).
+    Smoke,
+}
+
+/// Reproduces one Table III row.
+///
+/// # Panics
+/// Panics when no published row exists for (`dim`, `rad`).
+pub fn reproduce_row(device: &FpgaDevice, dim: Dim, rad: usize, scale: Scale) -> Repro3Row {
+    let paper_row = paper::table3()
+        .into_iter()
+        .find(|r| r.dim == dim && r.rad == rad)
+        .expect("no published row for this dim/rad");
+
+    let best = tuner::tune(device, dim, rad, 1)
+        .into_iter()
+        .next()
+        .expect("tuner found no feasible configuration");
+    let config = best.config;
+    let acc = Accelerator::synthesize(device.clone(), config, 10).expect("synthesis failed");
+    let fmax = acc.fmax_mhz();
+
+    // §IV.C input-size policy: nearest multiple of the compute block.
+    let (dims, iters) = problem(&config, scale);
+
+    let report = timing::simulate(device, &config, dims, iters, &TimingOptions::at_fmax(fmax));
+    let est = model::estimate(device, &config, fmax);
+    let area = *acc.area();
+
+    let input = match dims {
+        GridDims::D2 { nx, ny } => (nx, ny, 0),
+        GridDims::D3 { nx, ny, nz } => (nx, ny, nz),
+    };
+    Repro3Row {
+        config,
+        input,
+        fmax_mhz: fmax,
+        estimated_gbs: est.gbs,
+        measured_gbs: report.gbyte_per_s,
+        measured_gflops: report.gflop_per_s,
+        measured_gcells: report.gcell_per_s,
+        dsp_frac: area.dsp_frac(device),
+        bram_bits_frac: area.bram_bits_frac(device),
+        bram_blocks_frac: area.m20k_frac(device),
+        logic_frac: area.alm_frac(device),
+        power_watts: acc.power_watts(),
+        model_accuracy: report.gbyte_per_s / est.gbs,
+        paper: paper_row,
+    }
+}
+
+/// The problem dimensions for a scale (paper §IV.C targets ~16000² for 2D
+/// and ~700³ for 3D, aligned to the compute block).
+pub fn problem(config: &BlockConfig, scale: Scale) -> (GridDims, usize) {
+    match (config.dim, scale) {
+        (Dim::D2, Scale::Full) => {
+            let nx = BlockConfig::aligned_input(16000, config.csize_x());
+            (GridDims::D2 { nx, ny: nx }, 1000)
+        }
+        (Dim::D2, Scale::Smoke) => {
+            // One block wide, tall enough that chain fill/drain (partime·rad
+            // rows) stays a small fraction of the stream.
+            let nx = config.csize_x();
+            (GridDims::D2 { nx, ny: 1024 }, config.partime)
+        }
+        (Dim::D3, Scale::Full) => {
+            let nx = BlockConfig::aligned_input(700, config.csize_x());
+            let ny = BlockConfig::aligned_input(700, config.csize_y());
+            (GridDims::D3 { nx, ny, nz: nx }, 1000)
+        }
+        (Dim::D3, Scale::Smoke) => {
+            let nx = config.csize_x();
+            let ny = config.csize_y();
+            (GridDims::D3 { nx, ny, nz: 384 }, config.partime)
+        }
+    }
+}
+
+/// Reproduces all eight rows.
+pub fn reproduce_all(device: &FpgaDevice, scale: Scale) -> Vec<Repro3Row> {
+    let mut out = Vec::with_capacity(8);
+    for dim in [Dim::D2, Dim::D3] {
+        for rad in 1..=4 {
+            out.push(reproduce_row(device, dim, rad, scale));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_rows_have_sane_shape() {
+        let d = FpgaDevice::arria10_gx1150();
+        let row = reproduce_row(&d, Dim::D2, 2, Scale::Smoke);
+        // Tuner reproduced the paper's config.
+        assert_eq!(row.config.parvec, row.paper.parvec);
+        assert_eq!(row.config.partime, row.paper.partime);
+        assert!(row.measured_gbs > 0.0);
+        assert!(row.model_accuracy > 0.0 && row.model_accuracy <= 1.05);
+    }
+
+    #[test]
+    fn full_scale_input_matches_paper_2d_rad1() {
+        let cfg = BlockConfig::new_2d(1, 4096, 8, 36).unwrap();
+        let (dims, iters) = problem(&cfg, Scale::Full);
+        assert_eq!(dims, GridDims::D2 { nx: 16096, ny: 16096 });
+        assert_eq!(iters, 1000);
+    }
+
+    #[test]
+    fn full_scale_input_matches_paper_3d_rad2() {
+        let cfg = BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap();
+        let (dims, _) = problem(&cfg, Scale::Full);
+        assert_eq!(dims, GridDims::D3 { nx: 696, ny: 728, nz: 696 });
+    }
+}

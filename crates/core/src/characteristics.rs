@@ -1,0 +1,104 @@
+//! Stencil computational characteristics — generates the paper's Table I.
+
+use crate::blocking::Dim;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table I: the static compute/memory characteristics of a
+/// star-shaped stencil of a given dimensionality and radius, assuming
+/// single-precision cells and full spatial reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StencilCharacteristics {
+    /// Dimensionality.
+    pub dim: Dim,
+    /// Stencil radius ("order").
+    pub rad: usize,
+    /// Floating-point operations per cell update (unshared coefficients).
+    pub flops_per_cell: usize,
+    /// External-memory bytes per cell update with full spatial reuse
+    /// (one 4-byte read + one 4-byte write).
+    pub bytes_per_cell: usize,
+    /// Computational intensity, FLOP / byte.
+    pub flop_byte_ratio: f64,
+}
+
+impl StencilCharacteristics {
+    /// Characteristics of a single-precision star stencil.
+    pub fn single_precision(dim: Dim, rad: usize) -> Self {
+        let flops = dim.flops_per_cell(rad);
+        let bytes = 8;
+        Self {
+            dim,
+            rad,
+            flops_per_cell: flops,
+            bytes_per_cell: bytes,
+            flop_byte_ratio: flops as f64 / bytes as f64,
+        }
+    }
+
+    /// All eight rows of Table I (2D then 3D, radius 1–4).
+    pub fn table1() -> Vec<Self> {
+        let mut rows = Vec::with_capacity(8);
+        for dim in [Dim::D2, Dim::D3] {
+            for rad in 1..=4 {
+                rows.push(Self::single_precision(dim, rad));
+            }
+        }
+        rows
+    }
+
+    /// A stencil is memory-bound on a device without temporal blocking when
+    /// its FLOP/byte ratio is below the device's (§IV.B).
+    pub fn memory_bound_on(&self, device_flop_byte: f64) -> bool {
+        self.flop_byte_ratio < device_flop_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_exactly() {
+        let rows = StencilCharacteristics::table1();
+        let expect: [(Dim, usize, usize, f64); 8] = [
+            (Dim::D2, 1, 9, 1.125),
+            (Dim::D2, 2, 17, 2.125),
+            (Dim::D2, 3, 25, 3.125),
+            (Dim::D2, 4, 33, 4.125),
+            (Dim::D3, 1, 13, 1.625),
+            (Dim::D3, 2, 25, 3.125),
+            (Dim::D3, 3, 37, 4.625),
+            (Dim::D3, 4, 49, 6.125),
+        ];
+        assert_eq!(rows.len(), 8);
+        for (row, (dim, rad, flops, ratio)) in rows.iter().zip(expect) {
+            assert_eq!(row.dim, dim);
+            assert_eq!(row.rad, rad);
+            assert_eq!(row.flops_per_cell, flops);
+            assert_eq!(row.bytes_per_cell, 8);
+            assert!((row.flop_byte_ratio - ratio).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_stencils_memory_bound_on_paper_devices() {
+        // §IV.B: "for every stencil order, computation will be memory-bound
+        // on all of our hardware" — the lowest device ratio is the GTX 580's
+        // 8.212, above the highest stencil ratio 6.125.
+        for row in StencilCharacteristics::table1() {
+            for device_ratio in [42.522, 9.115, 13.313, 8.212, 20.499, 12.901] {
+                assert!(row.memory_bound_on(device_ratio), "{row:?} vs {device_ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn intensity_grows_with_radius() {
+        let rows = StencilCharacteristics::table1();
+        for pair in rows.windows(2) {
+            if pair[0].dim == pair[1].dim {
+                assert!(pair[1].flop_byte_ratio > pair[0].flop_byte_ratio);
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced when constructing or validating stencil problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StencilError {
+    /// A grid dimension was zero or otherwise unusable.
+    InvalidGrid {
+        /// Human-readable description of the offending dimension.
+        what: String,
+    },
+    /// A stencil radius outside the supported range was requested.
+    InvalidRadius {
+        /// The requested radius.
+        radius: usize,
+    },
+    /// A blocking configuration violates one of the paper's constraints
+    /// (Eqs. 2, 5, 6) or basic geometry.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A grid/stencil/config combination is inconsistent (e.g. a grid smaller
+    /// than a compute block).
+    Mismatch {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StencilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StencilError::InvalidGrid { what } => write!(f, "invalid grid: {what}"),
+            StencilError::InvalidRadius { radius } => {
+                write!(f, "invalid stencil radius {radius} (must be >= 1)")
+            }
+            StencilError::InvalidConfig { reason } => {
+                write!(f, "invalid blocking configuration: {reason}")
+            }
+            StencilError::Mismatch { reason } => write!(f, "inconsistent problem: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StencilError {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, StencilError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StencilError::InvalidRadius { radius: 0 };
+        assert!(e.to_string().contains("radius 0"));
+        let e = StencilError::InvalidConfig {
+            reason: "parvec must be even".into(),
+        };
+        assert!(e.to_string().contains("parvec must be even"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(StencilError::InvalidGrid {
+            what: "nx = 0".into(),
+        });
+        assert!(e.to_string().contains("nx = 0"));
+    }
+}

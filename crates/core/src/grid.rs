@@ -1,0 +1,393 @@
+//! Dense, flat, row-major grids for 2D and 3D stencil computation.
+//!
+//! Layout matches the paper's kernels: `x` is the fastest-varying (unit
+//! stride) dimension — the dimension that is vectorized by `parvec` — then
+//! `y`, then (for 3D) `z`, the streamed dimension of 2.5D blocking.
+
+use crate::error::{Result, StencilError};
+use crate::real::Real;
+
+/// A dense 2D grid stored row-major (`idx = y * nx + x`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid2D<T> {
+    nx: usize,
+    ny: usize,
+    data: Vec<T>,
+}
+
+impl<T: Real> Grid2D<T> {
+    /// Creates a zero-filled `nx × ny` grid.
+    ///
+    /// # Errors
+    /// Returns [`StencilError::InvalidGrid`] when either dimension is zero.
+    pub fn zeros(nx: usize, ny: usize) -> Result<Self> {
+        Self::filled(nx, ny, T::ZERO)
+    }
+
+    /// Creates an `nx × ny` grid with every cell set to `v`.
+    ///
+    /// # Errors
+    /// Returns [`StencilError::InvalidGrid`] when either dimension is zero.
+    pub fn filled(nx: usize, ny: usize, v: T) -> Result<Self> {
+        if nx == 0 || ny == 0 {
+            return Err(StencilError::InvalidGrid {
+                what: format!("dimensions must be nonzero, got {nx}x{ny}"),
+            });
+        }
+        Ok(Self {
+            nx,
+            ny,
+            data: vec![v; nx * ny],
+        })
+    }
+
+    /// Creates a grid whose cell `(x, y)` holds `f(x, y)`.
+    ///
+    /// # Errors
+    /// Returns [`StencilError::InvalidGrid`] when either dimension is zero.
+    pub fn from_fn(nx: usize, ny: usize, mut f: impl FnMut(usize, usize) -> T) -> Result<Self> {
+        let mut g = Self::zeros(nx, ny)?;
+        for y in 0..ny {
+            for x in 0..nx {
+                g.data[y * nx + x] = f(x, y);
+            }
+        }
+        Ok(g)
+    }
+
+    /// Width (unit-stride dimension).
+    #[inline(always)]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Height.
+    #[inline(always)]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total number of cells.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` iff the grid holds no cells (never true for a constructed grid).
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat index of `(x, y)`. Debug-asserts bounds.
+    #[inline(always)]
+    pub fn idx(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny, "({x},{y}) out of {}x{}", self.nx, self.ny);
+        y * self.nx + x
+    }
+
+    /// Cell value at `(x, y)`.
+    #[inline(always)]
+    pub fn get(&self, x: usize, y: usize) -> T {
+        self.data[self.idx(x, y)]
+    }
+
+    /// Sets the cell at `(x, y)`.
+    #[inline(always)]
+    pub fn set(&mut self, x: usize, y: usize, v: T) {
+        let i = self.idx(x, y);
+        self.data[i] = v;
+    }
+
+    /// Cell value with both coordinates clamped onto the grid — the paper's
+    /// boundary condition ("out-of-bound neighbors fall back on the cell that
+    /// is on the border").
+    #[inline(always)]
+    pub fn get_clamped(&self, x: isize, y: isize) -> T {
+        let cx = x.clamp(0, self.nx as isize - 1) as usize;
+        let cy = y.clamp(0, self.ny as isize - 1) as usize;
+        self.data[cy * self.nx + cx]
+    }
+
+    /// Immutable view of the backing storage.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the backing storage.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Immutable view of row `y`.
+    #[inline(always)]
+    pub fn row(&self, y: usize) -> &[T] {
+        let s = y * self.nx;
+        &self.data[s..s + self.nx]
+    }
+
+    /// Mutable view of row `y`.
+    #[inline(always)]
+    pub fn row_mut(&mut self, y: usize) -> &mut [T] {
+        let s = y * self.nx;
+        &mut self.data[s..s + self.nx]
+    }
+
+    /// Swaps the contents of two equally-shaped grids (used for
+    /// double-buffered time stepping).
+    ///
+    /// # Panics
+    /// Panics when the shapes differ.
+    pub fn swap(&mut self, other: &mut Self) {
+        assert_eq!((self.nx, self.ny), (other.nx, other.ny), "shape mismatch");
+        std::mem::swap(&mut self.data, &mut other.data);
+    }
+}
+
+/// A dense 3D grid stored row-major (`idx = (z * ny + y) * nx + x`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid3D<T> {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    data: Vec<T>,
+}
+
+impl<T: Real> Grid3D<T> {
+    /// Creates a zero-filled `nx × ny × nz` grid.
+    ///
+    /// # Errors
+    /// Returns [`StencilError::InvalidGrid`] when any dimension is zero.
+    pub fn zeros(nx: usize, ny: usize, nz: usize) -> Result<Self> {
+        Self::filled(nx, ny, nz, T::ZERO)
+    }
+
+    /// Creates a grid with every cell set to `v`.
+    ///
+    /// # Errors
+    /// Returns [`StencilError::InvalidGrid`] when any dimension is zero.
+    pub fn filled(nx: usize, ny: usize, nz: usize, v: T) -> Result<Self> {
+        if nx == 0 || ny == 0 || nz == 0 {
+            return Err(StencilError::InvalidGrid {
+                what: format!("dimensions must be nonzero, got {nx}x{ny}x{nz}"),
+            });
+        }
+        Ok(Self {
+            nx,
+            ny,
+            nz,
+            data: vec![v; nx * ny * nz],
+        })
+    }
+
+    /// Creates a grid whose cell `(x, y, z)` holds `f(x, y, z)`.
+    ///
+    /// # Errors
+    /// Returns [`StencilError::InvalidGrid`] when any dimension is zero.
+    pub fn from_fn(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        mut f: impl FnMut(usize, usize, usize) -> T,
+    ) -> Result<Self> {
+        let mut g = Self::zeros(nx, ny, nz)?;
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    g.data[(z * ny + y) * nx + x] = f(x, y, z);
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// Width (unit-stride, vectorized dimension).
+    #[inline(always)]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Height (second blocked dimension of 2.5D blocking).
+    #[inline(always)]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Depth (streamed dimension of 2.5D blocking).
+    #[inline(always)]
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+
+    /// Total number of cells.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` iff the grid holds no cells (never true for a constructed grid).
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat index of `(x, y, z)`. Debug-asserts bounds.
+    #[inline(always)]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(
+            x < self.nx && y < self.ny && z < self.nz,
+            "({x},{y},{z}) out of {}x{}x{}",
+            self.nx,
+            self.ny,
+            self.nz
+        );
+        (z * self.ny + y) * self.nx + x
+    }
+
+    /// Cell value at `(x, y, z)`.
+    #[inline(always)]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> T {
+        self.data[self.idx(x, y, z)]
+    }
+
+    /// Sets the cell at `(x, y, z)`.
+    #[inline(always)]
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: T) {
+        let i = self.idx(x, y, z);
+        self.data[i] = v;
+    }
+
+    /// Cell value with all coordinates clamped onto the grid (paper boundary
+    /// condition).
+    #[inline(always)]
+    pub fn get_clamped(&self, x: isize, y: isize, z: isize) -> T {
+        let cx = x.clamp(0, self.nx as isize - 1) as usize;
+        let cy = y.clamp(0, self.ny as isize - 1) as usize;
+        let cz = z.clamp(0, self.nz as isize - 1) as usize;
+        self.data[(cz * self.ny + cy) * self.nx + cx]
+    }
+
+    /// Immutable view of the backing storage.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the backing storage.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Immutable view of the `z`-plane as a flat `nx × ny` slice.
+    #[inline(always)]
+    pub fn plane(&self, z: usize) -> &[T] {
+        let s = z * self.ny * self.nx;
+        &self.data[s..s + self.ny * self.nx]
+    }
+
+    /// Swaps the contents of two equally-shaped grids.
+    ///
+    /// # Panics
+    /// Panics when the shapes differ.
+    pub fn swap(&mut self, other: &mut Self) {
+        assert_eq!(
+            (self.nx, self.ny, self.nz),
+            (other.nx, other.ny, other.nz),
+            "shape mismatch"
+        );
+        std::mem::swap(&mut self.data, &mut other.data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape_2d() {
+        let g = Grid2D::<f32>::zeros(4, 3).unwrap();
+        assert_eq!((g.nx(), g.ny(), g.len()), (4, 3, 12));
+        assert!(g.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(Grid2D::<f32>::zeros(0, 3).is_err());
+        assert!(Grid2D::<f32>::zeros(3, 0).is_err());
+        assert!(Grid3D::<f64>::zeros(1, 0, 1).is_err());
+    }
+
+    #[test]
+    fn from_fn_layout_2d() {
+        let g = Grid2D::from_fn(3, 2, |x, y| (10 * y + x) as f32).unwrap();
+        // Row-major: y=0 row first.
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(g.get(2, 1), 12.0);
+        assert_eq!(g.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn from_fn_layout_3d() {
+        let g = Grid3D::from_fn(2, 2, 2, |x, y, z| (100 * z + 10 * y + x) as f64).unwrap();
+        assert_eq!(
+            g.as_slice(),
+            &[0.0, 1.0, 10.0, 11.0, 100.0, 101.0, 110.0, 111.0]
+        );
+        assert_eq!(g.get(1, 1, 1), 111.0);
+        assert_eq!(g.plane(1), &[100.0, 101.0, 110.0, 111.0]);
+    }
+
+    #[test]
+    fn clamped_access_2d() {
+        let g = Grid2D::from_fn(3, 3, |x, y| (10 * y + x) as f32).unwrap();
+        assert_eq!(g.get_clamped(-2, 0), g.get(0, 0));
+        assert_eq!(g.get_clamped(5, 1), g.get(2, 1));
+        assert_eq!(g.get_clamped(1, -1), g.get(1, 0));
+        assert_eq!(g.get_clamped(1, 9), g.get(1, 2));
+        assert_eq!(g.get_clamped(1, 1), g.get(1, 1));
+    }
+
+    #[test]
+    fn clamped_access_3d_corners() {
+        let g = Grid3D::from_fn(2, 2, 2, |x, y, z| (100 * z + 10 * y + x) as f32).unwrap();
+        assert_eq!(g.get_clamped(-1, -1, -1), g.get(0, 0, 0));
+        assert_eq!(g.get_clamped(7, 7, 7), g.get(1, 1, 1));
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut g = Grid2D::<f32>::zeros(4, 4).unwrap();
+        g.set(2, 3, 7.5);
+        assert_eq!(g.get(2, 3), 7.5);
+        assert_eq!(g.as_slice()[3 * 4 + 2], 7.5);
+    }
+
+    #[test]
+    fn swap_exchanges_data() {
+        let mut a = Grid2D::<f32>::filled(2, 2, 1.0).unwrap();
+        let mut b = Grid2D::<f32>::filled(2, 2, 2.0).unwrap();
+        a.swap(&mut b);
+        assert!(a.as_slice().iter().all(|&v| v == 2.0));
+        assert!(b.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn swap_shape_mismatch_panics() {
+        let mut a = Grid2D::<f32>::zeros(2, 2).unwrap();
+        let mut b = Grid2D::<f32>::zeros(2, 3).unwrap();
+        a.swap(&mut b);
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut g = Grid2D::<f64>::zeros(3, 2).unwrap();
+        g.row_mut(1).copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(g.get(0, 1), 1.0);
+        assert_eq!(g.get(2, 1), 3.0);
+        assert_eq!(g.get(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Grid reductions and diagnostics used by applications and examples.
+
+use crate::grid::{Grid2D, Grid3D};
+use crate::real::Real;
+
+/// Minimum, maximum, mean and L2 norm of a field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldStats {
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Euclidean norm.
+    pub l2: f64,
+}
+
+impl FieldStats {
+    /// Computes statistics over a slice.
+    ///
+    /// # Panics
+    /// Panics when the slice is empty.
+    pub fn of<T: Real>(values: &[T]) -> Self {
+        assert!(!values.is_empty(), "empty field");
+        let mut min = f64::MAX;
+        let mut max = f64::MIN;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for &v in values {
+            let v = v.to_f64();
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            sq += v * v;
+        }
+        Self {
+            min,
+            max,
+            mean: sum / values.len() as f64,
+            l2: sq.sqrt(),
+        }
+    }
+
+    /// Value spread (`max − min`).
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// Statistics of a 2D grid.
+pub fn stats_2d<T: Real>(g: &Grid2D<T>) -> FieldStats {
+    FieldStats::of(g.as_slice())
+}
+
+/// Statistics of a 3D grid.
+pub fn stats_3d<T: Real>(g: &Grid3D<T>) -> FieldStats {
+    FieldStats::of(g.as_slice())
+}
+
+/// Total mass (sum) of a field — conserved by convex symmetric stencils away
+/// from boundaries.
+pub fn mass<T: Real>(values: &[T]) -> f64 {
+    values.iter().map(|v| v.to_f64()).sum()
+}
+
+/// Relative L2 distance between two equally-long fields:
+/// `‖a − b‖ / max(‖a‖, ‖b‖, ε)`.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn rel_l2_distance<T: Real>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let mut diff = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let (x, y) = (x.to_f64(), y.to_f64());
+        diff += (x - y) * (x - y);
+        na += x * x;
+        nb += y * y;
+    }
+    diff.sqrt() / na.sqrt().max(nb.sqrt()).max(1e-300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = FieldStats::of(&[1.0f32, -2.0, 3.0, 0.0]);
+        assert_eq!(s.min, -2.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 0.5).abs() < 1e-12);
+        assert!((s.l2 - (14.0f64).sqrt()).abs() < 1e-6);
+        assert_eq!(s.range(), 5.0);
+    }
+
+    #[test]
+    fn grid_stats() {
+        let g = Grid2D::from_fn(4, 4, |x, y| (x + y) as f64).unwrap();
+        let s = stats_2d(&g);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 6.0);
+        let g3 = Grid3D::<f32>::filled(2, 2, 2, 5.0).unwrap();
+        assert_eq!(stats_3d(&g3).mean, 5.0);
+    }
+
+    #[test]
+    fn mass_is_sum() {
+        assert_eq!(mass(&[1.0f64, 2.0, 3.5]), 6.5);
+    }
+
+    #[test]
+    fn rel_l2_zero_for_identical() {
+        let a = [1.0f32, 2.0, 3.0];
+        assert_eq!(rel_l2_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn rel_l2_scales() {
+        let a = [1.0f64, 0.0];
+        let b = [0.0f64, 0.0];
+        assert!((rel_l2_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty field")]
+    fn empty_field_panics() {
+        let _ = FieldStats::of::<f32>(&[]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Shared-coefficient (symmetric) star stencils.
+//!
+//! The paper's own kernels use *unshared* coefficients (the worst case), but
+//! much related work — Tang et al. \[10\], Shafiq et al. \[18\], Fu & Clapp
+//! \[19\] — shares one coefficient per distance ring:
+//!
+//! ```text
+//! f'(c) = cc·f(c) + Σ_{i=1..rad} c_i · (f(w,i) + f(e,i) + f(s,i) + f(n,i) [+ f(b,i) + f(a,i)])
+//! ```
+//!
+//! That changes the FLOP count (fewer multiplies) but *not* the cell-update
+//! count, which is why §VI.C compares against such work in GCell/s. On the
+//! DSP side §V.A notes: "with shared coefficients, only the number of FMUL
+//! operations will be reduced and the number of FADD operations will stay
+//! the same … DSP utilization will only be reduced by one per cell update,
+//! since still one DSP will be required whether the operation is FMA or
+//! FADD."
+
+use crate::error::{Result, StencilError};
+use crate::grid::{Grid2D, Grid3D};
+use crate::real::Real;
+use crate::stencil::{Arm2, Arm3, Stencil2D, Stencil3D};
+
+/// A 2D star stencil with one shared coefficient per distance ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricStencil2D<T> {
+    center: T,
+    rings: Vec<T>,
+}
+
+/// A 3D star stencil with one shared coefficient per distance ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricStencil3D<T> {
+    center: T,
+    rings: Vec<T>,
+}
+
+impl<T: Real> SymmetricStencil2D<T> {
+    /// Builds a symmetric stencil from the center coefficient and one ring
+    /// coefficient per distance (`rings.len()` = radius).
+    ///
+    /// # Errors
+    /// Returns [`StencilError::InvalidRadius`] when `rings` is empty.
+    pub fn new(center: T, rings: Vec<T>) -> Result<Self> {
+        if rings.is_empty() {
+            return Err(StencilError::InvalidRadius { radius: 0 });
+        }
+        Ok(Self { center, rings })
+    }
+
+    /// Stencil radius.
+    pub fn radius(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Center coefficient.
+    pub fn center(&self) -> T {
+        self.center
+    }
+
+    /// Ring coefficients, distance 1 first.
+    pub fn rings(&self) -> &[T] {
+        &self.rings
+    }
+
+    /// FLOP per cell update: per ring, 3 additions group the 4 neighbours
+    /// plus one multiply and one accumulate add (5 ops), plus the center
+    /// multiply: `5·rad + 1`.
+    pub fn flops_per_cell(&self) -> usize {
+        5 * self.radius() + 1
+    }
+
+    /// FMUL per cell update: `rad + 1` (§V.A: only multiplies shrink).
+    pub fn fmuls_per_cell(&self) -> usize {
+        self.radius() + 1
+    }
+
+    /// FADD per cell update — unchanged from the unshared form: `4·rad`.
+    pub fn fadds_per_cell(&self) -> usize {
+        4 * self.radius()
+    }
+
+    /// Arria-10 DSPs per cell update: one less than the unshared stencil
+    /// (§V.A): `4·rad` instead of `4·rad + 1`.
+    pub fn dsps_per_cell(&self) -> usize {
+        4 * self.radius()
+    }
+
+    /// Expands into an equivalent unshared [`Stencil2D`] (every direction of
+    /// a ring gets the shared coefficient). Results agree with
+    /// [`SymmetricStencil2D::apply_clamped`] mathematically but *not*
+    /// bit-for-bit — the grouped-additions order differs, which is exactly
+    /// why the paper disallows the compiler from making this transformation
+    /// on its own.
+    pub fn to_unshared(&self) -> Stencil2D<T> {
+        Stencil2D::new(
+            self.center,
+            self.rings
+                .iter()
+                .map(|&c| Arm2 { west: c, east: c, south: c, north: c })
+                .collect(),
+        )
+        .expect("radius >= 1 by construction")
+    }
+
+    /// Applies the shared-coefficient form at `(x, y)` with clamped
+    /// boundaries, in its canonical order: `((w + e) + s) + n` per ring,
+    /// then one fused multiply-accumulate.
+    pub fn apply_clamped(&self, g: &Grid2D<T>, x: usize, y: usize) -> T {
+        let (xi, yi) = (x as isize, y as isize);
+        let mut acc = self.center * g.get(x, y);
+        for (k, &c) in self.rings.iter().enumerate() {
+            let d = (k + 1) as isize;
+            let group = ((g.get_clamped(xi - d, yi) + g.get_clamped(xi + d, yi))
+                + g.get_clamped(xi, yi - d))
+                + g.get_clamped(xi, yi + d);
+            acc += c * group;
+        }
+        acc
+    }
+}
+
+impl<T: Real> SymmetricStencil3D<T> {
+    /// Builds a symmetric 3D stencil.
+    ///
+    /// # Errors
+    /// Returns [`StencilError::InvalidRadius`] when `rings` is empty.
+    pub fn new(center: T, rings: Vec<T>) -> Result<Self> {
+        if rings.is_empty() {
+            return Err(StencilError::InvalidRadius { radius: 0 });
+        }
+        Ok(Self { center, rings })
+    }
+
+    /// Stencil radius.
+    pub fn radius(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Center coefficient.
+    pub fn center(&self) -> T {
+        self.center
+    }
+
+    /// Ring coefficients, distance 1 first.
+    pub fn rings(&self) -> &[T] {
+        &self.rings
+    }
+
+    /// FLOP per cell update: `7·rad + 1` (5 grouping adds + mul + acc per
+    /// ring, center mul).
+    pub fn flops_per_cell(&self) -> usize {
+        7 * self.radius() + 1
+    }
+
+    /// FMUL per cell update: `rad + 1`.
+    pub fn fmuls_per_cell(&self) -> usize {
+        self.radius() + 1
+    }
+
+    /// FADD per cell update — unchanged: `6·rad`.
+    pub fn fadds_per_cell(&self) -> usize {
+        6 * self.radius()
+    }
+
+    /// Arria-10 DSPs per cell update: `6·rad` (one less than unshared).
+    pub fn dsps_per_cell(&self) -> usize {
+        6 * self.radius()
+    }
+
+    /// Expands into an equivalent unshared [`Stencil3D`].
+    pub fn to_unshared(&self) -> Stencil3D<T> {
+        Stencil3D::new(
+            self.center,
+            self.rings
+                .iter()
+                .map(|&c| Arm3 {
+                    west: c,
+                    east: c,
+                    south: c,
+                    north: c,
+                    below: c,
+                    above: c,
+                })
+                .collect(),
+        )
+        .expect("radius >= 1 by construction")
+    }
+
+    /// Applies the shared-coefficient form at `(x, y, z)` with clamped
+    /// boundaries.
+    pub fn apply_clamped(&self, g: &Grid3D<T>, x: usize, y: usize, z: usize) -> T {
+        let (xi, yi, zi) = (x as isize, y as isize, z as isize);
+        let mut acc = self.center * g.get(x, y, z);
+        for (k, &c) in self.rings.iter().enumerate() {
+            let d = (k + 1) as isize;
+            let group = ((((g.get_clamped(xi - d, yi, zi) + g.get_clamped(xi + d, yi, zi))
+                + g.get_clamped(xi, yi - d, zi))
+                + g.get_clamped(xi, yi + d, zi))
+                + g.get_clamped(xi, yi, zi - d))
+                + g.get_clamped(xi, yi, zi + d);
+            acc += c * group;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::real::approx_eq;
+
+    #[test]
+    fn flop_and_dsp_accounting() {
+        // 2D: FLOPs 6/11/16/21; DSPs one below the unshared 4·rad+1.
+        for rad in 1..=4 {
+            let s = SymmetricStencil2D::<f32>::new(0.5, vec![0.1; rad]).unwrap();
+            assert_eq!(s.flops_per_cell(), 5 * rad + 1);
+            assert_eq!(s.fadds_per_cell(), s.to_unshared().fadds_per_cell());
+            assert!(s.fmuls_per_cell() < s.to_unshared().fmuls_per_cell());
+            assert_eq!(s.dsps_per_cell() + 1, 4 * rad + 1);
+
+            let s3 = SymmetricStencil3D::<f32>::new(0.5, vec![0.1; rad]).unwrap();
+            assert_eq!(s3.flops_per_cell(), 7 * rad + 1);
+            assert_eq!(s3.dsps_per_cell() + 1, 6 * rad + 1);
+        }
+    }
+
+    #[test]
+    fn shared_and_unshared_agree_mathematically_2d() {
+        let s = SymmetricStencil2D::<f64>::new(0.4, vec![0.05, 0.025]).unwrap();
+        let u = s.to_unshared();
+        let g = Grid2D::from_fn(12, 9, |x, y| ((x * 5 + y * 3) % 17) as f64 / 7.0).unwrap();
+        for y in 0..9 {
+            for x in 0..12 {
+                let a = s.apply_clamped(&g, x, y);
+                let b = u.apply_clamped(&g, x, y);
+                assert!(approx_eq(a, b, 1e-12, 1e-12), "({x},{y}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_and_unshared_differ_bitwise_in_general() {
+        // Different association order ⇒ not bit-identical for f32 — the
+        // reason the paper treats unshared as the honest baseline.
+        let s = SymmetricStencil2D::<f32>::new(0.3, vec![0.123_456_8]).unwrap();
+        let u = s.to_unshared();
+        let g = Grid2D::from_fn(16, 16, |x, y| {
+            1.0 + ((x * 2654435761usize + y * 40503) % 1021) as f32 / 3.0
+        })
+        .unwrap();
+        let mut any_diff = false;
+        for y in 0..16 {
+            for x in 0..16 {
+                if s.apply_clamped(&g, x, y).to_bits() != u.apply_clamped(&g, x, y).to_bits() {
+                    any_diff = true;
+                }
+            }
+        }
+        assert!(any_diff, "expected at least one ULP difference");
+    }
+
+    #[test]
+    fn shared_3d_agrees_mathematically() {
+        let s = SymmetricStencil3D::<f64>::new(0.25, vec![0.05, 0.02, 0.01]).unwrap();
+        let u = s.to_unshared();
+        let g = Grid3D::from_fn(8, 7, 6, |x, y, z| ((x + 2 * y + 3 * z) % 11) as f64).unwrap();
+        for z in 0..6 {
+            for y in 0..7 {
+                for x in 0..8 {
+                    let a = s.apply_clamped(&g, x, y, z);
+                    let b = u.apply_clamped(&g, x, y, z);
+                    assert!(approx_eq(a, b, 1e-12, 1e-12));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_radius_rejected() {
+        assert!(SymmetricStencil2D::<f32>::new(1.0, vec![]).is_err());
+        assert!(SymmetricStencil3D::<f32>::new(1.0, vec![]).is_err());
+    }
+
+    #[test]
+    fn gcells_is_the_fair_comparison_metric() {
+        // A shared rad-3 3D stencil does 22 FLOP/cell vs 37 unshared: equal
+        // GCell/s means 1.68x different GFLOP/s — §VI.C's reason to compare
+        // related FPGA work in GCell/s.
+        let shared = SymmetricStencil3D::<f32>::new(0.5, vec![0.1; 3]).unwrap();
+        let unshared = shared.to_unshared();
+        let ratio = unshared.flops_per_cell() as f64 / shared.flops_per_cell() as f64;
+        assert!(ratio > 1.6 && ratio < 1.75, "{ratio}");
+    }
+}

@@ -1,0 +1,288 @@
+//! High-order acoustic wave propagation (leapfrog scheme).
+//!
+//! The paper's introduction motivates high-order stencils with "seismic and
+//! wave propagation simulation" (and §II discusses Fu & Clapp's reverse-time
+//! migration). The benchmark kernel itself is the single-grid Eq. (1); this
+//! module adds the *actual* seismic workload on top of the same grids: the
+//! second-order-in-time wave equation
+//!
+//! ```text
+//! u^{t+1} = 2·u^t − u^{t−1} + C² · L_rad(u^t)
+//! ```
+//!
+//! with `L_rad` the standard radius-`rad` central-difference Laplacian and
+//! `C² = (c·Δt/Δx)²` the squared Courant number. The Laplacian taps make it
+//! exactly a radius-`rad` star stencil, so everything the paper says about
+//! blocking geometry applies unchanged.
+
+use crate::error::{Result, StencilError};
+use crate::grid::{Grid2D, Grid3D};
+use crate::real::Real;
+
+/// Standard central-difference second-derivative weights `w_0, w_1, …,
+/// w_rad` for orders 2·rad = 2, 4, 6, 8 (per dimension).
+///
+/// # Errors
+/// Returns [`StencilError::InvalidRadius`] for radius 0 or above 4.
+pub fn laplacian_weights(rad: usize) -> Result<Vec<f64>> {
+    let w: &[f64] = match rad {
+        1 => &[-2.0, 1.0],
+        2 => &[-5.0 / 2.0, 4.0 / 3.0, -1.0 / 12.0],
+        3 => &[-49.0 / 18.0, 3.0 / 2.0, -3.0 / 20.0, 1.0 / 90.0],
+        4 => &[-205.0 / 72.0, 8.0 / 5.0, -1.0 / 5.0, 8.0 / 315.0, -1.0 / 560.0],
+        r => return Err(StencilError::InvalidRadius { radius: r }),
+    };
+    Ok(w.to_vec())
+}
+
+/// A leapfrog wave kernel of a given radius and squared Courant number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveKernel<T> {
+    rad: usize,
+    courant2: T,
+    weights: Vec<T>,
+}
+
+impl<T: Real> WaveKernel<T> {
+    /// Builds a kernel with the standard weights for `rad` and the given
+    /// `C²`.
+    ///
+    /// # Errors
+    /// Returns [`StencilError::InvalidRadius`] for unsupported radii.
+    pub fn new(rad: usize, courant2: f64) -> Result<Self> {
+        let weights = laplacian_weights(rad)?
+            .into_iter()
+            .map(T::from_f64)
+            .collect();
+        Ok(Self {
+            rad,
+            courant2: T::from_f64(courant2),
+            weights,
+        })
+    }
+
+    /// Stencil radius.
+    pub fn radius(&self) -> usize {
+        self.rad
+    }
+
+    /// A conservative stable `C²` for a `dims`-dimensional grid: the
+    /// leapfrog scheme is stable when `C² · dims · Σ|w| ≤ 4`; we take half
+    /// that bound for margin.
+    pub fn stable_courant2(rad: usize, dims: usize) -> f64 {
+        let sum: f64 = laplacian_weights(rad)
+            .expect("supported radius")
+            .iter()
+            .map(|w| w.abs())
+            .sum::<f64>()
+            * 2.0
+            - laplacian_weights(rad).unwrap()[0].abs();
+        2.0 / (dims as f64 * sum)
+    }
+
+    /// One leapfrog step on a 2D grid pair: computes `u_next` from `u`
+    /// (current) and `u_prev`, with clamped boundaries (reflecting-ish).
+    ///
+    /// # Panics
+    /// Panics when grid shapes disagree.
+    pub fn step_2d(&self, u_prev: &Grid2D<T>, u: &Grid2D<T>, u_next: &mut Grid2D<T>) {
+        assert_eq!((u.nx(), u.ny()), (u_prev.nx(), u_prev.ny()), "shape mismatch");
+        assert_eq!((u.nx(), u.ny()), (u_next.nx(), u_next.ny()), "shape mismatch");
+        let two = T::from_f64(2.0);
+        for y in 0..u.ny() {
+            for x in 0..u.nx() {
+                let (xi, yi) = (x as isize, y as isize);
+                // Laplacian: per-dimension center weight plus ring taps, in
+                // canonical W, E, S, N order per distance.
+                let mut lap = (self.weights[0] + self.weights[0]) * u.get(x, y);
+                for d in 1..=self.rad {
+                    let di = d as isize;
+                    let w = self.weights[d];
+                    lap += w * u.get_clamped(xi - di, yi);
+                    lap += w * u.get_clamped(xi + di, yi);
+                    lap += w * u.get_clamped(xi, yi - di);
+                    lap += w * u.get_clamped(xi, yi + di);
+                }
+                let v = two * u.get(x, y) - u_prev.get(x, y) + self.courant2 * lap;
+                u_next.set(x, y, v);
+            }
+        }
+    }
+
+    /// One leapfrog step on a 3D grid pair.
+    ///
+    /// # Panics
+    /// Panics when grid shapes disagree.
+    pub fn step_3d(&self, u_prev: &Grid3D<T>, u: &Grid3D<T>, u_next: &mut Grid3D<T>) {
+        assert_eq!(
+            (u.nx(), u.ny(), u.nz()),
+            (u_prev.nx(), u_prev.ny(), u_prev.nz()),
+            "shape mismatch"
+        );
+        assert_eq!(
+            (u.nx(), u.ny(), u.nz()),
+            (u_next.nx(), u_next.ny(), u_next.nz()),
+            "shape mismatch"
+        );
+        let two = T::from_f64(2.0);
+        let three = T::from_f64(3.0);
+        for z in 0..u.nz() {
+            for y in 0..u.ny() {
+                for x in 0..u.nx() {
+                    let (xi, yi, zi) = (x as isize, y as isize, z as isize);
+                    let mut lap = three * self.weights[0] * u.get(x, y, z);
+                    for d in 1..=self.rad {
+                        let di = d as isize;
+                        let w = self.weights[d];
+                        lap += w * u.get_clamped(xi - di, yi, zi);
+                        lap += w * u.get_clamped(xi + di, yi, zi);
+                        lap += w * u.get_clamped(xi, yi - di, zi);
+                        lap += w * u.get_clamped(xi, yi + di, zi);
+                        lap += w * u.get_clamped(xi, yi, zi - di);
+                        lap += w * u.get_clamped(xi, yi, zi + di);
+                    }
+                    let v = two * u.get(x, y, z) - u_prev.get(x, y, z) + self.courant2 * lap;
+                    u_next.set(x, y, z, v);
+                }
+            }
+        }
+    }
+
+    /// Runs `steps` leapfrog steps from initial condition `u0` at rest
+    /// (`u_prev = u0`, i.e. zero initial velocity). Returns the final field.
+    pub fn run_2d(&self, u0: &Grid2D<T>, steps: usize) -> Grid2D<T> {
+        let mut prev = u0.clone();
+        let mut cur = u0.clone();
+        let mut next = u0.clone();
+        for _ in 0..steps {
+            self.step_2d(&prev, &cur, &mut next);
+            std::mem::swap(&mut prev, &mut cur);
+            cur.swap(&mut next);
+        }
+        cur
+    }
+
+    /// 3D version of [`WaveKernel::run_2d`].
+    pub fn run_3d(&self, u0: &Grid3D<T>, steps: usize) -> Grid3D<T> {
+        let mut prev = u0.clone();
+        let mut cur = u0.clone();
+        let mut next = u0.clone();
+        for _ in 0..steps {
+            self.step_3d(&prev, &cur, &mut next);
+            std::mem::swap(&mut prev, &mut cur);
+            cur.swap(&mut next);
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn weights_sum_to_zero() {
+        // A second-derivative operator annihilates constants.
+        for rad in 1..=4 {
+            let w = laplacian_weights(rad).unwrap();
+            let sum: f64 = w[0] + 2.0 * w[1..].iter().sum::<f64>();
+            assert!(sum.abs() < 1e-12, "rad {rad}: {sum}");
+        }
+    }
+
+    #[test]
+    fn unsupported_radius_rejected() {
+        assert!(laplacian_weights(0).is_err());
+        assert!(laplacian_weights(5).is_err());
+        assert!(WaveKernel::<f32>::new(9, 0.1).is_err());
+    }
+
+    #[test]
+    fn constant_field_stays_constant() {
+        // L(const) = 0 and leapfrog of a resting constant is the constant.
+        let k = WaveKernel::<f64>::new(3, 0.2).unwrap();
+        let u0 = Grid2D::filled(20, 20, 7.5).unwrap();
+        let out = k.run_2d(&u0, 10);
+        for &v in out.as_slice() {
+            assert!((v - 7.5).abs() < 1e-9, "{v}");
+        }
+    }
+
+    #[test]
+    fn wave_propagates_outward_2d() {
+        let rad = 4;
+        let c2 = WaveKernel::<f64>::stable_courant2(rad, 2);
+        let k = WaveKernel::new(rad, c2).unwrap();
+        let n = 101;
+        let u0 = Grid2D::from_fn(n, n, |x, y| {
+            let dx = x as f64 - 50.0;
+            let dy = y as f64 - 50.0;
+            (-(dx * dx + dy * dy) / 8.0).exp()
+        })
+        .unwrap();
+        let steps = 40;
+        let out = k.run_2d(&u0, steps);
+        // The wavefront reaches a probe ~ c·t away while the center dips.
+        assert!(out.get(50, 50) < u0.get(50, 50));
+        let probe = (50.0 + (steps as f64) * c2.sqrt() * 0.8) as usize;
+        assert!(out.get(probe, 50).abs() > 1e-4, "wave did not arrive at x={probe}");
+    }
+
+    #[test]
+    fn stable_courant_keeps_amplitude_bounded() {
+        for rad in 1..=4 {
+            let c2 = WaveKernel::<f64>::stable_courant2(rad, 2);
+            let k = WaveKernel::new(rad, c2).unwrap();
+            let u0 = Grid2D::from_fn(41, 41, |x, y| {
+                let dx = x as f64 - 20.0;
+                let dy = y as f64 - 20.0;
+                (-(dx * dx + dy * dy) / 6.0).exp()
+            })
+            .unwrap();
+            let out = k.run_2d(&u0, 200);
+            let s = stats::stats_2d(&out);
+            assert!(
+                s.max.abs() < 10.0 && s.min.abs() < 10.0,
+                "rad {rad}: blew up to {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unstable_courant_blows_up() {
+        // Sanity that the stability bound is meaningful: 8x above it must
+        // diverge.
+        let rad = 2;
+        let c2 = 8.0 * WaveKernel::<f64>::stable_courant2(rad, 2);
+        let k = WaveKernel::new(rad, c2).unwrap();
+        let u0 = Grid2D::from_fn(31, 31, |x, y| {
+            if (x, y) == (15, 15) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .unwrap();
+        let out = k.run_2d(&u0, 100);
+        let s = stats::stats_2d(&out);
+        assert!(s.max > 1e3 || s.max.is_nan(), "did not diverge: {s:?}");
+    }
+
+    #[test]
+    fn wave_3d_constant_invariance_and_propagation() {
+        let rad = 2;
+        let c2 = WaveKernel::<f64>::stable_courant2(rad, 3);
+        let k = WaveKernel::new(rad, c2).unwrap();
+        let u0 = Grid3D::from_fn(25, 25, 25, |x, y, z| {
+            let dx = x as f64 - 12.0;
+            let dy = y as f64 - 12.0;
+            let dz = z as f64 - 12.0;
+            (-(dx * dx + dy * dy + dz * dz) / 4.0).exp()
+        })
+        .unwrap();
+        let out = k.run_3d(&u0, 12);
+        assert!(out.get(12, 12, 12) < u0.get(12, 12, 12));
+        assert!(out.get(20, 12, 12).abs() > 1e-6);
+    }
+}

@@ -1,0 +1,251 @@
+//! The CPU stencil engines: naive, cache-tiled, and rayon-parallel.
+//!
+//! All engines are bit-exact with the oracle (they delegate to
+//! [`crate::kernels`]); they differ only in iteration order and parallelism,
+//! neither of which changes any cell's operation order.
+
+use crate::kernels;
+use rayon::prelude::*;
+use stencil_core::{Grid2D, Grid3D, Real, Stencil2D, Stencil3D};
+
+/// Spatial tile sizes for the cache-blocked engines. A dimension of 0 means
+/// "unblocked".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Tile width along x (0 = full row).
+    pub tx: usize,
+    /// Tile height along y.
+    pub ty: usize,
+    /// Tile depth along z (3D only).
+    pub tz: usize,
+}
+
+impl Tile {
+    /// An unblocked tile (degenerates to the naive loop order).
+    pub const NONE: Tile = Tile { tx: 0, ty: 0, tz: 0 };
+
+    /// YASK-flavoured default: block y (and z) to keep the working set in
+    /// L2, leave x unblocked for streamy vector access.
+    pub fn yask_default() -> Tile {
+        Tile { tx: 0, ty: 32, tz: 32 }
+    }
+
+    fn eff(v: usize, n: usize) -> usize {
+        if v == 0 {
+            n
+        } else {
+            v.min(n)
+        }
+    }
+}
+
+/// Naive engine: plain double-buffered sweeps.
+pub fn naive_2d<T: Real>(st: &Stencil2D<T>, grid: &Grid2D<T>, iters: usize) -> Grid2D<T> {
+    let mut cur = grid.clone();
+    let mut next = grid.clone();
+    for _ in 0..iters {
+        for y in 0..cur.ny() {
+            // Split borrows: read `cur`, write one row of `next`.
+            let mut row = std::mem::take(&mut vec![T::ZERO; cur.nx()]);
+            kernels::row_2d(st, &cur, &mut row, y);
+            next.row_mut(y).copy_from_slice(&row);
+        }
+        cur.swap(&mut next);
+    }
+    cur
+}
+
+/// Naive 3D engine.
+pub fn naive_3d<T: Real>(st: &Stencil3D<T>, grid: &Grid3D<T>, iters: usize) -> Grid3D<T> {
+    let mut cur = grid.clone();
+    let mut next = grid.clone();
+    let nx = grid.nx();
+    for _ in 0..iters {
+        let mut row = vec![T::ZERO; nx];
+        for z in 0..cur.nz() {
+            for y in 0..cur.ny() {
+                kernels::row_3d(st, &cur, &mut row, y, z);
+                let base = (z * cur.ny() + y) * nx;
+                next.as_mut_slice()[base..base + nx].copy_from_slice(&row);
+            }
+        }
+        cur.swap(&mut next);
+    }
+    cur
+}
+
+/// Cache-tiled engine: iterates y (and z) in tiles so the stencil's
+/// working set stays cache-resident; within a tile, rows stream along x.
+pub fn tiled_2d<T: Real>(
+    st: &Stencil2D<T>,
+    grid: &Grid2D<T>,
+    iters: usize,
+    tile: Tile,
+) -> Grid2D<T> {
+    let (nx, ny) = (grid.nx(), grid.ny());
+    let ty = Tile::eff(tile.ty, ny);
+    let mut cur = grid.clone();
+    let mut next = grid.clone();
+    for _ in 0..iters {
+        let mut row = vec![T::ZERO; nx];
+        let mut y0 = 0;
+        while y0 < ny {
+            let y1 = (y0 + ty).min(ny);
+            for y in y0..y1 {
+                kernels::row_2d(st, &cur, &mut row, y);
+                next.row_mut(y).copy_from_slice(&row);
+            }
+            y0 = y1;
+        }
+        cur.swap(&mut next);
+    }
+    cur
+}
+
+/// Cache-tiled 3D engine.
+pub fn tiled_3d<T: Real>(
+    st: &Stencil3D<T>,
+    grid: &Grid3D<T>,
+    iters: usize,
+    tile: Tile,
+) -> Grid3D<T> {
+    let (nx, ny, nz) = (grid.nx(), grid.ny(), grid.nz());
+    let ty = Tile::eff(tile.ty, ny);
+    let tz = Tile::eff(tile.tz, nz);
+    let mut cur = grid.clone();
+    let mut next = grid.clone();
+    for _ in 0..iters {
+        let mut row = vec![T::ZERO; nx];
+        let mut z0 = 0;
+        while z0 < nz {
+            let z1 = (z0 + tz).min(nz);
+            let mut y0 = 0;
+            while y0 < ny {
+                let y1 = (y0 + ty).min(ny);
+                for z in z0..z1 {
+                    for y in y0..y1 {
+                        kernels::row_3d(st, &cur, &mut row, y, z);
+                        let base = (z * ny + y) * nx;
+                        next.as_mut_slice()[base..base + nx].copy_from_slice(&row);
+                    }
+                }
+                y0 = y1;
+            }
+            z0 = z1;
+        }
+        cur.swap(&mut next);
+    }
+    cur
+}
+
+/// Rayon-parallel engine: each time step partitions the output rows across
+/// threads. Every cell's update is independent, so parallelism cannot
+/// change results.
+pub fn parallel_2d<T: Real>(st: &Stencil2D<T>, grid: &Grid2D<T>, iters: usize) -> Grid2D<T> {
+    let nx = grid.nx();
+    let mut cur = grid.clone();
+    let mut next = grid.clone();
+    for _ in 0..iters {
+        {
+            let src = &cur;
+            next.as_mut_slice()
+                .par_chunks_mut(nx)
+                .enumerate()
+                .for_each(|(y, dst_row)| {
+                    let mut row = vec![T::ZERO; nx];
+                    kernels::row_2d(st, src, &mut row, y);
+                    dst_row.copy_from_slice(&row);
+                });
+        }
+        cur.swap(&mut next);
+    }
+    cur
+}
+
+/// Rayon-parallel 3D engine (parallel over z-planes).
+pub fn parallel_3d<T: Real>(st: &Stencil3D<T>, grid: &Grid3D<T>, iters: usize) -> Grid3D<T> {
+    let (nx, ny) = (grid.nx(), grid.ny());
+    let mut cur = grid.clone();
+    let mut next = grid.clone();
+    for _ in 0..iters {
+        {
+            let src = &cur;
+            next.as_mut_slice()
+                .par_chunks_mut(nx * ny)
+                .enumerate()
+                .for_each(|(z, dst_plane)| {
+                    let mut row = vec![T::ZERO; nx];
+                    for y in 0..ny {
+                        kernels::row_3d(st, src, &mut row, y, z);
+                        dst_plane[y * nx..(y + 1) * nx].copy_from_slice(&row);
+                    }
+                });
+        }
+        cur.swap(&mut next);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::exec;
+
+    fn grid2() -> Grid2D<f32> {
+        Grid2D::from_fn(41, 23, |x, y| ((x * 7 + y * 11) % 19) as f32).unwrap()
+    }
+
+    fn grid3() -> Grid3D<f32> {
+        Grid3D::from_fn(17, 13, 11, |x, y, z| ((x + 2 * y + 3 * z) % 7) as f32).unwrap()
+    }
+
+    #[test]
+    fn naive_matches_oracle() {
+        for rad in 1..=4 {
+            let st = Stencil2D::<f32>::random(rad, rad as u64).unwrap();
+            assert_eq!(naive_2d(&st, &grid2(), 3), exec::run_2d(&st, &grid2(), 3), "rad {rad}");
+        }
+        let st = Stencil3D::<f32>::random(2, 5).unwrap();
+        assert_eq!(naive_3d(&st, &grid3(), 2), exec::run_3d(&st, &grid3(), 2));
+    }
+
+    #[test]
+    fn tiled_matches_oracle_various_tiles() {
+        let st = Stencil2D::<f32>::random(2, 3).unwrap();
+        let oracle = exec::run_2d(&st, &grid2(), 4);
+        for ty in [1, 5, 23, 100] {
+            let tile = Tile { tx: 0, ty, tz: 0 };
+            assert_eq!(tiled_2d(&st, &grid2(), 4, tile), oracle, "ty {ty}");
+        }
+        let st3 = Stencil3D::<f32>::random(3, 4).unwrap();
+        let oracle3 = exec::run_3d(&st3, &grid3(), 2);
+        for (ty, tz) in [(4, 4), (13, 3), (1, 1)] {
+            let tile = Tile { tx: 0, ty, tz };
+            assert_eq!(tiled_3d(&st3, &grid3(), 2, tile), oracle3, "tile {ty}x{tz}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_oracle_bit_exactly() {
+        let st = Stencil2D::<f32>::random(3, 21).unwrap();
+        assert_eq!(parallel_2d(&st, &grid2(), 5), exec::run_2d(&st, &grid2(), 5));
+        let st3 = Stencil3D::<f32>::random(1, 22).unwrap();
+        assert_eq!(parallel_3d(&st3, &grid3(), 4), exec::run_3d(&st3, &grid3(), 4));
+    }
+
+    #[test]
+    fn zero_iters_identity() {
+        let st = Stencil2D::<f32>::uniform(1).unwrap();
+        assert_eq!(naive_2d(&st, &grid2(), 0), grid2());
+        assert_eq!(parallel_2d(&st, &grid2(), 0), grid2());
+    }
+
+    #[test]
+    fn unblocked_tile_equals_naive() {
+        let st = Stencil2D::<f32>::random(2, 30).unwrap();
+        assert_eq!(
+            tiled_2d(&st, &grid2(), 3, Tile::NONE),
+            naive_2d(&st, &grid2(), 3)
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Shared row/plane update kernels.
+//!
+//! Every engine in this crate funnels through these functions, which
+//! evaluate Eq. (1) in the canonical order (see `stencil_core::stencil`) and
+//! therefore stay **bit-exact** with the oracle and the FPGA simulator. The
+//! interior fast path avoids boundary clamping so the compiler can
+//! auto-vectorize across cells — the spirit of YASK's vector folding, which
+//! reorders nothing *within* a cell's update.
+
+// The row kernels index `dst_row` by the grid coordinate `x` on purpose —
+// the coordinate participates in the stencil evaluation, not just the store.
+#![allow(clippy::needless_range_loop)]
+
+use stencil_core::{Grid2D, Grid3D, Real, Stencil2D, Stencil3D};
+
+/// Updates cells `x0..x1` of row `y` into `dst_row`, using clamped access
+/// (correct everywhere, slower).
+pub fn row_2d_clamped<T: Real>(
+    st: &Stencil2D<T>,
+    src: &Grid2D<T>,
+    dst_row: &mut [T],
+    y: usize,
+    x0: usize,
+    x1: usize,
+) {
+    for x in x0..x1 {
+        dst_row[x] = st.apply_clamped(src, x, y);
+    }
+}
+
+/// Updates interior cells `x0..x1` of row `y` (caller guarantees all taps of
+/// every cell are in bounds). The inner loop is a dense gather the compiler
+/// vectorizes across cells.
+pub fn row_2d_interior<T: Real>(
+    st: &Stencil2D<T>,
+    src: &Grid2D<T>,
+    dst_row: &mut [T],
+    y: usize,
+    x0: usize,
+    x1: usize,
+) {
+    let rad = st.radius();
+    debug_assert!(x0 >= rad && x1 + rad <= src.nx() && y >= rad && y + rad <= src.ny());
+    let nx = src.nx();
+    let s = src.as_slice();
+    let base = y * nx;
+    let center = st.center();
+    for x in x0..x1 {
+        let i = base + x;
+        let mut acc = center * s[i];
+        for (k, a) in st.arms().iter().enumerate() {
+            let d = k + 1;
+            acc += a.west * s[i - d];
+            acc += a.east * s[i + d];
+            acc += a.south * s[i - d * nx];
+            acc += a.north * s[i + d * nx];
+        }
+        dst_row[x] = acc;
+    }
+}
+
+/// Updates a full row, fast in the interior and clamped at the edges.
+pub fn row_2d<T: Real>(st: &Stencil2D<T>, src: &Grid2D<T>, dst_row: &mut [T], y: usize) {
+    let rad = st.radius();
+    let nx = src.nx();
+    let ny = src.ny();
+    if y >= rad && y + rad < ny && nx > 2 * rad {
+        row_2d_clamped(st, src, dst_row, y, 0, rad);
+        row_2d_interior(st, src, dst_row, y, rad, nx - rad);
+        row_2d_clamped(st, src, dst_row, y, nx - rad, nx);
+    } else {
+        row_2d_clamped(st, src, dst_row, y, 0, nx);
+    }
+}
+
+/// Updates cells `x0..x1` of row (`y`, `z`) into `dst_row` with clamping.
+#[allow(clippy::too_many_arguments)]
+pub fn row_3d_clamped<T: Real>(
+    st: &Stencil3D<T>,
+    src: &Grid3D<T>,
+    dst_row: &mut [T],
+    y: usize,
+    z: usize,
+    x0: usize,
+    x1: usize,
+) {
+    for x in x0..x1 {
+        dst_row[x] = st.apply_clamped(src, x, y, z);
+    }
+}
+
+/// Interior fast path for a 3D row.
+#[allow(clippy::too_many_arguments)]
+pub fn row_3d_interior<T: Real>(
+    st: &Stencil3D<T>,
+    src: &Grid3D<T>,
+    dst_row: &mut [T],
+    y: usize,
+    z: usize,
+    x0: usize,
+    x1: usize,
+) {
+    let rad = st.radius();
+    let (nx, ny, nz) = (src.nx(), src.ny(), src.nz());
+    debug_assert!(
+        x0 >= rad
+            && x1 + rad <= nx
+            && y >= rad
+            && y + rad < ny
+            && z >= rad
+            && z + rad < nz
+    );
+    let _ = nz;
+    let s = src.as_slice();
+    let plane = nx * ny;
+    let base = (z * ny + y) * nx;
+    let center = st.center();
+    for x in x0..x1 {
+        let i = base + x;
+        let mut acc = center * s[i];
+        for (k, a) in st.arms().iter().enumerate() {
+            let d = k + 1;
+            acc += a.west * s[i - d];
+            acc += a.east * s[i + d];
+            acc += a.south * s[i - d * nx];
+            acc += a.north * s[i + d * nx];
+            acc += a.below * s[i - d * plane];
+            acc += a.above * s[i + d * plane];
+        }
+        dst_row[x] = acc;
+    }
+}
+
+/// Updates a full 3D row, fast in the interior and clamped at the edges.
+pub fn row_3d<T: Real>(st: &Stencil3D<T>, src: &Grid3D<T>, dst_row: &mut [T], y: usize, z: usize) {
+    let rad = st.radius();
+    let (nx, ny, nz) = (src.nx(), src.ny(), src.nz());
+    let interior_yz = y >= rad && y + rad < ny && z >= rad && z + rad < nz;
+    if interior_yz && nx > 2 * rad {
+        row_3d_clamped(st, src, dst_row, y, z, 0, rad);
+        row_3d_interior(st, src, dst_row, y, z, rad, nx - rad);
+        row_3d_clamped(st, src, dst_row, y, z, nx - rad, nx);
+    } else {
+        row_3d_clamped(st, src, dst_row, y, z, 0, nx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::exec;
+
+    #[test]
+    fn interior_matches_clamped_2d() {
+        let st = Stencil2D::<f32>::random(3, 7).unwrap();
+        let g = Grid2D::from_fn(32, 16, |x, y| ((x * 3 + y * 5) % 17) as f32).unwrap();
+        let mut a = vec![0.0f32; 32];
+        let mut b = vec![0.0f32; 32];
+        for y in 3..13 {
+            row_2d_clamped(&st, &g, &mut a, y, 3, 29);
+            row_2d_interior(&st, &g, &mut b, y, 3, 29);
+            assert_eq!(a[3..29], b[3..29], "row {y}");
+        }
+    }
+
+    #[test]
+    fn full_row_matches_oracle_2d() {
+        let st = Stencil2D::<f32>::random(2, 9).unwrap();
+        let g = Grid2D::from_fn(20, 10, |x, y| (x + y * y) as f32).unwrap();
+        let oracle = exec::run_2d(&st, &g, 1);
+        let mut row = vec![0.0f32; 20];
+        for y in 0..10 {
+            row_2d(&st, &g, &mut row, y);
+            assert_eq!(&row[..], oracle.row(y), "row {y}");
+        }
+    }
+
+    #[test]
+    fn full_row_matches_oracle_3d() {
+        let st = Stencil3D::<f32>::random(2, 11).unwrap();
+        let g = Grid3D::from_fn(12, 9, 8, |x, y, z| ((x + y * 2 + z * 3) % 13) as f32).unwrap();
+        let oracle = exec::run_3d(&st, &g, 1);
+        let mut row = vec![0.0f32; 12];
+        for z in 0..8 {
+            for y in 0..9 {
+                row_3d(&st, &g, &mut row, y, z);
+                for (x, &v) in row.iter().enumerate() {
+                    assert_eq!(v, oracle.get(x, y, z), "({x},{y},{z})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_grid_takes_clamped_path() {
+        // nx <= 2*rad: every cell is boundary.
+        let st = Stencil2D::<f32>::random(4, 13).unwrap();
+        let g = Grid2D::from_fn(6, 12, |x, y| (x * y) as f32).unwrap();
+        let oracle = exec::run_2d(&st, &g, 1);
+        let mut row = vec![0.0f32; 6];
+        for y in 0..12 {
+            row_2d(&st, &g, &mut row, y);
+            assert_eq!(&row[..], oracle.row(y));
+        }
+    }
+}

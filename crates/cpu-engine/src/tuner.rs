@@ -1,0 +1,79 @@
+//! YASK-style auto-tuner: measure candidate tile shapes on the actual
+//! machine and keep the fastest (§V.B: "The YASK framework includes a
+//! built-in performance tuning process that automatically chooses the best
+//! block size based on the stencil characteristics and the given hardware").
+
+use crate::engines::{tiled_2d, tiled_3d, Tile};
+use crate::measure;
+use stencil_core::{Grid2D, Grid3D, Real, Stencil2D, Stencil3D};
+
+/// Tile shapes the tuner tries (y × z candidates; x stays unblocked for
+/// streaming access, as YASK prefers on these kernels).
+pub const CANDIDATE_TILES: [Tile; 6] = [
+    Tile { tx: 0, ty: 0, tz: 0 },
+    Tile { tx: 0, ty: 8, tz: 8 },
+    Tile { tx: 0, ty: 16, tz: 16 },
+    Tile { tx: 0, ty: 32, tz: 32 },
+    Tile { tx: 0, ty: 64, tz: 64 },
+    Tile { tx: 0, ty: 128, tz: 32 },
+];
+
+/// Outcome of a tuning run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tuned {
+    /// Best tile found.
+    pub tile: Tile,
+    /// Its measured GCell/s on the probe problem.
+    pub gcells: f64,
+}
+
+/// Tunes the 2D tiled engine on a probe problem (`probe_iters` steps per
+/// candidate) and returns the best tile.
+pub fn tune_2d<T: Real>(st: &Stencil2D<T>, grid: &Grid2D<T>, probe_iters: usize) -> Tuned {
+    assert!(probe_iters > 0);
+    let mut best = Tuned { tile: Tile::NONE, gcells: 0.0 };
+    for tile in CANDIDATE_TILES {
+        let (_, secs) = measure::time(|| tiled_2d(st, grid, probe_iters, tile));
+        let g = measure::gcells_per_s(grid.len(), probe_iters, secs.max(1e-9));
+        if g > best.gcells {
+            best = Tuned { tile, gcells: g };
+        }
+    }
+    best
+}
+
+/// Tunes the 3D tiled engine.
+pub fn tune_3d<T: Real>(st: &Stencil3D<T>, grid: &Grid3D<T>, probe_iters: usize) -> Tuned {
+    assert!(probe_iters > 0);
+    let mut best = Tuned { tile: Tile::NONE, gcells: 0.0 };
+    for tile in CANDIDATE_TILES {
+        let (_, secs) = measure::time(|| tiled_3d(st, grid, probe_iters, tile));
+        let g = measure::gcells_per_s(grid.len(), probe_iters, secs.max(1e-9));
+        if g > best.gcells {
+            best = Tuned { tile, gcells: g };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuner_returns_a_candidate_with_positive_rate() {
+        let st = Stencil2D::<f32>::diffusion(2).unwrap();
+        let grid = Grid2D::from_fn(96, 96, |x, y| (x + y) as f32).unwrap();
+        let t = tune_2d(&st, &grid, 1);
+        assert!(t.gcells > 0.0);
+        assert!(CANDIDATE_TILES.contains(&t.tile));
+    }
+
+    #[test]
+    fn tuner_3d_runs() {
+        let st = Stencil3D::<f32>::diffusion(1).unwrap();
+        let grid = Grid3D::from_fn(24, 24, 24, |x, y, z| (x + y + z) as f32).unwrap();
+        let t = tune_3d(&st, &grid, 1);
+        assert!(t.gcells > 0.0);
+    }
+}

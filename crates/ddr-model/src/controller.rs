@@ -1,0 +1,232 @@
+//! Multi-channel memory controller.
+//!
+//! The Nallatech 385A exposes two independent DDR4 banks ("channels" here).
+//! The paper's host code places the input and output buffers in separate
+//! banks (the Intel OpenCL runtime's default burst-interleaved allocation is
+//! usually disabled for stencils), so the read stream and the write stream
+//! do not contend — [`BufferMapping::Dedicated`]. The interleaved mode is
+//! kept for ablations.
+
+use crate::channel::Channel;
+use crate::request::Request;
+use crate::stats::ChannelStats;
+use crate::timing::DdrTimings;
+use serde::{Deserialize, Serialize};
+
+/// How logical buffers map onto physical channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BufferMapping {
+    /// Buffer *b* lives wholly in channel `b % channels` (the paper's
+    /// configuration: reads in one bank, writes in the other).
+    Dedicated,
+    /// Buffers are striped across channels in `granularity`-byte chunks
+    /// (the SDK's burst-interleaved default).
+    Interleaved {
+        /// Stripe width in bytes.
+        granularity: u64,
+    },
+}
+
+/// A multi-channel DDR controller.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    channels: Vec<Channel>,
+    mapping: BufferMapping,
+}
+
+impl Controller {
+    /// Creates a controller with `n` identical channels.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn new(timings: DdrTimings, n: usize, mapping: BufferMapping) -> Self {
+        assert!(n > 0, "need at least one channel");
+        Self {
+            channels: (0..n).map(|_| Channel::new(timings)).collect(),
+            mapping,
+        }
+    }
+
+    /// The Nallatech 385A configuration: two DDR4-2133 channels, dedicated
+    /// buffer placement.
+    pub fn nallatech_385a() -> Self {
+        Self::new(DdrTimings::ddr4_2133(), 2, BufferMapping::Dedicated)
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Buffer mapping policy.
+    pub fn mapping(&self) -> BufferMapping {
+        self.mapping
+    }
+
+    /// Theoretical peak bandwidth across all channels, GB/s.
+    pub fn peak_gbps(&self) -> f64 {
+        self.channels
+            .iter()
+            .map(|c| c.timings().peak_gbps())
+            .sum()
+    }
+
+    /// Controller clock, MHz (identical across channels).
+    pub fn controller_mhz(&self) -> f64 {
+        self.channels[0].timings().controller_mhz()
+    }
+
+    /// Services a request issued against logical buffer `buffer`. Returns
+    /// the cycles consumed on whichever channel(s) it lands on.
+    ///
+    /// Under `Interleaved`, the request is split at stripe boundaries and
+    /// each piece goes to its stripe's channel; the returned cost is the
+    /// maximum per-channel cost (pieces proceed in parallel).
+    pub fn service(&mut self, buffer: usize, req: &Request) -> u64 {
+        match self.mapping {
+            BufferMapping::Dedicated => {
+                let ch = buffer % self.channels.len();
+                self.channels[ch].service(req)
+            }
+            BufferMapping::Interleaved { granularity } => {
+                let n = self.channels.len() as u64;
+                let mut cost = vec![0u64; self.channels.len()];
+                let mut addr = req.addr;
+                let end = req.addr + req.bytes;
+                while addr < end {
+                    let stripe = addr / granularity;
+                    let stripe_end = (stripe + 1) * granularity;
+                    let piece_end = stripe_end.min(end);
+                    let ch = (stripe % n) as usize;
+                    cost[ch] += self.channels[ch].service(&Request {
+                        addr,
+                        bytes: piece_end - addr,
+                        kind: req.kind,
+                    });
+                    addr = piece_end;
+                }
+                cost.into_iter().max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Per-channel statistics.
+    pub fn channel_stats(&self) -> Vec<ChannelStats> {
+        self.channels.iter().map(|c| *c.stats()).collect()
+    }
+
+    /// Statistics merged across channels.
+    pub fn total_stats(&self) -> ChannelStats {
+        let mut total = ChannelStats::default();
+        for c in &self.channels {
+            total.merge(c.stats());
+        }
+        total
+    }
+
+    /// The busiest channel's busy cycles — the memory-side completion time
+    /// of a phase in which all channels operate concurrently.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|c| c.stats().busy_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Resets all channels.
+    pub fn reset(&mut self) {
+        self.channels.iter_mut().for_each(Channel::reset);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::AccessKind;
+
+    #[test]
+    fn nallatech_peak_matches_paper() {
+        let c = Controller::nallatech_385a();
+        assert_eq!(c.num_channels(), 2);
+        // Paper Table II: 34.1 GB/s.
+        assert!((c.peak_gbps() - 34.128).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dedicated_mapping_separates_streams() {
+        let mut c = Controller::nallatech_385a();
+        c.service(0, &Request::read(0, 64));
+        c.service(1, &Request::write(0, 64));
+        let per = c.channel_stats();
+        assert_eq!(per[0].requests, 1);
+        assert_eq!(per[1].requests, 1);
+        // No turnaround anywhere: each channel saw one direction.
+        assert_eq!(c.total_stats().turnarounds, 0);
+    }
+
+    #[test]
+    fn interleaved_mapping_splits_large_requests() {
+        let mut c = Controller::new(
+            DdrTimings::ddr4_2133(),
+            2,
+            BufferMapping::Interleaved { granularity: 1024 },
+        );
+        // 4 KiB request spans 4 stripes, 2 per channel.
+        c.service(0, &Request::read(0, 4096));
+        let per = c.channel_stats();
+        assert_eq!(per[0].requests, 2);
+        assert_eq!(per[1].requests, 2);
+        assert_eq!(c.total_stats().useful_bytes, 4096);
+    }
+
+    #[test]
+    fn interleaved_same_buffer_mixes_directions() {
+        let mut c = Controller::new(
+            DdrTimings::ddr4_2133(),
+            2,
+            BufferMapping::Interleaved { granularity: 64 },
+        );
+        c.service(0, &Request::read(0, 64));
+        c.service(0, &Request::write(64, 64)); // next stripe -> other channel
+        c.service(0, &Request::read(128, 64)); // back to channel 0
+        // Channel 0 saw read, read -> no turnaround; channel 1 saw one write.
+        assert_eq!(c.total_stats().turnarounds, 0);
+        c.service(0, &Request::write(128, 64)); // channel 0: read -> write
+        assert_eq!(c.total_stats().turnarounds, 1);
+    }
+
+    #[test]
+    fn makespan_is_busiest_channel() {
+        let mut c = Controller::nallatech_385a();
+        for i in 0..10u64 {
+            c.service(0, &Request::read(i * 64, 64));
+        }
+        c.service(1, &Request::write(0, 64));
+        let per = c.channel_stats();
+        assert_eq!(c.makespan_cycles(), per[0].busy_cycles.max(per[1].busy_cycles));
+        assert!(per[0].busy_cycles > per[1].busy_cycles);
+    }
+
+    #[test]
+    fn conservation_across_channels() {
+        let mut c = Controller::new(
+            DdrTimings::ddr4_2133(),
+            2,
+            BufferMapping::Interleaved { granularity: 256 },
+        );
+        let mut asked = 0u64;
+        for i in 0..50u64 {
+            let bytes = 32 + (i % 5) * 64;
+            c.service(0, &Request { addr: i * 512, bytes, kind: AccessKind::Read });
+            asked += bytes;
+        }
+        assert_eq!(c.total_stats().useful_bytes, asked);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_panics() {
+        Controller::new(DdrTimings::ddr4_2133(), 0, BufferMapping::Dedicated);
+    }
+}

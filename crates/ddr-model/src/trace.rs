@@ -1,0 +1,169 @@
+//! Request tracing and alignment histograms.
+//!
+//! The paper diagnoses its 3D pipeline losses by reasoning about request
+//! alignment ("larger vectorized accesses … being split by the memory
+//! controller"). This module gives the simulator the same diagnostic lens:
+//! a bounded trace of recent requests plus an alignment histogram that shows
+//! at a glance which offsets a kernel's streams hit.
+
+use crate::request::{AccessKind, Request};
+use serde::{Deserialize, Serialize};
+
+/// Histogram of request start offsets within a burst line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlignmentHistogram {
+    line_bytes: u64,
+    /// Count per offset bucket (16-byte granularity, `line_bytes / 16`
+    /// buckets).
+    pub buckets: Vec<u64>,
+    /// Requests that crossed a line boundary.
+    pub split: u64,
+    /// Total requests observed.
+    pub total: u64,
+}
+
+impl AlignmentHistogram {
+    /// Creates an empty histogram for lines of `line_bytes` (must be a
+    /// multiple of 16).
+    ///
+    /// # Panics
+    /// Panics when `line_bytes` is zero or not a multiple of 16.
+    pub fn new(line_bytes: u64) -> Self {
+        assert!(line_bytes > 0 && line_bytes % 16 == 0, "line must be a multiple of 16 B");
+        Self {
+            line_bytes,
+            buckets: vec![0; (line_bytes / 16) as usize],
+            split: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one request.
+    pub fn record(&mut self, req: &Request) {
+        let off = (req.addr % self.line_bytes) / 16;
+        self.buckets[off as usize] += 1;
+        if !req.is_line_aligned(self.line_bytes) {
+            self.split += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Fraction of requests that split.
+    pub fn split_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.split as f64 / self.total as f64
+    }
+
+    /// Fraction of requests starting line-aligned (offset 0).
+    pub fn aligned_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.buckets[0] as f64 / self.total as f64
+    }
+}
+
+/// A bounded ring of the most recent requests (for inspection in tests and
+/// debugging sessions).
+#[derive(Debug, Clone)]
+pub struct RequestTrace {
+    capacity: usize,
+    entries: std::collections::VecDeque<(u64, AccessKind, u64)>,
+    histogram: AlignmentHistogram,
+}
+
+impl RequestTrace {
+    /// Creates a trace keeping the last `capacity` requests, with a
+    /// histogram over `line_bytes` lines.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0` (see [`AlignmentHistogram::new`] for the
+    /// line constraint).
+    pub fn new(capacity: usize, line_bytes: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            entries: std::collections::VecDeque::with_capacity(capacity),
+            histogram: AlignmentHistogram::new(line_bytes),
+        }
+    }
+
+    /// Records a request.
+    pub fn record(&mut self, req: &Request) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((req.addr, req.kind, req.bytes));
+        self.histogram.record(req);
+    }
+
+    /// The retained entries, oldest first: `(addr, kind, bytes)`.
+    pub fn entries(&self) -> impl Iterator<Item = &(u64, AccessKind, u64)> {
+        self.entries.iter()
+    }
+
+    /// The running histogram (covers *all* recorded requests, not only the
+    /// retained window).
+    pub fn histogram(&self) -> &AlignmentHistogram {
+        &self.histogram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_offsets() {
+        let mut h = AlignmentHistogram::new(64);
+        h.record(&Request::read(0, 64)); // aligned
+        h.record(&Request::read(16, 64)); // offset 16, splits
+        h.record(&Request::read(32, 32)); // offset 32, fits
+        h.record(&Request::read(48, 16)); // offset 48, fits
+        assert_eq!(h.buckets, vec![1, 1, 1, 1]);
+        assert_eq!(h.split, 1);
+        assert!((h.split_fraction() - 0.25).abs() < 1e-12);
+        assert!((h.aligned_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn the_paper_3d_pattern_shows_up() {
+        // 64 B requests whose rows alternate between offset 0 and 32 — the
+        // Table III 3D pattern: half the requests split.
+        let mut h = AlignmentHistogram::new(64);
+        for row in 0..100u64 {
+            let base = row * 2784; // 696 cells * 4 B
+            for v in 0..10u64 {
+                h.record(&Request::read(base + v * 64, 64));
+            }
+        }
+        assert!((h.split_fraction() - 0.5).abs() < 1e-9, "{}", h.split_fraction());
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = AlignmentHistogram::new(64);
+        assert_eq!(h.split_fraction(), 0.0);
+        assert_eq!(h.aligned_fraction(), 1.0);
+    }
+
+    #[test]
+    fn trace_ring_keeps_last_n() {
+        let mut t = RequestTrace::new(3, 64);
+        for i in 0..5u64 {
+            t.record(&Request::write(i * 64, 64));
+        }
+        let addrs: Vec<u64> = t.entries().map(|e| e.0).collect();
+        assert_eq!(addrs, vec![128, 192, 256]);
+        // Histogram still counts all five.
+        assert_eq!(t.histogram().total, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn bad_line_size_panics() {
+        let _ = AlignmentHistogram::new(60);
+    }
+}

@@ -1,0 +1,200 @@
+//! The chain of PEs that realizes temporal blocking.
+//!
+//! `partime` PEs are connected head-to-tail by channels (Fig. 2); PE *t*
+//! consumes the rows/planes of time step *t − 1* for the current spatial
+//! block and produces those of time step *t*. When the remaining iteration
+//! count is smaller than the chain length (the last pass of a run whose
+//! iteration count is not a multiple of `partime`), the surplus PEs are
+//! switched to pass-through.
+
+use crate::pe::{Pe2D, Pe3D, Produced};
+use stencil_core::{Real, Stencil2D, Stencil3D};
+
+/// A chain of 2D PEs for one spatial block.
+#[derive(Debug, Clone)]
+pub struct Chain2D<T> {
+    pes: Vec<Pe2D<T>>,
+}
+
+impl<T: Real> Chain2D<T> {
+    /// Builds a chain of `partime` PEs, the first `active` of which compute
+    /// (the rest pass through).
+    ///
+    /// # Panics
+    /// Panics when `active > partime` or `partime == 0`.
+    pub fn new(
+        stencil: &Stencil2D<T>,
+        partime: usize,
+        active: usize,
+        x0: i64,
+        width: usize,
+        nx: usize,
+        ny: usize,
+    ) -> Self {
+        assert!(partime > 0, "empty chain");
+        assert!(active <= partime, "more active PEs than chain length");
+        let pes = (0..partime)
+            .map(|t| {
+                let mut pe = Pe2D::new(stencil.clone(), x0, width, nx, ny);
+                pe.set_active(t < active);
+                pe
+            })
+            .collect();
+        Self { pes }
+    }
+
+    /// Chain length.
+    pub fn len(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// `true` iff the chain has no PEs (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.pes.is_empty()
+    }
+
+    /// Feeds one input row to the head PE and cascades; returns the rows
+    /// emitted by the tail PE.
+    pub fn feed(&mut self, y: i64, row: Vec<T>) -> Produced<T> {
+        let mut wave = vec![(y, row)];
+        for pe in &mut self.pes {
+            let mut next = Produced::new();
+            for (iy, irow) in wave {
+                next.extend(pe.feed(iy, irow));
+            }
+            wave = next;
+            if wave.is_empty() {
+                return wave;
+            }
+        }
+        wave
+    }
+}
+
+/// A chain of 3D PEs for one spatial block.
+#[derive(Debug, Clone)]
+pub struct Chain3D<T> {
+    pes: Vec<Pe3D<T>>,
+}
+
+impl<T: Real> Chain3D<T> {
+    /// Builds a chain of `partime` 3D PEs, the first `active` computing.
+    ///
+    /// # Panics
+    /// Panics when `active > partime` or `partime == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        stencil: &Stencil3D<T>,
+        partime: usize,
+        active: usize,
+        x0: i64,
+        y0: i64,
+        width: usize,
+        height: usize,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+    ) -> Self {
+        assert!(partime > 0, "empty chain");
+        assert!(active <= partime, "more active PEs than chain length");
+        let pes = (0..partime)
+            .map(|t| {
+                let mut pe = Pe3D::new(stencil.clone(), x0, y0, width, height, nx, ny, nz);
+                pe.set_active(t < active);
+                pe
+            })
+            .collect();
+        Self { pes }
+    }
+
+    /// Chain length.
+    pub fn len(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// `true` iff the chain has no PEs.
+    pub fn is_empty(&self) -> bool {
+        self.pes.is_empty()
+    }
+
+    /// Feeds one input plane to the head PE and cascades; returns the planes
+    /// emitted by the tail PE.
+    pub fn feed(&mut self, z: i64, plane: Vec<T>) -> Produced<T> {
+        let mut wave = vec![(z, plane)];
+        for pe in &mut self.pes {
+            let mut next = Produced::new();
+            for (iz, iplane) in wave {
+                next.extend(pe.feed(iz, iplane));
+            }
+            wave = next;
+            if wave.is_empty() {
+                return wave;
+            }
+        }
+        wave
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::{exec, Grid2D};
+
+    #[test]
+    fn two_pe_chain_equals_two_oracle_steps_whole_grid() {
+        let (nx, ny) = (16, 12);
+        let st = Stencil2D::<f32>::random(1, 9).unwrap();
+        let grid = Grid2D::from_fn(nx, ny, |x, y| ((3 * x) as f32).sin() + y as f32).unwrap();
+        // Whole grid as one block; 2 active PEs. All committed cells are
+        // valid because clamping handles the physical boundary.
+        let mut chain = Chain2D::new(&st, 2, 2, 0, nx, nx, ny);
+        let mut got = Grid2D::<f32>::zeros(nx, ny).unwrap();
+        for y in 0..ny {
+            let row: Vec<f32> = (0..nx).map(|x| grid.get(x, y)).collect();
+            for (oy, orow) in chain.feed(y as i64, row) {
+                got.row_mut(oy as usize).copy_from_slice(&orow);
+            }
+        }
+        assert_eq!(got, exec::run_2d(&st, &grid, 2));
+    }
+
+    #[test]
+    fn passthrough_tail_preserves_results() {
+        let (nx, ny) = (10, 10);
+        let st = Stencil2D::<f32>::random(1, 4).unwrap();
+        let grid = Grid2D::from_fn(nx, ny, |x, y| (x + y) as f32).unwrap();
+        // Chain of 4 with only 1 active == one oracle step.
+        let mut chain = Chain2D::new(&st, 4, 1, 0, nx, nx, ny);
+        let mut got = Grid2D::<f32>::zeros(nx, ny).unwrap();
+        for y in 0..ny {
+            let row: Vec<f32> = (0..nx).map(|x| grid.get(x, y)).collect();
+            for (oy, orow) in chain.feed(y as i64, row) {
+                got.row_mut(oy as usize).copy_from_slice(&orow);
+            }
+        }
+        assert_eq!(got, exec::run_2d(&st, &grid, 1));
+    }
+
+    #[test]
+    fn zero_active_chain_is_identity() {
+        let (nx, ny) = (6, 4);
+        let st = Stencil2D::<f32>::uniform(1).unwrap();
+        let mut chain = Chain2D::new(&st, 3, 0, 0, nx, nx, ny);
+        let grid = Grid2D::from_fn(nx, ny, |x, y| (x * y) as f32).unwrap();
+        let mut got = Grid2D::<f32>::zeros(nx, ny).unwrap();
+        for y in 0..ny {
+            let row: Vec<f32> = (0..nx).map(|x| grid.get(x, y)).collect();
+            for (oy, orow) in chain.feed(y as i64, row) {
+                got.row_mut(oy as usize).copy_from_slice(&orow);
+            }
+        }
+        assert_eq!(got, grid);
+    }
+
+    #[test]
+    #[should_panic(expected = "more active PEs")]
+    fn too_many_active_panics() {
+        let st = Stencil2D::<f32>::uniform(1).unwrap();
+        let _ = Chain2D::new(&st, 2, 3, 0, 8, 8, 8);
+    }
+}

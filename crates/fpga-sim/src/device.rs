@@ -1,0 +1,231 @@
+//! FPGA device and board descriptions.
+//!
+//! Resource figures come from the Intel Arria 10 / Stratix V / Stratix 10
+//! datasheets and the paper's Table II. The calibration constants (documented
+//! per field) encode behaviours of the Quartus/AOCL 16.1.2 toolchain that the
+//! paper observes empirically; see DESIGN.md §2 for the substitution
+//! rationale.
+
+use ddr_model::DdrTimings;
+use serde::{Deserialize, Serialize};
+
+/// Static description of an FPGA device plus the empirical constants needed
+/// by the fmax, area and power models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Marketing name.
+    pub name: String,
+    /// Adaptive logic modules.
+    pub alms: u64,
+    /// M20K block-RAM blocks.
+    pub m20k_blocks: u64,
+    /// Usable block-RAM bits (`m20k_blocks × 20480`).
+    pub m20k_bits: u64,
+    /// Hardened floating-point DSPs (1 FMA each).
+    pub dsps: u64,
+    /// Peak single-precision GFLOP/s at the DSP peak clock (Table II).
+    pub peak_gflops: f64,
+    /// DSP peak operating frequency in MHz (Arria 10 datasheet: ~475 MHz).
+    pub dsp_peak_mhz: f64,
+    /// Board TDP in watts (Table II).
+    pub tdp_watts: f64,
+    /// Number of external memory channels on the board.
+    pub mem_channels: usize,
+    /// Timing of each memory channel.
+    pub mem_timings: DdrTimings,
+
+    // ---- calibrated toolchain behaviour (see `fmax`, `area`, `power`) ----
+    /// Achievable kernel clock for this design family on this device before
+    /// congestion effects, in MHz. Calibrated to Table III (2D rad-1 closes
+    /// timing at ~344 MHz on Arria 10).
+    pub base_fmax_mhz: f64,
+    /// Relative fmax degradation per unit stencil radius beyond 1 — the
+    /// "new device-dependent critical paths" of §VI.A.
+    pub fmax_radius_slope: f64,
+    /// Relative fmax degradation at 100% DSP utilization (routing pressure).
+    pub fmax_congestion_slope: f64,
+    /// Residual pipeline overhead of the generated OpenCL control logic:
+    /// fraction of extra cycles charged on every loop iteration (calibrated
+    /// so that the 2D model accuracy lands in the paper's ~85% band — the
+    /// part of "pipeline efficiency" not explained by memory splitting).
+    pub control_overhead: f64,
+    /// Static (board + configured-idle) power in watts.
+    pub static_watts: f64,
+    /// Dynamic power at 1 GHz and 100% utilization for DSPs / BRAM / logic,
+    /// in watts (hand-fit to Table III; see `power`).
+    pub dyn_watts_dsp: f64,
+    /// See [`FpgaDevice::dyn_watts_dsp`].
+    pub dyn_watts_bram: f64,
+    /// See [`FpgaDevice::dyn_watts_dsp`].
+    pub dyn_watts_logic: f64,
+}
+
+impl FpgaDevice {
+    /// The paper's platform: Nallatech 385A with an Arria 10 GX 1150 and two
+    /// banks of DDR4-2133.
+    pub fn arria10_gx1150() -> Self {
+        Self {
+            name: "Arria 10 GX 1150 (Nallatech 385A)".into(),
+            alms: 427_200,
+            m20k_blocks: 2713,
+            m20k_bits: 2713 * 20_480,
+            dsps: 1518,
+            peak_gflops: 1450.0,
+            dsp_peak_mhz: 475.0,
+            tdp_watts: 70.0,
+            mem_channels: 2,
+            mem_timings: DdrTimings::ddr4_2133(),
+            base_fmax_mhz: 350.0,
+            fmax_radius_slope: 0.055,
+            fmax_congestion_slope: 0.05,
+            control_overhead: 0.08,
+            static_watts: 40.0,
+            dyn_watts_dsp: 45.0,
+            dyn_watts_bram: 45.0,
+            dyn_watts_logic: 30.0,
+        }
+    }
+
+    /// Stratix V GX A7 — the smaller device on which §VI.A reports that fmax
+    /// is radius-independent for small parameters.
+    pub fn stratix_v_gxa7() -> Self {
+        Self {
+            name: "Stratix V GX A7".into(),
+            alms: 234_720,
+            m20k_blocks: 2560,
+            m20k_bits: 2560 * 20_480,
+            dsps: 256, // DSPs without hard FP: 1 FMA needs logic assist; keep nominal
+            peak_gflops: 200.0,
+            dsp_peak_mhz: 450.0,
+            tdp_watts: 40.0,
+            mem_channels: 2,
+            mem_timings: DdrTimings::ddr4_2133(),
+            base_fmax_mhz: 300.0,
+            // §VI.A: "the exact same fmax could be achieved regardless of the
+            // stencil radius" for small parameters on Stratix V.
+            fmax_radius_slope: 0.0,
+            fmax_congestion_slope: 0.05,
+            control_overhead: 0.08,
+            static_watts: 25.0,
+            dyn_watts_dsp: 45.0,
+            dyn_watts_bram: 45.0,
+            dyn_watts_logic: 30.0,
+        }
+    }
+
+    /// Stratix 10 GX 2800 with 4 banks of DDR4-2400 — the conclusion's
+    /// what-if device (FLOP/byte > 100).
+    pub fn stratix10_gx2800() -> Self {
+        Self {
+            name: "Stratix 10 GX 2800".into(),
+            alms: 933_120,
+            m20k_blocks: 11_721,
+            m20k_bits: 11_721 * 20_480,
+            dsps: 5760,
+            peak_gflops: 8600.0,
+            dsp_peak_mhz: 750.0,
+            tdp_watts: 225.0,
+            mem_channels: 4,
+            mem_timings: DdrTimings::ddr4_2400(),
+            base_fmax_mhz: 480.0,
+            fmax_radius_slope: 0.055,
+            fmax_congestion_slope: 0.05,
+            control_overhead: 0.08,
+            static_watts: 90.0,
+            dyn_watts_dsp: 60.0,
+            dyn_watts_bram: 60.0,
+            dyn_watts_logic: 45.0,
+        }
+    }
+
+    /// Stratix 10 MX 2100 with two stacks of HBM2 (32 pseudo-channels,
+    /// ~512 GB/s) — the conclusion's "will likely not suffer from this
+    /// problem" device.
+    pub fn stratix10_mx2100() -> Self {
+        Self {
+            name: "Stratix 10 MX 2100".into(),
+            alms: 702_720,
+            m20k_blocks: 6847,
+            m20k_bits: 6847 * 20_480,
+            dsps: 3960,
+            peak_gflops: 5940.0,
+            dsp_peak_mhz: 750.0,
+            tdp_watts: 200.0,
+            mem_channels: 32,
+            mem_timings: DdrTimings::hbm2_pseudo_channel(),
+            base_fmax_mhz: 480.0,
+            fmax_radius_slope: 0.055,
+            fmax_congestion_slope: 0.05,
+            control_overhead: 0.08,
+            static_watts: 80.0,
+            dyn_watts_dsp: 60.0,
+            dyn_watts_bram: 60.0,
+            dyn_watts_logic: 45.0,
+        }
+    }
+
+    /// Theoretical peak external bandwidth of the board, GB/s.
+    pub fn peak_mem_gbps(&self) -> f64 {
+        self.mem_channels as f64 * self.mem_timings.peak_gbps()
+    }
+
+    /// Device FLOP-to-byte ratio (Table II rightmost column).
+    pub fn flop_byte_ratio(&self) -> f64 {
+        self.peak_gflops / self.peak_mem_gbps()
+    }
+
+    /// Memory-controller clock in MHz (the kernel-visible interface clock;
+    /// §VI.A: 266 MHz on the paper's board).
+    pub fn mem_controller_mhz(&self) -> f64 {
+        self.mem_timings.controller_mhz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arria10_matches_table2() {
+        let d = FpgaDevice::arria10_gx1150();
+        assert_eq!(d.dsps, 1518);
+        assert!((d.peak_gflops - 1450.0).abs() < 1e-9);
+        // Table II: 34.1 GB/s, FLOP/byte = 42.522.
+        assert!((d.peak_mem_gbps() - 34.128).abs() < 1e-3);
+        assert!((d.flop_byte_ratio() - 42.522).abs() < 0.1);
+        // §VI.A: memory controller at 266 MHz.
+        assert!((d.mem_controller_mhz() - 266.625).abs() < 1.0);
+    }
+
+    #[test]
+    fn m20k_bits_consistent() {
+        let d = FpgaDevice::arria10_gx1150();
+        assert_eq!(d.m20k_bits, d.m20k_blocks * 20_480);
+        // ~55.5 Mbit on the GX 1150.
+        assert!((d.m20k_bits as f64 / 1e6 - 55.56) < 0.1);
+    }
+
+    #[test]
+    fn stratix10_flop_byte_exceeds_100() {
+        // Conclusion: "the FLOP to byte ratio goes beyond 100 (with 4 banks
+        // of DDR4-2400 memory)" on Stratix 10 GX 2800.
+        let d = FpgaDevice::stratix10_gx2800();
+        assert!(d.flop_byte_ratio() > 100.0, "{}", d.flop_byte_ratio());
+    }
+
+    #[test]
+    fn stratix_v_fmax_is_radius_independent() {
+        assert_eq!(FpgaDevice::stratix_v_gxa7().fmax_radius_slope, 0.0);
+    }
+
+    #[test]
+    fn stratix10_mx_has_hbm_class_bandwidth() {
+        // Conclusion: "the Stratix 10 MX series with HBM memory will likely
+        // not suffer from this problem" — FLOP/byte stays modest.
+        let mx = FpgaDevice::stratix10_mx2100();
+        assert!((mx.peak_mem_gbps() - 512.0).abs() < 1.0);
+        assert!(mx.flop_byte_ratio() < 15.0, "{}", mx.flop_byte_ratio());
+        let gx = FpgaDevice::stratix10_gx2800();
+        assert!(gx.flop_byte_ratio() > 7.0 * mx.flop_byte_ratio());
+    }
+}

@@ -1,0 +1,215 @@
+//! Event-driven (per-tick) pipeline simulation — the cross-check for the
+//! analytic timing model.
+//!
+//! [`crate::timing`] computes each row's cost as the *maximum* of its
+//! compute, LSU and DRAM terms — a steady-state dataflow argument. This
+//! module validates that shortcut: it simulates the same single-block
+//! pipeline tick by tick — read kernel, bounded FIFOs, rate-1 PEs with fill
+//! latency, write kernel, and a credit-based memory interface — and counts
+//! actual ticks. The property test in `tests/` (and the unit tests below)
+//! require the two to agree within a few percent wherever both apply.
+//!
+//! The simulation is O(ticks), so it is only run on small blocks; the
+//! analytic model is what scales to Table III.
+
+use crate::device::FpgaDevice;
+use ddr_model::Request;
+use std::collections::VecDeque;
+use stencil_core::{BlockConfig, Dim};
+
+/// Outcome of an event-driven run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventReport {
+    /// Total kernel-clock ticks until the write kernel drained everything.
+    pub ticks: u64,
+    /// Ticks the read kernel stalled waiting for memory credits.
+    pub read_stalls: u64,
+    /// Ticks the pipeline head stalled on FIFO back-pressure.
+    pub backpressure_stalls: u64,
+}
+
+/// Simulates one pass of a single 2D block (`read region = bsize_x`,
+/// streamed over `ny` rows) tick by tick.
+///
+/// * The read kernel issues one `parvec`-cell vector per tick when it has
+///   memory credits and FIFO space.
+/// * Memory grants `fmem/fmax` 64-byte-line credits per tick; an unaligned
+///   request costs two lines (the §VI.A splitting mechanism).
+/// * Each PE forwards one vector per tick after a fill latency of
+///   `rad · vectors_per_row` vectors (its shift register must hold `rad`
+///   rows before the first output).
+/// * The write kernel consumes one vector per tick, also paying line
+///   credits on its own channel.
+///
+/// # Panics
+/// Panics when `config` is not a valid 2D configuration.
+pub fn simulate_block_2d(
+    device: &FpgaDevice,
+    config: &BlockConfig,
+    ny: usize,
+    fmax_mhz: f64,
+) -> EventReport {
+    assert_eq!(config.dim, Dim::D2, "event sim covers 2D blocks");
+    config.validate().expect("invalid configuration");
+
+    let parvec = config.parvec as u64;
+    let vec_bytes = parvec * 4;
+    let vectors_per_row = (config.bsize_x as u64).div_ceil(parvec);
+    let total_vectors = vectors_per_row * ny as u64;
+    let fill_latency = (config.rad as u64) * vectors_per_row;
+    let fifo_depth = 8usize;
+    let credits_per_tick = device.mem_controller_mhz() / fmax_mhz;
+
+    // Pipeline state: one FIFO per kernel boundary.
+    let n_pes = config.partime;
+    let mut fifos: Vec<VecDeque<u64>> = vec![VecDeque::with_capacity(fifo_depth); n_pes + 1];
+    let mut read_issued = 0u64;
+    let mut written = 0u64;
+    let mut read_credits = 0.0f64;
+    let mut write_credits = 0.0f64;
+
+    let mut ticks = 0u64;
+    let mut read_stalls = 0u64;
+    let mut backpressure_stalls = 0u64;
+
+    // Safety valve: a correct pipeline finishes well under this bound.
+    let tick_limit = total_vectors * 64 + 1_000_000;
+
+    while written < total_vectors {
+        ticks += 1;
+        assert!(ticks < tick_limit, "event simulation did not converge");
+        read_credits = (read_credits + credits_per_tick).min(64.0);
+        write_credits = (write_credits + credits_per_tick).min(64.0);
+
+        // Write kernel drains the tail FIFO (needs line credits).
+        if let Some(&v) = fifos[n_pes].front() {
+            let addr = v * vec_bytes;
+            let cost = Request::write(addr, vec_bytes).lines_touched(64) as f64;
+            if write_credits >= cost {
+                write_credits -= cost;
+                fifos[n_pes].pop_front();
+                written += 1;
+            }
+        }
+
+        // PEs, tail to head so a vector moves at most one stage per tick.
+        // A PE is a rate-1 element; its shift-register fill (`rad` rows in,
+        // first row out) is a pure latency shift of the stream, which is
+        // accounted once at the end rather than per vector — the ordering
+        // and back-pressure behaviour are identical either way.
+        for pe in (0..n_pes).rev() {
+            if !fifos[pe].is_empty() && fifos[pe + 1].len() < fifo_depth {
+                let v = fifos[pe].pop_front().unwrap();
+                fifos[pe + 1].push_back(v);
+            }
+        }
+
+        // Read kernel issues the next vector when credits and space allow.
+        if read_issued < total_vectors {
+            if fifos[0].len() >= fifo_depth {
+                backpressure_stalls += 1;
+            } else {
+                let addr = read_issued * vec_bytes;
+                let cost = Request::read(addr, vec_bytes).lines_touched(64) as f64;
+                if read_credits >= cost {
+                    read_credits -= cost;
+                    fifos[0].push_back(read_issued);
+                    read_issued += 1;
+                } else {
+                    read_stalls += 1;
+                }
+            }
+        }
+    }
+
+    // Account the chain fill latency once (the latency shift above keeps
+    // the throughput exact but hides the initial delay).
+    ticks += fill_latency * n_pes as u64;
+
+    EventReport {
+        ticks,
+        read_stalls,
+        backpressure_stalls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::{self, GridDims, TimingOptions};
+
+    fn analytic_cycles(device: &FpgaDevice, cfg: &BlockConfig, ny: usize, fmax: f64) -> u64 {
+        let mut o = TimingOptions::at_fmax(fmax);
+        o.pass_overhead_s = 0.0;
+        o.control_overhead = Some(0.0); // the event sim has no control tax
+        let r = timing::simulate(
+            device,
+            cfg,
+            GridDims::D2 { nx: cfg.csize_x(), ny },
+            cfg.partime,
+            &o,
+        );
+        r.kernel_cycles
+    }
+
+    #[test]
+    fn agrees_with_analytic_model_when_compute_bound() {
+        // fmax well below the memory clock: memory never stalls, both
+        // models must land on ~one vector per tick plus fill.
+        let device = FpgaDevice::arria10_gx1150();
+        let cfg = BlockConfig::new_2d(1, 256, 4, 4).unwrap();
+        let ny = 256;
+        let ev = simulate_block_2d(&device, &cfg, ny, 150.0);
+        let an = analytic_cycles(&device, &cfg, ny, 150.0);
+        let rel = (ev.ticks as f64 - an as f64).abs() / an as f64;
+        assert!(rel < 0.05, "event {} vs analytic {an} ({rel:.3})", ev.ticks);
+        assert_eq!(ev.read_stalls, 0, "{ev:?}");
+    }
+
+    #[test]
+    fn agrees_when_memory_limits_the_pipeline() {
+        // fmax far above the memory clock: the interface can no longer keep
+        // one vector per tick; both models must agree on the slowdown.
+        let device = FpgaDevice::arria10_gx1150();
+        let cfg = BlockConfig::new_2d(1, 256, 16, 4).unwrap(); // 64 B vectors
+        let ny = 256;
+        let fmax = 500.0; // ~1.9 kernel ticks per line credit
+        let ev = simulate_block_2d(&device, &cfg, ny, fmax);
+        let an = analytic_cycles(&device, &cfg, ny, fmax);
+        let rel = (ev.ticks as f64 - an as f64).abs() / an as f64;
+        assert!(rel < 0.15, "event {} vs analytic {an} ({rel:.3})", ev.ticks);
+        assert!(ev.read_stalls > 0, "{ev:?}");
+    }
+
+    #[test]
+    fn deeper_chains_only_add_fill_latency() {
+        let device = FpgaDevice::arria10_gx1150();
+        let shallow = simulate_block_2d(
+            &device,
+            &BlockConfig::new_2d(1, 256, 4, 4).unwrap(),
+            128,
+            200.0,
+        );
+        let deep = simulate_block_2d(
+            &device,
+            &BlockConfig::new_2d(1, 256, 4, 16).unwrap(),
+            128,
+            200.0,
+        );
+        // Throughput is identical; only the pipeline latency grows.
+        let extra = deep.ticks - shallow.ticks;
+        let expected = (16 - 4) * (256 / 4); // PEs × fill vectors
+        assert!(
+            (extra as i64 - expected as i64).abs() <= expected as i64 / 5,
+            "extra {extra} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn converges_and_counts_everything() {
+        let device = FpgaDevice::arria10_gx1150();
+        let cfg = BlockConfig::new_2d(2, 64, 2, 2).unwrap();
+        let r = simulate_block_2d(&device, &cfg, 32, 300.0);
+        assert!(r.ticks >= (64 / 2) * 32);
+    }
+}

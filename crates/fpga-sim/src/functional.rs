@@ -1,0 +1,221 @@
+//! Functional (lockstep, deterministic) execution of the accelerator.
+//!
+//! Runs the complete block schedule of the design — overlapped spatial
+//! blocks, a `partime`-deep PE chain per block, as many passes over the grid
+//! as the iteration count requires — and produces the final grid. Results
+//! are **bit-exact** with [`stencil_core::exec`]'s oracle because both
+//! evaluate Eq. (1) in the canonical operation order.
+//!
+//! This module is the single-threaded twin of [`crate::threaded`]; both must
+//! agree bit-for-bit (tested there).
+
+use crate::chain::{Chain2D, Chain3D};
+use stencil_core::{BlockConfig, Dim, Grid2D, Grid3D, Real, Stencil2D, Stencil3D};
+
+/// Splits `iters` into chain passes: each pass activates at most `partime`
+/// PEs; the last pass may activate fewer.
+pub(crate) fn passes(iters: usize, partime: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut left = iters;
+    while left > 0 {
+        let a = left.min(partime);
+        out.push(a);
+        left -= a;
+    }
+    out
+}
+
+/// Runs the 2D accelerator functionally: `iters` time steps of `stencil`
+/// over `grid` with the block schedule of `config`.
+///
+/// # Panics
+/// Panics when `config` is not a validated 2D configuration.
+pub fn run_2d<T: Real>(
+    stencil: &Stencil2D<T>,
+    grid: &Grid2D<T>,
+    config: &BlockConfig,
+    iters: usize,
+) -> Grid2D<T> {
+    assert_eq!(config.dim, Dim::D2, "2D run needs a 2D config");
+    assert_eq!(config.rad, stencil.radius(), "config/stencil radius mismatch");
+    config.validate().expect("invalid block configuration");
+
+    let (nx, ny) = (grid.nx(), grid.ny());
+    let mut src = grid.clone();
+    let mut dst = grid.clone();
+
+    for active in passes(iters, config.partime) {
+        for span in config.spans_x(nx) {
+            let x0 = span.read_start;
+            let width = span.read_len();
+            let mut chain =
+                Chain2D::new(stencil, config.partime, active, x0 as i64, width, nx, ny);
+            for y in 0..ny {
+                let row: Vec<T> = (0..width)
+                    .map(|j| src.get_clamped(x0 + j as isize, y as isize))
+                    .collect();
+                for (oy, orow) in chain.feed(y as i64, row) {
+                    let oy = oy as usize;
+                    for gx in span.comp_start..span.comp_end {
+                        dst.set(gx, oy, orow[(gx as isize - x0) as usize]);
+                    }
+                }
+            }
+        }
+        src.swap(&mut dst);
+    }
+    src
+}
+
+/// Runs the 3D accelerator functionally.
+///
+/// # Panics
+/// Panics when `config` is not a validated 3D configuration.
+pub fn run_3d<T: Real>(
+    stencil: &Stencil3D<T>,
+    grid: &Grid3D<T>,
+    config: &BlockConfig,
+    iters: usize,
+) -> Grid3D<T> {
+    assert_eq!(config.dim, Dim::D3, "3D run needs a 3D config");
+    assert_eq!(config.rad, stencil.radius(), "config/stencil radius mismatch");
+    config.validate().expect("invalid block configuration");
+
+    let (nx, ny, nz) = (grid.nx(), grid.ny(), grid.nz());
+    let mut src = grid.clone();
+    let mut dst = grid.clone();
+
+    for active in passes(iters, config.partime) {
+        for sy in config.spans_y(ny) {
+            for sx in config.spans_x(nx) {
+                let (x0, y0) = (sx.read_start, sy.read_start);
+                let (width, height) = (sx.read_len(), sy.read_len());
+                let mut chain = Chain3D::new(
+                    stencil,
+                    config.partime,
+                    active,
+                    x0 as i64,
+                    y0 as i64,
+                    width,
+                    height,
+                    nx,
+                    ny,
+                    nz,
+                );
+                for z in 0..nz {
+                    let mut plane = Vec::with_capacity(width * height);
+                    for i in 0..height {
+                        let gy = y0 + i as isize;
+                        for j in 0..width {
+                            plane.push(src.get_clamped(x0 + j as isize, gy, z as isize));
+                        }
+                    }
+                    for (oz, oplane) in chain.feed(z as i64, plane) {
+                        let oz = oz as usize;
+                        for gy in sy.comp_start..sy.comp_end {
+                            let i = (gy as isize - y0) as usize;
+                            for gx in sx.comp_start..sx.comp_end {
+                                let j = (gx as isize - x0) as usize;
+                                dst.set(gx, gy, oz, oplane[i * width + j]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        src.swap(&mut dst);
+    }
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::exec;
+
+    #[test]
+    fn passes_split() {
+        assert_eq!(passes(10, 4), vec![4, 4, 2]);
+        assert_eq!(passes(8, 4), vec![4, 4]);
+        assert_eq!(passes(3, 4), vec![3]);
+        assert_eq!(passes(0, 4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn matches_oracle_2d_all_radii() {
+        // Multi-block, multi-pass, uneven grid: the full machinery.
+        for rad in 1..=4 {
+            let st = Stencil2D::<f32>::random(rad, 100 + rad as u64).unwrap();
+            // partime chosen to satisfy Eq. 6: partime*rad % 4 == 0.
+            let partime = match rad {
+                1 => 4,
+                2 => 2,
+                3 => 4,
+                _ => 2,
+            };
+            let bsize = 64;
+            let cfg = BlockConfig::new_2d(rad, bsize, 4, partime).unwrap();
+            let grid = Grid2D::from_fn(101, 37, |x, y| ((x * 13 + y * 7) % 19) as f32).unwrap();
+            let iters = 2 * partime + 1; // exercises a partial pass
+            let got = run_2d(&st, &grid, &cfg, iters);
+            let expect = exec::run_2d(&st, &grid, iters);
+            assert_eq!(got, expect, "rad {rad}");
+        }
+    }
+
+    #[test]
+    fn matches_oracle_3d_all_radii() {
+        for rad in 1..=3 {
+            let st = Stencil3D::<f32>::random(rad, 200 + rad as u64).unwrap();
+            let partime = if rad == 2 { 2 } else { 4 };
+            let cfg = BlockConfig::new_3d(rad, 32, 32, 2, partime).unwrap();
+            let grid =
+                Grid3D::from_fn(21, 19, 9, |x, y, z| ((x * 3 + y * 5 + z * 11) % 23) as f32)
+                    .unwrap();
+            let iters = partime + 1;
+            let got = run_3d(&st, &grid, &cfg, iters);
+            let expect = exec::run_3d(&st, &grid, iters);
+            assert_eq!(got, expect, "rad {rad}");
+        }
+    }
+
+    #[test]
+    fn zero_iterations_is_identity() {
+        let st = Stencil2D::<f32>::uniform(1).unwrap();
+        let cfg = BlockConfig::new_2d(1, 32, 4, 4).unwrap();
+        let grid = Grid2D::from_fn(40, 10, |x, y| (x + y) as f32).unwrap();
+        assert_eq!(run_2d(&st, &grid, &cfg, 0), grid);
+    }
+
+    #[test]
+    fn paper_shaped_config_small_grid() {
+        // A miniature of the paper's 2D rad-2 configuration (parvec 4,
+        // partime scaled down, grid a multiple of csize).
+        let rad = 2;
+        let st = Stencil2D::<f32>::random(rad, 77).unwrap();
+        let cfg = BlockConfig::new_2d(rad, 64, 4, 6).unwrap();
+        assert_eq!(cfg.csize_x(), 40);
+        let nx = 3 * cfg.csize_x();
+        let grid = Grid2D::from_fn(nx, 24, |x, y| ((x ^ y) % 31) as f32).unwrap();
+        let got = run_2d(&st, &grid, &cfg, 12);
+        assert_eq!(got, exec::run_2d(&st, &grid, 12));
+    }
+
+    #[test]
+    fn grid_smaller_than_one_block() {
+        let st = Stencil2D::<f32>::random(1, 8).unwrap();
+        let cfg = BlockConfig::new_2d(1, 64, 4, 4).unwrap();
+        // nx smaller than csize: a single partial block.
+        let grid = Grid2D::from_fn(17, 9, |x, y| (x * y + 1) as f32).unwrap();
+        assert_eq!(run_2d(&st, &grid, &cfg, 5), exec::run_2d(&st, &grid, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "2D run needs a 2D config")]
+    fn dim_mismatch_panics() {
+        let st = Stencil2D::<f32>::uniform(1).unwrap();
+        let cfg = BlockConfig::new_3d(1, 32, 32, 4, 4).unwrap();
+        let grid = Grid2D::<f32>::zeros(8, 8).unwrap();
+        let _ = run_2d(&st, &grid, &cfg, 1);
+    }
+}

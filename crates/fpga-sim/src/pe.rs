@@ -1,0 +1,383 @@
+//! Processing elements — one per parallel time step.
+//!
+//! Each PE consumes the stream of rows (2D) or planes (3D) of time step
+//! `t − 1` for one spatial block, holds the last `2·rad + 1` of them in its
+//! shift register, and produces the stream of time step `t`. Taps clamp to
+//! the grid border per the paper's boundary condition; taps that fall outside
+//! the block's *read region* (possible only for halo cells whose results are
+//! discarded by overlapped blocking) clamp to the region edge, which is
+//! deterministic and never reaches a committed cell.
+
+use crate::shift_register::ShiftRegister;
+use stencil_core::{Real, Stencil2D, Stencil3D};
+
+/// Maximum supported stencil radius (generously above the paper's 4; §VI.A
+/// discusses feasibility up to 6).
+pub const MAX_RADIUS: usize = 16;
+
+/// Output rows/planes produced by a feed, tagged with their stream index.
+pub type Produced<T> = Vec<(i64, Vec<T>)>;
+
+/// A 2D processing element operating on one spatial block.
+///
+/// The block's read region starts at global column `x0` (may be negative for
+/// the left halo of the first block) and is `width` columns wide; the grid is
+/// `nx × ny`. Rows must be fed in order `0, 1, …, ny − 1`; output rows are
+/// emitted as soon as their northern taps are resident.
+#[derive(Debug, Clone)]
+pub struct Pe2D<T> {
+    stencil: Stencil2D<T>,
+    x0: i64,
+    nx: i64,
+    ny: i64,
+    width: usize,
+    sr: ShiftRegister<T>,
+    next_out: i64,
+    /// When false, the PE forwards rows unchanged — the simulator's
+    /// equivalent of a chain longer than the remaining iteration count.
+    active: bool,
+}
+
+impl<T: Real> Pe2D<T> {
+    /// Creates a PE for a block whose read region is `[x0, x0 + width)` on a
+    /// `nx × ny` grid.
+    ///
+    /// # Panics
+    /// Panics when the stencil radius exceeds [`MAX_RADIUS`], or when
+    /// `width == 0`.
+    pub fn new(stencil: Stencil2D<T>, x0: i64, width: usize, nx: usize, ny: usize) -> Self {
+        assert!(stencil.radius() <= MAX_RADIUS, "radius above MAX_RADIUS");
+        assert!(width > 0, "empty read region");
+        let rad = stencil.radius();
+        Self {
+            stencil,
+            x0,
+            nx: nx as i64,
+            ny: ny as i64,
+            width,
+            sr: ShiftRegister::new(2 * rad + 1),
+            next_out: 0,
+            active: true,
+        }
+    }
+
+    /// Deactivates the PE: it forwards its input unchanged (pass-through).
+    pub fn set_active(&mut self, active: bool) {
+        self.active = active;
+    }
+
+    /// Feeds input row `y` (global index, `0..ny`) and returns every output
+    /// row that became computable.
+    ///
+    /// # Panics
+    /// Panics when `row` has the wrong width or rows arrive out of order.
+    pub fn feed(&mut self, y: i64, row: Vec<T>) -> Produced<T> {
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        if !self.active {
+            return vec![(y, row)];
+        }
+        self.sr.push(y, row);
+        let rad = self.stencil.radius() as i64;
+        let mut out = Produced::new();
+        // Output row `o` needs input rows up to min(o + rad, ny - 1).
+        while self.next_out < self.ny && (y - self.next_out >= rad || y == self.ny - 1) {
+            out.push((self.next_out, self.compute_row(self.next_out)));
+            self.next_out += 1;
+        }
+        out
+    }
+
+    fn compute_row(&self, y: i64) -> Vec<T> {
+        let rad = self.stencil.radius();
+        let hi = self.ny - 1;
+        let cur = self.sr.get_clamped(y, 0, hi);
+        let mut west = [T::ZERO; MAX_RADIUS];
+        let mut east = [T::ZERO; MAX_RADIUS];
+        let mut south = [T::ZERO; MAX_RADIUS];
+        let mut north = [T::ZERO; MAX_RADIUS];
+        let mut out = Vec::with_capacity(self.width);
+        for j in 0..self.width {
+            let gx = self.x0 + j as i64;
+            for d in 1..=rad {
+                let di = d as i64;
+                west[d - 1] = cur[self.tap_x(gx - di)];
+                east[d - 1] = cur[self.tap_x(gx + di)];
+                south[d - 1] = self.sr.get_clamped(y - di, 0, hi)[j];
+                north[d - 1] = self.sr.get_clamped(y + di, 0, hi)[j];
+            }
+            out.push(self.stencil.apply_taps(
+                cur[j],
+                &west[..rad],
+                &east[..rad],
+                &south[..rad],
+                &north[..rad],
+            ));
+        }
+        out
+    }
+
+    /// Local index of the tap for global column `gx`: first clamp to the
+    /// grid (`[0, nx)`, the boundary condition), then to the read region
+    /// (halo-garbage containment — see module docs).
+    #[inline]
+    fn tap_x(&self, gx: i64) -> usize {
+        let clamped = gx.clamp(0, self.nx - 1);
+        (clamped - self.x0).clamp(0, self.width as i64 - 1) as usize
+    }
+}
+
+/// A 3D processing element operating on one spatial block (read region
+/// `[x0, x0+width) × [y0, y0+height)`), streaming z-planes.
+#[derive(Debug, Clone)]
+pub struct Pe3D<T> {
+    stencil: Stencil3D<T>,
+    x0: i64,
+    y0: i64,
+    nx: i64,
+    ny: i64,
+    nz: i64,
+    width: usize,
+    height: usize,
+    sr: ShiftRegister<T>,
+    next_out: i64,
+    active: bool,
+}
+
+impl<T: Real> Pe3D<T> {
+    /// Creates a PE for a 3D block on an `nx × ny × nz` grid.
+    ///
+    /// # Panics
+    /// Panics when the stencil radius exceeds [`MAX_RADIUS`], or when the
+    /// read region is empty.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        stencil: Stencil3D<T>,
+        x0: i64,
+        y0: i64,
+        width: usize,
+        height: usize,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+    ) -> Self {
+        assert!(stencil.radius() <= MAX_RADIUS, "radius above MAX_RADIUS");
+        assert!(width > 0 && height > 0, "empty read region");
+        let rad = stencil.radius();
+        Self {
+            stencil,
+            x0,
+            y0,
+            nx: nx as i64,
+            ny: ny as i64,
+            nz: nz as i64,
+            width,
+            height,
+            sr: ShiftRegister::new(2 * rad + 1),
+            next_out: 0,
+            active: true,
+        }
+    }
+
+    /// Deactivates the PE (pass-through).
+    pub fn set_active(&mut self, active: bool) {
+        self.active = active;
+    }
+
+    /// Feeds input plane `z` (row-major `width × height`) and returns every
+    /// output plane that became computable.
+    ///
+    /// # Panics
+    /// Panics when `plane` has the wrong size or planes arrive out of order.
+    pub fn feed(&mut self, z: i64, plane: Vec<T>) -> Produced<T> {
+        assert_eq!(plane.len(), self.width * self.height, "plane size mismatch");
+        if !self.active {
+            return vec![(z, plane)];
+        }
+        self.sr.push(z, plane);
+        let rad = self.stencil.radius() as i64;
+        let mut out = Produced::new();
+        while self.next_out < self.nz && (z - self.next_out >= rad || z == self.nz - 1) {
+            out.push((self.next_out, self.compute_plane(self.next_out)));
+            self.next_out += 1;
+        }
+        out
+    }
+
+    fn compute_plane(&self, z: i64) -> Vec<T> {
+        let rad = self.stencil.radius();
+        let hi = self.nz - 1;
+        let cur = self.sr.get_clamped(z, 0, hi);
+        let mut west = [T::ZERO; MAX_RADIUS];
+        let mut east = [T::ZERO; MAX_RADIUS];
+        let mut south = [T::ZERO; MAX_RADIUS];
+        let mut north = [T::ZERO; MAX_RADIUS];
+        let mut below = [T::ZERO; MAX_RADIUS];
+        let mut above = [T::ZERO; MAX_RADIUS];
+        let mut out = Vec::with_capacity(self.width * self.height);
+        for i in 0..self.height {
+            let gy = self.y0 + i as i64;
+            for j in 0..self.width {
+                let gx = self.x0 + j as i64;
+                let here = i * self.width + j;
+                for d in 1..=rad {
+                    let di = d as i64;
+                    west[d - 1] = cur[i * self.width + self.tap_x(gx - di)];
+                    east[d - 1] = cur[i * self.width + self.tap_x(gx + di)];
+                    south[d - 1] = cur[self.tap_y(gy - di) * self.width + j];
+                    north[d - 1] = cur[self.tap_y(gy + di) * self.width + j];
+                    below[d - 1] = self.sr.get_clamped(z - di, 0, hi)[here];
+                    above[d - 1] = self.sr.get_clamped(z + di, 0, hi)[here];
+                }
+                out.push(self.stencil.apply_taps(
+                    cur[here],
+                    &west[..rad],
+                    &east[..rad],
+                    &south[..rad],
+                    &north[..rad],
+                    &below[..rad],
+                    &above[..rad],
+                ));
+            }
+        }
+        out
+    }
+
+    #[inline]
+    fn tap_x(&self, gx: i64) -> usize {
+        let clamped = gx.clamp(0, self.nx - 1);
+        (clamped - self.x0).clamp(0, self.width as i64 - 1) as usize
+    }
+
+    #[inline]
+    fn tap_y(&self, gy: i64) -> usize {
+        let clamped = gy.clamp(0, self.ny - 1);
+        (clamped - self.y0).clamp(0, self.height as i64 - 1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::{exec, Grid2D, Grid3D};
+
+    /// Runs one PE over a whole grid as a single block (no halo needed) and
+    /// compares with the oracle's single step.
+    #[test]
+    fn single_pe_whole_grid_matches_oracle_2d() {
+        for rad in 1..=4 {
+            let (nx, ny) = (13, 11);
+            let st = Stencil2D::<f32>::random(rad, 21).unwrap();
+            let grid = Grid2D::from_fn(nx, ny, |x, y| ((x * 7 + y * 3) % 17) as f32).unwrap();
+            let mut pe = Pe2D::new(st.clone(), 0, nx, nx, ny);
+
+            let mut got = Grid2D::<f32>::zeros(nx, ny).unwrap();
+            for y in 0..ny {
+                let row: Vec<f32> = (0..nx).map(|x| grid.get(x, y)).collect();
+                for (oy, orow) in pe.feed(y as i64, row) {
+                    got.row_mut(oy as usize).copy_from_slice(&orow);
+                }
+            }
+
+            let expect = exec::run_2d(&st, &grid, 1);
+            assert_eq!(got, expect, "rad {rad}");
+        }
+    }
+
+    #[test]
+    fn single_pe_whole_grid_matches_oracle_3d() {
+        for rad in 1..=3 {
+            let (nx, ny, nz) = (9, 8, 10);
+            let st = Stencil3D::<f32>::random(rad, 33).unwrap();
+            let grid =
+                Grid3D::from_fn(nx, ny, nz, |x, y, z| ((x + 2 * y + 5 * z) % 13) as f32).unwrap();
+            let mut pe = Pe3D::new(st.clone(), 0, 0, nx, ny, nx, ny, nz);
+
+            let mut got = Grid3D::<f32>::zeros(nx, ny, nz).unwrap();
+            for z in 0..nz {
+                let plane: Vec<f32> = (0..ny)
+                    .flat_map(|y| (0..nx).map(move |x| (x, y)))
+                    .map(|(x, y)| grid.get(x, y, z))
+                    .collect();
+                for (oz, oplane) in pe.feed(z as i64, plane) {
+                    for y in 0..ny {
+                        for x in 0..nx {
+                            got.set(x, y, oz as usize, oplane[y * nx + x]);
+                        }
+                    }
+                }
+            }
+
+            let expect = exec::run_3d(&st, &grid, 1);
+            assert_eq!(got, expect, "rad {rad}");
+        }
+    }
+
+    #[test]
+    fn inactive_pe_is_identity() {
+        let st = Stencil2D::<f32>::uniform(2).unwrap();
+        let mut pe = Pe2D::new(st, 0, 8, 8, 4);
+        pe.set_active(false);
+        let row = vec![1.0f32; 8];
+        let out = pe.feed(0, row.clone());
+        assert_eq!(out, vec![(0, row)]);
+    }
+
+    #[test]
+    fn outputs_emitted_with_radius_lag() {
+        let st = Stencil2D::<f32>::uniform(2).unwrap();
+        let mut pe = Pe2D::new(st, 0, 4, 4, 10);
+        assert!(pe.feed(0, vec![0.0; 4]).is_empty());
+        assert!(pe.feed(1, vec![0.0; 4]).is_empty());
+        // Row 2 arrives: output row 0 (needs rows up to 0+2) is computable.
+        let out = pe.feed(2, vec![0.0; 4]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 0);
+        // Final row flushes the remaining lag.
+        for y in 3..9 {
+            assert_eq!(pe.feed(y, vec![0.0; 4]).len(), 1);
+        }
+        let out = pe.feed(9, vec![0.0; 4]);
+        assert_eq!(out.len(), 3, "rows 7, 8, 9 flush at stream end");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let st = Stencil2D::<f32>::uniform(1).unwrap();
+        let mut pe = Pe2D::new(st, 0, 4, 4, 4);
+        pe.feed(0, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn grid_clamp_beats_region_clamp_for_committed_cells() {
+        // A block whose read region sticks out past the left grid edge:
+        // the committed cells must match the oracle exactly.
+        let (nx, ny) = (12, 6);
+        let rad = 2;
+        let st = Stencil2D::<f32>::random(rad, 5).unwrap();
+        let grid = Grid2D::from_fn(nx, ny, |x, y| (x * x + y) as f32).unwrap();
+        // Read region [-3, 9): x0 = -3, width 12.
+        let (x0, width) = (-3i64, 12usize);
+        let mut pe = Pe2D::new(st.clone(), x0, width, nx, ny);
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        for y in 0..ny {
+            let row: Vec<f32> = (0..width)
+                .map(|j| grid.get_clamped(x0 as isize + j as isize, y as isize))
+                .collect();
+            for (_, orow) in pe.feed(y as i64, row) {
+                rows.push(orow);
+            }
+        }
+        let expect = exec::run_2d(&st, &grid, 1);
+        // After one step, cells at distance >= rad from the region edges are
+        // valid; check the committed interior [x0+rad .. x0+width-rad) ∩ grid.
+        for (y, orow) in rows.iter().enumerate() {
+            for (j, &val) in orow.iter().enumerate().take(width - rad).skip(rad) {
+                let gx = x0 + j as i64;
+                if (0..nx as i64).contains(&gx) {
+                    assert_eq!(val, expect.get(gx as usize, y), "cell ({gx},{y})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The collapsed single-work-item loop schedule — §III.A's HLS-specific
+//! optimizations, made explicit and testable.
+//!
+//! The naive kernel would be a triple/quadruple nest (`block → row → vector`)
+//! whose per-level counters and exit comparisons cost area and, worse,
+//! lengthen the exit-condition dependency chain. The paper applies:
+//!
+//! * **Loop collapsing** — one flat loop with a single set of counters that
+//!   carry-propagate (`vec`, then `row`, then `block`);
+//! * **Exit-condition optimization** — the loop exits on one comparison of a
+//!   single monotonically-incremented *global index* against a precomputed
+//!   trip count, "removing the dependency of the loop exit condition on the
+//!   chain of updates and comparisons on index and block variables".
+//!
+//! [`CollapsedSchedule`] is exactly that structure in iterator form: it
+//! yields the `(block, row, vector)` coordinate stream the hardware
+//! counters would produce, with the trip count known up front. The tests
+//! prove it equivalent to the nested loops it replaces.
+
+/// One pipeline iteration's coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopPoint {
+    /// Spatial block index.
+    pub block: usize,
+    /// Streamed row (or plane-row) index within the block.
+    pub row: usize,
+    /// Vector index within the row.
+    pub vec: usize,
+}
+
+/// A collapsed `blocks × rows × vectors` schedule with a single global
+/// index and carry-propagating counters.
+#[derive(Debug, Clone)]
+pub struct CollapsedSchedule {
+    blocks: usize,
+    rows: usize,
+    vectors: usize,
+    // The hardware state: one global index plus the three counters.
+    gi: u64,
+    trip_count: u64,
+    block: usize,
+    row: usize,
+    vec: usize,
+}
+
+impl CollapsedSchedule {
+    /// Creates the schedule. The trip count — the *only* value the exit
+    /// condition ever compares against — is computed once here.
+    ///
+    /// # Panics
+    /// Panics when any extent is zero.
+    pub fn new(blocks: usize, rows: usize, vectors: usize) -> Self {
+        assert!(blocks > 0 && rows > 0 && vectors > 0, "empty schedule");
+        Self {
+            blocks,
+            rows,
+            vectors,
+            gi: 0,
+            trip_count: (blocks * rows * vectors) as u64,
+            block: 0,
+            row: 0,
+            vec: 0,
+        }
+    }
+
+    /// Total pipeline iterations (the single exit-condition operand).
+    pub fn trip_count(&self) -> u64 {
+        self.trip_count
+    }
+
+    /// Schedule extents `(blocks, rows, vectors)`.
+    pub fn extents(&self) -> (usize, usize, usize) {
+        (self.blocks, self.rows, self.vectors)
+    }
+
+    /// Reconstructs the coordinates for an arbitrary global index without
+    /// iterating — the check the paper's code generator uses to verify its
+    /// counter logic.
+    pub fn coords_of(&self, gi: u64) -> Option<LoopPoint> {
+        if gi >= self.trip_count {
+            return None;
+        }
+        let gi = gi as usize;
+        let vec = gi % self.vectors;
+        let row = (gi / self.vectors) % self.rows;
+        let block = gi / (self.vectors * self.rows);
+        Some(LoopPoint { block, row, vec })
+    }
+}
+
+impl Iterator for CollapsedSchedule {
+    type Item = LoopPoint;
+
+    fn next(&mut self) -> Option<LoopPoint> {
+        // Exit condition: ONE comparison on the global index (§III.A).
+        if self.gi >= self.trip_count {
+            return None;
+        }
+        let out = LoopPoint {
+            block: self.block,
+            row: self.row,
+            vec: self.vec,
+        };
+        // Carry-propagating counter updates — off the exit-condition path.
+        self.gi += 1;
+        self.vec += 1;
+        if self.vec == self.vectors {
+            self.vec = 0;
+            self.row += 1;
+            if self.row == self.rows {
+                self.row = 0;
+                self.block += 1;
+            }
+        }
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.trip_count - self.gi) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for CollapsedSchedule {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalent_to_nested_loops() {
+        let (blocks, rows, vectors) = (3, 5, 7);
+        let collapsed: Vec<LoopPoint> = CollapsedSchedule::new(blocks, rows, vectors).collect();
+        let mut nested = Vec::new();
+        for block in 0..blocks {
+            for row in 0..rows {
+                for vec in 0..vectors {
+                    nested.push(LoopPoint { block, row, vec });
+                }
+            }
+        }
+        assert_eq!(collapsed, nested);
+    }
+
+    #[test]
+    fn trip_count_is_product() {
+        let s = CollapsedSchedule::new(4, 16096, 512);
+        assert_eq!(s.trip_count(), 4 * 16096 * 512);
+        assert_eq!(s.len(), s.trip_count() as usize);
+        assert_eq!(s.extents(), (4, 16096, 512));
+    }
+
+    #[test]
+    fn coords_of_matches_iteration() {
+        let s = CollapsedSchedule::new(2, 3, 4);
+        for (gi, p) in s.clone().enumerate() {
+            assert_eq!(s.coords_of(gi as u64), Some(p));
+        }
+        assert_eq!(s.coords_of(s.trip_count()), None);
+    }
+
+    #[test]
+    fn size_hint_shrinks() {
+        let mut s = CollapsedSchedule::new(2, 2, 2);
+        assert_eq!(s.size_hint(), (8, Some(8)));
+        s.next();
+        assert_eq!(s.size_hint(), (7, Some(7)));
+        assert_eq!(s.by_ref().count(), 7);
+    }
+
+    #[test]
+    fn single_extent_degenerates_cleanly() {
+        let points: Vec<_> = CollapsedSchedule::new(1, 1, 3).collect();
+        assert_eq!(
+            points,
+            vec![
+                LoopPoint { block: 0, row: 0, vec: 0 },
+                LoopPoint { block: 0, row: 0, vec: 1 },
+                LoopPoint { block: 0, row: 0, vec: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty schedule")]
+    fn zero_extent_panics() {
+        let _ = CollapsedSchedule::new(0, 1, 1);
+    }
+}

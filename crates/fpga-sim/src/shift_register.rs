@@ -1,0 +1,177 @@
+//! The PE-internal shift register.
+//!
+//! On the FPGA, each PE buffers its working set in one large shift register
+//! inferred into Block RAM: `2·rad·bsize_x + parvec` cells for 2D and
+//! `2·rad·bsize_x·bsize_y + parvec` for 3D (Eq. 7). Every cycle the register
+//! shifts by `parvec` cells and the stencil taps read fixed offsets.
+//!
+//! The simulator models this at *row/plane granularity*: a ring buffer of the
+//! last `2·rad + 1` rows (2D) or planes (3D), indexed by their global stream
+//! coordinate. This is semantically identical to the cell-level register —
+//! a tap at offset `d·bsize_x + k` in hardware is exactly "cell `k` of the
+//! row `d` steps behind" here — while letting the functional simulator run
+//! at memcpy speed. The *cell-level* size of Eq. 7 is still what the area
+//! model charges (see [`crate::area`]).
+
+use std::collections::VecDeque;
+
+/// Ring buffer of the most recent `capacity` rows (or planes), tagged with
+/// their global index along the streamed dimension.
+#[derive(Debug, Clone)]
+pub struct ShiftRegister<T> {
+    capacity: usize,
+    rows: VecDeque<(i64, Vec<T>)>,
+}
+
+impl<T: Clone> ShiftRegister<T> {
+    /// Creates an empty register holding up to `capacity` rows — for a
+    /// radius-`rad` stencil that is `2·rad + 1`.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            rows: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Capacity in rows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of rows currently held.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Pushes a row with its global stream index, evicting the oldest row
+    /// once full (the hardware shift).
+    ///
+    /// # Panics
+    /// Panics when indices are pushed out of order (hardware streams rows
+    /// strictly monotonically).
+    pub fn push(&mut self, index: i64, row: Vec<T>) {
+        if let Some(&(last, _)) = self.rows.back() {
+            assert!(index > last, "rows must be pushed in increasing order");
+        }
+        if self.rows.len() == self.capacity {
+            self.rows.pop_front();
+        }
+        self.rows.push_back((index, row));
+    }
+
+    /// The row with global index `index`, if still resident.
+    pub fn get(&self, index: i64) -> Option<&[T]> {
+        let &(front, _) = self.rows.front()?;
+        let off = index.checked_sub(front)?;
+        if off < 0 {
+            return None;
+        }
+        self.rows.get(off as usize).map(|(i, r)| {
+            debug_assert_eq!(*i, index);
+            r.as_slice()
+        })
+    }
+
+    /// The row with index clamped into `[lo, hi]` — the simulator-side
+    /// equivalent of the generated boundary-condition code.
+    ///
+    /// # Panics
+    /// Panics when the clamped row is not resident (a scheduling bug: the
+    /// caller asked for a tap before the register was warm).
+    pub fn get_clamped(&self, index: i64, lo: i64, hi: i64) -> &[T] {
+        let idx = index.clamp(lo, hi);
+        self.get(idx)
+            .unwrap_or_else(|| panic!("row {idx} (clamped from {index}) not resident"))
+    }
+
+    /// Index of the newest resident row.
+    pub fn newest(&self) -> Option<i64> {
+        self.rows.back().map(|&(i, _)| i)
+    }
+
+    /// Index of the oldest resident row.
+    pub fn oldest(&self) -> Option<i64> {
+        self.rows.front().map(|&(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut sr = ShiftRegister::new(3);
+        sr.push(0, vec![0.0f32]);
+        sr.push(1, vec![1.0]);
+        assert_eq!(sr.get(0), Some(&[0.0f32][..]));
+        assert_eq!(sr.get(1), Some(&[1.0f32][..]));
+        assert_eq!(sr.get(2), None);
+        assert_eq!(sr.len(), 2);
+    }
+
+    #[test]
+    fn eviction_after_capacity() {
+        let mut sr = ShiftRegister::new(3);
+        for i in 0..5 {
+            sr.push(i, vec![i as f32]);
+        }
+        assert_eq!(sr.len(), 3);
+        assert_eq!(sr.oldest(), Some(2));
+        assert_eq!(sr.newest(), Some(4));
+        assert_eq!(sr.get(1), None);
+        assert_eq!(sr.get(3), Some(&[3.0f32][..]));
+    }
+
+    #[test]
+    fn negative_indices_supported() {
+        // Leading halo rows use negative stream indices.
+        let mut sr = ShiftRegister::new(3);
+        sr.push(-2, vec![1i32]);
+        sr.push(-1, vec![2]);
+        sr.push(0, vec![3]);
+        assert_eq!(sr.get(-2), Some(&[1][..]));
+        assert_eq!(sr.get_clamped(-5, -2, 0), &[1]);
+    }
+
+    #[test]
+    fn clamped_access() {
+        let mut sr = ShiftRegister::new(5);
+        for i in 0..5 {
+            sr.push(i, vec![i as f64]);
+        }
+        assert_eq!(sr.get_clamped(-3, 0, 4), &[0.0]);
+        assert_eq!(sr.get_clamped(9, 0, 4), &[4.0]);
+        assert_eq!(sr.get_clamped(2, 0, 4), &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing order")]
+    fn out_of_order_push_panics() {
+        let mut sr = ShiftRegister::new(3);
+        sr.push(1, vec![0u8]);
+        sr.push(1, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn clamped_miss_panics() {
+        let sr = ShiftRegister::<f32>::new(3);
+        let _ = sr.get_clamped(0, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ShiftRegister::<f32>::new(0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Threaded execution of the accelerator — the structural twin of the
+//! hardware.
+//!
+//! The OpenCL design is a dataflow machine: a read kernel, `partime`
+//! replicated autorun compute kernels, and a write kernel, all running
+//! concurrently and connected by on-chip channels (Fig. 2). This module
+//! reproduces that structure literally: one thread per kernel, bounded
+//! crossbeam channels in between (bounded, like the hardware FIFOs, so
+//! back-pressure propagates).
+//!
+//! Because every PE evaluates Eq. (1) in the canonical order, the threaded
+//! executor is **bit-identical** to [`crate::functional`] — concurrency
+//! reorders nothing that matters. The property is tested below.
+
+use crate::pe::{Pe2D, Pe3D};
+use crossbeam::channel::bounded;
+use stencil_core::{BlockConfig, Dim, Grid2D, Grid3D, Real, Stencil2D, Stencil3D};
+
+/// Depth of the inter-kernel channels, mirroring the on-chip FIFO depth.
+const CHANNEL_DEPTH: usize = 8;
+
+/// Runs the 2D accelerator with one thread per kernel (read, `partime` PEs,
+/// write), per spatial block.
+///
+/// # Panics
+/// Panics when `config` is not a validated 2D configuration.
+pub fn run_2d<T: Real>(
+    stencil: &Stencil2D<T>,
+    grid: &Grid2D<T>,
+    config: &BlockConfig,
+    iters: usize,
+) -> Grid2D<T> {
+    assert_eq!(config.dim, Dim::D2, "2D run needs a 2D config");
+    assert_eq!(config.rad, stencil.radius(), "config/stencil radius mismatch");
+    config.validate().expect("invalid block configuration");
+
+    let (nx, ny) = (grid.nx(), grid.ny());
+    let mut src = grid.clone();
+    let mut dst = grid.clone();
+
+    for active in crate::functional::passes(iters, config.partime) {
+        for span in config.spans_x(nx) {
+            let x0 = span.read_start;
+            let width = span.read_len();
+
+            // Build the channel pipeline: read -> pe_0 -> ... -> pe_{n-1} -> write.
+            let (read_tx, head_rx) = bounded::<(i64, Vec<T>)>(CHANNEL_DEPTH);
+            let mut pes: Vec<Pe2D<T>> = (0..config.partime)
+                .map(|t| {
+                    let mut pe = Pe2D::new(stencil.clone(), x0 as i64, width, nx, ny);
+                    pe.set_active(t < active);
+                    pe
+                })
+                .collect();
+
+            crossbeam::scope(|s| {
+                // Read kernel.
+                let src_ref = &src;
+                s.spawn(move |_| {
+                    for y in 0..ny {
+                        let row: Vec<T> = (0..width)
+                            .map(|j| src_ref.get_clamped(x0 + j as isize, y as isize))
+                            .collect();
+                        read_tx.send((y as i64, row)).expect("pipeline hung up");
+                    }
+                    // Dropping read_tx closes the stream.
+                });
+
+                // Compute kernels (autorun PE array).
+                let mut rx = head_rx;
+                for mut pe in pes.drain(..) {
+                    let (tx, next_rx) = bounded::<(i64, Vec<T>)>(CHANNEL_DEPTH);
+                    s.spawn(move |_| {
+                        for (y, row) in rx.iter() {
+                            for out in pe.feed(y, row) {
+                                tx.send(out).expect("pipeline hung up");
+                            }
+                        }
+                    });
+                    rx = next_rx;
+                }
+
+                // Write kernel (runs on this thread; it owns `dst`).
+                for (oy, orow) in rx.iter() {
+                    let oy = oy as usize;
+                    for gx in span.comp_start..span.comp_end {
+                        dst.set(gx, oy, orow[(gx as isize - x0) as usize]);
+                    }
+                }
+            })
+            .expect("a pipeline thread panicked");
+        }
+        src.swap(&mut dst);
+    }
+    src
+}
+
+/// Runs the 3D accelerator with one thread per kernel, per spatial block.
+///
+/// # Panics
+/// Panics when `config` is not a validated 3D configuration.
+pub fn run_3d<T: Real>(
+    stencil: &Stencil3D<T>,
+    grid: &Grid3D<T>,
+    config: &BlockConfig,
+    iters: usize,
+) -> Grid3D<T> {
+    assert_eq!(config.dim, Dim::D3, "3D run needs a 3D config");
+    assert_eq!(config.rad, stencil.radius(), "config/stencil radius mismatch");
+    config.validate().expect("invalid block configuration");
+
+    let (nx, ny, nz) = (grid.nx(), grid.ny(), grid.nz());
+    let mut src = grid.clone();
+    let mut dst = grid.clone();
+
+    for active in crate::functional::passes(iters, config.partime) {
+        for sy in config.spans_y(ny) {
+            for sx in config.spans_x(nx) {
+                let (x0, y0) = (sx.read_start, sy.read_start);
+                let (width, height) = (sx.read_len(), sy.read_len());
+
+                let (read_tx, head_rx) = bounded::<(i64, Vec<T>)>(CHANNEL_DEPTH);
+                let mut pes: Vec<Pe3D<T>> = (0..config.partime)
+                    .map(|t| {
+                        let mut pe = Pe3D::new(
+                            stencil.clone(),
+                            x0 as i64,
+                            y0 as i64,
+                            width,
+                            height,
+                            nx,
+                            ny,
+                            nz,
+                        );
+                        pe.set_active(t < active);
+                        pe
+                    })
+                    .collect();
+
+                crossbeam::scope(|s| {
+                    let src_ref = &src;
+                    s.spawn(move |_| {
+                        for z in 0..nz {
+                            let mut plane = Vec::with_capacity(width * height);
+                            for i in 0..height {
+                                let gy = y0 + i as isize;
+                                for j in 0..width {
+                                    plane.push(src_ref.get_clamped(
+                                        x0 + j as isize,
+                                        gy,
+                                        z as isize,
+                                    ));
+                                }
+                            }
+                            read_tx.send((z as i64, plane)).expect("pipeline hung up");
+                        }
+                    });
+
+                    let mut rx = head_rx;
+                    for mut pe in pes.drain(..) {
+                        let (tx, next_rx) = bounded::<(i64, Vec<T>)>(CHANNEL_DEPTH);
+                        s.spawn(move |_| {
+                            for (z, plane) in rx.iter() {
+                                for out in pe.feed(z, plane) {
+                                    tx.send(out).expect("pipeline hung up");
+                                }
+                            }
+                        });
+                        rx = next_rx;
+                    }
+
+                    for (oz, oplane) in rx.iter() {
+                        let oz = oz as usize;
+                        for gy in sy.comp_start..sy.comp_end {
+                            let i = (gy as isize - y0) as usize;
+                            for gx in sx.comp_start..sx.comp_end {
+                                let j = (gx as isize - x0) as usize;
+                                dst.set(gx, gy, oz, oplane[i * width + j]);
+                            }
+                        }
+                    }
+                })
+                .expect("a pipeline thread panicked");
+            }
+        }
+        src.swap(&mut dst);
+    }
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional;
+    use stencil_core::exec;
+
+    #[test]
+    fn threaded_equals_functional_equals_oracle_2d() {
+        for rad in 1..=3 {
+            let st = Stencil2D::<f32>::random(rad, 300 + rad as u64).unwrap();
+            let partime = 4;
+            let cfg = BlockConfig::new_2d(rad, 64, 4, partime).unwrap();
+            let grid = Grid2D::from_fn(90, 33, |x, y| ((x * 5 + y * 3) % 29) as f32).unwrap();
+            let iters = partime + 2;
+            let t = run_2d(&st, &grid, &cfg, iters);
+            let f = functional::run_2d(&st, &grid, &cfg, iters);
+            let o = exec::run_2d(&st, &grid, iters);
+            assert_eq!(t, f, "threaded != functional, rad {rad}");
+            assert_eq!(t, o, "threaded != oracle, rad {rad}");
+        }
+    }
+
+    #[test]
+    fn threaded_equals_functional_equals_oracle_3d() {
+        let rad = 2;
+        let st = Stencil3D::<f32>::random(rad, 500).unwrap();
+        let cfg = BlockConfig::new_3d(rad, 24, 24, 2, 2).unwrap();
+        let grid = Grid3D::from_fn(30, 26, 11, |x, y, z| ((x + y * 2 + z * 7) % 13) as f32)
+            .unwrap();
+        let iters = 5;
+        let t = run_3d(&st, &grid, &cfg, iters);
+        let f = functional::run_3d(&st, &grid, &cfg, iters);
+        let o = exec::run_3d(&st, &grid, iters);
+        assert_eq!(t, f);
+        assert_eq!(t, o);
+    }
+
+    #[test]
+    fn deep_chain_back_pressure_does_not_deadlock() {
+        // Chain longer than the channel depth; narrow grid.
+        let st = Stencil2D::<f32>::uniform(1).unwrap();
+        let cfg = BlockConfig::new_2d(1, 128, 2, 16).unwrap();
+        let grid = Grid2D::from_fn(96, 64, |x, y| (x + y) as f32).unwrap();
+        let got = run_2d(&st, &grid, &cfg, 16);
+        assert_eq!(got, exec::run_2d(&st, &grid, 16));
+    }
+}

@@ -1,0 +1,82 @@
+//! Host ↔ device transfer model.
+//!
+//! §IV.C: "For the FPGA platform, we only measure kernel execution time and
+//! ignore data transfer time between host and device." This module makes
+//! that decision checkable: a PCIe Gen3 ×8 model (the 385A's link) for the
+//! one-time upload/download around a multi-iteration run.
+
+use serde::{Deserialize, Serialize};
+
+/// A host↔device link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostLink {
+    /// Sustained effective bandwidth, GB/s (after protocol overhead).
+    pub effective_gbps: f64,
+    /// Per-transfer latency/setup cost, seconds.
+    pub setup_s: f64,
+}
+
+impl HostLink {
+    /// PCIe Gen3 ×8 (the Nallatech 385A): 7.88 GB/s raw, ~6.5 GB/s
+    /// sustained with a pinned-buffer DMA, ~20 µs setup.
+    pub fn pcie_gen3_x8() -> Self {
+        Self {
+            effective_gbps: 6.5,
+            setup_s: 20e-6,
+        }
+    }
+
+    /// Seconds to move `bytes` one way.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.setup_s + bytes as f64 / (self.effective_gbps * 1e9)
+    }
+
+    /// Fraction of total wall time spent on the input upload + output
+    /// download around a kernel run of `kernel_seconds`.
+    pub fn transfer_share(&self, grid_bytes: u64, kernel_seconds: f64) -> f64 {
+        assert!(kernel_seconds > 0.0);
+        let t = 2.0 * self.transfer_seconds(grid_bytes);
+        t / (t + kernel_seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabyte_upload_is_subsecond() {
+        let link = HostLink::pcie_gen3_x8();
+        let t = link.transfer_seconds(1 << 30);
+        assert!(t > 0.1 && t < 0.3, "{t}");
+    }
+
+    #[test]
+    fn transfers_negligible_at_paper_iteration_counts() {
+        // 2D rad 1: 16096² f32 ≈ 1.04 GB, kernel ≈ 28 s (sim) for 1000
+        // iterations: transfers are ~1% — the paper's omission is sound.
+        let link = HostLink::pcie_gen3_x8();
+        let grid_bytes = 16096u64 * 16096 * 4;
+        let share = link.transfer_share(grid_bytes, 28.0);
+        assert!(share < 0.02, "{share}");
+
+        // 3D: 696·728·696 ≈ 1.41 GB, kernel ≈ 30+ s.
+        let grid_bytes = 696u64 * 728 * 696 * 4;
+        assert!(link.transfer_share(grid_bytes, 30.0) < 0.02);
+    }
+
+    #[test]
+    fn transfers_matter_for_single_iterations() {
+        // The omission would NOT be sound for a single time step.
+        let link = HostLink::pcie_gen3_x8();
+        let grid_bytes = 16096u64 * 16096 * 4;
+        let share = link.transfer_share(grid_bytes, 28.0 / 1000.0);
+        assert!(share > 0.5, "{share}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_kernel_time_panics() {
+        let _ = HostLink::pcie_gen3_x8().transfer_share(1, 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Host-side launch description: buffer sizes, vector counts and kernel
+//! arguments the host program would pass for a given problem.
+
+use stencil_core::{BlockConfig, Dim};
+
+/// Everything the host needs to launch one pass of the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchPlan {
+    /// Cells in the (padded) input buffer.
+    pub input_cells: usize,
+    /// Cells in the output buffer.
+    pub output_cells: usize,
+    /// Vectors the read kernel streams per pass (includes halos and the
+    /// chain fill/drain).
+    pub read_vectors: usize,
+    /// Vectors the write kernel drains per pass.
+    pub write_vectors: usize,
+    /// Number of spatial blocks per pass.
+    pub blocks: usize,
+    /// Passes needed for `iters` iterations.
+    pub passes: usize,
+}
+
+/// Builds the launch plan for a problem.
+///
+/// # Panics
+/// Panics when the config is invalid or dimensions don't match.
+pub fn plan(config: &BlockConfig, nx: usize, ny: usize, nz: usize, iters: usize) -> LaunchPlan {
+    config.validate().expect("invalid configuration");
+    let halo = config.halo();
+    let (blocks, read_rows_per_block, grid_cells) = match config.dim {
+        Dim::D2 => {
+            assert_eq!(nz, 0, "2D plans take nz = 0");
+            (config.spans_x(nx).len(), ny, nx * ny)
+        }
+        Dim::D3 => (
+            config.spans_x(nx).len() * config.spans_y(ny).len(),
+            nz,
+            nx * ny * nz,
+        ),
+    };
+    let read_width = match config.dim {
+        Dim::D2 => config.bsize_x,
+        Dim::D3 => config.bsize_x * config.bsize_y,
+    };
+    let vectors_per_row = read_width.div_ceil(config.parvec);
+    let read_vectors = blocks * (read_rows_per_block + halo) * vectors_per_row;
+    LaunchPlan {
+        input_cells: grid_cells + 2 * halo * (ny.max(1)).max(1),
+        output_cells: grid_cells,
+        read_vectors,
+        write_vectors: blocks * read_rows_per_block * vectors_per_row,
+        blocks,
+        passes: iters.div_ceil(config.partime).max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_2d_rad1_plan() {
+        let cfg = BlockConfig::new_2d(1, 4096, 8, 36).unwrap();
+        let p = plan(&cfg, 16096, 16096, 0, 1000);
+        assert_eq!(p.blocks, 4);
+        assert_eq!(p.passes, 28); // ceil(1000/36)
+        assert!(p.read_vectors > p.write_vectors);
+        assert_eq!(p.output_cells, 16096 * 16096);
+    }
+
+    #[test]
+    fn paper_3d_rad2_plan() {
+        let cfg = BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap();
+        let p = plan(&cfg, 696, 728, 696, 1000);
+        assert_eq!(p.blocks, 3 * 7);
+        assert_eq!(p.passes, 167); // ceil(1000/6)
+    }
+
+    #[test]
+    fn one_pass_when_iters_below_partime() {
+        let cfg = BlockConfig::new_2d(1, 64, 2, 4).unwrap();
+        let p = plan(&cfg, 128, 64, 0, 3);
+        assert_eq!(p.passes, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "2D plans take nz = 0")]
+    fn wrong_dims_panic() {
+        let cfg = BlockConfig::new_2d(1, 64, 2, 4).unwrap();
+        let _ = plan(&cfg, 128, 64, 9, 3);
+    }
+}

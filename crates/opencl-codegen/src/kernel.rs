@@ -1,0 +1,477 @@
+//! Generation of the full parameterised OpenCL kernel file.
+//!
+//! The emitted source mirrors the paper's design (Fig. 2): a `read` kernel
+//! streaming vectors from global memory into a channel, `PAR_TIME`
+//! replicated `autorun` compute kernels each holding the Eq. 7 shift
+//! register, and a `write` kernel draining the chain. All performance knobs
+//! and the stencil radius are compile-time macros, exactly as §III.B
+//! requires ("apart from performance knobs, stencil radius is also
+//! parameterized"), so a new stencil order is "just one compilation
+//! parameter".
+//!
+//! The accumulation is emitted in the canonical Eq. (1) order (center, then
+//! W, E, S, N(, B, A) per distance) with one fused multiply-add per term —
+//! the `4·rad + 1` / `6·rad + 1` DSP structure of §V.A.
+
+use crate::boundary;
+use std::fmt::Write;
+use stencil_core::{BlockConfig, Dim};
+
+/// A generated OpenCL translation unit plus its compile-time definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSource {
+    /// The `.cl` file contents.
+    pub source: String,
+    /// `-D` macro definitions for `aoc` (name, value).
+    pub defines: Vec<(String, String)>,
+}
+
+impl KernelSource {
+    /// The `aoc` command line that would build this kernel.
+    pub fn aoc_command(&self, out_name: &str) -> String {
+        let defs: Vec<String> = self
+            .defines
+            .iter()
+            .map(|(k, v)| format!("-D{k}={v}"))
+            .collect();
+        format!(
+            "aoc stencil.cl -o {out_name}.aocx {} -fp-relaxed=false --board p385a_sch_ax115",
+            defs.join(" ")
+        )
+    }
+}
+
+/// Generates the kernel file for a configuration.
+///
+/// # Panics
+/// Panics when the configuration is invalid.
+pub fn generate(config: &BlockConfig) -> KernelSource {
+    config.validate().expect("invalid configuration");
+    match config.dim {
+        Dim::D2 => generate_2d(config),
+        Dim::D3 => generate_3d(config),
+    }
+}
+
+fn defines_common(config: &BlockConfig) -> Vec<(String, String)> {
+    let mut d = vec![
+        ("RAD".to_string(), config.rad.to_string()),
+        ("BSIZE_X".to_string(), config.bsize_x.to_string()),
+        ("PAR_VEC".to_string(), config.parvec.to_string()),
+        ("PAR_TIME".to_string(), config.partime.to_string()),
+        ("HALO".to_string(), config.halo().to_string()),
+        ("CSIZE_X".to_string(), config.csize_x().to_string()),
+    ];
+    if config.dim == Dim::D3 {
+        d.push(("BSIZE_Y".to_string(), config.bsize_y.to_string()));
+        d.push(("CSIZE_Y".to_string(), config.csize_y().to_string()));
+    }
+    d
+}
+
+fn header(src: &mut String, config: &BlockConfig) {
+    writeln!(src, "// Auto-generated high-order stencil kernel (radius {}).", config.rad).unwrap();
+    writeln!(src, "// Design: combined spatial/temporal blocking, overlapped blocks,").unwrap();
+    writeln!(src, "// read -> PE chain (autorun) -> write, per Zohouri et al. 2018.").unwrap();
+    writeln!(src, "#pragma OPENCL EXTENSION cl_intel_channels : enable").unwrap();
+    writeln!(src).unwrap();
+    writeln!(src, "typedef struct {{ float lane[PAR_VEC]; }} vec_t;").unwrap();
+    writeln!(src).unwrap();
+    writeln!(src, "channel vec_t ch_pipe[PAR_TIME + 1] __attribute__((depth(256)));").unwrap();
+    writeln!(src).unwrap();
+}
+
+fn coefficient_macros(src: &mut String, config: &BlockConfig) {
+    // Coefficients arrive as -D macros too: CC plus per-distance CW_i, CE_i,
+    // CS_i, CN_i (, CB_i, CA_i). Defaults keep the file compilable alone.
+    writeln!(src, "#ifndef CC").unwrap();
+    writeln!(src, "#define CC 0.5f").unwrap();
+    writeln!(src, "#endif").unwrap();
+    let dirs: &[&str] = match config.dim {
+        Dim::D2 => &["CW", "CE", "CS", "CN"],
+        Dim::D3 => &["CW", "CE", "CS", "CN", "CB", "CA"],
+    };
+    for d in 1..=config.rad {
+        for dir in dirs {
+            writeln!(src, "#ifndef {dir}_{d}").unwrap();
+            writeln!(src, "#define {dir}_{d} 0.1f").unwrap();
+            writeln!(src, "#endif").unwrap();
+        }
+    }
+    writeln!(src).unwrap();
+}
+
+fn read_kernel(src: &mut String, three_d: bool) {
+    writeln!(src, "__kernel void read_kernel(__global const float* restrict input,").unwrap();
+    writeln!(src, "                          const int total_vectors) {{").unwrap();
+    writeln!(src, "  // Exit-condition optimization (§III.A): a single global index").unwrap();
+    writeln!(src, "  // accumulator replaces the chained block/index comparisons.").unwrap();
+    writeln!(src, "  for (long gi = 0; gi < total_vectors; gi++) {{").unwrap();
+    writeln!(src, "    vec_t v;").unwrap();
+    writeln!(src, "    #pragma unroll").unwrap();
+    writeln!(src, "    for (int l = 0; l < PAR_VEC; l++) {{").unwrap();
+    writeln!(src, "      v.lane[l] = input[gi * PAR_VEC + l];").unwrap();
+    writeln!(src, "    }}").unwrap();
+    writeln!(src, "    write_channel_intel(ch_pipe[0], v);").unwrap();
+    writeln!(src, "  }}").unwrap();
+    writeln!(src, "}}").unwrap();
+    writeln!(src).unwrap();
+    let _ = three_d;
+}
+
+fn write_kernel(src: &mut String) {
+    writeln!(src, "__kernel void write_kernel(__global float* restrict output,").unwrap();
+    writeln!(src, "                           const int total_vectors) {{").unwrap();
+    writeln!(src, "  for (long gi = 0; gi < total_vectors; gi++) {{").unwrap();
+    writeln!(src, "    vec_t v = read_channel_intel(ch_pipe[PAR_TIME]);").unwrap();
+    writeln!(src, "    #pragma unroll").unwrap();
+    writeln!(src, "    for (int l = 0; l < PAR_VEC; l++) {{").unwrap();
+    writeln!(src, "      output[gi * PAR_VEC + l] = v.lane[l];").unwrap();
+    writeln!(src, "    }}").unwrap();
+    writeln!(src, "  }}").unwrap();
+    writeln!(src, "}}").unwrap();
+}
+
+/// Emits the canonical-order accumulation for one lane.
+fn accumulation(src: &mut String, config: &BlockConfig, lane: usize) {
+    writeln!(src, "    float acc{lane} = CC * sr[sr_center_l{lane}];").unwrap();
+    for d in 1..=config.rad {
+        writeln!(src, "    acc{lane} += CW_{d} * west_{d}_l{lane};").unwrap();
+        writeln!(src, "    acc{lane} += CE_{d} * east_{d}_l{lane};").unwrap();
+        writeln!(src, "    acc{lane} += CS_{d} * south_{d}_l{lane};").unwrap();
+        writeln!(src, "    acc{lane} += CN_{d} * north_{d}_l{lane};").unwrap();
+        if config.dim == Dim::D3 {
+            writeln!(src, "    acc{lane} += CB_{d} * below_{d}_l{lane};").unwrap();
+            writeln!(src, "    acc{lane} += CA_{d} * above_{d}_l{lane};").unwrap();
+        }
+    }
+}
+
+fn generate_2d(config: &BlockConfig) -> KernelSource {
+    let mut src = String::new();
+    header(&mut src, config);
+    coefficient_macros(&mut src, config);
+
+    writeln!(src, "#define SR_SIZE (2 * RAD * BSIZE_X + PAR_VEC)").unwrap();
+    writeln!(src).unwrap();
+    read_kernel(&mut src, false);
+
+    writeln!(src, "__attribute__((max_global_work_dim(0)))").unwrap();
+    writeln!(src, "__attribute__((autorun))").unwrap();
+    writeln!(src, "__attribute__((num_compute_units(PAR_TIME)))").unwrap();
+    writeln!(src, "__kernel void compute_kernel() {{").unwrap();
+    writeln!(src, "  const int pe = get_compute_id(0);").unwrap();
+    writeln!(src, "  float sr[SR_SIZE];  // Eq. 7 shift register, in Block RAM").unwrap();
+    writeln!(src, "  while (1) {{").unwrap();
+    writeln!(src, "    vec_t in = read_channel_intel(ch_pipe[pe]);").unwrap();
+    writeln!(src, "    // Loop collapsing (§III.A): x/y/block counters are maintained").unwrap();
+    writeln!(src, "    // flat; shift by PAR_VEC each iteration.").unwrap();
+    writeln!(src, "    #pragma unroll").unwrap();
+    writeln!(src, "    for (int i = 0; i < SR_SIZE - PAR_VEC; i++) {{").unwrap();
+    writeln!(src, "      sr[i] = sr[i + PAR_VEC];").unwrap();
+    writeln!(src, "    }}").unwrap();
+    writeln!(src, "    #pragma unroll").unwrap();
+    writeln!(src, "    for (int l = 0; l < PAR_VEC; l++) {{").unwrap();
+    writeln!(src, "      sr[SR_SIZE - PAR_VEC + l] = in.lane[l];").unwrap();
+    writeln!(src, "    }}").unwrap();
+    writeln!(src, "    vec_t out;").unwrap();
+
+    for lane in 0..config.parvec {
+        writeln!(src, "    // ---- lane {lane} ----").unwrap();
+        writeln!(src, "    const int gx{lane} = gx_base + {lane};").unwrap();
+        writeln!(src, "    const int sr_center_l{lane} = RAD * BSIZE_X + {lane};").unwrap();
+        for tap in boundary::x_taps(config.rad, lane) {
+            src.push_str(&tap.code);
+        }
+        for tap in boundary::stream_taps(config.rad, lane, "NY", "gy", "BSIZE_X", "south", "north")
+        {
+            src.push_str(&tap.code);
+        }
+        accumulation(&mut src, config, lane);
+        writeln!(src, "    out.lane[{lane}] = acc{lane};").unwrap();
+    }
+
+    writeln!(src, "    write_channel_intel(ch_pipe[pe + 1], out);").unwrap();
+    writeln!(src, "  }}").unwrap();
+    writeln!(src, "}}").unwrap();
+    writeln!(src).unwrap();
+    write_kernel(&mut src);
+
+    KernelSource {
+        source: src,
+        defines: defines_common(config),
+    }
+}
+
+fn generate_3d(config: &BlockConfig) -> KernelSource {
+    let mut src = String::new();
+    header(&mut src, config);
+    coefficient_macros(&mut src, config);
+
+    writeln!(src, "#define PLANE (BSIZE_X * BSIZE_Y)").unwrap();
+    writeln!(src, "#define SR_SIZE (2 * RAD * PLANE + PAR_VEC)").unwrap();
+    writeln!(src).unwrap();
+    read_kernel(&mut src, true);
+
+    writeln!(src, "__attribute__((max_global_work_dim(0)))").unwrap();
+    writeln!(src, "__attribute__((autorun))").unwrap();
+    writeln!(src, "__attribute__((num_compute_units(PAR_TIME)))").unwrap();
+    writeln!(src, "__kernel void compute_kernel() {{").unwrap();
+    writeln!(src, "  const int pe = get_compute_id(0);").unwrap();
+    writeln!(src, "  float sr[SR_SIZE];").unwrap();
+    writeln!(src, "  while (1) {{").unwrap();
+    writeln!(src, "    vec_t in = read_channel_intel(ch_pipe[pe]);").unwrap();
+    writeln!(src, "    #pragma unroll").unwrap();
+    writeln!(src, "    for (int i = 0; i < SR_SIZE - PAR_VEC; i++) {{").unwrap();
+    writeln!(src, "      sr[i] = sr[i + PAR_VEC];").unwrap();
+    writeln!(src, "    }}").unwrap();
+    writeln!(src, "    #pragma unroll").unwrap();
+    writeln!(src, "    for (int l = 0; l < PAR_VEC; l++) {{").unwrap();
+    writeln!(src, "      sr[SR_SIZE - PAR_VEC + l] = in.lane[l];").unwrap();
+    writeln!(src, "    }}").unwrap();
+    writeln!(src, "    vec_t out;").unwrap();
+
+    for lane in 0..config.parvec {
+        writeln!(src, "    // ---- lane {lane} ----").unwrap();
+        writeln!(src, "    const int gx{lane} = gx_base + {lane};").unwrap();
+        writeln!(src, "    const int sr_center_l{lane} = RAD * PLANE + {lane};").unwrap();
+        for tap in boundary::x_taps(config.rad, lane) {
+            src.push_str(&tap.code);
+        }
+        for tap in boundary::y_taps_3d(config.rad, lane) {
+            src.push_str(&tap.code);
+        }
+        for tap in boundary::stream_taps(config.rad, lane, "NZ", "gz", "PLANE", "below", "above") {
+            src.push_str(&tap.code);
+        }
+        accumulation(&mut src, config, lane);
+        writeln!(src, "    out.lane[{lane}] = acc{lane};").unwrap();
+    }
+
+    writeln!(src, "    write_channel_intel(ch_pipe[pe + 1], out);").unwrap();
+    writeln!(src, "  }}").unwrap();
+    writeln!(src, "}}").unwrap();
+    writeln!(src).unwrap();
+    write_kernel(&mut src);
+
+    KernelSource {
+        source: src,
+        defines: defines_common(config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg2(rad: usize) -> BlockConfig {
+        // partime = 4 keeps Eq. 6 satisfied for every radius.
+        BlockConfig::new_2d(rad, 4096, 4, 4).unwrap()
+    }
+
+    #[test]
+    fn generates_for_every_paper_config() {
+        let configs = [
+            BlockConfig::new_2d(1, 4096, 8, 36).unwrap(),
+            BlockConfig::new_2d(2, 4096, 4, 42).unwrap(),
+            BlockConfig::new_2d(3, 4096, 4, 28).unwrap(),
+            BlockConfig::new_2d(4, 4096, 4, 22).unwrap(),
+            BlockConfig::new_3d(1, 256, 256, 16, 12).unwrap(),
+            BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap(),
+            BlockConfig::new_3d(3, 256, 128, 16, 4).unwrap(),
+            BlockConfig::new_3d(4, 256, 128, 16, 3).unwrap(),
+        ];
+        for c in configs {
+            let k = generate(&c);
+            assert!(k.source.contains("__attribute__((autorun))"), "{c:?}");
+            assert!(k.source.contains("num_compute_units(PAR_TIME)"));
+            assert!(balanced_braces(&k.source), "{c:?}");
+        }
+    }
+
+    fn balanced_braces(s: &str) -> bool {
+        let mut depth = 0i64;
+        for ch in s.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+            if depth < 0 {
+                return false;
+            }
+        }
+        depth == 0
+    }
+
+    #[test]
+    fn radius_is_a_single_compile_parameter() {
+        let k = generate(&cfg2(1));
+        assert!(k.defines.iter().any(|(n, v)| n == "RAD" && v == "1"));
+        let k = generate(&BlockConfig::new_2d(3, 4096, 4, 4).unwrap());
+        assert!(k.defines.iter().any(|(n, v)| n == "RAD" && v == "3"));
+    }
+
+    #[test]
+    fn accumulation_is_canonical_order() {
+        let k = generate(&BlockConfig::new_2d(2, 64, 2, 2).unwrap());
+        let s = &k.source;
+        // For lane 0: CC first, then CW_1, CE_1, CS_1, CN_1, CW_2, ...
+        let order = [
+            "CC * sr[sr_center_l0]",
+            "CW_1 * west_1_l0",
+            "CE_1 * east_1_l0",
+            "CS_1 * south_1_l0",
+            "CN_1 * north_1_l0",
+            "CW_2 * west_2_l0",
+        ];
+        let mut pos = 0;
+        for pat in order {
+            let found = s[pos..].find(pat).unwrap_or_else(|| panic!("missing {pat}"));
+            pos += found;
+        }
+    }
+
+    #[test]
+    fn flop_term_count_matches_table1() {
+        // Number of `acc0 +=` statements per lane = FLOPs/2 rounded: the
+        // 2·rad·dirs fused terms; plus the center multiply.
+        for rad in 1..=4 {
+            let k = generate(&BlockConfig::new_2d(rad, 64, 2, 4).unwrap());
+            let adds = k.source.matches("acc0 +=").count();
+            assert_eq!(adds, 4 * rad, "2D rad {rad}");
+            let k3 = generate(&BlockConfig::new_3d(rad, 64, 64, 2, 4).unwrap());
+            let adds = k3.source.matches("acc0 +=").count();
+            assert_eq!(adds, 6 * rad, "3D rad {rad}");
+        }
+    }
+
+    #[test]
+    fn three_d_kernel_has_plane_shift_register() {
+        let k = generate(&BlockConfig::new_3d(2, 64, 32, 2, 2).unwrap());
+        assert!(k.source.contains("#define PLANE (BSIZE_X * BSIZE_Y)"));
+        assert!(k.source.contains("SR_SIZE (2 * RAD * PLANE + PAR_VEC)"));
+        assert!(k.source.contains("below_1_l0"));
+        assert!(k.source.contains("above_2_l1"));
+    }
+
+    #[test]
+    fn defines_cover_all_knobs() {
+        let k = generate(&BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap());
+        for name in ["RAD", "BSIZE_X", "BSIZE_Y", "PAR_VEC", "PAR_TIME", "HALO", "CSIZE_X", "CSIZE_Y"] {
+            assert!(k.defines.iter().any(|(n, _)| n == name), "missing {name}");
+        }
+        let cmd = k.aoc_command("stencil_r2");
+        assert!(cmd.contains("-DRAD=2"));
+        assert!(cmd.contains("-DPAR_TIME=6"));
+        assert!(cmd.contains("stencil_r2.aocx"));
+    }
+
+    #[test]
+    fn lane_count_matches_parvec() {
+        let k = generate(&BlockConfig::new_2d(1, 64, 8, 4).unwrap());
+        for lane in 0..8 {
+            assert!(k.source.contains(&format!("out.lane[{lane}] = acc{lane};")));
+        }
+        assert!(!k.source.contains("acc8"));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let c = BlockConfig::new_3d(3, 128, 64, 4, 4).unwrap();
+        assert_eq!(generate(&c), generate(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid configuration")]
+    fn invalid_config_panics() {
+        let bad = BlockConfig {
+            dim: Dim::D2,
+            rad: 1,
+            bsize_x: 63,
+            bsize_y: 0,
+            parvec: 2,
+            partime: 4,
+        };
+        let _ = generate(&bad);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_config() -> impl Strategy<Value = BlockConfig> {
+        (1usize..=8, 0usize..3, 1usize..=3, any::<bool>()).prop_map(
+            |(rad, pv_idx, pt_mult, three_d)| {
+                let parvec = [2usize, 4, 8][pv_idx];
+                let step = 4 / gcd(rad, 4);
+                let partime = step * pt_mult;
+                let need = 2 * partime * rad + 8;
+                let bsize = need.div_ceil(parvec) * parvec * 2;
+                if three_d {
+                    BlockConfig::new_3d(rad, bsize, bsize, parvec, partime).unwrap()
+                } else {
+                    BlockConfig::new_2d(rad, bsize, parvec, partime).unwrap()
+                }
+            },
+        )
+    }
+
+    fn gcd(a: usize, b: usize) -> usize {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+
+    fn brace_depth_ok(s: &str) -> bool {
+        let mut depth = 0i64;
+        for ch in s.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+            if depth < 0 {
+                return false;
+            }
+        }
+        depth == 0
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Every legal configuration generates structurally sound OpenCL:
+        /// balanced braces, one accumulator per lane, the full macro set,
+        /// and per-distance taps for every direction.
+        #[test]
+        fn generated_kernels_are_well_formed(cfg in arb_config()) {
+            let k = generate(&cfg);
+            prop_assert!(brace_depth_ok(&k.source));
+            // One accumulator per lane, none beyond.
+            for lane in 0..cfg.parvec {
+                let stmt = format!("out.lane[{lane}] = acc{lane};");
+                prop_assert!(k.source.contains(&stmt));
+            }
+            let beyond = format!("acc{}", cfg.parvec);
+            prop_assert!(!k.source.contains(&beyond));
+            // Tap variables for the outermost ring exist on lane 0.
+            let rad = cfg.rad;
+            let west = format!("west_{rad}_l0");
+            let north = format!("north_{rad}_l0");
+            prop_assert!(k.source.contains(&west));
+            prop_assert!(k.source.contains(&north));
+            if cfg.dim == Dim::D3 {
+                let above = format!("above_{rad}_l0");
+                prop_assert!(k.source.contains(&above));
+            }
+            // The FLOP structure: acc0 += count equals dirs*rad.
+            let dirs = match cfg.dim { Dim::D2 => 4, Dim::D3 => 6 };
+            prop_assert_eq!(k.source.matches("acc0 +=").count(), dirs * rad);
+        }
+    }
+}

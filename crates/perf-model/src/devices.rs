@@ -1,0 +1,157 @@
+//! The cross-platform device catalog — Table II of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Device category (affects which experiments a device participates in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// FPGA boards.
+    Fpga,
+    /// Multicore CPUs.
+    Cpu,
+    /// Many-core processors (Xeon Phi).
+    Manycore,
+    /// GPUs.
+    Gpu,
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Category.
+    pub kind: DeviceKind,
+    /// Peak single-precision compute, GFLOP/s.
+    pub peak_gflops: f64,
+    /// Peak external memory bandwidth, GB/s.
+    pub peak_gbps: f64,
+    /// Thermal design power, watts.
+    pub tdp_watts: f64,
+    /// Process node, nm.
+    pub node_nm: u32,
+    /// Release year.
+    pub year: u32,
+}
+
+impl Device {
+    /// Device FLOP-to-byte ratio (Table II rightmost column).
+    pub fn flop_byte_ratio(&self) -> f64 {
+        self.peak_gflops / self.peak_gbps
+    }
+}
+
+/// Arria 10 GX 1150 (the paper's FPGA platform).
+pub const ARRIA10: Device = Device {
+    name: "Arria 10 GX 1150",
+    kind: DeviceKind::Fpga,
+    peak_gflops: 1450.0,
+    peak_gbps: 34.1,
+    tdp_watts: 70.0,
+    node_nm: 20,
+    year: 2014,
+};
+
+/// Xeon E5-2650 v4 (12 cores, quad-channel DDR4-2400).
+pub const XEON: Device = Device {
+    name: "Xeon E5-2650 v4",
+    kind: DeviceKind::Cpu,
+    peak_gflops: 700.0,
+    peak_gbps: 76.8,
+    tdp_watts: 105.0,
+    node_nm: 14,
+    year: 2016,
+};
+
+/// Xeon Phi 7210F (64 cores, MCDRAM flat mode).
+pub const XEON_PHI: Device = Device {
+    name: "Xeon Phi 7210F",
+    kind: DeviceKind::Manycore,
+    peak_gflops: 5325.0,
+    peak_gbps: 400.0,
+    tdp_watts: 235.0,
+    node_nm: 14,
+    year: 2016,
+};
+
+/// NVIDIA GTX 580 (Tang et al.'s measurement platform).
+pub const GTX580: Device = Device {
+    name: "GTX 580",
+    kind: DeviceKind::Gpu,
+    peak_gflops: 1580.0,
+    peak_gbps: 192.4,
+    tdp_watts: 244.0,
+    node_nm: 40,
+    year: 2010,
+};
+
+/// NVIDIA GTX 980 Ti (extrapolation target).
+pub const GTX980TI: Device = Device {
+    name: "GTX 980 Ti",
+    kind: DeviceKind::Gpu,
+    peak_gflops: 6900.0,
+    peak_gbps: 336.6,
+    tdp_watts: 275.0,
+    node_nm: 28,
+    year: 2015,
+};
+
+/// NVIDIA Tesla P100 PCI-E (extrapolation target).
+pub const P100: Device = Device {
+    name: "Tesla P100",
+    kind: DeviceKind::Gpu,
+    peak_gflops: 9300.0,
+    peak_gbps: 720.9,
+    tdp_watts: 250.0,
+    node_nm: 16,
+    year: 2016,
+};
+
+/// All six Table II devices, in the paper's row order.
+pub fn table2() -> Vec<Device> {
+    vec![ARRIA10, XEON, XEON_PHI, GTX580, GTX980TI, P100]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_byte_ratios_match_table2() {
+        let expect = [
+            ("Arria 10 GX 1150", 42.522),
+            ("Xeon E5-2650 v4", 9.115),
+            ("Xeon Phi 7210F", 13.313),
+            ("GTX 580", 8.212),
+            ("GTX 980 Ti", 20.499),
+            ("Tesla P100", 12.901),
+        ];
+        for (dev, (name, ratio)) in table2().iter().zip(expect) {
+            assert_eq!(dev.name, name);
+            assert!(
+                (dev.flop_byte_ratio() - ratio).abs() < 0.01,
+                "{name}: {} vs {ratio}",
+                dev.flop_byte_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn fpga_is_most_bandwidth_starved() {
+        // §IV.B: the FPGA has the highest FLOP/byte ratio of all devices.
+        let fpga_ratio = ARRIA10.flop_byte_ratio();
+        for d in table2() {
+            if d.kind != DeviceKind::Fpga {
+                assert!(d.flop_byte_ratio() < fpga_ratio, "{}", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_is_complete_and_ordered() {
+        let t = table2();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t[0].year, 2014);
+        assert_eq!(t[3].node_nm, 40);
+    }
+}

@@ -1,0 +1,115 @@
+//! GPU result extrapolation — the paper's §IV.B methodology.
+//!
+//! Tang et al. \[10\] report measured GCell/s on a GTX 580; because their
+//! implementation is memory-bound at every order, the paper extrapolates to
+//! newer GPUs "based on the ratio of the theoretical external memory
+//! bandwidth of these devices compared to GTX 580", and estimates their
+//! power as 75 % of TDP.
+
+use crate::devices::Device;
+use serde::{Deserialize, Serialize};
+
+/// GCell/s Tang et al. \[10\] achieve on the GTX 580 for 3D stencils of radius
+/// 1–4 (back-computed from Table V: `gflops / flops_per_cell`).
+pub const GTX580_3D_GCELLS: [f64; 4] = [17.294, 14.349, 10.944, 9.254];
+
+/// Fraction of TDP the paper assumes for GPU power ("we use 75 % of the TDP
+/// of these GPUs").
+pub const GPU_POWER_TDP_FRACTION: f64 = 0.75;
+
+/// An extrapolated result on a target device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Extrapolated {
+    /// Stencil radius.
+    pub rad: usize,
+    /// Extrapolated GCell/s.
+    pub gcells: f64,
+    /// Extrapolated GFLOP/s (unshared-coefficient FLOP counting).
+    pub gflops: f64,
+    /// Assumed power, watts.
+    pub watts: f64,
+    /// GFLOP/s/W.
+    pub gflops_per_watt: f64,
+}
+
+/// Extrapolates a measured memory-bound result from `source` to `target` by
+/// bandwidth ratio.
+pub fn extrapolate_gcells(gcells_on_source: f64, source: &Device, target: &Device) -> f64 {
+    gcells_on_source * target.peak_gbps / source.peak_gbps
+}
+
+/// Full Table V extrapolation for one target GPU: radius 1–4 3D rows.
+pub fn extrapolate_3d(source: &Device, target: &Device) -> Vec<Extrapolated> {
+    GTX580_3D_GCELLS
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| {
+            let rad = i + 1;
+            let gcells = extrapolate_gcells(g, source, target);
+            let gflops = gcells * (12 * rad + 1) as f64;
+            let watts = target.tdp_watts * GPU_POWER_TDP_FRACTION;
+            Extrapolated {
+                rad,
+                gcells,
+                gflops,
+                watts,
+                gflops_per_watt: gflops / watts,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{GTX580, GTX980TI, P100};
+    use crate::paper;
+
+    #[test]
+    fn reproduces_table5_extrapolated_rows() {
+        for (target, name) in [(GTX980TI, "GTX 980 Ti"), (P100, "Tesla P100")] {
+            let rows = extrapolate_3d(&GTX580, &target);
+            for e in &rows {
+                let paper_row = paper::table5()
+                    .into_iter()
+                    .find(|r| r.device == name && r.rad == e.rad)
+                    .unwrap();
+                assert!(
+                    (e.gcells - paper_row.gcells).abs() / paper_row.gcells < 0.01,
+                    "{name} rad {}: {} vs {}",
+                    e.rad,
+                    e.gcells,
+                    paper_row.gcells
+                );
+                assert!(
+                    (e.gflops - paper_row.gflops).abs() / paper_row.gflops < 0.01,
+                    "{name} rad {}",
+                    e.rad
+                );
+                assert!(
+                    (e.gflops_per_watt - paper_row.gflops_per_watt).abs()
+                        / paper_row.gflops_per_watt
+                        < 0.01,
+                    "{name} rad {}: {} vs {}",
+                    e.rad,
+                    e.gflops_per_watt,
+                    paper_row.gflops_per_watt
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extrapolation_is_bandwidth_linear() {
+        let doubled = Device {
+            peak_gbps: GTX580.peak_gbps * 2.0,
+            ..GTX580
+        };
+        assert!((extrapolate_gcells(10.0, &GTX580, &doubled) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_extrapolation() {
+        assert_eq!(extrapolate_gcells(9.254, &GTX580, &GTX580), 9.254);
+    }
+}

@@ -1,0 +1,266 @@
+//! Published results of the paper, transcribed verbatim.
+//!
+//! These constants are the reproduction targets: benchmarks and tests
+//! compare the models and simulators against them, and EXPERIMENTS.md is
+//! generated from the comparison. Nothing in the simulation path *reads*
+//! these numbers except the calibration constants documented in
+//! `fpga-sim` — they exist so the harness can score itself.
+
+use serde::{Deserialize, Serialize};
+use stencil_core::Dim;
+
+/// One row of Table III (the paper's FPGA results).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Dimensionality.
+    pub dim: Dim,
+    /// Stencil radius.
+    pub rad: usize,
+    /// Spatial block (x, y) — y = 0 for 2D.
+    pub bsize: (usize, usize),
+    /// Vector width.
+    pub parvec: usize,
+    /// Temporal parallelism.
+    pub partime: usize,
+    /// Input grid (x, y, z) — z = 0 for 2D.
+    pub input: (usize, usize, usize),
+    /// Model-estimated performance, GB/s (normalized to achieved fmax).
+    pub estimated_gbs: f64,
+    /// Measured performance, GB/s.
+    pub measured_gbs: f64,
+    /// Measured performance, GFLOP/s.
+    pub measured_gflops: f64,
+    /// Measured performance, GCell/s.
+    pub measured_gcells: f64,
+    /// Achieved kernel clock, MHz.
+    pub fmax_mhz: f64,
+    /// Logic (ALM) utilization fraction.
+    pub logic_frac: f64,
+    /// Block-RAM bit utilization fraction.
+    pub bram_bits_frac: f64,
+    /// M20K block utilization fraction.
+    pub bram_blocks_frac: f64,
+    /// DSP utilization fraction.
+    pub dsp_frac: f64,
+    /// Measured board power, watts.
+    pub power_watts: f64,
+    /// Model accuracy (measured / estimated).
+    pub model_accuracy: f64,
+}
+
+/// All eight rows of Table III.
+pub fn table3() -> Vec<Table3Row> {
+    use Dim::*;
+    vec![
+        Table3Row { dim: D2, rad: 1, bsize: (4096, 0), parvec: 8, partime: 36, input: (16096, 16096, 0), estimated_gbs: 780.500, measured_gbs: 673.959, measured_gflops: 758.204, measured_gcells: 84.245, fmax_mhz: 343.76, logic_frac: 0.55, bram_bits_frac: 0.38, bram_blocks_frac: 0.83, dsp_frac: 0.95, power_watts: 72.530, model_accuracy: 0.863 },
+        Table3Row { dim: D2, rad: 2, bsize: (4096, 0), parvec: 4, partime: 42, input: (15712, 15712, 0), estimated_gbs: 423.173, measured_gbs: 359.752, measured_gflops: 764.473, measured_gcells: 44.969, fmax_mhz: 322.47, logic_frac: 0.64, bram_bits_frac: 0.75, bram_blocks_frac: 1.00, dsp_frac: 1.00, power_watts: 69.611, model_accuracy: 0.850 },
+        Table3Row { dim: D2, rad: 3, bsize: (4096, 0), parvec: 4, partime: 28, input: (15712, 15712, 0), estimated_gbs: 264.863, measured_gbs: 225.215, measured_gflops: 703.797, measured_gcells: 28.152, fmax_mhz: 302.75, logic_frac: 0.57, bram_bits_frac: 0.75, bram_blocks_frac: 1.00, dsp_frac: 0.96, power_watts: 66.139, model_accuracy: 0.850 },
+        Table3Row { dim: D2, rad: 4, bsize: (4096, 0), parvec: 4, partime: 22, input: (15680, 15680, 0), estimated_gbs: 206.061, measured_gbs: 174.381, measured_gflops: 719.322, measured_gcells: 21.798, fmax_mhz: 301.20, logic_frac: 0.60, bram_bits_frac: 0.78, bram_blocks_frac: 1.00, dsp_frac: 0.99, power_watts: 68.925, model_accuracy: 0.846 },
+        Table3Row { dim: D3, rad: 1, bsize: (256, 256), parvec: 16, partime: 12, input: (696, 696, 696), estimated_gbs: 378.345, measured_gbs: 230.568, measured_gflops: 374.673, measured_gcells: 28.821, fmax_mhz: 286.61, logic_frac: 0.60, bram_bits_frac: 0.94, bram_blocks_frac: 1.00, dsp_frac: 0.89, power_watts: 71.628, model_accuracy: 0.609 },
+        Table3Row { dim: D3, rad: 2, bsize: (256, 128), parvec: 16, partime: 6, input: (696, 728, 696), estimated_gbs: 176.713, measured_gbs: 97.035, measured_gflops: 303.234, measured_gcells: 12.129, fmax_mhz: 262.88, logic_frac: 0.44, bram_bits_frac: 0.73, bram_blocks_frac: 0.87, dsp_frac: 0.83, power_watts: 59.664, model_accuracy: 0.549 },
+        Table3Row { dim: D3, rad: 3, bsize: (256, 128), parvec: 16, partime: 4, input: (696, 728, 696), estimated_gbs: 114.667, measured_gbs: 63.737, measured_gflops: 294.784, measured_gcells: 7.967, fmax_mhz: 255.36, logic_frac: 0.44, bram_bits_frac: 0.81, bram_blocks_frac: 0.99, dsp_frac: 0.81, power_watts: 63.183, model_accuracy: 0.556 },
+        Table3Row { dim: D3, rad: 4, bsize: (256, 128), parvec: 16, partime: 3, input: (696, 728, 696), estimated_gbs: 81.597, measured_gbs: 44.701, measured_gflops: 273.794, measured_gcells: 5.588, fmax_mhz: 242.77, logic_frac: 0.47, bram_bits_frac: 0.85, bram_blocks_frac: 1.00, dsp_frac: 0.80, power_watts: 58.572, model_accuracy: 0.548 },
+    ]
+}
+
+/// One row of Table IV (2D) or Table V (3D): a device's published result for
+/// one stencil order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Device name (matches `devices::table2` names).
+    pub device: &'static str,
+    /// Stencil radius.
+    pub rad: usize,
+    /// GFLOP/s.
+    pub gflops: f64,
+    /// GCell/s.
+    pub gcells: f64,
+    /// GFLOP/s/W.
+    pub gflops_per_watt: f64,
+    /// Roofline ratio (fraction of the bandwidth roofline; > 1 means
+    /// temporal blocking beat the roofline).
+    pub roofline_ratio: f64,
+    /// True for the hachured (bandwidth-extrapolated) GPU rows.
+    pub extrapolated: bool,
+}
+
+/// Table IV: 2D stencil cross-device results.
+pub fn table4() -> Vec<ComparisonRow> {
+    let rows = [
+        ("Arria 10 GX 1150", 1, 758.204, 84.245, 10.454, 19.76, false),
+        ("Arria 10 GX 1150", 2, 764.473, 44.969, 10.982, 10.55, false),
+        ("Arria 10 GX 1150", 3, 703.797, 28.152, 10.641, 6.60, false),
+        ("Arria 10 GX 1150", 4, 719.322, 21.798, 10.436, 5.11, false),
+        ("Xeon E5-2650 v4", 1, 45.306, 5.034, 0.521, 0.52, false),
+        ("Xeon E5-2650 v4", 2, 85.255, 5.015, 0.942, 0.52, false),
+        ("Xeon E5-2650 v4", 3, 124.500, 4.980, 1.331, 0.52, false),
+        ("Xeon E5-2650 v4", 4, 165.231, 5.007, 1.737, 0.52, false),
+        ("Xeon Phi 7210F", 1, 222.804, 24.756, 1.000, 0.50, false),
+        ("Xeon Phi 7210F", 2, 398.735, 23.455, 1.774, 0.47, false),
+        ("Xeon Phi 7210F", 3, 592.250, 23.690, 2.629, 0.47, false),
+        ("Xeon Phi 7210F", 4, 759.198, 23.006, 3.369, 0.46, false),
+    ];
+    rows.into_iter()
+        .map(|(device, rad, gflops, gcells, eff, roof, ex)| ComparisonRow {
+            device,
+            rad,
+            gflops,
+            gcells,
+            gflops_per_watt: eff,
+            roofline_ratio: roof,
+            extrapolated: ex,
+        })
+        .collect()
+}
+
+/// Table V: 3D stencil cross-device results (GPU 980 Ti / P100 rows are the
+/// paper's bandwidth extrapolations).
+pub fn table5() -> Vec<ComparisonRow> {
+    let rows = [
+        ("Arria 10 GX 1150", 1, 374.673, 28.821, 5.231, 6.76, false),
+        ("Arria 10 GX 1150", 2, 303.234, 12.129, 5.082, 2.85, false),
+        ("Arria 10 GX 1150", 3, 294.784, 7.967, 4.666, 1.87, false),
+        ("Arria 10 GX 1150", 4, 273.794, 5.588, 4.674, 1.31, false),
+        ("Xeon E5-2650 v4", 1, 61.282, 4.714, 0.686, 0.49, false),
+        ("Xeon E5-2650 v4", 2, 115.225, 4.609, 1.235, 0.48, false),
+        ("Xeon E5-2650 v4", 3, 151.996, 4.108, 1.617, 0.43, false),
+        ("Xeon E5-2650 v4", 4, 205.751, 4.199, 2.069, 0.44, false),
+        ("Xeon Phi 7210F", 1, 288.990, 22.230, 1.279, 0.44, false),
+        ("Xeon Phi 7210F", 2, 549.300, 21.972, 2.428, 0.44, false),
+        ("Xeon Phi 7210F", 3, 788.544, 21.312, 3.480, 0.43, false),
+        ("Xeon Phi 7210F", 4, 1069.278, 21.822, 4.714, 0.44, false),
+        ("GTX 580", 1, 224.822, 17.294, 1.229, 0.72, false),
+        ("GTX 580", 2, 358.725, 14.349, 1.960, 0.60, false),
+        ("GTX 580", 3, 404.928, 10.944, 2.213, 0.46, false),
+        ("GTX 580", 4, 453.446, 9.254, 2.478, 0.38, false),
+        ("GTX 980 Ti", 1, 393.322, 30.256, 1.907, 0.72, true),
+        ("GTX 980 Ti", 2, 627.582, 25.103, 3.043, 0.60, true),
+        ("GTX 980 Ti", 3, 708.414, 19.146, 3.435, 0.46, true),
+        ("GTX 980 Ti", 4, 793.295, 16.190, 3.846, 0.38, true),
+        ("Tesla P100", 1, 842.381, 64.799, 4.493, 0.72, true),
+        ("Tesla P100", 2, 1344.100, 53.764, 7.169, 0.60, true),
+        ("Tesla P100", 3, 1517.217, 41.006, 8.092, 0.46, true),
+        ("Tesla P100", 4, 1699.008, 34.674, 9.061, 0.38, true),
+    ];
+    rows.into_iter()
+        .map(|(device, rad, gflops, gcells, eff, roof, ex)| ComparisonRow {
+            device,
+            rad,
+            gflops,
+            gcells,
+            gflops_per_watt: eff,
+            roofline_ratio: roof,
+            extrapolated: ex,
+        })
+        .collect()
+}
+
+/// §VI.C related-FPGA-work comparison points (GCell/s).
+pub mod related {
+    /// Shafiq et al. \[18\], fourth-order 3D on Virtex-4 LX200 (assumed
+    /// 22.24 GB/s streaming bandwidth).
+    pub const SHAFIQ_R4_GCELLS: f64 = 2.783;
+    /// The realistic roofline of \[18\] at the system's actual 6.4 GB/s.
+    pub const SHAFIQ_REALISTIC_ROOFLINE_GCELLS: f64 = 0.8;
+    /// Fu & Clapp \[19\], third-order 3D on two Virtex-5 LX330.
+    pub const FU_R3_GCELLS: f64 = 1.54;
+    /// Fu & Clapp's projection for a 4× larger future device.
+    pub const FU_FUTURE_PROJECTION_GCELLS: f64 = 5.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_internal_consistency() {
+        for r in table3() {
+            // GFLOP = GCell × FLOP/cell; GB = GCell × 8.
+            let flops = r.dim.flops_per_cell(r.rad) as f64;
+            assert!(
+                (r.measured_gflops - r.measured_gcells * flops).abs() / r.measured_gflops < 0.01,
+                "{r:?}"
+            );
+            assert!(
+                (r.measured_gbs - r.measured_gcells * 8.0).abs() / r.measured_gbs < 0.01,
+                "{r:?}"
+            );
+            // Model accuracy column = measured / estimated.
+            assert!(
+                (r.model_accuracy - r.measured_gbs / r.estimated_gbs).abs() < 0.005,
+                "{r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn table3_configs_satisfy_eq2() {
+        // Input sizes are multiples of the compute block (Eq. 2 / §IV.C).
+        for r in table3() {
+            let csize_x = r.bsize.0 - 2 * r.partime * r.rad;
+            assert_eq!(r.input.0 % csize_x, 0, "{r:?}");
+            if r.dim == Dim::D3 {
+                let csize_y = r.bsize.1 - 2 * r.partime * r.rad;
+                assert_eq!(r.input.1 % csize_y, 0, "{r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn table4_and_5_power_efficiency_consistent() {
+        // gflops_per_watt × watts ≈ gflops, with watts = measured (FPGA) or
+        // TDP-based (others). Just check the columns are self-consistent
+        // within each row for the FPGA rows vs Table III power.
+        let t3 = table3();
+        for row in table4().iter().filter(|r| r.device.contains("Arria")) {
+            let t3row = t3.iter().find(|r| r.dim == Dim::D2 && r.rad == row.rad).unwrap();
+            let implied_watts = row.gflops / row.gflops_per_watt;
+            assert!(
+                (implied_watts - t3row.power_watts).abs() / t3row.power_watts < 0.01,
+                "rad {}: implied {implied_watts} vs measured {}",
+                row.rad,
+                t3row.power_watts
+            );
+        }
+    }
+
+    #[test]
+    fn fpga_wins_2d_except_rad4() {
+        // §VI.B: FPGA fastest for 2D rad 1-3; Xeon Phi for rad 4.
+        for rad in 1..=4 {
+            let rows: Vec<_> = table4().into_iter().filter(|r| r.rad == rad).collect();
+            let best = rows
+                .iter()
+                .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).unwrap())
+                .unwrap();
+            if rad <= 3 {
+                assert!(best.device.contains("Arria"), "rad {rad}: {}", best.device);
+            } else {
+                assert!(best.device.contains("Phi"), "rad {rad}: {}", best.device);
+            }
+        }
+    }
+
+    #[test]
+    fn fpga_best_power_efficiency_2d_all_orders() {
+        for rad in 1..=4 {
+            let rows: Vec<_> = table4().into_iter().filter(|r| r.rad == rad).collect();
+            let best = rows
+                .iter()
+                .max_by(|a, b| a.gflops_per_watt.partial_cmp(&b.gflops_per_watt).unwrap())
+                .unwrap();
+            assert!(best.device.contains("Arria"), "rad {rad}");
+        }
+    }
+
+    #[test]
+    fn only_fpga_beats_roofline() {
+        for r in table4().into_iter().chain(table5()) {
+            if r.device.contains("Arria") {
+                assert!(r.roofline_ratio > 1.0, "{r:?}");
+            } else {
+                assert!(r.roofline_ratio < 1.0, "{r:?}");
+            }
+        }
+    }
+}

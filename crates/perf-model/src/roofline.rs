@@ -1,0 +1,77 @@
+//! Roofline accounting (Williams et al. \[23\], as used in Tables IV/V).
+//!
+//! The paper's "Roofline Ratio" column is the achieved *effective* memory
+//! throughput (`GCell/s × 8 B`) divided by the device's theoretical peak
+//! bandwidth. Without temporal blocking this is the fraction of bandwidth a
+//! memory-bound kernel utilizes and is necessarily < 1; with temporal
+//! blocking the effective throughput can exceed the physical bandwidth,
+//! which is the paper's core claim for the FPGA.
+
+use crate::devices::Device;
+
+/// Roofline ratio: effective throughput over peak bandwidth.
+pub fn roofline_ratio(gcells: f64, device: &Device) -> f64 {
+    gcells * 8.0 / device.peak_gbps
+}
+
+/// GCell/s a device reaches at a given roofline ratio (inverse of
+/// [`roofline_ratio`]); useful for projecting measured bandwidth
+/// efficiencies onto other devices.
+pub fn gcells_at_ratio(ratio: f64, device: &Device) -> f64 {
+    ratio * device.peak_gbps / 8.0
+}
+
+/// Power efficiency in GFLOP/s/W.
+pub fn gflops_per_watt(gflops: f64, watts: f64) -> f64 {
+    assert!(watts > 0.0, "watts must be positive");
+    gflops / watts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices;
+    use crate::paper;
+    use stencil_core::Dim;
+
+    #[test]
+    fn paper_roofline_ratios_reconstruct() {
+        // Each Table IV/V ratio equals gcells*8/peak_gbps of its device.
+        let catalog = devices::table2();
+        for row in paper::table4().into_iter().chain(paper::table5()) {
+            let dev = catalog.iter().find(|d| d.name == row.device).unwrap();
+            let ratio = roofline_ratio(row.gcells, dev);
+            assert!(
+                (ratio - row.roofline_ratio).abs() < 0.01 * row.roofline_ratio.max(1.0) + 0.01,
+                "{}: computed {ratio:.3} vs paper {:.3}",
+                row.device,
+                row.roofline_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let d = devices::XEON_PHI;
+        let g = 21.5;
+        let r = roofline_ratio(g, &d);
+        assert!((gcells_at_ratio(r, &d) - g).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fpga_exceeds_one_only_with_temporal_blocking() {
+        // The paper's Table III FPGA rows all exceed ratio 1.
+        for r in paper::table3() {
+            let ratio = roofline_ratio(r.measured_gcells, &devices::ARRIA10);
+            assert!(ratio > 1.0, "{:?} rad {}", r.dim, r.rad);
+            // And the ratio shrinks with radius (partime shrinks).
+            let _ = Dim::D2;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "watts must be positive")]
+    fn zero_watts_panics() {
+        let _ = gflops_per_watt(100.0, 0.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Configuration auto-tuner — the paper's §V.A flow.
+//!
+//! The flow enumerates every legal combination of the performance knobs
+//! (`bsize`, `parvec`, `partime`) for a stencil on a device, scores each with
+//! the analytical model at the fmax the fmax-model predicts, and returns the
+//! top-k. The paper then places-and-routes "the top few (usually two)"; here
+//! the equivalent of place-and-route is `fpga_sim::Accelerator::synthesize`.
+//!
+//! Constraints enforced (all from §V.A):
+//! * `parvec` even and dividing `bsize_x`;
+//! * `(partime · rad) mod 4 = 0` (Eq. 6);
+//! * `parvec · partime ≤ partotal` (Eqs. 4–5, the DSP budget);
+//! * the physical BRAM estimate fits the device (the constraint that forces
+//!   the paper's 3D high-order blocks down to 256×128).
+
+use crate::model::{estimate, Estimate};
+use fpga_sim::{AreaEstimate, FmaxModel, FpgaDevice};
+use serde::{Deserialize, Serialize};
+use stencil_core::{BlockConfig, Dim};
+
+/// Candidate block sizes swept for 2D kernels. §V.A fixes 4096 "based on our
+/// previous experience \[8\]" — larger line buffers degraded fmax on this
+/// device — so the sweep stops there.
+pub const BSIZES_2D: [usize; 3] = [1024, 2048, 4096];
+
+/// Candidate block sizes swept for 3D kernels (§V.A: "a combination of
+/// 256×256, 256×128 or 128×128"; non-square support was added for
+/// high-order tuning).
+pub const BSIZES_3D: [(usize, usize); 4] = [(256, 256), (256, 128), (128, 128), (512, 256)];
+
+/// Vector widths considered (ports to memory are powers of two ≥ 2).
+pub const PARVECS: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// A scored configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The configuration.
+    pub config: BlockConfig,
+    /// Predicted kernel clock (seed-swept), MHz.
+    pub fmax_mhz: f64,
+    /// Model estimate at that clock.
+    pub estimate: Estimate,
+    /// Resource estimate.
+    pub dsps: u64,
+    /// Physical BRAM bits.
+    pub bram_bits: u64,
+    /// Ranking score: estimated GCell/s derated by the datapath-width
+    /// robustness term (see [`robustness_derate`]).
+    pub score: f64,
+}
+
+/// Timing-closure robustness derate used for ranking only.
+///
+/// The paper's flow place-and-routes "the top few" model candidates and
+/// keeps whichever actually closes timing best. The recurring outcome
+/// (§VI.A: wide per-PE datapaths with "a few hundred" DSPs per PE routed
+/// poorly) is that, when two candidates score within the fmax lottery of one
+/// another, the one with the *narrower* per-PE datapath wins — e.g. the
+/// published 2D radius-4 choice of `parvec 4 × partime 22` over the
+/// nominally ~2 % faster `parvec 8 × partime 11`. We fold that into the
+/// ranking as a quadratic derate on the per-PE DSP width, capped at 15 %:
+///
+/// `score = est · (1 − min(0.15, 3·10⁻⁶ · (parvec · dsps_per_cell)²))`
+pub fn robustness_derate(config: &BlockConfig) -> f64 {
+    let per_pe_dsps = (config.parvec * config.dim.dsps_per_cell(config.rad)) as f64;
+    1.0 - (3e-6 * per_pe_dsps * per_pe_dsps).min(0.15)
+}
+
+/// Enumerates, filters and scores every legal configuration; returns the
+/// top-`k` by estimated GCell/s (descending).
+pub fn tune(device: &FpgaDevice, dim: Dim, rad: usize, k: usize) -> Vec<Candidate> {
+    let mut out: Vec<Candidate> = enumerate(device, dim, rad)
+        .into_iter()
+        .map(|config| {
+            let fmax_mhz = FmaxModel::for_device(device).sweep(&config, 10);
+            let est = estimate(device, &config, fmax_mhz);
+            let area = AreaEstimate::for_config(device, &config);
+            let score = est.gcells * robustness_derate(&config);
+            Candidate {
+                config,
+                fmax_mhz,
+                estimate: est,
+                dsps: area.dsps,
+                bram_bits: area.bram_bits_physical,
+                score,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    out.truncate(k);
+    out
+}
+
+/// All legal configurations for `dim`/`rad` on `device` (unscored).
+pub fn enumerate(device: &FpgaDevice, dim: Dim, rad: usize) -> Vec<BlockConfig> {
+    let partotal = dim.par_total(device.dsps as usize, rad);
+    let mut out = Vec::new();
+    let blocks: Vec<(usize, usize)> = match dim {
+        Dim::D2 => BSIZES_2D.iter().map(|&b| (b, 0)).collect(),
+        Dim::D3 => BSIZES_3D.to_vec(),
+    };
+    // Eq. 6: partime·rad ≡ 0 (mod 4) ⇒ partime is a multiple of 4/gcd(rad,4).
+    let step = 4 / gcd(rad, 4);
+    for (bx, by) in blocks {
+        for &parvec in &PARVECS {
+            if bx % parvec != 0 {
+                continue;
+            }
+            let max_partime = partotal / parvec;
+            let mut partime = step;
+            while partime <= max_partime {
+                let cfg = match dim {
+                    Dim::D2 => BlockConfig::new_2d(rad, bx, parvec, partime),
+                    Dim::D3 => BlockConfig::new_3d(rad, bx, by, parvec, partime),
+                };
+                if let Ok(cfg) = cfg {
+                    let area = AreaEstimate::for_config(device, &cfg);
+                    if cfg.fits_dsps(device.dsps as usize) && area.fits(device) {
+                        out.push(cfg);
+                    }
+                }
+                partime += step;
+            }
+        }
+    }
+    out
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arria() -> FpgaDevice {
+        FpgaDevice::arria10_gx1150()
+    }
+
+    #[test]
+    fn reproduces_every_table3_configuration() {
+        // The headline tuner test: the top candidate for each of the eight
+        // (dim, rad) pairs is exactly the configuration the paper deployed.
+        let expect_2d = [(1, 4096, 8, 36), (2, 4096, 4, 42), (3, 4096, 4, 28), (4, 4096, 4, 22)];
+        for (rad, bsize, parvec, partime) in expect_2d {
+            let best = &tune(&arria(), Dim::D2, rad, 1)[0].config;
+            assert_eq!(
+                (best.bsize_x, best.parvec, best.partime),
+                (bsize, parvec, partime),
+                "2D rad {rad}: got {best:?}"
+            );
+        }
+        let expect_3d = [
+            (1, 256, 256, 16, 12),
+            (2, 256, 128, 16, 6),
+            (3, 256, 128, 16, 4),
+            (4, 256, 128, 16, 3),
+        ];
+        for (rad, bx, by, parvec, partime) in expect_3d {
+            let best = &tune(&arria(), Dim::D3, rad, 1)[0].config;
+            assert_eq!(
+                (best.bsize_x, best.bsize_y, best.parvec, best.partime),
+                (bx, by, parvec, partime),
+                "3D rad {rad}: got {best:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn three_d_partime_divides_by_radius() {
+        // §V.A intuition confirmed in §VI.A for 3D: "the best configuration
+        // for the high-order 3D stencils could be obtained by dividing the
+        // partime value used for the first-order stencil by the radius".
+        let p1 = tune(&arria(), Dim::D3, 1, 1)[0].config.partime;
+        for rad in 2..=4 {
+            let p = tune(&arria(), Dim::D3, rad, 1)[0].config.partime;
+            assert_eq!(p, p1 / rad, "rad {rad}");
+        }
+    }
+
+    #[test]
+    fn candidates_respect_dsp_budget() {
+        for dim in [Dim::D2, Dim::D3] {
+            for rad in 1..=4 {
+                for c in tune(&arria(), dim, rad, 10) {
+                    assert!(c.dsps <= 1518, "{c:?}");
+                    assert!(c.config.validate().is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_sorted_descending() {
+        let cands = tune(&arria(), Dim::D2, 2, 10);
+        assert!(cands.len() >= 2);
+        for w in cands.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn bram_constraint_forces_small_3d_blocks_at_high_order() {
+        // 256×256 with the rad-2 winning parvec/partime must NOT fit; that is
+        // exactly why the paper dropped to 256×128.
+        let d = arria();
+        let big = BlockConfig::new_3d(2, 256, 256, 16, 6).unwrap();
+        assert!(!AreaEstimate::for_config(&d, &big).fits(&d));
+        let small = BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap();
+        assert!(AreaEstimate::for_config(&d, &small).fits(&d));
+    }
+
+    #[test]
+    fn enumerate_nonempty_even_for_high_radius() {
+        // §VI.A: radius 5-6 3D stencils are limited to ~two parallel blocks.
+        let cands = enumerate(&arria(), Dim::D3, 6);
+        assert!(!cands.is_empty());
+        let max_partime = cands.iter().map(|c| c.partime).max().unwrap();
+        assert!(
+            max_partime <= 4,
+            "3D rad 6 should allow very little temporal parallelism, got {max_partime}"
+        );
+    }
+
+    #[test]
+    fn dsp_utilization_of_winners_is_high() {
+        // Table III: winners use 80-100% of partotal.
+        let d = arria();
+        for dim in [Dim::D2, Dim::D3] {
+            for rad in 1..=4 {
+                let c = &tune(&d, dim, rad, 1)[0];
+                let total = dim.par_total(1518, rad);
+                let used = c.config.par_used();
+                assert!(
+                    used as f64 >= 0.75 * total as f64,
+                    "{dim:?} rad {rad}: {used}/{total}"
+                );
+            }
+        }
+    }
+}

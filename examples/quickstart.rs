@@ -1,0 +1,62 @@
+//! Quickstart: tune a configuration, synthesize the accelerator, run a
+//! high-order stencil, and validate against the reference executor.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use high_order_stencil::prelude::*;
+
+fn main() {
+    // A radius-3 star stencil with the paper's worst-case unshared
+    // coefficients, on a modest 2D grid.
+    let rad = 3;
+    let stencil = Stencil2D::<f32>::random(rad, 42).unwrap();
+    let grid = Grid2D::from_fn(384, 256, |x, y| ((x * 31 + y * 17) % 101) as f32 / 100.0).unwrap();
+    let iters = 24;
+
+    println!("Problem: 2D star stencil, radius {rad} ({} FLOP/cell), grid {}x{}, {} steps",
+        stencil.flops_per_cell(), grid.nx(), grid.ny(), iters);
+
+    // 1. Ask the §V.A auto-tuner for the best configuration on the Arria 10
+    //    (scaled down: small blocks so this toy grid still has several).
+    let device = FpgaDevice::arria10_gx1150();
+    let candidates = tuner::tune(&device, Dim::D2, rad, 3);
+    println!("\nTop tuner candidates (the paper place-and-routes the top few):");
+    for c in &candidates {
+        println!(
+            "  bsize {:>5} x parvec {:>2} x partime {:>3} -> est {:>7.1} GB/s at {:>5.1} MHz",
+            c.config.bsize_x, c.config.parvec, c.config.partime, c.estimate.gbs, c.fmax_mhz
+        );
+    }
+
+    // 2. Synthesize a grid-appropriate configuration and execute.
+    let config = BlockConfig::new_2d(rad, 128, 4, 4).unwrap();
+    let acc = Accelerator::synthesize(device, config, 10).unwrap();
+    println!(
+        "\nSynthesized: fmax {:.1} MHz, {} DSPs, {:.1} W",
+        acc.fmax_mhz(),
+        acc.area().dsps,
+        acc.power_watts()
+    );
+
+    let (result, report) = acc.run_2d(&stencil, &grid, iters);
+
+    // 3. Validate bit-exactly against the oracle.
+    let oracle = exec::run_2d(&stencil, &grid, iters);
+    assert_eq!(result, oracle, "accelerator output must be bit-exact");
+    println!("\nValidation: bit-exact match with the reference executor ✓");
+
+    println!(
+        "\nTiming model: {:.3} ms simulated, {:.2} GCell/s, {:.1} GFLOP/s, {:.1} GB/s effective",
+        report.seconds * 1e3,
+        report.gcell_per_s,
+        report.gflop_per_s,
+        report.gbyte_per_s
+    );
+    println!(
+        "Pipeline efficiency {:.1}% over {} passes",
+        report.pipeline_efficiency * 100.0,
+        report.passes
+    );
+}

@@ -1,0 +1,50 @@
+//! The offline flow: tune every (dim, radius) pair for the Arria 10, then
+//! emit the OpenCL kernel source and `aoc` command line for each winner —
+//! what the paper's build scripts do before a night of place-and-route.
+//!
+//! Kernels are written to `target/generated-kernels/`.
+//!
+//! ```text
+//! cargo run --release --example tune_and_codegen
+//! ```
+
+use high_order_stencil::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let device = FpgaDevice::arria10_gx1150();
+    let out_dir = PathBuf::from("target/generated-kernels");
+    fs::create_dir_all(&out_dir).expect("create output directory");
+
+    println!("Tuning all eight (dim, radius) pairs on {}\n", device.name);
+    for dim in [Dim::D2, Dim::D3] {
+        for rad in 1..=4 {
+            let best = &tuner::tune(&device, dim, rad, 1)[0];
+            let cfg = best.config;
+            let kernel = opencl_codegen::generate(&cfg);
+
+            let name = format!(
+                "stencil_{}_r{rad}",
+                if dim == Dim::D2 { "2d" } else { "3d" }
+            );
+            let path = out_dir.join(format!("{name}.cl"));
+            fs::write(&path, &kernel.source).expect("write kernel");
+
+            let block = if cfg.bsize_y == 0 {
+                cfg.bsize_x.to_string()
+            } else {
+                format!("{}x{}", cfg.bsize_x, cfg.bsize_y)
+            };
+            println!(
+                "{:?} rad {rad}: bsize {:>8}, parvec {:>2}, partime {:>3}  (est {:>7.1} GB/s, {:>4} DSPs)",
+                dim, block, cfg.parvec, cfg.partime, best.estimate.gbs, best.dsps
+            );
+            println!("  wrote {} ({} lines)", path.display(), kernel.source.lines().count());
+            println!("  build: {}\n", kernel.aoc_command(&name));
+        }
+    }
+
+    println!("All kernels generated. Inspect one with e.g.:");
+    println!("  less target/generated-kernels/stencil_3d_r4.cl");
+}

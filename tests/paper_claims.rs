@@ -1,0 +1,180 @@
+//! The paper's headline claims, checked end-to-end against the models and
+//! simulators (scaled problem sizes keep this fast in debug builds; the
+//! full-scale numbers live in EXPERIMENTS.md and the `tables` binary).
+
+use high_order_stencil::prelude::*;
+use fpga_sim::{timing, TimingOptions};
+
+/// Shrinks a paper configuration's grid: same blocking, fewer rows/planes
+/// and one chain pass.
+fn quick_report(cfg: &BlockConfig, device: &FpgaDevice, fmax: f64) -> TimingReport {
+    let dims = match cfg.dim {
+        Dim::D2 => GridDims::D2 { nx: BlockConfig::aligned_input(8000, cfg.csize_x()), ny: 1024 },
+        // One 3D block, deep enough that chain fill/drain stays negligible.
+        Dim::D3 => GridDims::D3 {
+            nx: cfg.csize_x(),
+            ny: cfg.csize_y(),
+            nz: 384,
+        },
+    };
+    timing::simulate(device, cfg, dims, cfg.partime, &TimingOptions::at_fmax(fmax))
+}
+
+fn paper_configs_2d() -> Vec<(BlockConfig, f64)> {
+    vec![
+        (BlockConfig::new_2d(1, 4096, 8, 36).unwrap(), 343.76),
+        (BlockConfig::new_2d(2, 4096, 4, 42).unwrap(), 322.47),
+        (BlockConfig::new_2d(3, 4096, 4, 28).unwrap(), 302.75),
+        (BlockConfig::new_2d(4, 4096, 4, 22).unwrap(), 301.20),
+    ]
+}
+
+fn paper_configs_3d() -> Vec<(BlockConfig, f64)> {
+    vec![
+        (BlockConfig::new_3d(1, 256, 256, 16, 12).unwrap(), 286.61),
+        (BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap(), 262.88),
+        (BlockConfig::new_3d(3, 256, 128, 16, 4).unwrap(), 255.36),
+        (BlockConfig::new_3d(4, 256, 128, 16, 3).unwrap(), 242.77),
+    ]
+}
+
+/// Claim (abstract): "over 700 and 270 GFLOP/s of compute performance" for
+/// 2D and 3D "up to a stencil radius of four" — checked with the paper's
+/// own configurations and clocks at reduced grid height (rates are
+/// per-cycle, so height barely matters).
+#[test]
+fn headline_gflops_bands() {
+    let device = FpgaDevice::arria10_gx1150();
+    for (cfg, fmax) in paper_configs_2d() {
+        let r = quick_report(&cfg, &device, fmax);
+        assert!(
+            r.gflop_per_s > 650.0,
+            "2D rad {}: {:.1} GFLOP/s",
+            cfg.rad,
+            r.gflop_per_s
+        );
+    }
+    for (cfg, fmax) in paper_configs_3d() {
+        let r = quick_report(&cfg, &device, fmax);
+        // Full-scale simulation lands at 266-340 GFLOP/s (EXPERIMENTS.md);
+        // the reduced test grid gives away a few percent of that.
+        assert!(
+            r.gflop_per_s > 230.0,
+            "3D rad {}: {:.1} GFLOP/s",
+            cfg.rad,
+            r.gflop_per_s
+        );
+    }
+}
+
+/// Claim (§VI.A): compute performance stays roughly flat across stencil
+/// order while GCell/s falls roughly as 1/radius.
+#[test]
+fn gflops_flat_gcells_inverse_radius() {
+    let device = FpgaDevice::arria10_gx1150();
+    for configs in [paper_configs_2d(), paper_configs_3d()] {
+        let reports: Vec<TimingReport> = configs
+            .iter()
+            .map(|(c, f)| quick_report(c, &device, *f))
+            .collect();
+        let gf: Vec<f64> = reports.iter().map(|r| r.gflop_per_s).collect();
+        let spread = gf.iter().cloned().fold(0.0f64, f64::max)
+            / gf.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 1.45, "GFLOP/s spread {spread} too wide: {gf:?}");
+
+        let gc: Vec<f64> = reports.iter().map(|r| r.gcell_per_s).collect();
+        // Monotone decreasing, and rad-4 at most ~40% of rad-1.
+        assert!(gc.windows(2).all(|w| w[0] > w[1]), "{gc:?}");
+        assert!(gc[3] < 0.45 * gc[0], "{gc:?}");
+    }
+}
+
+/// Claim (§VI.A / Tables IV-V): effective throughput beats the external
+/// memory roofline on the FPGA — the point of temporal blocking.
+#[test]
+fn temporal_blocking_beats_roofline_everywhere() {
+    let device = FpgaDevice::arria10_gx1150();
+    for (cfg, fmax) in paper_configs_2d().into_iter().chain(paper_configs_3d()) {
+        let r = quick_report(&cfg, &device, fmax);
+        assert!(
+            r.gbyte_per_s > device.peak_mem_gbps(),
+            "{:?} rad {}: {:.1} GB/s <= {:.1}",
+            cfg.dim,
+            cfg.rad,
+            r.gbyte_per_s,
+            device.peak_mem_gbps()
+        );
+    }
+}
+
+/// Claim (§VI.A): model accuracy ~85% for 2D and 55-60% for 3D, the gap
+/// caused by wide-vector splitting in the memory controller.
+#[test]
+fn model_accuracy_bands() {
+    let device = FpgaDevice::arria10_gx1150();
+    for (cfg, fmax) in paper_configs_2d() {
+        let r = quick_report(&cfg, &device, fmax);
+        let est = perf_model::model::estimate(&device, &cfg, fmax);
+        let acc = r.gbyte_per_s / est.gbs;
+        assert!((0.80..=1.0).contains(&acc), "2D rad {}: accuracy {acc:.3}", cfg.rad);
+    }
+    for (cfg, fmax) in paper_configs_3d() {
+        let r = quick_report(&cfg, &device, fmax);
+        let est = perf_model::model::estimate(&device, &cfg, fmax);
+        let acc = r.gbyte_per_s / est.gbs;
+        assert!((0.45..=0.70).contains(&acc), "3D rad {}: accuracy {acc:.3}", cfg.rad);
+        assert!(r.read_stats.split_requests > 0, "3D loss must come from splits");
+    }
+}
+
+/// Claim (§VI.B): who wins each table. FPGA takes 2D radius 1-3 and loses
+/// radius 4 to the Xeon Phi; 3D radius 1 goes to the FPGA, higher orders to
+/// the Phi (published projections for non-FPGA devices).
+#[test]
+fn cross_device_winners() {
+    use stencil_bench::{compare, Scale};
+    let device = FpgaDevice::arria10_gx1150();
+    let t4 = compare::table4(&device, Scale::Smoke);
+    for rad in 1..=3 {
+        let best = t4
+            .iter()
+            .filter(|r| r.rad == rad)
+            .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).unwrap())
+            .unwrap();
+        assert!(best.device.contains("Arria"), "2D rad {rad}: {}", best.device);
+    }
+    let best4 = t4
+        .iter()
+        .filter(|r| r.rad == 4)
+        .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).unwrap())
+        .unwrap();
+    assert!(best4.device.contains("Phi"), "2D rad 4: {}", best4.device);
+
+    let t5 = compare::table5(&device, Scale::Smoke);
+    let measured_only: Vec<_> = t5.iter().filter(|r| !r.extrapolated).collect();
+    let best31 = measured_only
+        .iter()
+        .filter(|r| r.rad == 1)
+        .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).unwrap())
+        .unwrap();
+    assert!(best31.device.contains("Arria"), "3D rad 1: {}", best31.device);
+    for rad in 2..=4 {
+        let best = measured_only
+            .iter()
+            .filter(|r| r.rad == rad)
+            .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).unwrap())
+            .unwrap();
+        assert!(best.device.contains("Phi"), "3D rad {rad}: {}", best.device);
+    }
+}
+
+/// Claim (§VI.C): ~2x Shafiq et al. at radius 4 and >5x Fu & Clapp at
+/// radius 3 (GCell/s).
+#[test]
+fn beats_prior_fpga_work() {
+    use stencil_bench::{compare, Scale};
+    let device = FpgaDevice::arria10_gx1150();
+    let c = compare::related(&device, Scale::Smoke);
+    assert!(c.ours_r4 > 1.5 * c.shafiq_r4, "{c:?}");
+    assert!(c.ours_r3 > 4.0 * c.fu_r3, "{c:?}");
+}

@@ -1,0 +1,162 @@
+//! Integration tests for the mechanisms inside the timing model — the
+//! pieces that make the paper's efficiency numbers *emerge* rather than
+//! being constants.
+
+use fpga_sim::{timing, FpgaDevice, GridDims, TimingOptions};
+use high_order_stencil::prelude::*;
+
+fn opts(fmax: f64) -> TimingOptions {
+    TimingOptions {
+        pass_overhead_s: 0.0,
+        ..TimingOptions::at_fmax(fmax)
+    }
+}
+
+/// The splitting mechanism: 64-byte requests (`parvec = 16`) split unless
+/// *both* the row stride and the compute-block width are 64-byte multiples.
+/// With `partime·rad = 8` (csize 240 = 15 lines) and a 720-cell grid every
+/// request is aligned; the paper's 696-cell rows (stride ≡ 32 mod 64) split
+/// half of theirs.
+#[test]
+fn row_stride_alignment_controls_splitting() {
+    let device = FpgaDevice::arria10_gx1150();
+    let cfg = BlockConfig::new_3d(1, 256, 256, 16, 8).unwrap();
+    assert_eq!(cfg.csize_x() % 16, 0, "block width must be line-aligned");
+
+    // nx = 720 = 3 compute blocks; stride 2880 B ≡ 0 (mod 64).
+    let aligned = timing::simulate(
+        &device,
+        &cfg,
+        GridDims::D3 { nx: 720, ny: 720, nz: 64 },
+        8,
+        &opts(280.0),
+    );
+    // nx = 712: stride 2848 B ≡ 32 (mod 64) -> splits on alternating rows.
+    let unaligned = timing::simulate(
+        &device,
+        &cfg,
+        GridDims::D3 { nx: 712, ny: 712, nz: 64 },
+        8,
+        &opts(280.0),
+    );
+    assert_eq!(aligned.read_stats.split_requests, 0, "{aligned:?}");
+    // Channel stats are collected on the simulated alignment phases only
+    // (plane costs repeat), so the count is a large sample, not the total.
+    assert!(
+        unaligned.read_stats.split_requests > 10_000,
+        "{}",
+        unaligned.read_stats.split_requests
+    );
+    assert!(unaligned.pipeline_efficiency < aligned.pipeline_efficiency - 0.1);
+}
+
+/// 2D kernels with `parvec = 4` issue 16-byte requests which can never span
+/// a 64-byte line: zero splits at any grid size.
+#[test]
+fn narrow_vectors_never_split() {
+    let device = FpgaDevice::arria10_gx1150();
+    let cfg = BlockConfig::new_2d(3, 4096, 4, 28).unwrap();
+    for nx in [3928usize, 2 * 3928, 3928 + 4] {
+        let r = timing::simulate(
+            &device,
+            &cfg,
+            GridDims::D2 { nx, ny: 512 },
+            28,
+            &opts(300.0),
+        );
+        assert_eq!(r.read_stats.split_requests, 0, "nx {nx}");
+        assert_eq!(r.write_stats.split_requests, 0, "nx {nx}");
+    }
+}
+
+/// Multi-channel striping: the 4-channel Stratix 10 GX relieves a
+/// memory-bound configuration that the 2-channel Arria 10 cannot feed.
+#[test]
+fn more_channels_help_memory_bound_configs() {
+    let a10 = FpgaDevice::arria10_gx1150();
+    let s10 = FpgaDevice::stratix10_gx2800();
+    assert_eq!(a10.mem_channels, 2);
+    assert_eq!(s10.mem_channels, 4);
+
+    // Wide shallow chain: heavy traffic per committed cell.
+    let cfg = BlockConfig::new_3d(1, 256, 256, 16, 4).unwrap();
+    let dims = GridDims::D3 { nx: 704, ny: 704, nz: 64 };
+    let on_a10 = timing::simulate(&a10, &cfg, dims, 4, &opts(280.0));
+    let on_s10 = timing::simulate(&s10, &cfg, dims, 4, &opts(280.0));
+    assert!(
+        on_s10.ddr_bound_rows < on_a10.ddr_bound_rows,
+        "{} vs {}",
+        on_s10.ddr_bound_rows,
+        on_a10.ddr_bound_rows
+    );
+    assert!(on_s10.seconds <= on_a10.seconds);
+}
+
+/// Disabling sequential coalescing (the `memctrl` ablation) can only slow
+/// things down.
+#[test]
+fn coalescing_ablation_is_monotone() {
+    let device = FpgaDevice::arria10_gx1150();
+    let cfg = BlockConfig::new_2d(2, 4096, 4, 42).unwrap();
+    let dims = GridDims::D2 { nx: 3928, ny: 1024 };
+    let on = opts(320.0);
+    let mut off = on;
+    off.coalescing = false;
+    let r_on = timing::simulate(&device, &cfg, dims, 42, &on);
+    let r_off = timing::simulate(&device, &cfg, dims, 42, &off);
+    assert!(r_off.seconds >= r_on.seconds);
+    assert!(r_off.read_stats.lines_charged >= r_on.read_stats.lines_charged);
+}
+
+/// Pass scaling: doubling the iteration count (at a multiple of partime)
+/// exactly doubles the kernel cycles.
+#[test]
+fn passes_scale_cycles_exactly()  {
+    let device = FpgaDevice::arria10_gx1150();
+    let cfg = BlockConfig::new_2d(1, 1024, 4, 8).unwrap();
+    let dims = GridDims::D2 { nx: 2016, ny: 512 };
+    let one = timing::simulate(&device, &cfg, dims, 8, &opts(300.0));
+    let two = timing::simulate(&device, &cfg, dims, 16, &opts(300.0));
+    assert_eq!(one.passes, 1);
+    assert_eq!(two.passes, 2);
+    assert_eq!(two.kernel_cycles, 2 * one.kernel_cycles);
+}
+
+/// Control-overhead override: zero overhead strictly beats the calibrated
+/// 8 %, by exactly that factor in cycles.
+#[test]
+fn control_overhead_override() {
+    let device = FpgaDevice::arria10_gx1150();
+    let cfg = BlockConfig::new_2d(1, 1024, 4, 8).unwrap();
+    let dims = GridDims::D2 { nx: 2016, ny: 256 };
+    let mut o = opts(300.0);
+    o.control_overhead = Some(0.0);
+    let free = timing::simulate(&device, &cfg, dims, 8, &o);
+    o.control_overhead = Some(0.08);
+    let taxed = timing::simulate(&device, &cfg, dims, 8, &o);
+    let ratio = taxed.kernel_cycles as f64 / free.kernel_cycles as f64;
+    assert!((ratio - 1.08).abs() < 0.001, "{ratio}");
+}
+
+/// The fill/drain cost: a grid with very few rows per block pays a visibly
+/// larger share of chain fill than a tall one, at identical rates otherwise.
+#[test]
+fn chain_fill_cost_shrinks_with_stream_length() {
+    let device = FpgaDevice::arria10_gx1150();
+    let cfg = BlockConfig::new_2d(2, 1024, 4, 10).unwrap();
+    let short = timing::simulate(
+        &device,
+        &cfg,
+        GridDims::D2 { nx: cfg.csize_x(), ny: 64 },
+        10,
+        &opts(300.0),
+    );
+    let tall = timing::simulate(
+        &device,
+        &cfg,
+        GridDims::D2 { nx: cfg.csize_x(), ny: 4096 },
+        10,
+        &opts(300.0),
+    );
+    assert!(tall.gcell_per_s > short.gcell_per_s * 1.2);
+}

@@ -13,12 +13,19 @@ use stencil_core::{BlockConfig, Grid2D, Stencil2D};
 fn bench_memctrl_coalescing(c: &mut Criterion) {
     let device = FpgaDevice::arria10_gx1150();
     let cfg = BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap();
-    let dims = GridDims::D3 { nx: 232, ny: 104, nz: 256 };
+    let dims = GridDims::D3 {
+        nx: 232,
+        ny: 104,
+        nz: 256,
+    };
     let mut g = c.benchmark_group("ablate_memctrl");
     g.sample_size(10);
     for coalescing in [true, false] {
         g.bench_with_input(
-            BenchmarkId::new("timing_sim", if coalescing { "coalesced" } else { "naive_lsu" }),
+            BenchmarkId::new(
+                "timing_sim",
+                if coalescing { "coalesced" } else { "naive_lsu" },
+            ),
             &coalescing,
             |b, &coalescing| {
                 let mut opts = TimingOptions::at_fmax(262.88);
@@ -40,7 +47,11 @@ fn bench_parvec_sweep(c: &mut Criterion) {
             if !cfg.fits_dsps(1518) {
                 continue;
             }
-            let dims = GridDims::D3 { nx: cfg.csize_x(), ny: cfg.csize_y(), nz: 192 };
+            let dims = GridDims::D3 {
+                nx: cfg.csize_x(),
+                ny: cfg.csize_y(),
+                nz: 192,
+            };
             g.bench_with_input(BenchmarkId::new("timing_sim", parvec), &cfg, |b, cfg| {
                 b.iter(|| {
                     std::hint::black_box(timing::simulate(
@@ -82,7 +93,10 @@ fn bench_overlap_redundancy(c: &mut Criterion) {
             if !cfg.fits_dsps(1518) {
                 continue;
             }
-            let dims = GridDims::D2 { nx: 2 * cfg.csize_x(), ny: 1024 };
+            let dims = GridDims::D2 {
+                nx: 2 * cfg.csize_x(),
+                ny: 1024,
+            };
             g.bench_with_input(BenchmarkId::new("timing_sim", partime), &cfg, |b, cfg| {
                 b.iter(|| {
                     std::hint::black_box(timing::simulate(

@@ -5,8 +5,8 @@
 //! Criterion's throughput reporting is set to cell updates, so the
 //! `Melem/s` column reads directly as MCell/s.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cpu_engine::{engines, Tile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use stencil_core::{exec, BlockConfig, Grid2D, Grid3D, Stencil2D, Stencil3D};
 
 const N2: usize = 256;
@@ -35,7 +35,9 @@ fn bench_2d_engines(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(engines::naive_2d(st, &grid, ITERS)))
         });
         g.bench_with_input(BenchmarkId::new("tiled", rad), &st, |b, st| {
-            b.iter(|| std::hint::black_box(engines::tiled_2d(st, &grid, ITERS, Tile::yask_default())))
+            b.iter(|| {
+                std::hint::black_box(engines::tiled_2d(st, &grid, ITERS, Tile::yask_default()))
+            })
         });
         g.bench_with_input(BenchmarkId::new("parallel", rad), &st, |b, st| {
             b.iter(|| std::hint::black_box(engines::parallel_2d(st, &grid, ITERS)))

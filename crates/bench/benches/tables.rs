@@ -35,9 +35,15 @@ fn bench_table3(c: &mut Criterion) {
     for dim in [Dim::D2, Dim::D3] {
         for rad in 1..=4 {
             let label = format!("{}_rad{}", if dim == Dim::D2 { "2d" } else { "3d" }, rad);
-            g.bench_with_input(BenchmarkId::new("repro_row", label), &(dim, rad), |b, &(dim, rad)| {
-                b.iter(|| std::hint::black_box(repro::reproduce_row(&device, dim, rad, Scale::Smoke)))
-            });
+            g.bench_with_input(
+                BenchmarkId::new("repro_row", label),
+                &(dim, rad),
+                |b, &(dim, rad)| {
+                    b.iter(|| {
+                        std::hint::black_box(repro::reproduce_row(&device, dim, rad, Scale::Smoke))
+                    })
+                },
+            );
         }
     }
     g.finish();

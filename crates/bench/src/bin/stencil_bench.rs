@@ -4,15 +4,26 @@
 //!
 //! ```text
 //! stencil_bench [--dim 2|3] [--rad R] [--nx N] [--ny N] [--nz N]
-//!               [--iters I] [--engine naive|tiled|parallel|folded|wavefront|fpga]
+//!               [--iters I]
+//!               [--engine naive|tiled|parallel|folded|wavefront|functional|fpga]
 //!               [--validate]
+//! stencil_bench --simulator-matrix [--out BENCH_simulator.json]
 //! ```
 //!
 //! Prints GCell/s and GFLOP/s for the chosen engine; `--validate` checks the
-//! result bit-exactly against the reference executor first.
+//! result bit-exactly against the reference executor first. The `functional`
+//! engine runs the block-parallel FPGA simulator and prints its
+//! [`SimCounters`] as a one-line JSON record (`counters: {...}`).
+//!
+//! `--simulator-matrix` sweeps a fixed configuration matrix (2D radius 1–4
+//! and 3D radius 1–4) over the functional simulator, timing the serial
+//! single-thread data path against the block-parallel one, and writes the
+//! results — cells/s for both plus the speedup and the run's counters — to
+//! `BENCH_simulator.json`.
 
 use cpu_engine::{engines, measure, Tile};
-use fpga_sim::{Accelerator, FpgaDevice};
+use fpga_sim::{functional, Accelerator, FpgaDevice, SimCounters};
+use serde::Serialize;
 use stencil_core::{exec, BlockConfig, Grid2D, Grid3D, Stencil2D, Stencil3D};
 
 #[derive(Debug)]
@@ -25,6 +36,8 @@ struct Args {
     iters: usize,
     engine: String,
     validate: bool,
+    matrix: bool,
+    out: String,
 }
 
 fn parse_args() -> Args {
@@ -37,6 +50,8 @@ fn parse_args() -> Args {
         iters: 8,
         engine: "parallel".into(),
         validate: false,
+        matrix: false,
+        out: "BENCH_simulator.json".into(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -54,6 +69,8 @@ fn parse_args() -> Args {
             "--iters" => a.iters = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--engine" => a.engine = take(&mut i),
             "--validate" => a.validate = true,
+            "--simulator-matrix" => a.matrix = true,
+            "--out" => a.out = take(&mut i),
             "--help" | "-h" => {
                 usage();
             }
@@ -73,20 +90,29 @@ fn parse_args() -> Args {
 fn usage() -> ! {
     eprintln!(
         "usage: stencil_bench [--dim 2|3] [--rad R] [--nx N] [--ny N] [--nz N] \
-         [--iters I] [--engine naive|tiled|parallel|folded|wavefront|fpga] [--validate]"
+         [--iters I] [--engine naive|tiled|parallel|folded|wavefront|functional|fpga] \
+         [--validate]\n       stencil_bench --simulator-matrix [--out FILE]"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let a = parse_args();
+    if a.matrix {
+        simulator_matrix(&a.out);
+        return;
+    }
     println!(
         "stencil_bench: {}D star, radius {}, grid {}x{}{}, {} iterations, engine {}",
         a.dim,
         a.rad,
         a.nx,
         a.ny,
-        if a.dim == 3 { format!("x{}", a.nz) } else { String::new() },
+        if a.dim == 3 {
+            format!("x{}", a.nz)
+        } else {
+            String::new()
+        },
         a.iters,
         a.engine
     );
@@ -107,6 +133,13 @@ fn run_2d(a: &Args) {
         "parallel" => measure::time(|| engines::parallel_2d(&st, &grid, a.iters)),
         "folded" => measure::time(|| cpu_engine::folded_run_2d(&st, &grid, a.iters)),
         "wavefront" => measure::time(|| cpu_engine::wavefront_2d(&st, &grid, a.iters, 128, 4)),
+        "functional" => {
+            let cfg = BlockConfig::new_2d(a.rad, 128, 4, 4 / gcd(a.rad, 4)).unwrap();
+            let ((out, counters), secs) =
+                measure::time(|| functional::run_2d_instrumented(&st, &grid, &cfg, a.iters));
+            print_counters(&counters);
+            (out, secs)
+        }
         "fpga" => {
             let cfg = BlockConfig::new_2d(a.rad, 128, 4, 4 / gcd(a.rad, 4)).unwrap();
             let acc = Accelerator::synthesize(FpgaDevice::arria10_gx1150(), cfg, 5).unwrap();
@@ -128,14 +161,21 @@ fn run_2d(a: &Args) {
 
 fn run_3d(a: &Args) {
     let st = Stencil3D::<f32>::random(a.rad, 1).unwrap();
-    let grid =
-        Grid3D::from_fn(a.nx, a.ny, a.nz, |x, y, z| ((x + 3 * y + 7 * z) % 53) as f32).unwrap();
+    let grid = Grid3D::from_fn(a.nx, a.ny, a.nz, |x, y, z| {
+        ((x + 3 * y + 7 * z) % 53) as f32
+    })
+    .unwrap();
     let (out, secs) = match a.engine.as_str() {
         "naive" => measure::time(|| engines::naive_3d(&st, &grid, a.iters)),
         "tiled" => measure::time(|| engines::tiled_3d(&st, &grid, a.iters, Tile::yask_default())),
         "parallel" => measure::time(|| engines::parallel_3d(&st, &grid, a.iters)),
-        "wavefront" => {
-            measure::time(|| cpu_engine::wavefront_3d(&st, &grid, a.iters, 64, 64, 2))
+        "wavefront" => measure::time(|| cpu_engine::wavefront_3d(&st, &grid, a.iters, 64, 64, 2)),
+        "functional" => {
+            let cfg = BlockConfig::new_3d(a.rad, 48, 48, 2, 4 / gcd(a.rad, 4)).unwrap();
+            let ((out, counters), secs) =
+                measure::time(|| functional::run_3d_instrumented(&st, &grid, &cfg, a.iters));
+            print_counters(&counters);
+            (out, secs)
         }
         "fpga" => {
             let cfg = BlockConfig::new_3d(a.rad, 48, 48, 2, 4 / gcd(a.rad, 4)).unwrap();
@@ -171,4 +211,154 @@ fn gcd(a: usize, b: usize) -> usize {
     } else {
         gcd(b, a % b)
     }
+}
+
+fn print_counters(c: &SimCounters) {
+    println!(
+        "  counters: {}",
+        serde_json::to_string(c).expect("counters serialize")
+    );
+}
+
+/// One row of `BENCH_simulator.json`: a fixed simulator configuration timed
+/// on the serial data path and on the block-parallel one.
+#[derive(Debug, Serialize)]
+struct MatrixEntry {
+    dim: usize,
+    rad: usize,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    iters: usize,
+    partime: usize,
+    parvec: usize,
+    blocks: u64,
+    serial_secs: f64,
+    parallel_secs: f64,
+    serial_cells_per_s: f64,
+    parallel_cells_per_s: f64,
+    speedup: f64,
+    counters: SimCounters,
+}
+
+/// Sweeps the fixed configuration matrix — 2D and 3D, radius 1 through 4 —
+/// comparing `functional::run_*_serial` (the seed's single-thread per-cell
+/// data path) with the block-parallel zero-allocation path, and writes the
+/// table to `out`.
+/// Timed repetitions per matrix measurement; the best (minimum) time is
+/// recorded so OS scheduling noise does not swamp the comparison.
+const MATRIX_REPS: usize = 3;
+
+/// Runs `f` [`MATRIX_REPS`] times and returns the last result together with
+/// the fastest observed wall time.
+fn time_best<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+    let (mut result, mut best) = measure::time(&mut f);
+    for _ in 1..MATRIX_REPS {
+        let (r, secs) = measure::time(&mut f);
+        result = r;
+        best = best.min(secs);
+    }
+    (result, best)
+}
+
+fn simulator_matrix(out: &str) {
+    // Fail fast on an unwritable destination instead of discovering it after
+    // the full sweep has run.
+    if let Err(e) = std::fs::write(out, "[]\n") {
+        eprintln!("stencil_bench: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    let mut entries = Vec::new();
+
+    for rad in 1..=4usize {
+        let (nx, ny, iters) = (1024, 384, 8);
+        let st = Stencil2D::<f32>::random(rad, rad as u64).unwrap();
+        let grid = Grid2D::from_fn(nx, ny, |x, y| ((x * 31 + y * 17) % 103) as f32).unwrap();
+        let cfg = BlockConfig::new_2d(rad, 128, 4, 4 / gcd(rad, 4)).unwrap();
+        let (serial, serial_secs) =
+            time_best(|| functional::run_2d_serial(&st, &grid, &cfg, iters));
+        let ((parallel, counters), parallel_secs) =
+            time_best(|| functional::run_2d_instrumented(&st, &grid, &cfg, iters));
+        assert_eq!(
+            serial, parallel,
+            "2D rad {rad}: parallel diverged from serial"
+        );
+        let cells = (nx * ny * iters) as f64;
+        let entry = MatrixEntry {
+            dim: 2,
+            rad,
+            nx,
+            ny,
+            nz: 1,
+            iters,
+            partime: cfg.partime,
+            parvec: cfg.parvec,
+            blocks: counters.blocks,
+            serial_secs,
+            parallel_secs,
+            serial_cells_per_s: cells / serial_secs,
+            parallel_cells_per_s: cells / parallel_secs,
+            speedup: serial_secs / parallel_secs,
+            counters,
+        };
+        println!(
+            "2D rad {rad}: serial {:.3e} cells/s, parallel {:.3e} cells/s, speedup {:.2}x \
+             ({} blocks/pass)",
+            entry.serial_cells_per_s,
+            entry.parallel_cells_per_s,
+            entry.speedup,
+            entry.blocks / entry.counters.passes.max(1),
+        );
+        entries.push(entry);
+    }
+
+    for rad in 1..=4usize {
+        let (nx, ny, nz, iters) = (192, 144, 24, 4);
+        let st = Stencil3D::<f32>::random(rad, rad as u64).unwrap();
+        let grid =
+            Grid3D::from_fn(nx, ny, nz, |x, y, z| ((x + 3 * y + 7 * z) % 53) as f32).unwrap();
+        let cfg = BlockConfig::new_3d(rad, 48, 48, 2, 4 / gcd(rad, 4)).unwrap();
+        let (serial, serial_secs) =
+            time_best(|| functional::run_3d_serial(&st, &grid, &cfg, iters));
+        let ((parallel, counters), parallel_secs) =
+            time_best(|| functional::run_3d_instrumented(&st, &grid, &cfg, iters));
+        assert_eq!(
+            serial, parallel,
+            "3D rad {rad}: parallel diverged from serial"
+        );
+        let cells = (nx * ny * nz * iters) as f64;
+        let entry = MatrixEntry {
+            dim: 3,
+            rad,
+            nx,
+            ny,
+            nz,
+            iters,
+            partime: cfg.partime,
+            parvec: cfg.parvec,
+            blocks: counters.blocks,
+            serial_secs,
+            parallel_secs,
+            serial_cells_per_s: cells / serial_secs,
+            parallel_cells_per_s: cells / parallel_secs,
+            speedup: serial_secs / parallel_secs,
+            counters,
+        };
+        println!(
+            "3D rad {rad}: serial {:.3e} cells/s, parallel {:.3e} cells/s, speedup {:.2}x \
+             ({} blocks/pass)",
+            entry.serial_cells_per_s,
+            entry.parallel_cells_per_s,
+            entry.speedup,
+            entry.blocks / entry.counters.passes.max(1),
+        );
+        entries.push(entry);
+    }
+
+    let json = serde_json::to_string_pretty(&entries).expect("matrix serialize");
+    if let Err(e) = std::fs::write(out, json + "\n") {
+        eprintln!("stencil_bench: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out} ({} entries)", entries.len());
 }

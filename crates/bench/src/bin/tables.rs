@@ -163,7 +163,11 @@ fn table3(device: &FpgaDevice, scale: Scale, json: bool) {
                 r.config.partime.to_string(),
                 format!("{}|{}", f(r.estimated_gbs, 1), f(r.paper.estimated_gbs, 1)),
                 format!("{}|{}", f(r.measured_gbs, 1), f(r.paper.measured_gbs, 1)),
-                format!("{}|{}", f(r.measured_gflops, 1), f(r.paper.measured_gflops, 1)),
+                format!(
+                    "{}|{}",
+                    f(r.measured_gflops, 1),
+                    f(r.paper.measured_gflops, 1)
+                ),
                 format!("{}|{}", f(r.fmax_mhz, 1), f(r.paper.fmax_mhz, 1)),
                 format!("{}|{}", pct(r.dsp_frac), pct(r.paper.dsp_frac)),
                 format!("{}|{}", f(r.power_watts, 1), f(r.paper.power_watts, 1)),
@@ -175,8 +179,18 @@ fn table3(device: &FpgaDevice, scale: Scale, json: bool) {
         "{}",
         table(
             &[
-                "dim", "rad", "bsize", "pvec", "ptime", "est GB/s", "meas GB/s", "GFLOP/s",
-                "fmax", "DSP", "W", "accuracy"
+                "dim",
+                "rad",
+                "bsize",
+                "pvec",
+                "ptime",
+                "est GB/s",
+                "meas GB/s",
+                "GFLOP/s",
+                "fmax",
+                "DSP",
+                "W",
+                "accuracy"
             ],
             &body
         )
@@ -214,7 +228,14 @@ fn table45(device: &FpgaDevice, scale: Scale, json: bool, three_d: bool) {
     print!(
         "{}",
         table(
-            &["device", "rad", "GFLOP/s", "GCell/s", "GFLOP/s/W", "roofline"],
+            &[
+                "device",
+                "rad",
+                "GFLOP/s",
+                "GCell/s",
+                "GFLOP/s/W",
+                "roofline"
+            ],
             &body
         )
     );
@@ -239,7 +260,11 @@ fn figures(device: &FpgaDevice, scale: Scale, json: bool, which: u8) {
         .flat_map(|s| s.values.iter().cloned())
         .fold(0.0f64, f64::max);
     for s in &series {
-        println!("  {:<22}{}", s.device, if s.extrapolated { " *" } else { "" });
+        println!(
+            "  {:<22}{}",
+            s.device,
+            if s.extrapolated { " *" } else { "" }
+        );
         for (i, v) in s.values.iter().enumerate() {
             let bar = "#".repeat(((v / max) * 50.0).round() as usize);
             println!("    rad {}: {:>9} {}", i + 1, f(*v, 2), bar);
@@ -295,14 +320,27 @@ fn highorder(device: &FpgaDevice, json: bool) {
                 f(r.gcells, 2),
                 f(r.gflops, 1),
                 f(r.effective_gbs, 1),
-                if r.effective_gbs > device.peak_mem_gbps() { "yes" } else { "NO" }.into(),
+                if r.effective_gbs > device.peak_mem_gbps() {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .into(),
             ]
         })
         .collect();
     print!(
         "{}",
         table(
-            &["dim", "rad", "config", "GCell/s", "GFLOP/s", "eff GB/s", "beats 34.1 GB/s"],
+            &[
+                "dim",
+                "rad",
+                "config",
+                "GCell/s",
+                "GFLOP/s",
+                "eff GB/s",
+                "beats 34.1 GB/s"
+            ],
             &body
         )
     );
@@ -373,10 +411,7 @@ fn score(device: &FpgaDevice, scale: Scale, json: bool) {
         "{}",
         table(&["dim", "rad", "metric", "ours", "paper", "delta"], &body)
     );
-    let worst = rows
-        .iter()
-        .map(|r| r.worst_delta())
-        .fold(0.0f64, f64::max);
+    let worst = rows.iter().map(|r| r.worst_delta()).fold(0.0f64, f64::max);
     println!(
         "configs matched: {}/8; worst metric delta {:.1}%",
         rows.iter().filter(|r| r.config_matches).count(),
@@ -404,7 +439,12 @@ fn sweep(device: &FpgaDevice, json: bool) {
                 f(c.fmax_mhz, 0),
                 f(c.estimate.gcells, 2),
                 f(c.estimate.gbs, 1),
-                if c.estimate.memory_bound { "memory" } else { "pipeline" }.into(),
+                if c.estimate.memory_bound {
+                    "memory"
+                } else {
+                    "pipeline"
+                }
+                .into(),
                 c.dsps.to_string(),
                 f(c.score, 2),
             ]
@@ -413,7 +453,15 @@ fn sweep(device: &FpgaDevice, json: bool) {
     print!(
         "{}",
         table(
-            &["config", "fmax", "est GCell/s", "est GB/s", "bound", "DSPs", "score"],
+            &[
+                "config",
+                "fmax",
+                "est GCell/s",
+                "est GB/s",
+                "bound",
+                "DSPs",
+                "score"
+            ],
             &body
         )
     );
@@ -429,11 +477,17 @@ fn priorwork(device: &FpgaDevice) {
         let fits = limit >= 15680;
         println!(
             "  rad {rad}, partime {partime:>2}: max width {limit:>6} cells -> paper grids {}",
-            if fits { "fit" } else { "DO NOT fit (spatial blocking required)" }
+            if fits {
+                "fit"
+            } else {
+                "DO NOT fit (spatial blocking required)"
+            }
         );
     }
-    println!("  3D: max square plane at rad 1, partime 12: {} (paper needs 696x728)",
-        unblocked::max_plane_3d(device, 1, 12, 16));
+    println!(
+        "  3D: max square plane at rad 1, partime 12: {} (paper needs 696x728)",
+        unblocked::max_plane_3d(device, 1, 12, 16)
+    );
 }
 
 fn trends(device: &FpgaDevice, scale: Scale) {
@@ -459,7 +513,10 @@ fn trends(device: &FpgaDevice, scale: Scale) {
 fn ablate(device: &FpgaDevice) {
     println!("\nABLATIONS (2D rad 2 unless noted)");
     let cfg = BlockConfig::new_2d(2, 4096, 4, 42).unwrap();
-    let dims = fpga_sim::GridDims::D2 { nx: 15712, ny: 4096 };
+    let dims = fpga_sim::GridDims::D2 {
+        nx: 15712,
+        ny: 4096,
+    };
 
     // Memory-controller coalescing on/off.
     let on = TimingOptions::at_fmax(322.47);
@@ -487,7 +544,11 @@ fn ablate(device: &FpgaDevice) {
                 println!("    parvec {parvec:>2}: does not fit (BRAM)");
                 continue;
             }
-            let d3 = fpga_sim::GridDims::D3 { nx: 696, ny: 696, nz: 128 };
+            let d3 = fpga_sim::GridDims::D3 {
+                nx: 696,
+                ny: 696,
+                nz: 128,
+            };
             let r = timing::simulate(device, &c, d3, partime, &TimingOptions::at_fmax(280.0));
             println!(
                 "    parvec {parvec:>2} x partime {partime:>3}: {} GCell/s",
@@ -498,7 +559,9 @@ fn ablate(device: &FpgaDevice) {
 
     // Overlapped-blocking redundancy cost vs an ideal halo exchange.
     let ideal = 1.0;
-    println!("  overlap redundancy (2D rad 2, partime 42): {}x vs ideal {}x", f(cfg.redundancy(), 3), f(ideal, 1));
-
-
+    println!(
+        "  overlap redundancy (2D rad 2, partime 42): {}x vs ideal {}x",
+        f(cfg.redundancy(), 3),
+        f(ideal, 1)
+    );
 }

@@ -14,10 +14,10 @@
 #![warn(clippy::all)]
 
 pub mod compare;
-pub mod study;
 pub mod render;
 pub mod repro;
 pub mod score;
+pub mod study;
 
 pub use compare::{fig3, fig4, related, series, table4, table5, CompareRow, Series};
 pub use repro::{reproduce_all, reproduce_row, Repro3Row, Scale};

@@ -58,10 +58,7 @@ mod tests {
     fn renders_aligned() {
         let out = table(
             &["a", "long_header"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["100".into(), "x".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["100".into(), "x".into()]],
         );
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 4);

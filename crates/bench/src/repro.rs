@@ -159,7 +159,13 @@ mod tests {
     fn full_scale_input_matches_paper_2d_rad1() {
         let cfg = BlockConfig::new_2d(1, 4096, 8, 36).unwrap();
         let (dims, iters) = problem(&cfg, Scale::Full);
-        assert_eq!(dims, GridDims::D2 { nx: 16096, ny: 16096 });
+        assert_eq!(
+            dims,
+            GridDims::D2 {
+                nx: 16096,
+                ny: 16096
+            }
+        );
         assert_eq!(iters, 1000);
     }
 
@@ -167,6 +173,13 @@ mod tests {
     fn full_scale_input_matches_paper_3d_rad2() {
         let cfg = BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap();
         let (dims, _) = problem(&cfg, Scale::Full);
-        assert_eq!(dims, GridDims::D3 { nx: 696, ny: 728, nz: 696 });
+        assert_eq!(
+            dims,
+            GridDims::D3 {
+                nx: 696,
+                ny: 728,
+                nz: 696
+            }
+        );
     }
 }

@@ -56,7 +56,10 @@ pub fn high_order(device: &FpgaDevice, max_rad: usize) -> Vec<HighOrderRow> {
                 Some(c) => {
                     let cfg = c.config;
                     let dims = match dim {
-                        Dim::D2 => GridDims::D2 { nx: cfg.csize_x() * 2, ny: 1024 },
+                        Dim::D2 => GridDims::D2 {
+                            nx: cfg.csize_x() * 2,
+                            ny: 1024,
+                        },
                         Dim::D3 => GridDims::D3 {
                             nx: cfg.csize_x(),
                             ny: cfg.csize_y(),
@@ -121,7 +124,13 @@ pub fn what_if(device: &FpgaDevice) -> Vec<WhatIfRow> {
                 ny: cfg.csize_y(),
                 nz: 384,
             };
-            let r = timing::simulate(device, &cfg, dims, cfg.partime, &TimingOptions::at_fmax(fmax));
+            let r = timing::simulate(
+                device,
+                &cfg,
+                dims,
+                cfg.partime,
+                &TimingOptions::at_fmax(fmax),
+            );
             let est = model::estimate(device, &cfg, fmax);
             Some(WhatIfRow {
                 device: device.name.clone(),
@@ -252,7 +261,10 @@ pub fn precision_study(device: &FpgaDevice) -> Vec<PrecisionRow> {
                 .into_iter()
                 .next()
                 .map(|c| {
-                    let dims = GridDims::D2 { nx: c.config.csize_x(), ny: 1024 };
+                    let dims = GridDims::D2 {
+                        nx: c.config.csize_x(),
+                        ny: 1024,
+                    };
                     timing::simulate(
                         device,
                         &c.config,
@@ -267,7 +279,10 @@ pub fn precision_study(device: &FpgaDevice) -> Vec<PrecisionRow> {
                 .into_iter()
                 .next()
                 .map(|c| {
-                    let dims = GridDims::D2 { nx: c.config.csize_x(), ny: 1024 };
+                    let dims = GridDims::D2 {
+                        nx: c.config.csize_x(),
+                        ny: 1024,
+                    };
                     // Doubled cell size: halve the committed rate the vector
                     // datapath implies (8 B lanes instead of 4 B at the same
                     // port width).
@@ -282,7 +297,11 @@ pub fn precision_study(device: &FpgaDevice) -> Vec<PrecisionRow> {
                         / 2.0
                 })
                 .unwrap_or(0.0);
-            PrecisionRow { rad, sp_gcells: sp, dp_gcells: dp }
+            PrecisionRow {
+                rad,
+                sp_gcells: sp,
+                dp_gcells: dp,
+            }
         })
         .collect()
 }

@@ -145,7 +145,10 @@ impl BlockConfig {
             return fail("partime must be >= 1".into());
         }
         if self.parvec == 0 || self.parvec % 2 != 0 {
-            return fail(format!("parvec must be a positive multiple of 2, got {}", self.parvec));
+            return fail(format!(
+                "parvec must be a positive multiple of 2, got {}",
+                self.parvec
+            ));
         }
         if (self.partime * self.rad) % 4 != 0 {
             return fail(format!(
@@ -448,7 +451,10 @@ mod tests {
     fn parvec_constraints() {
         assert!(BlockConfig::new_2d(1, 4096, 3, 36).is_err(), "odd parvec");
         assert!(BlockConfig::new_2d(1, 4096, 0, 36).is_err(), "zero parvec");
-        assert!(BlockConfig::new_2d(1, 4090, 8, 36).is_err(), "bsize not multiple of parvec");
+        assert!(
+            BlockConfig::new_2d(1, 4090, 8, 36).is_err(),
+            "bsize not multiple of parvec"
+        );
     }
 
     #[test]

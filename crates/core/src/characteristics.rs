@@ -87,7 +87,10 @@ mod tests {
         // 8.212, above the highest stencil ratio 6.125.
         for row in StencilCharacteristics::table1() {
             for device_ratio in [42.522, 9.115, 13.313, 8.212, 20.499, 12.901] {
-                assert!(row.memory_bound_on(device_ratio), "{row:?} vs {device_ratio}");
+                assert!(
+                    row.memory_bound_on(device_ratio),
+                    "{row:?} vs {device_ratio}"
+                );
             }
         }
     }

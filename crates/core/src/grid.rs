@@ -7,6 +7,44 @@
 use crate::error::{Result, StencilError};
 use crate::real::Real;
 
+/// Fills `out` with `out.len()` cells of `row` starting at (possibly
+/// negative) column `x0`, clamping out-of-range columns to the row ends —
+/// the paper's boundary condition, vectorized: one `copy_from_slice` for the
+/// in-grid interior plus constant fills for the clamped edges.
+fn gather_row_clamped<T: Real>(row: &[T], x0: isize, out: &mut [T]) {
+    let nx = row.len() as isize;
+    let len = out.len() as isize;
+    let lo = x0.clamp(0, nx);
+    let hi = (x0 + len).clamp(0, nx);
+    if lo < hi {
+        let o0 = (lo - x0) as usize;
+        let o1 = (hi - x0) as usize;
+        out[o0..o1].copy_from_slice(&row[lo as usize..hi as usize]);
+        out[..o0].fill(row[0]);
+        out[o1..].fill(row[row.len() - 1]);
+    } else {
+        // The whole request lies off-grid on one side.
+        out.fill(if x0 + len <= 0 {
+            row[0]
+        } else {
+            row[row.len() - 1]
+        });
+    }
+}
+
+/// Checks that `bounds` is a strictly increasing partition `0 = b_0 < … <
+/// b_k = n` of an axis of length `n`.
+fn check_bounds(bounds: &[usize], n: usize, axis: &str) {
+    assert!(
+        bounds.len() >= 2 && bounds[0] == 0 && *bounds.last().unwrap() == n,
+        "{axis} bounds must start at 0 and end at {n}"
+    );
+    assert!(
+        bounds.windows(2).all(|w| w[0] < w[1]),
+        "{axis} bounds must be strictly increasing"
+    );
+}
+
 /// A dense 2D grid stored row-major (`idx = y * nx + x`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Grid2D<T> {
@@ -82,7 +120,12 @@ impl<T: Real> Grid2D<T> {
     /// Flat index of `(x, y)`. Debug-asserts bounds.
     #[inline(always)]
     pub fn idx(&self, x: usize, y: usize) -> usize {
-        debug_assert!(x < self.nx && y < self.ny, "({x},{y}) out of {}x{}", self.nx, self.ny);
+        debug_assert!(
+            x < self.nx && y < self.ny,
+            "({x},{y}) out of {}x{}",
+            self.nx,
+            self.ny
+        );
         y * self.nx + x
     }
 
@@ -133,6 +176,40 @@ impl<T: Real> Grid2D<T> {
     pub fn row_mut(&mut self, y: usize) -> &mut [T] {
         let s = y * self.nx;
         &mut self.data[s..s + self.nx]
+    }
+
+    /// Fills `out` with `out.len()` cells of row `y` starting at (possibly
+    /// negative) column `x0`, clamping both coordinates onto the grid — the
+    /// block-wide equivalent of [`Self::get_clamped`], done with one bulk
+    /// copy for the interior instead of a per-cell gather.
+    #[inline]
+    pub fn read_row_clamped(&self, y: isize, x0: isize, out: &mut [T]) {
+        gather_row_clamped(self.row(y.clamp(0, self.ny as isize - 1) as usize), x0, out);
+    }
+
+    /// Splits the grid into disjoint mutable *column blocks*: block `b`
+    /// holds, for every row `y`, the sub-slice of columns
+    /// `bounds[b]..bounds[b + 1]`. The blocks borrow disjoint parts of the
+    /// backing storage, so they can be written from different threads
+    /// concurrently — this is what lets independent spatial blocks of the
+    /// overlapped-blocking schedule commit their results in parallel.
+    ///
+    /// # Panics
+    /// Panics unless `bounds` is a strictly increasing partition
+    /// `0 = b_0 < … < b_k = nx` of the x axis.
+    pub fn column_blocks(&mut self, bounds: &[usize]) -> Vec<Vec<&mut [T]>> {
+        check_bounds(bounds, self.nx, "column");
+        let nb = bounds.len() - 1;
+        let mut blocks: Vec<Vec<&mut [T]>> = (0..nb).map(|_| Vec::with_capacity(self.ny)).collect();
+        for row in self.data.chunks_mut(self.nx) {
+            let mut rest = row;
+            for (b, w) in bounds.windows(2).enumerate() {
+                let (seg, tail) = rest.split_at_mut(w[1] - w[0]);
+                blocks[b].push(seg);
+                rest = tail;
+            }
+        }
+        blocks
     }
 
     /// Swaps the contents of two equally-shaped grids (used for
@@ -288,6 +365,56 @@ impl<T: Real> Grid3D<T> {
         &self.data[s..s + self.ny * self.nx]
     }
 
+    /// Fills `out` (row-major `width × height`) with the cells of plane `z`
+    /// in the window `[x0, x0 + width) × [y0, y0 + height)`, clamping all
+    /// coordinates onto the grid. The bulk-copy analogue of per-cell
+    /// [`Self::get_clamped`] for reading one block plane.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != width * height`.
+    pub fn read_plane_clamped(&self, z: isize, x0: isize, y0: isize, width: usize, out: &mut [T]) {
+        assert_eq!(out.len() % width, 0, "plane buffer not a multiple of width");
+        let cz = z.clamp(0, self.nz as isize - 1) as usize;
+        let plane = self.plane(cz);
+        for (i, orow) in out.chunks_mut(width).enumerate() {
+            let gy = (y0 + i as isize).clamp(0, self.ny as isize - 1) as usize;
+            gather_row_clamped(&plane[gy * self.nx..(gy + 1) * self.nx], x0, orow);
+        }
+    }
+
+    /// Splits the grid into disjoint mutable *tile blocks*: block
+    /// `(bx, by)` (returned at index `by * (x_bounds.len() - 1) + bx`) holds
+    /// one sub-slice per `(z, y)` row of its tile, covering columns
+    /// `x_bounds[bx]..x_bounds[bx + 1]` of rows
+    /// `y_bounds[by]..y_bounds[by + 1]`, for all `z`, in `(z, y)` order.
+    /// The blocks borrow disjoint storage and can be written concurrently.
+    ///
+    /// # Panics
+    /// Panics unless `x_bounds`/`y_bounds` are strictly increasing
+    /// partitions of the x and y axes.
+    pub fn tile_blocks(&mut self, x_bounds: &[usize], y_bounds: &[usize]) -> Vec<Vec<&mut [T]>> {
+        check_bounds(x_bounds, self.nx, "column");
+        check_bounds(y_bounds, self.ny, "row");
+        let nbx = x_bounds.len() - 1;
+        let nby = y_bounds.len() - 1;
+        // Map each y to its y-block index.
+        let mut row_block = vec![0usize; self.ny];
+        for (by, w) in y_bounds.windows(2).enumerate() {
+            row_block[w[0]..w[1]].iter_mut().for_each(|b| *b = by);
+        }
+        let mut blocks: Vec<Vec<&mut [T]>> = (0..nbx * nby).map(|_| Vec::new()).collect();
+        for (gy, row) in self.data.chunks_mut(self.nx).enumerate() {
+            let by = row_block[gy % self.ny];
+            let mut rest = row;
+            for (bx, w) in x_bounds.windows(2).enumerate() {
+                let (seg, tail) = rest.split_at_mut(w[1] - w[0]);
+                blocks[by * nbx + bx].push(seg);
+                rest = tail;
+            }
+        }
+        blocks
+    }
+
     /// Swaps the contents of two equally-shaped grids.
     ///
     /// # Panics
@@ -389,5 +516,99 @@ mod tests {
         assert_eq!(g.get(0, 1), 1.0);
         assert_eq!(g.get(2, 1), 3.0);
         assert_eq!(g.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn read_row_clamped_matches_get_clamped() {
+        let g = Grid2D::from_fn(5, 4, |x, y| (10 * y + x) as f32).unwrap();
+        for y in -2..6isize {
+            for x0 in -7..8isize {
+                let mut out = vec![0.0f32; 6];
+                g.read_row_clamped(y, x0, &mut out);
+                for (j, &v) in out.iter().enumerate() {
+                    assert_eq!(v, g.get_clamped(x0 + j as isize, y), "y {y} x0 {x0} j {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_row_clamped_fully_off_grid() {
+        let g = Grid2D::from_fn(3, 1, |x, _| x as f32).unwrap();
+        let mut out = vec![9.0f32; 2];
+        g.read_row_clamped(0, -5, &mut out);
+        assert_eq!(out, [0.0, 0.0]);
+        g.read_row_clamped(0, 7, &mut out);
+        assert_eq!(out, [2.0, 2.0]);
+    }
+
+    #[test]
+    fn column_blocks_partition_and_write_through() {
+        let mut g = Grid2D::<f32>::zeros(7, 3).unwrap();
+        {
+            let mut blocks = g.column_blocks(&[0, 3, 7]);
+            assert_eq!(blocks.len(), 2);
+            assert_eq!(blocks[0].len(), 3);
+            assert_eq!(blocks[0][0].len(), 3);
+            assert_eq!(blocks[1][2].len(), 4);
+            for (b, strip) in blocks.iter_mut().enumerate() {
+                for (y, seg) in strip.iter_mut().enumerate() {
+                    seg.fill((10 * b + y) as f32);
+                }
+            }
+        }
+        assert_eq!(g.get(2, 1), 1.0);
+        assert_eq!(g.get(3, 1), 11.0);
+        assert_eq!(g.get(6, 2), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn column_blocks_bad_bounds_panic() {
+        let mut g = Grid2D::<f32>::zeros(4, 2).unwrap();
+        let _ = g.column_blocks(&[0, 2, 2, 4]);
+    }
+
+    #[test]
+    fn read_plane_clamped_matches_get_clamped() {
+        let g = Grid3D::from_fn(4, 3, 2, |x, y, z| (100 * z + 10 * y + x) as f32).unwrap();
+        let (width, height) = (6usize, 5usize);
+        for z in -1..3isize {
+            let mut out = vec![0.0f32; width * height];
+            g.read_plane_clamped(z, -1, -1, width, &mut out);
+            for i in 0..height {
+                for j in 0..width {
+                    assert_eq!(
+                        out[i * width + j],
+                        g.get_clamped(j as isize - 1, i as isize - 1, z),
+                        "z {z} i {i} j {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_blocks_partition_and_write_through() {
+        let mut g = Grid3D::<f32>::zeros(5, 4, 2).unwrap();
+        {
+            let mut blocks = g.tile_blocks(&[0, 2, 5], &[0, 3, 4]);
+            assert_eq!(blocks.len(), 4);
+            // Block (bx=1, by=0): columns 2..5 of rows 0..3, both planes.
+            let strip = &mut blocks[1];
+            assert_eq!(strip.len(), 2 * 3);
+            for seg in strip.iter_mut() {
+                assert_eq!(seg.len(), 3);
+                seg.fill(7.0);
+            }
+        }
+        for z in 0..2 {
+            for y in 0..4 {
+                for x in 0..5 {
+                    let expect = if x >= 2 && y < 3 { 7.0 } else { 0.0 };
+                    assert_eq!(g.get(x, y, z), expect, "({x},{y},{z})");
+                }
+            }
+        }
     }
 }

@@ -26,8 +26,12 @@ use crate::real::Real;
 use crate::util::SplitMix64;
 
 /// The four 2D star directions, in canonical Eq. (1) order.
-pub const DIRECTIONS_2D: [Direction; 4] =
-    [Direction::West, Direction::East, Direction::South, Direction::North];
+pub const DIRECTIONS_2D: [Direction; 4] = [
+    Direction::West,
+    Direction::East,
+    Direction::South,
+    Direction::North,
+];
 
 /// The six 3D star directions, in canonical Eq. (1) order.
 pub const DIRECTIONS_3D: [Direction; 6] = [
@@ -144,7 +148,12 @@ impl<T: Real> Stencil2D<T> {
         Self::new(
             c,
             (0..rad)
-                .map(|_| Arm2 { west: c, east: c, south: c, north: c })
+                .map(|_| Arm2 {
+                    west: c,
+                    east: c,
+                    south: c,
+                    north: c,
+                })
                 .collect(),
         )
     }
@@ -165,7 +174,12 @@ impl<T: Real> Stencil2D<T> {
         let arms: Vec<Arm2<T>> = (1..=rad)
             .map(|i| {
                 let c = T::from_f64(0.5 / ((i * i) as f64 * norm / 4.0) / 4.0);
-                Arm2 { west: c, east: c, south: c, north: c }
+                Arm2 {
+                    west: c,
+                    east: c,
+                    south: c,
+                    north: c,
+                }
             })
             .collect();
         Self::new(T::from_f64(0.5), arms)
@@ -230,9 +244,7 @@ impl<T: Real> Stencil2D<T> {
             + self
                 .arms
                 .iter()
-                .map(|a| {
-                    a.west.to_f64() + a.east.to_f64() + a.south.to_f64() + a.north.to_f64()
-                })
+                .map(|a| a.west.to_f64() + a.east.to_f64() + a.south.to_f64() + a.north.to_f64())
                 .sum::<f64>()
     }
 

@@ -97,7 +97,12 @@ impl<T: Real> SymmetricStencil2D<T> {
             self.center,
             self.rings
                 .iter()
-                .map(|&c| Arm2 { west: c, east: c, south: c, north: c })
+                .map(|&c| Arm2 {
+                    west: c,
+                    east: c,
+                    south: c,
+                    north: c,
+                })
                 .collect(),
         )
         .expect("radius >= 1 by construction")

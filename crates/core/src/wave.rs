@@ -29,7 +29,13 @@ pub fn laplacian_weights(rad: usize) -> Result<Vec<f64>> {
         1 => &[-2.0, 1.0],
         2 => &[-5.0 / 2.0, 4.0 / 3.0, -1.0 / 12.0],
         3 => &[-49.0 / 18.0, 3.0 / 2.0, -3.0 / 20.0, 1.0 / 90.0],
-        4 => &[-205.0 / 72.0, 8.0 / 5.0, -1.0 / 5.0, 8.0 / 315.0, -1.0 / 560.0],
+        4 => &[
+            -205.0 / 72.0,
+            8.0 / 5.0,
+            -1.0 / 5.0,
+            8.0 / 315.0,
+            -1.0 / 560.0,
+        ],
         r => return Err(StencilError::InvalidRadius { radius: r }),
     };
     Ok(w.to_vec())
@@ -86,8 +92,16 @@ impl<T: Real> WaveKernel<T> {
     /// # Panics
     /// Panics when grid shapes disagree.
     pub fn step_2d(&self, u_prev: &Grid2D<T>, u: &Grid2D<T>, u_next: &mut Grid2D<T>) {
-        assert_eq!((u.nx(), u.ny()), (u_prev.nx(), u_prev.ny()), "shape mismatch");
-        assert_eq!((u.nx(), u.ny()), (u_next.nx(), u_next.ny()), "shape mismatch");
+        assert_eq!(
+            (u.nx(), u.ny()),
+            (u_prev.nx(), u_prev.ny()),
+            "shape mismatch"
+        );
+        assert_eq!(
+            (u.nx(), u.ny()),
+            (u_next.nx(), u_next.ny()),
+            "shape mismatch"
+        );
         let two = T::from_f64(2.0);
         for y in 0..u.ny() {
             for x in 0..u.nx() {
@@ -226,7 +240,10 @@ mod tests {
         // The wavefront reaches a probe ~ c·t away while the center dips.
         assert!(out.get(50, 50) < u0.get(50, 50));
         let probe = (50.0 + (steps as f64) * c2.sqrt() * 0.8) as usize;
-        assert!(out.get(probe, 50).abs() > 1e-4, "wave did not arrive at x={probe}");
+        assert!(
+            out.get(probe, 50).abs() > 1e-4,
+            "wave did not arrive at x={probe}"
+        );
     }
 
     #[test]
@@ -256,14 +273,8 @@ mod tests {
         let rad = 2;
         let c2 = 8.0 * WaveKernel::<f64>::stable_courant2(rad, 2);
         let k = WaveKernel::new(rad, c2).unwrap();
-        let u0 = Grid2D::from_fn(31, 31, |x, y| {
-            if (x, y) == (15, 15) {
-                1.0
-            } else {
-                0.0
-            }
-        })
-        .unwrap();
+        let u0 =
+            Grid2D::from_fn(31, 31, |x, y| if (x, y) == (15, 15) { 1.0 } else { 0.0 }).unwrap();
         let out = k.run_2d(&u0, 100);
         let s = stats::stats_2d(&out);
         assert!(s.max > 1e3 || s.max.is_nan(), "did not diverge: {s:?}");

@@ -22,12 +22,20 @@ pub struct Tile {
 
 impl Tile {
     /// An unblocked tile (degenerates to the naive loop order).
-    pub const NONE: Tile = Tile { tx: 0, ty: 0, tz: 0 };
+    pub const NONE: Tile = Tile {
+        tx: 0,
+        ty: 0,
+        tz: 0,
+    };
 
     /// YASK-flavoured default: block y (and z) to keep the working set in
     /// L2, leave x unblocked for streamy vector access.
     pub fn yask_default() -> Tile {
-        Tile { tx: 0, ty: 32, tz: 32 }
+        Tile {
+            tx: 0,
+            ty: 32,
+            tz: 32,
+        }
     }
 
     fn eff(v: usize, n: usize) -> usize {
@@ -40,15 +48,16 @@ impl Tile {
 }
 
 /// Naive engine: plain double-buffered sweeps.
+///
+/// `cur` and `next` are distinct grids, so each output row of `next` can be
+/// written in place while `cur` is read — no scratch row, no allocation
+/// inside the sweep.
 pub fn naive_2d<T: Real>(st: &Stencil2D<T>, grid: &Grid2D<T>, iters: usize) -> Grid2D<T> {
     let mut cur = grid.clone();
     let mut next = grid.clone();
     for _ in 0..iters {
         for y in 0..cur.ny() {
-            // Split borrows: read `cur`, write one row of `next`.
-            let mut row = std::mem::take(&mut vec![T::ZERO; cur.nx()]);
-            kernels::row_2d(st, &cur, &mut row, y);
-            next.row_mut(y).copy_from_slice(&row);
+            kernels::row_2d(st, &cur, next.row_mut(y), y);
         }
         cur.swap(&mut next);
     }
@@ -61,12 +70,11 @@ pub fn naive_3d<T: Real>(st: &Stencil3D<T>, grid: &Grid3D<T>, iters: usize) -> G
     let mut next = grid.clone();
     let nx = grid.nx();
     for _ in 0..iters {
-        let mut row = vec![T::ZERO; nx];
         for z in 0..cur.nz() {
             for y in 0..cur.ny() {
-                kernels::row_3d(st, &cur, &mut row, y, z);
                 let base = (z * cur.ny() + y) * nx;
-                next.as_mut_slice()[base..base + nx].copy_from_slice(&row);
+                let dst_row = &mut next.as_mut_slice()[base..base + nx];
+                kernels::row_3d(st, &cur, dst_row, y, z);
             }
         }
         cur.swap(&mut next);
@@ -82,18 +90,16 @@ pub fn tiled_2d<T: Real>(
     iters: usize,
     tile: Tile,
 ) -> Grid2D<T> {
-    let (nx, ny) = (grid.nx(), grid.ny());
+    let ny = grid.ny();
     let ty = Tile::eff(tile.ty, ny);
     let mut cur = grid.clone();
     let mut next = grid.clone();
     for _ in 0..iters {
-        let mut row = vec![T::ZERO; nx];
         let mut y0 = 0;
         while y0 < ny {
             let y1 = (y0 + ty).min(ny);
             for y in y0..y1 {
-                kernels::row_2d(st, &cur, &mut row, y);
-                next.row_mut(y).copy_from_slice(&row);
+                kernels::row_2d(st, &cur, next.row_mut(y), y);
             }
             y0 = y1;
         }
@@ -115,7 +121,6 @@ pub fn tiled_3d<T: Real>(
     let mut cur = grid.clone();
     let mut next = grid.clone();
     for _ in 0..iters {
-        let mut row = vec![T::ZERO; nx];
         let mut z0 = 0;
         while z0 < nz {
             let z1 = (z0 + tz).min(nz);
@@ -124,9 +129,9 @@ pub fn tiled_3d<T: Real>(
                 let y1 = (y0 + ty).min(ny);
                 for z in z0..z1 {
                     for y in y0..y1 {
-                        kernels::row_3d(st, &cur, &mut row, y, z);
                         let base = (z * ny + y) * nx;
-                        next.as_mut_slice()[base..base + nx].copy_from_slice(&row);
+                        let dst_row = &mut next.as_mut_slice()[base..base + nx];
+                        kernels::row_3d(st, &cur, dst_row, y, z);
                     }
                 }
                 y0 = y1;
@@ -140,7 +145,8 @@ pub fn tiled_3d<T: Real>(
 
 /// Rayon-parallel engine: each time step partitions the output rows across
 /// threads. Every cell's update is independent, so parallelism cannot
-/// change results.
+/// change results. Each worker writes its disjoint `next` row in place —
+/// no scratch buffers, no allocation inside the sweep.
 pub fn parallel_2d<T: Real>(st: &Stencil2D<T>, grid: &Grid2D<T>, iters: usize) -> Grid2D<T> {
     let nx = grid.nx();
     let mut cur = grid.clone();
@@ -151,11 +157,7 @@ pub fn parallel_2d<T: Real>(st: &Stencil2D<T>, grid: &Grid2D<T>, iters: usize) -
             next.as_mut_slice()
                 .par_chunks_mut(nx)
                 .enumerate()
-                .for_each(|(y, dst_row)| {
-                    let mut row = vec![T::ZERO; nx];
-                    kernels::row_2d(st, src, &mut row, y);
-                    dst_row.copy_from_slice(&row);
-                });
+                .for_each(|(y, dst_row)| kernels::row_2d(st, src, dst_row, y));
         }
         cur.swap(&mut next);
     }
@@ -174,10 +176,8 @@ pub fn parallel_3d<T: Real>(st: &Stencil3D<T>, grid: &Grid3D<T>, iters: usize) -
                 .par_chunks_mut(nx * ny)
                 .enumerate()
                 .for_each(|(z, dst_plane)| {
-                    let mut row = vec![T::ZERO; nx];
-                    for y in 0..ny {
-                        kernels::row_3d(st, src, &mut row, y, z);
-                        dst_plane[y * nx..(y + 1) * nx].copy_from_slice(&row);
+                    for (y, dst_row) in dst_plane.chunks_mut(nx).enumerate() {
+                        kernels::row_3d(st, src, dst_row, y, z);
                     }
                 });
         }
@@ -203,7 +203,11 @@ mod tests {
     fn naive_matches_oracle() {
         for rad in 1..=4 {
             let st = Stencil2D::<f32>::random(rad, rad as u64).unwrap();
-            assert_eq!(naive_2d(&st, &grid2(), 3), exec::run_2d(&st, &grid2(), 3), "rad {rad}");
+            assert_eq!(
+                naive_2d(&st, &grid2(), 3),
+                exec::run_2d(&st, &grid2(), 3),
+                "rad {rad}"
+            );
         }
         let st = Stencil3D::<f32>::random(2, 5).unwrap();
         assert_eq!(naive_3d(&st, &grid3(), 2), exec::run_3d(&st, &grid3(), 2));
@@ -228,9 +232,15 @@ mod tests {
     #[test]
     fn parallel_matches_oracle_bit_exactly() {
         let st = Stencil2D::<f32>::random(3, 21).unwrap();
-        assert_eq!(parallel_2d(&st, &grid2(), 5), exec::run_2d(&st, &grid2(), 5));
+        assert_eq!(
+            parallel_2d(&st, &grid2(), 5),
+            exec::run_2d(&st, &grid2(), 5)
+        );
         let st3 = Stencil3D::<f32>::random(1, 22).unwrap();
-        assert_eq!(parallel_3d(&st3, &grid3(), 4), exec::run_3d(&st3, &grid3(), 4));
+        assert_eq!(
+            parallel_3d(&st3, &grid3(), 4),
+            exec::run_3d(&st3, &grid3(), 4)
+        );
     }
 
     #[test]

@@ -76,7 +76,13 @@ impl<T: Real> FoldedGrid2D<T> {
                 }
             }
         }
-        Self { nx, ny, tiles_x, tiles_y, data }
+        Self {
+            nx,
+            ny,
+            tiles_x,
+            tiles_y,
+            data,
+        }
     }
 
     /// Converts back to row-major.

@@ -103,12 +103,7 @@ pub fn row_3d_interior<T: Real>(
     let rad = st.radius();
     let (nx, ny, nz) = (src.nx(), src.ny(), src.nz());
     debug_assert!(
-        x0 >= rad
-            && x1 + rad <= nx
-            && y >= rad
-            && y + rad < ny
-            && z >= rad
-            && z + rad < nz
+        x0 >= rad && x1 + rad <= nx && y >= rad && y + rad < ny && z >= rad && z + rad < nz
     );
     let _ = nz;
     let s = src.as_slice();

@@ -40,7 +40,13 @@ impl<T: Real> PaddedGrid2D<T> {
                 data[ay * anx + ax] = g.get(x as usize, y as usize);
             }
         }
-        Self { nx, ny, halo, anx, data }
+        Self {
+            nx,
+            ny,
+            halo,
+            anx,
+            data,
+        }
     }
 
     /// Logical width.
@@ -94,8 +100,7 @@ impl<T: Real> PaddedGrid2D<T> {
                 if lx < 0 || ly < 0 || lx >= nx as isize || ly >= ny as isize {
                     let sx = lx.clamp(0, nx as isize - 1) as usize;
                     let sy = ly.clamp(0, ny as isize - 1) as usize;
-                    self.data[ay * anx + ax] =
-                        self.data[(sy + halo) * anx + (sx + halo)];
+                    self.data[ay * anx + ax] = self.data[(sy + halo) * anx + (sx + halo)];
                 }
             }
         }

@@ -10,12 +10,36 @@ use stencil_core::{Grid2D, Grid3D, Real, Stencil2D, Stencil3D};
 /// Tile shapes the tuner tries (y × z candidates; x stays unblocked for
 /// streaming access, as YASK prefers on these kernels).
 pub const CANDIDATE_TILES: [Tile; 6] = [
-    Tile { tx: 0, ty: 0, tz: 0 },
-    Tile { tx: 0, ty: 8, tz: 8 },
-    Tile { tx: 0, ty: 16, tz: 16 },
-    Tile { tx: 0, ty: 32, tz: 32 },
-    Tile { tx: 0, ty: 64, tz: 64 },
-    Tile { tx: 0, ty: 128, tz: 32 },
+    Tile {
+        tx: 0,
+        ty: 0,
+        tz: 0,
+    },
+    Tile {
+        tx: 0,
+        ty: 8,
+        tz: 8,
+    },
+    Tile {
+        tx: 0,
+        ty: 16,
+        tz: 16,
+    },
+    Tile {
+        tx: 0,
+        ty: 32,
+        tz: 32,
+    },
+    Tile {
+        tx: 0,
+        ty: 64,
+        tz: 64,
+    },
+    Tile {
+        tx: 0,
+        ty: 128,
+        tz: 32,
+    },
 ];
 
 /// Outcome of a tuning run.
@@ -31,7 +55,10 @@ pub struct Tuned {
 /// candidate) and returns the best tile.
 pub fn tune_2d<T: Real>(st: &Stencil2D<T>, grid: &Grid2D<T>, probe_iters: usize) -> Tuned {
     assert!(probe_iters > 0);
-    let mut best = Tuned { tile: Tile::NONE, gcells: 0.0 };
+    let mut best = Tuned {
+        tile: Tile::NONE,
+        gcells: 0.0,
+    };
     for tile in CANDIDATE_TILES {
         let (_, secs) = measure::time(|| tiled_2d(st, grid, probe_iters, tile));
         let g = measure::gcells_per_s(grid.len(), probe_iters, secs.max(1e-9));
@@ -45,7 +72,10 @@ pub fn tune_2d<T: Real>(st: &Stencil2D<T>, grid: &Grid2D<T>, probe_iters: usize)
 /// Tunes the 3D tiled engine.
 pub fn tune_3d<T: Real>(st: &Stencil3D<T>, grid: &Grid3D<T>, probe_iters: usize) -> Tuned {
     assert!(probe_iters > 0);
-    let mut best = Tuned { tile: Tile::NONE, gcells: 0.0 };
+    let mut best = Tuned {
+        tile: Tile::NONE,
+        gcells: 0.0,
+    };
     for tile in CANDIDATE_TILES {
         let (_, secs) = measure::time(|| tiled_3d(st, grid, probe_iters, tile));
         let g = measure::gcells_per_s(grid.len(), probe_iters, secs.max(1e-9));

@@ -149,11 +149,7 @@ pub fn wavefront_3d<T: Real>(
                 for z in 0..nz {
                     for i in 0..bh {
                         for j in 0..bw {
-                            a.push(cur.get_clamped(
-                                rx + j as isize,
-                                ry + i as isize,
-                                z as isize,
-                            ));
+                            a.push(cur.get_clamped(rx + j as isize, ry + i as isize, z as isize));
                         }
                     }
                 }

@@ -271,8 +271,16 @@ mod tests {
     fn ping_pong_directions_pay_turnaround_every_time() {
         let mut c = ch();
         for i in 0..10u64 {
-            let k = if i % 2 == 0 { AccessKind::Read } else { AccessKind::Write };
-            c.service(&Request { addr: i * 64, bytes: 64, kind: k });
+            let k = if i % 2 == 0 {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
+            c.service(&Request {
+                addr: i * 64,
+                bytes: 64,
+                kind: k,
+            });
         }
         assert_eq!(c.stats().turnarounds, 9);
     }

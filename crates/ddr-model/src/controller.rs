@@ -65,10 +65,7 @@ impl Controller {
 
     /// Theoretical peak bandwidth across all channels, GB/s.
     pub fn peak_gbps(&self) -> f64 {
-        self.channels
-            .iter()
-            .map(|c| c.timings().peak_gbps())
-            .sum()
+        self.channels.iter().map(|c| c.timings().peak_gbps()).sum()
     }
 
     /// Controller clock, MHz (identical across channels).
@@ -190,7 +187,7 @@ mod tests {
         c.service(0, &Request::read(0, 64));
         c.service(0, &Request::write(64, 64)); // next stripe -> other channel
         c.service(0, &Request::read(128, 64)); // back to channel 0
-        // Channel 0 saw read, read -> no turnaround; channel 1 saw one write.
+                                               // Channel 0 saw read, read -> no turnaround; channel 1 saw one write.
         assert_eq!(c.total_stats().turnarounds, 0);
         c.service(0, &Request::write(128, 64)); // channel 0: read -> write
         assert_eq!(c.total_stats().turnarounds, 1);
@@ -204,7 +201,10 @@ mod tests {
         }
         c.service(1, &Request::write(0, 64));
         let per = c.channel_stats();
-        assert_eq!(c.makespan_cycles(), per[0].busy_cycles.max(per[1].busy_cycles));
+        assert_eq!(
+            c.makespan_cycles(),
+            per[0].busy_cycles.max(per[1].busy_cycles)
+        );
         assert!(per[0].busy_cycles > per[1].busy_cycles);
     }
 
@@ -218,7 +218,14 @@ mod tests {
         let mut asked = 0u64;
         for i in 0..50u64 {
             let bytes = 32 + (i % 5) * 64;
-            c.service(0, &Request { addr: i * 512, bytes, kind: AccessKind::Read });
+            c.service(
+                0,
+                &Request {
+                    addr: i * 512,
+                    bytes,
+                    kind: AccessKind::Read,
+                },
+            );
             asked += bytes;
         }
         assert_eq!(c.total_stats().useful_bytes, asked);

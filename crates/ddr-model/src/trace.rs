@@ -29,7 +29,10 @@ impl AlignmentHistogram {
     /// # Panics
     /// Panics when `line_bytes` is zero or not a multiple of 16.
     pub fn new(line_bytes: u64) -> Self {
-        assert!(line_bytes > 0 && line_bytes % 16 == 0, "line must be a multiple of 16 B");
+        assert!(
+            line_bytes > 0 && line_bytes % 16 == 0,
+            "line must be a multiple of 16 B"
+        );
         Self {
             line_bytes,
             buckets: vec![0; (line_bytes / 16) as usize],
@@ -139,7 +142,11 @@ mod tests {
                 h.record(&Request::read(base + v * 64, 64));
             }
         }
-        assert!((h.split_fraction() - 0.5).abs() < 1e-9, "{}", h.split_fraction());
+        assert!(
+            (h.split_fraction() - 0.5).abs() < 1e-9,
+            "{}",
+            h.split_fraction()
+        );
     }
 
     #[test]

@@ -11,20 +11,96 @@ use stencil_core::BlockConfig;
 fn main() {
     let d = FpgaDevice::arria10_gx1150();
     let rows: Vec<(BlockConfig, GridDims, f64, f64)> = vec![
-        (BlockConfig::new_2d(1, 4096, 8, 36).unwrap(), GridDims::D2{nx:16096,ny:16096}, 343.76, 673.959),
-        (BlockConfig::new_2d(2, 4096, 4, 42).unwrap(), GridDims::D2{nx:15712,ny:15712}, 322.47, 359.752),
-        (BlockConfig::new_2d(3, 4096, 4, 28).unwrap(), GridDims::D2{nx:15712,ny:15712}, 302.75, 225.215),
-        (BlockConfig::new_2d(4, 4096, 4, 22).unwrap(), GridDims::D2{nx:15680,ny:15680}, 301.20, 174.381),
-        (BlockConfig::new_3d(1, 256, 256, 16, 12).unwrap(), GridDims::D3{nx:696,ny:696,nz:696}, 286.61, 230.568),
-        (BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap(), GridDims::D3{nx:696,ny:728,nz:696}, 262.88, 97.035),
-        (BlockConfig::new_3d(3, 256, 128, 16, 4).unwrap(), GridDims::D3{nx:696,ny:728,nz:696}, 255.36, 63.737),
-        (BlockConfig::new_3d(4, 256, 128, 16, 3).unwrap(), GridDims::D3{nx:696,ny:728,nz:696}, 242.77, 44.701),
+        (
+            BlockConfig::new_2d(1, 4096, 8, 36).unwrap(),
+            GridDims::D2 {
+                nx: 16096,
+                ny: 16096,
+            },
+            343.76,
+            673.959,
+        ),
+        (
+            BlockConfig::new_2d(2, 4096, 4, 42).unwrap(),
+            GridDims::D2 {
+                nx: 15712,
+                ny: 15712,
+            },
+            322.47,
+            359.752,
+        ),
+        (
+            BlockConfig::new_2d(3, 4096, 4, 28).unwrap(),
+            GridDims::D2 {
+                nx: 15712,
+                ny: 15712,
+            },
+            302.75,
+            225.215,
+        ),
+        (
+            BlockConfig::new_2d(4, 4096, 4, 22).unwrap(),
+            GridDims::D2 {
+                nx: 15680,
+                ny: 15680,
+            },
+            301.20,
+            174.381,
+        ),
+        (
+            BlockConfig::new_3d(1, 256, 256, 16, 12).unwrap(),
+            GridDims::D3 {
+                nx: 696,
+                ny: 696,
+                nz: 696,
+            },
+            286.61,
+            230.568,
+        ),
+        (
+            BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap(),
+            GridDims::D3 {
+                nx: 696,
+                ny: 728,
+                nz: 696,
+            },
+            262.88,
+            97.035,
+        ),
+        (
+            BlockConfig::new_3d(3, 256, 128, 16, 4).unwrap(),
+            GridDims::D3 {
+                nx: 696,
+                ny: 728,
+                nz: 696,
+            },
+            255.36,
+            63.737,
+        ),
+        (
+            BlockConfig::new_3d(4, 256, 128, 16, 3).unwrap(),
+            GridDims::D3 {
+                nx: 696,
+                ny: 728,
+                nz: 696,
+            },
+            242.77,
+            44.701,
+        ),
     ];
     for (cfg, dims, fmax, paper_gbs) in rows {
         let t0 = std::time::Instant::now();
         let r = timing::simulate(&d, &cfg, dims, 1000, &TimingOptions::at_fmax(fmax));
-        println!("{:?} rad{} -> sim {:7.2} GB/s (paper {:7.2})  eff {:.3} splits r/w {}/{} simtime {:?}",
-            cfg.dim, cfg.rad, r.gbyte_per_s, paper_gbs, r.pipeline_efficiency,
-            r.read_stats.split_requests, r.write_stats.split_requests, t0.elapsed());
+        println!(
+            "{:?} rad{} -> sim {:7.2} GB/s (paper {:7.2})  eff {:.3} splits r/w {}/{} simtime {:?}",
+            cfg.dim,
+            cfg.rad,
+            r.gbyte_per_s,
+            paper_gbs,
+            r.pipeline_efficiency,
+            r.read_stats.split_requests,
+            r.write_stats.split_requests,
+            t0.elapsed()
+        );
     }
 }

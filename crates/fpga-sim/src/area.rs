@@ -71,8 +71,8 @@ impl AreaEstimate {
             Dim::D2 => FILL_2D,
             Dim::D3 => FILL_3D,
         };
-        let m20k_blocks = ((physical as f64 / (20_480.0 * fill)).ceil() as u64)
-            .min(device.m20k_blocks);
+        let m20k_blocks =
+            ((physical as f64 / (20_480.0 * fill)).ceil() as u64).min(device.m20k_blocks);
 
         let alms = (BASE_ALMS + ALMS_PER_DSP * dsps).min(device.alms);
 
@@ -124,14 +124,54 @@ mod tests {
     fn table3_configs() -> Vec<(BlockConfig, f64, f64, f64)> {
         // (config, paper DSP%, paper bits%, paper blocks%)
         vec![
-            (BlockConfig::new_2d(1, 4096, 8, 36).unwrap(), 0.95, 0.38, 0.83),
-            (BlockConfig::new_2d(2, 4096, 4, 42).unwrap(), 1.00, 0.75, 1.00),
-            (BlockConfig::new_2d(3, 4096, 4, 28).unwrap(), 0.96, 0.75, 1.00),
-            (BlockConfig::new_2d(4, 4096, 4, 22).unwrap(), 0.99, 0.78, 1.00),
-            (BlockConfig::new_3d(1, 256, 256, 16, 12).unwrap(), 0.89, 0.94, 1.00),
-            (BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap(), 0.83, 0.73, 0.87),
-            (BlockConfig::new_3d(3, 256, 128, 16, 4).unwrap(), 0.81, 0.81, 0.99),
-            (BlockConfig::new_3d(4, 256, 128, 16, 3).unwrap(), 0.80, 0.85, 1.00),
+            (
+                BlockConfig::new_2d(1, 4096, 8, 36).unwrap(),
+                0.95,
+                0.38,
+                0.83,
+            ),
+            (
+                BlockConfig::new_2d(2, 4096, 4, 42).unwrap(),
+                1.00,
+                0.75,
+                1.00,
+            ),
+            (
+                BlockConfig::new_2d(3, 4096, 4, 28).unwrap(),
+                0.96,
+                0.75,
+                1.00,
+            ),
+            (
+                BlockConfig::new_2d(4, 4096, 4, 22).unwrap(),
+                0.99,
+                0.78,
+                1.00,
+            ),
+            (
+                BlockConfig::new_3d(1, 256, 256, 16, 12).unwrap(),
+                0.89,
+                0.94,
+                1.00,
+            ),
+            (
+                BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap(),
+                0.83,
+                0.73,
+                0.87,
+            ),
+            (
+                BlockConfig::new_3d(3, 256, 128, 16, 4).unwrap(),
+                0.81,
+                0.81,
+                0.99,
+            ),
+            (
+                BlockConfig::new_3d(4, 256, 128, 16, 3).unwrap(),
+                0.80,
+                0.85,
+                1.00,
+            ),
         ]
     }
 

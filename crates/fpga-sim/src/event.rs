@@ -145,7 +145,10 @@ mod tests {
         let r = timing::simulate(
             device,
             cfg,
-            GridDims::D2 { nx: cfg.csize_x(), ny },
+            GridDims::D2 {
+                nx: cfg.csize_x(),
+                ny,
+            },
             cfg.partime,
             &o,
         );

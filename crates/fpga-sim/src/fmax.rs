@@ -56,7 +56,11 @@ impl FmaxModel {
         Self {
             base_2d_mhz: device.base_fmax_mhz,
             base_3d_mhz: device.base_fmax_mhz * (284.0 / 340.0),
-            saturation: if device.fmax_radius_slope == 0.0 { 0.0 } else { 0.13 },
+            saturation: if device.fmax_radius_slope == 0.0 {
+                0.0
+            } else {
+                0.13
+            },
             jitter: 0.02,
         }
     }

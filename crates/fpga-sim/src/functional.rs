@@ -1,4 +1,4 @@
-//! Functional (lockstep, deterministic) execution of the accelerator.
+//! Functional (deterministic) execution of the accelerator.
 //!
 //! Runs the complete block schedule of the design — overlapped spatial
 //! blocks, a `partime`-deep PE chain per block, as many passes over the grid
@@ -6,11 +6,35 @@
 //! are **bit-exact** with [`stencil_core::exec`]'s oracle because both
 //! evaluate Eq. (1) in the canonical operation order.
 //!
-//! This module is the single-threaded twin of [`crate::threaded`]; both must
-//! agree bit-for-bit (tested there).
+//! # Parallel block schedule
+//!
+//! Overlapped blocking (§III.B) makes spatial blocks *independent*: each
+//! block reads its haloed `read_start..read_end` region of the source grid
+//! and commits only its disjoint `comp_start..comp_end` core, with no
+//! inter-block communication. The per-pass block loop therefore dispatches
+//! over [`rayon`]: the destination grid is pre-split into disjoint mutable
+//! column strips ([`Grid2D::column_blocks`] / [`Grid3D::tile_blocks`]) and
+//! every block writes its own strip directly — no locks on the data path,
+//! no per-cell `Grid::set`. Blocks within a pass may commit in any order
+//! (their strips are disjoint); passes are sequential (each reads the
+//! previous pass's output), so the result is bit-identical to the serial
+//! schedule — [`run_2d_serial`]/[`run_3d_serial`] keep the seed's original
+//! data path as the differential oracle and performance baseline.
+//!
+//! # Scratch-buffer ownership
+//!
+//! Each block task owns exactly one input scratch buffer, refilled in place
+//! by [`Grid2D::read_row_clamped`] / [`Grid3D::read_plane_clamped`]; the
+//! chain recycles all intermediate and output buffers through its
+//! [`crate::shift_register::RowPool`]. Steady-state feeding performs no
+//! heap allocation (see `crate::chain` module docs).
 
 use crate::chain::{Chain2D, Chain3D};
-use stencil_core::{BlockConfig, Dim, Grid2D, Grid3D, Real, Stencil2D, Stencil3D};
+use crate::counters::SimCounters;
+use rayon::prelude::*;
+use std::sync::Mutex;
+use std::time::Instant;
+use stencil_core::{BlockConfig, BlockSpan, Dim, Grid2D, Grid3D, Real, Stencil2D, Stencil3D};
 
 /// Splits `iters` into chain passes: each pass activates at most `partime`
 /// PEs; the last pass may activate fewer.
@@ -25,8 +49,36 @@ pub(crate) fn passes(iters: usize, partime: usize) -> Vec<usize> {
     out
 }
 
+fn check_2d<T: Real>(stencil: &Stencil2D<T>, config: &BlockConfig) {
+    assert_eq!(config.dim, Dim::D2, "2D run needs a 2D config");
+    assert_eq!(
+        config.rad,
+        stencil.radius(),
+        "config/stencil radius mismatch"
+    );
+    config.validate().expect("invalid block configuration");
+}
+
+fn check_3d<T: Real>(stencil: &Stencil3D<T>, config: &BlockConfig) {
+    assert_eq!(config.dim, Dim::D3, "3D run needs a 3D config");
+    assert_eq!(
+        config.rad,
+        stencil.radius(),
+        "config/stencil radius mismatch"
+    );
+    config.validate().expect("invalid block configuration");
+}
+
+/// Comp-core boundaries of a span list, as a partition of `[0, n)`.
+fn comp_bounds(spans: &[BlockSpan], n: usize) -> Vec<usize> {
+    let mut bounds: Vec<usize> = spans.iter().map(|s| s.comp_start).collect();
+    bounds.push(n);
+    bounds
+}
+
 /// Runs the 2D accelerator functionally: `iters` time steps of `stencil`
-/// over `grid` with the block schedule of `config`.
+/// over `grid` with the block schedule of `config`, spatial blocks in
+/// parallel.
 ///
 /// # Panics
 /// Panics when `config` is not a validated 2D configuration.
@@ -36,38 +88,91 @@ pub fn run_2d<T: Real>(
     config: &BlockConfig,
     iters: usize,
 ) -> Grid2D<T> {
-    assert_eq!(config.dim, Dim::D2, "2D run needs a 2D config");
-    assert_eq!(config.rad, stencil.radius(), "config/stencil radius mismatch");
-    config.validate().expect("invalid block configuration");
-
-    let (nx, ny) = (grid.nx(), grid.ny());
-    let mut src = grid.clone();
-    let mut dst = grid.clone();
-
-    for active in passes(iters, config.partime) {
-        for span in config.spans_x(nx) {
-            let x0 = span.read_start;
-            let width = span.read_len();
-            let mut chain =
-                Chain2D::new(stencil, config.partime, active, x0 as i64, width, nx, ny);
-            for y in 0..ny {
-                let row: Vec<T> = (0..width)
-                    .map(|j| src.get_clamped(x0 + j as isize, y as isize))
-                    .collect();
-                for (oy, orow) in chain.feed(y as i64, row) {
-                    let oy = oy as usize;
-                    for gx in span.comp_start..span.comp_end {
-                        dst.set(gx, oy, orow[(gx as isize - x0) as usize]);
-                    }
-                }
-            }
-        }
-        src.swap(&mut dst);
-    }
-    src
+    run_2d_instrumented(stencil, grid, config, iters).0
 }
 
-/// Runs the 3D accelerator functionally.
+/// [`run_2d`] plus the [`SimCounters`] tallied during the run.
+///
+/// # Panics
+/// Panics when `config` is not a validated 2D configuration.
+pub fn run_2d_instrumented<T: Real>(
+    stencil: &Stencil2D<T>,
+    grid: &Grid2D<T>,
+    config: &BlockConfig,
+    iters: usize,
+) -> (Grid2D<T>, SimCounters) {
+    check_2d(stencil, config);
+
+    let nx = grid.nx();
+    let mut src = grid.clone();
+    let mut dst = grid.clone();
+    let mut counters = SimCounters::default();
+    let t_run = Instant::now();
+
+    for active in passes(iters, config.partime) {
+        let t_pass = Instant::now();
+        let spans = config.spans_x(nx);
+        let blocks = dst.column_blocks(&comp_bounds(&spans, nx));
+        let tally = Mutex::new(SimCounters::default());
+        let src_ref = &src;
+        let tally_ref = &tally;
+        let partime = config.partime;
+        spans
+            .into_iter()
+            .zip(blocks)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(move |(span, mut strip)| {
+                let part = run_block_2d(stencil, src_ref, &span, &mut strip, partime, active);
+                tally_ref.lock().unwrap().merge(&part);
+            });
+        counters.merge(&tally.into_inner().unwrap());
+        counters.passes += 1;
+        counters.pass_seconds.push(t_pass.elapsed().as_secs_f64());
+        src.swap(&mut dst);
+    }
+    counters.elapsed_seconds = t_run.elapsed().as_secs_f64();
+    (src, counters)
+}
+
+/// One spatial block of one 2D pass: stream all rows of the block's read
+/// region through a fresh chain, committing the comp core into this block's
+/// pre-split destination strip.
+fn run_block_2d<T: Real>(
+    stencil: &Stencil2D<T>,
+    src: &Grid2D<T>,
+    span: &BlockSpan,
+    strip: &mut [&mut [T]],
+    partime: usize,
+    active: usize,
+) -> SimCounters {
+    let x0 = span.read_start;
+    let width = span.read_len();
+    let (nx, ny) = (src.nx(), src.ny());
+    let mut chain = Chain2D::new(stencil, partime, active, x0 as i64, width, nx, ny);
+    // The block's only steady-state input buffer, refilled in place per row.
+    let mut row = vec![T::ZERO; width];
+    let off = (span.comp_start as isize - x0) as usize;
+    let len = span.comp_len();
+    for y in 0..ny {
+        src.read_row_clamped(y as isize, x0, &mut row);
+        chain.feed_row(y as i64, &row, |oy, orow| {
+            strip[oy as usize].copy_from_slice(&orow[off..off + len]);
+        });
+    }
+    SimCounters {
+        cells_updated: (len * ny * active) as u64,
+        halo_cells: ((width - len) * ny * active) as u64,
+        rows_fed: ny as u64,
+        bytes_moved: ((width + len) * ny * std::mem::size_of::<T>()) as u64,
+        blocks: 1,
+        ..Default::default()
+    }
+}
+
+pub use crate::serial_ref::run_2d_serial;
+
+/// Runs the 3D accelerator functionally, spatial blocks in parallel.
 ///
 /// # Panics
 /// Panics when `config` is not a validated 3D configuration.
@@ -77,56 +182,97 @@ pub fn run_3d<T: Real>(
     config: &BlockConfig,
     iters: usize,
 ) -> Grid3D<T> {
-    assert_eq!(config.dim, Dim::D3, "3D run needs a 3D config");
-    assert_eq!(config.rad, stencil.radius(), "config/stencil radius mismatch");
-    config.validate().expect("invalid block configuration");
+    run_3d_instrumented(stencil, grid, config, iters).0
+}
 
-    let (nx, ny, nz) = (grid.nx(), grid.ny(), grid.nz());
+/// [`run_3d`] plus the [`SimCounters`] tallied during the run.
+///
+/// # Panics
+/// Panics when `config` is not a validated 3D configuration.
+pub fn run_3d_instrumented<T: Real>(
+    stencil: &Stencil3D<T>,
+    grid: &Grid3D<T>,
+    config: &BlockConfig,
+    iters: usize,
+) -> (Grid3D<T>, SimCounters) {
+    check_3d(stencil, config);
+
+    let (nx, ny) = (grid.nx(), grid.ny());
     let mut src = grid.clone();
     let mut dst = grid.clone();
+    let mut counters = SimCounters::default();
+    let t_run = Instant::now();
 
     for active in passes(iters, config.partime) {
-        for sy in config.spans_y(ny) {
-            for sx in config.spans_x(nx) {
-                let (x0, y0) = (sx.read_start, sy.read_start);
-                let (width, height) = (sx.read_len(), sy.read_len());
-                let mut chain = Chain3D::new(
-                    stencil,
-                    config.partime,
-                    active,
-                    x0 as i64,
-                    y0 as i64,
-                    width,
-                    height,
-                    nx,
-                    ny,
-                    nz,
-                );
-                for z in 0..nz {
-                    let mut plane = Vec::with_capacity(width * height);
-                    for i in 0..height {
-                        let gy = y0 + i as isize;
-                        for j in 0..width {
-                            plane.push(src.get_clamped(x0 + j as isize, gy, z as isize));
-                        }
-                    }
-                    for (oz, oplane) in chain.feed(z as i64, plane) {
-                        let oz = oz as usize;
-                        for gy in sy.comp_start..sy.comp_end {
-                            let i = (gy as isize - y0) as usize;
-                            for gx in sx.comp_start..sx.comp_end {
-                                let j = (gx as isize - x0) as usize;
-                                dst.set(gx, gy, oz, oplane[i * width + j]);
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        let t_pass = Instant::now();
+        let sys = config.spans_y(ny);
+        let sxs = config.spans_x(nx);
+        let blocks = dst.tile_blocks(&comp_bounds(&sxs, nx), &comp_bounds(&sys, ny));
+        // tile_blocks returns block (bx, by) at index by * nbx + bx — the
+        // same order as iterating sy outer, sx inner.
+        let work: Vec<(BlockSpan, BlockSpan, Vec<&mut [T]>)> = sys
+            .iter()
+            .flat_map(|sy| sxs.iter().map(move |sx| (*sx, *sy)))
+            .zip(blocks)
+            .map(|((sx, sy), strip)| (sx, sy, strip))
+            .collect();
+        let tally = Mutex::new(SimCounters::default());
+        let src_ref = &src;
+        let tally_ref = &tally;
+        let partime = config.partime;
+        work.into_par_iter().for_each(move |(sx, sy, mut strip)| {
+            let part = run_block_3d(stencil, src_ref, &sx, &sy, &mut strip, partime, active);
+            tally_ref.lock().unwrap().merge(&part);
+        });
+        counters.merge(&tally.into_inner().unwrap());
+        counters.passes += 1;
+        counters.pass_seconds.push(t_pass.elapsed().as_secs_f64());
         src.swap(&mut dst);
     }
-    src
+    counters.elapsed_seconds = t_run.elapsed().as_secs_f64();
+    (src, counters)
 }
+
+/// One spatial block of one 3D pass (see [`run_block_2d`]).
+fn run_block_3d<T: Real>(
+    stencil: &Stencil3D<T>,
+    src: &Grid3D<T>,
+    sx: &BlockSpan,
+    sy: &BlockSpan,
+    strip: &mut [&mut [T]],
+    partime: usize,
+    active: usize,
+) -> SimCounters {
+    let (x0, y0) = (sx.read_start, sy.read_start);
+    let (width, height) = (sx.read_len(), sy.read_len());
+    let (nx, ny, nz) = (src.nx(), src.ny(), src.nz());
+    let mut chain = Chain3D::new(
+        stencil, partime, active, x0 as i64, y0 as i64, width, height, nx, ny, nz,
+    );
+    let mut plane = vec![T::ZERO; width * height];
+    let offx = (sx.comp_start as isize - x0) as usize;
+    let offy = (sy.comp_start as isize - y0) as usize;
+    let (lenx, leny) = (sx.comp_len(), sy.comp_len());
+    for z in 0..nz {
+        src.read_plane_clamped(z as isize, x0, y0, width, &mut plane);
+        chain.feed_plane(z as i64, &plane, |oz, oplane| {
+            for i in 0..leny {
+                let s = (offy + i) * width + offx;
+                strip[oz as usize * leny + i].copy_from_slice(&oplane[s..s + lenx]);
+            }
+        });
+    }
+    SimCounters {
+        cells_updated: (lenx * leny * nz * active) as u64,
+        halo_cells: ((width * height - lenx * leny) * nz * active) as u64,
+        rows_fed: nz as u64,
+        bytes_moved: ((width * height + lenx * leny) * nz * std::mem::size_of::<T>()) as u64,
+        blocks: 1,
+        ..Default::default()
+    }
+}
+
+pub use crate::serial_ref::run_3d_serial;
 
 #[cfg(test)]
 mod tests {
@@ -160,6 +306,11 @@ mod tests {
             let got = run_2d(&st, &grid, &cfg, iters);
             let expect = exec::run_2d(&st, &grid, iters);
             assert_eq!(got, expect, "rad {rad}");
+            assert_eq!(
+                run_2d_serial(&st, &grid, &cfg, iters),
+                expect,
+                "serial, rad {rad}"
+            );
         }
     }
 
@@ -169,13 +320,17 @@ mod tests {
             let st = Stencil3D::<f32>::random(rad, 200 + rad as u64).unwrap();
             let partime = if rad == 2 { 2 } else { 4 };
             let cfg = BlockConfig::new_3d(rad, 32, 32, 2, partime).unwrap();
-            let grid =
-                Grid3D::from_fn(21, 19, 9, |x, y, z| ((x * 3 + y * 5 + z * 11) % 23) as f32)
-                    .unwrap();
+            let grid = Grid3D::from_fn(21, 19, 9, |x, y, z| ((x * 3 + y * 5 + z * 11) % 23) as f32)
+                .unwrap();
             let iters = partime + 1;
             let got = run_3d(&st, &grid, &cfg, iters);
             let expect = exec::run_3d(&st, &grid, iters);
             assert_eq!(got, expect, "rad {rad}");
+            assert_eq!(
+                run_3d_serial(&st, &grid, &cfg, iters),
+                expect,
+                "serial, rad {rad}"
+            );
         }
     }
 
@@ -208,6 +363,58 @@ mod tests {
         // nx smaller than csize: a single partial block.
         let grid = Grid2D::from_fn(17, 9, |x, y| (x * y + 1) as f32).unwrap();
         assert_eq!(run_2d(&st, &grid, &cfg, 5), exec::run_2d(&st, &grid, 5));
+    }
+
+    #[test]
+    fn counters_account_for_useful_and_halo_work() {
+        let rad = 2;
+        let st = Stencil2D::<f32>::random(rad, 13).unwrap();
+        let cfg = BlockConfig::new_2d(rad, 64, 4, 2).unwrap();
+        let (nx, ny) = (3 * cfg.csize_x(), 20);
+        let grid = Grid2D::from_fn(nx, ny, |x, y| (x + y) as f32).unwrap();
+        let iters = 5; // passes: [2, 2, 1]
+        let (_, c) = run_2d_instrumented(&st, &grid, &cfg, iters);
+        // Useful updates are exactly nx*ny per iteration, independent of
+        // blocking.
+        assert_eq!(c.cells_updated, (nx * ny * iters) as u64);
+        assert!(
+            c.halo_cells > 0,
+            "multi-block overlapped run must recompute halos"
+        );
+        assert_eq!(c.passes, 3);
+        assert_eq!(c.pass_seconds.len(), 3);
+        assert_eq!(c.blocks, 3 * 3); // 3 spatial blocks x 3 passes
+        assert_eq!(c.rows_fed, (3 * 3 * ny) as u64);
+        assert!(c.elapsed_seconds > 0.0);
+        assert!(c.bytes_moved > 0);
+    }
+
+    #[test]
+    fn counters_3d_useful_work_invariant() {
+        let rad = 1;
+        let st = Stencil3D::<f32>::random(rad, 7).unwrap();
+        let cfg = BlockConfig::new_3d(rad, 24, 24, 2, 4).unwrap();
+        let grid = Grid3D::from_fn(30, 26, 7, |x, y, z| ((x + y + z) % 5) as f32).unwrap();
+        let iters = 6;
+        let (_, c) = run_3d_instrumented(&st, &grid, &cfg, iters);
+        assert_eq!(c.cells_updated, (grid.len() * iters) as u64);
+        assert_eq!(c.passes, 2);
+    }
+
+    #[test]
+    fn parallel_equals_serial_on_degenerate_narrow_grid() {
+        // Narrow grids exercise single partial blocks and width-1 comp
+        // cores.
+        let st = Stencil2D::<f32>::random(2, 99).unwrap();
+        let cfg = BlockConfig::new_2d(2, 64, 4, 2).unwrap();
+        for nx in [1usize, 2, 5, 41] {
+            let grid = Grid2D::from_fn(nx, 13, |x, y| ((x * 3 + y) % 7) as f32).unwrap();
+            assert_eq!(
+                run_2d(&st, &grid, &cfg, 4),
+                run_2d_serial(&st, &grid, &cfg, 4),
+                "nx {nx}"
+            );
+        }
     }
 
     #[test]

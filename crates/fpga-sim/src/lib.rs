@@ -40,6 +40,7 @@
 pub mod accelerator;
 pub mod area;
 pub mod chain;
+pub mod counters;
 pub mod device;
 pub mod event;
 pub mod fmax;
@@ -47,6 +48,7 @@ pub mod functional;
 pub mod pe;
 pub mod power;
 pub mod schedule;
+pub mod serial_ref;
 pub mod shift_register;
 pub mod threaded;
 pub mod timing;
@@ -55,6 +57,7 @@ pub mod unblocked;
 
 pub use accelerator::Accelerator;
 pub use area::AreaEstimate;
+pub use counters::SimCounters;
 pub use device::FpgaDevice;
 pub use fmax::FmaxModel;
 pub use schedule::{CollapsedSchedule, LoopPoint};

@@ -8,7 +8,7 @@
 //! discarded by overlapped blocking) clamp to the region edge, which is
 //! deterministic and never reaches a committed cell.
 
-use crate::shift_register::ShiftRegister;
+use crate::shift_register::{RowPool, ShiftRegister};
 use stencil_core::{Real, Stencil2D, Stencil3D};
 
 /// Maximum supported stencil radius (generously above the paper's 4; §VI.A
@@ -69,41 +69,93 @@ impl<T: Real> Pe2D<T> {
     /// Feeds input row `y` (global index, `0..ny`) and returns every output
     /// row that became computable.
     ///
+    /// Convenience wrapper over [`Self::feed_into`] that allocates its
+    /// output rows; streaming callers should use `feed_into` with a shared
+    /// [`RowPool`] instead.
+    ///
     /// # Panics
     /// Panics when `row` has the wrong width or rows arrive out of order.
     pub fn feed(&mut self, y: i64, row: Vec<T>) -> Produced<T> {
-        assert_eq!(row.len(), self.width, "row width mismatch");
-        if !self.active {
-            return vec![(y, row)];
-        }
-        self.sr.push(y, row);
-        let rad = self.stencil.radius() as i64;
         let mut out = Produced::new();
-        // Output row `o` needs input rows up to min(o + rad, ny - 1).
-        while self.next_out < self.ny && (y - self.next_out >= rad || y == self.ny - 1) {
-            out.push((self.next_out, self.compute_row(self.next_out)));
-            self.next_out += 1;
-        }
+        let mut pool = RowPool::new();
+        self.feed_into(y, &row, &mut out, &mut pool);
         out
     }
 
-    fn compute_row(&self, y: i64) -> Vec<T> {
+    /// Feeds a borrowed input row and appends every output row that became
+    /// computable to `out`, drawing output buffers from `pool`.
+    ///
+    /// This is the allocation-free feed path: the shift register recycles
+    /// its evicted row storage ([`ShiftRegister::push_from`]) and output
+    /// rows live in pool buffers the caller must [`RowPool::put`] back once
+    /// consumed. With a warm pool, a steady-state call performs no heap
+    /// allocation.
+    ///
+    /// # Panics
+    /// Panics when `row` has the wrong width or rows arrive out of order.
+    pub fn feed_into(&mut self, y: i64, row: &[T], out: &mut Produced<T>, pool: &mut RowPool<T>) {
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        if !self.active {
+            let mut buf = pool.take();
+            buf.extend_from_slice(row);
+            out.push((y, buf));
+            return;
+        }
+        self.sr.push_from(y, row);
+        let rad = self.stencil.radius() as i64;
+        // Output row `o` needs input rows up to min(o + rad, ny - 1).
+        while self.next_out < self.ny && (y - self.next_out >= rad || y == self.ny - 1) {
+            let mut buf = pool.take();
+            self.compute_row_into(self.next_out, &mut buf);
+            out.push((self.next_out, buf));
+            self.next_out += 1;
+        }
+    }
+
+    fn compute_row_into(&self, y: i64, out: &mut Vec<T>) {
         let rad = self.stencil.radius();
         let hi = self.ny - 1;
         let cur = self.sr.get_clamped(y, 0, hi);
+        // The vertical taps of every cell in this row come from the same
+        // 2·rad rows — resolve those shift-register lookups once per row
+        // instead of once per cell per tap.
+        let mut south_rows = [cur; MAX_RADIUS];
+        let mut north_rows = [cur; MAX_RADIUS];
+        for d in 1..=rad {
+            south_rows[d - 1] = self.sr.get_clamped(y - d as i64, 0, hi);
+            north_rows[d - 1] = self.sr.get_clamped(y + d as i64, 0, hi);
+        }
         let mut west = [T::ZERO; MAX_RADIUS];
         let mut east = [T::ZERO; MAX_RADIUS];
         let mut south = [T::ZERO; MAX_RADIUS];
         let mut north = [T::ZERO; MAX_RADIUS];
-        let mut out = Vec::with_capacity(self.width);
+        out.clear();
+        out.reserve(self.width);
+        // Interior columns: every horizontal tap of cell `j` stays inside
+        // both the read region and the grid, so `tap_x(gx ± d)` is the
+        // identity `j ± d` and the clamping branches can be skipped.
+        let r = rad as i64;
+        let lo = r.max(r - self.x0).clamp(0, self.width as i64) as usize;
+        let hi_x = (self.width as i64 - r)
+            .min(self.nx - r - self.x0)
+            .clamp(lo as i64, self.width as i64) as usize;
         for j in 0..self.width {
-            let gx = self.x0 + j as i64;
-            for d in 1..=rad {
-                let di = d as i64;
-                west[d - 1] = cur[self.tap_x(gx - di)];
-                east[d - 1] = cur[self.tap_x(gx + di)];
-                south[d - 1] = self.sr.get_clamped(y - di, 0, hi)[j];
-                north[d - 1] = self.sr.get_clamped(y + di, 0, hi)[j];
+            if j >= lo && j < hi_x {
+                for d in 1..=rad {
+                    west[d - 1] = cur[j - d];
+                    east[d - 1] = cur[j + d];
+                    south[d - 1] = south_rows[d - 1][j];
+                    north[d - 1] = north_rows[d - 1][j];
+                }
+            } else {
+                let gx = self.x0 + j as i64;
+                for d in 1..=rad {
+                    let di = d as i64;
+                    west[d - 1] = cur[self.tap_x(gx - di)];
+                    east[d - 1] = cur[self.tap_x(gx + di)];
+                    south[d - 1] = south_rows[d - 1][j];
+                    north[d - 1] = north_rows[d - 1][j];
+                }
             }
             out.push(self.stencil.apply_taps(
                 cur[j],
@@ -113,7 +165,6 @@ impl<T: Real> Pe2D<T> {
                 &north[..rad],
             ));
         }
-        out
     }
 
     /// Local index of the tap for global column `gx`: first clamp to the
@@ -186,47 +237,98 @@ impl<T: Real> Pe3D<T> {
     /// Feeds input plane `z` (row-major `width × height`) and returns every
     /// output plane that became computable.
     ///
+    /// Convenience wrapper over [`Self::feed_into`]; streaming callers
+    /// should use `feed_into` with a shared [`RowPool`].
+    ///
     /// # Panics
     /// Panics when `plane` has the wrong size or planes arrive out of order.
     pub fn feed(&mut self, z: i64, plane: Vec<T>) -> Produced<T> {
-        assert_eq!(plane.len(), self.width * self.height, "plane size mismatch");
-        if !self.active {
-            return vec![(z, plane)];
-        }
-        self.sr.push(z, plane);
-        let rad = self.stencil.radius() as i64;
         let mut out = Produced::new();
-        while self.next_out < self.nz && (z - self.next_out >= rad || z == self.nz - 1) {
-            out.push((self.next_out, self.compute_plane(self.next_out)));
-            self.next_out += 1;
-        }
+        let mut pool = RowPool::new();
+        self.feed_into(z, &plane, &mut out, &mut pool);
         out
     }
 
-    fn compute_plane(&self, z: i64) -> Vec<T> {
+    /// Feeds a borrowed input plane and appends every output plane that
+    /// became computable to `out`, drawing buffers from `pool` — the
+    /// allocation-free feed path (see [`Pe2D::feed_into`]).
+    ///
+    /// # Panics
+    /// Panics when `plane` has the wrong size or planes arrive out of order.
+    pub fn feed_into(&mut self, z: i64, plane: &[T], out: &mut Produced<T>, pool: &mut RowPool<T>) {
+        assert_eq!(plane.len(), self.width * self.height, "plane size mismatch");
+        if !self.active {
+            let mut buf = pool.take();
+            buf.extend_from_slice(plane);
+            out.push((z, buf));
+            return;
+        }
+        self.sr.push_from(z, plane);
+        let rad = self.stencil.radius() as i64;
+        while self.next_out < self.nz && (z - self.next_out >= rad || z == self.nz - 1) {
+            let mut buf = pool.take();
+            self.compute_plane_into(self.next_out, &mut buf);
+            out.push((self.next_out, buf));
+            self.next_out += 1;
+        }
+    }
+
+    fn compute_plane_into(&self, z: i64, out: &mut Vec<T>) {
         let rad = self.stencil.radius();
         let hi = self.nz - 1;
         let cur = self.sr.get_clamped(z, 0, hi);
+        // The z taps of every cell in this plane come from the same 2·rad
+        // planes — resolve those shift-register lookups once per plane.
+        let mut below_planes = [cur; MAX_RADIUS];
+        let mut above_planes = [cur; MAX_RADIUS];
+        for d in 1..=rad {
+            below_planes[d - 1] = self.sr.get_clamped(z - d as i64, 0, hi);
+            above_planes[d - 1] = self.sr.get_clamped(z + d as i64, 0, hi);
+        }
         let mut west = [T::ZERO; MAX_RADIUS];
         let mut east = [T::ZERO; MAX_RADIUS];
         let mut south = [T::ZERO; MAX_RADIUS];
         let mut north = [T::ZERO; MAX_RADIUS];
         let mut below = [T::ZERO; MAX_RADIUS];
         let mut above = [T::ZERO; MAX_RADIUS];
-        let mut out = Vec::with_capacity(self.width * self.height);
+        out.clear();
+        out.reserve(self.width * self.height);
+        // Interior window where `tap_x`/`tap_y` are identities (see
+        // [`Pe2D`]): clamping branches are skipped for every cell in it.
+        let r = rad as i64;
+        let xlo = r.max(r - self.x0).clamp(0, self.width as i64) as usize;
+        let xhi = (self.width as i64 - r)
+            .min(self.nx - r - self.x0)
+            .clamp(xlo as i64, self.width as i64) as usize;
+        let ylo = r.max(r - self.y0).clamp(0, self.height as i64) as usize;
+        let yhi = (self.height as i64 - r)
+            .min(self.ny - r - self.y0)
+            .clamp(ylo as i64, self.height as i64) as usize;
         for i in 0..self.height {
             let gy = self.y0 + i as i64;
+            let row_interior = i >= ylo && i < yhi;
             for j in 0..self.width {
-                let gx = self.x0 + j as i64;
                 let here = i * self.width + j;
-                for d in 1..=rad {
-                    let di = d as i64;
-                    west[d - 1] = cur[i * self.width + self.tap_x(gx - di)];
-                    east[d - 1] = cur[i * self.width + self.tap_x(gx + di)];
-                    south[d - 1] = cur[self.tap_y(gy - di) * self.width + j];
-                    north[d - 1] = cur[self.tap_y(gy + di) * self.width + j];
-                    below[d - 1] = self.sr.get_clamped(z - di, 0, hi)[here];
-                    above[d - 1] = self.sr.get_clamped(z + di, 0, hi)[here];
+                if row_interior && j >= xlo && j < xhi {
+                    for d in 1..=rad {
+                        west[d - 1] = cur[here - d];
+                        east[d - 1] = cur[here + d];
+                        south[d - 1] = cur[here - d * self.width];
+                        north[d - 1] = cur[here + d * self.width];
+                        below[d - 1] = below_planes[d - 1][here];
+                        above[d - 1] = above_planes[d - 1][here];
+                    }
+                } else {
+                    let gx = self.x0 + j as i64;
+                    for d in 1..=rad {
+                        let di = d as i64;
+                        west[d - 1] = cur[i * self.width + self.tap_x(gx - di)];
+                        east[d - 1] = cur[i * self.width + self.tap_x(gx + di)];
+                        south[d - 1] = cur[self.tap_y(gy - di) * self.width + j];
+                        north[d - 1] = cur[self.tap_y(gy + di) * self.width + j];
+                        below[d - 1] = below_planes[d - 1][here];
+                        above[d - 1] = above_planes[d - 1][here];
+                    }
                 }
                 out.push(self.stencil.apply_taps(
                     cur[here],
@@ -239,7 +341,6 @@ impl<T: Real> Pe3D<T> {
                 ));
             }
         }
-        out
     }
 
     #[inline]

@@ -36,10 +36,26 @@ mod tests {
             (BlockConfig::new_2d(2, 4096, 4, 42).unwrap(), 322.47, 69.611),
             (BlockConfig::new_2d(3, 4096, 4, 28).unwrap(), 302.75, 66.139),
             (BlockConfig::new_2d(4, 4096, 4, 22).unwrap(), 301.20, 68.925),
-            (BlockConfig::new_3d(1, 256, 256, 16, 12).unwrap(), 286.61, 71.628),
-            (BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap(), 262.88, 59.664),
-            (BlockConfig::new_3d(3, 256, 128, 16, 4).unwrap(), 255.36, 63.183),
-            (BlockConfig::new_3d(4, 256, 128, 16, 3).unwrap(), 242.77, 58.572),
+            (
+                BlockConfig::new_3d(1, 256, 256, 16, 12).unwrap(),
+                286.61,
+                71.628,
+            ),
+            (
+                BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap(),
+                262.88,
+                59.664,
+            ),
+            (
+                BlockConfig::new_3d(3, 256, 128, 16, 4).unwrap(),
+                255.36,
+                63.183,
+            ),
+            (
+                BlockConfig::new_3d(4, 256, 128, 16, 3).unwrap(),
+                242.77,
+                58.572,
+            ),
         ];
         for (cfg, fmax, paper_w) in rows {
             let a = AreaEstimate::for_config(&d, &cfg);

@@ -174,9 +174,21 @@ mod tests {
         assert_eq!(
             points,
             vec![
-                LoopPoint { block: 0, row: 0, vec: 0 },
-                LoopPoint { block: 0, row: 0, vec: 1 },
-                LoopPoint { block: 0, row: 0, vec: 2 },
+                LoopPoint {
+                    block: 0,
+                    row: 0,
+                    vec: 0
+                },
+                LoopPoint {
+                    block: 0,
+                    row: 0,
+                    vec: 1
+                },
+                LoopPoint {
+                    block: 0,
+                    row: 0,
+                    vec: 2
+                },
             ]
         );
     }

@@ -1,0 +1,431 @@
+//! The original serial simulator data path, frozen as a reference.
+//!
+//! This module preserves the simulator's first implementation byte-for-byte
+//! in behavior *and* in performance characteristics: per-row `Vec` gathers
+//! through `Grid::get_clamped`, per-PE allocation of every cascaded row, and
+//! per-cell `Grid::set` commits, all on one thread. It exists for two
+//! reasons:
+//!
+//! 1. **Differential oracle.** [`crate::functional`]'s block-parallel
+//!    zero-allocation path must stay bit-exact with this one; because the
+//!    two share no data-path code, agreement is strong evidence of
+//!    correctness (the property tests exercise it across random
+//!    configurations).
+//! 2. **Performance baseline.** `stencil_bench --simulator-matrix` reports
+//!    the parallel path's cells/s as a speedup over this path, so the
+//!    number measures the PR's actual data-path win rather than drifting
+//!    with whatever the shared kernels happen to be.
+//!
+//! Do not optimize this module — that is the point of it.
+
+use crate::shift_register::ShiftRegister;
+use stencil_core::{BlockConfig, Dim, Grid2D, Grid3D, Real, Stencil2D, Stencil3D};
+
+use crate::pe::{Produced, MAX_RADIUS};
+
+/// The seed's 2D PE: allocates each output row, gathers every tap through
+/// the shift register's clamped lookup.
+#[derive(Debug, Clone)]
+struct SeedPe2D<T> {
+    stencil: Stencil2D<T>,
+    x0: i64,
+    nx: i64,
+    ny: i64,
+    width: usize,
+    sr: ShiftRegister<T>,
+    next_out: i64,
+    active: bool,
+}
+
+impl<T: Real> SeedPe2D<T> {
+    fn new(stencil: Stencil2D<T>, x0: i64, width: usize, nx: usize, ny: usize) -> Self {
+        assert!(stencil.radius() <= MAX_RADIUS, "radius above MAX_RADIUS");
+        assert!(width > 0, "empty read region");
+        let rad = stencil.radius();
+        Self {
+            stencil,
+            x0,
+            nx: nx as i64,
+            ny: ny as i64,
+            width,
+            sr: ShiftRegister::new(2 * rad + 1),
+            next_out: 0,
+            active: true,
+        }
+    }
+
+    fn feed(&mut self, y: i64, row: Vec<T>) -> Produced<T> {
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        if !self.active {
+            return vec![(y, row)];
+        }
+        self.sr.push(y, row);
+        let rad = self.stencil.radius() as i64;
+        let mut out = Produced::new();
+        while self.next_out < self.ny && (y - self.next_out >= rad || y == self.ny - 1) {
+            out.push((self.next_out, self.compute_row(self.next_out)));
+            self.next_out += 1;
+        }
+        out
+    }
+
+    fn compute_row(&self, y: i64) -> Vec<T> {
+        let rad = self.stencil.radius();
+        let hi = self.ny - 1;
+        let cur = self.sr.get_clamped(y, 0, hi);
+        let mut west = [T::ZERO; MAX_RADIUS];
+        let mut east = [T::ZERO; MAX_RADIUS];
+        let mut south = [T::ZERO; MAX_RADIUS];
+        let mut north = [T::ZERO; MAX_RADIUS];
+        let mut out = Vec::with_capacity(self.width);
+        for j in 0..self.width {
+            let gx = self.x0 + j as i64;
+            for d in 1..=rad {
+                let di = d as i64;
+                west[d - 1] = cur[self.tap_x(gx - di)];
+                east[d - 1] = cur[self.tap_x(gx + di)];
+                south[d - 1] = self.sr.get_clamped(y - di, 0, hi)[j];
+                north[d - 1] = self.sr.get_clamped(y + di, 0, hi)[j];
+            }
+            out.push(self.stencil.apply_taps(
+                cur[j],
+                &west[..rad],
+                &east[..rad],
+                &south[..rad],
+                &north[..rad],
+            ));
+        }
+        out
+    }
+
+    #[inline]
+    fn tap_x(&self, gx: i64) -> usize {
+        let clamped = gx.clamp(0, self.nx - 1);
+        (clamped - self.x0).clamp(0, self.width as i64 - 1) as usize
+    }
+}
+
+/// The seed's 3D PE (see [`SeedPe2D`]).
+#[derive(Debug, Clone)]
+struct SeedPe3D<T> {
+    stencil: Stencil3D<T>,
+    x0: i64,
+    y0: i64,
+    nx: i64,
+    ny: i64,
+    nz: i64,
+    width: usize,
+    height: usize,
+    sr: ShiftRegister<T>,
+    next_out: i64,
+    active: bool,
+}
+
+impl<T: Real> SeedPe3D<T> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        stencil: Stencil3D<T>,
+        x0: i64,
+        y0: i64,
+        width: usize,
+        height: usize,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+    ) -> Self {
+        assert!(stencil.radius() <= MAX_RADIUS, "radius above MAX_RADIUS");
+        assert!(width > 0 && height > 0, "empty read region");
+        let rad = stencil.radius();
+        Self {
+            stencil,
+            x0,
+            y0,
+            nx: nx as i64,
+            ny: ny as i64,
+            nz: nz as i64,
+            width,
+            height,
+            sr: ShiftRegister::new(2 * rad + 1),
+            next_out: 0,
+            active: true,
+        }
+    }
+
+    fn feed(&mut self, z: i64, plane: Vec<T>) -> Produced<T> {
+        assert_eq!(plane.len(), self.width * self.height, "plane size mismatch");
+        if !self.active {
+            return vec![(z, plane)];
+        }
+        self.sr.push(z, plane);
+        let rad = self.stencil.radius() as i64;
+        let mut out = Produced::new();
+        while self.next_out < self.nz && (z - self.next_out >= rad || z == self.nz - 1) {
+            out.push((self.next_out, self.compute_plane(self.next_out)));
+            self.next_out += 1;
+        }
+        out
+    }
+
+    fn compute_plane(&self, z: i64) -> Vec<T> {
+        let rad = self.stencil.radius();
+        let hi = self.nz - 1;
+        let cur = self.sr.get_clamped(z, 0, hi);
+        let mut west = [T::ZERO; MAX_RADIUS];
+        let mut east = [T::ZERO; MAX_RADIUS];
+        let mut south = [T::ZERO; MAX_RADIUS];
+        let mut north = [T::ZERO; MAX_RADIUS];
+        let mut below = [T::ZERO; MAX_RADIUS];
+        let mut above = [T::ZERO; MAX_RADIUS];
+        let mut out = Vec::with_capacity(self.width * self.height);
+        for i in 0..self.height {
+            let gy = self.y0 + i as i64;
+            for j in 0..self.width {
+                let gx = self.x0 + j as i64;
+                let here = i * self.width + j;
+                for d in 1..=rad {
+                    let di = d as i64;
+                    west[d - 1] = cur[i * self.width + self.tap_x(gx - di)];
+                    east[d - 1] = cur[i * self.width + self.tap_x(gx + di)];
+                    south[d - 1] = cur[self.tap_y(gy - di) * self.width + j];
+                    north[d - 1] = cur[self.tap_y(gy + di) * self.width + j];
+                    below[d - 1] = self.sr.get_clamped(z - di, 0, hi)[here];
+                    above[d - 1] = self.sr.get_clamped(z + di, 0, hi)[here];
+                }
+                out.push(self.stencil.apply_taps(
+                    cur[here],
+                    &west[..rad],
+                    &east[..rad],
+                    &south[..rad],
+                    &north[..rad],
+                    &below[..rad],
+                    &above[..rad],
+                ));
+            }
+        }
+        out
+    }
+
+    #[inline]
+    fn tap_x(&self, gx: i64) -> usize {
+        let clamped = gx.clamp(0, self.nx - 1);
+        (clamped - self.x0).clamp(0, self.width as i64 - 1) as usize
+    }
+
+    #[inline]
+    fn tap_y(&self, gy: i64) -> usize {
+        let clamped = gy.clamp(0, self.ny - 1);
+        (clamped - self.y0).clamp(0, self.height as i64 - 1) as usize
+    }
+}
+
+/// The seed's chain: each cascade step routes whole `Vec` rows between PEs.
+fn seed_chain_2d<T: Real>(
+    stencil: &Stencil2D<T>,
+    partime: usize,
+    active: usize,
+    x0: i64,
+    width: usize,
+    nx: usize,
+    ny: usize,
+) -> Vec<SeedPe2D<T>> {
+    assert!(partime > 0, "empty chain");
+    assert!(active <= partime, "more active PEs than chain length");
+    (0..partime)
+        .map(|t| {
+            let mut pe = SeedPe2D::new(stencil.clone(), x0, width, nx, ny);
+            pe.active = t < active;
+            pe
+        })
+        .collect()
+}
+
+fn seed_feed_2d<T: Real>(pes: &mut [SeedPe2D<T>], y: i64, row: Vec<T>) -> Produced<T> {
+    let mut wave = vec![(y, row)];
+    for pe in pes {
+        let mut next = Produced::new();
+        for (iy, irow) in wave {
+            next.extend(pe.feed(iy, irow));
+        }
+        wave = next;
+        if wave.is_empty() {
+            return wave;
+        }
+    }
+    wave
+}
+
+#[allow(clippy::too_many_arguments)]
+fn seed_chain_3d<T: Real>(
+    stencil: &Stencil3D<T>,
+    partime: usize,
+    active: usize,
+    x0: i64,
+    y0: i64,
+    width: usize,
+    height: usize,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+) -> Vec<SeedPe3D<T>> {
+    assert!(partime > 0, "empty chain");
+    assert!(active <= partime, "more active PEs than chain length");
+    (0..partime)
+        .map(|t| {
+            let mut pe = SeedPe3D::new(stencil.clone(), x0, y0, width, height, nx, ny, nz);
+            pe.active = t < active;
+            pe
+        })
+        .collect()
+}
+
+fn seed_feed_3d<T: Real>(pes: &mut [SeedPe3D<T>], z: i64, plane: Vec<T>) -> Produced<T> {
+    let mut wave = vec![(z, plane)];
+    for pe in pes {
+        let mut next = Produced::new();
+        for (iz, iplane) in wave {
+            next.extend(pe.feed(iz, iplane));
+        }
+        wave = next;
+        if wave.is_empty() {
+            return wave;
+        }
+    }
+    wave
+}
+
+/// The original serial 2D run: sequential spatial blocks, per-row `Vec`
+/// gathers, per-cell commits. Differential oracle and performance baseline
+/// for [`crate::functional::run_2d`].
+///
+/// # Panics
+/// Panics when `config` is not a validated 2D configuration.
+pub fn run_2d_serial<T: Real>(
+    stencil: &Stencil2D<T>,
+    grid: &Grid2D<T>,
+    config: &BlockConfig,
+    iters: usize,
+) -> Grid2D<T> {
+    assert_eq!(config.dim, Dim::D2, "2D run needs a 2D config");
+    assert_eq!(
+        config.rad,
+        stencil.radius(),
+        "config/stencil radius mismatch"
+    );
+    config.validate().expect("invalid block configuration");
+
+    let (nx, ny) = (grid.nx(), grid.ny());
+    let mut src = grid.clone();
+    let mut dst = grid.clone();
+
+    for active in crate::functional::passes(iters, config.partime) {
+        for span in config.spans_x(nx) {
+            let x0 = span.read_start;
+            let width = span.read_len();
+            let mut pes = seed_chain_2d(stencil, config.partime, active, x0 as i64, width, nx, ny);
+            for y in 0..ny {
+                let row: Vec<T> = (0..width)
+                    .map(|j| src.get_clamped(x0 + j as isize, y as isize))
+                    .collect();
+                for (oy, orow) in seed_feed_2d(&mut pes, y as i64, row) {
+                    let oy = oy as usize;
+                    for gx in span.comp_start..span.comp_end {
+                        dst.set(gx, oy, orow[(gx as isize - x0) as usize]);
+                    }
+                }
+            }
+        }
+        src.swap(&mut dst);
+    }
+    src
+}
+
+/// The original serial 3D run (see [`run_2d_serial`]).
+///
+/// # Panics
+/// Panics when `config` is not a validated 3D configuration.
+pub fn run_3d_serial<T: Real>(
+    stencil: &Stencil3D<T>,
+    grid: &Grid3D<T>,
+    config: &BlockConfig,
+    iters: usize,
+) -> Grid3D<T> {
+    assert_eq!(config.dim, Dim::D3, "3D run needs a 3D config");
+    assert_eq!(
+        config.rad,
+        stencil.radius(),
+        "config/stencil radius mismatch"
+    );
+    config.validate().expect("invalid block configuration");
+
+    let (nx, ny, nz) = (grid.nx(), grid.ny(), grid.nz());
+    let mut src = grid.clone();
+    let mut dst = grid.clone();
+
+    for active in crate::functional::passes(iters, config.partime) {
+        for sy in config.spans_y(ny) {
+            for sx in config.spans_x(nx) {
+                let (x0, y0) = (sx.read_start, sy.read_start);
+                let (width, height) = (sx.read_len(), sy.read_len());
+                let mut pes = seed_chain_3d(
+                    stencil,
+                    config.partime,
+                    active,
+                    x0 as i64,
+                    y0 as i64,
+                    width,
+                    height,
+                    nx,
+                    ny,
+                    nz,
+                );
+                for z in 0..nz {
+                    let mut plane = Vec::with_capacity(width * height);
+                    for i in 0..height {
+                        let gy = y0 + i as isize;
+                        for j in 0..width {
+                            plane.push(src.get_clamped(x0 + j as isize, gy, z as isize));
+                        }
+                    }
+                    for (oz, oplane) in seed_feed_3d(&mut pes, z as i64, plane) {
+                        let oz = oz as usize;
+                        for gy in sy.comp_start..sy.comp_end {
+                            let i = (gy as isize - y0) as usize;
+                            for gx in sx.comp_start..sx.comp_end {
+                                let j = (gx as isize - x0) as usize;
+                                dst.set(gx, gy, oz, oplane[i * width + j]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        src.swap(&mut dst);
+    }
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::exec;
+
+    #[test]
+    fn serial_reference_matches_oracle_2d() {
+        for rad in 1..=3 {
+            let st = Stencil2D::<f32>::random(rad, 700 + rad as u64).unwrap();
+            let cfg = BlockConfig::new_2d(rad, 48, 4, 4).unwrap();
+            let grid = Grid2D::from_fn(70, 21, |x, y| ((x * 3 + y * 13) % 23) as f32).unwrap();
+            let got = run_2d_serial(&st, &grid, &cfg, 7);
+            assert_eq!(got, exec::run_2d(&st, &grid, 7), "rad {rad}");
+        }
+    }
+
+    #[test]
+    fn serial_reference_matches_oracle_3d() {
+        let st = Stencil3D::<f32>::random(2, 701).unwrap();
+        let cfg = BlockConfig::new_3d(2, 24, 24, 2, 2).unwrap();
+        let grid = Grid3D::from_fn(28, 30, 9, |x, y, z| ((x + 5 * y + 2 * z) % 11) as f32).unwrap();
+        let got = run_3d_serial(&st, &grid, &cfg, 5);
+        assert_eq!(got, exec::run_3d(&st, &grid, 5));
+    }
+}

@@ -15,6 +15,43 @@
 
 use std::collections::VecDeque;
 
+/// A free list of row/plane buffers for allocation-free steady-state
+/// streaming.
+///
+/// Every buffer that leaves the hot path (a committed output row, a
+/// cascaded intermediate) is [`put`](Self::put) back and handed out again by
+/// [`take`](Self::take), so after the first few rows warm the pool the feed
+/// loops run without touching the allocator. Ownership rule: whoever drains
+/// a `Produced` list returns its buffers to the pool of the chain that
+/// produced them.
+#[derive(Debug, Clone, Default)]
+pub struct RowPool<T> {
+    free: Vec<Vec<T>>,
+}
+
+impl<T> RowPool<T> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self { free: Vec::new() }
+    }
+
+    /// Hands out an empty buffer, recycling a returned one when available.
+    pub fn take(&mut self) -> Vec<T> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool (cleared, capacity kept).
+    pub fn put(&mut self, mut buf: Vec<T>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
 /// Ring buffer of the most recent `capacity` rows (or planes), tagged with
 /// their global index along the streamed dimension.
 #[derive(Debug, Clone)]
@@ -66,6 +103,28 @@ impl<T: Clone> ShiftRegister<T> {
             self.rows.pop_front();
         }
         self.rows.push_back((index, row));
+    }
+
+    /// Copies a borrowed row into the register, recycling the storage of the
+    /// evicted row — the allocation-free twin of [`Self::push`]: once the
+    /// register is warm, pushes reuse the oldest row's buffer instead of
+    /// allocating.
+    ///
+    /// # Panics
+    /// Panics when indices are pushed out of order.
+    pub fn push_from(&mut self, index: i64, row: &[T]) {
+        if let Some(&(last, _)) = self.rows.back() {
+            assert!(index > last, "rows must be pushed in increasing order");
+        }
+        let mut buf = if self.rows.len() == self.capacity {
+            let (_, mut b) = self.rows.pop_front().expect("non-empty at capacity");
+            b.clear();
+            b
+        } else {
+            Vec::with_capacity(row.len())
+        };
+        buf.extend_from_slice(row);
+        self.rows.push_back((index, buf));
     }
 
     /// The row with global index `index`, if still resident.
@@ -173,5 +232,49 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = ShiftRegister::<f32>::new(0);
+    }
+
+    #[test]
+    fn push_from_behaves_like_push() {
+        let mut a = ShiftRegister::new(3);
+        let mut b = ShiftRegister::new(3);
+        for i in 0..6 {
+            let row = vec![i as f32, (i * i) as f32];
+            a.push(i, row.clone());
+            b.push_from(i, &row);
+        }
+        for i in 0..6 {
+            assert_eq!(a.get(i), b.get(i), "row {i}");
+        }
+        assert_eq!(b.oldest(), Some(3));
+        assert_eq!(b.newest(), Some(5));
+    }
+
+    #[test]
+    fn push_from_recycles_evicted_capacity() {
+        let mut sr = ShiftRegister::new(2);
+        sr.push_from(0, &[1.0f64; 8]);
+        sr.push_from(1, &[2.0; 8]);
+        // From here on every push evicts; the evicted 8-cell buffer is
+        // reused, so capacity never grows past the row length.
+        for i in 2..10 {
+            sr.push_from(i, &[i as f64; 8]);
+        }
+        assert_eq!(sr.get(9), Some(&[9.0f64; 8][..]));
+        assert_eq!(sr.len(), 2);
+    }
+
+    #[test]
+    fn row_pool_recycles_buffers() {
+        let mut pool = RowPool::<f32>::new();
+        let mut buf = pool.take();
+        buf.extend_from_slice(&[1.0, 2.0, 3.0]);
+        let cap = buf.capacity();
+        pool.put(buf);
+        assert_eq!(pool.idle(), 1);
+        let again = pool.take();
+        assert!(again.is_empty());
+        assert_eq!(again.capacity(), cap, "capacity survives the round trip");
+        assert_eq!(pool.idle(), 0);
     }
 }

@@ -5,22 +5,112 @@
 //! replicated autorun compute kernels, and a write kernel, all running
 //! concurrently and connected by on-chip channels (Fig. 2). This module
 //! reproduces that structure literally: one thread per kernel, bounded
-//! crossbeam channels in between (bounded, like the hardware FIFOs, so
+//! in-process FIFOs in between (bounded, like the hardware FIFOs, so
 //! back-pressure propagates).
+//!
+//! Threads and channels are created **once per chain pass** and reused
+//! across all spatial blocks of that pass — like the FPGA, where the
+//! kernels are resident and only the block stream changes. Block
+//! boundaries travel through the pipeline as [`Msg::Block`]/[`Msg::EndBlock`]
+//! markers; closing the head FIFO ends the pass and drains the pipeline.
 //!
 //! Because every PE evaluates Eq. (1) in the canonical order, the threaded
 //! executor is **bit-identical** to [`crate::functional`] — concurrency
 //! reorders nothing that matters. The property is tested below.
 
 use crate::pe::{Pe2D, Pe3D};
-use crossbeam::channel::bounded;
-use stencil_core::{BlockConfig, Dim, Grid2D, Grid3D, Real, Stencil2D, Stencil3D};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use stencil_core::{BlockConfig, BlockSpan, Dim, Grid2D, Grid3D, Real, Stencil2D, Stencil3D};
 
-/// Depth of the inter-kernel channels, mirroring the on-chip FIFO depth.
-const CHANNEL_DEPTH: usize = 8;
+/// Tunables for the threaded simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Depth of the inter-kernel channels, mirroring the on-chip FIFO depth
+    /// the OpenCL compiler instantiates between kernels.
+    pub channel_depth: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { channel_depth: 8 }
+    }
+}
+
+/// A bounded MPSC FIFO on `Mutex` + `Condvar` — the std-only stand-in for a
+/// hardware channel. `send` blocks when full (back-pressure), `recv` blocks
+/// when empty, `close` ends the stream after the queue drains.
+struct Fifo<M> {
+    state: Mutex<FifoState<M>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct FifoState<M> {
+    queue: VecDeque<M>,
+    closed: bool,
+}
+
+impl<M> Fifo<M> {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "channel depth must be positive");
+        Self {
+            state: Mutex::new(FifoState {
+                queue: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn send(&self, msg: M) {
+        let mut st = self.state.lock().unwrap();
+        while st.queue.len() == self.capacity {
+            st = self.not_full.wait(st).unwrap();
+        }
+        st.queue.push_back(msg);
+        drop(st);
+        self.not_empty.notify_one();
+    }
+
+    fn recv(&self) -> Option<M> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(msg);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// What flows through the pipeline: block markers and data rows/planes.
+enum Msg<T> {
+    /// The next spatial block starts; each kernel resets its per-block
+    /// state (the span itself is known to every kernel from the schedule).
+    Block,
+    /// One row (2D) or plane (3D), tagged with its stream index.
+    Row(i64, Vec<T>),
+    /// The current spatial block is complete.
+    EndBlock,
+}
 
 /// Runs the 2D accelerator with one thread per kernel (read, `partime` PEs,
-/// write), per spatial block.
+/// write) and default [`SimOptions`].
 ///
 /// # Panics
 /// Panics when `config` is not a validated 2D configuration.
@@ -30,8 +120,26 @@ pub fn run_2d<T: Real>(
     config: &BlockConfig,
     iters: usize,
 ) -> Grid2D<T> {
+    run_2d_opts(stencil, grid, config, iters, &SimOptions::default())
+}
+
+/// [`run_2d`] with explicit [`SimOptions`].
+///
+/// # Panics
+/// Panics when `config` is not a validated 2D configuration.
+pub fn run_2d_opts<T: Real>(
+    stencil: &Stencil2D<T>,
+    grid: &Grid2D<T>,
+    config: &BlockConfig,
+    iters: usize,
+    opts: &SimOptions,
+) -> Grid2D<T> {
     assert_eq!(config.dim, Dim::D2, "2D run needs a 2D config");
-    assert_eq!(config.rad, stencil.radius(), "config/stencil radius mismatch");
+    assert_eq!(
+        config.rad,
+        stencil.radius(),
+        "config/stencil radius mismatch"
+    );
     config.validate().expect("invalid block configuration");
 
     let (nx, ny) = (grid.nx(), grid.ny());
@@ -39,63 +147,94 @@ pub fn run_2d<T: Real>(
     let mut dst = grid.clone();
 
     for active in crate::functional::passes(iters, config.partime) {
-        for span in config.spans_x(nx) {
-            let x0 = span.read_start;
-            let width = span.read_len();
+        let spans = config.spans_x(nx);
+        // One FIFO between consecutive kernels: read -> pe_0 -> … -> write.
+        let fifos: Vec<Fifo<Msg<T>>> = (0..=config.partime)
+            .map(|_| Fifo::new(opts.channel_depth))
+            .collect();
 
-            // Build the channel pipeline: read -> pe_0 -> ... -> pe_{n-1} -> write.
-            let (read_tx, head_rx) = bounded::<(i64, Vec<T>)>(CHANNEL_DEPTH);
-            let mut pes: Vec<Pe2D<T>> = (0..config.partime)
-                .map(|t| {
-                    let mut pe = Pe2D::new(stencil.clone(), x0 as i64, width, nx, ny);
-                    pe.set_active(t < active);
-                    pe
-                })
-                .collect();
-
-            crossbeam::scope(|s| {
-                // Read kernel.
-                let src_ref = &src;
-                s.spawn(move |_| {
+        std::thread::scope(|s| {
+            // Read kernel: streams every block of the pass.
+            let src_ref = &src;
+            let head = &fifos[0];
+            let read_spans = spans.clone();
+            s.spawn(move || {
+                for span in &read_spans {
+                    head.send(Msg::Block);
+                    let width = span.read_len();
                     for y in 0..ny {
-                        let row: Vec<T> = (0..width)
-                            .map(|j| src_ref.get_clamped(x0 + j as isize, y as isize))
-                            .collect();
-                        read_tx.send((y as i64, row)).expect("pipeline hung up");
+                        let mut row = vec![T::ZERO; width];
+                        src_ref.read_row_clamped(y as isize, span.read_start, &mut row);
+                        head.send(Msg::Row(y as i64, row));
                     }
-                    // Dropping read_tx closes the stream.
-                });
+                    head.send(Msg::EndBlock);
+                }
+                head.close();
+            });
 
-                // Compute kernels (autorun PE array).
-                let mut rx = head_rx;
-                for mut pe in pes.drain(..) {
-                    let (tx, next_rx) = bounded::<(i64, Vec<T>)>(CHANNEL_DEPTH);
-                    s.spawn(move |_| {
-                        for (y, row) in rx.iter() {
-                            for out in pe.feed(y, row) {
-                                tx.send(out).expect("pipeline hung up");
+            // Compute kernels (autorun PE array), persistent for the pass.
+            for t in 0..config.partime {
+                let rx = &fifos[t];
+                let tx = &fifos[t + 1];
+                let pe_spans = spans.clone();
+                s.spawn(move || {
+                    let mut block = 0usize;
+                    let mut pe: Option<Pe2D<T>> = None;
+                    while let Some(msg) = rx.recv() {
+                        match msg {
+                            Msg::Block => {
+                                let span = &pe_spans[block];
+                                block += 1;
+                                let mut p = Pe2D::new(
+                                    stencil.clone(),
+                                    span.read_start as i64,
+                                    span.read_len(),
+                                    nx,
+                                    ny,
+                                );
+                                p.set_active(t < active);
+                                pe = Some(p);
+                                tx.send(Msg::Block);
                             }
+                            Msg::Row(y, row) => {
+                                let p = pe.as_mut().expect("row before block marker");
+                                for (oy, orow) in p.feed(y, row) {
+                                    tx.send(Msg::Row(oy, orow));
+                                }
+                            }
+                            Msg::EndBlock => tx.send(Msg::EndBlock),
                         }
-                    });
-                    rx = next_rx;
-                }
-
-                // Write kernel (runs on this thread; it owns `dst`).
-                for (oy, orow) in rx.iter() {
-                    let oy = oy as usize;
-                    for gx in span.comp_start..span.comp_end {
-                        dst.set(gx, oy, orow[(gx as isize - x0) as usize]);
                     }
+                    tx.close();
+                });
+            }
+
+            // Write kernel (runs on this thread; it owns `dst`).
+            let tail = &fifos[config.partime];
+            let mut span_iter = spans.iter();
+            let mut cur: Option<&BlockSpan> = None;
+            while let Some(msg) = tail.recv() {
+                match msg {
+                    Msg::Block => cur = Some(span_iter.next().expect("more blocks than spans")),
+                    Msg::Row(oy, orow) => {
+                        let span = cur.expect("row outside a block");
+                        let oy = oy as usize;
+                        let x0 = span.read_start;
+                        let off = (span.comp_start as isize - x0) as usize;
+                        dst.row_mut(oy)[span.comp_start..span.comp_end]
+                            .copy_from_slice(&orow[off..off + span.comp_len()]);
+                    }
+                    Msg::EndBlock => cur = None,
                 }
-            })
-            .expect("a pipeline thread panicked");
-        }
+            }
+        });
         src.swap(&mut dst);
     }
     src
 }
 
-/// Runs the 3D accelerator with one thread per kernel, per spatial block.
+/// Runs the 3D accelerator with one thread per kernel and default
+/// [`SimOptions`].
 ///
 /// # Panics
 /// Panics when `config` is not a validated 3D configuration.
@@ -105,8 +244,26 @@ pub fn run_3d<T: Real>(
     config: &BlockConfig,
     iters: usize,
 ) -> Grid3D<T> {
+    run_3d_opts(stencil, grid, config, iters, &SimOptions::default())
+}
+
+/// [`run_3d`] with explicit [`SimOptions`].
+///
+/// # Panics
+/// Panics when `config` is not a validated 3D configuration.
+pub fn run_3d_opts<T: Real>(
+    stencil: &Stencil3D<T>,
+    grid: &Grid3D<T>,
+    config: &BlockConfig,
+    iters: usize,
+    opts: &SimOptions,
+) -> Grid3D<T> {
     assert_eq!(config.dim, Dim::D3, "3D run needs a 3D config");
-    assert_eq!(config.rad, stencil.radius(), "config/stencil radius mismatch");
+    assert_eq!(
+        config.rad,
+        stencil.radius(),
+        "config/stencil radius mismatch"
+    );
     config.validate().expect("invalid block configuration");
 
     let (nx, ny, nz) = (grid.nx(), grid.ny(), grid.nz());
@@ -114,75 +271,103 @@ pub fn run_3d<T: Real>(
     let mut dst = grid.clone();
 
     for active in crate::functional::passes(iters, config.partime) {
-        for sy in config.spans_y(ny) {
-            for sx in config.spans_x(nx) {
-                let (x0, y0) = (sx.read_start, sy.read_start);
-                let (width, height) = (sx.read_len(), sy.read_len());
+        // Flatten the 2D block schedule: sy outer, sx inner.
+        let blocks: Vec<(BlockSpan, BlockSpan)> = config
+            .spans_y(ny)
+            .into_iter()
+            .flat_map(|sy| config.spans_x(nx).into_iter().map(move |sx| (sx, sy)))
+            .collect();
+        let fifos: Vec<Fifo<Msg<T>>> = (0..=config.partime)
+            .map(|_| Fifo::new(opts.channel_depth))
+            .collect();
 
-                let (read_tx, head_rx) = bounded::<(i64, Vec<T>)>(CHANNEL_DEPTH);
-                let mut pes: Vec<Pe3D<T>> = (0..config.partime)
-                    .map(|t| {
-                        let mut pe = Pe3D::new(
-                            stencil.clone(),
-                            x0 as i64,
-                            y0 as i64,
+        std::thread::scope(|s| {
+            let src_ref = &src;
+            let head = &fifos[0];
+            let read_blocks = blocks.clone();
+            s.spawn(move || {
+                for (sx, sy) in &read_blocks {
+                    head.send(Msg::Block);
+                    let (width, height) = (sx.read_len(), sy.read_len());
+                    for z in 0..nz {
+                        let mut plane = vec![T::ZERO; width * height];
+                        src_ref.read_plane_clamped(
+                            z as isize,
+                            sx.read_start,
+                            sy.read_start,
                             width,
-                            height,
-                            nx,
-                            ny,
-                            nz,
+                            &mut plane,
                         );
-                        pe.set_active(t < active);
-                        pe
-                    })
-                    .collect();
+                        head.send(Msg::Row(z as i64, plane));
+                    }
+                    head.send(Msg::EndBlock);
+                }
+                head.close();
+            });
 
-                crossbeam::scope(|s| {
-                    let src_ref = &src;
-                    s.spawn(move |_| {
-                        for z in 0..nz {
-                            let mut plane = Vec::with_capacity(width * height);
-                            for i in 0..height {
-                                let gy = y0 + i as isize;
-                                for j in 0..width {
-                                    plane.push(src_ref.get_clamped(
-                                        x0 + j as isize,
-                                        gy,
-                                        z as isize,
-                                    ));
+            for t in 0..config.partime {
+                let rx = &fifos[t];
+                let tx = &fifos[t + 1];
+                let pe_blocks = blocks.clone();
+                s.spawn(move || {
+                    let mut block = 0usize;
+                    let mut pe: Option<Pe3D<T>> = None;
+                    while let Some(msg) = rx.recv() {
+                        match msg {
+                            Msg::Block => {
+                                let (sx, sy) = &pe_blocks[block];
+                                block += 1;
+                                let mut p = Pe3D::new(
+                                    stencil.clone(),
+                                    sx.read_start as i64,
+                                    sy.read_start as i64,
+                                    sx.read_len(),
+                                    sy.read_len(),
+                                    nx,
+                                    ny,
+                                    nz,
+                                );
+                                p.set_active(t < active);
+                                pe = Some(p);
+                                tx.send(Msg::Block);
+                            }
+                            Msg::Row(z, plane) => {
+                                let p = pe.as_mut().expect("plane before block marker");
+                                for (oz, oplane) in p.feed(z, plane) {
+                                    tx.send(Msg::Row(oz, oplane));
                                 }
                             }
-                            read_tx.send((z as i64, plane)).expect("pipeline hung up");
-                        }
-                    });
-
-                    let mut rx = head_rx;
-                    for mut pe in pes.drain(..) {
-                        let (tx, next_rx) = bounded::<(i64, Vec<T>)>(CHANNEL_DEPTH);
-                        s.spawn(move |_| {
-                            for (z, plane) in rx.iter() {
-                                for out in pe.feed(z, plane) {
-                                    tx.send(out).expect("pipeline hung up");
-                                }
-                            }
-                        });
-                        rx = next_rx;
-                    }
-
-                    for (oz, oplane) in rx.iter() {
-                        let oz = oz as usize;
-                        for gy in sy.comp_start..sy.comp_end {
-                            let i = (gy as isize - y0) as usize;
-                            for gx in sx.comp_start..sx.comp_end {
-                                let j = (gx as isize - x0) as usize;
-                                dst.set(gx, gy, oz, oplane[i * width + j]);
-                            }
+                            Msg::EndBlock => tx.send(Msg::EndBlock),
                         }
                     }
-                })
-                .expect("a pipeline thread panicked");
+                    tx.close();
+                });
             }
-        }
+
+            let tail = &fifos[config.partime];
+            let mut block_iter = blocks.iter();
+            let mut cur: Option<&(BlockSpan, BlockSpan)> = None;
+            while let Some(msg) = tail.recv() {
+                match msg {
+                    Msg::Block => cur = Some(block_iter.next().expect("more blocks than spans")),
+                    Msg::Row(oz, oplane) => {
+                        let (sx, sy) = cur.expect("plane outside a block");
+                        let oz = oz as usize;
+                        let width = sx.read_len();
+                        let offx = (sx.comp_start as isize - sx.read_start) as usize;
+                        let offy = (sy.comp_start as isize - sy.read_start) as usize;
+                        for gy in sy.comp_start..sy.comp_end {
+                            let i = gy - sy.comp_start + offy;
+                            let s = i * width + offx;
+                            let d = (oz * ny + gy) * nx + sx.comp_start;
+                            dst.as_mut_slice()[d..d + sx.comp_len()]
+                                .copy_from_slice(&oplane[s..s + sx.comp_len()]);
+                        }
+                    }
+                    Msg::EndBlock => cur = None,
+                }
+            }
+        });
         src.swap(&mut dst);
     }
     src
@@ -215,8 +400,8 @@ mod tests {
         let rad = 2;
         let st = Stencil3D::<f32>::random(rad, 500).unwrap();
         let cfg = BlockConfig::new_3d(rad, 24, 24, 2, 2).unwrap();
-        let grid = Grid3D::from_fn(30, 26, 11, |x, y, z| ((x + y * 2 + z * 7) % 13) as f32)
-            .unwrap();
+        let grid =
+            Grid3D::from_fn(30, 26, 11, |x, y, z| ((x + y * 2 + z * 7) % 13) as f32).unwrap();
         let iters = 5;
         let t = run_3d(&st, &grid, &cfg, iters);
         let f = functional::run_3d(&st, &grid, &cfg, iters);
@@ -233,5 +418,44 @@ mod tests {
         let grid = Grid2D::from_fn(96, 64, |x, y| (x + y) as f32).unwrap();
         let got = run_2d(&st, &grid, &cfg, 16);
         assert_eq!(got, exec::run_2d(&st, &grid, 16));
+    }
+
+    #[test]
+    fn shallow_channels_still_correct() {
+        // channel_depth 1 maximizes back-pressure; results must not change.
+        let st = Stencil2D::<f32>::random(2, 71).unwrap();
+        let cfg = BlockConfig::new_2d(2, 64, 4, 4).unwrap();
+        let grid = Grid2D::from_fn(100, 25, |x, y| ((x * 11 + y) % 17) as f32).unwrap();
+        let opts = SimOptions { channel_depth: 1 };
+        let got = run_2d_opts(&st, &grid, &cfg, 9, &opts);
+        assert_eq!(got, exec::run_2d(&st, &grid, 9));
+    }
+
+    #[test]
+    fn fifo_close_drains_queue_first() {
+        let f = Fifo::new(4);
+        f.send(1u32);
+        f.send(2);
+        f.close();
+        assert_eq!(f.recv(), Some(1));
+        assert_eq!(f.recv(), Some(2));
+        assert_eq!(f.recv(), None);
+    }
+
+    #[test]
+    fn fifo_backpressure_blocks_until_drained() {
+        let f = Fifo::new(1);
+        f.send(0u32);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Blocks until the main thread drains one slot.
+                f.send(1);
+                f.close();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert_eq!(f.recv(), Some(0));
+            assert_eq!(f.recv(), Some(1));
+            assert_eq!(f.recv(), None);
+        });
     }
 }

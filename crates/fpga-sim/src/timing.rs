@@ -180,7 +180,11 @@ pub fn simulate(
     iters: usize,
     opts: &TimingOptions,
 ) -> TimingReport {
-    assert_eq!(config.dim, dims.dim(), "config/grid dimensionality mismatch");
+    assert_eq!(
+        config.dim,
+        dims.dim(),
+        "config/grid dimensionality mismatch"
+    );
     config.validate().expect("invalid block configuration");
     assert!(opts.fmax_mhz > 0.0, "fmax must be positive");
 
@@ -339,9 +343,8 @@ impl PassSim {
             let read_cells = span.read_len() as u64;
             let write_cells = span.comp_len() as u64;
             for y in 0..ny as u64 {
-                let read_addr = (in_pad as i64 + (y * nx as u64) as i64 + span.read_start as i64)
-                    as u64
-                    * 4;
+                let read_addr =
+                    (in_pad as i64 + (y * nx as u64) as i64 + span.read_start as i64) as u64 * 4;
                 let write_addr = (y * nx as u64 + span.comp_start as u64) * 4;
                 self.row(read_addr, read_cells, write_addr, write_cells);
             }
@@ -380,12 +383,10 @@ impl PassSim {
                             * 4;
                         // Writes only for rows inside the y compute region.
                         let wy = sy.read_start as i64 + i as i64;
-                        let in_comp =
-                            wy >= sy.comp_start as i64 && wy < sy.comp_end as i64;
-                        let write_addr = ((z * ny as u64) as i64 + wy.max(0)) as u64
-                            * nx as u64
-                            * 4
-                            + sx.comp_start as u64 * 4;
+                        let in_comp = wy >= sy.comp_start as i64 && wy < sy.comp_end as i64;
+                        let write_addr =
+                            ((z * ny as u64) as i64 + wy.max(0)) as u64 * nx as u64 * 4
+                                + sx.comp_start as u64 * 4;
                         self.row(
                             read_addr,
                             read_cells,
@@ -404,8 +405,7 @@ impl PassSim {
                 }
                 // Chain fill/drain in planes.
                 let extra_planes = (config.partime * config.rad) as u64;
-                self.total_cycles +=
-                    extra_planes * height * read_cells.div_ceil(self.parvec);
+                self.total_cycles += extra_planes * height * read_cells.div_ceil(self.parvec);
             }
         }
     }
@@ -465,7 +465,11 @@ mod tests {
         // parvec 16 => 64 B requests; a grid whose row stride is an odd
         // multiple of 32 B makes half the rows unaligned (the 3D mechanism).
         let cfg16 = BlockConfig::new_3d(1, 64, 64, 16, 4).unwrap();
-        let dims = GridDims::D3 { nx: 72, ny: 72, nz: 40 };
+        let dims = GridDims::D3 {
+            nx: 72,
+            ny: 72,
+            nz: 40,
+        };
         let r16 = simulate(&arria(), &cfg16, dims, 4, &TimingOptions::at_fmax(280.0));
         assert!(
             r16.read_stats.split_requests > 0,
@@ -511,7 +515,11 @@ mod tests {
         let _ = simulate(
             &arria(),
             &cfg,
-            GridDims::D3 { nx: 8, ny: 8, nz: 8 },
+            GridDims::D3 {
+                nx: 8,
+                ny: 8,
+                nz: 8,
+            },
             1,
             &TimingOptions::at_fmax(300.0),
         );

@@ -41,7 +41,11 @@ pub fn x_taps(rad: usize, lane: usize) -> Vec<Tap> {
              // clamp: out-of-bound falls back on border"
         )
         .unwrap();
-        writeln!(code, "    const float {name} = sr[sr_center_l{lane} - {name}_off];").unwrap();
+        writeln!(
+            code,
+            "    const float {name} = sr[sr_center_l{lane} - {name}_off];"
+        )
+        .unwrap();
         out.push(Tap { name, code });
 
         let name = format!("east_{d}_l{lane}");
@@ -51,7 +55,11 @@ pub fn x_taps(rad: usize, lane: usize) -> Vec<Tap> {
             "    const int {name}_off = (gx{lane} < NX - {d}) ? {d} : (NX - 1 - gx{lane});"
         )
         .unwrap();
-        writeln!(code, "    const float {name} = sr[sr_center_l{lane} + {name}_off];").unwrap();
+        writeln!(
+            code,
+            "    const float {name} = sr[sr_center_l{lane} + {name}_off];"
+        )
+        .unwrap();
         out.push(Tap { name, code });
     }
     out
@@ -60,7 +68,15 @@ pub fn x_taps(rad: usize, lane: usize) -> Vec<Tap> {
 /// Generates the streamed-dimension taps (south/north for 2D, below/above
 /// for 3D): whole-row offsets of `±d · row_stride`, clamped against the
 /// stream position.
-pub fn stream_taps(rad: usize, lane: usize, dim_len_macro: &str, pos_var: &str, stride_macro: &str, lo_name: &str, hi_name: &str) -> Vec<Tap> {
+pub fn stream_taps(
+    rad: usize,
+    lane: usize,
+    dim_len_macro: &str,
+    pos_var: &str,
+    stride_macro: &str,
+    lo_name: &str,
+    hi_name: &str,
+) -> Vec<Tap> {
     let mut out = Vec::with_capacity(2 * rad);
     for d in 1..=rad {
         let name = format!("{lo_name}_{d}_l{lane}");

@@ -70,14 +70,31 @@ fn defines_common(config: &BlockConfig) -> Vec<(String, String)> {
 }
 
 fn header(src: &mut String, config: &BlockConfig) {
-    writeln!(src, "// Auto-generated high-order stencil kernel (radius {}).", config.rad).unwrap();
-    writeln!(src, "// Design: combined spatial/temporal blocking, overlapped blocks,").unwrap();
-    writeln!(src, "// read -> PE chain (autorun) -> write, per Zohouri et al. 2018.").unwrap();
+    writeln!(
+        src,
+        "// Auto-generated high-order stencil kernel (radius {}).",
+        config.rad
+    )
+    .unwrap();
+    writeln!(
+        src,
+        "// Design: combined spatial/temporal blocking, overlapped blocks,"
+    )
+    .unwrap();
+    writeln!(
+        src,
+        "// read -> PE chain (autorun) -> write, per Zohouri et al. 2018."
+    )
+    .unwrap();
     writeln!(src, "#pragma OPENCL EXTENSION cl_intel_channels : enable").unwrap();
     writeln!(src).unwrap();
     writeln!(src, "typedef struct {{ float lane[PAR_VEC]; }} vec_t;").unwrap();
     writeln!(src).unwrap();
-    writeln!(src, "channel vec_t ch_pipe[PAR_TIME + 1] __attribute__((depth(256)));").unwrap();
+    writeln!(
+        src,
+        "channel vec_t ch_pipe[PAR_TIME + 1] __attribute__((depth(256)));"
+    )
+    .unwrap();
     writeln!(src).unwrap();
 }
 
@@ -102,10 +119,22 @@ fn coefficient_macros(src: &mut String, config: &BlockConfig) {
 }
 
 fn read_kernel(src: &mut String, three_d: bool) {
-    writeln!(src, "__kernel void read_kernel(__global const float* restrict input,").unwrap();
+    writeln!(
+        src,
+        "__kernel void read_kernel(__global const float* restrict input,"
+    )
+    .unwrap();
     writeln!(src, "                          const int total_vectors) {{").unwrap();
-    writeln!(src, "  // Exit-condition optimization (§III.A): a single global index").unwrap();
-    writeln!(src, "  // accumulator replaces the chained block/index comparisons.").unwrap();
+    writeln!(
+        src,
+        "  // Exit-condition optimization (§III.A): a single global index"
+    )
+    .unwrap();
+    writeln!(
+        src,
+        "  // accumulator replaces the chained block/index comparisons."
+    )
+    .unwrap();
     writeln!(src, "  for (long gi = 0; gi < total_vectors; gi++) {{").unwrap();
     writeln!(src, "    vec_t v;").unwrap();
     writeln!(src, "    #pragma unroll").unwrap();
@@ -120,8 +149,16 @@ fn read_kernel(src: &mut String, three_d: bool) {
 }
 
 fn write_kernel(src: &mut String) {
-    writeln!(src, "__kernel void write_kernel(__global float* restrict output,").unwrap();
-    writeln!(src, "                           const int total_vectors) {{").unwrap();
+    writeln!(
+        src,
+        "__kernel void write_kernel(__global float* restrict output,"
+    )
+    .unwrap();
+    writeln!(
+        src,
+        "                           const int total_vectors) {{"
+    )
+    .unwrap();
     writeln!(src, "  for (long gi = 0; gi < total_vectors; gi++) {{").unwrap();
     writeln!(src, "    vec_t v = read_channel_intel(ch_pipe[PAR_TIME]);").unwrap();
     writeln!(src, "    #pragma unroll").unwrap();
@@ -161,10 +198,18 @@ fn generate_2d(config: &BlockConfig) -> KernelSource {
     writeln!(src, "__attribute__((num_compute_units(PAR_TIME)))").unwrap();
     writeln!(src, "__kernel void compute_kernel() {{").unwrap();
     writeln!(src, "  const int pe = get_compute_id(0);").unwrap();
-    writeln!(src, "  float sr[SR_SIZE];  // Eq. 7 shift register, in Block RAM").unwrap();
+    writeln!(
+        src,
+        "  float sr[SR_SIZE];  // Eq. 7 shift register, in Block RAM"
+    )
+    .unwrap();
     writeln!(src, "  while (1) {{").unwrap();
     writeln!(src, "    vec_t in = read_channel_intel(ch_pipe[pe]);").unwrap();
-    writeln!(src, "    // Loop collapsing (§III.A): x/y/block counters are maintained").unwrap();
+    writeln!(
+        src,
+        "    // Loop collapsing (§III.A): x/y/block counters are maintained"
+    )
+    .unwrap();
     writeln!(src, "    // flat; shift by PAR_VEC each iteration.").unwrap();
     writeln!(src, "    #pragma unroll").unwrap();
     writeln!(src, "    for (int i = 0; i < SR_SIZE - PAR_VEC; i++) {{").unwrap();
@@ -179,7 +224,11 @@ fn generate_2d(config: &BlockConfig) -> KernelSource {
     for lane in 0..config.parvec {
         writeln!(src, "    // ---- lane {lane} ----").unwrap();
         writeln!(src, "    const int gx{lane} = gx_base + {lane};").unwrap();
-        writeln!(src, "    const int sr_center_l{lane} = RAD * BSIZE_X + {lane};").unwrap();
+        writeln!(
+            src,
+            "    const int sr_center_l{lane} = RAD * BSIZE_X + {lane};"
+        )
+        .unwrap();
         for tap in boundary::x_taps(config.rad, lane) {
             src.push_str(&tap.code);
         }
@@ -234,7 +283,11 @@ fn generate_3d(config: &BlockConfig) -> KernelSource {
     for lane in 0..config.parvec {
         writeln!(src, "    // ---- lane {lane} ----").unwrap();
         writeln!(src, "    const int gx{lane} = gx_base + {lane};").unwrap();
-        writeln!(src, "    const int sr_center_l{lane} = RAD * PLANE + {lane};").unwrap();
+        writeln!(
+            src,
+            "    const int sr_center_l{lane} = RAD * PLANE + {lane};"
+        )
+        .unwrap();
         for tap in boundary::x_taps(config.rad, lane) {
             src.push_str(&tap.code);
         }
@@ -327,7 +380,9 @@ mod tests {
         ];
         let mut pos = 0;
         for pat in order {
-            let found = s[pos..].find(pat).unwrap_or_else(|| panic!("missing {pat}"));
+            let found = s[pos..]
+                .find(pat)
+                .unwrap_or_else(|| panic!("missing {pat}"));
             pos += found;
         }
     }
@@ -358,7 +413,9 @@ mod tests {
     #[test]
     fn defines_cover_all_knobs() {
         let k = generate(&BlockConfig::new_3d(2, 256, 128, 16, 6).unwrap());
-        for name in ["RAD", "BSIZE_X", "BSIZE_Y", "PAR_VEC", "PAR_TIME", "HALO", "CSIZE_X", "CSIZE_Y"] {
+        for name in [
+            "RAD", "BSIZE_X", "BSIZE_Y", "PAR_VEC", "PAR_TIME", "HALO", "CSIZE_X", "CSIZE_Y",
+        ] {
             assert!(k.defines.iter().any(|(n, _)| n == name), "missing {name}");
         }
         let cmd = k.aoc_command("stencil_r2");

@@ -123,7 +123,13 @@ mod tests {
     fn xeon_projection_matches_table4_within_3_percent() {
         let eff = BandwidthEfficiency::paper_yask_xeon();
         for rad in 1..=4 {
-            let p = project(&XEON, Dim::D2, rad, eff.get(Dim::D2, rad).unwrap(), XEON_POWER_TDP_FRACTION);
+            let p = project(
+                &XEON,
+                Dim::D2,
+                rad,
+                eff.get(Dim::D2, rad).unwrap(),
+                XEON_POWER_TDP_FRACTION,
+            );
             let row = paper::table4()
                 .into_iter()
                 .find(|r| r.device == XEON.name && r.rad == rad)
@@ -142,7 +148,13 @@ mod tests {
     fn phi_projection_matches_table5_within_3_percent() {
         let eff = BandwidthEfficiency::paper_yask_phi();
         for rad in 1..=4 {
-            let p = project(&XEON_PHI, Dim::D3, rad, eff.get(Dim::D3, rad).unwrap(), PHI_POWER_TDP_FRACTION);
+            let p = project(
+                &XEON_PHI,
+                Dim::D3,
+                rad,
+                eff.get(Dim::D3, rad).unwrap(),
+                PHI_POWER_TDP_FRACTION,
+            );
             let row = paper::table5()
                 .into_iter()
                 .find(|r| r.device == XEON_PHI.name && r.rad == rad)
@@ -163,7 +175,10 @@ mod tests {
         let g: Vec<f64> = (1..=4)
             .map(|r| project(&XEON, Dim::D2, r, eff.get(Dim::D2, r).unwrap(), 0.84).gcells)
             .collect();
-        let (min, max) = (g.iter().cloned().fold(f64::MAX, f64::min), g.iter().cloned().fold(0.0, f64::max));
+        let (min, max) = (
+            g.iter().cloned().fold(f64::MAX, f64::min),
+            g.iter().cloned().fold(0.0, f64::max),
+        );
         assert!(max / min < 1.05);
     }
 

@@ -51,8 +51,7 @@ pub fn estimate(device: &FpgaDevice, config: &BlockConfig, fmax_mhz: f64) -> Est
     config.validate().expect("invalid configuration");
 
     let commit_ratio = 1.0 / config.redundancy();
-    let pipeline =
-        fmax_mhz * 1e6 * (config.parvec * config.partime) as f64 * commit_ratio / 1e9;
+    let pipeline = fmax_mhz * 1e6 * (config.parvec * config.partime) as f64 * commit_ratio / 1e9;
 
     let fmem = device.mem_controller_mhz();
     let bw = device.peak_mem_gbps() * (fmax_mhz / fmem).min(1.0);
@@ -179,7 +178,10 @@ mod tests {
         let e = estimate(&d, &cfg, 300.0);
         assert!(e.memory_bound);
         let need = required_bandwidth_gbps(&cfg, e.gcells);
-        assert!((need - d.peak_mem_gbps()).abs() / d.peak_mem_gbps() < 0.01, "{need}");
+        assert!(
+            (need - d.peak_mem_gbps()).abs() / d.peak_mem_gbps() < 0.01,
+            "{need}"
+        );
     }
 
     #[test]

@@ -52,14 +52,158 @@ pub struct Table3Row {
 pub fn table3() -> Vec<Table3Row> {
     use Dim::*;
     vec![
-        Table3Row { dim: D2, rad: 1, bsize: (4096, 0), parvec: 8, partime: 36, input: (16096, 16096, 0), estimated_gbs: 780.500, measured_gbs: 673.959, measured_gflops: 758.204, measured_gcells: 84.245, fmax_mhz: 343.76, logic_frac: 0.55, bram_bits_frac: 0.38, bram_blocks_frac: 0.83, dsp_frac: 0.95, power_watts: 72.530, model_accuracy: 0.863 },
-        Table3Row { dim: D2, rad: 2, bsize: (4096, 0), parvec: 4, partime: 42, input: (15712, 15712, 0), estimated_gbs: 423.173, measured_gbs: 359.752, measured_gflops: 764.473, measured_gcells: 44.969, fmax_mhz: 322.47, logic_frac: 0.64, bram_bits_frac: 0.75, bram_blocks_frac: 1.00, dsp_frac: 1.00, power_watts: 69.611, model_accuracy: 0.850 },
-        Table3Row { dim: D2, rad: 3, bsize: (4096, 0), parvec: 4, partime: 28, input: (15712, 15712, 0), estimated_gbs: 264.863, measured_gbs: 225.215, measured_gflops: 703.797, measured_gcells: 28.152, fmax_mhz: 302.75, logic_frac: 0.57, bram_bits_frac: 0.75, bram_blocks_frac: 1.00, dsp_frac: 0.96, power_watts: 66.139, model_accuracy: 0.850 },
-        Table3Row { dim: D2, rad: 4, bsize: (4096, 0), parvec: 4, partime: 22, input: (15680, 15680, 0), estimated_gbs: 206.061, measured_gbs: 174.381, measured_gflops: 719.322, measured_gcells: 21.798, fmax_mhz: 301.20, logic_frac: 0.60, bram_bits_frac: 0.78, bram_blocks_frac: 1.00, dsp_frac: 0.99, power_watts: 68.925, model_accuracy: 0.846 },
-        Table3Row { dim: D3, rad: 1, bsize: (256, 256), parvec: 16, partime: 12, input: (696, 696, 696), estimated_gbs: 378.345, measured_gbs: 230.568, measured_gflops: 374.673, measured_gcells: 28.821, fmax_mhz: 286.61, logic_frac: 0.60, bram_bits_frac: 0.94, bram_blocks_frac: 1.00, dsp_frac: 0.89, power_watts: 71.628, model_accuracy: 0.609 },
-        Table3Row { dim: D3, rad: 2, bsize: (256, 128), parvec: 16, partime: 6, input: (696, 728, 696), estimated_gbs: 176.713, measured_gbs: 97.035, measured_gflops: 303.234, measured_gcells: 12.129, fmax_mhz: 262.88, logic_frac: 0.44, bram_bits_frac: 0.73, bram_blocks_frac: 0.87, dsp_frac: 0.83, power_watts: 59.664, model_accuracy: 0.549 },
-        Table3Row { dim: D3, rad: 3, bsize: (256, 128), parvec: 16, partime: 4, input: (696, 728, 696), estimated_gbs: 114.667, measured_gbs: 63.737, measured_gflops: 294.784, measured_gcells: 7.967, fmax_mhz: 255.36, logic_frac: 0.44, bram_bits_frac: 0.81, bram_blocks_frac: 0.99, dsp_frac: 0.81, power_watts: 63.183, model_accuracy: 0.556 },
-        Table3Row { dim: D3, rad: 4, bsize: (256, 128), parvec: 16, partime: 3, input: (696, 728, 696), estimated_gbs: 81.597, measured_gbs: 44.701, measured_gflops: 273.794, measured_gcells: 5.588, fmax_mhz: 242.77, logic_frac: 0.47, bram_bits_frac: 0.85, bram_blocks_frac: 1.00, dsp_frac: 0.80, power_watts: 58.572, model_accuracy: 0.548 },
+        Table3Row {
+            dim: D2,
+            rad: 1,
+            bsize: (4096, 0),
+            parvec: 8,
+            partime: 36,
+            input: (16096, 16096, 0),
+            estimated_gbs: 780.500,
+            measured_gbs: 673.959,
+            measured_gflops: 758.204,
+            measured_gcells: 84.245,
+            fmax_mhz: 343.76,
+            logic_frac: 0.55,
+            bram_bits_frac: 0.38,
+            bram_blocks_frac: 0.83,
+            dsp_frac: 0.95,
+            power_watts: 72.530,
+            model_accuracy: 0.863,
+        },
+        Table3Row {
+            dim: D2,
+            rad: 2,
+            bsize: (4096, 0),
+            parvec: 4,
+            partime: 42,
+            input: (15712, 15712, 0),
+            estimated_gbs: 423.173,
+            measured_gbs: 359.752,
+            measured_gflops: 764.473,
+            measured_gcells: 44.969,
+            fmax_mhz: 322.47,
+            logic_frac: 0.64,
+            bram_bits_frac: 0.75,
+            bram_blocks_frac: 1.00,
+            dsp_frac: 1.00,
+            power_watts: 69.611,
+            model_accuracy: 0.850,
+        },
+        Table3Row {
+            dim: D2,
+            rad: 3,
+            bsize: (4096, 0),
+            parvec: 4,
+            partime: 28,
+            input: (15712, 15712, 0),
+            estimated_gbs: 264.863,
+            measured_gbs: 225.215,
+            measured_gflops: 703.797,
+            measured_gcells: 28.152,
+            fmax_mhz: 302.75,
+            logic_frac: 0.57,
+            bram_bits_frac: 0.75,
+            bram_blocks_frac: 1.00,
+            dsp_frac: 0.96,
+            power_watts: 66.139,
+            model_accuracy: 0.850,
+        },
+        Table3Row {
+            dim: D2,
+            rad: 4,
+            bsize: (4096, 0),
+            parvec: 4,
+            partime: 22,
+            input: (15680, 15680, 0),
+            estimated_gbs: 206.061,
+            measured_gbs: 174.381,
+            measured_gflops: 719.322,
+            measured_gcells: 21.798,
+            fmax_mhz: 301.20,
+            logic_frac: 0.60,
+            bram_bits_frac: 0.78,
+            bram_blocks_frac: 1.00,
+            dsp_frac: 0.99,
+            power_watts: 68.925,
+            model_accuracy: 0.846,
+        },
+        Table3Row {
+            dim: D3,
+            rad: 1,
+            bsize: (256, 256),
+            parvec: 16,
+            partime: 12,
+            input: (696, 696, 696),
+            estimated_gbs: 378.345,
+            measured_gbs: 230.568,
+            measured_gflops: 374.673,
+            measured_gcells: 28.821,
+            fmax_mhz: 286.61,
+            logic_frac: 0.60,
+            bram_bits_frac: 0.94,
+            bram_blocks_frac: 1.00,
+            dsp_frac: 0.89,
+            power_watts: 71.628,
+            model_accuracy: 0.609,
+        },
+        Table3Row {
+            dim: D3,
+            rad: 2,
+            bsize: (256, 128),
+            parvec: 16,
+            partime: 6,
+            input: (696, 728, 696),
+            estimated_gbs: 176.713,
+            measured_gbs: 97.035,
+            measured_gflops: 303.234,
+            measured_gcells: 12.129,
+            fmax_mhz: 262.88,
+            logic_frac: 0.44,
+            bram_bits_frac: 0.73,
+            bram_blocks_frac: 0.87,
+            dsp_frac: 0.83,
+            power_watts: 59.664,
+            model_accuracy: 0.549,
+        },
+        Table3Row {
+            dim: D3,
+            rad: 3,
+            bsize: (256, 128),
+            parvec: 16,
+            partime: 4,
+            input: (696, 728, 696),
+            estimated_gbs: 114.667,
+            measured_gbs: 63.737,
+            measured_gflops: 294.784,
+            measured_gcells: 7.967,
+            fmax_mhz: 255.36,
+            logic_frac: 0.44,
+            bram_bits_frac: 0.81,
+            bram_blocks_frac: 0.99,
+            dsp_frac: 0.81,
+            power_watts: 63.183,
+            model_accuracy: 0.556,
+        },
+        Table3Row {
+            dim: D3,
+            rad: 4,
+            bsize: (256, 128),
+            parvec: 16,
+            partime: 3,
+            input: (696, 728, 696),
+            estimated_gbs: 81.597,
+            measured_gbs: 44.701,
+            measured_gflops: 273.794,
+            measured_gcells: 5.588,
+            fmax_mhz: 242.77,
+            logic_frac: 0.47,
+            bram_bits_frac: 0.85,
+            bram_blocks_frac: 1.00,
+            dsp_frac: 0.80,
+            power_watts: 58.572,
+            model_accuracy: 0.548,
+        },
     ]
 }
 
@@ -101,15 +245,17 @@ pub fn table4() -> Vec<ComparisonRow> {
         ("Xeon Phi 7210F", 4, 759.198, 23.006, 3.369, 0.46, false),
     ];
     rows.into_iter()
-        .map(|(device, rad, gflops, gcells, eff, roof, ex)| ComparisonRow {
-            device,
-            rad,
-            gflops,
-            gcells,
-            gflops_per_watt: eff,
-            roofline_ratio: roof,
-            extrapolated: ex,
-        })
+        .map(
+            |(device, rad, gflops, gcells, eff, roof, ex)| ComparisonRow {
+                device,
+                rad,
+                gflops,
+                gcells,
+                gflops_per_watt: eff,
+                roofline_ratio: roof,
+                extrapolated: ex,
+            },
+        )
         .collect()
 }
 
@@ -143,15 +289,17 @@ pub fn table5() -> Vec<ComparisonRow> {
         ("Tesla P100", 4, 1699.008, 34.674, 9.061, 0.38, true),
     ];
     rows.into_iter()
-        .map(|(device, rad, gflops, gcells, eff, roof, ex)| ComparisonRow {
-            device,
-            rad,
-            gflops,
-            gcells,
-            gflops_per_watt: eff,
-            roofline_ratio: roof,
-            extrapolated: ex,
-        })
+        .map(
+            |(device, rad, gflops, gcells, eff, roof, ex)| ComparisonRow {
+                device,
+                rad,
+                gflops,
+                gcells,
+                gflops_per_watt: eff,
+                roofline_ratio: roof,
+                extrapolated: ex,
+            },
+        )
         .collect()
 }
 
@@ -213,7 +361,10 @@ mod tests {
         // within each row for the FPGA rows vs Table III power.
         let t3 = table3();
         for row in table4().iter().filter(|r| r.device.contains("Arria")) {
-            let t3row = t3.iter().find(|r| r.dim == Dim::D2 && r.rad == row.rad).unwrap();
+            let t3row = t3
+                .iter()
+                .find(|r| r.dim == Dim::D2 && r.rad == row.rad)
+                .unwrap();
             let implied_watts = row.gflops / row.gflops_per_watt;
             assert!(
                 (implied_watts - t3row.power_watts).abs() / t3row.power_watts < 0.01,

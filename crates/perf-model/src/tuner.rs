@@ -146,7 +146,12 @@ mod tests {
     fn reproduces_every_table3_configuration() {
         // The headline tuner test: the top candidate for each of the eight
         // (dim, rad) pairs is exactly the configuration the paper deployed.
-        let expect_2d = [(1, 4096, 8, 36), (2, 4096, 4, 42), (3, 4096, 4, 28), (4, 4096, 4, 22)];
+        let expect_2d = [
+            (1, 4096, 8, 36),
+            (2, 4096, 4, 42),
+            (3, 4096, 4, 28),
+            (4, 4096, 4, 22),
+        ];
         for (rad, bsize, parvec, partime) in expect_2d {
             let best = &tune(&arria(), Dim::D2, rad, 1)[0].config;
             assert_eq!(

@@ -26,8 +26,9 @@ fn main() {
 
     // Host CPU: flat sweep vs wave-front temporal blocking.
     let oracle = exec::run_2d(&stencil, &grid, iters);
-    let (flat, flat_secs) =
-        cpu_engine::measure::time(|| cpu_engine::tiled_2d(&stencil, &grid, iters, Tile::yask_default()));
+    let (flat, flat_secs) = cpu_engine::measure::time(|| {
+        cpu_engine::tiled_2d(&stencil, &grid, iters, Tile::yask_default())
+    });
     assert_eq!(flat, oracle);
     let flat_g = cpu_engine::measure::gcells_per_s(grid.len(), iters, flat_secs);
     println!("CPU tiled (no temporal blocking):      {flat_g:>7.3} GCell/s  (baseline)");
@@ -38,15 +39,10 @@ fn main() {
         });
         assert_eq!(wf, oracle, "wavefront must stay bit-exact");
         let g = cpu_engine::measure::gcells_per_s(grid.len(), iters, secs);
-        let redundant = cpu_engine::wavefront::wavefront_work_2d(
-            grid.nx(),
-            grid.ny(),
-            iters,
-            128,
-            tsteps,
-            rad,
-        ) as f64
-            / (grid.len() * iters) as f64;
+        let redundant =
+            cpu_engine::wavefront::wavefront_work_2d(grid.nx(), grid.ny(), iters, 128, tsteps, rad)
+                as f64
+                / (grid.len() * iters) as f64;
         println!(
             "CPU wave-front, {tsteps} fused steps:         {g:>7.3} GCell/s  ({:.0}% redundant work)",
             (redundant - 1.0) * 100.0

@@ -16,8 +16,8 @@ fn main() {
 
     // Narrow hot strip, cold elsewhere.
     let strip = (nx / 2 - 8)..(nx / 2 + 8);
-    let grid = Grid2D::from_fn(nx, ny, |x, _| if strip.contains(&x) { 100.0 } else { 0.0 })
-        .unwrap();
+    let grid =
+        Grid2D::from_fn(nx, ny, |x, _| if strip.contains(&x) { 100.0 } else { 0.0 }).unwrap();
     let initial_mean = mean(&grid);
 
     let device = FpgaDevice::arria10_gx1150();
@@ -57,7 +57,10 @@ fn main() {
         "mean temperature drifted: {initial_mean} -> {final_mean}"
     );
     assert!(max(&state) < 90.0, "peak should have decayed");
-    assert!(state.get(nx / 2 + 28, ny / 2) > 0.1, "heat should have spread");
+    assert!(
+        state.get(nx / 2 + 28, ny / 2) > 0.1,
+        "heat should have spread"
+    );
     println!(
         "\nMean temperature conserved ({initial_mean:.3} -> {final_mean:.3}), peak decayed, heat spread ✓"
     );

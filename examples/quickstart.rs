@@ -15,8 +15,13 @@ fn main() {
     let grid = Grid2D::from_fn(384, 256, |x, y| ((x * 31 + y * 17) % 101) as f32 / 100.0).unwrap();
     let iters = 24;
 
-    println!("Problem: 2D star stencil, radius {rad} ({} FLOP/cell), grid {}x{}, {} steps",
-        stencil.flops_per_cell(), grid.nx(), grid.ny(), iters);
+    println!(
+        "Problem: 2D star stencil, radius {rad} ({} FLOP/cell), grid {}x{}, {} steps",
+        stencil.flops_per_cell(),
+        grid.nx(),
+        grid.ny(),
+        iters
+    );
 
     // 1. Ask the §V.A auto-tuner for the best configuration on the Arria 10
     //    (scaled down: small blocks so this toy grid still has several).

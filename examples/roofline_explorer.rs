@@ -19,13 +19,17 @@ fn main() {
     println!(
         "{:<18} {}",
         "device",
-        (1..=4).map(|r| format!("  3D rad {r}")).collect::<Vec<_>>().join("")
+        (1..=4)
+            .map(|r| format!("  3D rad {r}"))
+            .collect::<Vec<_>>()
+            .join("")
     );
     for dev in devices::table2() {
         let cells: Vec<String> = (1..=4)
             .map(|rad| {
                 let ch = StencilCharacteristics::single_precision(Dim::D3, rad);
-                let roof = model::roofline_gflops(dev.peak_gflops, dev.peak_gbps, ch.flop_byte_ratio);
+                let roof =
+                    model::roofline_gflops(dev.peak_gflops, dev.peak_gbps, ch.flop_byte_ratio);
                 format!("{roof:>9.0}")
             })
             .collect();
@@ -48,7 +52,11 @@ fn main() {
         let ch = StencilCharacteristics::single_precision(Dim::D3, row.rad);
         let roof = model::roofline_gflops(dev.peak_gflops, dev.peak_gbps, ch.flop_byte_ratio);
         let frac = row.gflops / roof;
-        let marker = if frac > 1.0 { "  <-- above the roofline (temporal blocking)" } else { "" };
+        let marker = if frac > 1.0 {
+            "  <-- above the roofline (temporal blocking)"
+        } else {
+            ""
+        };
         println!(
             "  {:<18} rad {}: {:>7.1} / {:>7.1} GFLOP/s = {:>5.2}x{}",
             row.device, row.rad, row.gflops, roof, frac, marker

@@ -46,8 +46,14 @@ fn main() {
         );
     }
     let u50 = wave.run_3d(&source, 50);
-    assert!(u50.get(probe.0, probe.1, probe.2).abs() > 1e-4, "wavefront should reach the probe");
-    assert!(stats::stats_3d(&u50).max < 10.0, "stable run must stay bounded");
+    assert!(
+        u50.get(probe.0, probe.1, probe.2).abs() > 1e-4,
+        "wavefront should reach the probe"
+    );
+    assert!(
+        stats::stats_3d(&u50).max < 10.0,
+        "stable run must stay bounded"
+    );
     println!("  wavefront reached the probe; field bounded ✓\n");
 
     // ---- Part 2: the paper's kernel, FPGA sim vs CPU, bit-exact ----
@@ -60,9 +66,15 @@ fn main() {
     let (fpga_out, report) = acc.run_3d(&stencil, &source, iters);
     let (cpu_out, cpu_secs) =
         cpu_engine::measure::time(|| engines::parallel_3d(&stencil, &source, iters));
-    assert_eq!(fpga_out, cpu_out, "FPGA sim and CPU engine must agree bit-exactly");
+    assert_eq!(
+        fpga_out, cpu_out,
+        "FPGA sim and CPU engine must agree bit-exactly"
+    );
 
-    println!("Eq. (1) kernel, radius {rad} ({} FLOP/cell), {iters} steps:", stencil.flops_per_cell());
+    println!(
+        "Eq. (1) kernel, radius {rad} ({} FLOP/cell), {iters} steps:",
+        stencil.flops_per_cell()
+    );
     println!(
         "  host CPU (rayon):     {:>7.3} GCell/s measured",
         cpu_engine::measure::gcells_per_s(source.len(), iters, cpu_secs)

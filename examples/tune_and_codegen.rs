@@ -40,7 +40,11 @@ fn main() {
                 "{:?} rad {rad}: bsize {:>8}, parvec {:>2}, partime {:>3}  (est {:>7.1} GB/s, {:>4} DSPs)",
                 dim, block, cfg.parvec, cfg.partime, best.estimate.gbs, best.dsps
             );
-            println!("  wrote {} ({} lines)", path.display(), kernel.source.lines().count());
+            println!(
+                "  wrote {} ({} lines)",
+                path.display(),
+                kernel.source.lines().count()
+            );
             println!("  build: {}\n", kernel.aoc_command(&name));
         }
     }

@@ -52,7 +52,5 @@ pub mod prelude {
     pub use cpu_engine::{engines, Tile};
     pub use fpga_sim::{Accelerator, FpgaDevice, GridDims, TimingReport};
     pub use perf_model::{devices, tuner, BandwidthEfficiency};
-    pub use stencil_core::{
-        exec, BlockConfig, Dim, Grid2D, Grid3D, Real, Stencil2D, Stencil3D,
-    };
+    pub use stencil_core::{exec, BlockConfig, Dim, Grid2D, Grid3D, Real, Stencil2D, Stencil3D};
 }

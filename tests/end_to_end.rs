@@ -61,7 +61,9 @@ fn codegen_covers_every_tuned_winner() {
             let k = opencl_codegen::generate(best);
             assert!(k.source.contains("autorun"), "{best:?}");
             assert!(
-                k.defines.iter().any(|(n, v)| n == "RAD" && *v == rad.to_string()),
+                k.defines
+                    .iter()
+                    .any(|(n, v)| n == "RAD" && *v == rad.to_string()),
                 "{best:?}"
             );
             // The launch plan for the paper-scale problem is consistent.

@@ -29,13 +29,30 @@ fn all_2d_engines_bit_exact() {
         let iters = 6;
         let oracle = exec::run_2d(&st, &g, iters);
 
-        assert_eq!(cpu_engine::naive_2d(&st, &g, iters), oracle, "naive rad {rad}");
         assert_eq!(
-            cpu_engine::tiled_2d(&st, &g, iters, Tile { tx: 0, ty: 7, tz: 0 }),
+            cpu_engine::naive_2d(&st, &g, iters),
+            oracle,
+            "naive rad {rad}"
+        );
+        assert_eq!(
+            cpu_engine::tiled_2d(
+                &st,
+                &g,
+                iters,
+                Tile {
+                    tx: 0,
+                    ty: 7,
+                    tz: 0
+                }
+            ),
             oracle,
             "tiled rad {rad}"
         );
-        assert_eq!(cpu_engine::parallel_2d(&st, &g, iters), oracle, "parallel rad {rad}");
+        assert_eq!(
+            cpu_engine::parallel_2d(&st, &g, iters),
+            oracle,
+            "parallel rad {rad}"
+        );
         assert_eq!(
             cpu_engine::wavefront_2d(&st, &g, iters, 24, 3),
             oracle,
@@ -64,13 +81,30 @@ fn all_3d_engines_bit_exact() {
         let iters = 4;
         let oracle = exec::run_3d(&st, &g, iters);
 
-        assert_eq!(cpu_engine::naive_3d(&st, &g, iters), oracle, "naive rad {rad}");
         assert_eq!(
-            cpu_engine::tiled_3d(&st, &g, iters, Tile { tx: 0, ty: 8, tz: 4 }),
+            cpu_engine::naive_3d(&st, &g, iters),
+            oracle,
+            "naive rad {rad}"
+        );
+        assert_eq!(
+            cpu_engine::tiled_3d(
+                &st,
+                &g,
+                iters,
+                Tile {
+                    tx: 0,
+                    ty: 8,
+                    tz: 4
+                }
+            ),
             oracle,
             "tiled rad {rad}"
         );
-        assert_eq!(cpu_engine::parallel_3d(&st, &g, iters), oracle, "parallel rad {rad}");
+        assert_eq!(
+            cpu_engine::parallel_3d(&st, &g, iters),
+            oracle,
+            "parallel rad {rad}"
+        );
 
         let partime = if rad % 2 == 0 { 2 } else { 4 };
         let cfg = BlockConfig::new_3d(rad, 32, 32, 2, partime).unwrap();

@@ -2,14 +2,17 @@
 //! simulators (scaled problem sizes keep this fast in debug builds; the
 //! full-scale numbers live in EXPERIMENTS.md and the `tables` binary).
 
-use high_order_stencil::prelude::*;
 use fpga_sim::{timing, TimingOptions};
+use high_order_stencil::prelude::*;
 
 /// Shrinks a paper configuration's grid: same blocking, fewer rows/planes
 /// and one chain pass.
 fn quick_report(cfg: &BlockConfig, device: &FpgaDevice, fmax: f64) -> TimingReport {
     let dims = match cfg.dim {
-        Dim::D2 => GridDims::D2 { nx: BlockConfig::aligned_input(8000, cfg.csize_x()), ny: 1024 },
+        Dim::D2 => GridDims::D2 {
+            nx: BlockConfig::aligned_input(8000, cfg.csize_x()),
+            ny: 1024,
+        },
         // One 3D block, deep enough that chain fill/drain stays negligible.
         Dim::D3 => GridDims::D3 {
             nx: cfg.csize_x(),
@@ -17,7 +20,13 @@ fn quick_report(cfg: &BlockConfig, device: &FpgaDevice, fmax: f64) -> TimingRepo
             nz: 384,
         },
     };
-    timing::simulate(device, cfg, dims, cfg.partime, &TimingOptions::at_fmax(fmax))
+    timing::simulate(
+        device,
+        cfg,
+        dims,
+        cfg.partime,
+        &TimingOptions::at_fmax(fmax),
+    )
 }
 
 fn paper_configs_2d() -> Vec<(BlockConfig, f64)> {
@@ -78,8 +87,8 @@ fn gflops_flat_gcells_inverse_radius() {
             .map(|(c, f)| quick_report(c, &device, *f))
             .collect();
         let gf: Vec<f64> = reports.iter().map(|r| r.gflop_per_s).collect();
-        let spread = gf.iter().cloned().fold(0.0f64, f64::max)
-            / gf.iter().cloned().fold(f64::MAX, f64::min);
+        let spread =
+            gf.iter().cloned().fold(0.0f64, f64::max) / gf.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread < 1.45, "GFLOP/s spread {spread} too wide: {gf:?}");
 
         let gc: Vec<f64> = reports.iter().map(|r| r.gcell_per_s).collect();
@@ -116,14 +125,25 @@ fn model_accuracy_bands() {
         let r = quick_report(&cfg, &device, fmax);
         let est = perf_model::model::estimate(&device, &cfg, fmax);
         let acc = r.gbyte_per_s / est.gbs;
-        assert!((0.80..=1.0).contains(&acc), "2D rad {}: accuracy {acc:.3}", cfg.rad);
+        assert!(
+            (0.80..=1.0).contains(&acc),
+            "2D rad {}: accuracy {acc:.3}",
+            cfg.rad
+        );
     }
     for (cfg, fmax) in paper_configs_3d() {
         let r = quick_report(&cfg, &device, fmax);
         let est = perf_model::model::estimate(&device, &cfg, fmax);
         let acc = r.gbyte_per_s / est.gbs;
-        assert!((0.45..=0.70).contains(&acc), "3D rad {}: accuracy {acc:.3}", cfg.rad);
-        assert!(r.read_stats.split_requests > 0, "3D loss must come from splits");
+        assert!(
+            (0.45..=0.70).contains(&acc),
+            "3D rad {}: accuracy {acc:.3}",
+            cfg.rad
+        );
+        assert!(
+            r.read_stats.split_requests > 0,
+            "3D loss must come from splits"
+        );
     }
 }
 
@@ -141,7 +161,11 @@ fn cross_device_winners() {
             .filter(|r| r.rad == rad)
             .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).unwrap())
             .unwrap();
-        assert!(best.device.contains("Arria"), "2D rad {rad}: {}", best.device);
+        assert!(
+            best.device.contains("Arria"),
+            "2D rad {rad}: {}",
+            best.device
+        );
     }
     let best4 = t4
         .iter()
@@ -157,7 +181,11 @@ fn cross_device_winners() {
         .filter(|r| r.rad == 1)
         .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).unwrap())
         .unwrap();
-    assert!(best31.device.contains("Arria"), "3D rad 1: {}", best31.device);
+    assert!(
+        best31.device.contains("Arria"),
+        "3D rad 1: {}",
+        best31.device
+    );
     for rad in 2..=4 {
         let best = measured_only
             .iter()

@@ -27,7 +27,11 @@ fn row_stride_alignment_controls_splitting() {
     let aligned = timing::simulate(
         &device,
         &cfg,
-        GridDims::D3 { nx: 720, ny: 720, nz: 64 },
+        GridDims::D3 {
+            nx: 720,
+            ny: 720,
+            nz: 64,
+        },
         8,
         &opts(280.0),
     );
@@ -35,7 +39,11 @@ fn row_stride_alignment_controls_splitting() {
     let unaligned = timing::simulate(
         &device,
         &cfg,
-        GridDims::D3 { nx: 712, ny: 712, nz: 64 },
+        GridDims::D3 {
+            nx: 712,
+            ny: 712,
+            nz: 64,
+        },
         8,
         &opts(280.0),
     );
@@ -80,7 +88,11 @@ fn more_channels_help_memory_bound_configs() {
 
     // Wide shallow chain: heavy traffic per committed cell.
     let cfg = BlockConfig::new_3d(1, 256, 256, 16, 4).unwrap();
-    let dims = GridDims::D3 { nx: 704, ny: 704, nz: 64 };
+    let dims = GridDims::D3 {
+        nx: 704,
+        ny: 704,
+        nz: 64,
+    };
     let on_a10 = timing::simulate(&a10, &cfg, dims, 4, &opts(280.0));
     let on_s10 = timing::simulate(&s10, &cfg, dims, 4, &opts(280.0));
     assert!(
@@ -111,7 +123,7 @@ fn coalescing_ablation_is_monotone() {
 /// Pass scaling: doubling the iteration count (at a multiple of partime)
 /// exactly doubles the kernel cycles.
 #[test]
-fn passes_scale_cycles_exactly()  {
+fn passes_scale_cycles_exactly() {
     let device = FpgaDevice::arria10_gx1150();
     let cfg = BlockConfig::new_2d(1, 1024, 4, 8).unwrap();
     let dims = GridDims::D2 { nx: 2016, ny: 512 };
@@ -147,14 +159,20 @@ fn chain_fill_cost_shrinks_with_stream_length() {
     let short = timing::simulate(
         &device,
         &cfg,
-        GridDims::D2 { nx: cfg.csize_x(), ny: 64 },
+        GridDims::D2 {
+            nx: cfg.csize_x(),
+            ny: 64,
+        },
         10,
         &opts(300.0),
     );
     let tall = timing::simulate(
         &device,
         &cfg,
-        GridDims::D2 { nx: cfg.csize_x(), ny: 4096 },
+        GridDims::D2 {
+            nx: cfg.csize_x(),
+            ny: 4096,
+        },
         10,
         &opts(300.0),
     );

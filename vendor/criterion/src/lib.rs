@@ -1,0 +1,219 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness surface the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`],
+//! [`Bencher::iter`], and the `criterion_group!`/`criterion_main!` macros —
+//! without statistics: each benchmark runs a warm-up iteration followed by a
+//! small fixed number of timed iterations and prints the mean wall time (and
+//! derived throughput when configured). Good enough to keep `cargo bench`
+//! compiling and producing useful relative numbers offline.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark (after one warm-up).
+const TIMED_ITERS: u32 = 5;
+
+/// Top-level harness handle passed to every bench function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<S: Display, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim always runs a fixed count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.throughput,
+            |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Timing handle handed to each benchmark closure.
+pub struct Bencher {
+    total_nanos: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then [`TIMED_ITERS`] timed calls.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        for _ in 0..TIMED_ITERS {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.total_nanos += t0.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one<F>(name: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        total_nanos: 0,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<48} (no iterations recorded)");
+        return;
+    }
+    let mean_ns = b.total_nanos as f64 / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:.3} Melem/s", n as f64 / mean_ns * 1e3),
+        Throughput::Bytes(n) => format!(
+            "  {:.3} MiB/s",
+            n as f64 / mean_ns * 1e9 / (1u64 << 20) as f64
+        ),
+    });
+    println!(
+        "{name:<48} {:>12.0} ns/iter{}",
+        mean_ns,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Builds a `fn NAME()` that runs each listed bench function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Builds `fn main()` dispatching to the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("sum", 100u32), &100u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_benches() {
+        criterion_group!(benches, sample_bench);
+        benches();
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher {
+            total_nanos: 0,
+            iters: 0,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.iters, TIMED_ITERS);
+        assert_eq!(calls, TIMED_ITERS + 1);
+    }
+}

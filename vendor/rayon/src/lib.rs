@@ -1,0 +1,243 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! small parallel-iterator surface the workspace uses — `par_chunks_mut`,
+//! `into_par_iter`, `enumerate`, `for_each`, `map`+`collect` — with *real*
+//! parallelism: items are materialized into a list and drained by
+//! `available_parallelism()` scoped worker threads through a shared queue.
+//!
+//! The queue is a mutex around a `vec::IntoIter`; workers pop one item per
+//! lock acquisition. For the workloads in this repo (one item = one grid
+//! row-chunk or one spatial block, each thousands of FLOPs) the lock is
+//! orders of magnitude cheaper than the work, so this behaves like rayon's
+//! work-stealing for all practical purposes while staying dependency-free.
+//!
+//! Worker panics propagate: `std::thread::scope` re-raises them on join, so
+//! `prop_assert!`/`assert!` failures inside parallel bodies still fail tests.
+
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// Everything the workspace imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads the shim will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// A materialized "parallel iterator": holds the full item list and fans the
+/// terminal operation out across scoped threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Trait alias for the terminal-op bound, mirroring rayon's name so code can
+/// write `impl ParallelIterator` bounds if it wants to.
+pub trait ParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Consumes the iterator, applying `f` to every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync;
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Send + Sync,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return;
+        }
+        let workers = current_num_threads().min(n);
+        if workers <= 1 {
+            for item in self.items {
+                f(item);
+            }
+            return;
+        }
+        let queue = Mutex::new(self.items.into_iter());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    // Hold the lock only for the pop, never for the work.
+                    let item = queue.lock().unwrap().next();
+                    match item {
+                        Some(it) => f(it),
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs every item with its index (indices are assigned in the original
+    /// order, before the parallel fan-out — identical to rayon's semantics
+    /// for indexed iterators).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// No-op granularity hint, accepted for rayon source compatibility.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Parallel map: applies `f` in parallel and returns the results in the
+    /// original item order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Send + Sync,
+    {
+        let n = self.items.len();
+        let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let slots: Vec<Mutex<&mut Option<U>>> = out.iter_mut().map(Mutex::new).collect();
+        ParIter {
+            items: self.items.into_iter().enumerate().collect::<Vec<_>>(),
+        }
+        .for_each(|(i, item)| {
+            **slots[i].lock().unwrap() = Some(f(item));
+        });
+        drop(slots);
+        ParIter {
+            items: out
+                .into_iter()
+                .map(|o| o.expect("map slot filled"))
+                .collect(),
+        }
+    }
+
+    /// Collects the (already materialized) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into the shim's parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Splits the slice into `chunk_size`-sized chunks processed in parallel.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into disjoint mutable chunks processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk() {
+        let mut data = vec![0usize; 1000];
+        data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[999], 1000usize.div_ceil(7));
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let count = AtomicUsize::new(0);
+        (0..1234usize).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1234);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn actually_runs_in_parallel_when_cores_allow() {
+        if super::current_num_threads() < 2 {
+            return; // single-core CI runner: nothing to assert
+        }
+        use std::sync::atomic::AtomicBool;
+        use std::time::{Duration, Instant};
+        let overlap = AtomicBool::new(false);
+        let busy = AtomicUsize::new(0);
+        (0..4usize).into_par_iter().for_each(|_| {
+            if busy.fetch_add(1, Ordering::SeqCst) > 0 {
+                overlap.store(true, Ordering::SeqCst);
+            }
+            let t0 = Instant::now();
+            while t0.elapsed() < Duration::from_millis(20) {
+                std::hint::spin_loop();
+            }
+            busy.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(
+            overlap.load(Ordering::SeqCst),
+            "no two items ever ran concurrently"
+        );
+    }
+}

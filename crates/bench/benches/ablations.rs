@@ -4,10 +4,13 @@
 //!   mechanism),
 //! * `parvec` sweep at a fixed DSP budget,
 //! * temporal wave-front depth on the CPU (§V.B),
-//! * overlapped-blocking redundancy vs chain depth.
+//! * overlapped-blocking redundancy vs chain depth,
+//! * generic runtime-radius row kernel vs the radius/lane-monomorphized
+//!   dispatch (`kernels_specialized`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpga_sim::{timing, FpgaDevice, GridDims, TimingOptions};
+use stencil_core::simd::{row_2d_generic, select_row_2d};
 use stencil_core::{BlockConfig, Grid2D, Stencil2D};
 
 fn bench_memctrl_coalescing(c: &mut Criterion) {
@@ -113,11 +116,67 @@ fn bench_overlap_redundancy(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_kernels_specialized(c: &mut Criterion) {
+    // Interior-row microbenchmark: the generic runtime-radius kernel vs the
+    // radius/lane-monomorphized kernels the dispatch table selects. All
+    // variants compute the identical canonical-order update, so any gap is
+    // pure monomorphization + vectorization.
+    let nx = 4096usize;
+    let mut g = c.benchmark_group("kernels_specialized");
+    g.sample_size(10);
+    for rad in [1usize, 2, 4] {
+        let st = Stencil2D::<f32>::random(rad, rad as u64).unwrap();
+        let rows: Vec<Vec<f32>> = (0..2 * rad + 1)
+            .map(|r| (0..nx).map(|x| ((x * 7 + r * 13) % 101) as f32).collect())
+            .collect();
+        let cur = rows[rad].as_slice();
+        let south: Vec<&[f32]> = (1..=rad).map(|d| rows[rad - d].as_slice()).collect();
+        let north: Vec<&[f32]> = (1..=rad).map(|d| rows[rad + d].as_slice()).collect();
+        let mut out = vec![0.0f32; nx];
+        let (x0, x1) = (rad, nx - rad);
+        g.bench_with_input(BenchmarkId::new("generic", rad), &rad, |b, _| {
+            b.iter(|| {
+                row_2d_generic(
+                    &st,
+                    cur,
+                    &south,
+                    &north,
+                    std::hint::black_box(&mut out),
+                    x0,
+                    x1,
+                )
+            })
+        });
+        for lanes in [2usize, 4, 8] {
+            let kernel = select_row_2d::<f32>(rad, lanes);
+            g.bench_with_input(
+                BenchmarkId::new(format!("lanes{lanes}"), rad),
+                &rad,
+                |b, _| {
+                    b.iter(|| {
+                        kernel(
+                            &st,
+                            cur,
+                            &south,
+                            &north,
+                            std::hint::black_box(&mut out),
+                            x0,
+                            x1,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_memctrl_coalescing,
     bench_parvec_sweep,
     bench_wavefront_depth,
-    bench_overlap_redundancy
+    bench_overlap_redundancy,
+    bench_kernels_specialized
 );
 criterion_main!(benches);

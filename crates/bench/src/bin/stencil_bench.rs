@@ -7,7 +7,8 @@
 //!               [--iters I]
 //!               [--engine naive|tiled|parallel|folded|wavefront|functional|fpga]
 //!               [--validate]
-//! stencil_bench --simulator-matrix [--out BENCH_simulator.json]
+//! stencil_bench --simulator-matrix [--quick] [--out BENCH_simulator.json]
+//! stencil_bench --check-matrix FILE
 //! ```
 //!
 //! Prints GCell/s and GFLOP/s for the chosen engine; `--validate` checks the
@@ -16,10 +17,14 @@
 //! [`SimCounters`] as a one-line JSON record (`counters: {...}`).
 //!
 //! `--simulator-matrix` sweeps a fixed configuration matrix (2D radius 1–4
-//! and 3D radius 1–4) over the functional simulator, timing the serial
-//! single-thread data path against the block-parallel one, and writes the
-//! results — cells/s for both plus the speedup and the run's counters — to
-//! `BENCH_simulator.json`.
+//! and 3D radius 1–4) over the functional simulator, timing three data
+//! paths — the frozen serial baseline, the block-parallel scalar path
+//! (lane width 1, the pre-SIMD data path), and the block-parallel
+//! lane-vectorized path (lane width = `parvec`) — and writes cells/s for
+//! each plus both speedups and the run's counters to `BENCH_simulator.json`.
+//! `--quick` shrinks the grids and times a single repetition so the matrix
+//! doubles as a CI smoke test; `--check-matrix FILE` validates an emitted
+//! JSON file against the documented schema (exit 2 on mismatch).
 
 use cpu_engine::{engines, measure, Tile};
 use fpga_sim::{functional, Accelerator, FpgaDevice, SimCounters};
@@ -37,6 +42,8 @@ struct Args {
     engine: String,
     validate: bool,
     matrix: bool,
+    quick: bool,
+    check: Option<String>,
     out: String,
 }
 
@@ -51,6 +58,8 @@ fn parse_args() -> Args {
         engine: "parallel".into(),
         validate: false,
         matrix: false,
+        quick: false,
+        check: None,
         out: "BENCH_simulator.json".into(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -70,6 +79,8 @@ fn parse_args() -> Args {
             "--engine" => a.engine = take(&mut i),
             "--validate" => a.validate = true,
             "--simulator-matrix" => a.matrix = true,
+            "--quick" => a.quick = true,
+            "--check-matrix" => a.check = Some(take(&mut i)),
             "--out" => a.out = take(&mut i),
             "--help" | "-h" => {
                 usage();
@@ -91,15 +102,20 @@ fn usage() -> ! {
     eprintln!(
         "usage: stencil_bench [--dim 2|3] [--rad R] [--nx N] [--ny N] [--nz N] \
          [--iters I] [--engine naive|tiled|parallel|folded|wavefront|functional|fpga] \
-         [--validate]\n       stencil_bench --simulator-matrix [--out FILE]"
+         [--validate]\n       stencil_bench --simulator-matrix [--quick] [--out FILE]\
+         \n       stencil_bench --check-matrix FILE"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let a = parse_args();
+    if let Some(file) = &a.check {
+        check_matrix(file);
+        return;
+    }
     if a.matrix {
-        simulator_matrix(&a.out);
+        simulator_matrix(&a.out, a.quick);
         return;
     }
     println!(
@@ -221,7 +237,9 @@ fn print_counters(c: &SimCounters) {
 }
 
 /// One row of `BENCH_simulator.json`: a fixed simulator configuration timed
-/// on the serial data path and on the block-parallel one.
+/// on the frozen serial data path, the block-parallel scalar path (lane
+/// width 1) and the block-parallel lane-vectorized path (lane width =
+/// `parvec`).
 #[derive(Debug, Serialize)]
 struct MatrixEntry {
     dim: usize,
@@ -232,12 +250,19 @@ struct MatrixEntry {
     iters: usize,
     partime: usize,
     parvec: usize,
+    /// Lane width the vectorized run executed with (`counters.lane_width`).
+    lanes: u64,
     blocks: u64,
     serial_secs: f64,
+    scalar_secs: f64,
     parallel_secs: f64,
     serial_cells_per_s: f64,
+    scalar_cells_per_s: f64,
     parallel_cells_per_s: f64,
+    /// Vectorized parallel path vs the frozen serial baseline.
     speedup: f64,
+    /// Vectorized parallel path vs the scalar (lane width 1) parallel path.
+    speedup_vs_scalar: f64,
     counters: SimCounters,
 }
 
@@ -249,11 +274,11 @@ struct MatrixEntry {
 /// recorded so OS scheduling noise does not swamp the comparison.
 const MATRIX_REPS: usize = 3;
 
-/// Runs `f` [`MATRIX_REPS`] times and returns the last result together with
-/// the fastest observed wall time.
-fn time_best<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+/// Runs `f` `reps` times and returns the last result together with the
+/// fastest observed wall time.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
     let (mut result, mut best) = measure::time(&mut f);
-    for _ in 1..MATRIX_REPS {
+    for _ in 1..reps {
         let (r, secs) = measure::time(&mut f);
         result = r;
         best = best.min(secs);
@@ -261,7 +286,8 @@ fn time_best<T>(mut f: impl FnMut() -> T) -> (T, f64) {
     (result, best)
 }
 
-fn simulator_matrix(out: &str) {
+fn simulator_matrix(out: &str, quick: bool) {
+    let reps = if quick { 1 } else { MATRIX_REPS };
     // Fail fast on an unwritable destination instead of discovering it after
     // the full sweep has run.
     if let Err(e) = std::fs::write(out, "[]\n") {
@@ -271,14 +297,19 @@ fn simulator_matrix(out: &str) {
     let mut entries = Vec::new();
 
     for rad in 1..=4usize {
-        let (nx, ny, iters) = (1024, 384, 8);
+        let (nx, ny, iters) = if quick { (256, 64, 2) } else { (1024, 384, 8) };
         let st = Stencil2D::<f32>::random(rad, rad as u64).unwrap();
         let grid = Grid2D::from_fn(nx, ny, |x, y| ((x * 31 + y * 17) % 103) as f32).unwrap();
         let cfg = BlockConfig::new_2d(rad, 128, 4, 4 / gcd(rad, 4)).unwrap();
         let (serial, serial_secs) =
-            time_best(|| functional::run_2d_serial(&st, &grid, &cfg, iters));
-        let ((parallel, counters), parallel_secs) =
-            time_best(|| functional::run_2d_instrumented(&st, &grid, &cfg, iters));
+            time_best(reps, || functional::run_2d_serial(&st, &grid, &cfg, iters));
+        let ((scalar, _), scalar_secs) = time_best(reps, || {
+            functional::run_2d_instrumented_lanes(&st, &grid, &cfg, iters, 1)
+        });
+        let ((parallel, counters), parallel_secs) = time_best(reps, || {
+            functional::run_2d_instrumented(&st, &grid, &cfg, iters)
+        });
+        assert_eq!(serial, scalar, "2D rad {rad}: scalar diverged from serial");
         assert_eq!(
             serial, parallel,
             "2D rad {rad}: parallel diverged from serial"
@@ -293,35 +324,50 @@ fn simulator_matrix(out: &str) {
             iters,
             partime: cfg.partime,
             parvec: cfg.parvec,
+            lanes: counters.lane_width,
             blocks: counters.blocks,
             serial_secs,
+            scalar_secs,
             parallel_secs,
             serial_cells_per_s: cells / serial_secs,
+            scalar_cells_per_s: cells / scalar_secs,
             parallel_cells_per_s: cells / parallel_secs,
             speedup: serial_secs / parallel_secs,
+            speedup_vs_scalar: scalar_secs / parallel_secs,
             counters,
         };
         println!(
-            "2D rad {rad}: serial {:.3e} cells/s, parallel {:.3e} cells/s, speedup {:.2}x \
-             ({} blocks/pass)",
+            "2D rad {rad}: serial {:.3e}, scalar {:.3e}, {} lanes {:.3e} cells/s — \
+             {:.2}x vs serial, {:.2}x vs scalar",
             entry.serial_cells_per_s,
+            entry.scalar_cells_per_s,
+            entry.lanes,
             entry.parallel_cells_per_s,
             entry.speedup,
-            entry.blocks / entry.counters.passes.max(1),
+            entry.speedup_vs_scalar,
         );
         entries.push(entry);
     }
 
     for rad in 1..=4usize {
-        let (nx, ny, nz, iters) = (192, 144, 24, 4);
+        let (nx, ny, nz, iters) = if quick {
+            (64, 48, 12, 2)
+        } else {
+            (192, 144, 24, 4)
+        };
         let st = Stencil3D::<f32>::random(rad, rad as u64).unwrap();
         let grid =
             Grid3D::from_fn(nx, ny, nz, |x, y, z| ((x + 3 * y + 7 * z) % 53) as f32).unwrap();
         let cfg = BlockConfig::new_3d(rad, 48, 48, 2, 4 / gcd(rad, 4)).unwrap();
         let (serial, serial_secs) =
-            time_best(|| functional::run_3d_serial(&st, &grid, &cfg, iters));
-        let ((parallel, counters), parallel_secs) =
-            time_best(|| functional::run_3d_instrumented(&st, &grid, &cfg, iters));
+            time_best(reps, || functional::run_3d_serial(&st, &grid, &cfg, iters));
+        let ((scalar, _), scalar_secs) = time_best(reps, || {
+            functional::run_3d_instrumented_lanes(&st, &grid, &cfg, iters, 1)
+        });
+        let ((parallel, counters), parallel_secs) = time_best(reps, || {
+            functional::run_3d_instrumented(&st, &grid, &cfg, iters)
+        });
+        assert_eq!(serial, scalar, "3D rad {rad}: scalar diverged from serial");
         assert_eq!(
             serial, parallel,
             "3D rad {rad}: parallel diverged from serial"
@@ -336,21 +382,27 @@ fn simulator_matrix(out: &str) {
             iters,
             partime: cfg.partime,
             parvec: cfg.parvec,
+            lanes: counters.lane_width,
             blocks: counters.blocks,
             serial_secs,
+            scalar_secs,
             parallel_secs,
             serial_cells_per_s: cells / serial_secs,
+            scalar_cells_per_s: cells / scalar_secs,
             parallel_cells_per_s: cells / parallel_secs,
             speedup: serial_secs / parallel_secs,
+            speedup_vs_scalar: scalar_secs / parallel_secs,
             counters,
         };
         println!(
-            "3D rad {rad}: serial {:.3e} cells/s, parallel {:.3e} cells/s, speedup {:.2}x \
-             ({} blocks/pass)",
+            "3D rad {rad}: serial {:.3e}, scalar {:.3e}, {} lanes {:.3e} cells/s — \
+             {:.2}x vs serial, {:.2}x vs scalar",
             entry.serial_cells_per_s,
+            entry.scalar_cells_per_s,
+            entry.lanes,
             entry.parallel_cells_per_s,
             entry.speedup,
-            entry.blocks / entry.counters.passes.max(1),
+            entry.speedup_vs_scalar,
         );
         entries.push(entry);
     }
@@ -361,4 +413,131 @@ fn simulator_matrix(out: &str) {
         std::process::exit(2);
     }
     println!("wrote {out} ({} entries)", entries.len());
+}
+
+/// Entry fields that must be present and hold non-negative integers.
+const ENTRY_UINT_FIELDS: &[&str] = &[
+    "dim", "rad", "nx", "ny", "nz", "iters", "partime", "parvec", "lanes", "blocks",
+];
+/// Entry fields that must be present and hold finite positive numbers.
+const ENTRY_FLOAT_FIELDS: &[&str] = &[
+    "serial_secs",
+    "scalar_secs",
+    "parallel_secs",
+    "serial_cells_per_s",
+    "scalar_cells_per_s",
+    "parallel_cells_per_s",
+    "speedup",
+    "speedup_vs_scalar",
+];
+/// [`SimCounters`] fields that must be present and hold non-negative
+/// integers.
+const COUNTER_UINT_FIELDS: &[&str] = &[
+    "cells_updated",
+    "halo_cells",
+    "rows_fed",
+    "bytes_moved",
+    "passes",
+    "blocks",
+    "lane_width",
+];
+
+/// Validates a `--simulator-matrix` output file against the documented
+/// schema: a non-empty array of entries, each carrying the dimension /
+/// configuration integers (including the executed lane width), the three
+/// timings with derived rates and speedups, and a full [`SimCounters`]
+/// record. Exits 0 on success, 2 with a diagnostic on any mismatch.
+fn check_matrix(path: &str) {
+    let fail = |msg: String| -> ! {
+        eprintln!("stencil_bench: {path}: {msg}");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(format!("cannot read: {e}")),
+    };
+    let root: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => fail(format!("invalid JSON: {e}")),
+    };
+    let entries = match root.as_seq() {
+        Some(s) if !s.is_empty() => s,
+        Some(_) => fail("matrix is empty".into()),
+        None => fail("top-level value is not an array".into()),
+    };
+    let get = |map: &[(String, serde_json::Value)], key: &str| {
+        map.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    };
+    for (i, entry) in entries.iter().enumerate() {
+        let map = match entry.as_map() {
+            Some(m) => m.to_vec(),
+            None => fail(format!("entry {i} is not an object")),
+        };
+        for &key in ENTRY_UINT_FIELDS {
+            match get(&map, key).as_ref().and_then(|v| v.as_integer()) {
+                Some(n) if n >= 0 => {}
+                _ => fail(format!(
+                    "entry {i}: `{key}` missing or not a non-negative integer"
+                )),
+            }
+        }
+        for &key in ENTRY_FLOAT_FIELDS {
+            match get(&map, key).as_ref().and_then(|v| v.as_f64()) {
+                Some(x) if x.is_finite() && x > 0.0 => {}
+                _ => fail(format!(
+                    "entry {i}: `{key}` missing or not a positive number"
+                )),
+            }
+        }
+        let lanes = get(&map, "lanes").and_then(|v| v.as_integer()).unwrap();
+        if lanes < 1 {
+            fail(format!("entry {i}: `lanes` must be >= 1, got {lanes}"));
+        }
+        let counters = match get(&map, "counters")
+            .as_ref()
+            .and_then(|v| v.as_map().map(<[_]>::to_vec))
+        {
+            Some(c) => c,
+            None => fail(format!("entry {i}: `counters` missing or not an object")),
+        };
+        for &key in COUNTER_UINT_FIELDS {
+            match get(&counters, key).as_ref().and_then(|v| v.as_integer()) {
+                Some(n) if n >= 0 => {}
+                _ => fail(format!(
+                    "entry {i}: counters.`{key}` missing or not a non-negative integer"
+                )),
+            }
+        }
+        if get(&counters, "lane_width").and_then(|v| v.as_integer()) != Some(lanes) {
+            fail(format!(
+                "entry {i}: counters.lane_width disagrees with `lanes`"
+            ));
+        }
+        match get(&counters, "pass_seconds")
+            .as_ref()
+            .and_then(|v| v.as_seq().map(<[_]>::to_vec))
+        {
+            Some(ps) => {
+                if ps.iter().any(|p| p.as_f64().is_none()) {
+                    fail(format!("entry {i}: counters.pass_seconds has a non-number"));
+                }
+            }
+            None => fail(format!(
+                "entry {i}: counters.pass_seconds missing or not an array"
+            )),
+        }
+        if get(&counters, "elapsed_seconds")
+            .as_ref()
+            .and_then(|v| v.as_f64())
+            .is_none()
+        {
+            fail(format!(
+                "entry {i}: counters.elapsed_seconds missing or not a number"
+            ));
+        }
+    }
+    println!(
+        "{path}: OK ({} entries match the matrix schema)",
+        entries.len()
+    );
 }

@@ -37,6 +37,7 @@ pub mod error;
 pub mod exec;
 pub mod grid;
 pub mod real;
+pub mod simd;
 pub mod stats;
 pub mod stencil;
 pub mod symmetric;
@@ -48,6 +49,7 @@ pub use characteristics::StencilCharacteristics;
 pub use error::{Result, StencilError};
 pub use grid::{Grid2D, Grid3D};
 pub use real::Real;
+pub use simd::{Lanes, RowKernel2D, RowKernel3D};
 pub use stats::FieldStats;
 pub use stencil::{Arm2, Arm3, Direction, Stencil2D, Stencil3D};
 pub use symmetric::{SymmetricStencil2D, SymmetricStencil3D};

@@ -1,0 +1,558 @@
+//! Lane-parallel, radius-monomorphized star-stencil row kernels.
+//!
+//! The paper's pipeline updates `parvec` consecutive x-cells per cycle, with
+//! the `4·rad + 1`-tap (2D) or `6·rad + 1`-tap (3D) star fully unrolled per
+//! cell. This module is the CPU analogue: a tiny portable-SIMD layer
+//! ([`Lanes`]) over fixed-size arrays that LLVM reliably autovectorizes,
+//! plus row-update kernels monomorphized over `const RAD` (radius 1–4) and
+//! `const W` (lane width 2/4/8) and selected at runtime through a dispatch
+//! table ([`select_row_2d`] / [`select_row_3d`]).
+//!
+//! # Bit-exactness
+//!
+//! Lanes are *cells*, and cells are independent: each lane evaluates Eq. (1)
+//! in the canonical operation order (center, then per distance W, E, S, N
+//! (, B, A), one `acc += coeff · value` per term). Vectorizing across lanes
+//! reorders nothing *within* a cell's update, so every kernel here is
+//! bit-identical to the scalar oracle. Two consequences shape the code:
+//!
+//! * accumulation is a **separate multiply and add** per term — a hardware
+//!   fused multiply-add would round once instead of twice and break the
+//!   contract, so the kernels never call an `fma` intrinsic and Rust never
+//!   contracts float expressions on its own;
+//! * the ragged tail (`x1 − x0` not a multiple of `W`) and block borders are
+//!   finished by a scalar epilogue evaluating the identical expression, not
+//!   by masked lanes of a different shape.
+//!
+//! # Tap layout
+//!
+//! A kernel updates cells `x0..x1` of one row. Horizontal taps come from
+//! `cur` itself (`cur[x ± d]`); every transverse tap family (south/north
+//! rows in 2D; south/north rows and below/above planes' rows in 3D) is
+//! passed as one slice per distance, indexed by the same `x`. Both the
+//! FPGA simulator's PEs (shift-register rows) and the CPU engines (grid
+//! rows) fit this shape, which is what lets one kernel serve both.
+
+use crate::real::Real;
+use crate::stencil::{Arm2, Arm3, Stencil2D, Stencil3D};
+
+/// Largest radius with a monomorphized kernel; larger radii take the
+/// runtime-radius generic path.
+pub const MAX_SPECIALIZED_RADIUS: usize = 4;
+
+/// Lane widths with a monomorphized kernel (the paper's `parvec` values the
+/// simulator exercises); other widths take the generic path.
+pub const LANE_WIDTHS: [usize; 3] = [2, 4, 8];
+
+/// A register of `W` cells processed in lockstep — a portable stand-in for
+/// one SIMD vector, written so LLVM autovectorizes the per-lane loops.
+///
+/// All operations are element-wise; nothing ever crosses lanes, which is
+/// what preserves the canonical per-cell operation order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lanes<T, const W: usize>([T; W]);
+
+impl<T: Real, const W: usize> Lanes<T, W> {
+    /// Broadcasts one value into every lane.
+    #[inline(always)]
+    pub fn splat(v: T) -> Self {
+        Self([v; W])
+    }
+
+    /// Loads the first `W` cells of `src` (one bounds check, then a fixed
+    ///-size copy).
+    ///
+    /// # Panics
+    /// Panics when `src` holds fewer than `W` cells.
+    #[inline(always)]
+    pub fn load(src: &[T]) -> Self {
+        let arr: &[T; W] = src[..W].try_into().expect("load needs W cells");
+        Self(*arr)
+    }
+
+    /// Stores all lanes into the first `W` cells of `dst`.
+    ///
+    /// # Panics
+    /// Panics when `dst` holds fewer than `W` cells.
+    #[inline(always)]
+    pub fn store(self, dst: &mut [T]) {
+        let arr: &mut [T; W] = (&mut dst[..W]).try_into().expect("store needs W cells");
+        *arr = self.0;
+    }
+
+    /// `coeff · lane` for every lane — the first (center) term of Eq. (1).
+    #[inline(always)]
+    pub fn mul_coeff(self, coeff: T) -> Self {
+        let mut out = self.0;
+        for v in &mut out {
+            *v = coeff * *v;
+        }
+        Self(out)
+    }
+
+    /// `lane += coeff · tap` for every lane — one Eq. (1) accumulation step,
+    /// deliberately a separate multiply then add (see module docs).
+    #[inline(always)]
+    pub fn add_scaled(&mut self, coeff: T, taps: Self) {
+        for (acc, tap) in self.0.iter_mut().zip(taps.0) {
+            *acc += coeff * tap;
+        }
+    }
+
+    /// The lanes as a plain array.
+    #[inline(always)]
+    pub fn to_array(self) -> [T; W] {
+        self.0
+    }
+}
+
+/// Signature shared by every 2D row kernel:
+/// `(stencil, cur, south, north, dst, x0, x1)` — see the module docs for the
+/// tap layout and [`row_2d_generic`] for the precondition list.
+pub type RowKernel2D<T> = fn(&Stencil2D<T>, &[T], &[&[T]], &[&[T]], &mut [T], usize, usize);
+
+/// Signature shared by every 3D row kernel:
+/// `(stencil, cur, south, north, below, above, dst, x0, x1)`.
+pub type RowKernel3D<T> =
+    fn(&Stencil3D<T>, &[T], &[&[T]], &[&[T]], &[&[T]], &[&[T]], &mut [T], usize, usize);
+
+#[inline(always)]
+fn check_2d<T: Real>(
+    rad: usize,
+    cur: &[T],
+    south: &[&[T]],
+    north: &[&[T]],
+    dst: &[T],
+    x0: usize,
+    x1: usize,
+) {
+    assert!(x0 >= rad && x1 + rad <= cur.len(), "x taps out of bounds");
+    assert!(x1 <= dst.len(), "destination shorter than x1");
+    assert!(
+        south.len() >= rad && north.len() >= rad,
+        "need one transverse row per distance"
+    );
+    for k in 0..rad {
+        assert!(
+            south[k].len() >= x1 && north[k].len() >= x1,
+            "transverse row {k} shorter than x1"
+        );
+    }
+}
+
+/// Runtime-radius 2D row kernel — the scalar fallback (and the exact data
+/// path PR 1 shipped), used for radii above [`MAX_SPECIALIZED_RADIUS`] or
+/// lane widths outside [`LANE_WIDTHS`].
+///
+/// Updates cells `x0..x1`. Preconditions (asserted): `x0 ≥ rad`,
+/// `x1 + rad ≤ cur.len()`, `x1 ≤ dst.len()`, and `south`/`north` hold at
+/// least `rad` rows each at least `x1` long. `x0 ≥ x1` is a no-op.
+pub fn row_2d_generic<T: Real>(
+    st: &Stencil2D<T>,
+    cur: &[T],
+    south: &[&[T]],
+    north: &[&[T]],
+    dst: &mut [T],
+    x0: usize,
+    x1: usize,
+) {
+    if x0 >= x1 {
+        return;
+    }
+    let rad = st.radius();
+    check_2d(rad, cur, south, north, dst, x0, x1);
+    let cc = st.center();
+    for x in x0..x1 {
+        let mut acc = cc * cur[x];
+        for (k, a) in st.arms().iter().enumerate() {
+            let d = k + 1;
+            acc += a.west * cur[x - d];
+            acc += a.east * cur[x + d];
+            acc += a.south * south[k][x];
+            acc += a.north * north[k][x];
+        }
+        dst[x] = acc;
+    }
+}
+
+/// 2D row kernel monomorphized over radius `RAD` and lane width `W`.
+///
+/// Same contract as [`row_2d_generic`]; additionally the stencil's radius
+/// must equal `RAD`. Cells are processed `W` per step with the `4·RAD + 1`
+/// taps fully unrolled; the ragged tail is finished by a scalar epilogue
+/// evaluating the identical canonical-order expression.
+pub fn row_2d_specialized<T: Real, const RAD: usize, const W: usize>(
+    st: &Stencil2D<T>,
+    cur: &[T],
+    south: &[&[T]],
+    north: &[&[T]],
+    dst: &mut [T],
+    x0: usize,
+    x1: usize,
+) {
+    assert_eq!(st.radius(), RAD, "stencil radius / kernel RAD mismatch");
+    if x0 >= x1 {
+        return;
+    }
+    check_2d(RAD, cur, south, north, dst, x0, x1);
+    let cc = st.center();
+    let arms: [Arm2<T>; RAD] = std::array::from_fn(|k| st.arm(k + 1));
+    let mut x = x0;
+    while x + W <= x1 {
+        let mut acc = Lanes::<T, W>::load(&cur[x..]).mul_coeff(cc);
+        for (k, a) in arms.iter().enumerate() {
+            let d = k + 1;
+            acc.add_scaled(a.west, Lanes::load(&cur[x - d..]));
+            acc.add_scaled(a.east, Lanes::load(&cur[x + d..]));
+            acc.add_scaled(a.south, Lanes::load(&south[k][x..]));
+            acc.add_scaled(a.north, Lanes::load(&north[k][x..]));
+        }
+        acc.store(&mut dst[x..]);
+        x += W;
+    }
+    for x in x..x1 {
+        let mut acc = cc * cur[x];
+        for (k, a) in arms.iter().enumerate() {
+            let d = k + 1;
+            acc += a.west * cur[x - d];
+            acc += a.east * cur[x + d];
+            acc += a.south * south[k][x];
+            acc += a.north * north[k][x];
+        }
+        dst[x] = acc;
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn check_3d<T: Real>(
+    rad: usize,
+    cur: &[T],
+    south: &[&[T]],
+    north: &[&[T]],
+    below: &[&[T]],
+    above: &[&[T]],
+    dst: &[T],
+    x0: usize,
+    x1: usize,
+) {
+    assert!(x0 >= rad && x1 + rad <= cur.len(), "x taps out of bounds");
+    assert!(x1 <= dst.len(), "destination shorter than x1");
+    assert!(
+        south.len() >= rad && north.len() >= rad && below.len() >= rad && above.len() >= rad,
+        "need one transverse row per distance"
+    );
+    for k in 0..rad {
+        assert!(
+            south[k].len() >= x1
+                && north[k].len() >= x1
+                && below[k].len() >= x1
+                && above[k].len() >= x1,
+            "transverse row {k} shorter than x1"
+        );
+    }
+}
+
+/// Runtime-radius 3D row kernel — the scalar fallback. Contract as
+/// [`row_2d_generic`] with the two extra z-tap families.
+#[allow(clippy::too_many_arguments)]
+pub fn row_3d_generic<T: Real>(
+    st: &Stencil3D<T>,
+    cur: &[T],
+    south: &[&[T]],
+    north: &[&[T]],
+    below: &[&[T]],
+    above: &[&[T]],
+    dst: &mut [T],
+    x0: usize,
+    x1: usize,
+) {
+    if x0 >= x1 {
+        return;
+    }
+    let rad = st.radius();
+    check_3d(rad, cur, south, north, below, above, dst, x0, x1);
+    let cc = st.center();
+    for x in x0..x1 {
+        let mut acc = cc * cur[x];
+        for (k, a) in st.arms().iter().enumerate() {
+            let d = k + 1;
+            acc += a.west * cur[x - d];
+            acc += a.east * cur[x + d];
+            acc += a.south * south[k][x];
+            acc += a.north * north[k][x];
+            acc += a.below * below[k][x];
+            acc += a.above * above[k][x];
+        }
+        dst[x] = acc;
+    }
+}
+
+/// 3D row kernel monomorphized over radius `RAD` and lane width `W` (see
+/// [`row_2d_specialized`]).
+#[allow(clippy::too_many_arguments)]
+pub fn row_3d_specialized<T: Real, const RAD: usize, const W: usize>(
+    st: &Stencil3D<T>,
+    cur: &[T],
+    south: &[&[T]],
+    north: &[&[T]],
+    below: &[&[T]],
+    above: &[&[T]],
+    dst: &mut [T],
+    x0: usize,
+    x1: usize,
+) {
+    assert_eq!(st.radius(), RAD, "stencil radius / kernel RAD mismatch");
+    if x0 >= x1 {
+        return;
+    }
+    check_3d(RAD, cur, south, north, below, above, dst, x0, x1);
+    let cc = st.center();
+    let arms: [Arm3<T>; RAD] = std::array::from_fn(|k| st.arm(k + 1));
+    let mut x = x0;
+    while x + W <= x1 {
+        let mut acc = Lanes::<T, W>::load(&cur[x..]).mul_coeff(cc);
+        for (k, a) in arms.iter().enumerate() {
+            let d = k + 1;
+            acc.add_scaled(a.west, Lanes::load(&cur[x - d..]));
+            acc.add_scaled(a.east, Lanes::load(&cur[x + d..]));
+            acc.add_scaled(a.south, Lanes::load(&south[k][x..]));
+            acc.add_scaled(a.north, Lanes::load(&north[k][x..]));
+            acc.add_scaled(a.below, Lanes::load(&below[k][x..]));
+            acc.add_scaled(a.above, Lanes::load(&above[k][x..]));
+        }
+        acc.store(&mut dst[x..]);
+        x += W;
+    }
+    for x in x..x1 {
+        let mut acc = cc * cur[x];
+        for (k, a) in arms.iter().enumerate() {
+            let d = k + 1;
+            acc += a.west * cur[x - d];
+            acc += a.east * cur[x + d];
+            acc += a.south * south[k][x];
+            acc += a.north * north[k][x];
+            acc += a.below * below[k][x];
+            acc += a.above * above[k][x];
+        }
+        dst[x] = acc;
+    }
+}
+
+/// Runtime dispatch table for 2D: `(rad 1..=4) × (lanes 2|4|8)` resolves to
+/// the monomorphized kernel; everything else resolves to
+/// [`row_2d_generic`]. Selecting once per row (or once per block) keeps the
+/// dispatch cost off the per-cell path.
+pub fn select_row_2d<T: Real>(rad: usize, lanes: usize) -> RowKernel2D<T> {
+    // One row per radius, one column per lane width, mirroring LANE_WIDTHS.
+    let table: [[RowKernel2D<T>; 3]; MAX_SPECIALIZED_RADIUS] = [
+        [
+            row_2d_specialized::<T, 1, 2>,
+            row_2d_specialized::<T, 1, 4>,
+            row_2d_specialized::<T, 1, 8>,
+        ],
+        [
+            row_2d_specialized::<T, 2, 2>,
+            row_2d_specialized::<T, 2, 4>,
+            row_2d_specialized::<T, 2, 8>,
+        ],
+        [
+            row_2d_specialized::<T, 3, 2>,
+            row_2d_specialized::<T, 3, 4>,
+            row_2d_specialized::<T, 3, 8>,
+        ],
+        [
+            row_2d_specialized::<T, 4, 2>,
+            row_2d_specialized::<T, 4, 4>,
+            row_2d_specialized::<T, 4, 8>,
+        ],
+    ];
+    match (rad, LANE_WIDTHS.iter().position(|&w| w == lanes)) {
+        (1..=MAX_SPECIALIZED_RADIUS, Some(wi)) => table[rad - 1][wi],
+        _ => row_2d_generic::<T>,
+    }
+}
+
+/// Runtime dispatch table for 3D (see [`select_row_2d`]).
+pub fn select_row_3d<T: Real>(rad: usize, lanes: usize) -> RowKernel3D<T> {
+    let table: [[RowKernel3D<T>; 3]; MAX_SPECIALIZED_RADIUS] = [
+        [
+            row_3d_specialized::<T, 1, 2>,
+            row_3d_specialized::<T, 1, 4>,
+            row_3d_specialized::<T, 1, 8>,
+        ],
+        [
+            row_3d_specialized::<T, 2, 2>,
+            row_3d_specialized::<T, 2, 4>,
+            row_3d_specialized::<T, 2, 8>,
+        ],
+        [
+            row_3d_specialized::<T, 3, 2>,
+            row_3d_specialized::<T, 3, 4>,
+            row_3d_specialized::<T, 3, 8>,
+        ],
+        [
+            row_3d_specialized::<T, 4, 2>,
+            row_3d_specialized::<T, 4, 4>,
+            row_3d_specialized::<T, 4, 8>,
+        ],
+    ];
+    match (rad, LANE_WIDTHS.iter().position(|&w| w == lanes)) {
+        (1..=MAX_SPECIALIZED_RADIUS, Some(wi)) => table[rad - 1][wi],
+        _ => row_3d_generic::<T>,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid2D;
+
+    /// Builds a row environment for a 2D radius-`rad` stencil: `cur` plus
+    /// `rad` south and north rows of length `n`, deterministic contents.
+    fn rows_2d(rad: usize, n: usize, seed: usize) -> (Vec<f32>, Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let gen = |r: usize, x: usize| ((x * 7 + r * 13 + seed) % 29) as f32 - 11.0;
+        let cur: Vec<f32> = (0..n).map(|x| gen(0, x)).collect();
+        let south: Vec<Vec<f32>> = (1..=rad)
+            .map(|d| (0..n).map(|x| gen(d, x)).collect())
+            .collect();
+        let north: Vec<Vec<f32>> = (1..=rad)
+            .map(|d| (0..n).map(|x| gen(d + rad, x)).collect())
+            .collect();
+        (cur, south, north)
+    }
+
+    #[test]
+    fn specialized_matches_generic_2d_all_radii_and_widths() {
+        for rad in 1..=4usize {
+            let st = Stencil2D::<f32>::random(rad, 40 + rad as u64).unwrap();
+            let n = 37; // deliberately not a multiple of any lane width
+            let (cur, south, north) = rows_2d(rad, n, rad);
+            let south: Vec<&[f32]> = south.iter().map(|r| r.as_slice()).collect();
+            let north: Vec<&[f32]> = north.iter().map(|r| r.as_slice()).collect();
+            let (x0, x1) = (rad, n - rad);
+            let mut want = vec![0.0f32; n];
+            row_2d_generic(&st, &cur, &south, &north, &mut want, x0, x1);
+            for &w in &LANE_WIDTHS {
+                let mut got = vec![0.0f32; n];
+                select_row_2d::<f32>(rad, w)(&st, &cur, &south, &north, &mut got, x0, x1);
+                assert_eq!(got, want, "rad {rad} lanes {w}");
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn specialized_matches_apply_clamped_on_grid_interior() {
+        // Against the single source of truth: an actual grid's interior.
+        let rad = 2;
+        let st = Stencil2D::<f32>::random(rad, 5).unwrap();
+        let g = Grid2D::from_fn(24, 9, |x, y| ((x * 3 + y * 5) % 17) as f32).unwrap();
+        let y = 4;
+        let s = g.as_slice();
+        let nx = g.nx();
+        let cur = &s[y * nx..(y + 1) * nx];
+        let south: Vec<&[f32]> = (1..=rad)
+            .map(|d| &s[(y - d) * nx..(y - d + 1) * nx])
+            .collect();
+        let north: Vec<&[f32]> = (1..=rad)
+            .map(|d| &s[(y + d) * nx..(y + d + 1) * nx])
+            .collect();
+        let mut got = vec![0.0f32; nx];
+        row_2d_specialized::<f32, 2, 4>(&st, cur, &south, &north, &mut got, rad, nx - rad);
+        for x in rad..nx - rad {
+            assert_eq!(got[x], st.apply_clamped(&g, x, y), "x {x}");
+        }
+    }
+
+    #[test]
+    fn ragged_tails_and_empty_ranges_2d() {
+        let rad = 3;
+        let st = Stencil2D::<f32>::random(rad, 9).unwrap();
+        let n = 64;
+        let (cur, south, north) = rows_2d(rad, n, 3);
+        let south: Vec<&[f32]> = south.iter().map(|r| r.as_slice()).collect();
+        let north: Vec<&[f32]> = north.iter().map(|r| r.as_slice()).collect();
+        for (x0, x1) in [
+            (3, 4),  // single cell: pure epilogue
+            (3, 10), // shorter than one 8-lane step
+            (5, 5),  // empty
+            (7, 3),  // inverted: no-op
+            (3, 61), // full interior, ragged tail for every width
+        ] {
+            let mut want = vec![-1.0f32; n];
+            row_2d_generic(&st, &cur, &south, &north, &mut want, x0, x1);
+            for &w in &LANE_WIDTHS {
+                let mut got = vec![-1.0f32; n];
+                select_row_2d::<f32>(rad, w)(&st, &cur, &south, &north, &mut got, x0, x1);
+                assert_eq!(got, want, "x0 {x0} x1 {x1} lanes {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn specialized_matches_generic_3d() {
+        for rad in 1..=4usize {
+            let st = Stencil3D::<f32>::random(rad, 70 + rad as u64).unwrap();
+            let n = 41;
+            let gen = |r: usize, x: usize| ((x * 11 + r * 3) % 23) as f32 - 9.0;
+            let cur: Vec<f32> = (0..n).map(|x| gen(0, x)).collect();
+            let fam = |off: usize| -> Vec<Vec<f32>> {
+                (1..=rad)
+                    .map(|d| (0..n).map(|x| gen(off + d, x)).collect())
+                    .collect()
+            };
+            let (s, no, b, a) = (fam(1), fam(10), fam(20), fam(30));
+            let s: Vec<&[f32]> = s.iter().map(|r| r.as_slice()).collect();
+            let no: Vec<&[f32]> = no.iter().map(|r| r.as_slice()).collect();
+            let b: Vec<&[f32]> = b.iter().map(|r| r.as_slice()).collect();
+            let a: Vec<&[f32]> = a.iter().map(|r| r.as_slice()).collect();
+            let (x0, x1) = (rad, n - rad);
+            let mut want = vec![0.0f32; n];
+            row_3d_generic(&st, &cur, &s, &no, &b, &a, &mut want, x0, x1);
+            for &w in &LANE_WIDTHS {
+                let mut got = vec![0.0f32; n];
+                select_row_3d::<f32>(rad, w)(&st, &cur, &s, &no, &b, &a, &mut got, x0, x1);
+                assert_eq!(got, want, "rad {rad} lanes {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_falls_back_to_generic() {
+        let addr_2d = |f: RowKernel2D<f32>| f as *const ();
+        let addr_3d = |f: RowKernel3D<f64>| f as *const ();
+        // Unsupported radius and lane widths resolve to the generic kernel.
+        assert_eq!(addr_2d(select_row_2d::<f32>(5, 4)), addr_2d(row_2d_generic));
+        assert_eq!(addr_2d(select_row_2d::<f32>(2, 3)), addr_2d(row_2d_generic));
+        assert_eq!(
+            addr_3d(select_row_3d::<f64>(1, 16)),
+            addr_3d(row_3d_generic)
+        );
+        // Supported combinations do not.
+        assert_ne!(addr_2d(select_row_2d::<f32>(2, 4)), addr_2d(row_2d_generic));
+    }
+
+    #[test]
+    fn lanes_ops_are_elementwise() {
+        let a = Lanes::<f64, 4>::load(&[1.0, 2.0, 3.0, 4.0]);
+        let mut acc = a.mul_coeff(0.5);
+        assert_eq!(acc.to_array(), [0.5, 1.0, 1.5, 2.0]);
+        acc.add_scaled(2.0, Lanes::splat(1.0));
+        assert_eq!(acc.to_array(), [2.5, 3.0, 3.5, 4.0]);
+        let mut out = [0.0f64; 4];
+        acc.store(&mut out);
+        assert_eq!(out, [2.5, 3.0, 3.5, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "x taps out of bounds")]
+    fn out_of_bounds_taps_panic() {
+        let st = Stencil2D::<f32>::uniform(2).unwrap();
+        let cur = vec![0.0f32; 8];
+        let rows: Vec<&[f32]> = vec![&cur, &cur];
+        let mut dst = vec![0.0f32; 8];
+        // x0 = 1 < rad = 2.
+        row_2d_specialized::<f32, 2, 4>(&st, &cur, &rows, &rows, &mut dst, 1, 6);
+    }
+}

@@ -6,12 +6,24 @@
 //! interior fast path avoids boundary clamping so the compiler can
 //! auto-vectorize across cells — the spirit of YASK's vector folding, which
 //! reorders nothing *within* a cell's update.
+//!
+//! Interior rows route through `stencil_core::simd`'s radius-monomorphized
+//! lane kernels at a fixed width of [`CPU_LANES`] (radii above 4 keep the
+//! runtime-radius bodies, exported as `*_generic`). Lane-parallelism is
+//! across cells, so the per-cell operation order — and therefore the
+//! bit-exactness contract — is untouched.
 
 // The row kernels index `dst_row` by the grid coordinate `x` on purpose —
 // the coordinate participates in the stencil evaluation, not just the store.
 #![allow(clippy::needless_range_loop)]
 
+use stencil_core::simd::{select_row_2d, select_row_3d, MAX_SPECIALIZED_RADIUS};
 use stencil_core::{Grid2D, Grid3D, Real, Stencil2D, Stencil3D};
+
+/// Lane width the CPU engines request from the dispatch table: 8 cells per
+/// step, one AVX2 register of `f32` (two of `f64`) — wide enough to
+/// saturate the vector units LLVM targets here without spilling.
+pub const CPU_LANES: usize = 8;
 
 /// Updates cells `x0..x1` of row `y` into `dst_row`, using clamped access
 /// (correct everywhere, slower).
@@ -29,9 +41,46 @@ pub fn row_2d_clamped<T: Real>(
 }
 
 /// Updates interior cells `x0..x1` of row `y` (caller guarantees all taps of
-/// every cell are in bounds). The inner loop is a dense gather the compiler
-/// vectorizes across cells.
+/// every cell are in bounds). Radii 1–4 run the [`CPU_LANES`]-wide
+/// monomorphized kernel; larger radii take [`row_2d_interior_generic`].
 pub fn row_2d_interior<T: Real>(
+    st: &Stencil2D<T>,
+    src: &Grid2D<T>,
+    dst_row: &mut [T],
+    y: usize,
+    x0: usize,
+    x1: usize,
+) {
+    let rad = st.radius();
+    debug_assert!(x0 >= rad && x1 + rad <= src.nx() && y >= rad && y + rad <= src.ny());
+    if rad > MAX_SPECIALIZED_RADIUS {
+        return row_2d_interior_generic(st, src, dst_row, y, x0, x1);
+    }
+    let nx = src.nx();
+    let s = src.as_slice();
+    let base = y * nx;
+    let cur = &s[base..base + nx];
+    let mut south_rows = [cur; MAX_SPECIALIZED_RADIUS];
+    let mut north_rows = [cur; MAX_SPECIALIZED_RADIUS];
+    for d in 1..=rad {
+        south_rows[d - 1] = &s[base - d * nx..base - d * nx + nx];
+        north_rows[d - 1] = &s[base + d * nx..base + d * nx + nx];
+    }
+    select_row_2d::<T>(rad, CPU_LANES)(
+        st,
+        cur,
+        &south_rows[..rad],
+        &north_rows[..rad],
+        dst_row,
+        x0,
+        x1,
+    );
+}
+
+/// The pre-dispatch interior body: a runtime-radius dense gather the
+/// compiler vectorizes across cells. Kept public as the fallback for radii
+/// above [`MAX_SPECIALIZED_RADIUS`] and as the ablation baseline.
+pub fn row_2d_interior_generic<T: Real>(
     st: &Stencil2D<T>,
     src: &Grid2D<T>,
     dst_row: &mut [T],
@@ -89,9 +138,58 @@ pub fn row_3d_clamped<T: Real>(
     }
 }
 
-/// Interior fast path for a 3D row.
+/// Interior fast path for a 3D row. Radii 1–4 run the [`CPU_LANES`]-wide
+/// monomorphized kernel; larger radii take [`row_3d_interior_generic`].
 #[allow(clippy::too_many_arguments)]
 pub fn row_3d_interior<T: Real>(
+    st: &Stencil3D<T>,
+    src: &Grid3D<T>,
+    dst_row: &mut [T],
+    y: usize,
+    z: usize,
+    x0: usize,
+    x1: usize,
+) {
+    let rad = st.radius();
+    let (nx, ny, nz) = (src.nx(), src.ny(), src.nz());
+    debug_assert!(
+        x0 >= rad && x1 + rad <= nx && y >= rad && y + rad < ny && z >= rad && z + rad < nz
+    );
+    let _ = nz;
+    if rad > MAX_SPECIALIZED_RADIUS {
+        return row_3d_interior_generic(st, src, dst_row, y, z, x0, x1);
+    }
+    let s = src.as_slice();
+    let plane = nx * ny;
+    let base = (z * ny + y) * nx;
+    let cur = &s[base..base + nx];
+    let mut south_rows = [cur; MAX_SPECIALIZED_RADIUS];
+    let mut north_rows = [cur; MAX_SPECIALIZED_RADIUS];
+    let mut below_rows = [cur; MAX_SPECIALIZED_RADIUS];
+    let mut above_rows = [cur; MAX_SPECIALIZED_RADIUS];
+    for d in 1..=rad {
+        south_rows[d - 1] = &s[base - d * nx..base - d * nx + nx];
+        north_rows[d - 1] = &s[base + d * nx..base + d * nx + nx];
+        below_rows[d - 1] = &s[base - d * plane..base - d * plane + nx];
+        above_rows[d - 1] = &s[base + d * plane..base + d * plane + nx];
+    }
+    select_row_3d::<T>(rad, CPU_LANES)(
+        st,
+        cur,
+        &south_rows[..rad],
+        &north_rows[..rad],
+        &below_rows[..rad],
+        &above_rows[..rad],
+        dst_row,
+        x0,
+        x1,
+    );
+}
+
+/// The pre-dispatch 3D interior body — runtime-radius fallback and ablation
+/// baseline (see [`row_2d_interior_generic`]).
+#[allow(clippy::too_many_arguments)]
+pub fn row_3d_interior_generic<T: Real>(
     st: &Stencil3D<T>,
     src: &Grid3D<T>,
     dst_row: &mut [T],
@@ -181,6 +279,36 @@ mod tests {
                 row_3d(&st, &g, &mut row, y, z);
                 for (x, &v) in row.iter().enumerate() {
                     assert_eq!(v, oracle.get(x, y, z), "({x},{y},{z})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_interior_is_bit_exact_with_generic() {
+        for rad in 1..=4usize {
+            let st = Stencil2D::<f32>::random(rad, 50 + rad as u64).unwrap();
+            let g = Grid2D::from_fn(37, 14, |x, y| ((x * 5 + y * 3) % 23) as f32).unwrap();
+            let (x0, x1) = (rad, 37 - rad);
+            let mut a = vec![0.0f32; 37];
+            let mut b = vec![0.0f32; 37];
+            for y in rad..14 - rad {
+                row_2d_interior(&st, &g, &mut a, y, x0, x1);
+                row_2d_interior_generic(&st, &g, &mut b, y, x0, x1);
+                assert_eq!(a, b, "2D rad {rad} row {y}");
+            }
+
+            let st3 = Stencil3D::<f32>::random(rad, 80 + rad as u64).unwrap();
+            let g3 =
+                Grid3D::from_fn(21, 11, 11, |x, y, z| ((x + y * 2 + z * 7) % 19) as f32).unwrap();
+            let (x0, x1) = (rad, 21 - rad);
+            let mut a = vec![0.0f32; 21];
+            let mut b = vec![0.0f32; 21];
+            for z in rad..11 - rad {
+                for y in rad..11 - rad {
+                    row_3d_interior(&st3, &g3, &mut a, y, z, x0, x1);
+                    row_3d_interior_generic(&st3, &g3, &mut b, y, z, x0, x1);
+                    assert_eq!(a, b, "3D rad {rad} ({y},{z})");
                 }
             }
         }

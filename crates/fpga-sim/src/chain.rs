@@ -68,6 +68,14 @@ impl<T: Real> Chain2D<T> {
         self.pes.len()
     }
 
+    /// Sets the interior-kernel lane width (the design's `parvec`) on every
+    /// PE in the chain — see [`Pe2D::set_lanes`].
+    pub fn set_lanes(&mut self, lanes: usize) {
+        for pe in &mut self.pes {
+            pe.set_lanes(lanes);
+        }
+    }
+
     /// `true` iff the chain has no PEs (never, post-construction).
     pub fn is_empty(&self) -> bool {
         self.pes.is_empty()
@@ -167,6 +175,14 @@ impl<T: Real> Chain3D<T> {
     /// Chain length.
     pub fn len(&self) -> usize {
         self.pes.len()
+    }
+
+    /// Sets the interior-kernel lane width on every PE in the chain — see
+    /// [`Pe3D::set_lanes`].
+    pub fn set_lanes(&mut self, lanes: usize) {
+        for pe in &mut self.pes {
+            pe.set_lanes(lanes);
+        }
     }
 
     /// `true` iff the chain has no PEs.

@@ -31,6 +31,9 @@ pub struct SimCounters {
     pub passes: u64,
     /// Spatial blocks processed, summed over passes.
     pub blocks: u64,
+    /// Lane width the interior kernels ran with (the design's `parvec`;
+    /// 1 = scalar generic path). A run-level property, not merged.
+    pub lane_width: u64,
     /// Wall time of each chain pass, in seconds (one entry per pass).
     pub pass_seconds: Vec<f64>,
     /// Total wall time of the run, in seconds.
@@ -39,9 +42,10 @@ pub struct SimCounters {
 
 impl SimCounters {
     /// Adds another tally's *count* fields into `self`. Timing fields
-    /// (`pass_seconds`, `elapsed_seconds`) are not merged: block partials
-    /// carry no timing — wall time is measured once at the pass/run level,
-    /// where it is well defined.
+    /// (`pass_seconds`, `elapsed_seconds`) and the run-level `lane_width`
+    /// are not merged: block partials carry no timing — wall time is
+    /// measured once at the pass/run level, where it is well defined — and
+    /// every block of a run shares one lane width.
     pub fn merge(&mut self, other: &SimCounters) {
         self.cells_updated += other.cells_updated;
         self.halo_cells += other.halo_cells;
@@ -84,6 +88,7 @@ mod tests {
             bytes_moved: 100,
             passes: 1,
             blocks: 2,
+            lane_width: 4,
             pass_seconds: vec![0.5],
             elapsed_seconds: 0.5,
         };
@@ -94,6 +99,7 @@ mod tests {
             bytes_moved: 50,
             passes: 0,
             blocks: 1,
+            lane_width: 8,
             pass_seconds: vec![9.0],
             elapsed_seconds: 9.0,
         };
@@ -103,6 +109,7 @@ mod tests {
         assert_eq!(a.rows_fed, 8);
         assert_eq!(a.bytes_moved, 150);
         assert_eq!(a.blocks, 3);
+        assert_eq!(a.lane_width, 4, "lane width is run-level, not merged");
         assert_eq!(a.pass_seconds, vec![0.5]);
         assert_eq!(a.elapsed_seconds, 0.5);
     }

@@ -93,6 +93,9 @@ pub fn run_2d<T: Real>(
 
 /// [`run_2d`] plus the [`SimCounters`] tallied during the run.
 ///
+/// The interior kernels run at lane width `config.parvec` — the simulator
+/// executes the vector width the performance model charges for.
+///
 /// # Panics
 /// Panics when `config` is not a validated 2D configuration.
 pub fn run_2d_instrumented<T: Real>(
@@ -101,12 +104,31 @@ pub fn run_2d_instrumented<T: Real>(
     config: &BlockConfig,
     iters: usize,
 ) -> (Grid2D<T>, SimCounters) {
+    run_2d_instrumented_lanes(stencil, grid, config, iters, config.parvec)
+}
+
+/// [`run_2d_instrumented`] with an explicit interior-kernel lane width
+/// (overriding `config.parvec`). `lanes = 1` reproduces the scalar
+/// runtime-radius data path; every width is bit-identical.
+///
+/// # Panics
+/// Panics when `config` is not a validated 2D configuration.
+pub fn run_2d_instrumented_lanes<T: Real>(
+    stencil: &Stencil2D<T>,
+    grid: &Grid2D<T>,
+    config: &BlockConfig,
+    iters: usize,
+    lanes: usize,
+) -> (Grid2D<T>, SimCounters) {
     check_2d(stencil, config);
 
     let nx = grid.nx();
     let mut src = grid.clone();
     let mut dst = grid.clone();
-    let mut counters = SimCounters::default();
+    let mut counters = SimCounters {
+        lane_width: lanes.max(1) as u64,
+        ..Default::default()
+    };
     let t_run = Instant::now();
 
     for active in passes(iters, config.partime) {
@@ -123,7 +145,8 @@ pub fn run_2d_instrumented<T: Real>(
             .collect::<Vec<_>>()
             .into_par_iter()
             .for_each(move |(span, mut strip)| {
-                let part = run_block_2d(stencil, src_ref, &span, &mut strip, partime, active);
+                let part =
+                    run_block_2d(stencil, src_ref, &span, &mut strip, partime, active, lanes);
                 tally_ref.lock().unwrap().merge(&part);
             });
         counters.merge(&tally.into_inner().unwrap());
@@ -138,6 +161,7 @@ pub fn run_2d_instrumented<T: Real>(
 /// One spatial block of one 2D pass: stream all rows of the block's read
 /// region through a fresh chain, committing the comp core into this block's
 /// pre-split destination strip.
+#[allow(clippy::too_many_arguments)]
 fn run_block_2d<T: Real>(
     stencil: &Stencil2D<T>,
     src: &Grid2D<T>,
@@ -145,11 +169,13 @@ fn run_block_2d<T: Real>(
     strip: &mut [&mut [T]],
     partime: usize,
     active: usize,
+    lanes: usize,
 ) -> SimCounters {
     let x0 = span.read_start;
     let width = span.read_len();
     let (nx, ny) = (src.nx(), src.ny());
     let mut chain = Chain2D::new(stencil, partime, active, x0 as i64, width, nx, ny);
+    chain.set_lanes(lanes);
     // The block's only steady-state input buffer, refilled in place per row.
     let mut row = vec![T::ZERO; width];
     let off = (span.comp_start as isize - x0) as usize;
@@ -185,7 +211,8 @@ pub fn run_3d<T: Real>(
     run_3d_instrumented(stencil, grid, config, iters).0
 }
 
-/// [`run_3d`] plus the [`SimCounters`] tallied during the run.
+/// [`run_3d`] plus the [`SimCounters`] tallied during the run; interior
+/// kernels run at lane width `config.parvec`.
 ///
 /// # Panics
 /// Panics when `config` is not a validated 3D configuration.
@@ -195,12 +222,30 @@ pub fn run_3d_instrumented<T: Real>(
     config: &BlockConfig,
     iters: usize,
 ) -> (Grid3D<T>, SimCounters) {
+    run_3d_instrumented_lanes(stencil, grid, config, iters, config.parvec)
+}
+
+/// [`run_3d_instrumented`] with an explicit interior-kernel lane width
+/// (see [`run_2d_instrumented_lanes`]).
+///
+/// # Panics
+/// Panics when `config` is not a validated 3D configuration.
+pub fn run_3d_instrumented_lanes<T: Real>(
+    stencil: &Stencil3D<T>,
+    grid: &Grid3D<T>,
+    config: &BlockConfig,
+    iters: usize,
+    lanes: usize,
+) -> (Grid3D<T>, SimCounters) {
     check_3d(stencil, config);
 
     let (nx, ny) = (grid.nx(), grid.ny());
     let mut src = grid.clone();
     let mut dst = grid.clone();
-    let mut counters = SimCounters::default();
+    let mut counters = SimCounters {
+        lane_width: lanes.max(1) as u64,
+        ..Default::default()
+    };
     let t_run = Instant::now();
 
     for active in passes(iters, config.partime) {
@@ -221,7 +266,9 @@ pub fn run_3d_instrumented<T: Real>(
         let tally_ref = &tally;
         let partime = config.partime;
         work.into_par_iter().for_each(move |(sx, sy, mut strip)| {
-            let part = run_block_3d(stencil, src_ref, &sx, &sy, &mut strip, partime, active);
+            let part = run_block_3d(
+                stencil, src_ref, &sx, &sy, &mut strip, partime, active, lanes,
+            );
             tally_ref.lock().unwrap().merge(&part);
         });
         counters.merge(&tally.into_inner().unwrap());
@@ -234,6 +281,7 @@ pub fn run_3d_instrumented<T: Real>(
 }
 
 /// One spatial block of one 3D pass (see [`run_block_2d`]).
+#[allow(clippy::too_many_arguments)]
 fn run_block_3d<T: Real>(
     stencil: &Stencil3D<T>,
     src: &Grid3D<T>,
@@ -242,6 +290,7 @@ fn run_block_3d<T: Real>(
     strip: &mut [&mut [T]],
     partime: usize,
     active: usize,
+    lanes: usize,
 ) -> SimCounters {
     let (x0, y0) = (sx.read_start, sy.read_start);
     let (width, height) = (sx.read_len(), sy.read_len());
@@ -249,6 +298,7 @@ fn run_block_3d<T: Real>(
     let mut chain = Chain3D::new(
         stencil, partime, active, x0 as i64, y0 as i64, width, height, nx, ny, nz,
     );
+    chain.set_lanes(lanes);
     let mut plane = vec![T::ZERO; width * height];
     let offx = (sx.comp_start as isize - x0) as usize;
     let offy = (sy.comp_start as isize - y0) as usize;

@@ -9,6 +9,7 @@
 //! deterministic and never reaches a committed cell.
 
 use crate::shift_register::{RowPool, ShiftRegister};
+use stencil_core::simd::{select_row_2d, select_row_3d};
 use stencil_core::{Real, Stencil2D, Stencil3D};
 
 /// Maximum supported stencil radius (generously above the paper's 4; §VI.A
@@ -36,6 +37,12 @@ pub struct Pe2D<T> {
     /// When false, the PE forwards rows unchanged — the simulator's
     /// equivalent of a chain longer than the remaining iteration count.
     active: bool,
+    /// Lane width for the interior kernel (the design's `parvec`): cells
+    /// updated per step. 1 selects the scalar runtime-radius path.
+    lanes: usize,
+    /// Pool backing the allocating [`Self::feed`] wrapper, so repeated
+    /// convenience calls recycle buffers instead of allocating per call.
+    pool: RowPool<T>,
 }
 
 impl<T: Real> Pe2D<T> {
@@ -58,6 +65,8 @@ impl<T: Real> Pe2D<T> {
             sr: ShiftRegister::new(2 * rad + 1),
             next_out: 0,
             active: true,
+            lanes: 1,
+            pool: RowPool::new(),
         }
     }
 
@@ -66,19 +75,31 @@ impl<T: Real> Pe2D<T> {
         self.active = active;
     }
 
+    /// Selects the interior-kernel lane width (the design's `parvec`).
+    /// Widths 2/4/8 with radius ≤ 4 dispatch to a monomorphized SIMD
+    /// kernel; any other value falls back to the scalar generic path.
+    /// Results are bit-identical for every width.
+    pub fn set_lanes(&mut self, lanes: usize) {
+        self.lanes = lanes.max(1);
+    }
+
     /// Feeds input row `y` (global index, `0..ny`) and returns every output
     /// row that became computable.
     ///
     /// Convenience wrapper over [`Self::feed_into`] that allocates its
-    /// output rows; streaming callers should use `feed_into` with a shared
+    /// output rows from a per-PE pool (the consumed input row is recycled
+    /// into it); streaming callers should use `feed_into` with a shared
     /// [`RowPool`] instead.
     ///
     /// # Panics
     /// Panics when `row` has the wrong width or rows arrive out of order.
+    #[inline]
     pub fn feed(&mut self, y: i64, row: Vec<T>) -> Produced<T> {
         let mut out = Produced::new();
-        let mut pool = RowPool::new();
+        let mut pool = std::mem::take(&mut self.pool);
         self.feed_into(y, &row, &mut out, &mut pool);
+        pool.put(row);
+        self.pool = pool;
         out
     }
 
@@ -125,45 +146,47 @@ impl<T: Real> Pe2D<T> {
             south_rows[d - 1] = self.sr.get_clamped(y - d as i64, 0, hi);
             north_rows[d - 1] = self.sr.get_clamped(y + d as i64, 0, hi);
         }
-        let mut west = [T::ZERO; MAX_RADIUS];
-        let mut east = [T::ZERO; MAX_RADIUS];
-        let mut south = [T::ZERO; MAX_RADIUS];
-        let mut north = [T::ZERO; MAX_RADIUS];
         out.clear();
-        out.reserve(self.width);
+        out.resize(self.width, T::ZERO);
         // Interior columns: every horizontal tap of cell `j` stays inside
         // both the read region and the grid, so `tap_x(gx ± d)` is the
-        // identity `j ± d` and the clamping branches can be skipped.
+        // identity `j ± d` and the clamping branches can be skipped —
+        // which is what lets the lane-parallel kernel run there.
         let r = rad as i64;
         let lo = r.max(r - self.x0).clamp(0, self.width as i64) as usize;
         let hi_x = (self.width as i64 - r)
             .min(self.nx - r - self.x0)
             .clamp(lo as i64, self.width as i64) as usize;
-        for j in 0..self.width {
-            if j >= lo && j < hi_x {
-                for d in 1..=rad {
-                    west[d - 1] = cur[j - d];
-                    east[d - 1] = cur[j + d];
-                    south[d - 1] = south_rows[d - 1][j];
-                    north[d - 1] = north_rows[d - 1][j];
-                }
-            } else {
-                let gx = self.x0 + j as i64;
-                for d in 1..=rad {
-                    let di = d as i64;
-                    west[d - 1] = cur[self.tap_x(gx - di)];
-                    east[d - 1] = cur[self.tap_x(gx + di)];
-                    south[d - 1] = south_rows[d - 1][j];
-                    north[d - 1] = north_rows[d - 1][j];
-                }
+        select_row_2d::<T>(rad, self.lanes)(
+            &self.stencil,
+            cur,
+            &south_rows[..rad],
+            &north_rows[..rad],
+            out,
+            lo,
+            hi_x,
+        );
+        // Border columns: per-cell tap gather with the two-clamp scheme.
+        let mut west = [T::ZERO; MAX_RADIUS];
+        let mut east = [T::ZERO; MAX_RADIUS];
+        let mut south = [T::ZERO; MAX_RADIUS];
+        let mut north = [T::ZERO; MAX_RADIUS];
+        for j in (0..lo).chain(hi_x..self.width) {
+            let gx = self.x0 + j as i64;
+            for d in 1..=rad {
+                let di = d as i64;
+                west[d - 1] = cur[self.tap_x(gx - di)];
+                east[d - 1] = cur[self.tap_x(gx + di)];
+                south[d - 1] = south_rows[d - 1][j];
+                north[d - 1] = north_rows[d - 1][j];
             }
-            out.push(self.stencil.apply_taps(
+            out[j] = self.stencil.apply_taps(
                 cur[j],
                 &west[..rad],
                 &east[..rad],
                 &south[..rad],
                 &north[..rad],
-            ));
+            );
         }
     }
 
@@ -192,6 +215,8 @@ pub struct Pe3D<T> {
     sr: ShiftRegister<T>,
     next_out: i64,
     active: bool,
+    lanes: usize,
+    pool: RowPool<T>,
 }
 
 impl<T: Real> Pe3D<T> {
@@ -226,6 +251,8 @@ impl<T: Real> Pe3D<T> {
             sr: ShiftRegister::new(2 * rad + 1),
             next_out: 0,
             active: true,
+            lanes: 1,
+            pool: RowPool::new(),
         }
     }
 
@@ -234,18 +261,27 @@ impl<T: Real> Pe3D<T> {
         self.active = active;
     }
 
+    /// Selects the interior-kernel lane width (see [`Pe2D::set_lanes`]).
+    pub fn set_lanes(&mut self, lanes: usize) {
+        self.lanes = lanes.max(1);
+    }
+
     /// Feeds input plane `z` (row-major `width × height`) and returns every
     /// output plane that became computable.
     ///
-    /// Convenience wrapper over [`Self::feed_into`]; streaming callers
-    /// should use `feed_into` with a shared [`RowPool`].
+    /// Convenience wrapper over [`Self::feed_into`] that allocates from a
+    /// per-PE pool (the consumed input plane is recycled into it);
+    /// streaming callers should use `feed_into` with a shared [`RowPool`].
     ///
     /// # Panics
     /// Panics when `plane` has the wrong size or planes arrive out of order.
+    #[inline]
     pub fn feed(&mut self, z: i64, plane: Vec<T>) -> Produced<T> {
         let mut out = Produced::new();
-        let mut pool = RowPool::new();
+        let mut pool = std::mem::take(&mut self.pool);
         self.feed_into(z, &plane, &mut out, &mut pool);
+        pool.put(plane);
+        self.pool = pool;
         out
     }
 
@@ -292,7 +328,7 @@ impl<T: Real> Pe3D<T> {
         let mut below = [T::ZERO; MAX_RADIUS];
         let mut above = [T::ZERO; MAX_RADIUS];
         out.clear();
-        out.reserve(self.width * self.height);
+        out.resize(self.width * self.height, T::ZERO);
         // Interior window where `tap_x`/`tap_y` are identities (see
         // [`Pe2D`]): clamping branches are skipped for every cell in it.
         let r = rad as i64;
@@ -304,33 +340,56 @@ impl<T: Real> Pe3D<T> {
         let yhi = (self.height as i64 - r)
             .min(self.ny - r - self.y0)
             .clamp(ylo as i64, self.height as i64) as usize;
+        let kernel = select_row_3d::<T>(rad, self.lanes);
         for i in 0..self.height {
             let gy = self.y0 + i as i64;
             let row_interior = i >= ylo && i < yhi;
-            for j in 0..self.width {
-                let here = i * self.width + j;
-                if row_interior && j >= xlo && j < xhi {
-                    for d in 1..=rad {
-                        west[d - 1] = cur[here - d];
-                        east[d - 1] = cur[here + d];
-                        south[d - 1] = cur[here - d * self.width];
-                        north[d - 1] = cur[here + d * self.width];
-                        below[d - 1] = below_planes[d - 1][here];
-                        above[d - 1] = above_planes[d - 1][here];
-                    }
-                } else {
-                    let gx = self.x0 + j as i64;
-                    for d in 1..=rad {
-                        let di = d as i64;
-                        west[d - 1] = cur[i * self.width + self.tap_x(gx - di)];
-                        east[d - 1] = cur[i * self.width + self.tap_x(gx + di)];
-                        south[d - 1] = cur[self.tap_y(gy - di) * self.width + j];
-                        north[d - 1] = cur[self.tap_y(gy + di) * self.width + j];
-                        below[d - 1] = below_planes[d - 1][here];
-                        above[d - 1] = above_planes[d - 1][here];
-                    }
+            let row_off = i * self.width;
+            if row_interior {
+                // Interior columns of an interior row: every transverse tap
+                // family of this row is one contiguous slice, so the
+                // lane-parallel kernel runs over `[xlo, xhi)`.
+                let cur_row = &cur[row_off..row_off + self.width];
+                let mut south_rows = [cur_row; MAX_RADIUS];
+                let mut north_rows = [cur_row; MAX_RADIUS];
+                let mut below_rows = [cur_row; MAX_RADIUS];
+                let mut above_rows = [cur_row; MAX_RADIUS];
+                for d in 1..=rad {
+                    south_rows[d - 1] = &cur[row_off - d * self.width..][..self.width];
+                    north_rows[d - 1] = &cur[row_off + d * self.width..][..self.width];
+                    below_rows[d - 1] = &below_planes[d - 1][row_off..row_off + self.width];
+                    above_rows[d - 1] = &above_planes[d - 1][row_off..row_off + self.width];
                 }
-                out.push(self.stencil.apply_taps(
+                kernel(
+                    &self.stencil,
+                    cur_row,
+                    &south_rows[..rad],
+                    &north_rows[..rad],
+                    &below_rows[..rad],
+                    &above_rows[..rad],
+                    &mut out[row_off..row_off + self.width],
+                    xlo,
+                    xhi,
+                );
+            }
+            // Border cells (whole row when outside the y window, the two
+            // column fringes otherwise): per-cell two-clamp tap gather.
+            for j in 0..self.width {
+                if row_interior && j >= xlo && j < xhi {
+                    continue;
+                }
+                let here = row_off + j;
+                let gx = self.x0 + j as i64;
+                for d in 1..=rad {
+                    let di = d as i64;
+                    west[d - 1] = cur[row_off + self.tap_x(gx - di)];
+                    east[d - 1] = cur[row_off + self.tap_x(gx + di)];
+                    south[d - 1] = cur[self.tap_y(gy - di) * self.width + j];
+                    north[d - 1] = cur[self.tap_y(gy + di) * self.width + j];
+                    below[d - 1] = below_planes[d - 1][here];
+                    above[d - 1] = above_planes[d - 1][here];
+                }
+                out[here] = self.stencil.apply_taps(
                     cur[here],
                     &west[..rad],
                     &east[..rad],
@@ -338,7 +397,7 @@ impl<T: Real> Pe3D<T> {
                     &north[..rad],
                     &below[..rad],
                     &above[..rad],
-                ));
+                );
             }
         }
     }

@@ -11,7 +11,7 @@
 //! Threads and channels are created **once per chain pass** and reused
 //! across all spatial blocks of that pass — like the FPGA, where the
 //! kernels are resident and only the block stream changes. Block
-//! boundaries travel through the pipeline as [`Msg::Block`]/[`Msg::EndBlock`]
+//! boundaries travel through the pipeline as `Msg::Block`/`Msg::EndBlock`
 //! markers; closing the head FIFO ends the pass and drains the pipeline.
 //!
 //! Because every PE evaluates Eq. (1) in the canonical order, the threaded
@@ -29,11 +29,18 @@ pub struct SimOptions {
     /// Depth of the inter-kernel channels, mirroring the on-chip FIFO depth
     /// the OpenCL compiler instantiates between kernels.
     pub channel_depth: usize,
+    /// Interior-kernel lane width override. `None` uses the configuration's
+    /// `parvec` (the hardware's vector width); `Some(1)` forces the scalar
+    /// runtime-radius path. Results are bit-identical for every width.
+    pub lanes: Option<usize>,
 }
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { channel_depth: 8 }
+        SimOptions {
+            channel_depth: 8,
+            lanes: None,
+        }
     }
 }
 
@@ -143,6 +150,7 @@ pub fn run_2d_opts<T: Real>(
     config.validate().expect("invalid block configuration");
 
     let (nx, ny) = (grid.nx(), grid.ny());
+    let lanes = opts.lanes.unwrap_or(config.parvec).max(1);
     let mut src = grid.clone();
     let mut dst = grid.clone();
 
@@ -193,6 +201,7 @@ pub fn run_2d_opts<T: Real>(
                                     ny,
                                 );
                                 p.set_active(t < active);
+                                p.set_lanes(lanes);
                                 pe = Some(p);
                                 tx.send(Msg::Block);
                             }
@@ -267,6 +276,7 @@ pub fn run_3d_opts<T: Real>(
     config.validate().expect("invalid block configuration");
 
     let (nx, ny, nz) = (grid.nx(), grid.ny(), grid.nz());
+    let lanes = opts.lanes.unwrap_or(config.parvec).max(1);
     let mut src = grid.clone();
     let mut dst = grid.clone();
 
@@ -328,6 +338,7 @@ pub fn run_3d_opts<T: Real>(
                                     nz,
                                 );
                                 p.set_active(t < active);
+                                p.set_lanes(lanes);
                                 pe = Some(p);
                                 tx.send(Msg::Block);
                             }
@@ -426,7 +437,10 @@ mod tests {
         let st = Stencil2D::<f32>::random(2, 71).unwrap();
         let cfg = BlockConfig::new_2d(2, 64, 4, 4).unwrap();
         let grid = Grid2D::from_fn(100, 25, |x, y| ((x * 11 + y) % 17) as f32).unwrap();
-        let opts = SimOptions { channel_depth: 1 };
+        let opts = SimOptions {
+            channel_depth: 1,
+            ..Default::default()
+        };
         let got = run_2d_opts(&st, &grid, &cfg, 9, &opts);
         assert_eq!(got, exec::run_2d(&st, &grid, 9));
     }

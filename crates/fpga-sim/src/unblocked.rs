@@ -12,7 +12,7 @@
 //!   admits for a given radius and chain depth;
 //! * [`run_2d`] — functional execution (a single full-width block, zero
 //!   halo), bit-exact with the oracle whenever the input fits;
-//! * [`speedup_is_linear`]-style accounting lives in the tests: without halo
+//! * `speedup_is_linear`-style accounting lives in the tests: without halo
 //!   the committed throughput is exactly `parvec × partime` per cycle.
 
 use crate::device::FpgaDevice;

@@ -120,7 +120,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times `routine`: one warm-up call, then [`TIMED_ITERS`] timed calls.
+    /// Times `routine`: one warm-up call, then `TIMED_ITERS` timed calls.
     pub fn iter<O, R>(&mut self, mut routine: R)
     where
         R: FnMut() -> O,

@@ -415,38 +415,9 @@ fn simulator_matrix(out: &str, quick: bool) {
     println!("wrote {out} ({} entries)", entries.len());
 }
 
-/// Entry fields that must be present and hold non-negative integers.
-const ENTRY_UINT_FIELDS: &[&str] = &[
-    "dim", "rad", "nx", "ny", "nz", "iters", "partime", "parvec", "lanes", "blocks",
-];
-/// Entry fields that must be present and hold finite positive numbers.
-const ENTRY_FLOAT_FIELDS: &[&str] = &[
-    "serial_secs",
-    "scalar_secs",
-    "parallel_secs",
-    "serial_cells_per_s",
-    "scalar_cells_per_s",
-    "parallel_cells_per_s",
-    "speedup",
-    "speedup_vs_scalar",
-];
-/// [`SimCounters`] fields that must be present and hold non-negative
-/// integers.
-const COUNTER_UINT_FIELDS: &[&str] = &[
-    "cells_updated",
-    "halo_cells",
-    "rows_fed",
-    "bytes_moved",
-    "passes",
-    "blocks",
-    "lane_width",
-];
-
 /// Validates a `--simulator-matrix` output file against the documented
-/// schema: a non-empty array of entries, each carrying the dimension /
-/// configuration integers (including the executed lane width), the three
-/// timings with derived rates and speedups, and a full [`SimCounters`]
-/// record. Exits 0 on success, 2 with a diagnostic on any mismatch.
+/// schema via [`stencil_bench::validate_matrix_json`]. Exits 0 on success,
+/// 2 with a diagnostic on any mismatch.
 fn check_matrix(path: &str) {
     let fail = |msg: String| -> ! {
         eprintln!("stencil_bench: {path}: {msg}");
@@ -456,88 +427,8 @@ fn check_matrix(path: &str) {
         Ok(t) => t,
         Err(e) => fail(format!("cannot read: {e}")),
     };
-    let root: serde_json::Value = match serde_json::from_str(&text) {
-        Ok(v) => v,
-        Err(e) => fail(format!("invalid JSON: {e}")),
-    };
-    let entries = match root.as_seq() {
-        Some(s) if !s.is_empty() => s,
-        Some(_) => fail("matrix is empty".into()),
-        None => fail("top-level value is not an array".into()),
-    };
-    let get = |map: &[(String, serde_json::Value)], key: &str| {
-        map.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
-    };
-    for (i, entry) in entries.iter().enumerate() {
-        let map = match entry.as_map() {
-            Some(m) => m.to_vec(),
-            None => fail(format!("entry {i} is not an object")),
-        };
-        for &key in ENTRY_UINT_FIELDS {
-            match get(&map, key).as_ref().and_then(|v| v.as_integer()) {
-                Some(n) if n >= 0 => {}
-                _ => fail(format!(
-                    "entry {i}: `{key}` missing or not a non-negative integer"
-                )),
-            }
-        }
-        for &key in ENTRY_FLOAT_FIELDS {
-            match get(&map, key).as_ref().and_then(|v| v.as_f64()) {
-                Some(x) if x.is_finite() && x > 0.0 => {}
-                _ => fail(format!(
-                    "entry {i}: `{key}` missing or not a positive number"
-                )),
-            }
-        }
-        let lanes = get(&map, "lanes").and_then(|v| v.as_integer()).unwrap();
-        if lanes < 1 {
-            fail(format!("entry {i}: `lanes` must be >= 1, got {lanes}"));
-        }
-        let counters = match get(&map, "counters")
-            .as_ref()
-            .and_then(|v| v.as_map().map(<[_]>::to_vec))
-        {
-            Some(c) => c,
-            None => fail(format!("entry {i}: `counters` missing or not an object")),
-        };
-        for &key in COUNTER_UINT_FIELDS {
-            match get(&counters, key).as_ref().and_then(|v| v.as_integer()) {
-                Some(n) if n >= 0 => {}
-                _ => fail(format!(
-                    "entry {i}: counters.`{key}` missing or not a non-negative integer"
-                )),
-            }
-        }
-        if get(&counters, "lane_width").and_then(|v| v.as_integer()) != Some(lanes) {
-            fail(format!(
-                "entry {i}: counters.lane_width disagrees with `lanes`"
-            ));
-        }
-        match get(&counters, "pass_seconds")
-            .as_ref()
-            .and_then(|v| v.as_seq().map(<[_]>::to_vec))
-        {
-            Some(ps) => {
-                if ps.iter().any(|p| p.as_f64().is_none()) {
-                    fail(format!("entry {i}: counters.pass_seconds has a non-number"));
-                }
-            }
-            None => fail(format!(
-                "entry {i}: counters.pass_seconds missing or not an array"
-            )),
-        }
-        if get(&counters, "elapsed_seconds")
-            .as_ref()
-            .and_then(|v| v.as_f64())
-            .is_none()
-        {
-            fail(format!(
-                "entry {i}: counters.elapsed_seconds missing or not a number"
-            ));
-        }
+    match stencil_bench::validate_matrix_json(&text) {
+        Ok(n) => println!("{path}: OK ({n} entries match the matrix schema)"),
+        Err(msg) => fail(msg),
     }
-    println!(
-        "{path}: OK ({} entries match the matrix schema)",
-        entries.len()
-    );
 }

@@ -1,0 +1,256 @@
+//! Load-test driver for the `stencil-runtime` job-serving layer.
+//!
+//! ```text
+//! stencil_serve --synthetic [--jobs N] [--seed S] [--quick]
+//!               [--shadow-pct P] [--queue-cap C] [--workers W]
+//!               [--out BENCH_serve.json]
+//! stencil_serve --workload FILE.jsonl [--out FILE]
+//! stencil_serve --synthetic --emit-workload FILE.jsonl [--jobs N] [--seed S]
+//! stencil_serve --check-report FILE
+//! ```
+//!
+//! `--synthetic` generates a seeded, deterministic open-loop workload
+//! (exponential inter-arrival gaps) covering all four backends, both
+//! dimensionalities, a spread of radii/priorities, forced shadow
+//! verification, injected transient failures, and near-impossible
+//! deadlines; `--workload` replays a JSONL file instead (one
+//! [`stencil_runtime::JobSpec`] per line). Either way the driver submits
+//! every job through the bounded admission queue, drains the runtime, and
+//! writes a [`stencil_runtime::ServeReport`] to `--out`.
+//!
+//! Exit status: 0 for a healthy run (zero shadow mismatches, zero wedged
+//! workers, every admitted job terminal), 1 for an unhealthy one, 2 for
+//! usage or validation errors — the same convention as
+//! `stencil_bench --check-matrix`.
+
+use std::time::Duration;
+use stencil_runtime::workload::{arrival_gaps_us, parse_jsonl, to_jsonl};
+use stencil_runtime::{
+    validate_report_json, Runtime, RuntimeConfig, ServeReport, SubmitError, SyntheticParams,
+};
+
+#[derive(Debug)]
+struct Args {
+    synthetic: bool,
+    jobs: usize,
+    seed: u64,
+    quick: bool,
+    shadow_pct: u8,
+    queue_cap: usize,
+    workers: usize,
+    out: String,
+    workload: Option<String>,
+    emit_workload: Option<String>,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        synthetic: false,
+        jobs: 500,
+        seed: 42,
+        quick: false,
+        shadow_pct: 10,
+        queue_cap: 256,
+        workers: 2,
+        out: "BENCH_serve.json".into(),
+        workload: None,
+        emit_workload: None,
+        check: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).unwrap_or_else(|| usage()).clone()
+        };
+        match argv[i].as_str() {
+            "--synthetic" => a.synthetic = true,
+            "--jobs" => a.jobs = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => a.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--quick" => a.quick = true,
+            "--shadow-pct" => a.shadow_pct = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--queue-cap" => a.queue_cap = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--workers" => a.workers = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--out" => a.out = take(&mut i),
+            "--workload" => a.workload = Some(take(&mut i)),
+            "--emit-workload" => a.emit_workload = Some(take(&mut i)),
+            "--check-report" => a.check = Some(take(&mut i)),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    let modes = a.synthetic as usize + a.workload.is_some() as usize + a.check.is_some() as usize;
+    if modes != 1 || a.jobs == 0 || a.shadow_pct > 100 || a.queue_cap == 0 || a.workers == 0 {
+        usage();
+    }
+    a
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: stencil_serve --synthetic [--jobs N] [--seed S] [--quick] \
+         [--shadow-pct P] [--queue-cap C] [--workers W] [--out FILE]\
+         \n       stencil_serve --workload FILE.jsonl [--out FILE]\
+         \n       stencil_serve --synthetic --emit-workload FILE.jsonl [--jobs N] [--seed S]\
+         \n       stencil_serve --check-report FILE"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let a = parse_args();
+    if let Some(file) = &a.check {
+        check_report(file);
+        return;
+    }
+
+    // Assemble the workload and its open-loop arrival gaps.
+    let params = SyntheticParams::new(a.jobs, a.seed, a.quick);
+    let (kind, specs, gaps, seed) = if let Some(file) = &a.workload {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("stencil_serve: cannot read {file}: {e}");
+            std::process::exit(2);
+        });
+        let specs = parse_jsonl(&text).unwrap_or_else(|(line, msg)| {
+            eprintln!("stencil_serve: {file}:{line}: {msg}");
+            std::process::exit(2);
+        });
+        if specs.is_empty() {
+            eprintln!("stencil_serve: {file}: workload is empty");
+            std::process::exit(2);
+        }
+        let replay = SyntheticParams::new(specs.len(), a.seed, a.quick);
+        ("jsonl", specs, arrival_gaps_us(&replay), 0)
+    } else {
+        let specs = stencil_runtime::synthetic_workload(&params);
+        ("synthetic", specs, arrival_gaps_us(&params), a.seed)
+    };
+
+    if let Some(file) = &a.emit_workload {
+        if let Err(e) = std::fs::write(file, to_jsonl(&specs)) {
+            eprintln!("stencil_serve: cannot write {file}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {file} ({} job specs)", specs.len());
+        return;
+    }
+
+    println!(
+        "stencil_serve: {kind} workload, {} jobs (seed {seed}{}), \
+         queue cap {}, {} workers/shard, shadow {}%",
+        specs.len(),
+        if a.quick { ", quick" } else { "" },
+        a.queue_cap,
+        a.workers,
+        a.shadow_pct,
+    );
+
+    let rt = Runtime::start(RuntimeConfig {
+        queue_capacity: a.queue_cap,
+        workers_per_shard: a.workers,
+        shadow_percent: a.shadow_pct,
+        ..RuntimeConfig::default()
+    });
+
+    // Open-loop submission: sleep the pre-drawn gap, then offer the job.
+    // QueueFull is expected under burst — the runtime counts the rejection.
+    let jobs_requested = specs.len();
+    for (spec, gap_us) in specs.into_iter().zip(gaps) {
+        std::thread::sleep(Duration::from_micros(gap_us));
+        let id = spec.id;
+        match rt.submit(spec) {
+            Ok(_) | Err(SubmitError::QueueFull) => {}
+            Err(e) => {
+                eprintln!("stencil_serve: job {id}: unexpected refusal: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let metrics = std::sync::Arc::clone(rt.metrics());
+    let outcome = rt.drain();
+    let report = ServeReport::build(
+        kind,
+        seed,
+        a.quick,
+        jobs_requested,
+        &outcome.results,
+        &metrics,
+        outcome.wedged_workers,
+        outcome.wall_seconds,
+    );
+    print_summary(&report);
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&a.out, json + "\n") {
+        eprintln!("stencil_serve: cannot write {}: {e}", a.out);
+        std::process::exit(2);
+    }
+    println!("wrote {}", a.out);
+
+    if !report.healthy() {
+        eprintln!(
+            "stencil_serve: UNHEALTHY run ({} shadow mismatches, {} wedged workers, \
+             {} admitted vs {} terminal)",
+            report.shadow_mismatches,
+            report.wedged_workers,
+            report.jobs_admitted,
+            report.terminal_jobs(),
+        );
+        std::process::exit(1);
+    }
+}
+
+fn print_summary(r: &ServeReport) {
+    println!(
+        "  {} submitted: {} admitted, {} rejected (queue full), {} invalid",
+        r.jobs_submitted, r.jobs_admitted, r.jobs_rejected, r.jobs_invalid
+    );
+    println!(
+        "  outcomes: {} completed, {} failed, {} timed out, {} cancelled \
+         ({} retries, {} batches)",
+        r.jobs_completed, r.jobs_failed, r.jobs_timed_out, r.jobs_cancelled, r.retries, r.batches
+    );
+    println!(
+        "  shadow: {} runs, {} mismatches; max queue depth {}; {} wedged workers",
+        r.shadow_runs, r.shadow_mismatches, r.max_queue_depth, r.wedged_workers
+    );
+    println!(
+        "  latency ms (total): p50 {:.2}, p95 {:.2}, p99 {:.2}, max {:.2}",
+        r.total_ms.p50_ms, r.total_ms.p95_ms, r.total_ms.p99_ms, r.total_ms.max_ms
+    );
+    println!(
+        "  throughput: {:.1} jobs/s, {:.3e} cells/s over {:.2}s",
+        r.jobs_per_second, r.cells_per_second, r.wall_seconds
+    );
+    for b in &r.backends {
+        println!(
+            "    {:>10}: {} jobs ({} ok), run p95 {:.2} ms, {} shadow / {} mismatch",
+            b.backend, b.jobs, b.completed, b.run_ms.p95_ms, b.shadow_runs, b.shadow_mismatches
+        );
+    }
+}
+
+/// Validates an emitted report file; exit 0 on success, 2 on any mismatch.
+fn check_report(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("stencil_serve: {path}: cannot read: {e}");
+            std::process::exit(2);
+        }
+    };
+    match validate_report_json(&text) {
+        Ok(n) => println!("{path}: OK ({n} backend slices match the serve schema)"),
+        Err(msg) => {
+            eprintln!("stencil_serve: {path}: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -14,12 +14,14 @@
 #![warn(clippy::all)]
 
 pub mod compare;
+pub mod matrix;
 pub mod render;
 pub mod repro;
 pub mod score;
 pub mod study;
 
 pub use compare::{fig3, fig4, related, series, table4, table5, CompareRow, Series};
+pub use matrix::validate_matrix_json;
 pub use repro::{reproduce_all, reproduce_row, Repro3Row, Scale};
 pub use score::{score_table3, RowScore, ScoredMetric};
 pub use study::{high_order, what_if, HighOrderRow, WhatIfRow};

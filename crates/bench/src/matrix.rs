@@ -1,0 +1,207 @@
+//! Schema validation for `BENCH_simulator.json` (`stencil_bench
+//! --simulator-matrix` output).
+//!
+//! Extracted from the `stencil_bench` binary so the check is a plain
+//! function — [`validate_matrix_json`] — that unit and integration tests
+//! can call directly; the binary's `--check-matrix` flag is a thin wrapper
+//! that maps `Err` to its documented exit code 2.
+
+use serde_json::Value;
+
+/// Entry fields that must be present and hold non-negative integers.
+pub const ENTRY_UINT_FIELDS: &[&str] = &[
+    "dim", "rad", "nx", "ny", "nz", "iters", "partime", "parvec", "lanes", "blocks",
+];
+/// Entry fields that must be present and hold finite positive numbers.
+pub const ENTRY_FLOAT_FIELDS: &[&str] = &[
+    "serial_secs",
+    "scalar_secs",
+    "parallel_secs",
+    "serial_cells_per_s",
+    "scalar_cells_per_s",
+    "parallel_cells_per_s",
+    "speedup",
+    "speedup_vs_scalar",
+];
+/// `SimCounters` fields that must be present and hold non-negative
+/// integers.
+pub const COUNTER_UINT_FIELDS: &[&str] = &[
+    "cells_updated",
+    "halo_cells",
+    "rows_fed",
+    "bytes_moved",
+    "passes",
+    "blocks",
+    "lane_width",
+];
+
+/// Validates a `--simulator-matrix` output document against the documented
+/// schema: a non-empty array of entries, each carrying the dimension /
+/// configuration integers (including the executed lane width), the three
+/// timings with derived rates and speedups, and a full `SimCounters`
+/// record. Returns the number of entries on success.
+///
+/// # Errors
+/// A human-readable description of the first schema violation found.
+pub fn validate_matrix_json(text: &str) -> Result<usize, String> {
+    let root: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let entries = match root.as_seq() {
+        Some(s) if !s.is_empty() => s,
+        Some(_) => return Err("matrix is empty".into()),
+        None => return Err("top-level value is not an array".into()),
+    };
+    let get = |map: &[(String, Value)], key: &str| {
+        map.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    };
+    for (i, entry) in entries.iter().enumerate() {
+        let map = entry
+            .as_map()
+            .map(<[_]>::to_vec)
+            .ok_or_else(|| format!("entry {i} is not an object"))?;
+        for &key in ENTRY_UINT_FIELDS {
+            match get(&map, key).as_ref().and_then(|v| v.as_integer()) {
+                Some(n) if n >= 0 => {}
+                _ => {
+                    return Err(format!(
+                        "entry {i}: `{key}` missing or not a non-negative integer"
+                    ))
+                }
+            }
+        }
+        for &key in ENTRY_FLOAT_FIELDS {
+            match get(&map, key).as_ref().and_then(|v| v.as_f64()) {
+                Some(x) if x.is_finite() && x > 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "entry {i}: `{key}` missing or not a positive number"
+                    ))
+                }
+            }
+        }
+        let lanes = get(&map, "lanes")
+            .and_then(|v| v.as_integer())
+            .expect("checked above");
+        if lanes < 1 {
+            return Err(format!("entry {i}: `lanes` must be >= 1, got {lanes}"));
+        }
+        let counters = get(&map, "counters")
+            .as_ref()
+            .and_then(|v| v.as_map().map(<[_]>::to_vec))
+            .ok_or_else(|| format!("entry {i}: `counters` missing or not an object"))?;
+        for &key in COUNTER_UINT_FIELDS {
+            match get(&counters, key).as_ref().and_then(|v| v.as_integer()) {
+                Some(n) if n >= 0 => {}
+                _ => {
+                    return Err(format!(
+                        "entry {i}: counters.`{key}` missing or not a non-negative integer"
+                    ))
+                }
+            }
+        }
+        if get(&counters, "lane_width").and_then(|v| v.as_integer()) != Some(lanes) {
+            return Err(format!(
+                "entry {i}: counters.lane_width disagrees with `lanes`"
+            ));
+        }
+        match get(&counters, "pass_seconds")
+            .as_ref()
+            .and_then(|v| v.as_seq().map(<[_]>::to_vec))
+        {
+            Some(ps) => {
+                if ps.iter().any(|p| p.as_f64().is_none()) {
+                    return Err(format!("entry {i}: counters.pass_seconds has a non-number"));
+                }
+            }
+            None => {
+                return Err(format!(
+                    "entry {i}: counters.pass_seconds missing or not an array"
+                ))
+            }
+        }
+        if get(&counters, "elapsed_seconds")
+            .as_ref()
+            .and_then(|v| v.as_f64())
+            .is_none()
+        {
+            return Err(format!(
+                "entry {i}: counters.elapsed_seconds missing or not a number"
+            ));
+        }
+    }
+    Ok(entries.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A single schema-complete matrix entry as a JSON string.
+    pub(crate) fn valid_entry() -> String {
+        let floats = ENTRY_FLOAT_FIELDS
+            .iter()
+            .map(|k| format!("\"{k}\": 1.5"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let uints = ENTRY_UINT_FIELDS
+            .iter()
+            .filter(|&&k| k != "lanes")
+            .map(|k| format!("\"{k}\": 2"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let counters = COUNTER_UINT_FIELDS
+            .iter()
+            .filter(|&&k| k != "lane_width")
+            .map(|k| format!("\"{k}\": 7"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{ {uints}, \"lanes\": 4, {floats}, \"counters\": {{ {counters}, \
+             \"lane_width\": 4, \"pass_seconds\": [0.1, 0.2], \
+             \"elapsed_seconds\": 0.3 }} }}"
+        )
+    }
+
+    #[test]
+    fn accepts_a_valid_matrix() {
+        let doc = format!("[{}, {}]", valid_entry(), valid_entry());
+        assert_eq!(validate_matrix_json(&doc), Ok(2));
+    }
+
+    #[test]
+    fn rejects_non_array_and_empty() {
+        assert!(validate_matrix_json("{}")
+            .unwrap_err()
+            .contains("not an array"));
+        assert!(validate_matrix_json("[]").unwrap_err().contains("empty"));
+        assert!(validate_matrix_json("nonsense")
+            .unwrap_err()
+            .contains("invalid JSON"));
+    }
+
+    #[test]
+    fn rejects_missing_lane_width() {
+        let doc = format!("[{}]", valid_entry().replace("\"lane_width\": 4, ", ""));
+        let err = validate_matrix_json(&doc).unwrap_err();
+        assert!(err.contains("lane_width"), "{err}");
+    }
+
+    #[test]
+    fn rejects_lanes_counter_mismatch() {
+        let doc = format!(
+            "[{}]",
+            valid_entry().replace("\"lane_width\": 4", "\"lane_width\": 8")
+        );
+        let err = validate_matrix_json(&doc).unwrap_err();
+        assert!(err.contains("disagrees"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_positive_float() {
+        let doc = format!(
+            "[{}]",
+            valid_entry().replace("\"speedup\": 1.5", "\"speedup\": 0.0")
+        );
+        let err = validate_matrix_json(&doc).unwrap_err();
+        assert!(err.contains("speedup"), "{err}");
+    }
+}

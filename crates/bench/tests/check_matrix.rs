@@ -1,0 +1,104 @@
+//! End-to-end tests for `stencil_bench --check-matrix`: the validator must
+//! accept a schema-complete file (exit 0) and reject corrupted fixtures
+//! with the documented exit code 2.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use stencil_bench::matrix::{COUNTER_UINT_FIELDS, ENTRY_FLOAT_FIELDS, ENTRY_UINT_FIELDS};
+
+/// A single schema-complete matrix entry, built from the schema's own field
+/// lists so the fixture can't silently drift from the validator.
+fn valid_entry() -> String {
+    let uints = ENTRY_UINT_FIELDS
+        .iter()
+        .filter(|&&k| k != "lanes")
+        .map(|k| format!("\"{k}\": 2"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let floats = ENTRY_FLOAT_FIELDS
+        .iter()
+        .map(|k| format!("\"{k}\": 1.5"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let counters = COUNTER_UINT_FIELDS
+        .iter()
+        .filter(|&&k| k != "lane_width")
+        .map(|k| format!("\"{k}\": 7"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{ {uints}, \"lanes\": 4, {floats}, \"counters\": {{ {counters}, \
+         \"lane_width\": 4, \"pass_seconds\": [0.1, 0.2], \"elapsed_seconds\": 0.3 }} }}"
+    )
+}
+
+/// Writes `content` to a unique temp file and returns its path.
+fn fixture(name: &str, content: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("check_matrix_{name}_{}.json", std::process::id()));
+    std::fs::write(&path, content).expect("write fixture");
+    path
+}
+
+/// Runs `stencil_bench --check-matrix <file>` and returns (exit code, stderr).
+fn check(path: &Path) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_stencil_bench"))
+        .args(["--check-matrix", path.to_str().unwrap()])
+        .output()
+        .expect("run stencil_bench");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn accepts_valid_matrix_with_exit_0() {
+    let path = fixture(
+        "valid",
+        &format!("[{}, {}]\n", valid_entry(), valid_entry()),
+    );
+    let (code, stderr) = check(&path);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 0, "stderr: {stderr}");
+}
+
+#[test]
+fn missing_lane_width_exits_2() {
+    let corrupted = valid_entry().replace("\"lane_width\": 4, ", "");
+    let path = fixture("no_lane_width", &format!("[{corrupted}]\n"));
+    let (code, stderr) = check(&path);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("lane_width"), "stderr: {stderr}");
+}
+
+#[test]
+fn lanes_counter_mismatch_exits_2() {
+    let corrupted = valid_entry().replace("\"lane_width\": 4", "\"lane_width\": 8");
+    let path = fixture("wrong_lanes", &format!("[{corrupted}]\n"));
+    let (code, stderr) = check(&path);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("disagrees"), "stderr: {stderr}");
+}
+
+#[test]
+fn unreadable_file_and_garbage_exit_2() {
+    let missing = PathBuf::from("/nonexistent/no_such_matrix.json");
+    assert_eq!(check(&missing).0, 2);
+    let path = fixture("garbage", "this is not json\n");
+    let (code, _) = check(&path);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn committed_matrix_artifact_is_valid() {
+    // The repo commits BENCH_simulator.json; it must stay schema-valid.
+    let committed = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_simulator.json");
+    if committed.exists() {
+        let (code, stderr) = check(&committed);
+        assert_eq!(code, 0, "committed BENCH_simulator.json invalid: {stderr}");
+    }
+}

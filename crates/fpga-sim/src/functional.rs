@@ -120,6 +120,29 @@ pub fn run_2d_instrumented_lanes<T: Real>(
     iters: usize,
     lanes: usize,
 ) -> (Grid2D<T>, SimCounters) {
+    run_2d_cancellable(stencil, grid, config, iters, lanes, &|| false)
+        .expect("never-cancelled run cannot be cancelled")
+}
+
+/// [`run_2d_instrumented_lanes`] with a cooperative cancellation hook.
+///
+/// `cancel` is polled at every block boundary — once before each chain pass
+/// and once before each spatial block — so a long run can be abandoned with
+/// at most one block of latency. The hook must be monotonic: once it returns
+/// `true` it keeps returning `true`. Returns `None` when the run was
+/// cancelled (the partially-written grids are discarded); a `Some` result is
+/// bit-identical to [`run_2d_instrumented_lanes`].
+///
+/// # Panics
+/// Panics when `config` is not a validated 2D configuration.
+pub fn run_2d_cancellable<T: Real>(
+    stencil: &Stencil2D<T>,
+    grid: &Grid2D<T>,
+    config: &BlockConfig,
+    iters: usize,
+    lanes: usize,
+    cancel: &(dyn Fn() -> bool + Sync),
+) -> Option<(Grid2D<T>, SimCounters)> {
     check_2d(stencil, config);
 
     let nx = grid.nx();
@@ -132,6 +155,9 @@ pub fn run_2d_instrumented_lanes<T: Real>(
     let t_run = Instant::now();
 
     for active in passes(iters, config.partime) {
+        if cancel() {
+            return None;
+        }
         let t_pass = Instant::now();
         let spans = config.spans_x(nx);
         let blocks = dst.column_blocks(&comp_bounds(&spans, nx));
@@ -145,17 +171,23 @@ pub fn run_2d_instrumented_lanes<T: Real>(
             .collect::<Vec<_>>()
             .into_par_iter()
             .for_each(move |(span, mut strip)| {
+                if cancel() {
+                    return;
+                }
                 let part =
                     run_block_2d(stencil, src_ref, &span, &mut strip, partime, active, lanes);
                 tally_ref.lock().unwrap().merge(&part);
             });
+        if cancel() {
+            return None;
+        }
         counters.merge(&tally.into_inner().unwrap());
         counters.passes += 1;
         counters.pass_seconds.push(t_pass.elapsed().as_secs_f64());
         src.swap(&mut dst);
     }
     counters.elapsed_seconds = t_run.elapsed().as_secs_f64();
-    (src, counters)
+    Some((src, counters))
 }
 
 /// One spatial block of one 2D pass: stream all rows of the block's read
@@ -237,6 +269,23 @@ pub fn run_3d_instrumented_lanes<T: Real>(
     iters: usize,
     lanes: usize,
 ) -> (Grid3D<T>, SimCounters) {
+    run_3d_cancellable(stencil, grid, config, iters, lanes, &|| false)
+        .expect("never-cancelled run cannot be cancelled")
+}
+
+/// [`run_3d_instrumented_lanes`] with a cooperative cancellation hook (see
+/// [`run_2d_cancellable`] for the polling contract).
+///
+/// # Panics
+/// Panics when `config` is not a validated 3D configuration.
+pub fn run_3d_cancellable<T: Real>(
+    stencil: &Stencil3D<T>,
+    grid: &Grid3D<T>,
+    config: &BlockConfig,
+    iters: usize,
+    lanes: usize,
+    cancel: &(dyn Fn() -> bool + Sync),
+) -> Option<(Grid3D<T>, SimCounters)> {
     check_3d(stencil, config);
 
     let (nx, ny) = (grid.nx(), grid.ny());
@@ -249,6 +298,9 @@ pub fn run_3d_instrumented_lanes<T: Real>(
     let t_run = Instant::now();
 
     for active in passes(iters, config.partime) {
+        if cancel() {
+            return None;
+        }
         let t_pass = Instant::now();
         let sys = config.spans_y(ny);
         let sxs = config.spans_x(nx);
@@ -266,18 +318,24 @@ pub fn run_3d_instrumented_lanes<T: Real>(
         let tally_ref = &tally;
         let partime = config.partime;
         work.into_par_iter().for_each(move |(sx, sy, mut strip)| {
+            if cancel() {
+                return;
+            }
             let part = run_block_3d(
                 stencil, src_ref, &sx, &sy, &mut strip, partime, active, lanes,
             );
             tally_ref.lock().unwrap().merge(&part);
         });
+        if cancel() {
+            return None;
+        }
         counters.merge(&tally.into_inner().unwrap());
         counters.passes += 1;
         counters.pass_seconds.push(t_pass.elapsed().as_secs_f64());
         src.swap(&mut dst);
     }
     counters.elapsed_seconds = t_run.elapsed().as_secs_f64();
-    (src, counters)
+    Some((src, counters))
 }
 
 /// One spatial block of one 3D pass (see [`run_block_2d`]).
@@ -465,6 +523,44 @@ mod tests {
                 "nx {nx}"
             );
         }
+    }
+
+    #[test]
+    fn cancellable_never_cancelled_matches_plain_run() {
+        let st = Stencil2D::<f32>::random(2, 5).unwrap();
+        let cfg = BlockConfig::new_2d(2, 64, 4, 2).unwrap();
+        let grid = Grid2D::from_fn(90, 14, |x, y| ((x * 5 + y) % 11) as f32).unwrap();
+        let (plain, _) = run_2d_instrumented(&st, &grid, &cfg, 6);
+        let (cancellable, _) =
+            run_2d_cancellable(&st, &grid, &cfg, 6, cfg.parvec, &|| false).unwrap();
+        assert_eq!(plain, cancellable);
+    }
+
+    #[test]
+    fn cancel_before_start_returns_none() {
+        let st = Stencil2D::<f32>::random(1, 3).unwrap();
+        let cfg = BlockConfig::new_2d(1, 32, 4, 4).unwrap();
+        let grid = Grid2D::from_fn(40, 10, |x, y| (x + y) as f32).unwrap();
+        assert!(run_2d_cancellable(&st, &grid, &cfg, 8, 4, &|| true).is_none());
+
+        let st3 = Stencil3D::<f32>::random(1, 3).unwrap();
+        let cfg3 = BlockConfig::new_3d(1, 24, 24, 2, 4).unwrap();
+        let grid3 = Grid3D::from_fn(12, 10, 6, |x, y, z| (x + y + z) as f32).unwrap();
+        assert!(run_3d_cancellable(&st3, &grid3, &cfg3, 8, 2, &|| true).is_none());
+    }
+
+    #[test]
+    fn cancel_mid_run_returns_none() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Flip the cancel signal after a fixed number of polls: the run must
+        // stop at the next block boundary and report cancellation.
+        let st = Stencil2D::<f32>::random(2, 9).unwrap();
+        let cfg = BlockConfig::new_2d(2, 64, 4, 2).unwrap();
+        let grid = Grid2D::from_fn(3 * cfg.csize_x(), 20, |x, y| (x * y % 13) as f32).unwrap();
+        let polls = AtomicUsize::new(0);
+        let cancel = || polls.fetch_add(1, Ordering::Relaxed) >= 4;
+        assert!(run_2d_cancellable(&st, &grid, &cfg, 12, 4, &cancel).is_none());
+        assert!(polls.load(Ordering::Relaxed) >= 4);
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub use area::AreaEstimate;
 pub use counters::SimCounters;
 pub use device::FpgaDevice;
 pub use fmax::FmaxModel;
+pub use functional::{run_2d_cancellable, run_3d_cancellable};
 pub use schedule::{CollapsedSchedule, LoopPoint};
+pub use serial_ref::{run_2d_serial, run_3d_serial};
 pub use shift_register::ShiftRegister;
+pub use threaded::SimOptions;
 pub use timing::{GridDims, TimingOptions, TimingReport};
 pub use transfer::HostLink;

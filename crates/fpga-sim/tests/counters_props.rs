@@ -1,0 +1,131 @@
+//! Property and regression tests hardening [`fpga_sim::SimCounters`].
+//!
+//! `merge` folds block partials into a pass/run total, and the parallel
+//! dispatch merges partials in whatever order the worker threads finish —
+//! so the count fields must form a commutative monoid: associative,
+//! commutative, with `Default` as the identity. Timing fields
+//! (`pass_seconds`, `elapsed_seconds`) and the run-level `lane_width` are
+//! deliberately *not* merged, so the properties are stated over the count
+//! projection. The derived rates must also be total functions: an empty run
+//! (no time recorded, no work done) yields 0.0, never NaN/inf.
+
+use fpga_sim::SimCounters;
+use proptest::prelude::*;
+
+/// The merged (count) fields of a tally — the projection `merge` acts on.
+fn counts(c: &SimCounters) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        c.cells_updated,
+        c.halo_cells,
+        c.rows_fed,
+        c.bytes_moved,
+        c.passes,
+        c.blocks,
+    )
+}
+
+/// Builds a tally from sampled count fields (timing left at defaults, like
+/// the block partials produced inside the parallel dispatch).
+#[allow(clippy::too_many_arguments)]
+fn tally(cells: u64, halo: u64, rows: u64, bytes: u64, passes: u64, blocks: u64) -> SimCounters {
+    SimCounters {
+        cells_updated: cells,
+        halo_cells: halo,
+        rows_fed: rows,
+        bytes_moved: bytes,
+        passes,
+        blocks,
+        ..Default::default()
+    }
+}
+
+fn merged(mut a: SimCounters, b: &SimCounters) -> SimCounters {
+    a.merge(b);
+    a
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative_on_counts(
+        a0 in 0u64..1 << 40, a1 in 0u64..1 << 40, a2 in 0u64..1 << 40,
+        a3 in 0u64..1 << 40, a4 in 0u64..1 << 40, a5 in 0u64..1 << 40,
+        b0 in 0u64..1 << 40, b1 in 0u64..1 << 40, b2 in 0u64..1 << 40,
+        b3 in 0u64..1 << 40, b4 in 0u64..1 << 40, b5 in 0u64..1 << 40,
+    ) {
+        let a = tally(a0, a1, a2, a3, a4, a5);
+        let b = tally(b0, b1, b2, b3, b4, b5);
+        let ab = merged(a.clone(), &b);
+        let ba = merged(b, &a);
+        prop_assert_eq!(counts(&ab), counts(&ba));
+    }
+
+    #[test]
+    fn merge_is_associative_on_counts(
+        a0 in 0u64..1 << 40, a1 in 0u64..1 << 40, a2 in 0u64..1 << 40,
+        b0 in 0u64..1 << 40, b1 in 0u64..1 << 40, b2 in 0u64..1 << 40,
+        c0 in 0u64..1 << 40, c1 in 0u64..1 << 40, c2 in 0u64..1 << 40,
+    ) {
+        let a = tally(a0, a1, a2, a0, a1, a2);
+        let b = tally(b0, b1, b2, b0, b1, b2);
+        let c = tally(c0, c1, c2, c0, c1, c2);
+        // (a ⊕ b) ⊕ c  ==  a ⊕ (b ⊕ c)
+        let left = merged(merged(a.clone(), &b), &c);
+        let right = merged(a, &merged(b, &c));
+        prop_assert_eq!(counts(&left), counts(&right));
+    }
+
+    #[test]
+    fn default_is_merge_identity(
+        a0 in 0u64..1 << 40, a1 in 0u64..1 << 40, a2 in 0u64..1 << 40,
+        a3 in 0u64..1 << 40, a4 in 0u64..1 << 40, a5 in 0u64..1 << 40,
+    ) {
+        let a = tally(a0, a1, a2, a3, a4, a5);
+        let left = merged(SimCounters::default(), &a);
+        let right = merged(a.clone(), &SimCounters::default());
+        prop_assert_eq!(counts(&left), counts(&a));
+        prop_assert_eq!(counts(&right), counts(&a));
+    }
+
+    #[test]
+    fn derived_rates_are_always_finite(
+        cells in 0u64..1 << 50,
+        halo in 0u64..1 << 50,
+        elapsed in 0.0f64..1e6,
+    ) {
+        let c = SimCounters {
+            cells_updated: cells,
+            halo_cells: halo,
+            elapsed_seconds: elapsed,
+            ..Default::default()
+        };
+        prop_assert!(c.cells_per_second().is_finite());
+        prop_assert!(c.halo_fraction().is_finite());
+        prop_assert!((0.0..=1.0).contains(&c.halo_fraction()));
+    }
+}
+
+/// Regression: an empty run — zero cells, zero elapsed time — must report
+/// 0.0 for both derived rates, not NaN (0/0) or inf (n/0).
+#[test]
+fn empty_run_rates_are_zero() {
+    let empty = SimCounters::default();
+    assert_eq!(empty.cells_per_second(), 0.0);
+    assert_eq!(empty.halo_fraction(), 0.0);
+
+    // Work recorded but the clock never ticked (degenerate timer
+    // resolution): the rate must degrade to 0.0, not divide by zero.
+    let no_time = SimCounters {
+        cells_updated: 1_000,
+        halo_cells: 0,
+        elapsed_seconds: 0.0,
+        ..Default::default()
+    };
+    assert_eq!(no_time.cells_per_second(), 0.0);
+
+    // Pure-halo degenerate tally: fraction is 1.0 and finite.
+    let all_halo = SimCounters {
+        halo_cells: 7,
+        ..Default::default()
+    };
+    assert_eq!(all_halo.halo_fraction(), 1.0);
+}

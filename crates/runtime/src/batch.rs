@@ -1,0 +1,64 @@
+//! Small-job batching policy.
+//!
+//! Tiny jobs — a few hundred thousand cell-updates — finish in well under a
+//! millisecond, so popping them one at a time makes the queue lock and the
+//! per-pop bookkeeping a real fraction of their service time. The batching
+//! policy lets a shard claim several consecutive small jobs in one queue
+//! operation; big jobs always travel alone so batching can never delay a
+//! heavyweight behind it.
+
+use crate::job::JobSpec;
+
+/// When and how aggressively a shard batches small jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Most jobs one `pop_batch` may claim (1 disables batching).
+    pub max_batch: usize,
+    /// A job is *small* when `work_cells() <= small_cells`.
+    pub small_cells: u64,
+}
+
+impl BatchPolicy {
+    /// The serving default: up to 4 jobs of ≤ 256k cell-updates each.
+    pub fn serving_default() -> BatchPolicy {
+        BatchPolicy {
+            max_batch: 4,
+            small_cells: 256 * 1024,
+        }
+    }
+
+    /// Batching disabled — every pop claims exactly one job.
+    pub fn disabled() -> BatchPolicy {
+        BatchPolicy {
+            max_batch: 1,
+            small_cells: 0,
+        }
+    }
+
+    /// Whether `spec` qualifies for batching.
+    pub fn is_small(&self, spec: &JobSpec) -> bool {
+        spec.work_cells() <= self.small_cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_classification() {
+        let p = BatchPolicy {
+            max_batch: 4,
+            small_cells: 1000,
+        };
+        assert!(p.is_small(&JobSpec::new_2d(1, 1, 10, 10, 10))); // 1000
+        assert!(!p.is_small(&JobSpec::new_2d(1, 1, 10, 10, 11))); // 1100
+    }
+
+    #[test]
+    fn disabled_policy_classifies_nothing_small() {
+        let p = BatchPolicy::disabled();
+        assert!(!p.is_small(&JobSpec::new_2d(1, 1, 1, 1, 1)));
+        assert_eq!(p.max_batch, 1);
+    }
+}

@@ -1,0 +1,316 @@
+//! Job descriptions and results — the wire format of the serving runtime.
+//!
+//! A [`JobSpec`] is a self-contained description of one stencil run:
+//! problem geometry, block configuration, the backend to run it on, a
+//! deadline and priority for the scheduler, and (for load testing) fault
+//! injection. Specs serialize to one JSON object per line (JSONL), which is
+//! the replay format `stencil_serve` consumes.
+
+use serde::{Deserialize, Serialize};
+use stencil_core::BlockConfig;
+
+/// Which execution engine serves the job. One worker-pool shard exists per
+/// backend, so the backend choice is also the routing key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backend {
+    /// Block-parallel lane-vectorized simulator (`fpga_sim::functional`).
+    /// The only backend with sub-job cancellation granularity: the cancel
+    /// token is polled at every block boundary.
+    Functional,
+    /// One-thread-per-kernel dataflow simulator (`fpga_sim::threaded`).
+    Threaded,
+    /// YASK-style parallel CPU baseline (`cpu_engine::engines`).
+    CpuEngine,
+    /// The frozen seed data path (`fpga_sim::serial_ref`) — also the shadow
+    /// verification oracle.
+    SerialRef,
+}
+
+impl Backend {
+    /// Every backend, in shard order.
+    pub const ALL: [Backend; 4] = [
+        Backend::Functional,
+        Backend::Threaded,
+        Backend::CpuEngine,
+        Backend::SerialRef,
+    ];
+
+    /// Stable lowercase name (used in CLI flags, metrics keys, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Functional => "functional",
+            Backend::Threaded => "threaded",
+            Backend::CpuEngine => "cpu-engine",
+            Backend::SerialRef => "serial_ref",
+        }
+    }
+
+    /// Parses a [`Backend::name`] string.
+    pub fn parse(s: &str) -> Option<Backend> {
+        Backend::ALL.into_iter().find(|b| b.name() == s)
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Scheduling priority. Within a shard, higher priorities always pop before
+/// lower ones; ties break FIFO by admission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// Background work; drained last.
+    Low,
+    /// The default service class.
+    Normal,
+    /// Latency-sensitive; jumps the queue.
+    High,
+}
+
+impl Priority {
+    /// Numeric rank for ordering (higher pops first).
+    pub fn rank(self) -> u8 {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+}
+
+/// One job: a complete stencil problem plus serving parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Caller-assigned identifier, echoed in the [`JobResult`].
+    pub id: u64,
+    /// Problem dimensionality: 2 or 3.
+    pub dim: usize,
+    /// Stencil radius (1–4).
+    pub rad: usize,
+    /// Grid extent in x.
+    pub nx: usize,
+    /// Grid extent in y.
+    pub ny: usize,
+    /// Grid extent in z (ignored for 2D jobs).
+    pub nz: usize,
+    /// Time steps to run.
+    pub iters: usize,
+    /// Spatial block size in x (`BlockConfig::bsize_x`).
+    pub bsize_x: usize,
+    /// Spatial block size in y (3D only; `BlockConfig::bsize_y`).
+    pub bsize_y: usize,
+    /// Vector lanes (`BlockConfig::parvec`).
+    pub parvec: usize,
+    /// Temporal blocking depth (`BlockConfig::partime`).
+    pub partime: usize,
+    /// Backend shard that serves the job.
+    pub backend: Backend,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Deadline in milliseconds from admission; `0` means no deadline. A
+    /// job whose deadline passes while queued is failed without running;
+    /// one that expires mid-run is cancelled at the next block boundary
+    /// (functional backend) or marked timed-out on completion.
+    pub deadline_ms: u64,
+    /// Seed for the job's stencil coefficients and grid contents — two jobs
+    /// with equal geometry and seed are bit-identical work items.
+    pub seed: u64,
+    /// Forces shadow verification for this job regardless of the runtime's
+    /// sampling fraction.
+    pub shadow: bool,
+    /// Fault injection: the first `fail_times` execution attempts panic
+    /// (caught at the shard boundary) before the job is allowed to succeed.
+    /// Exercises the retry/backoff path under load.
+    pub fail_times: u32,
+}
+
+impl JobSpec {
+    /// A valid 2D job with defaults for the serving fields.
+    pub fn new_2d(id: u64, rad: usize, nx: usize, ny: usize, iters: usize) -> JobSpec {
+        JobSpec {
+            id,
+            dim: 2,
+            rad,
+            nx,
+            ny,
+            nz: 1,
+            iters,
+            bsize_x: 128,
+            bsize_y: 1,
+            parvec: 4,
+            partime: 4 / gcd(rad, 4),
+            backend: Backend::Functional,
+            priority: Priority::Normal,
+            deadline_ms: 0,
+            seed: id,
+            shadow: false,
+            fail_times: 0,
+        }
+    }
+
+    /// A valid 3D job with defaults for the serving fields.
+    pub fn new_3d(id: u64, rad: usize, nx: usize, ny: usize, nz: usize, iters: usize) -> JobSpec {
+        JobSpec {
+            id,
+            dim: 3,
+            rad,
+            nx,
+            ny,
+            nz,
+            iters,
+            bsize_x: 48,
+            bsize_y: 48,
+            parvec: 2,
+            partime: 4 / gcd(rad, 4),
+            backend: Backend::Functional,
+            priority: Priority::Normal,
+            deadline_ms: 0,
+            seed: id,
+            shadow: false,
+            fail_times: 0,
+        }
+    }
+
+    /// Builds the validated [`BlockConfig`] this job runs under.
+    ///
+    /// # Errors
+    /// Returns the underlying configuration error when the spec's geometry
+    /// violates the paper's constraints (Eqs. 2, 6) or `dim` is not 2/3.
+    pub fn block_config(&self) -> Result<BlockConfig, String> {
+        match self.dim {
+            2 => BlockConfig::new_2d(self.rad, self.bsize_x, self.parvec, self.partime)
+                .map_err(|e| e.to_string()),
+            3 => BlockConfig::new_3d(
+                self.rad,
+                self.bsize_x,
+                self.bsize_y,
+                self.parvec,
+                self.partime,
+            )
+            .map_err(|e| e.to_string()),
+            d => Err(format!("dim must be 2 or 3, got {d}")),
+        }
+    }
+
+    /// Admission-time validation: block config plus grid/iteration sanity.
+    ///
+    /// # Errors
+    /// Returns a human-readable reason when the spec cannot be served.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nx == 0 || self.ny == 0 || (self.dim == 3 && self.nz == 0) {
+            return Err("grid extents must be positive".into());
+        }
+        self.block_config().map(|_| ())
+    }
+
+    /// Useful cell updates the job performs (`cells · iters`).
+    pub fn work_cells(&self) -> u64 {
+        let cells =
+            self.nx as u64 * self.ny as u64 * if self.dim == 3 { self.nz as u64 } else { 1 };
+        cells * self.iters as u64
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Terminal state of a served job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Ran to completion (possibly after retries).
+    Completed,
+    /// Deadline expired — while queued, or detected during/after the run.
+    TimedOut,
+    /// Cancelled via its [`crate::cancel::CancelToken`] before completion.
+    Cancelled,
+    /// Exhausted its retry budget on transient failures.
+    Failed,
+}
+
+/// What the runtime reports back for one admitted job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobResult {
+    /// The spec's `id`.
+    pub id: u64,
+    /// Shard that served (or abandoned) the job.
+    pub backend: Backend,
+    /// Terminal state.
+    pub outcome: Outcome,
+    /// Execution attempts made (0 when the job never started).
+    pub attempts: u32,
+    /// Time spent queued before the shard first picked the job up.
+    pub queue_wait_ms: f64,
+    /// Wall time of the final execution attempt (0 when never run).
+    pub run_ms: f64,
+    /// Admission-to-terminal-state wall time.
+    pub total_ms: f64,
+    /// Useful cell updates committed (0 unless completed).
+    pub cells_updated: u64,
+    /// FNV-1a checksum over the output grid's bit patterns (completed jobs
+    /// only) — lets a replayed workload assert end-to-end determinism.
+    pub checksum: Option<u64>,
+    /// Shadow verification verdict: `Some(true)` = bit-exact match with the
+    /// frozen serial oracle, `Some(false)` = mismatch, `None` = not sampled.
+    pub shadow_match: Option<bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::parse(b.name()), Some(b));
+        }
+        assert_eq!(Backend::parse("nope"), None);
+    }
+
+    #[test]
+    fn priority_ranks_order() {
+        assert!(Priority::High.rank() > Priority::Normal.rank());
+        assert!(Priority::Normal.rank() > Priority::Low.rank());
+    }
+
+    #[test]
+    fn default_specs_validate() {
+        for rad in 1..=4 {
+            JobSpec::new_2d(1, rad, 96, 32, 4).validate().unwrap();
+            JobSpec::new_3d(2, rad, 24, 24, 8, 2).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut s = JobSpec::new_2d(1, 2, 96, 32, 4);
+        s.nx = 0;
+        assert!(s.validate().is_err());
+        let mut s = JobSpec::new_2d(1, 2, 96, 32, 4);
+        s.dim = 4;
+        assert!(s.validate().is_err());
+        let mut s = JobSpec::new_2d(1, 2, 96, 32, 4);
+        s.partime = 3; // violates Eq. 6 for rad 2, parvec 4
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let spec = JobSpec::new_3d(42, 2, 30, 26, 7, 3);
+        let line = serde_json::to_string(&spec).unwrap();
+        let back: JobSpec = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn work_cells_counts_dim() {
+        assert_eq!(JobSpec::new_2d(0, 1, 10, 5, 3).work_cells(), 150);
+        assert_eq!(JobSpec::new_3d(0, 1, 10, 5, 2, 3).work_cells(), 300);
+    }
+}

@@ -1,0 +1,51 @@
+//! `stencil-runtime` — a job-serving layer over the stencil executors.
+//!
+//! The simulator crates answer "how fast is one stencil run?"; this crate
+//! answers "what does a *service* built on those executors look like?". A
+//! [`job::JobSpec`] names a stencil problem (dims, radius, time steps,
+//! block config, backend, deadline, priority) and enters a bounded
+//! [`queue::AdmissionQueue`]; a sharded worker pool — one shard per
+//! [`job::Backend`] — drains it with small-job batching, per-job
+//! deadline/cancellation via a cooperative [`cancel::CancelToken`], and
+//! capped-backoff retry for transient failures. A configurable fraction of
+//! completed jobs is *shadow verified*: re-executed on the frozen
+//! `serial_ref` oracle and bit-compared, which the repo-wide bit-exactness
+//! contract makes an exact-equality check. A [`metrics::MetricsRegistry`]
+//! aggregates counters, gauges, and fixed-bucket latency histograms, and
+//! [`report::ServeReport`] serializes the whole load test as
+//! `BENCH_serve.json`.
+//!
+//! ```
+//! use stencil_runtime::{JobSpec, Runtime, RuntimeConfig};
+//! use std::time::Duration;
+//!
+//! let rt = Runtime::start(RuntimeConfig::default());
+//! rt.submit(JobSpec::new_2d(1, 2, 96, 32, 3)).unwrap();
+//! rt.wait_for_results(1, Duration::from_secs(30));
+//! let outcome = rt.drain();
+//! assert_eq!(outcome.results.len(), 1);
+//! assert_eq!(outcome.wedged_workers, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod batch;
+pub mod cancel;
+pub mod job;
+pub mod metrics;
+pub mod queue;
+pub mod report;
+pub mod retry;
+pub mod worker;
+pub mod workload;
+
+pub use batch::BatchPolicy;
+pub use cancel::CancelToken;
+pub use job::{Backend, JobResult, JobSpec, Outcome, Priority};
+pub use metrics::MetricsRegistry;
+pub use queue::{AdmissionQueue, PushError};
+pub use report::{validate_report_json, LatencySummary, ServeReport};
+pub use retry::RetryPolicy;
+pub use worker::{DrainOutcome, JobHandle, Runtime, RuntimeConfig, SubmitError};
+pub use workload::{synthetic_workload, SyntheticParams};

@@ -1,0 +1,290 @@
+//! The bounded admission queue.
+//!
+//! One queue fronts the whole runtime: [`AdmissionQueue::push`] either
+//! admits a job or fails fast with [`PushError::Full`] — explicit
+//! backpressure instead of unbounded memory, exactly like the bounded
+//! on-chip FIFOs in the simulated accelerator. Shards drain it with
+//! [`AdmissionQueue::pop_batch`], which respects priority (then FIFO) per
+//! backend and opportunistically batches consecutive *small* jobs so cheap
+//! work amortizes the scheduling overhead.
+//!
+//! Shutdown is a graceful drain: [`AdmissionQueue::close`] stops new
+//! admissions but `pop_batch` keeps returning queued jobs until the queue
+//! is empty, so nothing admitted is ever dropped.
+
+use crate::batch::BatchPolicy;
+use crate::cancel::CancelToken;
+use crate::job::{Backend, JobSpec};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// A job inside the runtime: the spec plus its admission bookkeeping.
+#[derive(Debug, Clone)]
+pub struct QueuedJob {
+    /// The admitted spec.
+    pub spec: JobSpec,
+    /// Cancellation/deadline handle shared with the submitter.
+    pub token: CancelToken,
+    /// When the job was admitted (queue-wait measurement origin).
+    pub admitted: Instant,
+    /// Admission sequence number — the FIFO tiebreaker within a priority.
+    pub seq: u64,
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — the caller must shed load or retry later.
+    Full,
+    /// The queue was closed for shutdown.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full => write!(f, "admission queue is full"),
+            PushError::Closed => write!(f, "admission queue is closed"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+struct QueueState {
+    jobs: VecDeque<QueuedJob>,
+    closed: bool,
+    next_seq: u64,
+    high_water: usize,
+}
+
+/// Bounded, priority-aware, multi-backend admission queue.
+pub struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `capacity` jobs at once.
+    pub fn new(capacity: usize) -> AdmissionQueue {
+        assert!(capacity > 0, "queue capacity must be positive");
+        AdmissionQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+                next_seq: 0,
+                high_water: 0,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of queued jobs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().jobs.len()
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().unwrap().high_water
+    }
+
+    /// Admits a job, assigning its sequence number.
+    ///
+    /// # Errors
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`AdmissionQueue::close`].
+    pub fn push(&self, spec: JobSpec, token: CancelToken) -> Result<QueuedJob, PushError> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.jobs.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        let job = QueuedJob {
+            spec,
+            token,
+            admitted: Instant::now(),
+            seq: st.next_seq,
+        };
+        st.next_seq += 1;
+        st.jobs.push_back(job.clone());
+        st.high_water = st.high_water.max(st.jobs.len());
+        drop(st);
+        // Shards filter by backend, so a single targeted wakeup could go to
+        // the wrong shard; wake everyone and let the losers re-sleep.
+        self.not_empty.notify_all();
+        Ok(job)
+    }
+
+    /// Blocks until a job for `backend` is available, then removes and
+    /// returns the best one — highest priority first, FIFO within a
+    /// priority — plus, when that job is *small* under `batch`, up to
+    /// `batch.max_batch - 1` further small jobs for the same backend in the
+    /// same order. Returns `None` once the queue is closed *and* holds no
+    /// work for this backend (graceful drain).
+    pub fn pop_batch(&self, backend: Backend, batch: &BatchPolicy) -> Option<Vec<QueuedJob>> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(first_idx) = best_index(&st.jobs, backend) {
+                let first = st.jobs.remove(first_idx).expect("index in range");
+                let mut out = vec![first];
+                if batch.is_small(&out[0].spec) {
+                    while out.len() < batch.max_batch {
+                        let next = best_index(&st.jobs, backend)
+                            .filter(|&i| batch.is_small(&st.jobs[i].spec));
+                        match next {
+                            Some(i) => out.push(st.jobs.remove(i).expect("index in range")),
+                            None => break,
+                        }
+                    }
+                }
+                return Some(out);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Closes the queue: subsequent pushes fail, blocked `pop_batch` calls
+    /// drain what is left and then return `None`.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// Index of the best-ordered job for `backend`: maximum priority rank,
+/// minimum sequence number within it.
+fn best_index(jobs: &VecDeque<QueuedJob>, backend: Backend) -> Option<usize> {
+    jobs.iter()
+        .enumerate()
+        .filter(|(_, j)| j.spec.backend == backend)
+        .min_by_key(|(_, j)| (std::cmp::Reverse(j.spec.priority.rank()), j.seq))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Priority;
+
+    fn spec(id: u64, backend: Backend, priority: Priority) -> JobSpec {
+        let mut s = JobSpec::new_2d(id, 1, 64, 16, 1);
+        s.backend = backend;
+        s.priority = priority;
+        s
+    }
+
+    fn push(q: &AdmissionQueue, s: JobSpec) -> Result<QueuedJob, PushError> {
+        q.push(s, CancelToken::new())
+    }
+
+    #[test]
+    fn bounded_push_rejects_overflow() {
+        let q = AdmissionQueue::new(2);
+        push(&q, spec(1, Backend::SerialRef, Priority::Normal)).unwrap();
+        push(&q, spec(2, Backend::SerialRef, Priority::Normal)).unwrap();
+        assert_eq!(
+            push(&q, spec(3, Backend::SerialRef, Priority::Normal)).unwrap_err(),
+            PushError::Full
+        );
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn pop_respects_priority_then_fifo_per_backend() {
+        let q = AdmissionQueue::new(8);
+        let one_at_a_time = BatchPolicy {
+            max_batch: 1,
+            small_cells: 0,
+        };
+        push(&q, spec(1, Backend::Threaded, Priority::Normal)).unwrap();
+        push(&q, spec(2, Backend::Functional, Priority::Low)).unwrap();
+        push(&q, spec(3, Backend::Functional, Priority::High)).unwrap();
+        push(&q, spec(4, Backend::Functional, Priority::High)).unwrap();
+
+        let ids: Vec<u64> = (0..3)
+            .map(|_| {
+                q.pop_batch(Backend::Functional, &one_at_a_time).unwrap()[0]
+                    .spec
+                    .id
+            })
+            .collect();
+        assert_eq!(ids, vec![3, 4, 2], "High FIFO, then Low");
+        // The threaded job is untouched by the functional shard.
+        assert_eq!(
+            q.pop_batch(Backend::Threaded, &one_at_a_time).unwrap()[0]
+                .spec
+                .id,
+            1
+        );
+    }
+
+    #[test]
+    fn small_jobs_batch_up_to_limit() {
+        let q = AdmissionQueue::new(8);
+        // Every 64x16x1-iter job is "small" under a generous threshold.
+        let batchy = BatchPolicy {
+            max_batch: 3,
+            small_cells: 1 << 20,
+        };
+        for id in 1..=5 {
+            push(&q, spec(id, Backend::CpuEngine, Priority::Normal)).unwrap();
+        }
+        let first = q.pop_batch(Backend::CpuEngine, &batchy).unwrap();
+        assert_eq!(
+            first.iter().map(|j| j.spec.id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        let second = q.pop_batch(Backend::CpuEngine, &batchy).unwrap();
+        assert_eq!(
+            second.iter().map(|j| j.spec.id).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+    }
+
+    #[test]
+    fn big_jobs_never_batch() {
+        let q = AdmissionQueue::new(8);
+        let batchy = BatchPolicy {
+            max_batch: 4,
+            small_cells: 10, // everything is "big"
+        };
+        push(&q, spec(1, Backend::CpuEngine, Priority::Normal)).unwrap();
+        push(&q, spec(2, Backend::CpuEngine, Priority::Normal)).unwrap();
+        assert_eq!(q.pop_batch(Backend::CpuEngine, &batchy).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = AdmissionQueue::new(4);
+        let one = BatchPolicy {
+            max_batch: 1,
+            small_cells: 0,
+        };
+        push(&q, spec(1, Backend::SerialRef, Priority::Normal)).unwrap();
+        q.close();
+        assert_eq!(
+            push(&q, spec(2, Backend::SerialRef, Priority::Normal)).unwrap_err(),
+            PushError::Closed
+        );
+        // The queued job still drains...
+        assert_eq!(q.pop_batch(Backend::SerialRef, &one).unwrap()[0].spec.id, 1);
+        // ...then the shard is released.
+        assert!(q.pop_batch(Backend::SerialRef, &one).is_none());
+        assert!(q.pop_batch(Backend::Functional, &one).is_none());
+    }
+}

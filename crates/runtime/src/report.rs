@@ -1,0 +1,405 @@
+//! The `BENCH_serve.json` load-test report: assembly and schema validation.
+//!
+//! [`ServeReport::build`] folds the runtime's terminal [`JobResult`]s and
+//! metrics into one serializable document; [`validate_report_json`] is the
+//! machine check CI runs against an emitted file (`stencil_serve
+//! --check-report`), mirroring `stencil_bench --check-matrix`.
+
+use crate::job::{Backend, JobResult, Outcome};
+use crate::metrics::MetricsRegistry;
+use serde::{Deserialize, Serialize};
+
+/// Current `schema_version` written by [`ServeReport::build`].
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Latency distribution summary (milliseconds).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Observations.
+    pub count: u64,
+    /// Mean.
+    pub mean_ms: f64,
+    /// Median (conservative fixed-bucket estimate).
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Maximum observed.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes the named histogram in `metrics`.
+    fn from_histogram(metrics: &MetricsRegistry, name: &str) -> LatencySummary {
+        let h = metrics.histogram(name);
+        LatencySummary {
+            count: h.count(),
+            mean_ms: h.mean_ms(),
+            p50_ms: h.quantile_ms(0.50),
+            p95_ms: h.quantile_ms(0.95),
+            p99_ms: h.quantile_ms(0.99),
+            max_ms: h.max_ms(),
+        }
+    }
+}
+
+/// Per-backend slice of the load test.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BackendReport {
+    /// Backend name (`Backend::name`).
+    pub backend: String,
+    /// Jobs that reached a terminal state on this shard.
+    pub jobs: u64,
+    /// Completed jobs.
+    pub completed: u64,
+    /// Jobs that exhausted their retry budget.
+    pub failed: u64,
+    /// Deadline expiries (queued or running).
+    pub timed_out: u64,
+    /// Explicit cancellations.
+    pub cancelled: u64,
+    /// Execution attempts beyond the first, summed over jobs.
+    pub retries: u64,
+    /// Shadow verifications performed.
+    pub shadow_runs: u64,
+    /// Shadow verifications that found a bit mismatch.
+    pub shadow_mismatches: u64,
+    /// Useful cell updates committed by completed jobs.
+    pub cells_updated: u64,
+    /// Run-phase latency distribution for this shard.
+    pub run_ms: LatencySummary,
+}
+
+/// The complete load-test report (`BENCH_serve.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Workload source: `"synthetic"` or `"jsonl"`.
+    pub workload: String,
+    /// Synthetic seed (0 for replayed files).
+    pub seed: u64,
+    /// Whether the workload ran at CI smoke scale.
+    pub quick: bool,
+    /// Jobs the workload contained.
+    pub jobs_requested: u64,
+    /// Jobs offered to the runtime (equals `jobs_requested`).
+    pub jobs_submitted: u64,
+    /// Jobs past admission control.
+    pub jobs_admitted: u64,
+    /// Jobs refused with queue-full backpressure.
+    pub jobs_rejected: u64,
+    /// Jobs refused as invalid.
+    pub jobs_invalid: u64,
+    /// Completed jobs.
+    pub jobs_completed: u64,
+    /// Jobs that exhausted retries.
+    pub jobs_failed: u64,
+    /// Deadline expiries.
+    pub jobs_timed_out: u64,
+    /// Explicit cancellations.
+    pub jobs_cancelled: u64,
+    /// Retry attempts across all jobs.
+    pub retries: u64,
+    /// Multi-job batches popped by shards.
+    pub batches: u64,
+    /// Deepest the admission queue ever got.
+    pub max_queue_depth: u64,
+    /// Shadow verifications performed.
+    pub shadow_runs: u64,
+    /// Shadow mismatches — **must be 0** for a healthy serving path.
+    pub shadow_mismatches: u64,
+    /// Worker threads that failed to join at drain — **must be 0**.
+    pub wedged_workers: u64,
+    /// Wall time of the whole test, in seconds.
+    pub wall_seconds: f64,
+    /// Terminal jobs per second of wall time.
+    pub jobs_per_second: f64,
+    /// Useful cell updates committed by completed jobs.
+    pub cells_updated: u64,
+    /// `cells_updated / wall_seconds`.
+    pub cells_per_second: f64,
+    /// Queue-wait latency distribution.
+    pub queue_wait_ms: LatencySummary,
+    /// Run-phase latency distribution.
+    pub run_ms: LatencySummary,
+    /// Admission-to-terminal latency distribution.
+    pub total_ms: LatencySummary,
+    /// Per-backend slices (one entry per backend that saw jobs).
+    pub backends: Vec<BackendReport>,
+}
+
+impl ServeReport {
+    /// Assembles the report from terminal results and the live registry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        workload: &str,
+        seed: u64,
+        quick: bool,
+        jobs_requested: usize,
+        results: &[JobResult],
+        metrics: &MetricsRegistry,
+        wedged_workers: usize,
+        wall_seconds: f64,
+    ) -> ServeReport {
+        let count = |name: &str| metrics.counter(name).get();
+        let cells_updated: u64 = results.iter().map(|r| r.cells_updated).sum();
+        let backends = Backend::ALL
+            .iter()
+            .filter_map(|&b| {
+                let slice: Vec<&JobResult> = results.iter().filter(|r| r.backend == b).collect();
+                if slice.is_empty() {
+                    return None;
+                }
+                let of = |o: Outcome| slice.iter().filter(|r| r.outcome == o).count() as u64;
+                Some(BackendReport {
+                    backend: b.name().to_string(),
+                    jobs: slice.len() as u64,
+                    completed: of(Outcome::Completed),
+                    failed: of(Outcome::Failed),
+                    timed_out: of(Outcome::TimedOut),
+                    cancelled: of(Outcome::Cancelled),
+                    retries: slice
+                        .iter()
+                        .map(|r| r.attempts.saturating_sub(1) as u64)
+                        .sum(),
+                    shadow_runs: slice.iter().filter(|r| r.shadow_match.is_some()).count() as u64,
+                    shadow_mismatches: slice
+                        .iter()
+                        .filter(|r| r.shadow_match == Some(false))
+                        .count() as u64,
+                    cells_updated: slice.iter().map(|r| r.cells_updated).sum(),
+                    run_ms: LatencySummary::from_histogram(
+                        metrics,
+                        &format!("run_ms_{}", b.name()),
+                    ),
+                })
+            })
+            .collect();
+        ServeReport {
+            schema_version: SCHEMA_VERSION,
+            workload: workload.to_string(),
+            seed,
+            quick,
+            jobs_requested: jobs_requested as u64,
+            jobs_submitted: count("jobs_submitted"),
+            jobs_admitted: count("jobs_admitted"),
+            jobs_rejected: count("jobs_rejected"),
+            jobs_invalid: count("jobs_invalid"),
+            jobs_completed: count("jobs_completed"),
+            jobs_failed: count("jobs_failed"),
+            jobs_timed_out: count("jobs_timed_out"),
+            jobs_cancelled: count("jobs_cancelled"),
+            retries: count("retries"),
+            batches: count("batches"),
+            max_queue_depth: metrics.gauge("queue_depth").high_water().max(0) as u64,
+            shadow_runs: count("shadow_runs"),
+            shadow_mismatches: count("shadow_mismatches"),
+            wedged_workers: wedged_workers as u64,
+            wall_seconds,
+            jobs_per_second: if wall_seconds > 0.0 {
+                results.len() as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            cells_updated,
+            cells_per_second: if wall_seconds > 0.0 {
+                cells_updated as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            queue_wait_ms: LatencySummary::from_histogram(metrics, "queue_wait_ms"),
+            run_ms: LatencySummary::from_histogram(metrics, "run_ms"),
+            total_ms: LatencySummary::from_histogram(metrics, "total_ms"),
+            backends,
+        }
+    }
+
+    /// True when the load test demonstrated a healthy serving path: no
+    /// shadow mismatches, no wedged workers, and every admitted job reached
+    /// a terminal state.
+    pub fn healthy(&self) -> bool {
+        self.shadow_mismatches == 0
+            && self.wedged_workers == 0
+            && self.terminal_jobs() == self.jobs_admitted
+    }
+
+    /// Jobs that reached a terminal state.
+    pub fn terminal_jobs(&self) -> u64 {
+        self.jobs_completed + self.jobs_failed + self.jobs_timed_out + self.jobs_cancelled
+    }
+}
+
+/// Validates an emitted `BENCH_serve.json` against the documented schema.
+/// Returns the number of backend slices on success.
+///
+/// # Errors
+/// A human-readable description of the first violation found.
+pub fn validate_report_json(text: &str) -> Result<usize, String> {
+    let report: ServeReport =
+        serde_json::from_str(text).map_err(|e| format!("schema mismatch: {e}"))?;
+    if report.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {} != expected {SCHEMA_VERSION}",
+            report.schema_version
+        ));
+    }
+    if report.workload != "synthetic" && report.workload != "jsonl" {
+        return Err(format!("unknown workload kind `{}`", report.workload));
+    }
+    if report.backends.is_empty() {
+        return Err("no backend slices".into());
+    }
+    if report.terminal_jobs() != report.jobs_admitted {
+        return Err(format!(
+            "terminal jobs ({}) != admitted ({}): jobs were lost",
+            report.terminal_jobs(),
+            report.jobs_admitted
+        ));
+    }
+    if report.jobs_submitted != report.jobs_admitted + report.jobs_rejected + report.jobs_invalid {
+        return Err("admitted + rejected + invalid != submitted".into());
+    }
+    for (name, l) in [
+        ("queue_wait_ms", &report.queue_wait_ms),
+        ("run_ms", &report.run_ms),
+        ("total_ms", &report.total_ms),
+    ] {
+        validate_latency(name, l)?;
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for b in &report.backends {
+        if Backend::parse(&b.backend).is_none() {
+            return Err(format!("unknown backend `{}`", b.backend));
+        }
+        if !seen.insert(b.backend.clone()) {
+            return Err(format!("duplicate backend slice `{}`", b.backend));
+        }
+        if b.completed + b.failed + b.timed_out + b.cancelled != b.jobs {
+            return Err(format!(
+                "backend `{}`: outcomes do not sum to jobs",
+                b.backend
+            ));
+        }
+        if b.shadow_mismatches > b.shadow_runs {
+            return Err(format!("backend `{}`: mismatches > shadow runs", b.backend));
+        }
+        validate_latency(&format!("backend `{}` run_ms", b.backend), &b.run_ms)?;
+    }
+    let by_backend: u64 = report.backends.iter().map(|b| b.jobs).sum();
+    if by_backend != report.terminal_jobs() {
+        return Err("backend slices do not sum to terminal jobs".into());
+    }
+    if !report.wall_seconds.is_finite() || report.wall_seconds <= 0.0 {
+        return Err("wall_seconds must be a positive number".into());
+    }
+    Ok(report.backends.len())
+}
+
+fn validate_latency(name: &str, l: &LatencySummary) -> Result<(), String> {
+    for (field, v) in [
+        ("mean_ms", l.mean_ms),
+        ("p50_ms", l.p50_ms),
+        ("p95_ms", l.p95_ms),
+        ("p99_ms", l.p99_ms),
+        ("max_ms", l.max_ms),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("{name}.{field} must be finite and >= 0"));
+        }
+    }
+    if l.p50_ms > l.p95_ms || l.p95_ms > l.p99_ms {
+        return Err(format!("{name}: percentiles not monotone"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(id: u64, backend: Backend, outcome: Outcome) -> JobResult {
+        JobResult {
+            id,
+            backend,
+            outcome,
+            attempts: 1,
+            queue_wait_ms: 0.1,
+            run_ms: 1.0,
+            total_ms: 1.2,
+            cells_updated: if outcome == Outcome::Completed {
+                100
+            } else {
+                0
+            },
+            checksum: None,
+            shadow_match: None,
+        }
+    }
+
+    fn sample_report() -> ServeReport {
+        let metrics = MetricsRegistry::new();
+        let results = vec![
+            result(1, Backend::Functional, Outcome::Completed),
+            result(2, Backend::SerialRef, Outcome::TimedOut),
+        ];
+        for name in ["jobs_submitted", "jobs_admitted"] {
+            metrics.counter(name).add(2);
+        }
+        metrics.counter("jobs_completed").inc();
+        metrics.counter("jobs_timed_out").inc();
+        for name in ["queue_wait_ms", "run_ms", "total_ms"] {
+            metrics.histogram(name).record(1.0);
+        }
+        metrics.histogram("run_ms_functional").record(1.0);
+        metrics.histogram("run_ms_serial_ref").record(0.0);
+        ServeReport::build("synthetic", 42, true, 2, &results, &metrics, 0, 0.5)
+    }
+
+    #[test]
+    fn build_and_validate_round_trip() {
+        let report = sample_report();
+        assert!(report.healthy(), "sample is healthy");
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let n = validate_report_json(&json).unwrap();
+        assert_eq!(n, 2, "two backend slices");
+    }
+
+    #[test]
+    fn validation_rejects_lost_jobs() {
+        let mut report = sample_report();
+        report.jobs_admitted += 1; // one admitted job never terminated
+        let json = serde_json::to_string(&report).unwrap();
+        let err = validate_report_json(&json).unwrap_err();
+        assert!(err.contains("jobs were lost"), "{err}");
+        assert!(!report.healthy());
+    }
+
+    #[test]
+    fn validation_rejects_bad_percentiles() {
+        let mut report = sample_report();
+        report.total_ms.p50_ms = 99.0; // above p95
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(validate_report_json(&json)
+            .unwrap_err()
+            .contains("not monotone"));
+    }
+
+    #[test]
+    fn validation_rejects_garbage() {
+        assert!(validate_report_json("not json").is_err());
+        assert!(validate_report_json("{}").is_err());
+        assert!(validate_report_json("[]").is_err());
+    }
+
+    #[test]
+    fn mismatches_make_report_unhealthy() {
+        let mut report = sample_report();
+        report.shadow_mismatches = 1;
+        assert!(!report.healthy());
+        let mut report = sample_report();
+        report.wedged_workers = 1;
+        assert!(!report.healthy());
+    }
+}

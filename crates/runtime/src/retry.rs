@@ -1,0 +1,83 @@
+//! Retry policy with capped exponential backoff.
+//!
+//! Transient failures — in this runtime, a worker panic caught at the shard
+//! boundary — are retried in place by the shard that owns the job, sleeping
+//! a capped exponential backoff between attempts. The policy is pure data
+//! so tests can assert the exact schedule.
+
+use std::time::Duration;
+
+/// When and how often a shard retries a transiently-failed job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total execution attempts allowed (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Ceiling the exponential backoff saturates at.
+    pub max_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The serving default: three attempts, 10 ms base, 100 ms cap.
+    pub fn serving_default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+        }
+    }
+
+    /// Backoff to sleep after failed attempt number `attempt` (1-based):
+    /// `min(base · 2^(attempt-1), max)`.
+    pub fn backoff_after(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        let raw = self.base_backoff.saturating_mul(1u32 << shift);
+        raw.min(self.max_backoff)
+    }
+
+    /// Whether another attempt is allowed after `attempt` attempts failed.
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(35),
+        };
+        assert_eq!(p.backoff_after(1), Duration::from_millis(10));
+        assert_eq!(p.backoff_after(2), Duration::from_millis(20));
+        assert_eq!(p.backoff_after(3), Duration::from_millis(35), "capped");
+        assert_eq!(
+            p.backoff_after(30),
+            Duration::from_millis(35),
+            "no overflow"
+        );
+    }
+
+    #[test]
+    fn attempt_budget() {
+        let p = RetryPolicy::serving_default();
+        assert!(p.should_retry(1));
+        assert!(p.should_retry(2));
+        assert!(!p.should_retry(3));
+        assert!(!RetryPolicy::none().should_retry(1));
+    }
+}

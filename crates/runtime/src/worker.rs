@@ -1,0 +1,739 @@
+//! The sharded worker pool and the runtime façade.
+//!
+//! [`Runtime::start`] spawns `workers_per_shard` std threads per configured
+//! backend; each shard drains the shared [`AdmissionQueue`] for its own
+//! backend only, so a slow backend can back up without starving the others
+//! — the queue is shared (one admission-control point, one capacity) but
+//! service is sharded, mirroring how the paper's host dispatches work onto
+//! whatever compute is attached.
+//!
+//! Per job, a shard:
+//! 1. measures queue wait and drops jobs whose deadline expired while
+//!    queued (they never run);
+//! 2. executes the spec on its backend inside `catch_unwind` — a worker
+//!    panic is a *transient job failure* absorbed at the shard boundary,
+//!    retried under the [`RetryPolicy`] with capped backoff, never a dead
+//!    worker;
+//! 3. polls the job's [`CancelToken`] (the functional backend additionally
+//!    polls it at every block boundary via the `fpga-sim` cancellation
+//!    hook);
+//! 4. optionally re-executes the job on the frozen `serial_ref` oracle and
+//!    bit-compares the outputs (shadow verification);
+//! 5. records latency histograms, counters, and the [`JobResult`].
+//!
+//! Shutdown ([`Runtime::drain`]) closes the queue, lets every shard finish
+//! what is queued, and joins all workers — graceful drain, nothing admitted
+//! is dropped.
+
+use crate::batch::BatchPolicy;
+use crate::cancel::CancelToken;
+use crate::job::{Backend, JobResult, JobSpec, Outcome};
+use crate::metrics::MetricsRegistry;
+use crate::queue::{AdmissionQueue, PushError, QueuedJob};
+use crate::retry::RetryPolicy;
+use cpu_engine::engines;
+use fpga_sim::{functional, serial_ref, threaded, SimCounters, SimOptions};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, Once};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use stencil_core::{Grid2D, Grid3D, Stencil2D, Stencil3D};
+
+/// Everything tunable about a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Admission queue capacity (shared across all shards).
+    pub queue_capacity: usize,
+    /// Worker threads per backend shard.
+    pub workers_per_shard: usize,
+    /// Backends to start shards for. Jobs naming any other backend are
+    /// refused at submission, so nothing can sit in the queue unserved.
+    pub backends: Vec<Backend>,
+    /// Percentage (0–100) of completed jobs re-executed on the frozen
+    /// `serial_ref` oracle and bit-compared. Jobs with `shadow: true` are
+    /// always verified.
+    pub shadow_percent: u8,
+    /// Retry policy for transient (panicking) jobs.
+    pub retry: RetryPolicy,
+    /// Small-job batching policy.
+    pub batch: BatchPolicy,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            queue_capacity: 64,
+            workers_per_shard: 2,
+            backends: Backend::ALL.to_vec(),
+            shadow_percent: 10,
+            retry: RetryPolicy::serving_default(),
+            batch: BatchPolicy::serving_default(),
+        }
+    }
+}
+
+/// Why a submission was refused (the job never entered the queue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The spec failed admission validation.
+    Invalid(String),
+    /// The bounded queue is full — explicit backpressure.
+    QueueFull,
+    /// The runtime is shutting down.
+    Closed,
+    /// The runtime has no shard for the spec's backend.
+    UnservedBackend(Backend),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Invalid(why) => write!(f, "invalid job spec: {why}"),
+            SubmitError::QueueFull => write!(f, "admission queue full"),
+            SubmitError::Closed => write!(f, "runtime is shutting down"),
+            SubmitError::UnservedBackend(b) => write!(f, "no shard serves backend {b}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The submitter's handle to one admitted job.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    /// The spec's `id`.
+    pub id: u64,
+    token: CancelToken,
+}
+
+impl JobHandle {
+    /// Requests cooperative cancellation of the job.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+}
+
+/// What [`Runtime::drain`] hands back.
+#[derive(Debug)]
+pub struct DrainOutcome {
+    /// One result per job that reached a terminal state.
+    pub results: Vec<JobResult>,
+    /// Worker threads that died instead of joining cleanly. Always 0 unless
+    /// the runtime itself is buggy — job panics are absorbed by the shard.
+    pub wedged_workers: usize,
+    /// Total wall time the runtime was up, in seconds.
+    pub wall_seconds: f64,
+}
+
+/// Terminal results shared between shards and the submitter.
+#[derive(Default)]
+struct ResultSink {
+    results: Mutex<Vec<JobResult>>,
+    progressed: Condvar,
+}
+
+impl ResultSink {
+    fn push(&self, r: JobResult) {
+        self.results.lock().unwrap().push(r);
+        self.progressed.notify_all();
+    }
+
+    fn count(&self) -> usize {
+        self.results.lock().unwrap().len()
+    }
+
+    /// Blocks until at least `n` results exist or `timeout` passes.
+    fn wait_for(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.results.lock().unwrap();
+        while guard.len() < n {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (g, _) = self.progressed.wait_timeout(guard, left).unwrap();
+            guard = g;
+        }
+        true
+    }
+
+    fn take(&self) -> Vec<JobResult> {
+        std::mem::take(&mut self.results.lock().unwrap())
+    }
+}
+
+/// Shared state one shard worker needs.
+struct ShardCtx {
+    backend: Backend,
+    queue: Arc<AdmissionQueue>,
+    metrics: Arc<MetricsRegistry>,
+    sink: Arc<ResultSink>,
+    retry: RetryPolicy,
+    batch: BatchPolicy,
+    shadow_percent: u8,
+}
+
+/// The job-serving runtime: bounded admission, sharded execution, deadline
+/// and cancellation enforcement, retries, shadow verification, metrics.
+pub struct Runtime {
+    queue: Arc<AdmissionQueue>,
+    metrics: Arc<MetricsRegistry>,
+    sink: Arc<ResultSink>,
+    workers: Vec<JoinHandle<()>>,
+    config: RuntimeConfig,
+    started: Instant,
+}
+
+impl Runtime {
+    /// Starts the shards and returns the serving façade.
+    ///
+    /// # Panics
+    /// Panics when the config names no backends or zero workers per shard.
+    pub fn start(config: RuntimeConfig) -> Runtime {
+        assert!(!config.backends.is_empty(), "need at least one backend");
+        assert!(config.workers_per_shard > 0, "need at least one worker");
+        install_quiet_panic_hook();
+        let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
+        let metrics = Arc::new(MetricsRegistry::new());
+        let sink = Arc::new(ResultSink::default());
+        let mut workers = Vec::new();
+        for &backend in &config.backends {
+            for w in 0..config.workers_per_shard {
+                let ctx = ShardCtx {
+                    backend,
+                    queue: Arc::clone(&queue),
+                    metrics: Arc::clone(&metrics),
+                    sink: Arc::clone(&sink),
+                    retry: config.retry,
+                    batch: config.batch,
+                    shadow_percent: config.shadow_percent,
+                };
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("shard-{}-{w}", backend.name()))
+                        .spawn(move || shard_loop(&ctx))
+                        .expect("spawn shard worker"),
+                );
+            }
+        }
+        Runtime {
+            queue,
+            metrics,
+            sink,
+            workers,
+            config,
+            started: Instant::now(),
+        }
+    }
+
+    /// Submits a job for asynchronous execution.
+    ///
+    /// # Errors
+    /// [`SubmitError::Invalid`] for specs that fail admission validation,
+    /// [`SubmitError::UnservedBackend`] when no shard serves the backend,
+    /// [`SubmitError::QueueFull`] under backpressure, and
+    /// [`SubmitError::Closed`] during shutdown.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        self.metrics.counter("jobs_submitted").inc();
+        if !self.config.backends.contains(&spec.backend) {
+            self.metrics.counter("jobs_invalid").inc();
+            return Err(SubmitError::UnservedBackend(spec.backend));
+        }
+        if let Err(why) = spec.validate() {
+            self.metrics.counter("jobs_invalid").inc();
+            return Err(SubmitError::Invalid(why));
+        }
+        let token = if spec.deadline_ms > 0 {
+            CancelToken::with_deadline(Instant::now() + Duration::from_millis(spec.deadline_ms))
+        } else {
+            CancelToken::new()
+        };
+        let id = spec.id;
+        match self.queue.push(spec, token.clone()) {
+            Ok(_) => {
+                self.metrics.counter("jobs_admitted").inc();
+                self.metrics
+                    .gauge("queue_depth")
+                    .set(self.queue.depth() as i64);
+                Ok(JobHandle { id, token })
+            }
+            Err(PushError::Full) => {
+                self.metrics.counter("jobs_rejected").inc();
+                Err(SubmitError::QueueFull)
+            }
+            Err(PushError::Closed) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// The runtime's metrics registry (shared; live).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Jobs currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Terminal results recorded so far.
+    pub fn completed_count(&self) -> usize {
+        self.sink.count()
+    }
+
+    /// Blocks until `n` results exist or `timeout` passes; returns whether
+    /// the count was reached.
+    pub fn wait_for_results(&self, n: usize, timeout: Duration) -> bool {
+        self.sink.wait_for(n, timeout)
+    }
+
+    /// Graceful shutdown: close admissions, drain every queued job, join
+    /// all workers, and return the accumulated results.
+    pub fn drain(self) -> DrainOutcome {
+        self.queue.close();
+        let mut wedged = 0usize;
+        for w in self.workers {
+            if w.join().is_err() {
+                wedged += 1;
+            }
+        }
+        DrainOutcome {
+            results: self.sink.take(),
+            wedged_workers: wedged,
+            wall_seconds: self.started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// One shard worker: drain the queue for this backend until close+empty.
+fn shard_loop(ctx: &ShardCtx) {
+    let depth_gauge = ctx.metrics.gauge("queue_depth");
+    let batches = ctx.metrics.counter("batches");
+    let batched_jobs = ctx.metrics.counter("batched_jobs");
+    while let Some(batch) = ctx.queue.pop_batch(ctx.backend, &ctx.batch) {
+        depth_gauge.set(ctx.queue.depth() as i64);
+        if batch.len() > 1 {
+            batches.inc();
+            batched_jobs.add(batch.len() as u64);
+        }
+        for job in batch {
+            process_job(ctx, job);
+        }
+    }
+}
+
+/// Drives one admitted job to a terminal state and records it.
+fn process_job(ctx: &ShardCtx, job: QueuedJob) {
+    let QueuedJob {
+        spec,
+        token,
+        admitted,
+        ..
+    } = job;
+    let queue_wait_ms = admitted.elapsed().as_secs_f64() * 1000.0;
+    ctx.metrics.histogram("queue_wait_ms").record(queue_wait_ms);
+
+    let mut attempts = 0u32;
+    let mut run_ms = 0.0f64;
+    let mut checksum = None;
+    let mut cells_updated = 0u64;
+    let mut shadow_match = None;
+
+    let outcome = if token.is_cancelled() {
+        // Expired or cancelled while queued: never started.
+        terminal_for_token(&token)
+    } else {
+        ctx.metrics.counter("jobs_started").inc();
+        loop {
+            attempts += 1;
+            let t = Instant::now();
+            let attempt_result =
+                panic::catch_unwind(AssertUnwindSafe(|| execute(&spec, attempts, &token)));
+            run_ms = t.elapsed().as_secs_f64() * 1000.0;
+            match attempt_result {
+                Ok(Ok(out)) => {
+                    // A run that raced its deadline still counts as timed
+                    // out: the caller stopped waiting.
+                    if token.deadline_expired() {
+                        break Outcome::TimedOut;
+                    }
+                    checksum = Some(out.checksum);
+                    cells_updated = spec.work_cells();
+                    aggregate_counters(&ctx.metrics, &out.counters);
+                    if should_shadow(&spec, ctx.shadow_percent) {
+                        let matched = shadow_verify(&spec, &out.output);
+                        ctx.metrics.counter("shadow_runs").inc();
+                        if !matched {
+                            ctx.metrics.counter("shadow_mismatches").inc();
+                        }
+                        shadow_match = Some(matched);
+                    }
+                    break Outcome::Completed;
+                }
+                Ok(Err(Interrupted)) => break terminal_for_token(&token),
+                Err(_panic) => {
+                    // Transient failure absorbed at the shard boundary.
+                    if ctx.retry.should_retry(attempts) && !token.is_cancelled() {
+                        ctx.metrics.counter("retries").inc();
+                        std::thread::sleep(ctx.retry.backoff_after(attempts));
+                        continue;
+                    }
+                    break if token.is_cancelled() {
+                        terminal_for_token(&token)
+                    } else {
+                        Outcome::Failed
+                    };
+                }
+            }
+        }
+    };
+
+    let counter = match outcome {
+        Outcome::Completed => "jobs_completed",
+        Outcome::TimedOut => "jobs_timed_out",
+        Outcome::Cancelled => "jobs_cancelled",
+        Outcome::Failed => "jobs_failed",
+    };
+    ctx.metrics.counter(counter).inc();
+    let backend_hist = format!("run_ms_{}", ctx.backend.name());
+    ctx.metrics.histogram(&backend_hist).record(run_ms);
+    ctx.metrics.histogram("run_ms").record(run_ms);
+    let total_ms = admitted.elapsed().as_secs_f64() * 1000.0;
+    ctx.metrics.histogram("total_ms").record(total_ms);
+
+    ctx.sink.push(JobResult {
+        id: spec.id,
+        backend: ctx.backend,
+        outcome,
+        attempts,
+        queue_wait_ms,
+        run_ms,
+        total_ms,
+        cells_updated,
+        checksum,
+        shadow_match,
+    });
+}
+
+/// Timed-out vs cancelled, judged from the token's state.
+fn terminal_for_token(token: &CancelToken) -> Outcome {
+    if token.deadline_expired() {
+        Outcome::TimedOut
+    } else {
+        Outcome::Cancelled
+    }
+}
+
+/// The run was abandoned because its cancel token fired.
+struct Interrupted;
+
+/// Output of one successful execution attempt.
+struct ExecOut {
+    checksum: u64,
+    counters: SimCounters,
+    output: OutputGrid,
+}
+
+/// The grid a job produced, kept for shadow comparison.
+enum OutputGrid {
+    /// 2D result.
+    G2(Grid2D<f32>),
+    /// 3D result.
+    G3(Grid3D<f32>),
+}
+
+/// Runs the spec on its backend. Attempt numbers ≤ `fail_times` panic (the
+/// load test's injected transient fault); the panic unwinds to the shard's
+/// `catch_unwind`.
+fn execute(spec: &JobSpec, attempt: u32, token: &CancelToken) -> Result<ExecOut, Interrupted> {
+    if attempt <= spec.fail_times {
+        panic!(
+            "[transient] injected failure {attempt}/{} for job {}",
+            spec.fail_times, spec.id
+        );
+    }
+    let cfg = spec.block_config().expect("spec validated at admission");
+    if spec.dim == 2 {
+        let st = Stencil2D::<f32>::random(spec.rad, spec.seed).expect("valid radius");
+        let grid = grid_2d(spec);
+        let (out, counters) = match spec.backend {
+            Backend::Functional => {
+                let cancel = || token.is_cancelled();
+                match functional::run_2d_cancellable(
+                    &st, &grid, &cfg, spec.iters, cfg.parvec, &cancel,
+                ) {
+                    Some(r) => r,
+                    None => return Err(Interrupted),
+                }
+            }
+            Backend::Threaded => {
+                let g = threaded::run_2d_opts(&st, &grid, &cfg, spec.iters, &SimOptions::default());
+                (g, plain_counters(spec))
+            }
+            Backend::CpuEngine => (
+                engines::parallel_2d(&st, &grid, spec.iters),
+                plain_counters(spec),
+            ),
+            Backend::SerialRef => (
+                serial_ref::run_2d_serial(&st, &grid, &cfg, spec.iters),
+                plain_counters(spec),
+            ),
+        };
+        if token.is_cancelled() {
+            return Err(Interrupted);
+        }
+        Ok(ExecOut {
+            checksum: checksum_f32(out.as_slice()),
+            counters,
+            output: OutputGrid::G2(out),
+        })
+    } else {
+        let st = Stencil3D::<f32>::random(spec.rad, spec.seed).expect("valid radius");
+        let grid = grid_3d(spec);
+        let (out, counters) = match spec.backend {
+            Backend::Functional => {
+                let cancel = || token.is_cancelled();
+                match functional::run_3d_cancellable(
+                    &st, &grid, &cfg, spec.iters, cfg.parvec, &cancel,
+                ) {
+                    Some(r) => r,
+                    None => return Err(Interrupted),
+                }
+            }
+            Backend::Threaded => {
+                let g = threaded::run_3d_opts(&st, &grid, &cfg, spec.iters, &SimOptions::default());
+                (g, plain_counters(spec))
+            }
+            Backend::CpuEngine => (
+                engines::parallel_3d(&st, &grid, spec.iters),
+                plain_counters(spec),
+            ),
+            Backend::SerialRef => (
+                serial_ref::run_3d_serial(&st, &grid, &cfg, spec.iters),
+                plain_counters(spec),
+            ),
+        };
+        if token.is_cancelled() {
+            return Err(Interrupted);
+        }
+        Ok(ExecOut {
+            checksum: checksum_f32(out.as_slice()),
+            counters,
+            output: OutputGrid::G3(out),
+        })
+    }
+}
+
+/// Re-executes the spec on the frozen `serial_ref` oracle and bit-compares.
+fn shadow_verify(spec: &JobSpec, output: &OutputGrid) -> bool {
+    let cfg = spec.block_config().expect("spec validated at admission");
+    match output {
+        OutputGrid::G2(out) => {
+            let st = Stencil2D::<f32>::random(spec.rad, spec.seed).expect("valid radius");
+            let oracle = serial_ref::run_2d_serial(&st, &grid_2d(spec), &cfg, spec.iters);
+            *out == oracle
+        }
+        OutputGrid::G3(out) => {
+            let st = Stencil3D::<f32>::random(spec.rad, spec.seed).expect("valid radius");
+            let oracle = serial_ref::run_3d_serial(&st, &grid_3d(spec), &cfg, spec.iters);
+            *out == oracle
+        }
+    }
+}
+
+/// Deterministic shadow sampling: forced by the spec, or a seed/id hash
+/// falling under the configured percentage.
+fn should_shadow(spec: &JobSpec, percent: u8) -> bool {
+    spec.shadow || splitmix64(spec.id ^ spec.seed.rotate_left(32)) % 100 < percent as u64
+}
+
+/// Counters for backends that don't self-instrument: the useful work is
+/// known exactly (`cells · iters`); traffic/halo fields stay zero.
+fn plain_counters(spec: &JobSpec) -> SimCounters {
+    SimCounters {
+        cells_updated: spec.work_cells(),
+        lane_width: 1,
+        ..Default::default()
+    }
+}
+
+/// Folds one job's [`SimCounters`] into the registry's aggregates.
+fn aggregate_counters(metrics: &MetricsRegistry, c: &SimCounters) {
+    metrics.counter("sim_cells_updated").add(c.cells_updated);
+    metrics.counter("sim_halo_cells").add(c.halo_cells);
+    metrics.counter("sim_bytes_moved").add(c.bytes_moved);
+    metrics.counter("sim_rows_fed").add(c.rows_fed);
+    metrics.counter("sim_passes").add(c.passes);
+    metrics.counter("sim_blocks").add(c.blocks);
+}
+
+/// The deterministic grid contents every 2D job with this spec starts from.
+fn grid_2d(spec: &JobSpec) -> Grid2D<f32> {
+    let s = spec.seed as usize;
+    Grid2D::from_fn(spec.nx, spec.ny, |x, y| {
+        ((x * 31 + y * 17 + s) % 103) as f32
+    })
+    .expect("validated extents")
+}
+
+/// The deterministic grid contents every 3D job with this spec starts from.
+fn grid_3d(spec: &JobSpec) -> Grid3D<f32> {
+    let s = spec.seed as usize;
+    Grid3D::from_fn(spec.nx, spec.ny, spec.nz, |x, y, z| {
+        ((x + 3 * y + 7 * z + s) % 53) as f32
+    })
+    .expect("validated extents")
+}
+
+/// FNV-1a over the bit patterns of a float slice.
+fn checksum_f32(vals: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in vals {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// splitmix64 — the deterministic hash behind shadow sampling.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Suppresses panic-hook output for the load test's *injected* transient
+/// failures (marked `[transient]`) so retries don't spam stderr; every
+/// other panic keeps the default reporting. Installed once per process.
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let transient = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains("[transient]"))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<&str>()
+                        .map(|s| s.contains("[transient]"))
+                })
+                .unwrap_or(false);
+            if !transient {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::exec;
+
+    #[test]
+    fn execute_matches_oracle_on_every_backend_2d() {
+        let token = CancelToken::new();
+        let mut expected = None;
+        for backend in Backend::ALL {
+            let mut spec = JobSpec::new_2d(7, 2, 96, 24, 5);
+            spec.backend = backend;
+            let out = execute(&spec, 1, &token).ok().expect("completes");
+            let oracle = {
+                let st = Stencil2D::<f32>::random(2, spec.seed).unwrap();
+                exec::run_2d(&st, &grid_2d(&spec), 5)
+            };
+            match &out.output {
+                OutputGrid::G2(g) => assert_eq!(g, &oracle, "{backend}"),
+                OutputGrid::G3(_) => panic!("2D job produced 3D grid"),
+            }
+            let sum = checksum_f32(oracle.as_slice());
+            assert_eq!(out.checksum, sum, "{backend}");
+            match expected {
+                None => expected = Some(sum),
+                Some(e) => assert_eq!(sum, e, "backends disagree"),
+            }
+        }
+    }
+
+    #[test]
+    fn execute_matches_oracle_on_every_backend_3d() {
+        let token = CancelToken::new();
+        for backend in Backend::ALL {
+            let mut spec = JobSpec::new_3d(9, 1, 20, 18, 6, 3);
+            spec.backend = backend;
+            let out = execute(&spec, 1, &token).ok().expect("completes");
+            let st = Stencil3D::<f32>::random(1, spec.seed).unwrap();
+            let oracle = exec::run_3d(&st, &grid_3d(&spec), 3);
+            match &out.output {
+                OutputGrid::G3(g) => assert_eq!(g, &oracle, "{backend}"),
+                OutputGrid::G2(_) => panic!("3D job produced 2D grid"),
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_verification_passes_for_honest_runs() {
+        let token = CancelToken::new();
+        for backend in Backend::ALL {
+            let mut spec = JobSpec::new_2d(11, 1, 80, 20, 4);
+            spec.backend = backend;
+            let out = execute(&spec, 1, &token).ok().expect("completes");
+            assert!(shadow_verify(&spec, &out.output), "{backend}");
+        }
+    }
+
+    #[test]
+    fn shadow_verification_catches_corruption() {
+        let spec = JobSpec::new_2d(1, 1, 40, 10, 2);
+        let corrupted = Grid2D::from_fn(40, 10, |_, _| -1.0f32).unwrap();
+        assert!(!shadow_verify(&spec, &OutputGrid::G2(corrupted)));
+    }
+
+    #[test]
+    fn shadow_sampling_is_deterministic_and_roughly_proportional() {
+        let hits = |pct: u8| -> usize {
+            (0..1000u64)
+                .filter(|&id| {
+                    let mut s = JobSpec::new_2d(id, 1, 32, 8, 1);
+                    s.seed = id * 3;
+                    should_shadow(&s, pct)
+                })
+                .count()
+        };
+        assert_eq!(hits(0), 0);
+        assert_eq!(hits(100), 1000);
+        let ten = hits(10);
+        assert!((50..200).contains(&ten), "10% of 1000 ≈ {ten}");
+        assert_eq!(ten, hits(10), "sampling is deterministic");
+
+        let mut forced = JobSpec::new_2d(1, 1, 32, 8, 1);
+        forced.shadow = true;
+        assert!(should_shadow(&forced, 0), "shadow: true always verifies");
+    }
+
+    #[test]
+    fn injected_failures_panic_then_succeed() {
+        let token = CancelToken::new();
+        let mut spec = JobSpec::new_2d(5, 1, 48, 12, 2);
+        spec.fail_times = 2;
+        install_quiet_panic_hook();
+        for attempt in 1..=2 {
+            assert!(panic::catch_unwind(AssertUnwindSafe(|| {
+                let _ = execute(&spec, attempt, &token);
+            }))
+            .is_err());
+        }
+        assert!(execute(&spec, 3, &token).is_ok());
+    }
+
+    #[test]
+    fn checksum_distinguishes_grids() {
+        assert_ne!(checksum_f32(&[1.0, 2.0]), checksum_f32(&[2.0, 1.0]));
+        assert_eq!(checksum_f32(&[1.0, 2.0]), checksum_f32(&[1.0, 2.0]));
+    }
+}

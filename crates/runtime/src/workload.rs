@@ -1,0 +1,257 @@
+//! Workload generation and replay.
+//!
+//! Two sources feed `stencil_serve`: a JSONL file (one [`JobSpec`] object
+//! per line — the replay format), or a *synthetic* open-loop arrival
+//! process driven by a seeded deterministic RNG, so every load test is
+//! reproducible bit-for-bit from `(jobs, seed, quick)`.
+//!
+//! The synthetic mix is deliberately adversarial for the runtime: all four
+//! backends round-robin-ish, 2D and 3D geometries, a spread of radii and
+//! priorities, ~12% forced shadow verification, a few percent injected
+//! transient failures (testing retry), and a small slice of
+//! near-impossible deadlines (testing timeout handling).
+
+use crate::job::{Backend, JobSpec, Priority};
+
+/// xorshift64* — a tiny, seedable, deterministic RNG for workload
+/// synthesis (quality is irrelevant; determinism is the point).
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeds the generator (a zero seed is remapped to a fixed constant).
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo, "empty range");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Parameters of a synthetic workload.
+#[derive(Debug, Clone)]
+pub struct SyntheticParams {
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// RNG seed; equal seeds generate identical workloads.
+    pub seed: u64,
+    /// Shrinks grids/iterations to CI smoke scale.
+    pub quick: bool,
+    /// Mean open-loop inter-arrival gap, in microseconds.
+    pub mean_arrival_us: u64,
+}
+
+impl SyntheticParams {
+    /// Defaults for `jobs` jobs at `seed`: full-scale grids, 500 µs mean
+    /// arrival gap.
+    pub fn new(jobs: usize, seed: u64, quick: bool) -> SyntheticParams {
+        SyntheticParams {
+            jobs,
+            seed,
+            quick,
+            mean_arrival_us: if quick { 200 } else { 500 },
+        }
+    }
+}
+
+/// Generates the deterministic synthetic workload for `params`.
+pub fn synthetic_workload(params: &SyntheticParams) -> Vec<JobSpec> {
+    let mut rng = XorShift64::new(params.seed);
+    let mut out = Vec::with_capacity(params.jobs);
+    for id in 0..params.jobs as u64 {
+        out.push(synthesize_job(id, &mut rng, params.quick));
+    }
+    out
+}
+
+/// Open-loop inter-arrival gaps (µs) for the workload: exponential with
+/// the configured mean, drawn from the same seed family so the arrival
+/// process replays exactly.
+pub fn arrival_gaps_us(params: &SyntheticParams) -> Vec<u64> {
+    let mut rng = XorShift64::new(params.seed ^ 0xa5a5_a5a5_a5a5_a5a5);
+    (0..params.jobs)
+        .map(|_| {
+            let u = rng.gen_f64().max(1e-12);
+            (-u.ln() * params.mean_arrival_us as f64).min(50_000.0) as u64
+        })
+        .collect()
+}
+
+fn synthesize_job(id: u64, rng: &mut XorShift64, quick: bool) -> JobSpec {
+    let backend = Backend::ALL[(rng.next_u64() % 4) as usize];
+    let dim3 = rng.gen_f64() < 0.3;
+    let rad = rng.gen_range(1, 5) as usize;
+    let mut spec = if dim3 {
+        let (nx, ny, nz) = if quick {
+            (
+                rng.gen_range(12, 28) as usize,
+                rng.gen_range(12, 24) as usize,
+                rng.gen_range(4, 9) as usize,
+            )
+        } else {
+            (
+                rng.gen_range(20, 40) as usize,
+                rng.gen_range(16, 32) as usize,
+                rng.gen_range(6, 14) as usize,
+            )
+        };
+        let iters = if quick {
+            2
+        } else {
+            rng.gen_range(2, 5) as usize
+        };
+        JobSpec::new_3d(id, rad, nx, ny, nz, iters)
+    } else {
+        let (nx, ny) = if quick {
+            (
+                rng.gen_range(48, 128) as usize,
+                rng.gen_range(16, 48) as usize,
+            )
+        } else {
+            (
+                rng.gen_range(96, 320) as usize,
+                rng.gen_range(32, 128) as usize,
+            )
+        };
+        let iters = if quick {
+            rng.gen_range(1, 4) as usize
+        } else {
+            rng.gen_range(2, 9) as usize
+        };
+        JobSpec::new_2d(id, rad, nx, ny, iters)
+    };
+    spec.backend = backend;
+    spec.seed = rng.next_u64() % 10_000;
+    spec.priority = match rng.next_u64() % 10 {
+        0..=1 => Priority::Low,
+        2..=7 => Priority::Normal,
+        _ => Priority::High,
+    };
+    // ~12% forced shadow verification (the runtime's sampler adds more).
+    spec.shadow = rng.gen_f64() < 0.12;
+    // ~4% of jobs fail transiently once or twice before succeeding.
+    if rng.gen_f64() < 0.04 {
+        spec.fail_times = rng.gen_range(1, 3) as u32;
+    }
+    // ~2% carry a deadline they cannot meet (tests the timeout path);
+    // the rest get a generous deadline or none at all.
+    let d = rng.gen_f64();
+    spec.deadline_ms = if d < 0.02 {
+        1
+    } else if d < 0.5 {
+        30_000
+    } else {
+        0
+    };
+    debug_assert!(spec.validate().is_ok(), "generator must emit valid specs");
+    spec
+}
+
+/// Serializes a workload as JSONL (one spec per line).
+pub fn to_jsonl(specs: &[JobSpec]) -> String {
+    let mut out = String::new();
+    for s in specs {
+        out.push_str(&serde_json::to_string(s).expect("spec serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL workload; blank lines and `#` comments are skipped.
+///
+/// # Errors
+/// Returns `(line_number, message)` for the first malformed line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<JobSpec>, (usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match serde_json::from_str::<JobSpec>(line) {
+            Ok(spec) => out.push(spec),
+            Err(e) => return Err((i + 1, e.to_string())),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_workload() {
+        let p = SyntheticParams::new(40, 7, true);
+        assert_eq!(synthetic_workload(&p), synthetic_workload(&p));
+        assert_eq!(arrival_gaps_us(&p), arrival_gaps_us(&p));
+        let q = SyntheticParams::new(40, 8, true);
+        assert_ne!(synthetic_workload(&p), synthetic_workload(&q));
+    }
+
+    #[test]
+    fn workload_covers_all_backends_and_dims() {
+        let p = SyntheticParams::new(200, 1, true);
+        let specs = synthetic_workload(&p);
+        for b in Backend::ALL {
+            assert!(specs.iter().any(|s| s.backend == b), "missing {b}");
+        }
+        assert!(specs.iter().any(|s| s.dim == 2));
+        assert!(specs.iter().any(|s| s.dim == 3));
+        assert!(specs.iter().any(|s| s.shadow));
+        assert!(specs.iter().any(|s| s.fail_times > 0));
+        assert!(specs.iter().all(|s| s.validate().is_ok()));
+    }
+
+    #[test]
+    fn jsonl_round_trips_a_workload() {
+        let p = SyntheticParams::new(25, 3, true);
+        let specs = synthetic_workload(&p);
+        let text = to_jsonl(&specs);
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, specs);
+    }
+
+    #[test]
+    fn jsonl_reports_bad_lines() {
+        let err = parse_jsonl("# comment\n\n{\"not\": \"a spec\"}\n").unwrap_err();
+        assert_eq!(err.0, 3, "line number of the bad line");
+    }
+
+    #[test]
+    fn rng_ranges() {
+        let mut rng = XorShift64::new(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3, 9);
+            assert!((3..9).contains(&v));
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`perf_model`] | the paper's performance model, §V.A auto-tuner, roofline, extrapolation |
 //! | [`opencl_codegen`] | the parameterised OpenCL kernel generator (incl. boundary-condition codegen) |
 //! | [`cpu_engine`] | the YASK-style CPU baselines (naive/tiled/parallel/wave-front) |
+//! | [`stencil_runtime`] | job-serving layer: bounded queue, backend shards, deadlines, shadow verification, metrics |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@ pub use fpga_sim;
 pub use opencl_codegen;
 pub use perf_model;
 pub use stencil_core;
+pub use stencil_runtime;
 
 /// The most commonly used types, re-exported.
 pub mod prelude {
@@ -53,4 +55,5 @@ pub mod prelude {
     pub use fpga_sim::{Accelerator, FpgaDevice, GridDims, TimingReport};
     pub use perf_model::{devices, tuner, BandwidthEfficiency};
     pub use stencil_core::{exec, BlockConfig, Dim, Grid2D, Grid3D, Real, Stencil2D, Stencil3D};
+    pub use stencil_runtime::{JobSpec, Runtime, RuntimeConfig};
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! stencil_serve --synthetic [--jobs N] [--seed S] [--quick]
 //!               [--shadow-pct P] [--queue-cap C] [--workers W]
+//!               [--auto-plan] [--plan-explain]
 //!               [--out BENCH_serve.json]
 //! stencil_serve --workload FILE.jsonl [--out FILE]
 //! stencil_serve --synthetic --emit-workload FILE.jsonl [--jobs N] [--seed S]
@@ -18,6 +19,12 @@
 //! every job through the bounded admission queue, drains the runtime, and
 //! writes a [`stencil_runtime::ServeReport`] to `--out`.
 //!
+//! `--auto-plan` switches every job to [`stencil_runtime::PlanMode::Auto`]:
+//! the runtime's model-guided planner picks the backend and block
+//! configuration per job, refining its choice from measured throughput.
+//! `--plan-explain` additionally dumps each shape class's ranked candidate
+//! table after the run.
+//!
 //! Exit status: 0 for a healthy run (zero shadow mismatches, zero wedged
 //! workers, every admitted job terminal), 1 for an unhealthy one, 2 for
 //! usage or validation errors — the same convention as
@@ -26,7 +33,8 @@
 use std::time::Duration;
 use stencil_runtime::workload::{arrival_gaps_us, parse_jsonl, to_jsonl};
 use stencil_runtime::{
-    validate_report_json, Runtime, RuntimeConfig, ServeReport, SubmitError, SyntheticParams,
+    validate_report_json, PlanMode, Runtime, RuntimeConfig, ServeReport, SubmitError,
+    SyntheticParams,
 };
 
 #[derive(Debug)]
@@ -38,6 +46,8 @@ struct Args {
     shadow_pct: u8,
     queue_cap: usize,
     workers: usize,
+    auto_plan: bool,
+    plan_explain: bool,
     out: String,
     workload: Option<String>,
     emit_workload: Option<String>,
@@ -53,6 +63,8 @@ fn parse_args() -> Args {
         shadow_pct: 10,
         queue_cap: 256,
         workers: 2,
+        auto_plan: false,
+        plan_explain: false,
         out: "BENCH_serve.json".into(),
         workload: None,
         emit_workload: None,
@@ -73,6 +85,8 @@ fn parse_args() -> Args {
             "--shadow-pct" => a.shadow_pct = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--queue-cap" => a.queue_cap = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--workers" => a.workers = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--auto-plan" => a.auto_plan = true,
+            "--plan-explain" => a.plan_explain = true,
             "--out" => a.out = take(&mut i),
             "--workload" => a.workload = Some(take(&mut i)),
             "--emit-workload" => a.emit_workload = Some(take(&mut i)),
@@ -95,8 +109,9 @@ fn parse_args() -> Args {
 fn usage() -> ! {
     eprintln!(
         "usage: stencil_serve --synthetic [--jobs N] [--seed S] [--quick] \
-         [--shadow-pct P] [--queue-cap C] [--workers W] [--out FILE]\
-         \n       stencil_serve --workload FILE.jsonl [--out FILE]\
+         [--shadow-pct P] [--queue-cap C] [--workers W] [--auto-plan] \
+         [--plan-explain] [--out FILE]\
+         \n       stencil_serve --workload FILE.jsonl [--auto-plan] [--out FILE]\
          \n       stencil_serve --synthetic --emit-workload FILE.jsonl [--jobs N] [--seed S]\
          \n       stencil_serve --check-report FILE"
     );
@@ -112,7 +127,7 @@ fn main() {
 
     // Assemble the workload and its open-loop arrival gaps.
     let params = SyntheticParams::new(a.jobs, a.seed, a.quick);
-    let (kind, specs, gaps, seed) = if let Some(file) = &a.workload {
+    let (kind, mut specs, gaps, seed) = if let Some(file) = &a.workload {
         let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
             eprintln!("stencil_serve: cannot read {file}: {e}");
             std::process::exit(2);
@@ -131,6 +146,11 @@ fn main() {
         let specs = stencil_runtime::synthetic_workload(&params);
         ("synthetic", specs, arrival_gaps_us(&params), a.seed)
     };
+    if a.auto_plan {
+        for spec in &mut specs {
+            spec.plan = PlanMode::Auto;
+        }
+    }
 
     if let Some(file) = &a.emit_workload {
         if let Err(e) = std::fs::write(file, to_jsonl(&specs)) {
@@ -143,12 +163,13 @@ fn main() {
 
     println!(
         "stencil_serve: {kind} workload, {} jobs (seed {seed}{}), \
-         queue cap {}, {} workers/shard, shadow {}%",
+         queue cap {}, {} workers/shard, shadow {}%{}",
         specs.len(),
         if a.quick { ", quick" } else { "" },
         a.queue_cap,
         a.workers,
         a.shadow_pct,
+        if a.auto_plan { ", auto-planned" } else { "" },
     );
 
     let rt = Runtime::start(RuntimeConfig {
@@ -174,7 +195,9 @@ fn main() {
     }
 
     let metrics = std::sync::Arc::clone(rt.metrics());
+    let planner = std::sync::Arc::clone(rt.planner());
     let outcome = rt.drain();
+    let shapes = planner.snapshot();
     let report = ServeReport::build(
         kind,
         seed,
@@ -182,10 +205,14 @@ fn main() {
         jobs_requested,
         &outcome.results,
         &metrics,
+        &shapes,
         outcome.wedged_workers,
         outcome.wall_seconds,
     );
     print_summary(&report);
+    if a.plan_explain {
+        print_plan_tables(&shapes);
+    }
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     if let Err(e) = std::fs::write(&a.out, json + "\n") {
@@ -234,6 +261,47 @@ fn print_summary(r: &ServeReport) {
             "    {:>10}: {} jobs ({} ok), run p95 {:.2} ms, {} shadow / {} mismatch",
             b.backend, b.jobs, b.completed, b.run_ms.p95_ms, b.shadow_runs, b.shadow_mismatches
         );
+    }
+    let p = &r.planner;
+    if p.enabled {
+        println!(
+            "  planner: {} plans, {} hits / {} misses (hit rate {:.0}%), \
+             {} explored / {} exploited, {} feedback samples, {} shapes",
+            p.plans_requested,
+            p.cache_hits,
+            p.cache_misses,
+            p.hit_rate * 100.0,
+            p.explored,
+            p.exploited,
+            p.feedback_samples,
+            p.shapes.len(),
+        );
+    }
+}
+
+/// The `--plan-explain` dump: every shape class's ranked candidate table.
+fn print_plan_tables(shapes: &[stencil_runtime::planner::ShapeSnapshot]) {
+    println!("plan cache ({} shape classes):", shapes.len());
+    for s in shapes {
+        println!(
+            "  {} — {} jobs planned, winner #{}, measured {:.3e} cells/s",
+            s.key.label(),
+            s.planned,
+            s.best_index,
+            s.mean_cells_per_sec,
+        );
+        for (i, c) in s.candidates.iter().enumerate() {
+            println!(
+                "    #{i}: {:>10} bsize {}x{} parvec {} partime {}  score {:.3}{}",
+                c.backend.name(),
+                c.config.bsize_x,
+                c.config.bsize_y,
+                c.config.parvec,
+                c.config.partime,
+                c.score,
+                if i == s.best_index { "  <- winner" } else { "" },
+            );
+        }
     }
 }
 

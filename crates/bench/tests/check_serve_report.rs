@@ -1,0 +1,78 @@
+//! End-to-end tests for `stencil_serve --check-report`: the schema gate
+//! must accept a known-good report (exit 0), reject a fixture whose
+//! `planner` section was corrupted (exit 2), and keep the committed
+//! `BENCH_serve.json` artifact honest — mirroring `check_matrix.rs` for
+//! the simulator matrix.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/fixtures/{name}"))
+}
+
+/// Runs `stencil_serve --check-report <file>`; returns (exit code, stderr).
+fn check(path: &Path) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_stencil_serve"))
+        .args(["--check-report", path.to_str().unwrap()])
+        .output()
+        .expect("run stencil_serve");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn golden_report_passes_with_exit_0() {
+    let (code, stderr) = check(&fixture("serve_report_golden.json"));
+    assert_eq!(code, 0, "stderr: {stderr}");
+}
+
+#[test]
+fn corrupted_planner_section_exits_2() {
+    // The fixture is the golden report with `planner.cache_hits` bumped so
+    // hits + misses no longer equals plans_requested.
+    let (code, stderr) = check(&fixture("serve_report_bad_planner.json"));
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("hits + misses"), "stderr: {stderr}");
+}
+
+#[test]
+fn stripped_planner_section_exits_2() {
+    // Schema v2 made `planner` mandatory: a v2 report without it (schema
+    // drift back toward v1) must be rejected.
+    let text = std::fs::read_to_string(fixture("serve_report_golden.json")).unwrap();
+    let start = text.find(",\n  \"planner\":").expect("golden has planner");
+    let stripped = format!("{}\n}}\n", &text[..start]);
+    let path = std::env::temp_dir().join(format!(
+        "serve_report_no_planner_{}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, stripped).unwrap();
+    let (code, stderr) = check(&path);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("planner"), "stderr: {stderr}");
+}
+
+#[test]
+fn unreadable_file_and_garbage_exit_2() {
+    assert_eq!(check(Path::new("/nonexistent/no_such_report.json")).0, 2);
+    let path =
+        std::env::temp_dir().join(format!("serve_report_garbage_{}.json", std::process::id()));
+    std::fs::write(&path, "this is not json\n").unwrap();
+    let (code, _) = check(&path);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn committed_serve_artifact_is_valid() {
+    // The repo commits BENCH_serve.json; it must stay schema-valid.
+    let committed = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    if committed.exists() {
+        let (code, stderr) = check(&committed);
+        assert_eq!(code, 0, "committed BENCH_serve.json invalid: {stderr}");
+    }
+}

@@ -91,6 +91,130 @@ pub fn tune(device: &FpgaDevice, dim: Dim, rad: usize, k: usize) -> Vec<Candidat
     out
 }
 
+/// Lane widths considered when ranking configurations for a *serving*
+/// shape. The CPU-side SIMD kernels specialize lanes 2/4/8
+/// (`stencil_core::simd::select_row_*`); wider ports only pay off on the
+/// FPGA datapath, so the serving sweep stops at 8.
+pub const SHAPE_PARVECS: [usize; 3] = [2, 4, 8];
+
+/// Candidate block sizes for one blocked dimension of a serving-shape
+/// sweep: powers of two from 32 up to the grid extent's ceiling power of
+/// two, capped at the paper's 4096 line-buffer limit. Unlike the deploy
+/// sweep ([`BSIZES_2D`]/[`BSIZES_3D`]) this adapts to the job: a 96-wide
+/// grid should never be tiled with a 4096-cell block.
+pub fn shape_bsizes(extent: usize) -> Vec<usize> {
+    let cap = extent.max(1).next_power_of_two().clamp(32, 4096);
+    let mut out = Vec::new();
+    let mut b = 32usize;
+    while b <= cap {
+        out.push(b);
+        b *= 2;
+    }
+    out
+}
+
+/// Fraction of the model's aligned-grid commit ratio that survives on an
+/// *actual* `nx (× ny)` grid: committed cells over read cells across the
+/// real [`BlockConfig::spans`] decomposition, normalized by the aligned
+/// ratio `Π csize_d / bsize_d` the model already charges. A block whose
+/// compute region dwarfs the grid reads a full halo to commit a sliver,
+/// so its fit drops well below 1; an exactly-tiling block scores ~1.
+pub fn shape_fit(config: &BlockConfig, nx: usize, ny: usize) -> f64 {
+    let eff = |n: usize, csize: usize| -> f64 {
+        let read: usize = BlockConfig::spans(n, csize, config.halo())
+            .iter()
+            .map(|s| s.read_len())
+            .sum();
+        n as f64 / read as f64
+    };
+    match config.dim {
+        Dim::D2 => {
+            let aligned = config.csize_x() as f64 / config.bsize_x as f64;
+            eff(nx, config.csize_x()) / aligned
+        }
+        Dim::D3 => {
+            let aligned = (config.csize_x() * config.csize_y()) as f64
+                / (config.bsize_x * config.bsize_y) as f64;
+            eff(nx, config.csize_x()) * eff(ny, config.csize_y()) / aligned
+        }
+    }
+}
+
+/// Ranks every legal configuration for an *actual job shape* — the serving
+/// runtime's planner entry point. Same model and constraints as [`tune`]
+/// (Eqs. 2, 5, 6 via [`BlockConfig::validate`], the DSP and BRAM budgets),
+/// but the block-size sweep adapts to the grid ([`shape_bsizes`]), lane
+/// widths stay in the CPU-executable range ([`SHAPE_PARVECS`]), and the
+/// score is derated by [`shape_fit`] so configurations whose halo overhead
+/// is disproportionate on this grid rank below snugger-fitting ones.
+/// Returns the top-`k` by derated score (descending). `ny` is ignored for
+/// 2D shapes.
+pub fn shape_candidates(
+    device: &FpgaDevice,
+    dim: Dim,
+    rad: usize,
+    nx: usize,
+    ny: usize,
+    k: usize,
+) -> Vec<Candidate> {
+    let partotal = dim.par_total(device.dsps as usize, rad);
+    let step = 4 / gcd(rad, 4);
+    let fmax_model = FmaxModel::for_device(device);
+    let blocks: Vec<(usize, usize)> = match dim {
+        Dim::D2 => shape_bsizes(nx).into_iter().map(|b| (b, 0)).collect(),
+        Dim::D3 => {
+            let bys = shape_bsizes(ny);
+            shape_bsizes(nx)
+                .into_iter()
+                .flat_map(|bx| bys.iter().map(move |&by| (bx, by)))
+                .collect()
+        }
+    };
+    let mut out = Vec::new();
+    for (bx, by) in blocks {
+        for &parvec in &SHAPE_PARVECS {
+            if bx % parvec != 0 {
+                continue;
+            }
+            let max_partime = partotal / parvec;
+            let mut partime = step;
+            while partime <= max_partime {
+                let cfg = match dim {
+                    Dim::D2 => BlockConfig::new_2d(rad, bx, parvec, partime),
+                    Dim::D3 => BlockConfig::new_3d(rad, bx, by, parvec, partime),
+                };
+                match cfg {
+                    Ok(cfg) => {
+                        let area = AreaEstimate::for_config(device, &cfg);
+                        if cfg.fits_dsps(device.dsps as usize) && area.fits(device) {
+                            let fmax_mhz = fmax_model.sweep(&cfg, 4);
+                            let est = estimate(device, &cfg, fmax_mhz);
+                            let score =
+                                est.gcells * robustness_derate(&cfg) * shape_fit(&cfg, nx, ny);
+                            out.push(Candidate {
+                                config: cfg,
+                                fmax_mhz,
+                                estimate: est,
+                                dsps: area.dsps,
+                                bram_bits: area.bram_bits_physical,
+                                score,
+                            });
+                        }
+                        partime += step;
+                    }
+                    // Larger partime only grows the halo further; once the
+                    // compute block collapses (Eq. 2) no later partime on
+                    // this (bx, by, parvec) can be legal.
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    out.truncate(k);
+    out
+}
+
 /// All legal configurations for `dim`/`rad` on `device` (unscored).
 pub fn enumerate(device: &FpgaDevice, dim: Dim, rad: usize) -> Vec<BlockConfig> {
     let partotal = dim.par_total(device.dsps as usize, rad);
@@ -230,6 +354,50 @@ mod tests {
             max_partime <= 4,
             "3D rad 6 should allow very little temporal parallelism, got {max_partime}"
         );
+    }
+
+    #[test]
+    fn shape_bsizes_adapt_to_extent() {
+        assert_eq!(shape_bsizes(96), vec![32, 64, 128]);
+        assert_eq!(shape_bsizes(1), vec![32]);
+        assert_eq!(shape_bsizes(5000).last(), Some(&4096), "paper's cap");
+    }
+
+    #[test]
+    fn shape_candidates_are_valid_sorted_and_snug() {
+        let d = arria();
+        for rad in 1..=4 {
+            let cands = shape_candidates(&d, Dim::D2, rad, 96, 0, 8);
+            assert!(!cands.is_empty(), "rad {rad}");
+            for w in cands.windows(2) {
+                assert!(w[0].score >= w[1].score);
+            }
+            for c in &cands {
+                assert!(c.config.validate().is_ok(), "{c:?}");
+                assert!(c.config.parvec <= 8, "serving lane cap: {c:?}");
+                assert!(
+                    c.config.bsize_x <= 128,
+                    "96-wide grid must not pick a deploy-sized block: {c:?}"
+                );
+            }
+        }
+        let cands = shape_candidates(&d, Dim::D3, 2, 30, 24, 8);
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|c| c.config.validate().is_ok()));
+    }
+
+    #[test]
+    fn shape_fit_penalizes_oversized_blocks() {
+        // On a 96-wide grid, a 4096-block config wastes nearly all of its
+        // reads; a 128-block config with the same halo wastes far less.
+        let big = BlockConfig::new_2d(1, 4096, 8, 8).unwrap();
+        let snug = BlockConfig::new_2d(1, 128, 8, 8).unwrap();
+        let fit_big = shape_fit(&big, 96, 0);
+        let fit_snug = shape_fit(&snug, 96, 0);
+        assert!(fit_big < fit_snug, "{fit_big} vs {fit_snug}");
+        // An exactly-tiling grid scores ~1.
+        let aligned = shape_fit(&snug, snug.csize_x() * 4, 0);
+        assert!((aligned - 1.0).abs() < 1e-9, "{aligned}");
     }
 
     #[test]

@@ -6,12 +6,13 @@
 //! injection. Specs serialize to one JSON object per line (JSONL), which is
 //! the replay format `stencil_serve` consumes.
 
+use crate::planner::{PlanChoice, PlanError, PlanMode};
 use serde::{Deserialize, Serialize};
 use stencil_core::BlockConfig;
 
 /// Which execution engine serves the job. One worker-pool shard exists per
 /// backend, so the backend choice is also the routing key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Backend {
     /// Block-parallel lane-vectorized simulator (`fpga_sim::functional`).
     /// The only backend with sub-job cancellation granularity: the cancel
@@ -105,8 +106,15 @@ pub struct JobSpec {
     pub parvec: usize,
     /// Temporal blocking depth (`BlockConfig::partime`).
     pub partime: usize,
-    /// Backend shard that serves the job.
+    /// Backend shard that serves the job. Under [`PlanMode::Auto`] this is
+    /// only a hint — the planner overwrites it at admission.
     pub backend: Backend,
+    /// How the block configuration and backend are chosen: `Explicit`
+    /// (default; the fields above are used verbatim) or `Auto` (the
+    /// runtime's planner picks them from the performance model + measured
+    /// feedback). Absent in old JSONL workloads, which deserialize as
+    /// `Explicit`.
+    pub plan: PlanMode,
     /// Scheduling priority.
     pub priority: Priority,
     /// Deadline in milliseconds from admission; `0` means no deadline. A
@@ -142,6 +150,7 @@ impl JobSpec {
             parvec: 4,
             partime: 4 / gcd(rad, 4),
             backend: Backend::Functional,
+            plan: PlanMode::Explicit,
             priority: Priority::Normal,
             deadline_ms: 0,
             seed: id,
@@ -165,6 +174,7 @@ impl JobSpec {
             parvec: 2,
             partime: 4 / gcd(rad, 4),
             backend: Backend::Functional,
+            plan: PlanMode::Explicit,
             priority: Priority::Normal,
             deadline_ms: 0,
             seed: id,
@@ -176,12 +186,13 @@ impl JobSpec {
     /// Builds the validated [`BlockConfig`] this job runs under.
     ///
     /// # Errors
-    /// Returns the underlying configuration error when the spec's geometry
-    /// violates the paper's constraints (Eqs. 2, 6) or `dim` is not 2/3.
-    pub fn block_config(&self) -> Result<BlockConfig, String> {
+    /// [`PlanError::UnsupportedDim`] when `dim` is not 2/3, otherwise
+    /// [`PlanError::Config`] wrapping the constraint the geometry violates
+    /// (Eqs. 2, 6).
+    pub fn block_config(&self) -> Result<BlockConfig, PlanError> {
         match self.dim {
             2 => BlockConfig::new_2d(self.rad, self.bsize_x, self.parvec, self.partime)
-                .map_err(|e| e.to_string()),
+                .map_err(PlanError::Config),
             3 => BlockConfig::new_3d(
                 self.rad,
                 self.bsize_x,
@@ -189,20 +200,28 @@ impl JobSpec {
                 self.parvec,
                 self.partime,
             )
-            .map_err(|e| e.to_string()),
-            d => Err(format!("dim must be 2 or 3, got {d}")),
+            .map_err(PlanError::Config),
+            d => Err(PlanError::UnsupportedDim { dim: d }),
         }
     }
 
     /// Admission-time validation: block config plus grid/iteration sanity.
+    /// Auto-planned jobs skip the block-config check (the planner replaces
+    /// those fields) but still require sane geometry.
     ///
     /// # Errors
-    /// Returns a human-readable reason when the spec cannot be served.
-    pub fn validate(&self) -> Result<(), String> {
+    /// The exact [`PlanError`] variant naming why the spec cannot be served.
+    pub fn validate(&self) -> Result<(), PlanError> {
         if self.nx == 0 || self.ny == 0 || (self.dim == 3 && self.nz == 0) {
-            return Err("grid extents must be positive".into());
+            return Err(PlanError::EmptyGrid);
         }
-        self.block_config().map(|_| ())
+        if self.dim != 2 && self.dim != 3 {
+            return Err(PlanError::UnsupportedDim { dim: self.dim });
+        }
+        match self.plan {
+            PlanMode::Auto => Ok(()),
+            PlanMode::Explicit => self.block_config().map(|_| ()),
+        }
     }
 
     /// Useful cell updates the job performs (`cells · iters`).
@@ -259,6 +278,9 @@ pub struct JobResult {
     /// Shadow verification verdict: `Some(true)` = bit-exact match with the
     /// frozen serial oracle, `Some(false)` = mismatch, `None` = not sampled.
     pub shadow_match: Option<bool>,
+    /// The planner's decision for auto-planned jobs (backend, block config,
+    /// lanes, and cached/explored provenance); `None` for explicit jobs.
+    pub plan: Option<PlanChoice>,
 }
 
 #[cfg(test)]
@@ -288,16 +310,33 @@ mod tests {
     }
 
     #[test]
-    fn invalid_specs_are_rejected() {
+    fn invalid_specs_are_rejected_with_exact_variants() {
         let mut s = JobSpec::new_2d(1, 2, 96, 32, 4);
         s.nx = 0;
-        assert!(s.validate().is_err());
+        assert_eq!(s.validate().unwrap_err(), PlanError::EmptyGrid);
         let mut s = JobSpec::new_2d(1, 2, 96, 32, 4);
         s.dim = 4;
-        assert!(s.validate().is_err());
+        assert_eq!(
+            s.validate().unwrap_err(),
+            PlanError::UnsupportedDim { dim: 4 }
+        );
         let mut s = JobSpec::new_2d(1, 2, 96, 32, 4);
-        s.partime = 3; // violates Eq. 6 for rad 2, parvec 4
-        assert!(s.validate().is_err());
+        s.partime = 3; // violates Eq. 6 for rad 2
+        assert!(matches!(
+            s.validate().unwrap_err(),
+            PlanError::Config(stencil_core::StencilError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn auto_mode_defers_block_config_to_planner() {
+        let mut s = JobSpec::new_2d(1, 2, 96, 32, 4);
+        s.partime = 3; // invalid explicit config...
+        s.plan = PlanMode::Auto; // ...but auto mode replaces it
+        s.validate().unwrap();
+        // Geometry errors are still admission-time errors in auto mode.
+        s.ny = 0;
+        assert_eq!(s.validate().unwrap_err(), PlanError::EmptyGrid);
     }
 
     #[test]
@@ -305,6 +344,18 @@ mod tests {
         let spec = JobSpec::new_3d(42, 2, 30, 26, 7, 3);
         let line = serde_json::to_string(&spec).unwrap();
         let back: JobSpec = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn plan_mode_defaults_to_explicit_in_old_workloads() {
+        let spec = JobSpec::new_2d(7, 1, 64, 16, 2);
+        let mut line = serde_json::to_string(&spec).unwrap();
+        // Simulate a pre-planner JSONL line with no `plan` key.
+        line = line.replace("\"plan\":\"explicit\",", "");
+        assert!(!line.contains("plan"), "field must really be gone: {line}");
+        let back: JobSpec = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.plan, PlanMode::Explicit);
         assert_eq!(back, spec);
     }
 

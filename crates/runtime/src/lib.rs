@@ -15,6 +15,13 @@
 //! [`report::ServeReport`] serializes the whole load test as
 //! `BENCH_serve.json`.
 //!
+//! Jobs submitted in [`planner::PlanMode::Auto`] skip hand-picking a block
+//! configuration: the [`planner::Planner`] ranks candidate plans with the
+//! `perf-model` analytical tuner (the paper's §V.A flow), caches them per
+//! job shape class, and refines the choice epsilon-greedy style from the
+//! throughput workers measure — model-guided planning with online
+//! feedback.
+//!
 //! ```
 //! use stencil_runtime::{JobSpec, Runtime, RuntimeConfig};
 //! use std::time::Duration;
@@ -34,6 +41,7 @@ pub mod batch;
 pub mod cancel;
 pub mod job;
 pub mod metrics;
+pub mod planner;
 pub mod queue;
 pub mod report;
 pub mod retry;
@@ -44,8 +52,9 @@ pub use batch::BatchPolicy;
 pub use cancel::CancelToken;
 pub use job::{Backend, JobResult, JobSpec, Outcome, Priority};
 pub use metrics::MetricsRegistry;
+pub use planner::{PlanChoice, PlanError, PlanMode, Planner, PlannerConfig, ShapeKey};
 pub use queue::{AdmissionQueue, PushError};
-pub use report::{validate_report_json, LatencySummary, ServeReport};
+pub use report::{validate_report_json, LatencySummary, PlannerReport, ServeReport};
 pub use retry::RetryPolicy;
 pub use worker::{DrainOutcome, JobHandle, Runtime, RuntimeConfig, SubmitError};
 pub use workload::{synthetic_workload, SyntheticParams};

@@ -1,0 +1,962 @@
+//! Model-guided auto-planning: closing the loop between the paper's
+//! analytical tuner and the serving runtime.
+//!
+//! The paper's §V.A flow enumerates every legal `(bsize, parvec, partime)`
+//! configuration, scores each with the analytical model, and commits only
+//! the top few to place-and-route. The serving equivalent: a [`JobSpec`]
+//! submitted in [`PlanMode::Auto`] does not hand-pick its block
+//! configuration or backend — the [`Planner`] consults
+//! `perf_model::tuner::shape_candidates` for the top-k valid candidate
+//! plans (backend + `BlockConfig` + lane width) for the job's
+//! `(dim, rad, grid shape, deadline)`, every one re-validated against the
+//! Eq. 2 / Eq. 6 constraints, and picks one through a concurrent **plan
+//! cache** keyed by job shape class.
+//!
+//! The cache refines the model's static ranking with *measured* feedback,
+//! epsilon-greedy style (the same loop autotuners like YASK run): workers
+//! report each completed auto-planned job's achieved cells/s back into the
+//! cache, most jobs exploit the empirically fastest candidate so far, and
+//! a deterministic per-job hash sends a small fraction off to explore
+//! another candidate. The planner therefore converges on the plan that is
+//! actually fastest on this machine, not the one the model merely predicts
+//! — while provably never selecting a candidate that failed validation,
+//! because invalid configurations are filtered out before they ever enter
+//! the candidate table.
+//!
+//! Exploitation is additionally **load-aware**: the planner tracks how
+//! many of its jobs are in flight per backend (incremented at plan time,
+//! released by the worker at job completion) and ranks candidates by
+//! estimated throughput divided by `(in-flight + 1)` — shortest expected
+//! finish, not fastest in isolation. Without this, every job chases the
+//! single fastest backend, its shard's run queue backs up, and the other
+//! shards idle; with it, overflow spills onto the next-fastest backend
+//! exactly when the backlog justifies the slower per-job rate.
+//!
+//! Every decision is surfaced: the chosen [`PlanChoice`] (with its
+//! cached/explored provenance) rides on the `JobResult`, and the planner
+//! maintains counters (`plans_requested`, `plan_cache_hits`,
+//! `plan_cache_misses`, `plans_explored`, `plans_exploited`,
+//! `plan_feedback_samples`) plus a per-shape achieved-throughput gauge in
+//! the [`MetricsRegistry`].
+
+use crate::job::{Backend, JobSpec};
+use crate::metrics::MetricsRegistry;
+use fpga_sim::FpgaDevice;
+use perf_model::tuner;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use stencil_core::{BlockConfig, Dim, StencilError};
+
+/// Why a job spec cannot be validated or planned. The typed replacement
+/// for the stringly errors `JobSpec::block_config` used to return — tests
+/// assert exact variants instead of grepping messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// `dim` was not 2 or 3.
+    UnsupportedDim {
+        /// The dimensionality the spec asked for.
+        dim: usize,
+    },
+    /// A grid extent was zero.
+    EmptyGrid,
+    /// The spec's explicit block configuration violates one of the paper's
+    /// constraints (Eqs. 2, 6) — the underlying error names the rule.
+    Config(StencilError),
+    /// The planner found no valid candidate plan for the job's shape.
+    NoCandidates {
+        /// The shape's dimensionality.
+        dim: usize,
+        /// The shape's stencil radius.
+        rad: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnsupportedDim { dim } => write!(f, "dim must be 2 or 3, got {dim}"),
+            PlanError::EmptyGrid => write!(f, "grid extents must be positive"),
+            PlanError::Config(e) => write!(f, "{e}"),
+            PlanError::NoCandidates { dim, rad } => {
+                write!(f, "no valid candidate plan for dim {dim} rad {rad}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StencilError> for PlanError {
+    fn from(e: StencilError) -> Self {
+        PlanError::Config(e)
+    }
+}
+
+/// How a job's block configuration and backend are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// The spec's own `bsize/parvec/partime/backend` fields are used
+    /// verbatim (the pre-planner behaviour, and still the default).
+    #[default]
+    Explicit,
+    /// The planner overrides the spec's configuration and backend with a
+    /// model-ranked, measurement-refined plan for the job's shape.
+    Auto,
+}
+
+// Manual serde impls: the wire format is the lowercase mode name
+// (`"plan": "auto"`), and an absent/null field reads as `Explicit` so
+// pre-planner JSONL workloads stay loadable.
+impl Serialize for PlanMode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(
+            match self {
+                PlanMode::Explicit => "explicit",
+                PlanMode::Auto => "auto",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for PlanMode {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Null => Ok(PlanMode::Explicit),
+            serde::Value::Str(s) if s == "explicit" => Ok(PlanMode::Explicit),
+            serde::Value::Str(s) if s == "auto" => Ok(PlanMode::Auto),
+            _ => Err(serde::Error::custom("plan mode must be explicit|auto")),
+        }
+    }
+}
+
+/// The plan cache key: a job's *shape class*. Grid extents are bucketed to
+/// their ceiling power of two so that jobs of similar geometry share one
+/// candidate table and one feedback history — without bucketing, a
+/// workload of organically-sized grids would never hit the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShapeKey {
+    /// Dimensionality (2 or 3).
+    pub dim: usize,
+    /// Stencil radius.
+    pub rad: usize,
+    /// `nx` rounded up to a power of two.
+    pub nx_class: usize,
+    /// `ny` rounded up to a power of two.
+    pub ny_class: usize,
+    /// `nz` rounded up to a power of two (1 for 2D).
+    pub nz_class: usize,
+}
+
+impl ShapeKey {
+    /// The shape class `spec` falls into.
+    pub fn of(spec: &JobSpec) -> ShapeKey {
+        let bucket = |n: usize| n.max(1).next_power_of_two();
+        ShapeKey {
+            dim: spec.dim,
+            rad: spec.rad,
+            nx_class: bucket(spec.nx),
+            ny_class: bucket(spec.ny),
+            nz_class: if spec.dim == 3 { bucket(spec.nz) } else { 1 },
+        }
+    }
+
+    /// Stable string form, used as the metrics-gauge suffix and the
+    /// report key: `d2r3x128y64z1`.
+    pub fn label(&self) -> String {
+        format!(
+            "d{}r{}x{}y{}z{}",
+            self.dim, self.rad, self.nx_class, self.ny_class, self.nz_class
+        )
+    }
+}
+
+/// One validated candidate plan for a shape class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCandidate {
+    /// Backend that would serve the job.
+    pub backend: Backend,
+    /// The validated block configuration (its `parvec` is the lane width).
+    pub config: BlockConfig,
+    /// Model ranking score (shape-derated GCell/s; see
+    /// `perf_model::tuner::shape_candidates`).
+    pub score: f64,
+}
+
+/// The decision the planner made for one job — recorded on the
+/// [`crate::job::JobResult`] so every plan is auditable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanChoice {
+    /// Backend the planner routed the job to.
+    pub backend: Backend,
+    /// Chosen spatial block size in x.
+    pub bsize_x: usize,
+    /// Chosen spatial block size in y (0 for 2D).
+    pub bsize_y: usize,
+    /// Chosen lane width.
+    pub parvec: usize,
+    /// Chosen temporal blocking depth.
+    pub partime: usize,
+    /// The candidate's model score.
+    pub score: f64,
+    /// Whether the shape's candidate table was already cached.
+    pub cached: bool,
+    /// Whether this job explored (epsilon draw) rather than exploited.
+    pub explored: bool,
+}
+
+impl PlanChoice {
+    /// Writes the plan into a spec's configuration fields.
+    pub fn apply_to(&self, spec: &mut JobSpec) {
+        spec.backend = self.backend;
+        spec.bsize_x = self.bsize_x;
+        spec.bsize_y = self.bsize_y;
+        spec.parvec = self.parvec;
+        spec.partime = self.partime;
+    }
+}
+
+/// A plan bound to its cache slot, carried through the queue so the
+/// worker can report measured throughput back to the exact candidate.
+#[derive(Debug, Clone)]
+pub struct PlanAssignment {
+    /// The shape class the plan came from.
+    pub key: ShapeKey,
+    /// Index of the chosen candidate in the shape's table.
+    pub index: usize,
+    /// The decision, as recorded on the result.
+    pub choice: PlanChoice,
+}
+
+/// Planner tunables.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Candidate plans kept per shape class (the paper's "top few").
+    pub top_k: usize,
+    /// Percentage (0–100) of cache hits that explore a deterministic
+    /// pseudo-random candidate instead of exploiting the best-measured one.
+    pub epsilon_pct: u8,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            top_k: 4,
+            epsilon_pct: 10,
+        }
+    }
+}
+
+/// Per-candidate measured-throughput accumulator.
+#[derive(Debug, Default, Clone, Copy)]
+struct Stat {
+    sum_cells_per_sec: f64,
+    samples: u64,
+}
+
+impl Stat {
+    fn mean(&self) -> Option<f64> {
+        (self.samples > 0).then(|| self.sum_cells_per_sec / self.samples as f64)
+    }
+}
+
+/// One shape class's cached candidate table plus its feedback history.
+#[derive(Debug)]
+struct CacheEntry {
+    candidates: Vec<PlanCandidate>,
+    stats: Vec<Stat>,
+    planned: u64,
+}
+
+/// Point-in-time view of one shape class, for reports and `--plan-explain`.
+#[derive(Debug, Clone)]
+pub struct ShapeSnapshot {
+    /// The shape class.
+    pub key: ShapeKey,
+    /// The candidate table, in model-rank order.
+    pub candidates: Vec<PlanCandidate>,
+    /// Jobs planned against this shape.
+    pub planned: u64,
+    /// Index of the current winner: best measured mean, falling back to
+    /// the model's top pick while no feedback has arrived.
+    pub best_index: usize,
+    /// Mean measured cells/s of the winner (0 until feedback arrives).
+    pub mean_cells_per_sec: f64,
+}
+
+/// The model-guided plan cache. Thread-safe; one instance serves the
+/// whole runtime.
+pub struct Planner {
+    device: FpgaDevice,
+    config: PlannerConfig,
+    cache: Mutex<BTreeMap<ShapeKey, CacheEntry>>,
+    /// Auto-planned jobs currently in flight per backend; the denominator
+    /// of the load-aware exploit rule. Locked after `cache` when both are
+    /// held.
+    load: Mutex<BTreeMap<Backend, u64>>,
+}
+
+impl Planner {
+    /// A planner ranking candidates against the paper's Arria 10 model.
+    pub fn new(config: PlannerConfig) -> Planner {
+        Planner {
+            device: FpgaDevice::arria10_gx1150(),
+            config,
+            cache: Mutex::new(BTreeMap::new()),
+            load: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Plans one auto-mode job: resolves (building on first sight) the
+    /// shape's candidate table, then picks a candidate — epsilon-greedy
+    /// over measured throughput for cache hits, the model's top pick for
+    /// misses — restricted to candidates whose backend is in `served` and
+    /// whose predicted runtime fits the spec's deadline (when any
+    /// candidate does).
+    ///
+    /// # Errors
+    /// [`PlanError::EmptyGrid`] / [`PlanError::UnsupportedDim`] for
+    /// malformed geometry, [`PlanError::NoCandidates`] when no valid
+    /// candidate exists for the shape on the served backends.
+    pub fn plan(
+        &self,
+        spec: &JobSpec,
+        served: &[Backend],
+        metrics: &MetricsRegistry,
+    ) -> Result<PlanAssignment, PlanError> {
+        if spec.dim != 2 && spec.dim != 3 {
+            return Err(PlanError::UnsupportedDim { dim: spec.dim });
+        }
+        if spec.nx == 0 || spec.ny == 0 || (spec.dim == 3 && spec.nz == 0) {
+            return Err(PlanError::EmptyGrid);
+        }
+        let key = ShapeKey::of(spec);
+        metrics.counter("plans_requested").inc();
+
+        let mut cache = self.cache.lock().unwrap();
+        let cached = cache.contains_key(&key);
+        if !cached {
+            let candidates = self.build_candidates(&key, served);
+            if candidates.is_empty() {
+                metrics.counter("plan_cache_misses").inc();
+                return Err(PlanError::NoCandidates {
+                    dim: key.dim,
+                    rad: key.rad,
+                });
+            }
+            let stats = vec![Stat::default(); candidates.len()];
+            cache.insert(
+                key,
+                CacheEntry {
+                    candidates,
+                    stats,
+                    planned: 0,
+                },
+            );
+        }
+        metrics
+            .counter(if cached {
+                "plan_cache_hits"
+            } else {
+                "plan_cache_misses"
+            })
+            .inc();
+        let entry = cache.get_mut(&key).expect("inserted above");
+        entry.planned += 1;
+
+        // Estimated throughput per candidate: the measured mean once
+        // feedback exists, the backend's conservative prior until then.
+        let est = |i: usize| -> f64 {
+            entry.stats[i]
+                .mean()
+                .unwrap_or_else(|| prior_cells_per_sec(entry.candidates[i].backend))
+        };
+
+        // Candidates eligible for this job: backend is served (the table
+        // is already filtered at build time, but the served set may differ
+        // between runtimes sharing a planner in tests), and the predicted
+        // runtime fits the deadline. If the deadline disqualifies every
+        // candidate, serve the job anyway with the full set — a slow plan
+        // beats a guaranteed rejection.
+        let eligible: Vec<usize> = {
+            let by_deadline: Vec<usize> = (0..entry.candidates.len())
+                .filter(|&i| served.contains(&entry.candidates[i].backend))
+                .filter(|&i| deadline_fits(est(i), spec))
+                .collect();
+            if by_deadline.is_empty() {
+                (0..entry.candidates.len())
+                    .filter(|&i| served.contains(&entry.candidates[i].backend))
+                    .collect()
+            } else {
+                by_deadline
+            }
+        };
+        if eligible.is_empty() {
+            return Err(PlanError::NoCandidates {
+                dim: key.dim,
+                rad: key.rad,
+            });
+        }
+
+        // Epsilon-greedy over the eligible set. Exploration is a
+        // deterministic per-job hash (same scheme as shadow sampling), so
+        // a replayed workload explores the same jobs — concurrency and
+        // wall-clock never influence *which* jobs explore. Exploitation
+        // ranks by measured (or prior) throughput divided by the backend's
+        // in-flight count — shortest expected finish, so overflow spills
+        // to the next-fastest shard instead of piling onto one.
+        let mut load = self.load.lock().unwrap();
+        let (index, explored) = if cached {
+            let h = splitmix64(spec.id ^ spec.seed.rotate_left(17));
+            if h % 100 < self.config.epsilon_pct as u64 {
+                // Explore only candidates within 32x of the best estimated
+                // rate: a backend two orders of magnitude slower would turn
+                // one exploration probe into the run's latency tail.
+                let best_est = eligible.iter().map(|&i| est(i)).fold(0.0, f64::max);
+                let explorable: Vec<usize> = eligible
+                    .iter()
+                    .copied()
+                    .filter(|&i| est(i) * 32.0 >= best_est)
+                    .collect();
+                let pool = if explorable.is_empty() {
+                    &eligible
+                } else {
+                    &explorable
+                };
+                (pool[(h >> 32) as usize % pool.len()], true)
+            } else {
+                (
+                    exploit_index(&eligible, &entry.candidates, &entry.stats, &load),
+                    false,
+                )
+            }
+        } else {
+            // First sight of the shape: trust the model's ranking.
+            (eligible[0], false)
+        };
+        *load.entry(entry.candidates[index].backend).or_insert(0) += 1;
+        drop(load);
+        if explored {
+            metrics.counter("plans_explored").inc();
+        } else if cached {
+            metrics.counter("plans_exploited").inc();
+        }
+
+        let c = &entry.candidates[index];
+        debug_assert!(c.config.validate().is_ok(), "candidate table is validated");
+        Ok(PlanAssignment {
+            key,
+            index,
+            choice: PlanChoice {
+                backend: c.backend,
+                bsize_x: c.config.bsize_x,
+                bsize_y: c.config.bsize_y,
+                parvec: c.config.parvec,
+                partime: c.config.partime,
+                score: c.score,
+                cached,
+                explored,
+            },
+        })
+    }
+
+    /// Feeds one completed job's measured throughput back into the plan
+    /// cache and updates the shape's achieved-throughput gauge.
+    pub fn record_throughput(
+        &self,
+        assignment: &PlanAssignment,
+        cells_per_sec: f64,
+        metrics: &MetricsRegistry,
+    ) {
+        if !cells_per_sec.is_finite() || cells_per_sec <= 0.0 {
+            return;
+        }
+        let mut cache = self.cache.lock().unwrap();
+        let Some(entry) = cache.get_mut(&assignment.key) else {
+            return;
+        };
+        let Some(stat) = entry.stats.get_mut(assignment.index) else {
+            return;
+        };
+        stat.sum_cells_per_sec += cells_per_sec;
+        stat.samples += 1;
+        metrics.counter("plan_feedback_samples").inc();
+        let best = best_measured(&entry.stats).unwrap_or(0.0);
+        metrics
+            .gauge(&format!("plan_cells_per_sec_{}", assignment.key.label()))
+            .set(best as i64);
+    }
+
+    /// Releases a planned job's in-flight slot — called by the worker once
+    /// the job reaches *any* terminal state (completed, failed, timed out,
+    /// or cancelled), so the load-aware exploit rule sees only jobs that
+    /// are genuinely still queued or running.
+    pub fn release(&self, assignment: &PlanAssignment) {
+        let mut load = self.load.lock().unwrap();
+        if let Some(n) = load.get_mut(&assignment.choice.backend) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// Auto-planned jobs currently in flight on `backend`.
+    pub fn in_flight(&self, backend: Backend) -> u64 {
+        self.load
+            .lock()
+            .unwrap()
+            .get(&backend)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The candidate table for a shape class, building (and caching) it if
+    /// absent — the `--plan-explain` entry point.
+    pub fn candidates(&self, key: ShapeKey, served: &[Backend]) -> Vec<PlanCandidate> {
+        let mut cache = self.cache.lock().unwrap();
+        if let Some(entry) = cache.get(&key) {
+            return entry.candidates.clone();
+        }
+        let candidates = self.build_candidates(&key, served);
+        if !candidates.is_empty() {
+            let stats = vec![Stat::default(); candidates.len()];
+            cache.insert(
+                key,
+                CacheEntry {
+                    candidates: candidates.clone(),
+                    stats,
+                    planned: 0,
+                },
+            );
+        }
+        candidates
+    }
+
+    /// Point-in-time snapshot of every cached shape, for the serve report.
+    pub fn snapshot(&self) -> Vec<ShapeSnapshot> {
+        let cache = self.cache.lock().unwrap();
+        cache
+            .iter()
+            .map(|(key, entry)| {
+                // The report's "winner" is the best *measured* candidate;
+                // while no feedback exists, the model's top pick.
+                let best_index = entry
+                    .stats
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.mean().map(|m| (i, m)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .map_or(0, |(i, _)| i);
+                ShapeSnapshot {
+                    key: *key,
+                    candidates: entry.candidates.clone(),
+                    planned: entry.planned,
+                    best_index,
+                    mean_cells_per_sec: entry.stats[best_index].mean().unwrap_or(0.0),
+                }
+            })
+            .collect()
+    }
+
+    /// Builds the validated candidate table for one shape class: the
+    /// model's top-k block configurations on the vectorized functional
+    /// backend, plus CPU-engine and serial-reference alternatives on the
+    /// best configuration and a deliberately narrow threaded-dataflow
+    /// entry — so the epsilon-greedy loop has genuinely different
+    /// backends to measure, not just different block shapes.
+    fn build_candidates(&self, key: &ShapeKey, served: &[Backend]) -> Vec<PlanCandidate> {
+        let dim = if key.dim == 2 { Dim::D2 } else { Dim::D3 };
+        let ranked = tuner::shape_candidates(
+            &self.device,
+            dim,
+            key.rad,
+            key.nx_class,
+            key.ny_class,
+            self.config.top_k.max(1),
+        );
+        let mut out: Vec<PlanCandidate> = Vec::new();
+        if served.contains(&Backend::Functional) {
+            out.extend(ranked.iter().map(|c| PlanCandidate {
+                backend: Backend::Functional,
+                config: c.config,
+                score: c.score,
+            }));
+        }
+        if let Some(best) = ranked.first() {
+            // The CPU engine ignores the block configuration at execution
+            // time but is recorded under the model's best one; its score is
+            // nudged below so the functional path stays the static winner
+            // until measurements say otherwise.
+            if served.contains(&Backend::CpuEngine) {
+                out.push(PlanCandidate {
+                    backend: Backend::CpuEngine,
+                    config: best.config,
+                    score: best.score * 0.75,
+                });
+            }
+            // The serial reference is slow but real: under sustained
+            // overload the load-aware rule can spill onto its otherwise
+            // idle shard instead of queueing behind the fast backends.
+            if served.contains(&Backend::SerialRef) {
+                out.push(PlanCandidate {
+                    backend: Backend::SerialRef,
+                    config: best.config,
+                    score: best.score * 0.25,
+                });
+            }
+            // The threaded simulator spawns one thread set per chained PE,
+            // so its candidate uses the minimum legal temporal depth.
+            if served.contains(&Backend::Threaded) {
+                let step = 4 / gcd(key.rad, 4);
+                let shallow = match dim {
+                    Dim::D2 => BlockConfig::new_2d(key.rad, best.config.bsize_x, 2, step),
+                    Dim::D3 => BlockConfig::new_3d(
+                        key.rad,
+                        best.config.bsize_x,
+                        best.config.bsize_y,
+                        2,
+                        step,
+                    ),
+                };
+                if let Ok(cfg) = shallow {
+                    out.push(PlanCandidate {
+                        backend: Backend::Threaded,
+                        config: cfg,
+                        score: best.score * 0.05,
+                    });
+                }
+            }
+        }
+        debug_assert!(
+            out.iter().all(|c| c.config.validate().is_ok()),
+            "every published candidate must pass Eq. 2 / Eq. 6 validation"
+        );
+        out
+    }
+}
+
+/// Exploit rule: among `eligible` candidates, maximize estimated
+/// throughput — measured mean cells/s where feedback exists, the
+/// backend's conservative prior otherwise — divided by `(in-flight + 1)`
+/// on the candidate's backend. Ties keep the earlier (model-best)
+/// candidate.
+fn exploit_index(
+    eligible: &[usize],
+    candidates: &[PlanCandidate],
+    stats: &[Stat],
+    load: &BTreeMap<Backend, u64>,
+) -> usize {
+    let mut best = eligible[0];
+    let mut best_rate = f64::NEG_INFINITY;
+    for &i in eligible {
+        let backend = candidates[i].backend;
+        let est = stats[i]
+            .mean()
+            .unwrap_or_else(|| prior_cells_per_sec(backend));
+        let in_flight = load.get(&backend).copied().unwrap_or(0);
+        let rate = est / (in_flight + 1) as f64;
+        if rate > best_rate {
+            best_rate = rate;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Best measured mean across a shape's candidates, if any has samples.
+fn best_measured(stats: &[Stat]) -> Option<f64> {
+    stats
+        .iter()
+        .filter_map(Stat::mean)
+        .fold(None, |acc, m| Some(acc.map_or(m, |a: f64| a.max(m))))
+}
+
+/// Conservative prior throughput per backend (cells/s), used only to
+/// screen candidates against a job's deadline before any measurement
+/// exists. Deliberately pessimistic so a tight deadline prefers the fast
+/// paths.
+fn prior_cells_per_sec(backend: Backend) -> f64 {
+    match backend {
+        Backend::Functional => 5e7,
+        Backend::CpuEngine => 5e7,
+        Backend::SerialRef => 5e6,
+        Backend::Threaded => 5e5,
+    }
+}
+
+/// Whether a candidate with estimated throughput `est_cells_per_sec` is
+/// predicted to finish `spec` inside its deadline (jobs without deadlines
+/// always fit). Half the deadline is budgeted for the run; the rest
+/// covers queueing.
+fn deadline_fits(est_cells_per_sec: f64, spec: &JobSpec) -> bool {
+    if spec.deadline_ms == 0 {
+        return true;
+    }
+    let predicted_ms = spec.work_cells() as f64 / est_cells_per_sec * 1000.0;
+    predicted_ms <= spec.deadline_ms as f64 * 0.5
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// splitmix64 — the deterministic hash behind exploration sampling.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn auto_spec(id: u64, rad: usize, nx: usize, ny: usize) -> JobSpec {
+        let mut s = JobSpec::new_2d(id, rad, nx, ny, 2);
+        s.plan = PlanMode::Auto;
+        s
+    }
+
+    #[test]
+    fn shape_key_buckets_extents() {
+        let a = ShapeKey::of(&auto_spec(1, 2, 100, 60));
+        let b = ShapeKey::of(&auto_spec(2, 2, 120, 40));
+        assert_eq!(a, b, "same class after power-of-two bucketing");
+        assert_eq!(a.label(), "d2r2x128y64z1");
+        let c = ShapeKey::of(&auto_spec(3, 2, 200, 60));
+        assert_ne!(a, c);
+        // 2D keys ignore nz entirely.
+        let mut s = auto_spec(4, 2, 100, 60);
+        s.nz = 77;
+        assert_eq!(ShapeKey::of(&s), a);
+    }
+
+    #[test]
+    fn first_plan_misses_then_hits() {
+        let planner = Planner::new(PlannerConfig::default());
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        let first = planner
+            .plan(&auto_spec(1, 2, 96, 32), &served, &metrics)
+            .unwrap();
+        assert!(!first.choice.cached);
+        assert!(!first.choice.explored, "misses exploit the model ranking");
+        let second = planner
+            .plan(&auto_spec(2, 2, 96, 32), &served, &metrics)
+            .unwrap();
+        assert!(second.choice.cached);
+        assert_eq!(metrics.counter("plans_requested").get(), 2);
+        assert_eq!(metrics.counter("plan_cache_misses").get(), 1);
+        assert_eq!(metrics.counter("plan_cache_hits").get(), 1);
+    }
+
+    #[test]
+    fn planned_configs_validate() {
+        let planner = Planner::new(PlannerConfig::default());
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        for (id, (rad, nx, ny)) in [(1, 96, 32), (2, 300, 120), (4, 48, 16), (3, 64, 64)]
+            .into_iter()
+            .enumerate()
+        {
+            let asg = planner
+                .plan(&auto_spec(id as u64, rad, nx, ny), &served, &metrics)
+                .unwrap();
+            let c = &asg.choice;
+            let cfg = BlockConfig::new_2d(rad, c.bsize_x, c.parvec, c.partime).unwrap();
+            assert!(cfg.csize_x() > 0, "Eq. 2");
+            assert_eq!((cfg.partime * cfg.rad) % 4, 0, "Eq. 6");
+        }
+    }
+
+    #[test]
+    fn feedback_steers_exploitation() {
+        let planner = Planner::new(PlannerConfig {
+            top_k: 4,
+            epsilon_pct: 0, // pure exploitation after the miss
+        });
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        let first = planner
+            .plan(&auto_spec(1, 1, 96, 32), &served, &metrics)
+            .unwrap();
+        // Tell the cache a *different* candidate is empirically fastest.
+        let other = PlanAssignment {
+            index: first.index + 1,
+            ..first.clone()
+        };
+        planner.record_throughput(&other, 1e9, &metrics);
+        planner.record_throughput(&first, 1e3, &metrics);
+        let next = planner
+            .plan(&auto_spec(2, 1, 96, 32), &served, &metrics)
+            .unwrap();
+        assert_eq!(next.index, other.index, "exploits the measured winner");
+        assert!(!next.choice.explored);
+        assert_eq!(metrics.counter("plan_feedback_samples").get(), 2);
+        let gauge = metrics.gauge(&format!("plan_cells_per_sec_{}", first.key.label()));
+        assert_eq!(gauge.get(), 1e9 as i64);
+    }
+
+    #[test]
+    fn exploration_is_deterministic_per_job() {
+        let planner = Planner::new(PlannerConfig {
+            top_k: 4,
+            epsilon_pct: 30,
+        });
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        planner
+            .plan(&auto_spec(0, 1, 96, 32), &served, &metrics)
+            .unwrap();
+        // Which jobs explore, and which candidate they explore, is a pure
+        // function of the job id and seed. (Exploit picks are deliberately
+        // *not* pure — they follow the in-flight load.)
+        let explore_picks = |planner: &Planner| -> Vec<Option<usize>> {
+            (1..50)
+                .map(|id| {
+                    let a = planner
+                        .plan(&auto_spec(id, 1, 96, 32), &served, &metrics)
+                        .unwrap();
+                    a.choice.explored.then_some(a.index)
+                })
+                .collect()
+        };
+        let picks = explore_picks(&planner);
+        let again = explore_picks(&planner);
+        assert_eq!(picks, again, "exploration is a pure function of the job");
+        assert!(picks.iter().any(Option::is_some), "some jobs explore");
+        assert!(picks.iter().any(Option::is_none), "most jobs exploit");
+    }
+
+    #[test]
+    fn exploitation_balances_in_flight_load() {
+        let planner = Planner::new(PlannerConfig {
+            top_k: 4,
+            epsilon_pct: 0, // pure exploitation
+        });
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        let first = planner
+            .plan(&auto_spec(1, 2, 96, 32), &served, &metrics)
+            .unwrap();
+        assert_eq!(first.choice.backend, Backend::Functional, "model's pick");
+        assert_eq!(planner.in_flight(Backend::Functional), 1);
+        // With the functional shard busy and nothing released, the next
+        // exploit spills to the equal-prior CPU engine.
+        let second = planner
+            .plan(&auto_spec(2, 2, 96, 32), &served, &metrics)
+            .unwrap();
+        assert_eq!(second.choice.backend, Backend::CpuEngine, "load spill");
+        // Releasing both slots idles the planner; it returns to the
+        // model-best candidate.
+        planner.release(&first);
+        planner.release(&second);
+        assert_eq!(planner.in_flight(Backend::Functional), 0);
+        assert_eq!(planner.in_flight(Backend::CpuEngine), 0);
+        let third = planner
+            .plan(&auto_spec(3, 2, 96, 32), &served, &metrics)
+            .unwrap();
+        assert_eq!(third.choice.backend, Backend::Functional);
+    }
+
+    #[test]
+    fn tight_deadlines_screen_out_slow_backends() {
+        let planner = Planner::new(PlannerConfig {
+            top_k: 4,
+            epsilon_pct: 100, // force exploration — even explorers obey
+        });
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        let mut spec = auto_spec(1, 1, 256, 128);
+        spec.iters = 8;
+        planner.plan(&spec, &served, &metrics).unwrap();
+        for id in 2..40 {
+            let mut s = auto_spec(id, 1, 256, 128);
+            s.iters = 8;
+            // 256*128*8 cells at the threaded prior (5e5/s) needs ~500 ms.
+            s.deadline_ms = 100;
+            let asg = planner.plan(&s, &served, &metrics).unwrap();
+            assert_ne!(
+                asg.choice.backend,
+                Backend::Threaded,
+                "a 100 ms deadline must exclude the threaded prior"
+            );
+        }
+    }
+
+    #[test]
+    fn unserved_backends_never_chosen() {
+        let planner = Planner::new(PlannerConfig {
+            top_k: 4,
+            epsilon_pct: 50,
+        });
+        let metrics = MetricsRegistry::new();
+        let served = vec![Backend::CpuEngine];
+        for id in 0..30 {
+            let asg = planner
+                .plan(&auto_spec(id, 2, 96, 32), &served, &metrics)
+                .unwrap();
+            assert_eq!(asg.choice.backend, Backend::CpuEngine);
+        }
+    }
+
+    #[test]
+    fn plan_errors_are_exact_variants() {
+        let planner = Planner::new(PlannerConfig::default());
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        let mut bad = auto_spec(1, 2, 96, 32);
+        bad.dim = 5;
+        assert_eq!(
+            planner.plan(&bad, &served, &metrics).unwrap_err(),
+            PlanError::UnsupportedDim { dim: 5 }
+        );
+        let mut empty = auto_spec(2, 2, 96, 32);
+        empty.nx = 0;
+        assert_eq!(
+            planner.plan(&empty, &served, &metrics).unwrap_err(),
+            PlanError::EmptyGrid
+        );
+        assert_eq!(
+            planner
+                .plan(&auto_spec(3, 2, 96, 32), &[], &metrics)
+                .unwrap_err(),
+            PlanError::NoCandidates { dim: 2, rad: 2 }
+        );
+    }
+
+    #[test]
+    fn snapshot_reflects_cache() {
+        let planner = Planner::new(PlannerConfig::default());
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        for id in 0..5 {
+            planner
+                .plan(&auto_spec(id, 2, 96, 32), &served, &metrics)
+                .unwrap();
+        }
+        planner
+            .plan(&auto_spec(9, 1, 200, 100), &served, &metrics)
+            .unwrap();
+        let snap = planner.snapshot();
+        assert_eq!(snap.len(), 2);
+        let total: u64 = snap.iter().map(|s| s.planned).sum();
+        assert_eq!(total, 6);
+        for s in &snap {
+            assert!(!s.candidates.is_empty());
+            assert!(s.best_index < s.candidates.len());
+        }
+    }
+}

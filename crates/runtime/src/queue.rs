@@ -15,6 +15,7 @@
 use crate::batch::BatchPolicy;
 use crate::cancel::CancelToken;
 use crate::job::{Backend, JobSpec};
+use crate::planner::PlanAssignment;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
@@ -22,7 +23,7 @@ use std::time::Instant;
 /// A job inside the runtime: the spec plus its admission bookkeeping.
 #[derive(Debug, Clone)]
 pub struct QueuedJob {
-    /// The admitted spec.
+    /// The admitted spec (already rewritten by the planner for auto jobs).
     pub spec: JobSpec,
     /// Cancellation/deadline handle shared with the submitter.
     pub token: CancelToken,
@@ -30,6 +31,9 @@ pub struct QueuedJob {
     pub admitted: Instant,
     /// Admission sequence number — the FIFO tiebreaker within a priority.
     pub seq: u64,
+    /// The planner's decision for auto jobs, carried through to the worker
+    /// so it can report measured throughput back to the exact cache slot.
+    pub plan: Option<PlanAssignment>,
 }
 
 /// Why a push was refused.
@@ -102,7 +106,12 @@ impl AdmissionQueue {
     /// # Errors
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
     /// [`AdmissionQueue::close`].
-    pub fn push(&self, spec: JobSpec, token: CancelToken) -> Result<QueuedJob, PushError> {
+    pub fn push(
+        &self,
+        spec: JobSpec,
+        token: CancelToken,
+        plan: Option<PlanAssignment>,
+    ) -> Result<QueuedJob, PushError> {
         let mut st = self.state.lock().unwrap();
         if st.closed {
             return Err(PushError::Closed);
@@ -115,6 +124,7 @@ impl AdmissionQueue {
             token,
             admitted: Instant::now(),
             seq: st.next_seq,
+            plan,
         };
         st.next_seq += 1;
         st.jobs.push_back(job.clone());
@@ -188,7 +198,7 @@ mod tests {
     }
 
     fn push(q: &AdmissionQueue, s: JobSpec) -> Result<QueuedJob, PushError> {
-        q.push(s, CancelToken::new())
+        q.push(s, CancelToken::new(), None)
     }
 
     #[test]

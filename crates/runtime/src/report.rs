@@ -7,10 +7,15 @@
 
 use crate::job::{Backend, JobResult, Outcome};
 use crate::metrics::MetricsRegistry;
+use crate::planner::ShapeSnapshot;
 use serde::{Deserialize, Serialize};
+use stencil_core::BlockConfig;
 
 /// Current `schema_version` written by [`ServeReport::build`].
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version history: 1 = PR-3 serving report; 2 = adds the mandatory
+/// `planner` section (auto-planning decisions and plan-cache statistics).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Latency distribution summary (milliseconds).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -71,6 +76,100 @@ pub struct BackendReport {
     pub run_ms: LatencySummary,
 }
 
+/// One shape class's slice of the plan cache: its geometry, how many jobs
+/// it planned, and the candidate currently winning the epsilon-greedy race.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShapeReport {
+    /// Stable shape label (`ShapeKey::label`), e.g. `d2r3x128y64z1`.
+    pub key: String,
+    /// Dimensionality of the shape class.
+    pub dim: u64,
+    /// Stencil radius of the shape class.
+    pub rad: u64,
+    /// Candidate plans in the shape's table.
+    pub candidates: u64,
+    /// Jobs planned against this shape.
+    pub planned: u64,
+    /// Backend of the winning candidate.
+    pub backend: String,
+    /// Winning candidate's spatial block size in x.
+    pub bsize_x: u64,
+    /// Winning candidate's spatial block size in y (0 for 2D).
+    pub bsize_y: u64,
+    /// Winning candidate's lane width.
+    pub parvec: u64,
+    /// Winning candidate's temporal blocking depth.
+    pub partime: u64,
+    /// Mean measured cells/s of the winner (0 until feedback arrives).
+    pub mean_cells_per_sec: f64,
+}
+
+/// The `planner` section: every auto-planning decision, aggregated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlannerReport {
+    /// Whether any job was auto-planned this run.
+    pub enabled: bool,
+    /// Plan requests (one per auto-mode submission).
+    pub plans_requested: u64,
+    /// Requests answered from an already-built candidate table.
+    pub cache_hits: u64,
+    /// Requests that had to build the shape's candidate table.
+    pub cache_misses: u64,
+    /// Cache hits that explored a non-greedy candidate (epsilon draw).
+    pub explored: u64,
+    /// Cache hits that exploited the best-measured candidate.
+    pub exploited: u64,
+    /// Completed jobs that reported throughput back into the cache.
+    pub feedback_samples: u64,
+    /// `cache_hits / plans_requested` (0 when nothing was planned).
+    pub hit_rate: f64,
+    /// Per-shape-class cache contents at drain time.
+    pub shapes: Vec<ShapeReport>,
+}
+
+impl PlannerReport {
+    /// Folds the planner counters and the drain-time cache snapshot into
+    /// the report section.
+    fn build(metrics: &MetricsRegistry, shapes: &[ShapeSnapshot]) -> PlannerReport {
+        let count = |name: &str| metrics.counter(name).get();
+        let requested = count("plans_requested");
+        let hits = count("plan_cache_hits");
+        PlannerReport {
+            enabled: requested > 0,
+            plans_requested: requested,
+            cache_hits: hits,
+            cache_misses: count("plan_cache_misses"),
+            explored: count("plans_explored"),
+            exploited: count("plans_exploited"),
+            feedback_samples: count("plan_feedback_samples"),
+            hit_rate: if requested > 0 {
+                hits as f64 / requested as f64
+            } else {
+                0.0
+            },
+            shapes: shapes
+                .iter()
+                .map(|s| {
+                    let best = &s.candidates[s.best_index];
+                    ShapeReport {
+                        key: s.key.label(),
+                        dim: s.key.dim as u64,
+                        rad: s.key.rad as u64,
+                        candidates: s.candidates.len() as u64,
+                        planned: s.planned,
+                        backend: best.backend.name().to_string(),
+                        bsize_x: best.config.bsize_x as u64,
+                        bsize_y: best.config.bsize_y as u64,
+                        parvec: best.config.parvec as u64,
+                        partime: best.config.partime as u64,
+                        mean_cells_per_sec: s.mean_cells_per_sec,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
 /// The complete load-test report (`BENCH_serve.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -128,10 +227,14 @@ pub struct ServeReport {
     pub total_ms: LatencySummary,
     /// Per-backend slices (one entry per backend that saw jobs).
     pub backends: Vec<BackendReport>,
+    /// Auto-planning decisions and plan-cache statistics.
+    pub planner: PlannerReport,
 }
 
 impl ServeReport {
-    /// Assembles the report from terminal results and the live registry.
+    /// Assembles the report from terminal results, the live registry, and
+    /// the planner's drain-time cache snapshot (empty slice when nothing
+    /// was auto-planned).
     #[allow(clippy::too_many_arguments)]
     pub fn build(
         workload: &str,
@@ -140,6 +243,7 @@ impl ServeReport {
         jobs_requested: usize,
         results: &[JobResult],
         metrics: &MetricsRegistry,
+        planner_shapes: &[ShapeSnapshot],
         wedged_workers: usize,
         wall_seconds: f64,
     ) -> ServeReport {
@@ -213,6 +317,7 @@ impl ServeReport {
             run_ms: LatencySummary::from_histogram(metrics, "run_ms"),
             total_ms: LatencySummary::from_histogram(metrics, "total_ms"),
             backends,
+            planner: PlannerReport::build(metrics, planner_shapes),
         }
     }
 
@@ -294,7 +399,73 @@ pub fn validate_report_json(text: &str) -> Result<usize, String> {
     if !report.wall_seconds.is_finite() || report.wall_seconds <= 0.0 {
         return Err("wall_seconds must be a positive number".into());
     }
+    validate_planner(&report.planner)?;
     Ok(report.backends.len())
+}
+
+/// Schema and accounting checks for the `planner` section.
+fn validate_planner(p: &PlannerReport) -> Result<(), String> {
+    if p.enabled != (p.plans_requested > 0) {
+        return Err("planner.enabled disagrees with plans_requested".into());
+    }
+    if p.cache_hits + p.cache_misses != p.plans_requested {
+        return Err("planner: hits + misses != plans_requested".into());
+    }
+    if p.explored + p.exploited != p.cache_hits {
+        return Err("planner: explored + exploited != cache_hits".into());
+    }
+    let expected_rate = if p.plans_requested > 0 {
+        p.cache_hits as f64 / p.plans_requested as f64
+    } else {
+        0.0
+    };
+    if !p.hit_rate.is_finite() || (p.hit_rate - expected_rate).abs() > 1e-9 {
+        return Err(format!(
+            "planner.hit_rate {} inconsistent with hits/requested",
+            p.hit_rate
+        ));
+    }
+    let planned: u64 = p.shapes.iter().map(|s| s.planned).sum();
+    if planned > p.plans_requested {
+        return Err("planner: shape planned counts exceed plans_requested".into());
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for s in &p.shapes {
+        if !seen.insert(s.key.clone()) {
+            return Err(format!("duplicate planner shape `{}`", s.key));
+        }
+        if Backend::parse(&s.backend).is_none() {
+            return Err(format!("planner shape `{}`: unknown backend", s.key));
+        }
+        if s.candidates == 0 {
+            return Err(format!("planner shape `{}` has no candidates", s.key));
+        }
+        if !s.mean_cells_per_sec.is_finite() || s.mean_cells_per_sec < 0.0 {
+            return Err(format!("planner shape `{}`: bad throughput", s.key));
+        }
+        // Re-derive the winning plan's BlockConfig: the published plan must
+        // itself satisfy the paper's Eq. 2 / Eq. 6 constraints.
+        let cfg = match s.dim {
+            2 => BlockConfig::new_2d(
+                s.rad as usize,
+                s.bsize_x as usize,
+                s.parvec as usize,
+                s.partime as usize,
+            ),
+            3 => BlockConfig::new_3d(
+                s.rad as usize,
+                s.bsize_x as usize,
+                s.bsize_y as usize,
+                s.parvec as usize,
+                s.partime as usize,
+            ),
+            d => return Err(format!("planner shape `{}`: dim {d} invalid", s.key)),
+        };
+        if let Err(e) = cfg {
+            return Err(format!("planner shape `{}`: invalid plan: {e}", s.key));
+        }
+    }
+    Ok(())
 }
 
 fn validate_latency(name: &str, l: &LatencySummary) -> Result<(), String> {
@@ -335,6 +506,7 @@ mod tests {
             },
             checksum: None,
             shadow_match: None,
+            plan: None,
         }
     }
 
@@ -354,7 +526,30 @@ mod tests {
         }
         metrics.histogram("run_ms_functional").record(1.0);
         metrics.histogram("run_ms_serial_ref").record(0.0);
-        ServeReport::build("synthetic", 42, true, 2, &results, &metrics, 0, 0.5)
+        ServeReport::build("synthetic", 42, true, 2, &results, &metrics, &[], 0, 0.5)
+    }
+
+    /// A report whose planner section reflects real planning activity.
+    fn planned_report() -> ServeReport {
+        use crate::planner::{PlanMode, Planner, PlannerConfig};
+        let planner = Planner::new(PlannerConfig::default());
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        for id in 1..=4u64 {
+            let mut s = crate::job::JobSpec::new_2d(id, 2, 96, 32, 2);
+            s.plan = PlanMode::Auto;
+            planner.plan(&s, &served, &metrics).unwrap();
+        }
+        for name in ["jobs_submitted", "jobs_admitted"] {
+            metrics.counter(name).add(1);
+        }
+        metrics.counter("jobs_completed").inc();
+        for name in ["queue_wait_ms", "run_ms", "total_ms", "run_ms_functional"] {
+            metrics.histogram(name).record(1.0);
+        }
+        let results = vec![result(1, Backend::Functional, Outcome::Completed)];
+        let shapes = planner.snapshot();
+        ServeReport::build("synthetic", 7, true, 1, &results, &metrics, &shapes, 0, 0.5)
     }
 
     #[test]
@@ -391,6 +586,54 @@ mod tests {
         assert!(validate_report_json("not json").is_err());
         assert!(validate_report_json("{}").is_err());
         assert!(validate_report_json("[]").is_err());
+    }
+
+    #[test]
+    fn planner_section_validates_and_rejects_drift() {
+        let report = planned_report();
+        assert!(report.planner.enabled);
+        assert_eq!(report.planner.plans_requested, 4);
+        assert_eq!(report.planner.cache_hits, 3);
+        assert_eq!(report.planner.cache_misses, 1);
+        let json = serde_json::to_string(&report).unwrap();
+        validate_report_json(&json).unwrap();
+
+        // Broken accounting identity.
+        let mut bad = planned_report();
+        bad.planner.cache_hits += 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("hits + misses"), "{err}");
+
+        // Inconsistent hit rate.
+        let mut bad = planned_report();
+        bad.planner.hit_rate = 0.123;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("hit_rate"), "{err}");
+
+        // A published plan violating Eq. 2 (csize <= 0) must be rejected.
+        let mut bad = planned_report();
+        bad.planner.shapes[0].partime = 4096;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("invalid plan"), "{err}");
+
+        // A missing planner section entirely (schema-v1 report) fails.
+        let json = serde_json::to_string(&planned_report()).unwrap();
+        let stripped = {
+            let start = json.find(",\"planner\":").unwrap();
+            // planner is the last field; drop through the closing brace.
+            format!("{}}}", &json[..start])
+        };
+        let err = validate_report_json(&stripped).unwrap_err();
+        assert!(err.contains("planner"), "{err}");
+    }
+
+    #[test]
+    fn explicit_only_reports_have_disabled_planner() {
+        let report = sample_report();
+        assert!(!report.planner.enabled);
+        assert_eq!(report.planner.plans_requested, 0);
+        assert!(report.planner.shapes.is_empty());
+        validate_report_json(&serde_json::to_string(&report).unwrap()).unwrap();
     }
 
     #[test]

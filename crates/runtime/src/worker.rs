@@ -29,6 +29,7 @@ use crate::batch::BatchPolicy;
 use crate::cancel::CancelToken;
 use crate::job::{Backend, JobResult, JobSpec, Outcome};
 use crate::metrics::MetricsRegistry;
+use crate::planner::{PlanError, PlanMode, Planner, PlannerConfig};
 use crate::queue::{AdmissionQueue, PushError, QueuedJob};
 use crate::retry::RetryPolicy;
 use cpu_engine::engines;
@@ -57,6 +58,8 @@ pub struct RuntimeConfig {
     pub retry: RetryPolicy,
     /// Small-job batching policy.
     pub batch: BatchPolicy,
+    /// Planner tunables for [`PlanMode::Auto`] jobs.
+    pub planner: PlannerConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -68,6 +71,7 @@ impl Default for RuntimeConfig {
             shadow_percent: 10,
             retry: RetryPolicy::serving_default(),
             batch: BatchPolicy::serving_default(),
+            planner: PlannerConfig::default(),
         }
     }
 }
@@ -75,8 +79,8 @@ impl Default for RuntimeConfig {
 /// Why a submission was refused (the job never entered the queue).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The spec failed admission validation.
-    Invalid(String),
+    /// The spec failed admission validation or could not be planned.
+    Invalid(PlanError),
     /// The bounded queue is full — explicit backpressure.
     QueueFull,
     /// The runtime is shutting down.
@@ -168,6 +172,7 @@ struct ShardCtx {
     queue: Arc<AdmissionQueue>,
     metrics: Arc<MetricsRegistry>,
     sink: Arc<ResultSink>,
+    planner: Arc<Planner>,
     retry: RetryPolicy,
     batch: BatchPolicy,
     shadow_percent: u8,
@@ -179,6 +184,7 @@ pub struct Runtime {
     queue: Arc<AdmissionQueue>,
     metrics: Arc<MetricsRegistry>,
     sink: Arc<ResultSink>,
+    planner: Arc<Planner>,
     workers: Vec<JoinHandle<()>>,
     config: RuntimeConfig,
     started: Instant,
@@ -196,6 +202,7 @@ impl Runtime {
         let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
         let metrics = Arc::new(MetricsRegistry::new());
         let sink = Arc::new(ResultSink::default());
+        let planner = Arc::new(Planner::new(config.planner.clone()));
         let mut workers = Vec::new();
         for &backend in &config.backends {
             for w in 0..config.workers_per_shard {
@@ -204,6 +211,7 @@ impl Runtime {
                     queue: Arc::clone(&queue),
                     metrics: Arc::clone(&metrics),
                     sink: Arc::clone(&sink),
+                    planner: Arc::clone(&planner),
                     retry: config.retry,
                     batch: config.batch,
                     shadow_percent: config.shadow_percent,
@@ -220,22 +228,27 @@ impl Runtime {
             queue,
             metrics,
             sink,
+            planner,
             workers,
             config,
             started: Instant::now(),
         }
     }
 
-    /// Submits a job for asynchronous execution.
+    /// Submits a job for asynchronous execution. [`PlanMode::Auto`] jobs
+    /// are planned here, at admission: the planner rewrites the spec's
+    /// backend and block configuration before the job enters the queue, so
+    /// shard routing sees the *planned* backend.
     ///
     /// # Errors
-    /// [`SubmitError::Invalid`] for specs that fail admission validation,
-    /// [`SubmitError::UnservedBackend`] when no shard serves the backend,
-    /// [`SubmitError::QueueFull`] under backpressure, and
-    /// [`SubmitError::Closed`] during shutdown.
+    /// [`SubmitError::Invalid`] for specs that fail admission validation
+    /// or cannot be planned, [`SubmitError::UnservedBackend`] when no
+    /// shard serves the backend, [`SubmitError::QueueFull`] under
+    /// backpressure, and [`SubmitError::Closed`] during shutdown.
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        let mut spec = spec;
         self.metrics.counter("jobs_submitted").inc();
-        if !self.config.backends.contains(&spec.backend) {
+        if spec.plan == PlanMode::Explicit && !self.config.backends.contains(&spec.backend) {
             self.metrics.counter("jobs_invalid").inc();
             return Err(SubmitError::UnservedBackend(spec.backend));
         }
@@ -243,13 +256,34 @@ impl Runtime {
             self.metrics.counter("jobs_invalid").inc();
             return Err(SubmitError::Invalid(why));
         }
+        let plan = if spec.plan == PlanMode::Auto {
+            match self
+                .planner
+                .plan(&spec, &self.config.backends, &self.metrics)
+            {
+                Ok(assignment) => {
+                    assignment.choice.apply_to(&mut spec);
+                    Some(assignment)
+                }
+                Err(why) => {
+                    self.metrics.counter("jobs_invalid").inc();
+                    return Err(SubmitError::Invalid(why));
+                }
+            }
+        } else {
+            None
+        };
         let token = if spec.deadline_ms > 0 {
             CancelToken::with_deadline(Instant::now() + Duration::from_millis(spec.deadline_ms))
         } else {
             CancelToken::new()
         };
         let id = spec.id;
-        match self.queue.push(spec, token.clone()) {
+        // The plan's in-flight slot was claimed above; if the queue
+        // refuses the job it never reaches a worker, so release it here
+        // or the planner would count phantom backlog forever.
+        let claimed = plan.clone();
+        match self.queue.push(spec, token.clone(), plan) {
             Ok(_) => {
                 self.metrics.counter("jobs_admitted").inc();
                 self.metrics
@@ -257,17 +291,29 @@ impl Runtime {
                     .set(self.queue.depth() as i64);
                 Ok(JobHandle { id, token })
             }
-            Err(PushError::Full) => {
-                self.metrics.counter("jobs_rejected").inc();
-                Err(SubmitError::QueueFull)
+            Err(e) => {
+                if let Some(assignment) = &claimed {
+                    self.planner.release(assignment);
+                }
+                match e {
+                    PushError::Full => {
+                        self.metrics.counter("jobs_rejected").inc();
+                        Err(SubmitError::QueueFull)
+                    }
+                    PushError::Closed => Err(SubmitError::Closed),
+                }
             }
-            Err(PushError::Closed) => Err(SubmitError::Closed),
         }
     }
 
     /// The runtime's metrics registry (shared; live).
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// The runtime's plan cache (shared; live).
+    pub fn planner(&self) -> &Arc<Planner> {
+        &self.planner
     }
 
     /// Jobs currently waiting in the admission queue.
@@ -327,6 +373,7 @@ fn process_job(ctx: &ShardCtx, job: QueuedJob) {
         spec,
         token,
         admitted,
+        plan,
         ..
     } = job;
     let queue_wait_ms = admitted.elapsed().as_secs_f64() * 1000.0;
@@ -400,6 +447,19 @@ fn process_job(ctx: &ShardCtx, job: QueuedJob) {
     let total_ms = admitted.elapsed().as_secs_f64() * 1000.0;
     ctx.metrics.histogram("total_ms").record(total_ms);
 
+    // Close the planner's feedback loop: a completed auto-planned job
+    // reports its achieved cells/s back to the exact candidate it ran,
+    // and every terminal outcome releases the backend's in-flight slot
+    // so the load-aware exploit rule tracks the true backlog.
+    if let Some(assignment) = &plan {
+        if outcome == Outcome::Completed && run_ms > 0.0 {
+            let cells_per_sec = cells_updated as f64 / (run_ms / 1000.0);
+            ctx.planner
+                .record_throughput(assignment, cells_per_sec, &ctx.metrics);
+        }
+        ctx.planner.release(assignment);
+    }
+
     ctx.sink.push(JobResult {
         id: spec.id,
         backend: ctx.backend,
@@ -411,6 +471,7 @@ fn process_job(ctx: &ShardCtx, job: QueuedJob) {
         cells_updated,
         checksum,
         shadow_match,
+        plan: plan.map(|a| a.choice),
     });
 }
 

@@ -125,10 +125,17 @@ pub trait Deserialize: Sized {
 
 /// Looks up `key` in a map's entries and deserializes it — the helper the
 /// derive macro calls for every struct field.
+///
+/// A missing key is retried as [`Value::Null`], which matches real serde's
+/// behaviour for `Option<T>` fields (absent ⇒ `None`) and lets types with a
+/// natural default accept absence by handling `Null` in `from_value`; types
+/// that reject `Null` still get the `missing field` error.
 pub fn field<T: Deserialize>(m: &[(String, Value)], key: &str) -> Result<T, Error> {
     match m.iter().find(|(k, _)| k == key) {
         Some((_, v)) => T::from_value(v),
-        None => Err(Error::custom(format!("missing field `{key}`"))),
+        None => {
+            T::from_value(&Value::Null).map_err(|_| Error::custom(format!("missing field `{key}`")))
+        }
     }
 }
 

@@ -136,6 +136,12 @@ impl Deserialize for PlanMode {
             _ => Err(serde::Error::custom("plan mode must be explicit|auto")),
         }
     }
+
+    // Absence opts in to the default (serde's `#[serde(default)]`): only
+    // this field, not every field in the workspace, tolerates a missing key.
+    fn absent() -> Option<Self> {
+        Some(PlanMode::Explicit)
+    }
 }
 
 /// The plan cache key: a job's *shape class*. Grid extents are bucketed to
@@ -362,23 +368,15 @@ impl Planner {
                 },
             );
         }
-        metrics
-            .counter(if cached {
-                "plan_cache_hits"
-            } else {
-                "plan_cache_misses"
-            })
-            .inc();
         let entry = cache.get_mut(&key).expect("inserted above");
-        entry.planned += 1;
 
         // Estimated throughput per candidate: the measured mean once
         // feedback exists, the backend's conservative prior until then.
-        let est = |i: usize| -> f64 {
-            entry.stats[i]
-                .mean()
-                .unwrap_or_else(|| prior_cells_per_sec(entry.candidates[i].backend))
-        };
+        // Copied out of the entry so the entry stays mutable below.
+        let backends: Vec<Backend> = entry.candidates.iter().map(|c| c.backend).collect();
+        let means: Vec<Option<f64>> = entry.stats.iter().map(Stat::mean).collect();
+        let est =
+            |i: usize| -> f64 { means[i].unwrap_or_else(|| prior_cells_per_sec(backends[i])) };
 
         // Candidates eligible for this job: backend is served (the table
         // is already filtered at build time, but the served set may differ
@@ -387,24 +385,38 @@ impl Planner {
         // candidate, serve the job anyway with the full set — a slow plan
         // beats a guaranteed rejection.
         let eligible: Vec<usize> = {
-            let by_deadline: Vec<usize> = (0..entry.candidates.len())
-                .filter(|&i| served.contains(&entry.candidates[i].backend))
+            let by_deadline: Vec<usize> = (0..backends.len())
+                .filter(|&i| served.contains(&backends[i]))
                 .filter(|&i| deadline_fits(est(i), spec))
                 .collect();
             if by_deadline.is_empty() {
-                (0..entry.candidates.len())
-                    .filter(|&i| served.contains(&entry.candidates[i].backend))
+                (0..backends.len())
+                    .filter(|&i| served.contains(&backends[i]))
                     .collect()
             } else {
                 by_deadline
             }
         };
         if eligible.is_empty() {
+            // A cached table none of whose candidates is served cannot
+            // answer this request; it counts as a miss, not a hit. Hit/miss
+            // is recorded only below this point — after eligibility is
+            // known — so the report invariants `hits + misses == requested`
+            // and `explored + exploited == hits` hold across failed plans.
+            metrics.counter("plan_cache_misses").inc();
             return Err(PlanError::NoCandidates {
                 dim: key.dim,
                 rad: key.rad,
             });
         }
+        metrics
+            .counter(if cached {
+                "plan_cache_hits"
+            } else {
+                "plan_cache_misses"
+            })
+            .inc();
+        entry.planned += 1;
 
         // Epsilon-greedy over the eligible set. Exploration is a
         // deterministic per-job hash (same scheme as shadow sampling), so
@@ -934,6 +946,35 @@ mod tests {
                 .plan(&auto_spec(3, 2, 96, 32), &[], &metrics)
                 .unwrap_err(),
             PlanError::NoCandidates { dim: 2, rad: 2 }
+        );
+    }
+
+    #[test]
+    fn counters_stay_consistent_when_cached_shape_has_no_eligible_candidate() {
+        let planner = Planner::new(PlannerConfig::default());
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        planner
+            .plan(&auto_spec(1, 2, 96, 32), &served, &metrics)
+            .unwrap();
+        planner
+            .plan(&auto_spec(2, 2, 96, 32), &served, &metrics)
+            .unwrap();
+        // The same (now cached) shape planned through a runtime serving no
+        // overlapping backend: the request fails, and must count as a miss
+        // — not a hit — so the report accounting identities keep holding.
+        let err = planner
+            .plan(&auto_spec(3, 2, 96, 32), &[], &metrics)
+            .unwrap_err();
+        assert_eq!(err, PlanError::NoCandidates { dim: 2, rad: 2 });
+        let count = |n: &str| metrics.counter(n).get();
+        assert_eq!(count("plans_requested"), 3);
+        assert_eq!(count("plan_cache_hits"), 1, "only the successful re-plan");
+        assert_eq!(count("plan_cache_misses"), 2, "first build + failed plan");
+        assert_eq!(
+            count("plans_explored") + count("plans_exploited"),
+            count("plan_cache_hits"),
+            "every hit is exactly one of explored/exploited"
         );
     }
 

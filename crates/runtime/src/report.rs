@@ -113,7 +113,8 @@ pub struct PlannerReport {
     pub plans_requested: u64,
     /// Requests answered from an already-built candidate table.
     pub cache_hits: u64,
-    /// Requests that had to build the shape's candidate table.
+    /// Requests not answered from a cached table: first sight of a shape
+    /// (the table had to be built) or a request no candidate could serve.
     pub cache_misses: u64,
     /// Cache hits that explored a non-greedy candidate (epsilon draw).
     pub explored: u64,
@@ -399,6 +400,30 @@ pub fn validate_report_json(text: &str) -> Result<usize, String> {
     if !report.wall_seconds.is_finite() || report.wall_seconds <= 0.0 {
         return Err("wall_seconds must be a positive number".into());
     }
+    // The headline throughput numbers must be real and must agree with the
+    // raw counts they summarize (floats round-trip exactly through the
+    // writer, so the tolerance only absorbs the division).
+    for (name, got, expected) in [
+        (
+            "jobs_per_second",
+            report.jobs_per_second,
+            report.terminal_jobs() as f64 / report.wall_seconds,
+        ),
+        (
+            "cells_per_second",
+            report.cells_per_second,
+            report.cells_updated as f64 / report.wall_seconds,
+        ),
+    ] {
+        if !got.is_finite() || got < 0.0 {
+            return Err(format!("{name} must be finite and >= 0"));
+        }
+        if (got - expected).abs() > expected.abs().max(1.0) * 1e-9 {
+            return Err(format!(
+                "{name} {got} inconsistent with its raw counts ({expected})"
+            ));
+        }
+    }
     validate_planner(&report.planner)?;
     Ok(report.backends.len())
 }
@@ -579,6 +604,32 @@ mod tests {
         assert!(validate_report_json(&json)
             .unwrap_err()
             .contains("not monotone"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_throughput() {
+        // NaN serializes as null and reads back as NaN; the headline rates
+        // must not pass the gate that way.
+        let mut report = sample_report();
+        report.jobs_per_second = f64::NAN;
+        let err = validate_report_json(&serde_json::to_string(&report).unwrap()).unwrap_err();
+        assert!(err.contains("jobs_per_second"), "{err}");
+
+        // Rates that disagree with the raw counts they summarize are drift.
+        let mut report = sample_report();
+        report.cells_per_second *= 2.0;
+        let err = validate_report_json(&serde_json::to_string(&report).unwrap()).unwrap_err();
+        assert!(err.contains("cells_per_second"), "{err}");
+    }
+
+    #[test]
+    fn missing_throughput_field_is_rejected() {
+        // A report missing a required numeric field entirely must fail the
+        // schema parse — not silently deserialize to NaN.
+        let json = serde_json::to_string(&sample_report()).unwrap();
+        let stripped = json.replacen("\"cells_per_second\"", "\"cells_per_second_gone\"", 1);
+        let err = validate_report_json(&stripped).unwrap_err();
+        assert!(err.contains("missing field `cells_per_second`"), "{err}");
     }
 
     #[test]

@@ -121,21 +121,33 @@ pub trait Serialize {
 pub trait Deserialize: Sized {
     /// Rebuilds `Self` from a [`Value`] tree.
     fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// The value to use when a struct field's key is absent entirely.
+    ///
+    /// `None` — the default — makes absence a hard `missing field` error,
+    /// matching real serde for required fields. Types with a natural absent
+    /// form opt in by overriding: `Option<T>` reads as `None`, and types
+    /// with serde-`default`-style backcompat (e.g. the runtime's `PlanMode`)
+    /// return their default. This is deliberately narrower than mapping
+    /// absence to [`Value::Null`] — that would let every `f32`/`f64` field
+    /// silently read as `NaN` (via the non-finite-float ⇒ `null` round-trip)
+    /// and every [`Value`] field as `Null`.
+    fn absent() -> Option<Self> {
+        None
+    }
 }
 
 /// Looks up `key` in a map's entries and deserializes it — the helper the
 /// derive macro calls for every struct field.
 ///
-/// A missing key is retried as [`Value::Null`], which matches real serde's
-/// behaviour for `Option<T>` fields (absent ⇒ `None`) and lets types with a
-/// natural default accept absence by handling `Null` in `from_value`; types
-/// that reject `Null` still get the `missing field` error.
+/// An absent key is an error unless the target type opts in through
+/// [`Deserialize::absent`] (`Option<T>` fields read as `None`). A key that
+/// is *present* with a `null` value still goes through `from_value`, so the
+/// serializer's non-finite-float ⇒ `null` lowering round-trips.
 pub fn field<T: Deserialize>(m: &[(String, Value)], key: &str) -> Result<T, Error> {
     match m.iter().find(|(k, _)| k == key) {
         Some((_, v)) => T::from_value(v),
-        None => {
-            T::from_value(&Value::Null).map_err(|_| Error::custom(format!("missing field `{key}`")))
-        }
+        None => T::absent().ok_or_else(|| Error::custom(format!("missing field `{key}`"))),
     }
 }
 
@@ -256,6 +268,10 @@ impl<T: Deserialize> Deserialize for Option<T> {
             other => T::from_value(other).map(Some),
         }
     }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
@@ -369,6 +385,29 @@ mod tests {
     fn missing_field_is_an_error() {
         let m = vec![("a".to_string(), Value::Int(1))];
         assert!(field::<usize>(&m, "b").is_err());
+        // Floats must NOT read absence as NaN (the serializer's
+        // non-finite ⇒ null lowering only applies to *present* nulls)...
+        assert!(field::<f64>(&m, "b").is_err());
+        assert!(field::<f32>(&m, "b").is_err());
+        // ...and Value fields must not read absence as Null.
+        assert!(field::<Value>(&m, "b").is_err());
+        assert!(field::<String>(&m, "b").is_err());
         assert_eq!(field::<usize>(&m, "a").unwrap(), 1);
+    }
+
+    #[test]
+    fn absent_option_field_reads_as_none() {
+        let m = vec![("a".to_string(), Value::Int(1))];
+        assert_eq!(field::<Option<u32>>(&m, "b").unwrap(), None);
+        // Present null and present value still deserialize normally.
+        let m = vec![
+            ("x".to_string(), Value::Null),
+            ("y".to_string(), Value::Int(3)),
+        ];
+        assert_eq!(field::<Option<u32>>(&m, "x").unwrap(), None);
+        assert_eq!(field::<Option<u32>>(&m, "y").unwrap(), Some(3));
+        // A present null is still NaN for floats (round-trip), but a
+        // non-null wrong type is not.
+        assert!(field::<f64>(&m, "x").unwrap().is_nan());
     }
 }

@@ -7,7 +7,7 @@
 //!               [--out BENCH_serve.json]
 //! stencil_serve --workload FILE.jsonl [--out FILE]
 //! stencil_serve --synthetic --emit-workload FILE.jsonl [--jobs N] [--seed S]
-//! stencil_serve --check-report FILE
+//! stencil_serve --check-report FILE [--min-pool-hit-rate F]
 //! ```
 //!
 //! `--synthetic` generates a seeded, deterministic open-loop workload
@@ -52,6 +52,7 @@ struct Args {
     workload: Option<String>,
     emit_workload: Option<String>,
     check: Option<String>,
+    min_pool_hit_rate: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -69,6 +70,7 @@ fn parse_args() -> Args {
         workload: None,
         emit_workload: None,
         check: None,
+        min_pool_hit_rate: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -91,6 +93,13 @@ fn parse_args() -> Args {
             "--workload" => a.workload = Some(take(&mut i)),
             "--emit-workload" => a.emit_workload = Some(take(&mut i)),
             "--check-report" => a.check = Some(take(&mut i)),
+            "--min-pool-hit-rate" => {
+                let v: f64 = take(&mut i).parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&v) {
+                    usage();
+                }
+                a.min_pool_hit_rate = Some(v);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -103,6 +112,9 @@ fn parse_args() -> Args {
     if modes != 1 || a.jobs == 0 || a.shadow_pct > 100 || a.queue_cap == 0 || a.workers == 0 {
         usage();
     }
+    if a.min_pool_hit_rate.is_some() && a.check.is_none() {
+        usage();
+    }
     a
 }
 
@@ -113,7 +125,7 @@ fn usage() -> ! {
          [--plan-explain] [--out FILE]\
          \n       stencil_serve --workload FILE.jsonl [--auto-plan] [--out FILE]\
          \n       stencil_serve --synthetic --emit-workload FILE.jsonl [--jobs N] [--seed S]\
-         \n       stencil_serve --check-report FILE"
+         \n       stencil_serve --check-report FILE [--min-pool-hit-rate F]"
     );
     std::process::exit(2);
 }
@@ -121,7 +133,7 @@ fn usage() -> ! {
 fn main() {
     let a = parse_args();
     if let Some(file) = &a.check {
-        check_report(file);
+        check_report(file, a.min_pool_hit_rate);
         return;
     }
 
@@ -262,6 +274,18 @@ fn print_summary(r: &ServeReport) {
             b.backend, b.jobs, b.completed, b.run_ms.p95_ms, b.shadow_runs, b.shadow_mismatches
         );
     }
+    let m = &r.memory;
+    println!(
+        "  memory: pool {:.0}% hit ({} hits / {} misses), {} allocations avoided, \
+         {:.1} MiB recycled, memo {} hits / {} misses",
+        m.pool_hit_rate * 100.0,
+        m.pool_hits,
+        m.pool_misses,
+        m.allocations_avoided,
+        m.bytes_pooled as f64 / (1024.0 * 1024.0),
+        m.stencil_memo_hits,
+        m.stencil_memo_misses,
+    );
     let p = &r.planner;
     if p.enabled {
         println!(
@@ -306,7 +330,10 @@ fn print_plan_tables(shapes: &[stencil_runtime::planner::ShapeSnapshot]) {
 }
 
 /// Validates an emitted report file; exit 0 on success, 2 on any mismatch.
-fn check_report(path: &str) {
+/// With `--min-pool-hit-rate F`, additionally requires the memory section's
+/// pool hit rate to reach `F` — the CI gate that keeps the serving path
+/// actually pooled.
+fn check_report(path: &str, min_pool_hit_rate: Option<f64>) {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -320,5 +347,20 @@ fn check_report(path: &str) {
             eprintln!("stencil_serve: {path}: {msg}");
             std::process::exit(2);
         }
+    }
+    if let Some(min) = min_pool_hit_rate {
+        // Validation above guarantees the report parses; re-read the rate.
+        let report: ServeReport = serde_json::from_str(&text).expect("validated above");
+        if report.memory.pool_hit_rate < min {
+            eprintln!(
+                "stencil_serve: {path}: pool hit rate {:.3} below required {min:.3}",
+                report.memory.pool_hit_rate
+            );
+            std::process::exit(2);
+        }
+        println!(
+            "{path}: pool hit rate {:.3} >= {min:.3}",
+            report.memory.pool_hit_rate
+        );
     }
 }

@@ -1,8 +1,8 @@
 //! End-to-end tests for `stencil_serve --check-report`: the schema gate
-//! must accept a known-good report (exit 0), reject a fixture whose
-//! `planner` section was corrupted (exit 2), and keep the committed
-//! `BENCH_serve.json` artifact honest — mirroring `check_matrix.rs` for
-//! the simulator matrix.
+//! must accept a known-good report (exit 0), reject fixtures whose
+//! `planner` or `memory` sections were corrupted (exit 2), enforce the
+//! `--min-pool-hit-rate` gate, and keep the committed `BENCH_serve.json`
+//! artifact honest — mirroring `check_matrix.rs` for the simulator matrix.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -11,16 +11,22 @@ fn fixture(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/fixtures/{name}"))
 }
 
-/// Runs `stencil_serve --check-report <file>`; returns (exit code, stderr).
-fn check(path: &Path) -> (i32, String) {
+/// Runs `stencil_serve --check-report <file> [extra args]`; returns
+/// (exit code, stderr).
+fn check_with(path: &Path, extra: &[&str]) -> (i32, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_stencil_serve"))
         .args(["--check-report", path.to_str().unwrap()])
+        .args(extra)
         .output()
         .expect("run stencil_serve");
     (
         out.status.code().expect("exit code"),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
+}
+
+fn check(path: &Path) -> (i32, String) {
+    check_with(path, &[])
 }
 
 #[test]
@@ -54,6 +60,28 @@ fn stripped_planner_section_exits_2() {
     std::fs::remove_file(&path).ok();
     assert_eq!(code, 2, "stderr: {stderr}");
     assert!(stderr.contains("planner"), "stderr: {stderr}");
+}
+
+#[test]
+fn corrupted_memory_section_exits_2() {
+    // The fixture is the golden report with `memory.pool_hit_rate` rewritten
+    // so it no longer equals hits / (hits + misses).
+    let (code, stderr) = check(&fixture("serve_report_bad_memory.json"));
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("pool_hit_rate"), "stderr: {stderr}");
+}
+
+#[test]
+fn min_pool_hit_rate_gate() {
+    // The golden fixture pools some but not all leases: a 0 threshold
+    // passes, a perfect-rate demand fails (the first lease of every shape
+    // class is always a miss, so 1.0 is unreachable by construction).
+    let golden = fixture("serve_report_golden.json");
+    let (code, stderr) = check_with(&golden, &["--min-pool-hit-rate", "0.0"]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let (code, stderr) = check_with(&golden, &["--min-pool-hit-rate", "1.0"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("pool hit rate"), "stderr: {stderr}");
 }
 
 #[test]

@@ -93,6 +93,45 @@ impl<T: Real> Grid2D<T> {
         Ok(g)
     }
 
+    /// Wraps an existing flat buffer as an `nx × ny` grid without copying —
+    /// the zero-allocation constructor buffer pools use to recycle storage.
+    /// Cell contents are taken as-is (possibly stale); callers that need a
+    /// defined state must overwrite every cell.
+    ///
+    /// # Errors
+    /// Returns [`StencilError::InvalidGrid`] when either dimension is zero
+    /// or `data.len() != nx * ny`.
+    pub fn from_vec(nx: usize, ny: usize, data: Vec<T>) -> Result<Self> {
+        if nx == 0 || ny == 0 || data.len() != nx * ny {
+            return Err(StencilError::InvalidGrid {
+                what: format!(
+                    "buffer of {} cells cannot back a {nx}x{ny} grid",
+                    data.len()
+                ),
+            });
+        }
+        Ok(Self { nx, ny, data })
+    }
+
+    /// Consumes the grid, handing its flat storage back (capacity intact)
+    /// so a pool can recycle it.
+    pub fn into_raw(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Overwrites every cell from `other` without reallocating.
+    ///
+    /// # Panics
+    /// Panics when the shapes differ.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(
+            (self.nx, self.ny),
+            (other.nx, other.ny),
+            "copy_from requires identical shapes"
+        );
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Width (unit-stride dimension).
     #[inline(always)]
     pub fn nx(&self) -> usize {
@@ -278,6 +317,43 @@ impl<T: Real> Grid3D<T> {
             }
         }
         Ok(g)
+    }
+
+    /// Wraps an existing flat buffer as an `nx × ny × nz` grid without
+    /// copying (see [`Grid2D::from_vec`]). Cell contents are taken as-is.
+    ///
+    /// # Errors
+    /// Returns [`StencilError::InvalidGrid`] when any dimension is zero or
+    /// `data.len() != nx * ny * nz`.
+    pub fn from_vec(nx: usize, ny: usize, nz: usize, data: Vec<T>) -> Result<Self> {
+        if nx == 0 || ny == 0 || nz == 0 || data.len() != nx * ny * nz {
+            return Err(StencilError::InvalidGrid {
+                what: format!(
+                    "buffer of {} cells cannot back a {nx}x{ny}x{nz} grid",
+                    data.len()
+                ),
+            });
+        }
+        Ok(Self { nx, ny, nz, data })
+    }
+
+    /// Consumes the grid, handing its flat storage back (capacity intact)
+    /// so a pool can recycle it.
+    pub fn into_raw(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Overwrites every cell from `other` without reallocating.
+    ///
+    /// # Panics
+    /// Panics when the shapes differ.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(
+            (self.nx, self.ny, self.nz),
+            (other.nx, other.ny, other.nz),
+            "copy_from requires identical shapes"
+        );
+        self.data.copy_from_slice(&other.data);
     }
 
     /// Width (unit-stride, vectorized dimension).

@@ -148,31 +148,90 @@ pub fn tiled_3d<T: Real>(
 /// change results. Each worker writes its disjoint `next` row in place —
 /// no scratch buffers, no allocation inside the sweep.
 pub fn parallel_2d<T: Real>(st: &Stencil2D<T>, grid: &Grid2D<T>, iters: usize) -> Grid2D<T> {
+    let mut out = grid.clone();
+    let mut scratch = grid.clone();
+    parallel_2d_into(st, grid, iters, &mut out, &mut scratch);
+    out
+}
+
+/// [`parallel_2d`] writing the result into the caller-provided `out` grid,
+/// with `scratch` as the ping-pong buffer — the zero-allocation entry point
+/// for pooled serving. Both buffers must have `grid`'s shape; their prior
+/// contents are irrelevant (every sweep fully overwrites its destination).
+///
+/// # Panics
+/// Panics when the buffer shapes do not match `grid`.
+pub fn parallel_2d_into<T: Real>(
+    st: &Stencil2D<T>,
+    grid: &Grid2D<T>,
+    iters: usize,
+    out: &mut Grid2D<T>,
+    scratch: &mut Grid2D<T>,
+) {
     let nx = grid.nx();
-    let mut cur = grid.clone();
-    let mut next = grid.clone();
+    assert_eq!(
+        (out.nx(), out.ny()),
+        (grid.nx(), grid.ny()),
+        "out buffer shape mismatch"
+    );
+    assert_eq!(
+        (scratch.nx(), scratch.ny()),
+        (grid.nx(), grid.ny()),
+        "scratch buffer shape mismatch"
+    );
+    // `out` always holds the latest completed sweep; swaps exchange the
+    // backing Vec pointers only.
+    out.copy_from(grid);
     for _ in 0..iters {
         {
-            let src = &cur;
-            next.as_mut_slice()
+            let src: &Grid2D<T> = out;
+            scratch
+                .as_mut_slice()
                 .par_chunks_mut(nx)
                 .enumerate()
                 .for_each(|(y, dst_row)| kernels::row_2d(st, src, dst_row, y));
         }
-        cur.swap(&mut next);
+        out.swap(scratch);
     }
-    cur
 }
 
 /// Rayon-parallel 3D engine (parallel over z-planes).
 pub fn parallel_3d<T: Real>(st: &Stencil3D<T>, grid: &Grid3D<T>, iters: usize) -> Grid3D<T> {
+    let mut out = grid.clone();
+    let mut scratch = grid.clone();
+    parallel_3d_into(st, grid, iters, &mut out, &mut scratch);
+    out
+}
+
+/// [`parallel_3d`] writing the result into the caller-provided `out` grid,
+/// with `scratch` as the ping-pong buffer (see [`parallel_2d_into`]).
+///
+/// # Panics
+/// Panics when the buffer shapes do not match `grid`.
+pub fn parallel_3d_into<T: Real>(
+    st: &Stencil3D<T>,
+    grid: &Grid3D<T>,
+    iters: usize,
+    out: &mut Grid3D<T>,
+    scratch: &mut Grid3D<T>,
+) {
     let (nx, ny) = (grid.nx(), grid.ny());
-    let mut cur = grid.clone();
-    let mut next = grid.clone();
+    assert_eq!(
+        (out.nx(), out.ny(), out.nz()),
+        (grid.nx(), grid.ny(), grid.nz()),
+        "out buffer shape mismatch"
+    );
+    assert_eq!(
+        (scratch.nx(), scratch.ny(), scratch.nz()),
+        (grid.nx(), grid.ny(), grid.nz()),
+        "scratch buffer shape mismatch"
+    );
+    out.copy_from(grid);
     for _ in 0..iters {
         {
-            let src = &cur;
-            next.as_mut_slice()
+            let src: &Grid3D<T> = out;
+            scratch
+                .as_mut_slice()
                 .par_chunks_mut(nx * ny)
                 .enumerate()
                 .for_each(|(z, dst_plane)| {
@@ -181,9 +240,8 @@ pub fn parallel_3d<T: Real>(st: &Stencil3D<T>, grid: &Grid3D<T>, iters: usize) -
                     }
                 });
         }
-        cur.swap(&mut next);
+        out.swap(scratch);
     }
-    cur
 }
 
 #[cfg(test)]
@@ -241,6 +299,27 @@ mod tests {
             parallel_3d(&st3, &grid3(), 4),
             exec::run_3d(&st3, &grid3(), 4)
         );
+    }
+
+    #[test]
+    fn into_variants_overwrite_dirty_buffers() {
+        // Pool-style reuse: out and scratch arrive full of garbage; the
+        // `_into` paths must fully overwrite them and match the allocating
+        // entry points bit-for-bit.
+        let st = Stencil2D::<f32>::random(3, 21).unwrap();
+        for iters in [0usize, 1, 5] {
+            let mut out = Grid2D::filled(41, 23, f32::NAN).unwrap();
+            let mut scratch = Grid2D::filled(41, 23, -4.0e18f32).unwrap();
+            parallel_2d_into(&st, &grid2(), iters, &mut out, &mut scratch);
+            assert_eq!(out, parallel_2d(&st, &grid2(), iters), "2d iters {iters}");
+        }
+        let st3 = Stencil3D::<f32>::random(1, 22).unwrap();
+        for iters in [0usize, 2, 4] {
+            let mut out = Grid3D::filled(17, 13, 11, f32::NAN).unwrap();
+            let mut scratch = Grid3D::filled(17, 13, 11, f32::INFINITY).unwrap();
+            parallel_3d_into(&st3, &grid3(), iters, &mut out, &mut scratch);
+            assert_eq!(out, parallel_3d(&st3, &grid3(), iters), "3d iters {iters}");
+        }
     }
 
     #[test]

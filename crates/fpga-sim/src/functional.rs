@@ -143,11 +143,58 @@ pub fn run_2d_cancellable<T: Real>(
     lanes: usize,
     cancel: &(dyn Fn() -> bool + Sync),
 ) -> Option<(Grid2D<T>, SimCounters)> {
+    let mut out = grid.clone();
+    let mut scratch = grid.clone();
+    let counters = run_2d_cancellable_into(
+        stencil,
+        grid,
+        config,
+        iters,
+        lanes,
+        cancel,
+        &mut out,
+        &mut scratch,
+    )?;
+    Some((out, counters))
+}
+
+/// [`run_2d_cancellable`] writing the result into the caller-provided `out`
+/// grid, with `scratch` as the ping-pong buffer — the zero-allocation entry
+/// point for pooled serving. Both buffers must have `grid`'s shape; their
+/// prior contents are irrelevant (every pass fully overwrites its
+/// destination strip set). On cancellation (`None`) the buffers hold
+/// partial data and must be treated as dirty.
+///
+/// # Panics
+/// Panics when `config` is not a validated 2D configuration or the buffer
+/// shapes do not match `grid`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_2d_cancellable_into<T: Real>(
+    stencil: &Stencil2D<T>,
+    grid: &Grid2D<T>,
+    config: &BlockConfig,
+    iters: usize,
+    lanes: usize,
+    cancel: &(dyn Fn() -> bool + Sync),
+    out: &mut Grid2D<T>,
+    scratch: &mut Grid2D<T>,
+) -> Option<SimCounters> {
     check_2d(stencil, config);
+    assert_eq!(
+        (out.nx(), out.ny()),
+        (grid.nx(), grid.ny()),
+        "out buffer shape mismatch"
+    );
+    assert_eq!(
+        (scratch.nx(), scratch.ny()),
+        (grid.nx(), grid.ny()),
+        "scratch buffer shape mismatch"
+    );
 
     let nx = grid.nx();
-    let mut src = grid.clone();
-    let mut dst = grid.clone();
+    // `out` always holds the latest completed pass; `scratch` is the
+    // in-flight destination, exchanged (Vec pointers only) after each pass.
+    out.copy_from(grid);
     let mut counters = SimCounters {
         lane_width: lanes.max(1) as u64,
         ..Default::default()
@@ -160,9 +207,9 @@ pub fn run_2d_cancellable<T: Real>(
         }
         let t_pass = Instant::now();
         let spans = config.spans_x(nx);
-        let blocks = dst.column_blocks(&comp_bounds(&spans, nx));
+        let blocks = scratch.column_blocks(&comp_bounds(&spans, nx));
         let tally = Mutex::new(SimCounters::default());
-        let src_ref = &src;
+        let src_ref: &Grid2D<T> = out;
         let tally_ref = &tally;
         let partime = config.partime;
         spans
@@ -184,10 +231,10 @@ pub fn run_2d_cancellable<T: Real>(
         counters.merge(&tally.into_inner().unwrap());
         counters.passes += 1;
         counters.pass_seconds.push(t_pass.elapsed().as_secs_f64());
-        src.swap(&mut dst);
+        out.swap(scratch);
     }
     counters.elapsed_seconds = t_run.elapsed().as_secs_f64();
-    Some((src, counters))
+    Some(counters)
 }
 
 /// One spatial block of one 2D pass: stream all rows of the block's read
@@ -286,11 +333,53 @@ pub fn run_3d_cancellable<T: Real>(
     lanes: usize,
     cancel: &(dyn Fn() -> bool + Sync),
 ) -> Option<(Grid3D<T>, SimCounters)> {
+    let mut out = grid.clone();
+    let mut scratch = grid.clone();
+    let counters = run_3d_cancellable_into(
+        stencil,
+        grid,
+        config,
+        iters,
+        lanes,
+        cancel,
+        &mut out,
+        &mut scratch,
+    )?;
+    Some((out, counters))
+}
+
+/// [`run_3d_cancellable`] writing the result into the caller-provided `out`
+/// grid, with `scratch` as the ping-pong buffer (see
+/// [`run_2d_cancellable_into`] for the buffer contract).
+///
+/// # Panics
+/// Panics when `config` is not a validated 3D configuration or the buffer
+/// shapes do not match `grid`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_3d_cancellable_into<T: Real>(
+    stencil: &Stencil3D<T>,
+    grid: &Grid3D<T>,
+    config: &BlockConfig,
+    iters: usize,
+    lanes: usize,
+    cancel: &(dyn Fn() -> bool + Sync),
+    out: &mut Grid3D<T>,
+    scratch: &mut Grid3D<T>,
+) -> Option<SimCounters> {
     check_3d(stencil, config);
+    assert_eq!(
+        (out.nx(), out.ny(), out.nz()),
+        (grid.nx(), grid.ny(), grid.nz()),
+        "out buffer shape mismatch"
+    );
+    assert_eq!(
+        (scratch.nx(), scratch.ny(), scratch.nz()),
+        (grid.nx(), grid.ny(), grid.nz()),
+        "scratch buffer shape mismatch"
+    );
 
     let (nx, ny) = (grid.nx(), grid.ny());
-    let mut src = grid.clone();
-    let mut dst = grid.clone();
+    out.copy_from(grid);
     let mut counters = SimCounters {
         lane_width: lanes.max(1) as u64,
         ..Default::default()
@@ -304,7 +393,7 @@ pub fn run_3d_cancellable<T: Real>(
         let t_pass = Instant::now();
         let sys = config.spans_y(ny);
         let sxs = config.spans_x(nx);
-        let blocks = dst.tile_blocks(&comp_bounds(&sxs, nx), &comp_bounds(&sys, ny));
+        let blocks = scratch.tile_blocks(&comp_bounds(&sxs, nx), &comp_bounds(&sys, ny));
         // tile_blocks returns block (bx, by) at index by * nbx + bx — the
         // same order as iterating sy outer, sx inner.
         let work: Vec<(BlockSpan, BlockSpan, Vec<&mut [T]>)> = sys
@@ -314,7 +403,7 @@ pub fn run_3d_cancellable<T: Real>(
             .map(|((sx, sy), strip)| (sx, sy, strip))
             .collect();
         let tally = Mutex::new(SimCounters::default());
-        let src_ref = &src;
+        let src_ref: &Grid3D<T> = out;
         let tally_ref = &tally;
         let partime = config.partime;
         work.into_par_iter().for_each(move |(sx, sy, mut strip)| {
@@ -332,10 +421,10 @@ pub fn run_3d_cancellable<T: Real>(
         counters.merge(&tally.into_inner().unwrap());
         counters.passes += 1;
         counters.pass_seconds.push(t_pass.elapsed().as_secs_f64());
-        src.swap(&mut dst);
+        out.swap(scratch);
     }
     counters.elapsed_seconds = t_run.elapsed().as_secs_f64();
-    Some((src, counters))
+    Some(counters)
 }
 
 /// One spatial block of one 3D pass (see [`run_block_2d`]).

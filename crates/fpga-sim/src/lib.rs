@@ -50,6 +50,7 @@ pub mod power;
 pub mod schedule;
 pub mod serial_ref;
 pub mod shift_register;
+pub mod spsc;
 pub mod threaded;
 pub mod timing;
 pub mod transfer;
@@ -60,10 +61,13 @@ pub use area::AreaEstimate;
 pub use counters::SimCounters;
 pub use device::FpgaDevice;
 pub use fmax::FmaxModel;
-pub use functional::{run_2d_cancellable, run_3d_cancellable};
+pub use functional::{
+    run_2d_cancellable, run_2d_cancellable_into, run_3d_cancellable, run_3d_cancellable_into,
+};
 pub use schedule::{CollapsedSchedule, LoopPoint};
 pub use serial_ref::{run_2d_serial, run_3d_serial};
 pub use shift_register::ShiftRegister;
+pub use spsc::SpscRing;
 pub use threaded::SimOptions;
 pub use timing::{GridDims, TimingOptions, TimingReport};
 pub use transfer::HostLink;

@@ -5,22 +5,30 @@
 //! replicated autorun compute kernels, and a write kernel, all running
 //! concurrently and connected by on-chip channels (Fig. 2). This module
 //! reproduces that structure literally: one thread per kernel, bounded
-//! in-process FIFOs in between (bounded, like the hardware FIFOs, so
-//! back-pressure propagates).
+//! lock-free SPSC rings ([`crate::spsc::SpscRing`]) in between — bounded,
+//! like the hardware FIFOs, so back-pressure propagates, and lock-free,
+//! like the hardware channels, so the steady-state handoff is one release
+//! store / acquire load per message.
 //!
 //! Threads and channels are created **once per chain pass** and reused
 //! across all spatial blocks of that pass — like the FPGA, where the
 //! kernels are resident and only the block stream changes. Block
 //! boundaries travel through the pipeline as `Msg::Block`/`Msg::EndBlock`
-//! markers; closing the head FIFO ends the pass and drains the pipeline.
+//! markers; closing the head ring ends the pass and drains the pipeline.
+//! Each ring sits between exactly two kernels (one sender thread, one
+//! receiver thread), which is what licenses the SPSC protocol.
+//!
+//! The `_into` variants ([`run_2d_opts_into`]/[`run_3d_opts_into`]) write
+//! into caller-provided output and scratch grids so a buffer pool can feed
+//! the simulator without any grid allocation; the plain entry points are
+//! thin allocate-then-delegate wrappers.
 //!
 //! Because every PE evaluates Eq. (1) in the canonical order, the threaded
 //! executor is **bit-identical** to [`crate::functional`] — concurrency
 //! reorders nothing that matters. The property is tested below.
 
 use crate::pe::{Pe2D, Pe3D};
-use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use crate::spsc::SpscRing;
 use stencil_core::{BlockConfig, BlockSpan, Dim, Grid2D, Grid3D, Real, Stencil2D, Stencil3D};
 
 /// Tunables for the threaded simulator.
@@ -41,67 +49,6 @@ impl Default for SimOptions {
             channel_depth: 8,
             lanes: None,
         }
-    }
-}
-
-/// A bounded MPSC FIFO on `Mutex` + `Condvar` — the std-only stand-in for a
-/// hardware channel. `send` blocks when full (back-pressure), `recv` blocks
-/// when empty, `close` ends the stream after the queue drains.
-struct Fifo<M> {
-    state: Mutex<FifoState<M>>,
-    not_empty: Condvar,
-    not_full: Condvar,
-    capacity: usize,
-}
-
-struct FifoState<M> {
-    queue: VecDeque<M>,
-    closed: bool,
-}
-
-impl<M> Fifo<M> {
-    fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "channel depth must be positive");
-        Self {
-            state: Mutex::new(FifoState {
-                queue: VecDeque::with_capacity(capacity),
-                closed: false,
-            }),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
-            capacity,
-        }
-    }
-
-    fn send(&self, msg: M) {
-        let mut st = self.state.lock().unwrap();
-        while st.queue.len() == self.capacity {
-            st = self.not_full.wait(st).unwrap();
-        }
-        st.queue.push_back(msg);
-        drop(st);
-        self.not_empty.notify_one();
-    }
-
-    fn recv(&self) -> Option<M> {
-        let mut st = self.state.lock().unwrap();
-        loop {
-            if let Some(msg) = st.queue.pop_front() {
-                drop(st);
-                self.not_full.notify_one();
-                return Some(msg);
-            }
-            if st.closed {
-                return None;
-            }
-            st = self.not_empty.wait(st).unwrap();
-        }
-    }
-
-    fn close(&self) {
-        self.state.lock().unwrap().closed = true;
-        self.not_empty.notify_all();
-        self.not_full.notify_all();
     }
 }
 
@@ -141,6 +88,29 @@ pub fn run_2d_opts<T: Real>(
     iters: usize,
     opts: &SimOptions,
 ) -> Grid2D<T> {
+    let mut out = grid.clone();
+    let mut scratch = grid.clone();
+    run_2d_opts_into(stencil, grid, config, iters, opts, &mut out, &mut scratch);
+    out
+}
+
+/// [`run_2d_opts`] writing the result into the caller-provided `out` grid,
+/// with `scratch` as the ping-pong buffer — the zero-allocation entry point
+/// for pooled serving. Both buffers must have `grid`'s shape; their prior
+/// contents are irrelevant (every pass fully overwrites its destination).
+///
+/// # Panics
+/// Panics when `config` is not a validated 2D configuration or the buffer
+/// shapes do not match `grid`.
+pub fn run_2d_opts_into<T: Real>(
+    stencil: &Stencil2D<T>,
+    grid: &Grid2D<T>,
+    config: &BlockConfig,
+    iters: usize,
+    opts: &SimOptions,
+    out: &mut Grid2D<T>,
+    scratch: &mut Grid2D<T>,
+) {
     assert_eq!(config.dim, Dim::D2, "2D run needs a 2D config");
     assert_eq!(
         config.rad,
@@ -148,22 +118,35 @@ pub fn run_2d_opts<T: Real>(
         "config/stencil radius mismatch"
     );
     config.validate().expect("invalid block configuration");
+    assert_eq!(
+        (out.nx(), out.ny()),
+        (grid.nx(), grid.ny()),
+        "out buffer shape mismatch"
+    );
+    assert_eq!(
+        (scratch.nx(), scratch.ny()),
+        (grid.nx(), grid.ny()),
+        "scratch buffer shape mismatch"
+    );
 
     let (nx, ny) = (grid.nx(), grid.ny());
     let lanes = opts.lanes.unwrap_or(config.parvec).max(1);
-    let mut src = grid.clone();
-    let mut dst = grid.clone();
+    // `out` always holds the latest completed pass; `scratch` is the
+    // in-flight destination, swapped (Vec pointers only) after each pass.
+    out.copy_from(grid);
 
     for active in crate::functional::passes(iters, config.partime) {
         let spans = config.spans_x(nx);
-        // One FIFO between consecutive kernels: read -> pe_0 -> … -> write.
-        let fifos: Vec<Fifo<Msg<T>>> = (0..=config.partime)
-            .map(|_| Fifo::new(opts.channel_depth))
+        // One SPSC ring between consecutive kernels: read -> pe_0 -> … ->
+        // write; each ring has exactly one sender and one receiver thread.
+        let fifos: Vec<SpscRing<Msg<T>>> = (0..=config.partime)
+            .map(|_| SpscRing::new(opts.channel_depth))
             .collect();
+        let src_ref: &Grid2D<T> = out;
+        let dst = &mut *scratch;
 
         std::thread::scope(|s| {
             // Read kernel: streams every block of the pass.
-            let src_ref = &src;
             let head = &fifos[0];
             let read_spans = spans.clone();
             s.spawn(move || {
@@ -237,9 +220,8 @@ pub fn run_2d_opts<T: Real>(
                 }
             }
         });
-        src.swap(&mut dst);
+        out.swap(scratch);
     }
-    src
 }
 
 /// Runs the 3D accelerator with one thread per kernel and default
@@ -267,6 +249,28 @@ pub fn run_3d_opts<T: Real>(
     iters: usize,
     opts: &SimOptions,
 ) -> Grid3D<T> {
+    let mut out = grid.clone();
+    let mut scratch = grid.clone();
+    run_3d_opts_into(stencil, grid, config, iters, opts, &mut out, &mut scratch);
+    out
+}
+
+/// [`run_3d_opts`] writing the result into the caller-provided `out` grid,
+/// with `scratch` as the ping-pong buffer (see [`run_2d_opts_into`]).
+///
+/// # Panics
+/// Panics when `config` is not a validated 3D configuration or the buffer
+/// shapes do not match `grid`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_3d_opts_into<T: Real>(
+    stencil: &Stencil3D<T>,
+    grid: &Grid3D<T>,
+    config: &BlockConfig,
+    iters: usize,
+    opts: &SimOptions,
+    out: &mut Grid3D<T>,
+    scratch: &mut Grid3D<T>,
+) {
     assert_eq!(config.dim, Dim::D3, "3D run needs a 3D config");
     assert_eq!(
         config.rad,
@@ -274,11 +278,20 @@ pub fn run_3d_opts<T: Real>(
         "config/stencil radius mismatch"
     );
     config.validate().expect("invalid block configuration");
+    assert_eq!(
+        (out.nx(), out.ny(), out.nz()),
+        (grid.nx(), grid.ny(), grid.nz()),
+        "out buffer shape mismatch"
+    );
+    assert_eq!(
+        (scratch.nx(), scratch.ny(), scratch.nz()),
+        (grid.nx(), grid.ny(), grid.nz()),
+        "scratch buffer shape mismatch"
+    );
 
     let (nx, ny, nz) = (grid.nx(), grid.ny(), grid.nz());
     let lanes = opts.lanes.unwrap_or(config.parvec).max(1);
-    let mut src = grid.clone();
-    let mut dst = grid.clone();
+    out.copy_from(grid);
 
     for active in crate::functional::passes(iters, config.partime) {
         // Flatten the 2D block schedule: sy outer, sx inner.
@@ -287,12 +300,13 @@ pub fn run_3d_opts<T: Real>(
             .into_iter()
             .flat_map(|sy| config.spans_x(nx).into_iter().map(move |sx| (sx, sy)))
             .collect();
-        let fifos: Vec<Fifo<Msg<T>>> = (0..=config.partime)
-            .map(|_| Fifo::new(opts.channel_depth))
+        let fifos: Vec<SpscRing<Msg<T>>> = (0..=config.partime)
+            .map(|_| SpscRing::new(opts.channel_depth))
             .collect();
+        let src_ref: &Grid3D<T> = out;
+        let dst = &mut *scratch;
 
         std::thread::scope(|s| {
-            let src_ref = &src;
             let head = &fifos[0];
             let read_blocks = blocks.clone();
             s.spawn(move || {
@@ -379,9 +393,8 @@ pub fn run_3d_opts<T: Real>(
                 }
             }
         });
-        src.swap(&mut dst);
+        out.swap(scratch);
     }
-    src
 }
 
 #[cfg(test)]
@@ -446,30 +459,61 @@ mod tests {
     }
 
     #[test]
-    fn fifo_close_drains_queue_first() {
-        let f = Fifo::new(4);
-        f.send(1u32);
-        f.send(2);
-        f.close();
-        assert_eq!(f.recv(), Some(1));
-        assert_eq!(f.recv(), Some(2));
-        assert_eq!(f.recv(), None);
+    fn shallow_channels_still_correct_3d() {
+        // The 3D chain moves whole planes over the rings; depth 1 forces a
+        // full/empty transition on every hop.
+        let st = Stencil3D::<f32>::random(2, 72).unwrap();
+        let cfg = BlockConfig::new_3d(2, 24, 24, 2, 2).unwrap();
+        let grid = Grid3D::from_fn(18, 13, 6, |x, y, z| ((x * 5 + y * 3 + z) % 19) as f32).unwrap();
+        let opts = SimOptions {
+            channel_depth: 1,
+            ..Default::default()
+        };
+        let got = run_3d_opts(&st, &grid, &cfg, 5, &opts);
+        assert_eq!(got, exec::run_3d(&st, &grid, 5));
     }
 
     #[test]
-    fn fifo_backpressure_blocks_until_drained() {
-        let f = Fifo::new(1);
-        f.send(0u32);
-        std::thread::scope(|s| {
-            s.spawn(|| {
-                // Blocks until the main thread drains one slot.
-                f.send(1);
-                f.close();
-            });
-            std::thread::sleep(std::time::Duration::from_millis(10));
-            assert_eq!(f.recv(), Some(0));
-            assert_eq!(f.recv(), Some(1));
-            assert_eq!(f.recv(), None);
-        });
+    fn into_variant_overwrites_dirty_buffers_2d() {
+        // Pool-style reuse: out and scratch arrive full of garbage; the
+        // `_into` path must fully overwrite them.
+        let st = Stencil2D::<f32>::random(2, 44).unwrap();
+        let cfg = BlockConfig::new_2d(2, 64, 4, 2).unwrap();
+        let grid = Grid2D::from_fn(77, 19, |x, y| ((x * 3 + y) % 23) as f32).unwrap();
+        for iters in [0usize, 1, 2, 5] {
+            let mut out = Grid2D::filled(77, 19, f32::NAN).unwrap();
+            let mut scratch = Grid2D::filled(77, 19, -1.0e30f32).unwrap();
+            run_2d_opts_into(
+                &st,
+                &grid,
+                &cfg,
+                iters,
+                &SimOptions::default(),
+                &mut out,
+                &mut scratch,
+            );
+            assert_eq!(out, exec::run_2d(&st, &grid, iters), "iters {iters}");
+        }
+    }
+
+    #[test]
+    fn into_variant_overwrites_dirty_buffers_3d() {
+        let st = Stencil3D::<f32>::random(1, 45).unwrap();
+        let cfg = BlockConfig::new_3d(1, 24, 24, 2, 4).unwrap();
+        let grid = Grid3D::from_fn(14, 12, 5, |x, y, z| ((x + y + z) % 7) as f32).unwrap();
+        for iters in [0usize, 3, 5] {
+            let mut out = Grid3D::filled(14, 12, 5, f32::NAN).unwrap();
+            let mut scratch = Grid3D::filled(14, 12, 5, f32::INFINITY).unwrap();
+            run_3d_opts_into(
+                &st,
+                &grid,
+                &cfg,
+                iters,
+                &SimOptions::default(),
+                &mut out,
+                &mut scratch,
+            );
+            assert_eq!(out, exec::run_3d(&st, &grid, iters), "iters {iters}");
+        }
     }
 }

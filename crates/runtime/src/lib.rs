@@ -42,6 +42,7 @@ pub mod cancel;
 pub mod job;
 pub mod metrics;
 pub mod planner;
+pub mod pool;
 pub mod queue;
 pub mod report;
 pub mod retry;
@@ -53,6 +54,7 @@ pub use cancel::CancelToken;
 pub use job::{Backend, JobResult, JobSpec, Outcome, Priority};
 pub use metrics::MetricsRegistry;
 pub use planner::{PlanChoice, PlanError, PlanMode, Planner, PlannerConfig, ShapeKey};
+pub use pool::{GridLease2D, GridLease3D, GridPool, PoolConfig, PoolStats, StencilMemo};
 pub use queue::{AdmissionQueue, PushError};
 pub use report::{validate_report_json, LatencySummary, PlannerReport, ServeReport};
 pub use retry::RetryPolicy;

@@ -14,8 +14,10 @@ use stencil_core::BlockConfig;
 /// Current `schema_version` written by [`ServeReport::build`].
 ///
 /// Version history: 1 = PR-3 serving report; 2 = adds the mandatory
-/// `planner` section (auto-planning decisions and plan-cache statistics).
-pub const SCHEMA_VERSION: u64 = 2;
+/// `planner` section (auto-planning decisions and plan-cache statistics);
+/// 3 = adds the mandatory `memory` section (grid-pool and stencil-memo
+/// statistics from the zero-allocation data path).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Latency distribution summary (milliseconds).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -171,6 +173,60 @@ impl PlannerReport {
     }
 }
 
+/// The `memory` section: how much allocation work the pooled data path
+/// avoided. All counts come straight from the runtime's [`MetricsRegistry`]
+/// — the same counters the `GridPool` and `StencilMemo` maintain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Grid leases served from a pool free list.
+    pub pool_hits: u64,
+    /// Grid leases that allocated a fresh buffer (cold classes).
+    pub pool_misses: u64,
+    /// Buffers handed back to a free list on lease drop.
+    pub pool_returns: u64,
+    /// Buffers dropped on return because their class list was full.
+    pub pool_discards: u64,
+    /// `pool_hits / (pool_hits + pool_misses)` (0 when nothing was leased).
+    pub pool_hit_rate: f64,
+    /// Heap allocations the pool avoided — identical to `pool_hits`, named
+    /// for the headline it is.
+    pub allocations_avoided: u64,
+    /// Cumulative bytes served from recycled buffers.
+    pub bytes_pooled: u64,
+    /// Most bytes ever parked in the free lists at once.
+    pub pool_resident_bytes_high_water: u64,
+    /// Stencil constructions answered from the memo.
+    pub stencil_memo_hits: u64,
+    /// Stencil constructions that had to build coefficients.
+    pub stencil_memo_misses: u64,
+}
+
+impl MemoryReport {
+    /// Folds the pool and memo counters into the report section.
+    fn build(metrics: &MetricsRegistry) -> MemoryReport {
+        let count = |name: &str| metrics.counter(name).get();
+        let hits = count("pool_hits");
+        let misses = count("pool_misses");
+        MemoryReport {
+            pool_hits: hits,
+            pool_misses: misses,
+            pool_returns: count("pool_returns"),
+            pool_discards: count("pool_discards"),
+            pool_hit_rate: if hits + misses > 0 {
+                hits as f64 / (hits + misses) as f64
+            } else {
+                0.0
+            },
+            allocations_avoided: hits,
+            bytes_pooled: count("pool_bytes_pooled"),
+            pool_resident_bytes_high_water: metrics.gauge("pool_resident_bytes").high_water().max(0)
+                as u64,
+            stencil_memo_hits: count("stencil_memo_hits"),
+            stencil_memo_misses: count("stencil_memo_misses"),
+        }
+    }
+}
+
 /// The complete load-test report (`BENCH_serve.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -230,6 +286,8 @@ pub struct ServeReport {
     pub backends: Vec<BackendReport>,
     /// Auto-planning decisions and plan-cache statistics.
     pub planner: PlannerReport,
+    /// Grid-pool and stencil-memo statistics (the zero-allocation path).
+    pub memory: MemoryReport,
 }
 
 impl ServeReport {
@@ -319,6 +377,7 @@ impl ServeReport {
             total_ms: LatencySummary::from_histogram(metrics, "total_ms"),
             backends,
             planner: PlannerReport::build(metrics, planner_shapes),
+            memory: MemoryReport::build(metrics),
         }
     }
 
@@ -425,7 +484,34 @@ pub fn validate_report_json(text: &str) -> Result<usize, String> {
         }
     }
     validate_planner(&report.planner)?;
+    validate_memory(&report.memory)?;
     Ok(report.backends.len())
+}
+
+/// Schema and accounting checks for the `memory` section.
+fn validate_memory(m: &MemoryReport) -> Result<(), String> {
+    let leases = m.pool_hits + m.pool_misses;
+    let expected_rate = if leases > 0 {
+        m.pool_hits as f64 / leases as f64
+    } else {
+        0.0
+    };
+    if !m.pool_hit_rate.is_finite() || (m.pool_hit_rate - expected_rate).abs() > 1e-9 {
+        return Err(format!(
+            "memory.pool_hit_rate {} inconsistent with hits/(hits+misses)",
+            m.pool_hit_rate
+        ));
+    }
+    if m.allocations_avoided != m.pool_hits {
+        return Err("memory: allocations_avoided != pool_hits".into());
+    }
+    if m.pool_returns + m.pool_discards > leases {
+        return Err("memory: returns + discards exceed leases taken".into());
+    }
+    if m.pool_hits > 0 && m.bytes_pooled == 0 {
+        return Err("memory: pool hits recorded but bytes_pooled is 0".into());
+    }
+    Ok(())
 }
 
 /// Schema and accounting checks for the `planner` section.
@@ -551,6 +637,14 @@ mod tests {
         }
         metrics.histogram("run_ms_functional").record(1.0);
         metrics.histogram("run_ms_serial_ref").record(0.0);
+        // Pool activity consistent with two jobs sharing one shape class.
+        metrics.counter("pool_misses").add(3);
+        metrics.counter("pool_hits").add(3);
+        metrics.counter("pool_returns").add(6);
+        metrics.counter("pool_bytes_pooled").add(3 * 400);
+        metrics.gauge("pool_resident_bytes").add(3 * 4096);
+        metrics.counter("stencil_memo_misses").add(2);
+        metrics.counter("stencil_memo_hits").add(1);
         ServeReport::build("synthetic", 42, true, 2, &results, &metrics, &[], 0, 0.5)
     }
 
@@ -676,6 +770,64 @@ mod tests {
         };
         let err = validate_report_json(&stripped).unwrap_err();
         assert!(err.contains("planner"), "{err}");
+    }
+
+    #[test]
+    fn memory_section_validates_and_rejects_drift() {
+        let report = sample_report();
+        assert_eq!(report.memory.pool_hits, 3);
+        assert_eq!(report.memory.allocations_avoided, 3);
+        assert!((report.memory.pool_hit_rate - 0.5).abs() < 1e-12);
+        assert_eq!(report.memory.pool_resident_bytes_high_water, 3 * 4096);
+        validate_report_json(&serde_json::to_string(&report).unwrap()).unwrap();
+
+        // Inconsistent hit rate.
+        let mut bad = sample_report();
+        bad.memory.pool_hit_rate = 0.99;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("pool_hit_rate"), "{err}");
+
+        // Headline count diverging from the counter it mirrors.
+        let mut bad = sample_report();
+        bad.memory.allocations_avoided += 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("allocations_avoided"), "{err}");
+
+        // More buffers returned than ever leased.
+        let mut bad = sample_report();
+        bad.memory.pool_returns = 100;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("returns + discards"), "{err}");
+
+        // Hits without any recycled bytes is impossible for nonempty grids.
+        let mut bad = sample_report();
+        bad.memory.bytes_pooled = 0;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("bytes_pooled"), "{err}");
+
+        // A schema-v2 report (no memory section) fails the parse.
+        let json = serde_json::to_string(&sample_report()).unwrap();
+        let start = json.find(",\"memory\":").unwrap();
+        let stripped = format!("{}}}", &json[..start]);
+        let err = validate_report_json(&stripped).unwrap_err();
+        assert!(err.contains("memory"), "{err}");
+    }
+
+    #[test]
+    fn empty_pool_counters_still_validate() {
+        // A replayed workload that never leased anything must still emit a
+        // structurally valid (all-zero) memory section.
+        let metrics = MetricsRegistry::new();
+        let results = vec![result(1, Backend::Functional, Outcome::Completed)];
+        metrics.counter("jobs_submitted").inc();
+        metrics.counter("jobs_admitted").inc();
+        metrics.counter("jobs_completed").inc();
+        for name in ["queue_wait_ms", "run_ms", "total_ms", "run_ms_functional"] {
+            metrics.histogram(name).record(1.0);
+        }
+        let report = ServeReport::build("jsonl", 0, false, 1, &results, &metrics, &[], 0, 0.5);
+        assert_eq!(report.memory.pool_hit_rate, 0.0);
+        validate_report_json(&serde_json::to_string(&report).unwrap()).unwrap();
     }
 
     #[test]

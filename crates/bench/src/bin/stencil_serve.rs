@@ -3,11 +3,12 @@
 //! ```text
 //! stencil_serve --synthetic [--jobs N] [--seed S] [--quick]
 //!               [--shadow-pct P] [--queue-cap C] [--workers W]
-//!               [--auto-plan] [--plan-explain]
+//!               [--auto-plan] [--plan-explain] [--device ddr|hbm]
 //!               [--out BENCH_serve.json]
 //! stencil_serve --workload FILE.jsonl [--out FILE]
 //! stencil_serve --synthetic --emit-workload FILE.jsonl [--jobs N] [--seed S]
 //! stencil_serve --check-report FILE [--min-pool-hit-rate F]
+//! stencil_serve --diff-winners A.json B.json
 //! ```
 //!
 //! `--synthetic` generates a seeded, deterministic open-loop workload
@@ -23,7 +24,15 @@
 //! the runtime's model-guided planner picks the backend and block
 //! configuration per job, refining its choice from measured throughput.
 //! `--plan-explain` additionally dumps each shape class's ranked candidate
-//! table after the run.
+//! table after the run. `--device` selects the memory profile the planner
+//! models: `ddr` (Arria 10, two channels, the default) confines every shape
+//! to a single deep-temporal chain, while `hbm` (Stratix 10 MX, 32
+//! channels) opens the hybrid replicas-by-partime axis.
+//!
+//! `--diff-winners` compares the planner sections of two emitted reports
+//! (e.g. a DDR run and an HBM run of the same workload) and exits 0 only
+//! when at least one common shape class picked a different winning plan —
+//! the CI assertion that the memory profile actually changes decisions.
 //!
 //! Exit status: 0 for a healthy run (zero shadow mismatches, zero wedged
 //! workers, every admitted job terminal), 1 for an unhealthy one, 2 for
@@ -33,8 +42,8 @@
 use std::time::Duration;
 use stencil_runtime::workload::{arrival_gaps_us, parse_jsonl, to_jsonl};
 use stencil_runtime::{
-    validate_report_json, PlanMode, Runtime, RuntimeConfig, ServeReport, SubmitError,
-    SyntheticParams,
+    validate_report_json, DeviceProfile, PlanMode, Runtime, RuntimeConfig, ServeReport,
+    SubmitError, SyntheticParams,
 };
 
 #[derive(Debug)]
@@ -48,11 +57,13 @@ struct Args {
     workers: usize,
     auto_plan: bool,
     plan_explain: bool,
+    device: DeviceProfile,
     out: String,
     workload: Option<String>,
     emit_workload: Option<String>,
     check: Option<String>,
     min_pool_hit_rate: Option<f64>,
+    diff_winners: Option<(String, String)>,
 }
 
 fn parse_args() -> Args {
@@ -66,11 +77,13 @@ fn parse_args() -> Args {
         workers: 2,
         auto_plan: false,
         plan_explain: false,
+        device: DeviceProfile::default(),
         out: "BENCH_serve.json".into(),
         workload: None,
         emit_workload: None,
         check: None,
         min_pool_hit_rate: None,
+        diff_winners: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -89,10 +102,18 @@ fn parse_args() -> Args {
             "--workers" => a.workers = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--auto-plan" => a.auto_plan = true,
             "--plan-explain" => a.plan_explain = true,
+            "--device" => {
+                a.device = DeviceProfile::parse(&take(&mut i)).unwrap_or_else(|| usage());
+            }
             "--out" => a.out = take(&mut i),
             "--workload" => a.workload = Some(take(&mut i)),
             "--emit-workload" => a.emit_workload = Some(take(&mut i)),
             "--check-report" => a.check = Some(take(&mut i)),
+            "--diff-winners" => {
+                let left = take(&mut i);
+                let right = take(&mut i);
+                a.diff_winners = Some((left, right));
+            }
             "--min-pool-hit-rate" => {
                 let v: f64 = take(&mut i).parse().unwrap_or_else(|_| usage());
                 if !(0.0..=1.0).contains(&v) {
@@ -108,7 +129,10 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    let modes = a.synthetic as usize + a.workload.is_some() as usize + a.check.is_some() as usize;
+    let modes = a.synthetic as usize
+        + a.workload.is_some() as usize
+        + a.check.is_some() as usize
+        + a.diff_winners.is_some() as usize;
     if modes != 1 || a.jobs == 0 || a.shadow_pct > 100 || a.queue_cap == 0 || a.workers == 0 {
         usage();
     }
@@ -122,10 +146,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: stencil_serve --synthetic [--jobs N] [--seed S] [--quick] \
          [--shadow-pct P] [--queue-cap C] [--workers W] [--auto-plan] \
-         [--plan-explain] [--out FILE]\
+         [--plan-explain] [--device ddr|hbm] [--out FILE]\
          \n       stencil_serve --workload FILE.jsonl [--auto-plan] [--out FILE]\
          \n       stencil_serve --synthetic --emit-workload FILE.jsonl [--jobs N] [--seed S]\
-         \n       stencil_serve --check-report FILE [--min-pool-hit-rate F]"
+         \n       stencil_serve --check-report FILE [--min-pool-hit-rate F]\
+         \n       stencil_serve --diff-winners A.json B.json"
     );
     std::process::exit(2);
 }
@@ -134,6 +159,10 @@ fn main() {
     let a = parse_args();
     if let Some(file) = &a.check {
         check_report(file, a.min_pool_hit_rate);
+        return;
+    }
+    if let Some((left, right)) = &a.diff_winners {
+        diff_winners(left, right);
         return;
     }
 
@@ -175,12 +204,13 @@ fn main() {
 
     println!(
         "stencil_serve: {kind} workload, {} jobs (seed {seed}{}), \
-         queue cap {}, {} workers/shard, shadow {}%{}",
+         queue cap {}, {} workers/shard, shadow {}%, device {}{}",
         specs.len(),
         if a.quick { ", quick" } else { "" },
         a.queue_cap,
         a.workers,
         a.shadow_pct,
+        a.device,
         if a.auto_plan { ", auto-planned" } else { "" },
     );
 
@@ -188,6 +218,7 @@ fn main() {
         queue_capacity: a.queue_cap,
         workers_per_shard: a.workers,
         shadow_percent: a.shadow_pct,
+        device: a.device,
         ..RuntimeConfig::default()
     });
 
@@ -214,6 +245,7 @@ fn main() {
         kind,
         seed,
         a.quick,
+        a.device,
         jobs_requested,
         &outcome.results,
         &metrics,
@@ -316,12 +348,13 @@ fn print_plan_tables(shapes: &[stencil_runtime::planner::ShapeSnapshot]) {
         );
         for (i, c) in s.candidates.iter().enumerate() {
             println!(
-                "    #{i}: {:>10} bsize {}x{} parvec {} partime {}  score {:.3}{}",
+                "    #{i}: {:>10} bsize {}x{} parvec {} partime {} replicas {}  score {:.3}{}",
                 c.backend.name(),
                 c.config.bsize_x,
                 c.config.bsize_y,
                 c.config.parvec,
                 c.config.partime,
+                c.replicas,
                 c.score,
                 if i == s.best_index { "  <- winner" } else { "" },
             );
@@ -362,5 +395,97 @@ fn check_report(path: &str, min_pool_hit_rate: Option<f64>) {
             "{path}: pool hit rate {:.3} >= {min:.3}",
             report.memory.pool_hit_rate
         );
+    }
+}
+
+/// The `--diff-winners` gate: both reports must validate, and at least one
+/// shape class present in both must have picked a different winning plan.
+/// Exit 0 when the profiles disagree somewhere, 1 when every common shape
+/// class chose the same plan (or the reports share no shape classes), 2 on
+/// unreadable or invalid input.
+fn diff_winners(left_path: &str, right_path: &str) {
+    let load = |path: &str| -> ServeReport {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("stencil_serve: {path}: cannot read: {e}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(msg) = validate_report_json(&text) {
+            eprintln!("stencil_serve: {path}: {msg}");
+            std::process::exit(2);
+        }
+        serde_json::from_str(&text).expect("validated above")
+    };
+    let left = load(left_path);
+    let right = load(right_path);
+
+    // Winning plan per shape class, keyed by the report's shape label.
+    type Plan = (String, u64, u64, u64, u64, u64);
+    let winners = |r: &ServeReport| -> Vec<(String, Plan)> {
+        r.planner
+            .shapes
+            .iter()
+            .map(|s| {
+                (
+                    s.key.clone(),
+                    (
+                        s.backend.clone(),
+                        s.bsize_x,
+                        s.bsize_y,
+                        s.parvec,
+                        s.partime,
+                        s.replicas,
+                    ),
+                )
+            })
+            .collect()
+    };
+    let l = winners(&left);
+    let r = winners(&right);
+
+    let mut common = 0usize;
+    let mut differing = 0usize;
+    for (key, lw) in &l {
+        let Some((_, rw)) = r.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        common += 1;
+        if lw != rw {
+            differing += 1;
+            println!(
+                "shape {key}: {} ({}) picked {}/{}x{}/pv{}/pt{}/r{} vs {} ({}) {}/{}x{}/pv{}/pt{}/r{}",
+                left_path,
+                left.device_profile,
+                lw.0,
+                lw.1,
+                lw.2,
+                lw.3,
+                lw.4,
+                lw.5,
+                right_path,
+                right.device_profile,
+                rw.0,
+                rw.1,
+                rw.2,
+                rw.3,
+                rw.4,
+                rw.5,
+            );
+        }
+    }
+    println!(
+        "{differing} of {common} common shape classes picked different winners \
+         ({left_path}: {}, {right_path}: {})",
+        left.device_profile, right.device_profile
+    );
+    if common == 0 {
+        eprintln!("stencil_serve: the reports share no shape classes");
+        std::process::exit(1);
+    }
+    if differing == 0 {
+        eprintln!("stencil_serve: the two profiles agreed on every common shape class");
+        std::process::exit(1);
     }
 }

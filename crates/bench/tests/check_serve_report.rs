@@ -72,6 +72,61 @@ fn corrupted_memory_section_exits_2() {
 }
 
 #[test]
+fn hbm_golden_report_passes_with_exit_0() {
+    // The HBM-profile golden carries replicated-chain winners; the
+    // validator must accept replica counts that are powers of two within
+    // the claimed channel budget.
+    let (code, stderr) = check(&fixture("serve_report_golden_hbm.json"));
+    assert_eq!(code, 0, "stderr: {stderr}");
+}
+
+#[test]
+fn corrupted_replica_axis_exits_2() {
+    // The fixture is the HBM golden with one shape's winning `replicas`
+    // rewritten to 3 — a count the tuner never enumerates.
+    let (code, stderr) = check(&fixture("serve_report_bad_replicas.json"));
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("replicas 3 invalid"), "stderr: {stderr}");
+}
+
+/// Runs `stencil_serve --diff-winners <a> <b>`; returns (exit code, stdout,
+/// stderr).
+fn diff(a: &Path, b: &Path) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_stencil_serve"))
+        .args(["--diff-winners", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("run stencil_serve");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn diff_winners_detects_profile_divergence() {
+    // DDR and HBM goldens come from the same seeded workload; the memory
+    // profile must change at least one shape class's winning plan.
+    let ddr = fixture("serve_report_golden.json");
+    let hbm = fixture("serve_report_golden_hbm.json");
+    let (code, stdout, stderr) = diff(&ddr, &hbm);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("picked different winners"), "{stdout}");
+
+    // A report diffed against itself agrees everywhere: exit 1.
+    let (code, _, stderr) = diff(&ddr, &ddr);
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(
+        stderr.contains("agreed on every common shape class"),
+        "{stderr}"
+    );
+
+    // An invalid input is a usage error, not a disagreement.
+    let (code, _, _) = diff(&ddr, Path::new("/nonexistent/no_such.json"));
+    assert_eq!(code, 2);
+}
+
+#[test]
 fn min_pool_hit_rate_gate() {
     // The golden fixture pools some but not all leases: a 0 threshold
     // passes, a perfect-rate demand fails (the first lease of every shape

@@ -26,12 +26,50 @@ pub fn wavefront_2d<T: Real>(
     block_x: usize,
     tsteps: usize,
 ) -> Grid2D<T> {
+    let mut out = grid.clone();
+    let mut scratch = grid.clone();
+    wavefront_2d_into(st, grid, iters, block_x, tsteps, &mut out, &mut scratch);
+    out
+}
+
+/// [`wavefront_2d`] writing the result into the caller-provided `out` grid,
+/// with `scratch` as the ping-pong buffer — the zero-allocation entry point
+/// for pooled serving. Both buffers must have `grid`'s shape; their prior
+/// contents are irrelevant (every sweep commits the full grid). The
+/// per-block in-cache working set (two `(block_x + 2·halo) × ny` buffers)
+/// remains the algorithm's own: it is the cache-resident footprint the
+/// technique is built around, not a grid-sized allocation. The result lands
+/// in `out`.
+///
+/// # Panics
+/// Panics when `block_x == 0`, `tsteps == 0`, or the buffer shapes do not
+/// match `grid`.
+pub fn wavefront_2d_into<T: Real>(
+    st: &Stencil2D<T>,
+    grid: &Grid2D<T>,
+    iters: usize,
+    block_x: usize,
+    tsteps: usize,
+    out: &mut Grid2D<T>,
+    scratch: &mut Grid2D<T>,
+) {
     assert!(block_x > 0, "block_x must be positive");
     assert!(tsteps > 0, "tsteps must be positive");
+    assert_eq!(
+        (out.nx(), out.ny()),
+        (grid.nx(), grid.ny()),
+        "out buffer shape mismatch"
+    );
+    assert_eq!(
+        (scratch.nx(), scratch.ny()),
+        (grid.nx(), grid.ny()),
+        "scratch buffer shape mismatch"
+    );
     let (nx, ny) = (grid.nx(), grid.ny());
     let rad = st.radius();
-    let mut cur = grid.clone();
-    let mut out = grid.clone();
+    // `out` always holds the latest completed sweep; `scratch` is the
+    // in-flight destination, exchanged (Vec pointers only) per sweep.
+    out.copy_from(grid);
 
     let mut left = iters;
     while left > 0 {
@@ -47,7 +85,7 @@ pub fn wavefront_2d<T: Real>(
             let mut a: Vec<T> = Vec::with_capacity(bw * ny);
             for y in 0..ny {
                 for j in 0..bw {
-                    a.push(cur.get_clamped(r0 + j as isize, y as isize));
+                    a.push(out.get_clamped(r0 + j as isize, y as isize));
                 }
             }
             let mut b = a.clone();
@@ -62,15 +100,14 @@ pub fn wavefront_2d<T: Real>(
             for y in 0..ny {
                 for gx in x0..x1 {
                     let j = (gx as isize - r0) as usize;
-                    out.set(gx, y, a[y * bw + j]);
+                    scratch.set(gx, y, a[y * bw + j]);
                 }
             }
             x0 = x1;
         }
-        cur.swap(&mut out);
+        out.swap(scratch);
         left -= t;
     }
-    cur
 }
 
 /// One time step over a scratch block whose column `j` is global
@@ -123,11 +160,54 @@ pub fn wavefront_3d<T: Real>(
     block_y: usize,
     tsteps: usize,
 ) -> Grid3D<T> {
+    let mut out = grid.clone();
+    let mut scratch = grid.clone();
+    wavefront_3d_into(
+        st,
+        grid,
+        iters,
+        block_x,
+        block_y,
+        tsteps,
+        &mut out,
+        &mut scratch,
+    );
+    out
+}
+
+/// [`wavefront_3d`] writing the result into the caller-provided `out` grid,
+/// with `scratch` as the ping-pong buffer (see [`wavefront_2d_into`] for
+/// the buffer contract; the per-block in-cache working set likewise remains
+/// internal).
+///
+/// # Panics
+/// Panics when any block extent or `tsteps` is zero, or the buffer shapes
+/// do not match `grid`.
+#[allow(clippy::too_many_arguments)]
+pub fn wavefront_3d_into<T: Real>(
+    st: &Stencil3D<T>,
+    grid: &Grid3D<T>,
+    iters: usize,
+    block_x: usize,
+    block_y: usize,
+    tsteps: usize,
+    out: &mut Grid3D<T>,
+    scratch: &mut Grid3D<T>,
+) {
     assert!(block_x > 0 && block_y > 0, "block extents must be positive");
     assert!(tsteps > 0, "tsteps must be positive");
+    assert_eq!(
+        (out.nx(), out.ny(), out.nz()),
+        (grid.nx(), grid.ny(), grid.nz()),
+        "out buffer shape mismatch"
+    );
+    assert_eq!(
+        (scratch.nx(), scratch.ny(), scratch.nz()),
+        (grid.nx(), grid.ny(), grid.nz()),
+        "scratch buffer shape mismatch"
+    );
     let (nx, ny, nz) = (grid.nx(), grid.ny(), grid.nz());
-    let mut cur = grid.clone();
-    let mut out = grid.clone();
+    out.copy_from(grid);
 
     let mut left = iters;
     while left > 0 {
@@ -149,7 +229,7 @@ pub fn wavefront_3d<T: Real>(
                 for z in 0..nz {
                     for i in 0..bh {
                         for j in 0..bw {
-                            a.push(cur.get_clamped(rx + j as isize, ry + i as isize, z as isize));
+                            a.push(out.get_clamped(rx + j as isize, ry + i as isize, z as isize));
                         }
                     }
                 }
@@ -163,7 +243,7 @@ pub fn wavefront_3d<T: Real>(
                         let i = (gy as isize - ry) as usize;
                         for gx in x0..x1 {
                             let j = (gx as isize - rx) as usize;
-                            out.set(gx, gy, z, a[(z * bh + i) * bw + j]);
+                            scratch.set(gx, gy, z, a[(z * bh + i) * bw + j]);
                         }
                     }
                 }
@@ -171,10 +251,9 @@ pub fn wavefront_3d<T: Real>(
             }
             y0 = y1;
         }
-        cur.swap(&mut out);
+        out.swap(scratch);
         left -= t;
     }
-    cur
 }
 
 /// One fused 3D step over a scratch block; taps clamp by global coordinate

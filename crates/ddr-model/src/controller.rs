@@ -27,6 +27,117 @@ pub enum BufferMapping {
     },
 }
 
+/// Board-level external-memory profile: which timing set the banks run and
+/// how many independent channels the board exposes.
+///
+/// `Ddr` is the paper's platform (two DDR4-2133 banks, dedicated buffer
+/// placement); `Hbm` is an HBM2-class stack of pseudo-channels
+/// (address-interleaved, one shallow queue per channel). The profile is the
+/// single switch the rest of the stack keys on: the performance model's
+/// bandwidth-per-replica math, the tuner's replica axis, and the serving
+/// report's `device_profile` field all derive from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryProfile {
+    /// Two dedicated DDR4-2133 banks (Nallatech 385A).
+    Ddr,
+    /// `channels` HBM2 pseudo-channels, address-interleaved.
+    Hbm {
+        /// Independent pseudo-channels (32 on a full Stratix 10 MX device).
+        channels: usize,
+    },
+}
+
+impl MemoryProfile {
+    /// The full-device HBM2 profile (two stacks, 32 pseudo-channels).
+    pub fn hbm32() -> Self {
+        MemoryProfile::Hbm { channels: 32 }
+    }
+
+    /// Per-channel timing set for this profile.
+    pub fn timings(&self) -> DdrTimings {
+        match self {
+            MemoryProfile::Ddr => DdrTimings::ddr4_2133(),
+            MemoryProfile::Hbm { .. } => DdrTimings::hbm2_pseudo_channel(),
+        }
+    }
+
+    /// Independent channels the profile exposes.
+    pub fn channels(&self) -> usize {
+        match self {
+            MemoryProfile::Ddr => 2,
+            MemoryProfile::Hbm { channels } => *channels,
+        }
+    }
+
+    /// Theoretical peak bandwidth across all channels, GB/s.
+    pub fn peak_gbps(&self) -> f64 {
+        self.channels() as f64 * self.timings().peak_gbps()
+    }
+
+    /// Builds the cycle-level controller for this profile: dedicated
+    /// placement on DDR (the paper's configuration), row-granularity
+    /// address interleave across HBM pseudo-channels.
+    ///
+    /// # Panics
+    /// Panics when an `Hbm` profile claims zero channels.
+    pub fn controller(&self) -> Controller {
+        match self {
+            MemoryProfile::Ddr => Controller::nallatech_385a(),
+            MemoryProfile::Hbm { channels } => Controller::hbm(*channels),
+        }
+    }
+
+    /// Short stable name (`"ddr"` / `"hbm"`), the serve report vocabulary.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MemoryProfile::Ddr => "ddr",
+            MemoryProfile::Hbm { .. } => "hbm",
+        }
+    }
+
+    /// Parses [`MemoryProfile::name`] output; `"hbm"` maps to the full
+    /// 32-pseudo-channel device.
+    pub fn parse(s: &str) -> Option<MemoryProfile> {
+        match s {
+            "ddr" => Some(MemoryProfile::Ddr),
+            "hbm" => Some(MemoryProfile::hbm32()),
+            _ => None,
+        }
+    }
+}
+
+impl serde::Serialize for MemoryProfile {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            MemoryProfile::Ddr => serde::Value::Str("ddr".into()),
+            MemoryProfile::Hbm { channels } => serde::Value::Str(format!("hbm{channels}")),
+        }
+    }
+}
+
+impl serde::Deserialize for MemoryProfile {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("memory profile must be a string"))?;
+        if s == "ddr" {
+            return Ok(MemoryProfile::Ddr);
+        }
+        if let Some(n) = s.strip_prefix("hbm") {
+            let channels: usize = n
+                .parse()
+                .map_err(|_| serde::Error::custom(format!("bad hbm channel count `{n}`")))?;
+            if channels == 0 {
+                return Err(serde::Error::custom("hbm profile needs at least 1 channel"));
+            }
+            return Ok(MemoryProfile::Hbm { channels });
+        }
+        Err(serde::Error::custom(format!(
+            "unknown memory profile `{s}`"
+        )))
+    }
+}
+
 /// A multi-channel DDR controller.
 #[derive(Debug, Clone)]
 pub struct Controller {
@@ -51,6 +162,21 @@ impl Controller {
     /// buffer placement.
     pub fn nallatech_385a() -> Self {
         Self::new(DdrTimings::ddr4_2133(), 2, BufferMapping::Dedicated)
+    }
+
+    /// An HBM2 front of `n` pseudo-channels, address-interleaved at row
+    /// granularity so a wide streaming access engages every channel while
+    /// each individual burst stays within one channel's row. Each
+    /// pseudo-channel keeps its own queue and its own unaligned-split /
+    /// row-miss / turnaround accounting — exactly the [`Channel`] model the
+    /// DDR profile uses, just replicated.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn hbm(n: usize) -> Self {
+        let timings = DdrTimings::hbm2_pseudo_channel();
+        let granularity = timings.row_bytes;
+        Self::new(timings, n, BufferMapping::Interleaved { granularity })
     }
 
     /// Number of channels.
@@ -235,5 +361,51 @@ mod tests {
     #[should_panic(expected = "at least one channel")]
     fn zero_channels_panics() {
         Controller::new(DdrTimings::ddr4_2133(), 0, BufferMapping::Dedicated);
+    }
+
+    #[test]
+    fn profile_peaks_match_table2_and_hbm_spec() {
+        // DDR profile is the paper's board: 2 × 17.064 = 34.128 GB/s.
+        assert!((MemoryProfile::Ddr.peak_gbps() - 34.128).abs() < 1e-6);
+        assert_eq!(MemoryProfile::Ddr.channels(), 2);
+        // Full HBM2 device: 32 pseudo-channels × 16 GB/s = 512 GB/s.
+        assert!((MemoryProfile::hbm32().peak_gbps() - 512.0).abs() < 1e-6);
+        assert_eq!(MemoryProfile::hbm32().channels(), 32);
+    }
+
+    #[test]
+    fn profile_name_parse_round_trip() {
+        for p in [MemoryProfile::Ddr, MemoryProfile::hbm32()] {
+            assert_eq!(MemoryProfile::parse(p.name()), Some(p));
+        }
+        assert_eq!(MemoryProfile::parse("sram"), None);
+    }
+
+    #[test]
+    fn profile_serde_round_trip_keeps_channel_count() {
+        use serde::{Deserialize, Serialize};
+        for p in [
+            MemoryProfile::Ddr,
+            MemoryProfile::Hbm { channels: 8 },
+            MemoryProfile::hbm32(),
+        ] {
+            assert_eq!(MemoryProfile::from_value(&p.to_value()).unwrap(), p);
+        }
+        assert!(MemoryProfile::from_value(&serde::Value::Str("hbm0".into())).is_err());
+        assert!(MemoryProfile::from_value(&serde::Value::Str("gddr".into())).is_err());
+    }
+
+    #[test]
+    fn hbm_controller_replicates_the_channel_model() {
+        let mut c = MemoryProfile::Hbm { channels: 4 }.controller();
+        assert_eq!(c.num_channels(), 4);
+        assert!((c.peak_gbps() - 4.0 * DdrTimings::hbm2_pseudo_channel().peak_gbps()).abs() < 1e-9);
+        // A stream spanning four rows engages all four pseudo-channels.
+        let row = DdrTimings::hbm2_pseudo_channel().row_bytes;
+        c.service(0, &Request::read(0, 4 * row));
+        for stats in c.channel_stats() {
+            assert_eq!(stats.requests, 1);
+        }
+        assert_eq!(c.total_stats().useful_bytes, 4 * row);
     }
 }

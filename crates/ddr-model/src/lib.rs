@@ -41,7 +41,7 @@ pub mod timing;
 pub mod trace;
 
 pub use channel::Channel;
-pub use controller::{BufferMapping, Controller};
+pub use controller::{BufferMapping, Controller, MemoryProfile};
 pub use request::{AccessKind, Request};
 pub use stats::ChannelStats;
 pub use timing::DdrTimings;

@@ -76,6 +76,39 @@ fn comp_bounds(spans: &[BlockSpan], n: usize) -> Vec<usize> {
     bounds
 }
 
+/// Halo-overlapped spatial-partition spans for `replicas` chains over an
+/// extent of `n` cells. Each replica owns a contiguous share of `[0, n)`
+/// (sizes differing by at most one cell) and tiles it with the config's
+/// block spans, offset into global coordinates. The comp cores of all spans
+/// together still partition `[0, n)`; read regions overlap partition borders
+/// by the halo — exactly how blocks *within* one chain already overlap — so
+/// the composed schedule commits every cell from the same clamped global
+/// reads as the single-chain schedule and stays bit-exact. Partitions
+/// narrower than the halo (or empty, when `replicas > n`) degenerate into
+/// partial blocks the span machinery already handles.
+///
+/// `replicas = 1` reproduces [`BlockConfig::spans`] exactly.
+pub fn replica_spans(n: usize, csize: usize, halo: usize, replicas: usize) -> Vec<BlockSpan> {
+    assert!(replicas > 0, "need at least one replica");
+    let base = n / replicas;
+    let rem = n % replicas;
+    let mut out = Vec::new();
+    let mut px0 = 0usize;
+    for r in 0..replicas {
+        let len = base + usize::from(r < rem);
+        for s in BlockConfig::spans(len, csize, halo) {
+            out.push(BlockSpan {
+                comp_start: s.comp_start + px0,
+                comp_end: s.comp_end + px0,
+                read_start: s.read_start + px0 as isize,
+                read_end: s.read_end + px0 as isize,
+            });
+        }
+        px0 += len;
+    }
+    out
+}
+
 /// Runs the 2D accelerator functionally: `iters` time steps of `stencil`
 /// over `grid` with the block schedule of `config`, spatial blocks in
 /// parallel.
@@ -179,6 +212,32 @@ pub fn run_2d_cancellable_into<T: Real>(
     out: &mut Grid2D<T>,
     scratch: &mut Grid2D<T>,
 ) -> Option<SimCounters> {
+    run_2d_replicated_cancellable_into(stencil, grid, config, iters, lanes, 1, cancel, out, scratch)
+}
+
+/// [`run_2d_cancellable_into`] with `replicas` independent chains over
+/// halo-overlapped spatial partitions of the x extent — the hybrid
+/// spatial/temporal execution path for many-channel (HBM-class) devices.
+/// Each replica runs the same `config` over its contiguous share of the
+/// grid (see [`replica_spans`]); all (replica, block) tasks of a pass
+/// dispatch over the same rayon pool and commit disjoint strips. The result
+/// is bit-exact with the single-chain path for every `replicas ≥ 1`.
+///
+/// # Panics
+/// Panics when `config` is not a validated 2D configuration, the buffer
+/// shapes do not match `grid`, or `replicas` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn run_2d_replicated_cancellable_into<T: Real>(
+    stencil: &Stencil2D<T>,
+    grid: &Grid2D<T>,
+    config: &BlockConfig,
+    iters: usize,
+    lanes: usize,
+    replicas: usize,
+    cancel: &(dyn Fn() -> bool + Sync),
+    out: &mut Grid2D<T>,
+    scratch: &mut Grid2D<T>,
+) -> Option<SimCounters> {
     check_2d(stencil, config);
     assert_eq!(
         (out.nx(), out.ny()),
@@ -206,7 +265,7 @@ pub fn run_2d_cancellable_into<T: Real>(
             return None;
         }
         let t_pass = Instant::now();
-        let spans = config.spans_x(nx);
+        let spans = replica_spans(nx, config.csize_x(), config.halo(), replicas);
         let blocks = scratch.column_blocks(&comp_bounds(&spans, nx));
         let tally = Mutex::new(SimCounters::default());
         let src_ref: &Grid2D<T> = out;
@@ -273,6 +332,37 @@ fn run_block_2d<T: Real>(
         blocks: 1,
         ..Default::default()
     }
+}
+
+/// Runs the 2D accelerator with `replicas` spatially replicated chains over
+/// halo-overlapped partitions (see [`run_2d_replicated_cancellable_into`]).
+/// Bit-exact with [`run_2d`] for every `replicas ≥ 1`.
+///
+/// # Panics
+/// Panics when `config` is not a validated 2D configuration or `replicas`
+/// is zero.
+pub fn run_2d_replicated<T: Real>(
+    stencil: &Stencil2D<T>,
+    grid: &Grid2D<T>,
+    config: &BlockConfig,
+    iters: usize,
+    replicas: usize,
+) -> Grid2D<T> {
+    let mut out = grid.clone();
+    let mut scratch = grid.clone();
+    run_2d_replicated_cancellable_into(
+        stencil,
+        grid,
+        config,
+        iters,
+        config.parvec,
+        replicas,
+        &|| false,
+        &mut out,
+        &mut scratch,
+    )
+    .expect("never-cancelled run cannot be cancelled");
+    out
 }
 
 pub use crate::serial_ref::run_2d_serial;
@@ -366,6 +456,29 @@ pub fn run_3d_cancellable_into<T: Real>(
     out: &mut Grid3D<T>,
     scratch: &mut Grid3D<T>,
 ) -> Option<SimCounters> {
+    run_3d_replicated_cancellable_into(stencil, grid, config, iters, lanes, 1, cancel, out, scratch)
+}
+
+/// [`run_3d_cancellable_into`] with `replicas` independent chains over
+/// halo-overlapped spatial partitions of the x extent (see
+/// [`run_2d_replicated_cancellable_into`]; the y axis keeps the config's
+/// ordinary block spans in every replica).
+///
+/// # Panics
+/// Panics when `config` is not a validated 3D configuration, the buffer
+/// shapes do not match `grid`, or `replicas` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn run_3d_replicated_cancellable_into<T: Real>(
+    stencil: &Stencil3D<T>,
+    grid: &Grid3D<T>,
+    config: &BlockConfig,
+    iters: usize,
+    lanes: usize,
+    replicas: usize,
+    cancel: &(dyn Fn() -> bool + Sync),
+    out: &mut Grid3D<T>,
+    scratch: &mut Grid3D<T>,
+) -> Option<SimCounters> {
     check_3d(stencil, config);
     assert_eq!(
         (out.nx(), out.ny(), out.nz()),
@@ -392,7 +505,7 @@ pub fn run_3d_cancellable_into<T: Real>(
         }
         let t_pass = Instant::now();
         let sys = config.spans_y(ny);
-        let sxs = config.spans_x(nx);
+        let sxs = replica_spans(nx, config.csize_x(), config.halo(), replicas);
         let blocks = scratch.tile_blocks(&comp_bounds(&sxs, nx), &comp_bounds(&sys, ny));
         // tile_blocks returns block (bx, by) at index by * nbx + bx — the
         // same order as iterating sy outer, sx inner.
@@ -467,6 +580,37 @@ fn run_block_3d<T: Real>(
         blocks: 1,
         ..Default::default()
     }
+}
+
+/// Runs the 3D accelerator with `replicas` spatially replicated chains over
+/// halo-overlapped x partitions (see [`run_3d_replicated_cancellable_into`]).
+/// Bit-exact with [`run_3d`] for every `replicas ≥ 1`.
+///
+/// # Panics
+/// Panics when `config` is not a validated 3D configuration or `replicas`
+/// is zero.
+pub fn run_3d_replicated<T: Real>(
+    stencil: &Stencil3D<T>,
+    grid: &Grid3D<T>,
+    config: &BlockConfig,
+    iters: usize,
+    replicas: usize,
+) -> Grid3D<T> {
+    let mut out = grid.clone();
+    let mut scratch = grid.clone();
+    run_3d_replicated_cancellable_into(
+        stencil,
+        grid,
+        config,
+        iters,
+        config.parvec,
+        replicas,
+        &|| false,
+        &mut out,
+        &mut scratch,
+    )
+    .expect("never-cancelled run cannot be cancelled");
+    out
 }
 
 pub use crate::serial_ref::run_3d_serial;
@@ -650,6 +794,69 @@ mod tests {
         let cancel = || polls.fetch_add(1, Ordering::Relaxed) >= 4;
         assert!(run_2d_cancellable(&st, &grid, &cfg, 12, 4, &cancel).is_none());
         assert!(polls.load(Ordering::Relaxed) >= 4);
+    }
+
+    #[test]
+    fn replica_spans_reduce_to_single_chain() {
+        let cfg = BlockConfig::new_2d(1, 32, 4, 4).unwrap();
+        for n in [1usize, 7, 33, 100] {
+            assert_eq!(
+                replica_spans(n, cfg.csize_x(), cfg.halo(), 1),
+                cfg.spans_x(n),
+                "n {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn replica_spans_comp_cores_partition_the_extent() {
+        // Including replicas > n (empty partitions) and partitions narrower
+        // than the halo.
+        for (n, r) in [(100usize, 4usize), (7, 4), (3, 8), (64, 2), (10, 3)] {
+            let spans = replica_spans(n, 24, 4, r);
+            let mut at = 0;
+            for s in &spans {
+                assert_eq!(s.comp_start, at, "n {n} r {r}");
+                at = s.comp_end;
+            }
+            assert_eq!(at, n, "n {n} r {r}");
+        }
+    }
+
+    #[test]
+    fn replicated_matches_oracle_even_when_partitions_are_narrower_than_halo() {
+        let st = Stencil2D::<f32>::random(2, 21).unwrap();
+        let cfg = BlockConfig::new_2d(2, 64, 4, 2).unwrap(); // halo 4
+        let grid = Grid2D::from_fn(10, 9, |x, y| ((x * 3 + y) % 13) as f32).unwrap();
+        let expect = exec::run_2d(&st, &grid, 5);
+        for r in [1usize, 2, 4] {
+            // nx = 10, r = 4: partitions of width 2-3, narrower than halo 4.
+            assert_eq!(
+                run_2d_replicated(&st, &grid, &cfg, 5, r),
+                expect,
+                "replicas {r}"
+            );
+        }
+        let st3 = Stencil3D::<f32>::random(1, 22).unwrap();
+        let cfg3 = BlockConfig::new_3d(1, 24, 24, 2, 4).unwrap(); // halo 4
+        let grid3 = Grid3D::from_fn(9, 11, 6, |x, y, z| ((x + 2 * y + 3 * z) % 7) as f32).unwrap();
+        let expect3 = exec::run_3d(&st3, &grid3, 5);
+        for r in [1usize, 2, 4] {
+            assert_eq!(
+                run_3d_replicated(&st3, &grid3, &cfg3, 5, r),
+                expect3,
+                "replicas {r}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one replica")]
+    fn zero_replicas_panics() {
+        let st = Stencil2D::<f32>::uniform(1).unwrap();
+        let cfg = BlockConfig::new_2d(1, 32, 4, 4).unwrap();
+        let grid = Grid2D::from_fn(40, 10, |x, y| (x + y) as f32).unwrap();
+        let _ = run_2d_replicated(&st, &grid, &cfg, 1, 0);
     }
 
     #[test]

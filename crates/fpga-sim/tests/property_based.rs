@@ -167,6 +167,57 @@ proptest! {
     }
 
     #[test]
+    fn replicated_2d_is_bit_exact_for_all_replica_counts(
+        rad in 1usize..=4,
+        pv in 0usize..=1,
+        extra in 0usize..=4,
+        r_i in 0usize..=2,
+        nx in 1usize..=96,
+        ny in 1usize..=24,
+        iters in 0usize..=6,
+        seed in 0u64..1_000,
+    ) {
+        // The hybrid spatial/temporal path: R halo-overlapped x partitions,
+        // each run by its own chain. Small nx draws include partitions
+        // narrower than the halo (and empty ones when nx < R). Must be
+        // bit-exact vs both the single-chain path and the frozen serial
+        // reference.
+        let replicas = [1usize, 2, 4][r_i];
+        let cfg = cfg_2d(rad, 1, pv, extra);
+        let st = Stencil2D::<f32>::random(rad, seed).unwrap();
+        let grid =
+            Grid2D::from_fn(nx, ny, |x, y| ((x * 7 + y * 13 + seed as usize) % 31) as f32)
+                .unwrap();
+        let replicated = functional::run_2d_replicated(&st, &grid, &cfg, iters, replicas);
+        prop_assert_eq!(&replicated, &functional::run_2d(&st, &grid, &cfg, iters));
+        prop_assert_eq!(&replicated, &functional::run_2d_serial(&st, &grid, &cfg, iters));
+    }
+
+    #[test]
+    fn replicated_3d_is_bit_exact_for_all_replica_counts(
+        rad in 1usize..=3,
+        pv in 0usize..=1,
+        extra in 0usize..=2,
+        r_i in 0usize..=2,
+        nx in 1usize..=28,
+        ny in 1usize..=20,
+        nz in 1usize..=10,
+        iters in 0usize..=5,
+        seed in 0u64..1_000,
+    ) {
+        let replicas = [1usize, 2, 4][r_i];
+        let cfg = cfg_3d(rad, 1, pv, extra);
+        let st = Stencil3D::<f32>::random(rad, seed).unwrap();
+        let grid = Grid3D::from_fn(nx, ny, nz, |x, y, z| {
+            ((x * 3 + y * 5 + z * 11 + seed as usize) % 29) as f32
+        })
+        .unwrap();
+        let replicated = functional::run_3d_replicated(&st, &grid, &cfg, iters, replicas);
+        prop_assert_eq!(&replicated, &functional::run_3d(&st, &grid, &cfg, iters));
+        prop_assert_eq!(&replicated, &functional::run_3d_serial(&st, &grid, &cfg, iters));
+    }
+
+    #[test]
     fn counters_useful_work_invariant_holds_for_random_configs(
         rad in 1usize..=4,
         m in 1usize..=2,

@@ -107,6 +107,20 @@ pub const P100: Device = Device {
     year: 2016,
 };
 
+/// Stratix 10 MX 2100 with two HBM2 stacks (32 pseudo-channels, 512 GB/s)
+/// — the conclusion's "will likely not suffer from this problem" device.
+/// Not a Table II row (the paper never measured it); it anchors the HBM
+/// profile of the hybrid spatial/temporal design space.
+pub const STRATIX10_MX: Device = Device {
+    name: "Stratix 10 MX 2100",
+    kind: DeviceKind::Fpga,
+    peak_gflops: 5940.0,
+    peak_gbps: 512.0,
+    tdp_watts: 200.0,
+    node_nm: 14,
+    year: 2017,
+};
+
 /// All six Table II devices, in the paper's row order.
 pub fn table2() -> Vec<Device> {
     vec![ARRIA10, XEON, XEON_PHI, GTX580, GTX980TI, P100]
@@ -153,5 +167,16 @@ mod tests {
         assert_eq!(t.len(), 6);
         assert_eq!(t[0].year, 2014);
         assert_eq!(t[3].node_nm, 40);
+    }
+
+    #[test]
+    fn hbm_device_dissolves_the_bandwidth_wall() {
+        // The HBM entry is deliberately outside Table II; its FLOP/byte
+        // ratio (~11.6) sits far below the Arria 10's 42.5 — the property
+        // that flips the winning design from deep-temporal to
+        // replicated-spatial.
+        assert!(!table2().contains(&STRATIX10_MX));
+        assert!((STRATIX10_MX.flop_byte_ratio() - 11.602).abs() < 0.01);
+        assert!(ARRIA10.flop_byte_ratio() > 3.5 * STRATIX10_MX.flop_byte_ratio());
     }
 }

@@ -71,6 +71,59 @@ pub fn estimate(device: &FpgaDevice, config: &BlockConfig, fmax_mhz: f64) -> Est
     }
 }
 
+/// Evaluates the model for `replicas` spatially replicated copies of
+/// `config`, each a chain over its own grid partition (the SASA-style
+/// hybrid design point; see PAPERS.md).
+///
+/// The pipeline term scales with `replicas` — every replica commits
+/// `parvec × partime` updates per cycle. The memory term is derived from
+/// the board's channel structure: each replica streams through its own
+/// `⌊channels / replicas⌋` channels (at least one), so the aggregate
+/// bandwidth is `replicas × channels-per-replica × per-channel GB/s`,
+/// capped at the board total — replica counts that do not divide the
+/// channel count strand the remainder channels, and replicas beyond the
+/// channel count share rather than add bandwidth. With `replicas == 1`
+/// this is exactly [`estimate`].
+///
+/// # Panics
+/// Panics when `replicas == 0`, `fmax_mhz <= 0`, or `config` is invalid.
+pub fn estimate_hybrid(
+    device: &FpgaDevice,
+    config: &BlockConfig,
+    fmax_mhz: f64,
+    replicas: usize,
+) -> Estimate {
+    assert!(replicas > 0, "need at least one replica");
+    assert!(fmax_mhz > 0.0, "fmax must be positive");
+    config.validate().expect("invalid configuration");
+
+    let commit_ratio = 1.0 / config.redundancy();
+    let pipeline =
+        fmax_mhz * 1e6 * (config.parvec * config.partime * replicas) as f64 * commit_ratio / 1e9;
+
+    let fmem = device.mem_controller_mhz();
+    let derate = (fmax_mhz / fmem).min(1.0);
+    let per_channel = device.peak_mem_gbps() / device.mem_channels as f64;
+    let channels_per_replica = (device.mem_channels / replicas).max(1);
+    let bw = (replicas as f64 * channels_per_replica as f64 * per_channel)
+        .min(device.peak_mem_gbps())
+        * derate;
+    let bytes_per_update = 4.0 * (config.redundancy() + 1.0) / config.partime as f64;
+    let memory = bw / bytes_per_update;
+
+    let gcells = pipeline.min(memory);
+    let flops = config.dim.flops_per_cell(config.rad) as f64;
+    Estimate {
+        fmax_mhz,
+        pipeline_gcells: pipeline,
+        memory_gcells: memory,
+        gcells,
+        gflops: gcells * flops,
+        gbs: gcells * 8.0,
+        memory_bound: memory < pipeline,
+    }
+}
+
 /// Convenience: the estimate at the device's modelled fmax (seed-swept).
 pub fn estimate_at_model_fmax(device: &FpgaDevice, config: &BlockConfig, seeds: usize) -> Estimate {
     let fmax = fpga_sim::FmaxModel::for_device(device).sweep(config, seeds.max(1));
@@ -192,6 +245,69 @@ mod tests {
         let cfg = BlockConfig::new_3d(6, 256, 128, 16, 2).unwrap();
         let need = required_bandwidth_gbps(&cfg, 28.8);
         assert!(need > 3.9 * 34.1, "{need}");
+    }
+
+    #[test]
+    fn single_replica_hybrid_is_exactly_the_base_model() {
+        let configs = [
+            BlockConfig::new_2d(2, 4096, 4, 42).unwrap(),
+            BlockConfig::new_3d(1, 256, 256, 16, 12).unwrap(),
+        ];
+        for d in [arria(), FpgaDevice::stratix10_mx2100()] {
+            for cfg in &configs {
+                assert_eq!(estimate_hybrid(&d, cfg, 300.0, 1), estimate(&d, cfg, 300.0));
+            }
+        }
+    }
+
+    #[test]
+    fn ddr_memory_caps_replicated_shallow_chains() {
+        // 3D rad 1 on the paper's board: two shallow replicas stream twice
+        // the traffic per committed update of the deep chain; the 34.1 GB/s
+        // DDR interface caps them below the deep-temporal Table III design.
+        let d = arria();
+        let shallow = BlockConfig::new_3d(1, 256, 128, 16, 4).unwrap();
+        let deep = BlockConfig::new_3d(1, 256, 256, 16, 12).unwrap();
+        let h = estimate_hybrid(&d, &shallow, 287.0, 2);
+        assert!(h.memory_bound, "{h:?}");
+        assert!(h.gcells < estimate(&d, &deep, 287.0).gcells);
+    }
+
+    #[test]
+    fn hbm_flips_the_winner_to_replicated_spatial() {
+        // Same design pair on the HBM device: 491 GB/s of effective
+        // bandwidth un-caps the shallow replicas; eight of them (within the
+        // MX DSP budget) beat any single deep chain by >1.5x — the SASA
+        // design-point flip.
+        let d = FpgaDevice::stratix10_mx2100();
+        let shallow = BlockConfig::new_3d(1, 256, 128, 16, 4).unwrap();
+        let h = estimate_hybrid(&d, &shallow, 480.0, 8);
+        assert!(!h.memory_bound, "{h:?}");
+        let par_total = d.dsps as usize / stencil_core::Dim::D3.dsps_per_cell(1);
+        assert!(8 * shallow.par_used() <= par_total);
+        for partime in [12, 20, 32] {
+            let deep = BlockConfig::new_3d(1, 256, 256, 16, partime).unwrap();
+            assert!(deep.par_used() <= par_total);
+            let e = estimate(&d, &deep, 480.0);
+            assert!(
+                h.gcells > 1.5 * e.gcells,
+                "partime {partime}: hybrid {:.1} vs deep {:.1}",
+                h.gcells,
+                e.gcells
+            );
+        }
+    }
+
+    #[test]
+    fn stranded_channels_penalize_awkward_replica_counts() {
+        // 3 replicas on a 32-channel board drive 3 x 10 channels; the model
+        // must charge the two stranded channels rather than pretend full
+        // bandwidth.
+        let d = FpgaDevice::stratix10_mx2100();
+        let cfg = BlockConfig::new_3d(1, 256, 128, 16, 4).unwrap();
+        let three = estimate_hybrid(&d, &cfg, 480.0, 3);
+        let four = estimate_hybrid(&d, &cfg, 480.0, 4);
+        assert!((three.memory_gcells / four.memory_gcells - 30.0 / 32.0).abs() < 1e-9);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! * the physical BRAM estimate fits the device (the constraint that forces
 //!   the paper's 3D high-order blocks down to 256×128).
 
-use crate::model::{estimate, Estimate};
+use crate::model::{estimate, estimate_hybrid, Estimate};
 use fpga_sim::{AreaEstimate, FmaxModel, FpgaDevice};
 use serde::{Deserialize, Serialize};
 use stencil_core::{BlockConfig, Dim};
@@ -34,16 +34,21 @@ pub const PARVECS: [usize; 5] = [2, 4, 8, 16, 32];
 /// A scored configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Candidate {
-    /// The configuration.
+    /// The configuration (of a single chain; replicated `replicas` times).
     pub config: BlockConfig,
     /// Predicted kernel clock (seed-swept), MHz.
     pub fmax_mhz: f64,
     /// Model estimate at that clock.
     pub estimate: Estimate,
-    /// Resource estimate.
+    /// Resource estimate (of a single chain; scales linearly in `replicas`).
     pub dsps: u64,
     /// Physical BRAM bits.
     pub bram_bits: u64,
+    /// Spatially replicated chain count (the hybrid axis). 1 is the classic
+    /// single deep-temporal chain; R > 1 means R copies of `config` over
+    /// halo-overlapped grid partitions, each owning a share of the memory
+    /// channels. Only enumerated on many-channel (HBM-class) devices.
+    pub replicas: usize,
     /// Ranking score: estimated GCell/s derated by the datapath-width
     /// robustness term (see [`robustness_derate`]).
     pub score: f64,
@@ -82,6 +87,7 @@ pub fn tune(device: &FpgaDevice, dim: Dim, rad: usize, k: usize) -> Vec<Candidat
                 estimate: est,
                 dsps: area.dsps,
                 bram_bits: area.bram_bits_physical,
+                replicas: 1,
                 score,
             }
         })
@@ -140,6 +146,23 @@ pub fn shape_fit(config: &BlockConfig, nx: usize, ny: usize) -> f64 {
     }
 }
 
+/// Replica counts enumerated for a device: always 1 (the classic single
+/// deep-temporal chain); on many-channel (HBM-class, ≥ 8 channels) devices
+/// additionally every power of two up to the channel count. Narrow-interface
+/// DDR boards keep the single-chain enumeration byte-for-byte, so the
+/// published Table III winners are unaffected by the hybrid axis.
+pub fn replica_counts(device: &FpgaDevice) -> Vec<usize> {
+    let mut out = vec![1];
+    if device.mem_channels >= 8 {
+        let mut r = 2;
+        while r <= device.mem_channels {
+            out.push(r);
+            r *= 2;
+        }
+    }
+    out
+}
+
 /// Ranks every legal configuration for an *actual job shape* — the serving
 /// runtime's planner entry point. Same model and constraints as [`tune`]
 /// (Eqs. 2, 5, 6 via [`BlockConfig::validate`], the DSP and BRAM budgets),
@@ -188,17 +211,42 @@ pub fn shape_candidates(
                         let area = AreaEstimate::for_config(device, &cfg);
                         if cfg.fits_dsps(device.dsps as usize) && area.fits(device) {
                             let fmax_mhz = fmax_model.sweep(&cfg, 4);
-                            let est = estimate(device, &cfg, fmax_mhz);
-                            let score =
-                                est.gcells * robustness_derate(&cfg) * shape_fit(&cfg, nx, ny);
-                            out.push(Candidate {
-                                config: cfg,
-                                fmax_mhz,
-                                estimate: est,
-                                dsps: area.dsps,
-                                bram_bits: area.bram_bits_physical,
-                                score,
-                            });
+                            for replicas in replica_counts(device) {
+                                // R copies of the chain must share the DSP
+                                // budget and the physical BRAM of one device.
+                                if replicas * cfg.par_used() > partotal
+                                    || replicas as u64 * area.dsps > device.dsps
+                                    || replicas as u64 * area.bram_bits_physical > device.m20k_bits
+                                {
+                                    break;
+                                }
+                                // Eq. 2 applied to the spatial partition: a
+                                // replica owns an x-slice of core width nx/R
+                                // but reads nx/R + 2·halo, so partition
+                                // redundancy is 1 + 2·halo·R/nx. Cap it at
+                                // 1.5 (slice >= 4·halo) — narrower slices
+                                // spend more bandwidth on their neighbours'
+                                // columns than the extra chain earns. Counts
+                                // ascend, so no larger R survives either.
+                                if replicas > 1 && nx / replicas < 4 * cfg.halo().max(1) {
+                                    break;
+                                }
+                                let est = estimate_hybrid(device, &cfg, fmax_mhz, replicas);
+                                // Each replica sees only its own partition of
+                                // the grid, so the halo-overhead fit is taken
+                                // against the per-replica extent.
+                                let fit = shape_fit(&cfg, (nx / replicas).max(1), ny);
+                                let score = est.gcells * robustness_derate(&cfg) * fit;
+                                out.push(Candidate {
+                                    config: cfg,
+                                    fmax_mhz,
+                                    estimate: est,
+                                    dsps: area.dsps,
+                                    bram_bits: area.bram_bits_physical,
+                                    replicas,
+                                    score,
+                                });
+                            }
                         }
                         partime += step;
                     }
@@ -398,6 +446,52 @@ mod tests {
         // An exactly-tiling grid scores ~1.
         let aligned = shape_fit(&snug, snug.csize_x() * 4, 0);
         assert!((aligned - 1.0).abs() < 1e-9, "{aligned}");
+    }
+
+    #[test]
+    fn replica_axis_only_opens_on_many_channel_devices() {
+        assert_eq!(replica_counts(&arria()), vec![1]);
+        let mx = FpgaDevice::stratix10_mx2100();
+        assert_eq!(replica_counts(&mx), vec![1, 2, 4, 8, 16, 32]);
+    }
+
+    #[test]
+    fn ddr_shape_candidates_stay_single_chain() {
+        // On the 2-channel board the hybrid axis never opens: enumeration is
+        // byte-identical to the pre-hybrid tuner.
+        for dim in [Dim::D2, Dim::D3] {
+            for c in shape_candidates(&arria(), dim, 1, 512, 256, 16) {
+                assert_eq!(c.replicas, 1, "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hbm_shape_candidates_rank_replicated_chains_first() {
+        // The SASA flip: with 32 pseudo-channels the top-ranked candidate
+        // replicates shallow chains spatially, while the DDR board's winner
+        // for the same shape is a single deeper temporal chain.
+        let mx = FpgaDevice::stratix10_mx2100();
+        let cands = shape_candidates(&mx, Dim::D3, 1, 512, 256, 16);
+        let best = &cands[0];
+        assert!(best.replicas > 1, "HBM winner should replicate: {best:?}");
+        for c in &cands {
+            assert!(c.config.validate().is_ok(), "{c:?}");
+            assert!(c.replicas as u64 * c.dsps <= mx.dsps, "{c:?}");
+            assert!(c.replicas as u64 * c.bram_bits <= mx.m20k_bits, "{c:?}");
+            assert!(
+                c.replicas * c.config.par_used() <= Dim::D3.par_total(mx.dsps as usize, 1),
+                "{c:?}"
+            );
+        }
+        let ddr_best = &shape_candidates(&arria(), Dim::D3, 1, 512, 256, 16)[0];
+        assert_eq!(ddr_best.replicas, 1);
+        assert!(
+            ddr_best.config.partime > best.config.partime,
+            "DDR should go deeper in time than each HBM replica: ddr partime {} vs hbm {}",
+            ddr_best.config.partime,
+            best.config.partime
+        );
     }
 
     #[test]

@@ -58,6 +58,55 @@ impl std::fmt::Display for Backend {
     }
 }
 
+/// Spatially replicated chain count — the hybrid spatial/temporal axis for
+/// many-channel (HBM-class) device profiles. `Replicas(1)` is the classic
+/// single deep-temporal chain; `Replicas(r)` runs `r` independent chains
+/// over halo-overlapped partitions of the x extent (see
+/// `fpga_sim::functional::replica_spans`). Only the functional backend
+/// executes the replicated shape; the other backends ignore the field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Replicas(pub usize);
+
+impl Replicas {
+    /// The chain count.
+    pub fn get(self) -> usize {
+        self.0
+    }
+}
+
+impl Default for Replicas {
+    fn default() -> Self {
+        Replicas(1)
+    }
+}
+
+// Manual serde impls: the wire format is the plain integer, and an
+// absent/null field reads as `1` so pre-replica JSONL workloads stay
+// loadable (same precedent as `PlanMode`).
+impl Serialize for Replicas {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::UInt(self.0 as u64)
+    }
+}
+
+impl Deserialize for Replicas {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if matches!(v, serde::Value::Null) {
+            return Ok(Replicas(1));
+        }
+        match v.as_integer() {
+            Some(n) if n >= 1 && n <= usize::MAX as i128 => Ok(Replicas(n as usize)),
+            _ => Err(serde::Error::custom("replicas must be an integer >= 1")),
+        }
+    }
+
+    // Absence opts in to the single-chain default — only this field, not
+    // every field in the workspace, tolerates a missing key.
+    fn absent() -> Option<Self> {
+        Some(Replicas(1))
+    }
+}
+
 /// Scheduling priority. Within a shard, higher priorities always pop before
 /// lower ones; ties break FIFO by admission order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -106,6 +155,11 @@ pub struct JobSpec {
     pub parvec: usize,
     /// Temporal blocking depth (`BlockConfig::partime`).
     pub partime: usize,
+    /// Spatially replicated chain count (functional backend only; see
+    /// [`Replicas`]). Under [`PlanMode::Auto`] the planner overwrites it
+    /// with the winning candidate's replica count. Absent in old JSONL
+    /// workloads, which deserialize as `Replicas(1)`.
+    pub replicas: Replicas,
     /// Backend shard that serves the job. Under [`PlanMode::Auto`] this is
     /// only a hint — the planner overwrites it at admission.
     pub backend: Backend,
@@ -149,6 +203,7 @@ impl JobSpec {
             bsize_y: 1,
             parvec: 4,
             partime: 4 / gcd(rad, 4),
+            replicas: Replicas(1),
             backend: Backend::Functional,
             plan: PlanMode::Explicit,
             priority: Priority::Normal,
@@ -173,6 +228,7 @@ impl JobSpec {
             bsize_y: 48,
             parvec: 2,
             partime: 4 / gcd(rad, 4),
+            replicas: Replicas(1),
             backend: Backend::Functional,
             plan: PlanMode::Explicit,
             priority: Priority::Normal,
@@ -217,6 +273,9 @@ impl JobSpec {
         }
         if self.dim != 2 && self.dim != 3 {
             return Err(PlanError::UnsupportedDim { dim: self.dim });
+        }
+        if self.replicas.get() == 0 {
+            return Err(PlanError::ZeroReplicas);
         }
         match self.plan {
             PlanMode::Auto => Ok(()),
@@ -345,6 +404,32 @@ mod tests {
         let line = serde_json::to_string(&spec).unwrap();
         let back: JobSpec = serde_json::from_str(&line).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn replicas_default_to_one_in_old_workloads() {
+        let spec = JobSpec::new_2d(8, 1, 64, 16, 2);
+        let mut line = serde_json::to_string(&spec).unwrap();
+        // Simulate a pre-replica JSONL line with no `replicas` key.
+        line = line.replace("\"replicas\":1,", "");
+        assert!(!line.contains("replicas"), "field must be gone: {line}");
+        let back: JobSpec = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.replicas, Replicas(1));
+        assert_eq!(back, spec);
+        // Zero on the wire is rejected outright, not defaulted.
+        let zero = serde_json::to_string(&spec)
+            .unwrap()
+            .replace("\"replicas\":1,", "\"replicas\":0,");
+        assert!(serde_json::from_str::<JobSpec>(&zero).is_err());
+    }
+
+    #[test]
+    fn zero_replicas_fail_validation() {
+        let mut s = JobSpec::new_2d(1, 2, 96, 32, 4);
+        s.replicas = Replicas(0);
+        assert_eq!(s.validate().unwrap_err(), PlanError::ZeroReplicas);
+        s.replicas = Replicas(4);
+        s.validate().unwrap();
     }
 
     #[test]

@@ -51,9 +51,11 @@ pub mod workload;
 
 pub use batch::BatchPolicy;
 pub use cancel::CancelToken;
-pub use job::{Backend, JobResult, JobSpec, Outcome, Priority};
+pub use job::{Backend, JobResult, JobSpec, Outcome, Priority, Replicas};
 pub use metrics::MetricsRegistry;
-pub use planner::{PlanChoice, PlanError, PlanMode, Planner, PlannerConfig, ShapeKey};
+pub use planner::{
+    DeviceProfile, PlanChoice, PlanError, PlanMode, Planner, PlannerConfig, ShapeKey,
+};
 pub use pool::{GridLease2D, GridLease3D, GridPool, PoolConfig, PoolStats, StencilMemo};
 pub use queue::{AdmissionQueue, PushError};
 pub use report::{validate_report_json, LatencySummary, PlannerReport, ServeReport};

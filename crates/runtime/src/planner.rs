@@ -70,6 +70,9 @@ pub enum PlanError {
         /// The shape's stencil radius.
         rad: usize,
     },
+    /// `replicas` was zero — the functional backend needs at least one
+    /// chain.
+    ZeroReplicas,
 }
 
 impl std::fmt::Display for PlanError {
@@ -81,6 +84,7 @@ impl std::fmt::Display for PlanError {
             PlanError::NoCandidates { dim, rad } => {
                 write!(f, "no valid candidate plan for dim {dim} rad {rad}")
             }
+            PlanError::ZeroReplicas => write!(f, "replicas must be >= 1"),
         }
     }
 }
@@ -144,6 +148,58 @@ impl Deserialize for PlanMode {
     }
 }
 
+/// Which device's analytical model ranks candidate plans: the paper's
+/// DDR-attached Arria 10 (two channels, deep temporal chains win) or an
+/// HBM-class Stratix 10 MX (32 pseudo-channels, where the tuner's hybrid
+/// `replicas × partime` axis opens and spatially replicated shallow chains
+/// win the model ranking). The profile decides which candidates exist; the
+/// epsilon-greedy measurement loop still decides which one actually wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeviceProfile {
+    /// The paper's Arria 10 GX 1150 with one shared DDR4 interface.
+    #[default]
+    Ddr,
+    /// A Stratix 10 MX-class device with 32 HBM2 pseudo-channels.
+    Hbm,
+}
+
+impl DeviceProfile {
+    /// Every profile, in CLI order.
+    pub const ALL: [DeviceProfile; 2] = [DeviceProfile::Ddr, DeviceProfile::Hbm];
+
+    /// The device-catalog entry this profile ranks candidates against.
+    pub fn fpga_device(self) -> FpgaDevice {
+        match self {
+            DeviceProfile::Ddr => FpgaDevice::arria10_gx1150(),
+            DeviceProfile::Hbm => FpgaDevice::stratix10_mx2100(),
+        }
+    }
+
+    /// Independent memory channels the profile's device exposes.
+    pub fn mem_channels(self) -> usize {
+        self.fpga_device().mem_channels
+    }
+
+    /// Stable lowercase name (used in CLI flags and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceProfile::Ddr => "ddr",
+            DeviceProfile::Hbm => "hbm",
+        }
+    }
+
+    /// Parses a [`DeviceProfile::name`] string.
+    pub fn parse(s: &str) -> Option<DeviceProfile> {
+        DeviceProfile::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+impl std::fmt::Display for DeviceProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The plan cache key: a job's *shape class*. Grid extents are bucketed to
 /// their ceiling power of two so that jobs of similar geometry share one
 /// candidate table and one feedback history — without bucketing, a
@@ -192,6 +248,9 @@ pub struct PlanCandidate {
     pub backend: Backend,
     /// The validated block configuration (its `parvec` is the lane width).
     pub config: BlockConfig,
+    /// Spatially replicated chain count (1 = single deep-temporal chain;
+    /// only many-channel profiles enumerate more).
+    pub replicas: usize,
     /// Model ranking score (shape-derated GCell/s; see
     /// `perf_model::tuner::shape_candidates`).
     pub score: f64,
@@ -211,6 +270,8 @@ pub struct PlanChoice {
     pub parvec: usize,
     /// Chosen temporal blocking depth.
     pub partime: usize,
+    /// Chosen spatially replicated chain count.
+    pub replicas: usize,
     /// The candidate's model score.
     pub score: f64,
     /// Whether the shape's candidate table was already cached.
@@ -227,6 +288,7 @@ impl PlanChoice {
         spec.bsize_y = self.bsize_y;
         spec.parvec = self.parvec;
         spec.partime = self.partime;
+        spec.replicas = crate::job::Replicas(self.replicas);
     }
 }
 
@@ -301,6 +363,7 @@ pub struct ShapeSnapshot {
 /// The model-guided plan cache. Thread-safe; one instance serves the
 /// whole runtime.
 pub struct Planner {
+    profile: DeviceProfile,
     device: FpgaDevice,
     config: PlannerConfig,
     cache: Mutex<BTreeMap<ShapeKey, CacheEntry>>,
@@ -311,14 +374,30 @@ pub struct Planner {
 }
 
 impl Planner {
-    /// A planner ranking candidates against the paper's Arria 10 model.
+    /// A planner ranking candidates against the paper's Arria 10 model
+    /// (the [`DeviceProfile::Ddr`] default).
     pub fn new(config: PlannerConfig) -> Planner {
+        Planner::with_device(config, DeviceProfile::Ddr)
+    }
+
+    /// A planner ranking candidates against an explicit device profile.
+    /// [`DeviceProfile::Hbm`] opens the tuner's `replicas × partime` hybrid
+    /// axis, so candidate tables carry spatially replicated shallow chains
+    /// alongside (and, on memory-bound shapes, ahead of) the deep temporal
+    /// configurations the DDR profile favors.
+    pub fn with_device(config: PlannerConfig, profile: DeviceProfile) -> Planner {
         Planner {
-            device: FpgaDevice::arria10_gx1150(),
+            profile,
+            device: profile.fpga_device(),
             config,
             cache: Mutex::new(BTreeMap::new()),
             load: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// The device profile this planner ranks candidates against.
+    pub fn device_profile(&self) -> DeviceProfile {
+        self.profile
     }
 
     /// Plans one auto-mode job: resolves (building on first sight) the
@@ -473,6 +552,7 @@ impl Planner {
                 bsize_y: c.config.bsize_y,
                 parvec: c.config.parvec,
                 partime: c.config.partime,
+                replicas: c.replicas,
                 score: c.score,
                 cached,
                 explored,
@@ -597,6 +677,7 @@ impl Planner {
             out.extend(ranked.iter().map(|c| PlanCandidate {
                 backend: Backend::Functional,
                 config: c.config,
+                replicas: c.replicas,
                 score: c.score,
             }));
         }
@@ -604,11 +685,14 @@ impl Planner {
             // The CPU engine ignores the block configuration at execution
             // time but is recorded under the model's best one; its score is
             // nudged below so the functional path stays the static winner
-            // until measurements say otherwise.
+            // until measurements say otherwise. The alternates always run
+            // single-chain: only the functional simulator executes the
+            // replicated shape.
             if served.contains(&Backend::CpuEngine) {
                 out.push(PlanCandidate {
                     backend: Backend::CpuEngine,
                     config: best.config,
+                    replicas: 1,
                     score: best.score * 0.75,
                 });
             }
@@ -619,6 +703,7 @@ impl Planner {
                 out.push(PlanCandidate {
                     backend: Backend::SerialRef,
                     config: best.config,
+                    replicas: 1,
                     score: best.score * 0.25,
                 });
             }
@@ -640,6 +725,7 @@ impl Planner {
                     out.push(PlanCandidate {
                         backend: Backend::Threaded,
                         config: cfg,
+                        replicas: 1,
                         score: best.score * 0.05,
                     });
                 }
@@ -976,6 +1062,64 @@ mod tests {
             count("plan_cache_hits"),
             "every hit is exactly one of explored/exploited"
         );
+    }
+
+    #[test]
+    fn device_profiles_round_trip() {
+        for p in DeviceProfile::ALL {
+            assert_eq!(DeviceProfile::parse(p.name()), Some(p));
+        }
+        assert_eq!(DeviceProfile::parse("nope"), None);
+        assert_eq!(DeviceProfile::default(), DeviceProfile::Ddr);
+        assert_eq!(DeviceProfile::Ddr.mem_channels(), 2);
+        assert_eq!(DeviceProfile::Hbm.mem_channels(), 32);
+    }
+
+    #[test]
+    fn ddr_planner_stays_single_chain() {
+        // The default (Arria 10 / DDR) profile must keep the historical
+        // candidate tables byte-identical: no replicated entries at all.
+        let planner = Planner::new(PlannerConfig::default());
+        assert_eq!(planner.device_profile(), DeviceProfile::Ddr);
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        let asg = planner
+            .plan(&auto_spec(1, 1, 512, 256), &served, &metrics)
+            .unwrap();
+        assert_eq!(asg.choice.replicas, 1);
+        for c in planner.candidates(asg.key, &served) {
+            assert_eq!(c.replicas, 1, "{:?}", c.backend);
+        }
+    }
+
+    #[test]
+    fn hbm_planner_ranks_replicated_chains_first() {
+        // On the 32-channel profile the model's top pick for a wide
+        // memory-bound shape is a replicated shallow chain, and the choice
+        // carries the replica count into the spec.
+        let planner = Planner::with_device(PlannerConfig::default(), DeviceProfile::Hbm);
+        assert_eq!(planner.device_profile(), DeviceProfile::Hbm);
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        let mut spec = JobSpec::new_3d(1, 1, 512, 256, 16, 2);
+        spec.plan = PlanMode::Auto;
+        let asg = planner.plan(&spec, &served, &metrics).unwrap();
+        assert!(
+            asg.choice.replicas > 1,
+            "HBM model pick must be replicated, got {:?}",
+            asg.choice
+        );
+        assert!(asg.choice.replicas <= DeviceProfile::Hbm.mem_channels());
+        let mut planned = spec.clone();
+        asg.choice.apply_to(&mut planned);
+        assert_eq!(planned.replicas.get(), asg.choice.replicas);
+        assert_eq!(planned.backend, asg.choice.backend);
+        // Non-functional alternates never replicate.
+        for c in planner.candidates(asg.key, &served) {
+            if c.backend != Backend::Functional {
+                assert_eq!(c.replicas, 1, "{:?}", c.backend);
+            }
+        }
     }
 
     #[test]

@@ -48,12 +48,25 @@ pub struct PoolConfig {
     /// hold in flight for a class (workers × leases-per-job) with room to
     /// spare.
     pub max_free_per_class: usize,
+    /// Soft budget on `pool_resident_bytes`, the free-list footprint. When
+    /// a return would push the gauge past the budget, the pool discards the
+    /// incoming buffer and evicts free buffers — largest shape classes
+    /// first — until the gauge is back under
+    /// `shrink_watermark × resident_budget_bytes` (counted as
+    /// `pool_evictions`). `usize::MAX` (the default) disables the budget,
+    /// leaving `max_free_per_class` as the only bound.
+    pub resident_budget_bytes: usize,
+    /// Low-watermark fraction of the budget the shrink drains down to —
+    /// hysteresis, so one oversized return doesn't thrash the lists.
+    pub shrink_watermark: f64,
 }
 
 impl Default for PoolConfig {
     fn default() -> Self {
         PoolConfig {
             max_free_per_class: 32,
+            resident_budget_bytes: usize::MAX,
+            shrink_watermark: 0.75,
         }
     }
 }
@@ -94,8 +107,12 @@ pub struct PoolStats {
     pub misses: u64,
     /// Buffers returned to a free list on lease drop.
     pub returns: u64,
-    /// Buffers dropped on return because their class list was full.
+    /// Buffers dropped on return because their class list was full or the
+    /// resident-bytes budget was exceeded.
     pub discards: u64,
+    /// Previously returned buffers evicted from free lists by the
+    /// watermark shrink (see [`PoolConfig::resident_budget_bytes`]).
+    pub evictions: u64,
 }
 
 /// A shape-class-keyed pool of grid storage shared across worker shards.
@@ -110,6 +127,7 @@ pub struct GridPool {
     misses: Arc<Counter>,
     returns: Arc<Counter>,
     discards: Arc<Counter>,
+    evictions: Arc<Counter>,
     bytes_pooled: Arc<Counter>,
     resident: Arc<Gauge>,
 }
@@ -124,6 +142,7 @@ impl GridPool {
             misses: metrics.counter("pool_misses"),
             returns: metrics.counter("pool_returns"),
             discards: metrics.counter("pool_discards"),
+            evictions: metrics.counter("pool_evictions"),
             bytes_pooled: metrics.counter("pool_bytes_pooled"),
             resident: metrics.gauge("pool_resident_bytes"),
         }
@@ -136,6 +155,7 @@ impl GridPool {
             misses: self.misses.get(),
             returns: self.returns.get(),
             discards: self.discards.get(),
+            evictions: self.evictions.get(),
         }
     }
 
@@ -172,17 +192,49 @@ impl GridPool {
         buf
     }
 
-    /// Returns a buffer to `key`'s free list (or drops it when full).
+    /// Returns a buffer to `key`'s free list. Drops it when the class list
+    /// is full, or when retaining it would push the resident-bytes gauge
+    /// past [`PoolConfig::resident_budget_bytes`] — in which case the free
+    /// lists are additionally shrunk down to the low watermark.
     fn give_back(&self, key: PoolKey, buf: Vec<f32>) {
         let mut free = self.free.lock().unwrap();
+        let bytes = (key.capacity() * std::mem::size_of::<f32>()) as i64;
+        if (self.resident.get() + bytes) as f64 > self.config.resident_budget_bytes as f64 {
+            self.discards.inc();
+            self.shrink_locked(&mut free);
+            return;
+        }
         let list = free.entry(key).or_default();
         if list.len() < self.config.max_free_per_class {
             list.push(buf);
             self.returns.inc();
-            self.resident
-                .add((key.capacity() * std::mem::size_of::<f32>()) as i64);
+            self.resident.add(bytes);
         } else {
             self.discards.inc();
+        }
+    }
+
+    /// Evicts free buffers — largest shape classes first — until the
+    /// resident gauge is back under the low watermark
+    /// (`shrink_watermark × resident_budget_bytes`). Caller holds the lock.
+    fn shrink_locked(&self, free: &mut BTreeMap<PoolKey, Vec<Vec<f32>>>) {
+        let low = self.config.shrink_watermark * self.config.resident_budget_bytes as f64;
+        let mut keys: Vec<PoolKey> = free.keys().copied().collect();
+        keys.sort_by_key(|k| std::cmp::Reverse(k.capacity()));
+        for key in keys {
+            let bytes = (key.capacity() * std::mem::size_of::<f32>()) as i64;
+            while self.resident.get() as f64 > low {
+                match free.get_mut(&key).and_then(Vec::pop) {
+                    Some(_) => {
+                        self.evictions.inc();
+                        self.resident.add(-bytes);
+                    }
+                    None => break,
+                }
+            }
+            if self.resident.get() as f64 <= low {
+                return;
+            }
         }
     }
 
@@ -425,7 +477,8 @@ mod tests {
                 hits: 0,
                 misses: 1,
                 returns: 1,
-                discards: 0
+                discards: 0,
+                evictions: 0
             }
         );
         // A different shape in the same class (128 x 64) reuses the buffer.
@@ -455,6 +508,7 @@ mod tests {
             &metrics,
             PoolConfig {
                 max_free_per_class: 2,
+                ..PoolConfig::default()
             },
         ));
         let leases: Vec<_> = (0..4).map(|_| p.lease_2d(8, 8)).collect();
@@ -462,6 +516,74 @@ mod tests {
         assert_eq!(p.free_buffers(), 2, "only max_free_per_class retained");
         assert_eq!(p.stats().returns, 2);
         assert_eq!(p.stats().discards, 2);
+    }
+
+    #[test]
+    fn watermark_shrink_engages_when_returns_approach_the_budget() {
+        let metrics = MetricsRegistry::new();
+        // Class 16x16 = 1024 bytes per buffer. Budget 4096 bytes, low
+        // watermark 0.5: the first return that would push the gauge past
+        // 4096 is discarded and the lists drain back down to 2048.
+        let p = Arc::new(GridPool::new(
+            &metrics,
+            PoolConfig {
+                max_free_per_class: 32,
+                resident_budget_bytes: 4096,
+                shrink_watermark: 0.5,
+            },
+        ));
+        let gauge = metrics.gauge("pool_resident_bytes");
+        let leases: Vec<_> = (0..5).map(|_| p.lease_2d(16, 16)).collect();
+        drop(leases);
+        // Four returns fill the budget exactly; the fifth breaches it.
+        assert_eq!(
+            p.stats(),
+            PoolStats {
+                hits: 0,
+                misses: 5,
+                returns: 4,
+                discards: 1,
+                evictions: 2
+            }
+        );
+        assert_eq!(gauge.get(), 2048, "drained to the low watermark");
+        assert_eq!(p.free_buffers(), 2);
+        assert!(gauge.high_water() <= 4096, "budget never exceeded");
+        // The pool keeps serving from what survived the shrink.
+        let again = p.lease_2d(16, 16);
+        assert_eq!(again.len(), 256);
+        assert_eq!(p.stats().hits, 1);
+    }
+
+    #[test]
+    fn shrink_evicts_largest_classes_first() {
+        let metrics = MetricsRegistry::new();
+        // Small class 8x8 (256 B), large class 32x32 (4096 B). Budget
+        // 8192 B, low watermark 0.25 (2048 B).
+        let p = Arc::new(GridPool::new(
+            &metrics,
+            PoolConfig {
+                max_free_per_class: 32,
+                resident_budget_bytes: 8192,
+                shrink_watermark: 0.25,
+            },
+        ));
+        drop(p.lease_2d(8, 8)); // resident 256
+        let a = p.lease_2d(32, 32);
+        let b = p.lease_2d(32, 32);
+        drop(a); // resident 4352
+        drop(b); // would be 8448 > 8192: discard + shrink
+        let gauge = metrics.gauge("pool_resident_bytes");
+        assert_eq!(
+            gauge.get(),
+            256,
+            "the large class was drained, the small one survived"
+        );
+        assert_eq!(p.stats().evictions, 1);
+        // The small buffer is still leaseable.
+        let small = p.lease_2d(8, 8);
+        assert_eq!(small.len(), 64);
+        assert_eq!(p.stats().hits, 1);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::job::{Backend, JobResult, Outcome};
 use crate::metrics::MetricsRegistry;
-use crate::planner::ShapeSnapshot;
+use crate::planner::{DeviceProfile, ShapeSnapshot};
 use serde::{Deserialize, Serialize};
 use stencil_core::BlockConfig;
 
@@ -16,8 +16,11 @@ use stencil_core::BlockConfig;
 /// Version history: 1 = PR-3 serving report; 2 = adds the mandatory
 /// `planner` section (auto-planning decisions and plan-cache statistics);
 /// 3 = adds the mandatory `memory` section (grid-pool and stencil-memo
-/// statistics from the zero-allocation data path).
-pub const SCHEMA_VERSION: u64 = 3;
+/// statistics from the zero-allocation data path); 4 = adds the device
+/// profile (`device_profile`, `mem_channels`), the planner's hybrid
+/// replica axis (`planner.shapes[].replicas`), and watermark eviction
+/// accounting (`memory.pool_evictions`).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Latency distribution summary (milliseconds).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -102,6 +105,9 @@ pub struct ShapeReport {
     pub parvec: u64,
     /// Winning candidate's temporal blocking depth.
     pub partime: u64,
+    /// Winning candidate's spatially replicated chain count (1 = the
+    /// classic single deep-temporal chain).
+    pub replicas: u64,
     /// Mean measured cells/s of the winner (0 until feedback arrives).
     pub mean_cells_per_sec: f64,
 }
@@ -165,6 +171,7 @@ impl PlannerReport {
                         bsize_y: best.config.bsize_y as u64,
                         parvec: best.config.parvec as u64,
                         partime: best.config.partime as u64,
+                        replicas: best.replicas as u64,
                         mean_cells_per_sec: s.mean_cells_per_sec,
                     }
                 })
@@ -184,8 +191,12 @@ pub struct MemoryReport {
     pub pool_misses: u64,
     /// Buffers handed back to a free list on lease drop.
     pub pool_returns: u64,
-    /// Buffers dropped on return because their class list was full.
+    /// Buffers dropped on return because their class list was full, or
+    /// because accepting them would breach the resident-byte budget.
     pub pool_discards: u64,
+    /// Already-pooled buffers freed by the watermark shrink when the
+    /// resident gauge approached the configured budget.
+    pub pool_evictions: u64,
     /// `pool_hits / (pool_hits + pool_misses)` (0 when nothing was leased).
     pub pool_hit_rate: f64,
     /// Heap allocations the pool avoided — identical to `pool_hits`, named
@@ -212,6 +223,7 @@ impl MemoryReport {
             pool_misses: misses,
             pool_returns: count("pool_returns"),
             pool_discards: count("pool_discards"),
+            pool_evictions: count("pool_evictions"),
             pool_hit_rate: if hits + misses > 0 {
                 hits as f64 / (hits + misses) as f64
             } else {
@@ -238,6 +250,12 @@ pub struct ServeReport {
     pub seed: u64,
     /// Whether the workload ran at CI smoke scale.
     pub quick: bool,
+    /// Device profile the planner ranked candidates against
+    /// (`DeviceProfile::name`: `"ddr"` or `"hbm"`).
+    pub device_profile: String,
+    /// Independent memory channels of the profile's device — the bound on
+    /// any winning plan's replica count.
+    pub mem_channels: u64,
     /// Jobs the workload contained.
     pub jobs_requested: u64,
     /// Jobs offered to the runtime (equals `jobs_requested`).
@@ -299,6 +317,7 @@ impl ServeReport {
         workload: &str,
         seed: u64,
         quick: bool,
+        device: DeviceProfile,
         jobs_requested: usize,
         results: &[JobResult],
         metrics: &MetricsRegistry,
@@ -345,6 +364,8 @@ impl ServeReport {
             workload: workload.to_string(),
             seed,
             quick,
+            device_profile: device.name().to_string(),
+            mem_channels: device.mem_channels() as u64,
             jobs_requested: jobs_requested as u64,
             jobs_submitted: count("jobs_submitted"),
             jobs_admitted: count("jobs_admitted"),
@@ -412,6 +433,20 @@ pub fn validate_report_json(text: &str) -> Result<usize, String> {
     }
     if report.workload != "synthetic" && report.workload != "jsonl" {
         return Err(format!("unknown workload kind `{}`", report.workload));
+    }
+    let Some(device) = DeviceProfile::parse(&report.device_profile) else {
+        return Err(format!(
+            "unknown device_profile `{}`",
+            report.device_profile
+        ));
+    };
+    if report.mem_channels != device.mem_channels() as u64 {
+        return Err(format!(
+            "mem_channels {} disagrees with device_profile `{}` ({} channels)",
+            report.mem_channels,
+            report.device_profile,
+            device.mem_channels()
+        ));
     }
     if report.backends.is_empty() {
         return Err("no backend slices".into());
@@ -483,7 +518,7 @@ pub fn validate_report_json(text: &str) -> Result<usize, String> {
             ));
         }
     }
-    validate_planner(&report.planner)?;
+    validate_planner(&report.planner, device)?;
     validate_memory(&report.memory)?;
     Ok(report.backends.len())
 }
@@ -508,14 +543,21 @@ fn validate_memory(m: &MemoryReport) -> Result<(), String> {
     if m.pool_returns + m.pool_discards > leases {
         return Err("memory: returns + discards exceed leases taken".into());
     }
+    if m.pool_evictions > m.pool_returns {
+        return Err("memory: evictions exceed returns".into());
+    }
     if m.pool_hits > 0 && m.bytes_pooled == 0 {
         return Err("memory: pool hits recorded but bytes_pooled is 0".into());
     }
     Ok(())
 }
 
-/// Schema and accounting checks for the `planner` section.
-fn validate_planner(p: &PlannerReport) -> Result<(), String> {
+/// Schema and accounting checks for the `planner` section, including the
+/// replica-axis rules of the claimed device profile: a DDR report can only
+/// publish single-chain winners, and an HBM winner's replica count must be
+/// a power of two no larger than the claimed channel count (the tuner's
+/// enumeration rule — anything else never passed candidate validation).
+fn validate_planner(p: &PlannerReport, device: DeviceProfile) -> Result<(), String> {
     if p.enabled != (p.plans_requested > 0) {
         return Err("planner.enabled disagrees with plans_requested".into());
     }
@@ -553,6 +595,26 @@ fn validate_planner(p: &PlannerReport) -> Result<(), String> {
         }
         if !s.mean_cells_per_sec.is_finite() || s.mean_cells_per_sec < 0.0 {
             return Err(format!("planner shape `{}`: bad throughput", s.key));
+        }
+        match device {
+            DeviceProfile::Ddr if s.replicas != 1 => {
+                return Err(format!(
+                    "planner shape `{}`: replicas {} on a single-channel ddr profile",
+                    s.key, s.replicas
+                ));
+            }
+            _ => {}
+        }
+        if s.replicas == 0
+            || s.replicas > device.mem_channels() as u64
+            || !s.replicas.is_power_of_two()
+        {
+            return Err(format!(
+                "planner shape `{}`: replicas {} invalid for {} channels",
+                s.key,
+                s.replicas,
+                device.mem_channels()
+            ));
         }
         // Re-derive the winning plan's BlockConfig: the published plan must
         // itself satisfy the paper's Eq. 2 / Eq. 6 constraints.
@@ -645,7 +707,18 @@ mod tests {
         metrics.gauge("pool_resident_bytes").add(3 * 4096);
         metrics.counter("stencil_memo_misses").add(2);
         metrics.counter("stencil_memo_hits").add(1);
-        ServeReport::build("synthetic", 42, true, 2, &results, &metrics, &[], 0, 0.5)
+        ServeReport::build(
+            "synthetic",
+            42,
+            true,
+            DeviceProfile::Ddr,
+            2,
+            &results,
+            &metrics,
+            &[],
+            0,
+            0.5,
+        )
     }
 
     /// A report whose planner section reflects real planning activity.
@@ -668,7 +741,18 @@ mod tests {
         }
         let results = vec![result(1, Backend::Functional, Outcome::Completed)];
         let shapes = planner.snapshot();
-        ServeReport::build("synthetic", 7, true, 1, &results, &metrics, &shapes, 0, 0.5)
+        ServeReport::build(
+            "synthetic",
+            7,
+            true,
+            DeviceProfile::Ddr,
+            1,
+            &results,
+            &metrics,
+            &shapes,
+            0,
+            0.5,
+        )
     }
 
     #[test]
@@ -825,7 +909,18 @@ mod tests {
         for name in ["queue_wait_ms", "run_ms", "total_ms", "run_ms_functional"] {
             metrics.histogram(name).record(1.0);
         }
-        let report = ServeReport::build("jsonl", 0, false, 1, &results, &metrics, &[], 0, 0.5);
+        let report = ServeReport::build(
+            "jsonl",
+            0,
+            false,
+            DeviceProfile::Ddr,
+            1,
+            &results,
+            &metrics,
+            &[],
+            0,
+            0.5,
+        );
         assert_eq!(report.memory.pool_hit_rate, 0.0);
         validate_report_json(&serde_json::to_string(&report).unwrap()).unwrap();
     }
@@ -847,5 +942,112 @@ mod tests {
         let mut report = sample_report();
         report.wedged_workers = 1;
         assert!(!report.healthy());
+    }
+
+    /// A report produced against the HBM profile, where the planner is
+    /// expected to publish a replicated-chain winner.
+    fn hbm_report() -> ServeReport {
+        use crate::planner::{PlanMode, Planner, PlannerConfig};
+        let planner = Planner::with_device(PlannerConfig::default(), DeviceProfile::Hbm);
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        let mut s = crate::job::JobSpec::new_3d(1, 1, 512, 256, 16, 2);
+        s.plan = PlanMode::Auto;
+        planner.plan(&s, &served, &metrics).unwrap();
+        for name in ["jobs_submitted", "jobs_admitted"] {
+            metrics.counter(name).add(1);
+        }
+        metrics.counter("jobs_completed").inc();
+        for name in ["queue_wait_ms", "run_ms", "total_ms", "run_ms_functional"] {
+            metrics.histogram(name).record(1.0);
+        }
+        let results = vec![result(1, Backend::Functional, Outcome::Completed)];
+        let shapes = planner.snapshot();
+        ServeReport::build(
+            "synthetic",
+            9,
+            true,
+            DeviceProfile::Hbm,
+            1,
+            &results,
+            &metrics,
+            &shapes,
+            0,
+            0.5,
+        )
+    }
+
+    #[test]
+    fn hbm_report_with_replicated_winner_validates() {
+        let report = hbm_report();
+        assert_eq!(report.device_profile, "hbm");
+        assert_eq!(report.mem_channels, 32);
+        assert!(
+            report.planner.shapes.iter().any(|s| s.replicas > 1),
+            "HBM planner should surface a replicated winner"
+        );
+        validate_report_json(&serde_json::to_string(&report).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn device_profile_rejects_corruption() {
+        // A profile name the validator cannot map to a device.
+        let mut bad = sample_report();
+        bad.device_profile = "sram".to_string();
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("unknown device_profile"), "{err}");
+
+        // Channel count that disagrees with the claimed profile.
+        let mut bad = sample_report();
+        bad.mem_channels = 32;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("disagrees with device_profile"), "{err}");
+
+        // A v3 report (no device fields) must fail the schema parse.
+        let json = serde_json::to_string(&sample_report()).unwrap();
+        let stripped = json.replacen("\"device_profile\"", "\"device_profile_gone\"", 1);
+        let err = validate_report_json(&stripped).unwrap_err();
+        assert!(err.contains("missing field `device_profile`"), "{err}");
+    }
+
+    #[test]
+    fn replica_axis_rejects_invalid_winners() {
+        // A DDR report can never publish a replicated winner.
+        let mut bad = planned_report();
+        bad.planner.shapes[0].replicas = 2;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("single-channel ddr profile"), "{err}");
+
+        // An HBM winner claiming more replicas than the device has channels.
+        let mut bad = hbm_report();
+        let idx = bad
+            .planner
+            .shapes
+            .iter()
+            .position(|s| s.replicas > 1)
+            .expect("replicated winner");
+        bad.planner.shapes[idx].replicas = 64;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("invalid for 32 channels"), "{err}");
+
+        // Replica counts the tuner never enumerates (not a power of two).
+        let mut bad = hbm_report();
+        bad.planner.shapes[idx].replicas = 3;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("invalid for 32 channels"), "{err}");
+
+        // Replicas of zero never ran anything.
+        let mut bad = hbm_report();
+        bad.planner.shapes[idx].replicas = 0;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("invalid for 32 channels"), "{err}");
+    }
+
+    #[test]
+    fn pool_evictions_cannot_exceed_returns() {
+        let mut bad = sample_report();
+        bad.memory.pool_evictions = bad.memory.pool_returns + 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("evictions exceed returns"), "{err}");
     }
 }

@@ -37,7 +37,7 @@ use crate::batch::BatchPolicy;
 use crate::cancel::CancelToken;
 use crate::job::{Backend, JobResult, JobSpec, Outcome};
 use crate::metrics::MetricsRegistry;
-use crate::planner::{PlanError, PlanMode, Planner, PlannerConfig};
+use crate::planner::{DeviceProfile, PlanError, PlanMode, Planner, PlannerConfig};
 use crate::pool::{GridLease2D, GridLease3D, GridPool, PoolConfig, StencilMemo};
 use crate::queue::{AdmissionQueue, PushError, QueuedJob};
 use crate::retry::RetryPolicy;
@@ -69,6 +69,10 @@ pub struct RuntimeConfig {
     pub batch: BatchPolicy,
     /// Planner tunables for [`PlanMode::Auto`] jobs.
     pub planner: PlannerConfig,
+    /// Device profile the planner ranks candidates against. The HBM
+    /// profile opens the hybrid `replicas x partime` axis, so auto-planned
+    /// jobs can land on spatially replicated functional chains.
+    pub device: DeviceProfile,
     /// Simulator options handed to the Threaded backend (channel depth,
     /// lane override) — previously hard-coded to the defaults.
     pub sim: SimOptions,
@@ -86,6 +90,7 @@ impl Default for RuntimeConfig {
             retry: RetryPolicy::serving_default(),
             batch: BatchPolicy::serving_default(),
             planner: PlannerConfig::default(),
+            device: DeviceProfile::default(),
             sim: SimOptions::default(),
             pool: PoolConfig::default(),
         }
@@ -238,7 +243,7 @@ impl Runtime {
         let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
         let metrics = Arc::new(MetricsRegistry::new());
         let sink = Arc::new(ResultSink::default());
-        let planner = Arc::new(Planner::new(config.planner.clone()));
+        let planner = Arc::new(Planner::with_device(config.planner.clone(), config.device));
         let env = ExecEnv::new(&metrics, config.sim, config.pool);
         let mut workers = Vec::new();
         for &backend in &config.backends {
@@ -570,12 +575,13 @@ fn execute(
         let counters = match spec.backend {
             Backend::Functional => {
                 let cancel = || token.is_cancelled();
-                match functional::run_2d_cancellable_into(
+                match functional::run_2d_replicated_cancellable_into(
                     &st,
                     &input,
                     &cfg,
                     spec.iters,
                     cfg.parvec,
+                    spec.replicas.get(),
                     &cancel,
                     &mut out,
                     &mut scratch,
@@ -626,12 +632,13 @@ fn execute(
         let counters = match spec.backend {
             Backend::Functional => {
                 let cancel = || token.is_cancelled();
-                match functional::run_3d_cancellable_into(
+                match functional::run_3d_replicated_cancellable_into(
                     &st,
                     &input,
                     &cfg,
                     spec.iters,
                     cfg.parvec,
+                    spec.replicas.get(),
                     &cancel,
                     &mut out,
                     &mut scratch,
@@ -875,6 +882,37 @@ mod tests {
                 None => expected = Some(sum),
                 Some(e) => assert_eq!(sum, e, "backends disagree"),
             }
+        }
+    }
+
+    #[test]
+    fn execute_replicated_spec_matches_oracle() {
+        // A spec planned onto R spatial chains runs the hybrid functional
+        // path and stays bit-exact with the sequential oracle — same
+        // checksum a single-chain run of the job would report.
+        let token = CancelToken::new();
+        let (env, _) = test_env();
+        let mut expected = None;
+        for replicas in [1usize, 2, 4] {
+            let mut spec = JobSpec::new_2d(13, 2, 96, 24, 5);
+            spec.replicas = crate::job::Replicas(replicas);
+            let out = execute(&spec, 1, &token, &env).ok().expect("completes");
+            let oracle = {
+                let st = Stencil2D::<f32>::random(2, spec.seed).unwrap();
+                exec::run_2d(&st, &grid_2d(&spec), 5)
+            };
+            match &out.output {
+                OutputGrid::G2(g) => assert_eq!(&**g, &oracle, "replicas {replicas}"),
+                OutputGrid::G3(_) => panic!("2D job produced 3D grid"),
+            }
+            match expected {
+                None => expected = Some(out.checksum),
+                Some(e) => assert_eq!(out.checksum, e, "replicas {replicas}"),
+            }
+            assert!(
+                shadow_verify(&spec, &out.output, &env),
+                "replicas {replicas}"
+            );
         }
     }
 

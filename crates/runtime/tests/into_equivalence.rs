@@ -146,6 +146,107 @@ proptest! {
     }
 
     #[test]
+    fn folded_and_wavefront_into_2d_match_allocating_and_oracle(
+        rad in 1usize..=4,
+        block_x in 1usize..=40,
+        tsteps in 1usize..=4,
+        nx in 1usize..=48,
+        ny in 1usize..=14,
+        iters in 0usize..=5,
+        seed in 0u64..1_000,
+    ) {
+        let st = Stencil2D::<f32>::random(rad, seed).unwrap();
+        let grid =
+            Grid2D::from_fn(nx, ny, |x, y| ((x * 7 + y * 13 + seed as usize) % 31) as f32)
+                .unwrap();
+        let pool = test_pool();
+        let oracle = stencil_core::exec::run_2d(&st, &grid, iters);
+
+        let mut out = dirty_lease_2d(&pool, nx, ny);
+        let mut scratch = dirty_lease_2d(&pool, nx, ny);
+        cpu_engine::folded::folded_run_2d_into(&st, &grid, iters, &mut out, &mut scratch);
+        prop_assert_eq!(&*out, &cpu_engine::folded::folded_run_2d(&st, &grid, iters));
+        prop_assert_eq!(&*out, &oracle);
+
+        // Reuse the (again dirty) leases for the wavefront engine.
+        cpu_engine::wavefront::wavefront_2d_into(
+            &st, &grid, iters, block_x, tsteps, &mut out, &mut scratch,
+        );
+        prop_assert_eq!(
+            &*out,
+            &cpu_engine::wavefront::wavefront_2d(&st, &grid, iters, block_x, tsteps)
+        );
+        prop_assert_eq!(&*out, &oracle);
+    }
+
+    #[test]
+    fn folded_and_wavefront_into_3d_match_allocating_and_oracle(
+        rad in 1usize..=3,
+        block_x in 1usize..=16,
+        block_y in 1usize..=12,
+        tsteps in 1usize..=3,
+        nx in 1usize..=18,
+        ny in 1usize..=12,
+        nz in 1usize..=7,
+        iters in 0usize..=4,
+        seed in 0u64..1_000,
+    ) {
+        let st = Stencil3D::<f32>::random(rad, seed).unwrap();
+        let grid = Grid3D::from_fn(nx, ny, nz, |x, y, z| {
+            ((x * 3 + y * 5 + z * 11 + seed as usize) % 29) as f32
+        })
+        .unwrap();
+        let pool = test_pool();
+        let oracle = stencil_core::exec::run_3d(&st, &grid, iters);
+
+        let mut out = dirty_lease_3d(&pool, nx, ny, nz);
+        let mut scratch = dirty_lease_3d(&pool, nx, ny, nz);
+        cpu_engine::folded::folded_run_3d_into(&st, &grid, iters, &mut out, &mut scratch);
+        prop_assert_eq!(&*out, &cpu_engine::folded::folded_run_3d(&st, &grid, iters));
+        prop_assert_eq!(&*out, &oracle);
+
+        cpu_engine::wavefront::wavefront_3d_into(
+            &st, &grid, iters, block_x, block_y, tsteps, &mut out, &mut scratch,
+        );
+        prop_assert_eq!(
+            &*out,
+            &cpu_engine::wavefront::wavefront_3d(&st, &grid, iters, block_x, block_y, tsteps)
+        );
+        prop_assert_eq!(&*out, &oracle);
+    }
+
+    #[test]
+    fn replicated_into_2d_matches_single_chain_on_dirty_buffers(
+        rad in 1usize..=4,
+        pv in 0usize..=1,
+        extra in 0usize..=4,
+        r_i in 0usize..=2,
+        nx in 1usize..=72,
+        ny in 1usize..=20,
+        iters in 0usize..=6,
+        seed in 0u64..1_000,
+    ) {
+        // The hybrid replicated-chain serving path: dirty pooled buffers,
+        // R halo-overlapped partitions, bit-exact vs the oracle.
+        let replicas = [1usize, 2, 4][r_i];
+        let cfg = cfg_2d(rad, 1, pv, extra);
+        let st = Stencil2D::<f32>::random(rad, seed).unwrap();
+        let grid =
+            Grid2D::from_fn(nx, ny, |x, y| ((x * 7 + y * 13 + seed as usize) % 31) as f32)
+                .unwrap();
+        let pool = test_pool();
+        let oracle = serial_ref::run_2d_serial(&st, &grid, &cfg, iters);
+
+        let mut out = dirty_lease_2d(&pool, nx, ny);
+        let mut scratch = dirty_lease_2d(&pool, nx, ny);
+        let counters = functional::run_2d_replicated_cancellable_into(
+            &st, &grid, &cfg, iters, cfg.parvec, replicas, &|| false, &mut out, &mut scratch,
+        );
+        prop_assert!(counters.is_some());
+        prop_assert_eq!(&*out, &oracle);
+    }
+
+    #[test]
     fn threaded_into_2d_matches_oracle_at_shallow_depths(
         rad in 1usize..=3,
         extra in 0usize..=3,

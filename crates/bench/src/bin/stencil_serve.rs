@@ -4,7 +4,9 @@
 //! stencil_serve --synthetic [--jobs N] [--seed S] [--quick]
 //!               [--shadow-pct P] [--queue-cap C] [--workers W]
 //!               [--auto-plan] [--plan-explain] [--device ddr|hbm]
-//!               [--out BENCH_serve.json]
+//!               [--tenants N] [--tenant-weight NAME=W] [--tenant-cap NAME=C]
+//!               [--mean-arrival-us U] [--stream-out FILE|-]
+//!               [--fairness-ratio F] [--out BENCH_serve.json]
 //! stencil_serve --workload FILE.jsonl [--out FILE]
 //! stencil_serve --synthetic --emit-workload FILE.jsonl [--jobs N] [--seed S]
 //! stencil_serve --check-report FILE [--min-pool-hit-rate F]
@@ -29,6 +31,20 @@
 //! to a single deep-temporal chain, while `hbm` (Stratix 10 MX, 32
 //! channels) opens the hybrid replicas-by-partime axis.
 //!
+//! The admission front-end is asynchronous and multi-tenant. `--tenants N`
+//! spreads the synthetic workload round-robin over N tenants
+//! (`tenant-0..tenant-N-1`) scheduled by deficit-weighted round-robin;
+//! `--tenant-weight` and `--tenant-cap` set a tenant's DWRR weight and
+//! in-flight quota (quota rejections are counted separately from
+//! queue-full). `--mean-arrival-us` overrides the open-loop mean
+//! inter-arrival gap — the 10x/100x arrival-rate experiments in
+//! EXPERIMENTS.md. `--stream-out FILE` (`-` = stdout) switches submission
+//! to the non-blocking streaming path: every terminal result is emitted as
+//! one JSON line the moment its shard finishes it, and the driver verifies
+//! the stream delivered exactly one line per terminal job.
+//! `--fairness-ratio F` gates the run on per-tenant p99 spread: the
+//! slowest tenant's p99 must stay within `F×` the fastest's.
+//!
 //! `--diff-winners` compares the planner sections of two emitted reports
 //! (e.g. a DDR run and an HBM run of the same workload) and exits 0 only
 //! when at least one common shape class picked a different winning plan —
@@ -39,11 +55,12 @@
 //! usage or validation errors — the same convention as
 //! `stencil_bench --check-matrix`.
 
+use std::io::Write;
 use std::time::Duration;
-use stencil_runtime::workload::{arrival_gaps_us, parse_jsonl, to_jsonl};
+use stencil_runtime::workload::{to_jsonl, ArrivalGaps, JsonlStream};
 use stencil_runtime::{
-    validate_report_json, DeviceProfile, PlanMode, Runtime, RuntimeConfig, ServeReport,
-    SubmitError, SyntheticParams,
+    validate_report_json, DeviceProfile, PlanMode, ResultStream, Runtime, RuntimeConfig,
+    ServeReport, SubmitError, SyntheticParams, TenantPolicy,
 };
 
 #[derive(Debug)]
@@ -64,6 +81,11 @@ struct Args {
     check: Option<String>,
     min_pool_hit_rate: Option<f64>,
     diff_winners: Option<(String, String)>,
+    tenants: usize,
+    tenant_policy: TenantPolicy,
+    mean_arrival_us: Option<u64>,
+    stream_out: Option<String>,
+    fairness_ratio: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -84,6 +106,11 @@ fn parse_args() -> Args {
         check: None,
         min_pool_hit_rate: None,
         diff_winners: None,
+        tenants: 1,
+        tenant_policy: TenantPolicy::default(),
+        mean_arrival_us: None,
+        stream_out: None,
+        fairness_ratio: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -114,6 +141,38 @@ fn parse_args() -> Args {
                 let right = take(&mut i);
                 a.diff_winners = Some((left, right));
             }
+            "--tenants" => a.tenants = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--tenant-weight" => {
+                let (name, w) = split_kv(&take(&mut i));
+                let weight: u64 = w.parse().unwrap_or_else(|_| usage());
+                if weight == 0 {
+                    usage();
+                }
+                a.tenant_policy.overrides.entry(name).or_default().weight = weight;
+            }
+            "--tenant-cap" => {
+                let (name, c) = split_kv(&take(&mut i));
+                a.tenant_policy
+                    .overrides
+                    .entry(name)
+                    .or_default()
+                    .max_in_flight = c.parse().unwrap_or_else(|_| usage());
+            }
+            "--mean-arrival-us" => {
+                let v: u64 = take(&mut i).parse().unwrap_or_else(|_| usage());
+                if v == 0 {
+                    usage();
+                }
+                a.mean_arrival_us = Some(v);
+            }
+            "--stream-out" => a.stream_out = Some(take(&mut i)),
+            "--fairness-ratio" => {
+                let v: f64 = take(&mut i).parse().unwrap_or_else(|_| usage());
+                if !v.is_finite() || v < 1.0 {
+                    usage();
+                }
+                a.fairness_ratio = Some(v);
+            }
             "--min-pool-hit-rate" => {
                 let v: f64 = take(&mut i).parse().unwrap_or_else(|_| usage());
                 if !(0.0..=1.0).contains(&v) {
@@ -133,7 +192,13 @@ fn parse_args() -> Args {
         + a.workload.is_some() as usize
         + a.check.is_some() as usize
         + a.diff_winners.is_some() as usize;
-    if modes != 1 || a.jobs == 0 || a.shadow_pct > 100 || a.queue_cap == 0 || a.workers == 0 {
+    if modes != 1
+        || a.jobs == 0
+        || a.shadow_pct > 100
+        || a.queue_cap == 0
+        || a.workers == 0
+        || a.tenants == 0
+    {
         usage();
     }
     if a.min_pool_hit_rate.is_some() && a.check.is_none() {
@@ -142,11 +207,21 @@ fn parse_args() -> Args {
     a
 }
 
+/// Splits a `NAME=VALUE` flag operand.
+fn split_kv(arg: &str) -> (String, String) {
+    match arg.split_once('=') {
+        Some((k, v)) if !k.is_empty() => (k.to_string(), v.to_string()),
+        _ => usage(),
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: stencil_serve --synthetic [--jobs N] [--seed S] [--quick] \
          [--shadow-pct P] [--queue-cap C] [--workers W] [--auto-plan] \
-         [--plan-explain] [--device ddr|hbm] [--out FILE]\
+         [--plan-explain] [--device ddr|hbm] [--tenants N] \
+         [--tenant-weight NAME=W] [--tenant-cap NAME=C] [--mean-arrival-us U] \
+         [--stream-out FILE|-] [--fairness-ratio F] [--out FILE]\
          \n       stencil_serve --workload FILE.jsonl [--auto-plan] [--out FILE]\
          \n       stencil_serve --synthetic --emit-workload FILE.jsonl [--jobs N] [--seed S]\
          \n       stencil_serve --check-report FILE [--min-pool-hit-rate F]\
@@ -166,52 +241,72 @@ fn main() {
         return;
     }
 
-    // Assemble the workload and its open-loop arrival gaps.
-    let params = SyntheticParams::new(a.jobs, a.seed, a.quick);
-    let (kind, mut specs, gaps, seed) = if let Some(file) = &a.workload {
-        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+    // Assemble the workload source. Synthetic workloads are generated in
+    // memory; JSONL replays stream line-buffered off disk — the file is
+    // never materialized, so a replay can be arbitrarily long.
+    let mut params = SyntheticParams::new(a.jobs, a.seed, a.quick);
+    params.tenants = a.tenants;
+    if let Some(u) = a.mean_arrival_us {
+        params.mean_arrival_us = u;
+    }
+    let auto_plan = a.auto_plan;
+    let (kind, seed, specs): (
+        &str,
+        u64,
+        Box<dyn Iterator<Item = stencil_runtime::JobSpec>>,
+    ) = if let Some(file) = a.workload.clone() {
+        let f = std::fs::File::open(&file).unwrap_or_else(|e| {
             eprintln!("stencil_serve: cannot read {file}: {e}");
             std::process::exit(2);
         });
-        let specs = parse_jsonl(&text).unwrap_or_else(|(line, msg)| {
-            eprintln!("stencil_serve: {file}:{line}: {msg}");
-            std::process::exit(2);
+        let stream = JsonlStream::new(std::io::BufReader::new(f)).map(move |r| {
+            r.unwrap_or_else(|(line, msg)| {
+                eprintln!("stencil_serve: {file}:{line}: {msg}");
+                std::process::exit(2);
+            })
         });
-        if specs.is_empty() {
-            eprintln!("stencil_serve: {file}: workload is empty");
-            std::process::exit(2);
-        }
-        let replay = SyntheticParams::new(specs.len(), a.seed, a.quick);
-        ("jsonl", specs, arrival_gaps_us(&replay), 0)
+        ("jsonl", 0, Box::new(stream))
     } else {
         let specs = stencil_runtime::synthetic_workload(&params);
-        ("synthetic", specs, arrival_gaps_us(&params), a.seed)
+        ("synthetic", a.seed, Box::new(specs.into_iter()))
     };
-    if a.auto_plan {
-        for spec in &mut specs {
+    let mut specs = specs.map(move |mut spec| {
+        if auto_plan {
             spec.plan = PlanMode::Auto;
         }
-    }
+        spec
+    });
 
     if let Some(file) = &a.emit_workload {
-        if let Err(e) = std::fs::write(file, to_jsonl(&specs)) {
+        let all: Vec<_> = specs.collect();
+        if let Err(e) = std::fs::write(file, to_jsonl(&all)) {
             eprintln!("stencil_serve: cannot write {file}: {e}");
             std::process::exit(2);
         }
-        println!("wrote {file} ({} job specs)", specs.len());
+        println!("wrote {file} ({} job specs)", all.len());
         return;
     }
 
     println!(
-        "stencil_serve: {kind} workload, {} jobs (seed {seed}{}), \
-         queue cap {}, {} workers/shard, shadow {}%, device {}{}",
-        specs.len(),
+        "stencil_serve: {kind} workload (seed {seed}{}), queue cap {}, \
+         {} workers/shard, shadow {}%, device {}, mean arrival {} us{}{}{}",
         if a.quick { ", quick" } else { "" },
         a.queue_cap,
         a.workers,
         a.shadow_pct,
         a.device,
+        params.mean_arrival_us,
         if a.auto_plan { ", auto-planned" } else { "" },
+        if a.tenants > 1 {
+            format!(", {} tenants", a.tenants)
+        } else {
+            String::new()
+        },
+        if a.stream_out.is_some() {
+            ", streaming"
+        } else {
+            ""
+        },
     );
 
     let rt = Runtime::start(RuntimeConfig {
@@ -219,27 +314,71 @@ fn main() {
         workers_per_shard: a.workers,
         shadow_percent: a.shadow_pct,
         device: a.device,
+        tenants: a.tenant_policy.clone(),
         ..RuntimeConfig::default()
     });
 
+    // Streaming mode: results flow over a bounded channel to a consumer
+    // thread that emits one JSON line per terminal job as it completes.
+    let streaming = a.stream_out.as_ref().map(|path| {
+        let (tx, rx) = ResultStream::bounded(a.queue_cap.max(64));
+        let sink: Box<dyn Write + Send> = if path == "-" {
+            Box::new(std::io::stdout())
+        } else {
+            Box::new(std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("stencil_serve: cannot write {path}: {e}");
+                std::process::exit(2);
+            }))
+        };
+        let consumer = std::thread::spawn(move || -> u64 {
+            let mut w = std::io::BufWriter::new(sink);
+            let mut lines = 0u64;
+            for result in rx {
+                let line = serde_json::to_string(&result).expect("result serializes");
+                writeln!(w, "{line}").expect("stream sink writable");
+                lines += 1;
+            }
+            w.flush().expect("stream sink flushes");
+            lines
+        });
+        (tx, consumer)
+    });
+
     // Open-loop submission: sleep the pre-drawn gap, then offer the job.
-    // QueueFull is expected under burst — the runtime counts the rejection.
-    let jobs_requested = specs.len();
-    for (spec, gap_us) in specs.into_iter().zip(gaps) {
+    // QueueFull (global backpressure) and QuotaExceeded (per-tenant cap)
+    // are expected under burst — the runtime counts both rejections.
+    let gaps = ArrivalGaps::new(a.seed, params.mean_arrival_us);
+    let mut jobs_requested = 0usize;
+    for (spec, gap_us) in (&mut specs).zip(gaps) {
         std::thread::sleep(Duration::from_micros(gap_us));
+        jobs_requested += 1;
         let id = spec.id;
-        match rt.submit(spec) {
-            Ok(_) | Err(SubmitError::QueueFull) => {}
+        let submitted = match &streaming {
+            Some((tx, _)) => rt.submit_streaming(spec, tx),
+            None => rt.submit(spec),
+        };
+        match submitted {
+            Ok(_) | Err(SubmitError::QueueFull) | Err(SubmitError::QuotaExceeded { .. }) => {}
             Err(e) => {
                 eprintln!("stencil_serve: job {id}: unexpected refusal: {e}");
                 std::process::exit(2);
             }
         }
     }
+    if jobs_requested == 0 {
+        eprintln!("stencil_serve: workload is empty");
+        std::process::exit(2);
+    }
 
     let metrics = std::sync::Arc::clone(rt.metrics());
     let planner = std::sync::Arc::clone(rt.planner());
     let outcome = rt.drain();
+    // With the runtime drained every shard has sent its last reply; dropping
+    // our sender closes the stream and the consumer reports its line count.
+    let streamed = streaming.map(|(tx, consumer)| {
+        drop(tx);
+        consumer.join().expect("stream consumer")
+    });
     let shapes = planner.snapshot();
     let report = ServeReport::build(
         kind,
@@ -250,6 +389,8 @@ fn main() {
         &outcome.results,
         &metrics,
         &shapes,
+        &outcome.tenants,
+        outcome.steals,
         outcome.wedged_workers,
         outcome.wall_seconds,
     );
@@ -265,6 +406,21 @@ fn main() {
     }
     println!("wrote {}", a.out);
 
+    if let Some(lines) = streamed {
+        let terminal = report.terminal_jobs();
+        if lines != terminal {
+            eprintln!(
+                "stencil_serve: STREAM LOSS: {lines} streamed lines vs {terminal} terminal jobs"
+            );
+            std::process::exit(1);
+        }
+        println!("  stream: {lines} results delivered, zero loss");
+    }
+
+    if let Some(bound) = a.fairness_ratio {
+        check_fairness(&report, bound);
+    }
+
     if !report.healthy() {
         eprintln!(
             "stencil_serve: UNHEALTHY run ({} shadow mismatches, {} wedged workers, \
@@ -278,10 +434,42 @@ fn main() {
     }
 }
 
+/// The `--fairness-ratio` gate: among tenants that completed work, the
+/// slowest p99 must stay within `bound ×` the fastest p99 — the DWRR
+/// starvation check. Exit 1 on violation; fewer than two tenants pass
+/// trivially.
+fn check_fairness(report: &ServeReport, bound: f64) {
+    let p99s: Vec<(&str, f64)> = report
+        .tenants
+        .iter()
+        .filter(|t| t.completed > 0)
+        .map(|t| (t.tenant.as_str(), t.total_ms.p99_ms))
+        .collect();
+    if p99s.len() < 2 {
+        println!("  fairness: fewer than two active tenants, gate passes trivially");
+        return;
+    }
+    let max = p99s.iter().fold(f64::MIN, |m, (_, v)| m.max(*v));
+    // Floor the denominator so an instant-finish tenant cannot demand an
+    // infinite ratio of the others.
+    let min = p99s.iter().fold(f64::MAX, |m, (_, v)| m.min(*v)).max(0.1);
+    let ratio = max / min;
+    if ratio > bound {
+        eprintln!(
+            "stencil_serve: FAIRNESS VIOLATION: tenant p99 spread {ratio:.2}x exceeds {bound:.2}x"
+        );
+        for (name, p99) in &p99s {
+            eprintln!("    {name}: p99 {p99:.2} ms");
+        }
+        std::process::exit(1);
+    }
+    println!("  fairness: tenant p99 spread {ratio:.2}x within {bound:.2}x");
+}
+
 fn print_summary(r: &ServeReport) {
     println!(
-        "  {} submitted: {} admitted, {} rejected (queue full), {} invalid",
-        r.jobs_submitted, r.jobs_admitted, r.jobs_rejected, r.jobs_invalid
+        "  {} submitted: {} admitted, {} rejected (queue full), {} quota-rejected, {} invalid",
+        r.jobs_submitted, r.jobs_admitted, r.jobs_rejected, r.jobs_quota_rejected, r.jobs_invalid
     );
     println!(
         "  outcomes: {} completed, {} failed, {} timed out, {} cancelled \
@@ -317,6 +505,18 @@ fn print_summary(r: &ServeReport) {
         m.bytes_pooled as f64 / (1024.0 * 1024.0),
         m.stencil_memo_hits,
         m.stencil_memo_misses,
+    );
+    for t in &r.tenants {
+        println!(
+            "    tenant {:>10} (w{}): {} admitted, {} quota-rejected, \
+             {} completed, total p99 {:.2} ms",
+            t.tenant, t.weight, t.admitted, t.rejected_quota, t.completed, t.total_ms.p99_ms
+        );
+    }
+    let sch = &r.scheduler;
+    println!(
+        "  scheduler: {} steal sweeps ({} hits, {} misses), quantum {} cells",
+        sch.steals, sch.steal_hits, sch.steal_misses, sch.dwrr_quantum_cells
     );
     let p = &r.planner;
     if p.enabled {

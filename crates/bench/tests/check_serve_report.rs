@@ -89,6 +89,41 @@ fn corrupted_replica_axis_exits_2() {
     assert!(stderr.contains("replicas 3 invalid"), "stderr: {stderr}");
 }
 
+#[test]
+fn corrupted_tenant_section_exits_2() {
+    // The fixture is the golden report with `tenants[0].rejected_quota`
+    // rewritten so the slices no longer sum to `jobs_quota_rejected`.
+    let (code, stderr) = check(&fixture("serve_report_bad_tenants.json"));
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("rejected_quota"), "stderr: {stderr}");
+}
+
+#[test]
+fn missing_steal_counters_exit_2() {
+    // Schema v5 made the scheduler's steal counters mandatory: a report
+    // without `scheduler.steal_hits` (v4 drift) must fail the parse.
+    let (code, stderr) = check(&fixture("serve_report_missing_steals.json"));
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("steal_hits"), "stderr: {stderr}");
+}
+
+#[test]
+fn inconsistent_steal_counters_exit_2() {
+    // steals != steal_hits + steal_misses is corrupted accounting.
+    let text = std::fs::read_to_string(fixture("serve_report_golden.json")).unwrap();
+    let mut bad: stencil_runtime::ServeReport = serde_json::from_str(&text).unwrap();
+    bad.scheduler.steals += 1;
+    let path = std::env::temp_dir().join(format!(
+        "serve_report_bad_steals_{}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, serde_json::to_string(&bad).unwrap()).unwrap();
+    let (code, stderr) = check(&path);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("steal_hits"), "stderr: {stderr}");
+}
+
 /// Runs `stencil_serve --diff-winners <a> <b>`; returns (exit code, stdout,
 /// stderr).
 fn diff(a: &Path, b: &Path) -> (i32, String, String) {

@@ -7,6 +7,7 @@
 //! the replay format `stencil_serve` consumes.
 
 use crate::planner::{PlanChoice, PlanError, PlanMode};
+use crate::tenant::Tenant;
 use serde::{Deserialize, Serialize};
 use stencil_core::BlockConfig;
 
@@ -163,6 +164,10 @@ pub struct JobSpec {
     /// Backend shard that serves the job. Under [`PlanMode::Auto`] this is
     /// only a hint — the planner overwrites it at admission.
     pub backend: Backend,
+    /// The tenant this job bills to: its fair-scheduling lane and quota
+    /// bucket. Absent in pre-tenant JSONL workloads, which deserialize as
+    /// `"default"`.
+    pub tenant: Tenant,
     /// How the block configuration and backend are chosen: `Explicit`
     /// (default; the fields above are used verbatim) or `Auto` (the
     /// runtime's planner picks them from the performance model + measured
@@ -205,6 +210,7 @@ impl JobSpec {
             partime: 4 / gcd(rad, 4),
             replicas: Replicas(1),
             backend: Backend::Functional,
+            tenant: Tenant::default(),
             plan: PlanMode::Explicit,
             priority: Priority::Normal,
             deadline_ms: 0,
@@ -230,6 +236,7 @@ impl JobSpec {
             partime: 4 / gcd(rad, 4),
             replicas: Replicas(1),
             backend: Backend::Functional,
+            tenant: Tenant::default(),
             plan: PlanMode::Explicit,
             priority: Priority::Normal,
             deadline_ms: 0,
@@ -317,7 +324,11 @@ pub enum Outcome {
 pub struct JobResult {
     /// The spec's `id`.
     pub id: u64,
-    /// Shard that served (or abandoned) the job.
+    /// The spec's tenant name — the fairness accounting key.
+    pub tenant: String,
+    /// Shard that served (or abandoned) the job. Stolen jobs still report
+    /// their shard's backend: stealing moves work between same-backend
+    /// workers, never across backends.
     pub backend: Backend,
     /// Terminal state.
     pub outcome: Outcome,
@@ -442,6 +453,28 @@ mod tests {
         let back: JobSpec = serde_json::from_str(&line).unwrap();
         assert_eq!(back.plan, PlanMode::Explicit);
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn tenant_defaults_in_old_workloads() {
+        let spec = JobSpec::new_2d(9, 1, 64, 16, 2);
+        let mut line = serde_json::to_string(&spec).unwrap();
+        // Simulate a pre-tenant JSONL line with no `tenant` key.
+        line = line.replace("\"tenant\":\"default\",", "");
+        assert!(!line.contains("tenant"), "field must be gone: {line}");
+        let back: JobSpec = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.tenant, Tenant::default());
+        assert_eq!(back, spec);
+        // A named tenant round-trips.
+        let mut named = spec.clone();
+        named.tenant = Tenant::new("acme");
+        let round: JobSpec = serde_json::from_str(&serde_json::to_string(&named).unwrap()).unwrap();
+        assert_eq!(round.tenant.name(), "acme");
+        // An empty tenant string on the wire is rejected, not defaulted.
+        let empty = serde_json::to_string(&spec)
+            .unwrap()
+            .replace("\"tenant\":\"default\",", "\"tenant\":\"\",");
+        assert!(serde_json::from_str::<JobSpec>(&empty).is_err());
     }
 
     #[test]

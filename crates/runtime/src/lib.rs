@@ -46,6 +46,9 @@ pub mod pool;
 pub mod queue;
 pub mod report;
 pub mod retry;
+pub mod steal;
+pub mod stream;
+pub mod tenant;
 pub mod worker;
 pub mod workload;
 
@@ -57,8 +60,11 @@ pub use planner::{
     DeviceProfile, PlanChoice, PlanError, PlanMode, Planner, PlannerConfig, ShapeKey,
 };
 pub use pool::{GridLease2D, GridLease3D, GridPool, PoolConfig, PoolStats, StencilMemo};
-pub use queue::{AdmissionQueue, PushError};
+pub use queue::{AdmissionQueue, Popped, PushError};
 pub use report::{validate_report_json, LatencySummary, PlannerReport, ServeReport};
 pub use retry::RetryPolicy;
-pub use worker::{DrainOutcome, JobHandle, Runtime, RuntimeConfig, SubmitError};
-pub use workload::{synthetic_workload, SyntheticParams};
+pub use steal::{StealCounters, StealDomain, StealQueue};
+pub use stream::{ResultSender, ResultStream};
+pub use tenant::{Tenant, TenantConfig, TenantPolicy, TenantRegistry, TenantSnapshot};
+pub use worker::{DrainOutcome, JobHandle, Runtime, RuntimeConfig, SubmitError, Ticket};
+pub use workload::{synthetic_workload, tenant_for, ArrivalGaps, JsonlStream, SyntheticParams};

@@ -8,6 +8,8 @@
 use crate::job::{Backend, JobResult, Outcome};
 use crate::metrics::MetricsRegistry;
 use crate::planner::{DeviceProfile, ShapeSnapshot};
+use crate::steal::StealTotals;
+use crate::tenant::TenantSnapshot;
 use serde::{Deserialize, Serialize};
 use stencil_core::BlockConfig;
 
@@ -19,8 +21,12 @@ use stencil_core::BlockConfig;
 /// statistics from the zero-allocation data path); 4 = adds the device
 /// profile (`device_profile`, `mem_channels`), the planner's hybrid
 /// replica axis (`planner.shapes[].replicas`), and watermark eviction
-/// accounting (`memory.pool_evictions`).
-pub const SCHEMA_VERSION: u64 = 4;
+/// accounting (`memory.pool_evictions`); 5 = adds the mandatory `tenants`
+/// (per-tenant fairness accounting: completed/rejected/p99 under DWRR
+/// scheduling and in-flight quotas) and `scheduler` (work-stealing
+/// counters, cross-validated `steals == steal_hits + steal_misses`)
+/// sections plus top-level `jobs_quota_rejected`.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Latency distribution summary (milliseconds).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -40,6 +46,32 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
+    /// Exact nearest-rank percentiles over raw samples (used for the
+    /// per-tenant slices, which have no dedicated histogram).
+    fn from_samples(samples: &mut [f64]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean_ms: 0.0,
+                p50_ms: 0.0,
+                p95_ms: 0.0,
+                p99_ms: 0.0,
+                max_ms: 0.0,
+            };
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let n = samples.len();
+        let rank = |q: f64| samples[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        LatencySummary {
+            count: n as u64,
+            mean_ms: samples.iter().sum::<f64>() / n as f64,
+            p50_ms: rank(0.50),
+            p95_ms: rank(0.95),
+            p99_ms: rank(0.99),
+            max_ms: samples[n - 1],
+        }
+    }
+
     /// Summarizes the named histogram in `metrics`.
     fn from_histogram(metrics: &MetricsRegistry, name: &str) -> LatencySummary {
         let h = metrics.histogram(name);
@@ -239,6 +271,55 @@ impl MemoryReport {
     }
 }
 
+/// One tenant's slice of the load test: admission accounting from the
+/// [`crate::tenant::TenantRegistry`] cross-validated against outcome
+/// counts derived independently from the terminal results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub tenant: String,
+    /// Effective DWRR weight.
+    pub weight: u64,
+    /// Effective in-flight cap (0 = unlimited).
+    pub max_in_flight: u64,
+    /// Jobs that got past admission (registry side).
+    pub admitted: u64,
+    /// Submissions rejected at the tenant's in-flight quota.
+    pub rejected_quota: u64,
+    /// Highest concurrent in-flight count observed.
+    pub in_flight_high_water: u64,
+    /// Jobs that reached a terminal state (results side — the validator
+    /// requires this to equal `admitted`: nothing admitted may be lost).
+    pub jobs: u64,
+    /// Completed jobs.
+    pub completed: u64,
+    /// Jobs that exhausted their retry budget.
+    pub failed: u64,
+    /// Deadline expiries.
+    pub timed_out: u64,
+    /// Explicit cancellations.
+    pub cancelled: u64,
+    /// Useful cell updates committed by this tenant's completed jobs.
+    pub cells_updated: u64,
+    /// Admission-to-terminal latency distribution for this tenant (exact
+    /// nearest-rank percentiles over its results).
+    pub total_ms: LatencySummary,
+}
+
+/// The `scheduler` section: DWRR parameters and the work-stealing protocol
+/// counters, cross-validated (`steals == steal_hits + steal_misses`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedulerReport {
+    /// DWRR refill per lane visit before the weight multiplier, in cells.
+    pub dwrr_quantum_cells: u64,
+    /// Steal sweeps attempted by idle workers, summed over shards.
+    pub steals: u64,
+    /// Sweeps that claimed a job from a sibling's ring.
+    pub steal_hits: u64,
+    /// Sweeps that found every sibling ring empty.
+    pub steal_misses: u64,
+}
+
 /// The complete load-test report (`BENCH_serve.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -266,6 +347,9 @@ pub struct ServeReport {
     pub jobs_rejected: u64,
     /// Jobs refused as invalid.
     pub jobs_invalid: u64,
+    /// Jobs refused at a per-tenant in-flight quota (distinct from the
+    /// global queue-full `jobs_rejected`).
+    pub jobs_quota_rejected: u64,
     /// Completed jobs.
     pub jobs_completed: u64,
     /// Jobs that exhausted retries.
@@ -306,12 +390,17 @@ pub struct ServeReport {
     pub planner: PlannerReport,
     /// Grid-pool and stencil-memo statistics (the zero-allocation path).
     pub memory: MemoryReport,
+    /// Per-tenant fairness accounting (one entry per tenant seen).
+    pub tenants: Vec<TenantReport>,
+    /// DWRR and work-stealing counters.
+    pub scheduler: SchedulerReport,
 }
 
 impl ServeReport {
-    /// Assembles the report from terminal results, the live registry, and
-    /// the planner's drain-time cache snapshot (empty slice when nothing
-    /// was auto-planned).
+    /// Assembles the report from terminal results, the live registry, the
+    /// planner's drain-time cache snapshot (empty slice when nothing was
+    /// auto-planned), the tenant registry's drain snapshot, and the
+    /// work-stealing totals.
     #[allow(clippy::too_many_arguments)]
     pub fn build(
         workload: &str,
@@ -322,6 +411,8 @@ impl ServeReport {
         results: &[JobResult],
         metrics: &MetricsRegistry,
         planner_shapes: &[ShapeSnapshot],
+        tenant_snapshots: &[TenantSnapshot],
+        steals: StealTotals,
         wedged_workers: usize,
         wall_seconds: f64,
     ) -> ServeReport {
@@ -359,6 +450,37 @@ impl ServeReport {
                 })
             })
             .collect();
+        let mut tenant_names: std::collections::BTreeSet<String> =
+            results.iter().map(|r| r.tenant.clone()).collect();
+        for t in tenant_snapshots {
+            tenant_names.insert(t.tenant.clone());
+        }
+        let tenants = tenant_names
+            .iter()
+            .map(|name| {
+                let slice: Vec<&JobResult> = results.iter().filter(|r| &r.tenant == name).collect();
+                let snap = tenant_snapshots.iter().find(|t| &t.tenant == name);
+                let of = |o: Outcome| slice.iter().filter(|r| r.outcome == o).count() as u64;
+                let mut total: Vec<f64> = slice.iter().map(|r| r.total_ms).collect();
+                TenantReport {
+                    tenant: name.clone(),
+                    weight: snap.map_or(1, |t| t.weight),
+                    max_in_flight: snap.map_or(0, |t| t.max_in_flight as u64),
+                    // Without a registry snapshot (unit-test paths) the
+                    // results themselves are the only admission record.
+                    admitted: snap.map_or(slice.len() as u64, |t| t.admitted),
+                    rejected_quota: snap.map_or(0, |t| t.rejected_quota),
+                    in_flight_high_water: snap.map_or(0, |t| t.in_flight_high_water as u64),
+                    jobs: slice.len() as u64,
+                    completed: of(Outcome::Completed),
+                    failed: of(Outcome::Failed),
+                    timed_out: of(Outcome::TimedOut),
+                    cancelled: of(Outcome::Cancelled),
+                    cells_updated: slice.iter().map(|r| r.cells_updated).sum(),
+                    total_ms: LatencySummary::from_samples(&mut total),
+                }
+            })
+            .collect();
         ServeReport {
             schema_version: SCHEMA_VERSION,
             workload: workload.to_string(),
@@ -371,6 +493,7 @@ impl ServeReport {
             jobs_admitted: count("jobs_admitted"),
             jobs_rejected: count("jobs_rejected"),
             jobs_invalid: count("jobs_invalid"),
+            jobs_quota_rejected: count("jobs_quota_rejected"),
             jobs_completed: count("jobs_completed"),
             jobs_failed: count("jobs_failed"),
             jobs_timed_out: count("jobs_timed_out"),
@@ -399,6 +522,13 @@ impl ServeReport {
             backends,
             planner: PlannerReport::build(metrics, planner_shapes),
             memory: MemoryReport::build(metrics),
+            tenants,
+            scheduler: SchedulerReport {
+                dwrr_quantum_cells: crate::queue::DWRR_QUANTUM_CELLS,
+                steals: steals.steals,
+                steal_hits: steals.steal_hits,
+                steal_misses: steals.steal_misses,
+            },
         }
     }
 
@@ -458,8 +588,13 @@ pub fn validate_report_json(text: &str) -> Result<usize, String> {
             report.jobs_admitted
         ));
     }
-    if report.jobs_submitted != report.jobs_admitted + report.jobs_rejected + report.jobs_invalid {
-        return Err("admitted + rejected + invalid != submitted".into());
+    if report.jobs_submitted
+        != report.jobs_admitted
+            + report.jobs_rejected
+            + report.jobs_invalid
+            + report.jobs_quota_rejected
+    {
+        return Err("admitted + rejected + invalid + quota_rejected != submitted".into());
     }
     for (name, l) in [
         ("queue_wait_ms", &report.queue_wait_ms),
@@ -520,7 +655,97 @@ pub fn validate_report_json(text: &str) -> Result<usize, String> {
     }
     validate_planner(&report.planner, device)?;
     validate_memory(&report.memory)?;
+    validate_tenants(&report)?;
+    validate_scheduler(&report.scheduler)?;
     Ok(report.backends.len())
+}
+
+/// Cross-validates the `tenants` section: registry-side admission counts
+/// must reconcile with the outcome counts derived from the results, both
+/// per tenant and summed against the top-level job counters.
+fn validate_tenants(report: &ServeReport) -> Result<(), String> {
+    if report.tenants.is_empty() {
+        return Err("no tenant slices".into());
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for t in &report.tenants {
+        if t.tenant.is_empty() {
+            return Err("empty tenant name".into());
+        }
+        if !seen.insert(t.tenant.clone()) {
+            return Err(format!("duplicate tenant slice `{}`", t.tenant));
+        }
+        if t.weight == 0 {
+            return Err(format!("tenant `{}`: weight must be >= 1", t.tenant));
+        }
+        if t.completed + t.failed + t.timed_out + t.cancelled != t.jobs {
+            return Err(format!(
+                "tenant `{}`: outcomes do not sum to jobs",
+                t.tenant
+            ));
+        }
+        if t.jobs != t.admitted {
+            return Err(format!(
+                "tenant `{}`: terminal jobs ({}) != admitted ({}): jobs were lost",
+                t.tenant, t.jobs, t.admitted
+            ));
+        }
+        if t.max_in_flight != 0 && t.in_flight_high_water > t.max_in_flight {
+            return Err(format!(
+                "tenant `{}`: in-flight high water {} exceeds cap {}",
+                t.tenant, t.in_flight_high_water, t.max_in_flight
+            ));
+        }
+        validate_latency(&format!("tenant `{}` total_ms", t.tenant), &t.total_ms)?;
+    }
+    for (name, per_tenant, top) in [
+        (
+            "admitted",
+            report.tenants.iter().map(|t| t.admitted).sum::<u64>(),
+            report.jobs_admitted,
+        ),
+        (
+            "rejected_quota",
+            report.tenants.iter().map(|t| t.rejected_quota).sum(),
+            report.jobs_quota_rejected,
+        ),
+        (
+            "completed",
+            report.tenants.iter().map(|t| t.completed).sum(),
+            report.jobs_completed,
+        ),
+        (
+            "jobs",
+            report.tenants.iter().map(|t| t.jobs).sum(),
+            report.terminal_jobs(),
+        ),
+    ] {
+        if per_tenant != top {
+            return Err(format!(
+                "tenant slices sum {name} to {per_tenant}, top-level says {top}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Cross-validates the `scheduler` section's work-stealing counters: every
+/// sweep is a hit or a miss, never both, never neither.
+fn validate_scheduler(s: &SchedulerReport) -> Result<(), String> {
+    if s.dwrr_quantum_cells != crate::queue::DWRR_QUANTUM_CELLS {
+        return Err(format!(
+            "dwrr_quantum_cells {} != the runtime's quantum {}",
+            s.dwrr_quantum_cells,
+            crate::queue::DWRR_QUANTUM_CELLS
+        ));
+    }
+    if s.steals != s.steal_hits + s.steal_misses {
+        return Err(format!(
+            "steals ({}) != steal_hits ({}) + steal_misses ({})",
+            s.steals, s.steal_hits, s.steal_misses
+        ));
+    }
+    Ok(())
 }
 
 /// Schema and accounting checks for the `memory` section.
@@ -666,6 +891,7 @@ mod tests {
     fn result(id: u64, backend: Backend, outcome: Outcome) -> JobResult {
         JobResult {
             id,
+            tenant: "default".to_string(),
             backend,
             outcome,
             attempts: 1,
@@ -716,6 +942,8 @@ mod tests {
             &results,
             &metrics,
             &[],
+            &[],
+            StealTotals::default(),
             0,
             0.5,
         )
@@ -750,6 +978,8 @@ mod tests {
             &results,
             &metrics,
             &shapes,
+            &[],
+            StealTotals::default(),
             0,
             0.5,
         )
@@ -918,6 +1148,8 @@ mod tests {
             &results,
             &metrics,
             &[],
+            &[],
+            StealTotals::default(),
             0,
             0.5,
         );
@@ -972,6 +1204,8 @@ mod tests {
             &results,
             &metrics,
             &shapes,
+            &[],
+            StealTotals::default(),
             0,
             0.5,
         )
@@ -1041,6 +1275,132 @@ mod tests {
         bad.planner.shapes[idx].replicas = 0;
         let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
         assert!(err.contains("invalid for 32 channels"), "{err}");
+    }
+
+    #[test]
+    fn tenant_section_validates_and_rejects_drift() {
+        let report = sample_report();
+        assert_eq!(report.tenants.len(), 1, "both results are `default`");
+        assert_eq!(report.tenants[0].tenant, "default");
+        assert_eq!(report.tenants[0].jobs, 2);
+        assert_eq!(report.tenants[0].completed, 1);
+        assert_eq!(report.tenants[0].timed_out, 1);
+        validate_report_json(&serde_json::to_string(&report).unwrap()).unwrap();
+
+        // A tenant whose admitted count exceeds its terminal results lost
+        // jobs — the per-tenant version of the global zero-loss gate.
+        let mut bad = sample_report();
+        bad.tenants[0].admitted += 1;
+        bad.jobs_admitted += 1; // keep the global sum consistent
+        bad.jobs_submitted += 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("jobs were lost"), "{err}");
+
+        // Outcomes that do not sum to the tenant's job count.
+        let mut bad = sample_report();
+        bad.tenants[0].completed += 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("outcomes do not sum"), "{err}");
+
+        // Tenant slices that disagree with the top-level counters.
+        let mut bad = sample_report();
+        bad.tenants[0].rejected_quota = 5;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("rejected_quota"), "{err}");
+
+        // Duplicate tenant slices.
+        let mut bad = sample_report();
+        let dup = bad.tenants[0].clone();
+        bad.tenants.push(dup);
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("duplicate tenant"), "{err}");
+
+        // Zero-weight tenants cannot be scheduled by DWRR.
+        let mut bad = sample_report();
+        bad.tenants[0].weight = 0;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("weight"), "{err}");
+
+        // An in-flight high water above the declared cap.
+        let mut bad = sample_report();
+        bad.tenants[0].max_in_flight = 1;
+        bad.tenants[0].in_flight_high_water = 2;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("high water"), "{err}");
+
+        // A schema-v4 report (no tenants section) fails the parse.
+        let json = serde_json::to_string(&sample_report()).unwrap();
+        let stripped = json.replacen("\"tenants\"", "\"tenants_gone\"", 1);
+        let err = validate_report_json(&stripped).unwrap_err();
+        assert!(err.contains("tenants"), "{err}");
+    }
+
+    #[test]
+    fn scheduler_section_validates_and_rejects_drift() {
+        // Every sweep must be a hit or a miss.
+        let mut bad = sample_report();
+        bad.scheduler.steals = 3;
+        bad.scheduler.steal_hits = 1;
+        bad.scheduler.steal_misses = 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("steal_hits"), "{err}");
+
+        // A quantum that drifted from the runtime constant.
+        let mut bad = sample_report();
+        bad.scheduler.dwrr_quantum_cells += 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("dwrr_quantum_cells"), "{err}");
+
+        // Missing steal counters (a schema-v4 report) fail the parse.
+        let json = serde_json::to_string(&sample_report()).unwrap();
+        let stripped = json.replacen("\"steal_hits\"", "\"steal_hits_gone\"", 1);
+        let err = validate_report_json(&stripped).unwrap_err();
+        assert!(err.contains("steal_hits"), "{err}");
+    }
+
+    #[test]
+    fn quota_rejections_balance_the_submission_identity() {
+        let metrics = MetricsRegistry::new();
+        let results = vec![result(1, Backend::Functional, Outcome::Completed)];
+        metrics.counter("jobs_submitted").add(3);
+        metrics.counter("jobs_admitted").inc();
+        metrics.counter("jobs_quota_rejected").add(2);
+        metrics.counter("jobs_completed").inc();
+        for name in ["queue_wait_ms", "run_ms", "total_ms", "run_ms_functional"] {
+            metrics.histogram(name).record(1.0);
+        }
+        let snaps = vec![TenantSnapshot {
+            tenant: "default".to_string(),
+            weight: 1,
+            max_in_flight: 1,
+            admitted: 1,
+            rejected_quota: 2,
+            in_flight_high_water: 1,
+        }];
+        let report = ServeReport::build(
+            "synthetic",
+            3,
+            true,
+            DeviceProfile::Ddr,
+            3,
+            &results,
+            &metrics,
+            &[],
+            &snaps,
+            StealTotals::default(),
+            0,
+            0.5,
+        );
+        assert_eq!(report.jobs_quota_rejected, 2);
+        assert_eq!(report.tenants[0].rejected_quota, 2);
+        validate_report_json(&serde_json::to_string(&report).unwrap()).unwrap();
+
+        // Quota rejections missing from the identity are caught.
+        let mut bad = report.clone();
+        bad.jobs_quota_rejected = 0;
+        bad.tenants[0].rejected_quota = 0;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("quota_rejected != submitted"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,429 @@
+//! Lock-free bounded MPMC rings for work-stealing shards.
+//!
+//! PR 5's `fpga_sim::SpscRing` proved the lock-free ring idiom inside the
+//! simulator; this module generalizes it to multiple producers and multiple
+//! consumers so same-backend workers can *steal*: each worker owns a
+//! [`StealQueue`] it normally pops, and when its local ring and the global
+//! DWRR queue are both dry it sweeps its siblings' rings instead of
+//! spinning idle. One pathological shape mix on one worker can therefore
+//! never strand queued work behind it.
+//!
+//! The design is the classic Vyukov bounded MPMC queue: a power-of-two ring
+//! where every slot carries its own sequence number. A producer claims a
+//! slot by CAS on `tail` and publishes by storing `seq = pos + 1`; a
+//! consumer claims by CAS on `head` and releases by storing
+//! `seq = pos + cap`. Slot sequence numbers make the queue memory-safe for
+//! non-`Copy` payloads (`QueuedJob` owns heap state) — a slot is read only
+//! after its publish store, unlike a Chase-Lev deque where racy reads must
+//! be discarded.
+//!
+//! Counters follow the steal protocol: every sweep over siblings increments
+//! `steals`, and lands in exactly one of `steal_hits` or `steal_misses` —
+//! the report validator enforces `steals == steal_hits + steal_misses`.
+
+use crate::queue::QueuedJob;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pads the hot atomics onto separate cache lines so producers and
+/// consumers do not false-share (same layout trick as `fpga_sim::spsc`).
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Slot {
+    /// Vyukov per-slot sequence: `pos` = free for the producer claiming
+    /// `pos`; `pos + 1` = published, free for the consumer claiming `pos`.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<QueuedJob>>,
+}
+
+/// One worker's local ring: a bounded lock-free MPMC queue of admitted
+/// jobs. The owner pushes and pops it; idle same-backend siblings pop
+/// (steal) from it concurrently.
+pub struct StealQueue {
+    slots: Box<[Slot]>,
+    mask: usize,
+    tail: CachePadded<AtomicUsize>,
+    head: CachePadded<AtomicUsize>,
+}
+
+// Safety: slots are transferred between threads only through the seq
+// protocol above — a consumer reads `value` strictly after the producer's
+// Release store of `seq`, and QueuedJob itself is Send.
+unsafe impl Send for StealQueue {}
+unsafe impl Sync for StealQueue {}
+
+impl StealQueue {
+    /// A ring holding at most `capacity` jobs (rounded up to a power of
+    /// two, minimum 2).
+    pub fn new(capacity: usize) -> StealQueue {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        StealQueue {
+            slots,
+            mask: cap - 1,
+            tail: CachePadded(AtomicUsize::new(0)),
+            head: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Usable capacity.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Jobs in the ring right now (racy snapshot).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether the ring looks empty right now (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues a job; hands it back on a full ring so the caller can fall
+    /// back (e.g. run it inline or leave it on the global queue).
+    ///
+    /// # Errors
+    /// `Err(job)` when the ring is full — ownership returns to the caller
+    /// (the variant is as large as a job on purpose: losing it would lose
+    /// the job).
+    #[allow(clippy::result_large_err)]
+    pub fn push(&self, job: QueuedJob) -> Result<(), QueuedJob> {
+        let mut pos = self.tail.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                // Slot free at our position: claim it.
+                match self.tail.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Safety: the CAS gave this thread exclusive write
+                        // access to the slot until the seq publish below.
+                        unsafe { (*slot.value.get()).write(job) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(now) => pos = now,
+                }
+            } else if seq < pos {
+                // The slot still holds an unconsumed job from a lap ago:
+                // the ring is full.
+                return Err(job);
+            } else {
+                // Another producer advanced past us; retry at the new tail.
+                pos = self.tail.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest job, if any. Safe to call from any thread — the
+    /// owner's pop and a sibling's steal are the same operation.
+    pub fn pop(&self) -> Option<QueuedJob> {
+        let mut pos = self.head.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos + 1 {
+                // Published at our position: claim it.
+                match self.head.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Safety: the CAS gave this thread exclusive read
+                        // access to the published value.
+                        let job = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                        return Some(job);
+                    }
+                    Err(now) => pos = now,
+                }
+            } else if seq <= pos {
+                // Nothing published at head: empty (or a producer mid-claim
+                // that has not published yet — indistinguishable, and
+                // treating it as empty is the non-blocking choice).
+                return None;
+            } else {
+                // Another consumer advanced past us; retry at the new head.
+                pos = self.head.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for StealQueue {
+    fn drop(&mut self) {
+        // Drain initialized slots so owned payloads are not leaked.
+        while self.pop().is_some() {}
+    }
+}
+
+/// Steal-protocol counters for one shard (one backend's worker group),
+/// reported in ServeReport's scheduler section and cross-validated there:
+/// `steals == steal_hits + steal_misses`.
+#[derive(Debug, Default)]
+pub struct StealCounters {
+    /// Sweeps over sibling rings attempted by idle workers.
+    pub steals: AtomicU64,
+    /// Sweeps that found and claimed a job.
+    pub steal_hits: AtomicU64,
+    /// Sweeps that found every sibling ring empty.
+    pub steal_misses: AtomicU64,
+}
+
+impl StealCounters {
+    /// Records one sweep and its outcome.
+    pub fn record(&self, hit: bool) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            self.steal_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.steal_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A plain-value snapshot of the counters.
+    pub fn totals(&self) -> StealTotals {
+        StealTotals {
+            steals: self.steals.load(Ordering::Relaxed),
+            steal_hits: self.steal_hits.load(Ordering::Relaxed),
+            steal_misses: self.steal_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value steal counters, summed across shards for the serve report.
+/// The invariant `steals == steal_hits + steal_misses` is enforced by the
+/// report validator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealTotals {
+    /// Sweeps over sibling rings attempted by idle workers.
+    pub steals: u64,
+    /// Sweeps that found and claimed a job.
+    pub steal_hits: u64,
+    /// Sweeps that found every sibling ring empty.
+    pub steal_misses: u64,
+}
+
+impl StealTotals {
+    /// Element-wise sum.
+    pub fn merge(self, other: StealTotals) -> StealTotals {
+        StealTotals {
+            steals: self.steals + other.steals,
+            steal_hits: self.steal_hits + other.steal_hits,
+            steal_misses: self.steal_misses + other.steal_misses,
+        }
+    }
+}
+
+/// The shared steal domain for one backend shard: every worker's local
+/// ring plus the shard's counters. Workers index their own ring by worker
+/// id and sweep the others when idle.
+pub struct StealDomain {
+    rings: Vec<Arc<StealQueue>>,
+    /// Sweep/hit/miss counters for this shard.
+    pub counters: StealCounters,
+}
+
+impl StealDomain {
+    /// A domain of `workers` rings, each holding `ring_capacity` jobs.
+    pub fn new(workers: usize, ring_capacity: usize) -> StealDomain {
+        StealDomain {
+            rings: (0..workers.max(1))
+                .map(|_| Arc::new(StealQueue::new(ring_capacity)))
+                .collect(),
+            counters: StealCounters::default(),
+        }
+    }
+
+    /// Number of worker rings in this domain.
+    pub fn workers(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Worker `w`'s own ring.
+    pub fn local(&self, w: usize) -> &StealQueue {
+        &self.rings[w % self.rings.len()]
+    }
+
+    /// One steal sweep for worker `w`: tries every *sibling* ring once,
+    /// starting at the next worker over (rotating the start point spreads
+    /// contention), and records the outcome in the counters.
+    pub fn steal(&self, w: usize) -> Option<QueuedJob> {
+        let n = self.rings.len();
+        if n <= 1 {
+            // No siblings to steal from; not counted as a sweep.
+            return None;
+        }
+        for off in 1..n {
+            let victim = &self.rings[(w + off) % n];
+            if let Some(job) = victim.pop() {
+                self.counters.record(true);
+                return Some(job);
+            }
+        }
+        self.counters.record(false);
+        None
+    }
+
+    /// Total jobs sitting in this domain's rings (racy snapshot).
+    pub fn queued(&self) -> usize {
+        self.rings.iter().map(|r| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cancel::CancelToken;
+    use crate::job::JobSpec;
+    use std::time::Instant;
+
+    fn job(id: u64) -> QueuedJob {
+        QueuedJob {
+            spec: JobSpec::new_2d(id, 1, 64, 16, 1),
+            token: CancelToken::new(),
+            admitted: Instant::now(),
+            seq: id,
+            plan: None,
+            reply: None,
+        }
+    }
+
+    #[test]
+    fn fifo_within_a_single_thread() {
+        let q = StealQueue::new(4);
+        q.push(job(1)).unwrap();
+        q.push(job(2)).unwrap();
+        q.push(job(3)).unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().spec.id, 1);
+        assert_eq!(q.pop().unwrap().spec.id, 2);
+        assert_eq!(q.pop().unwrap().spec.id, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn full_ring_returns_the_job() {
+        let q = StealQueue::new(2);
+        q.push(job(1)).unwrap();
+        q.push(job(2)).unwrap();
+        let back = q.push(job(3)).unwrap_err();
+        assert_eq!(back.spec.id, 3);
+        // Draining one slot reopens the ring.
+        assert_eq!(q.pop().unwrap().spec.id, 1);
+        q.push(back).unwrap();
+    }
+
+    #[test]
+    fn wraps_around_many_laps() {
+        let q = StealQueue::new(2);
+        for lap in 0..100u64 {
+            q.push(job(lap)).unwrap();
+            assert_eq!(q.pop().unwrap().spec.id, lap);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_and_stealers_lose_nothing() {
+        const PRODUCERS: u64 = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: u64 = 500;
+        let q = Arc::new(StealQueue::new(8));
+        let got = std::sync::Mutex::new(Vec::new());
+        let done = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = Arc::clone(&q);
+                let done = &done;
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut j = job(p * PER_PRODUCER + i);
+                        // Bounded ring: spin until a slot frees up.
+                        while let Err(back) = q.push(j) {
+                            j = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                    done.fetch_add(1, Ordering::Release);
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = Arc::clone(&q);
+                let done = &done;
+                let got = &got;
+                s.spawn(move || loop {
+                    match q.pop() {
+                        Some(j) => got.lock().unwrap().push(j.spec.id),
+                        None if done.load(Ordering::Acquire) == PRODUCERS && q.is_empty() => break,
+                        None => std::thread::yield_now(),
+                    }
+                });
+            }
+        });
+        let mut ids = got.into_inner().unwrap();
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            (0..PRODUCERS * PER_PRODUCER).collect::<Vec<_>>(),
+            "every job popped exactly once"
+        );
+    }
+
+    #[test]
+    fn domain_steals_from_siblings_and_counts_sweeps() {
+        let d = StealDomain::new(3, 4);
+        d.local(0).push(job(10)).unwrap();
+        d.local(0).push(job(11)).unwrap();
+        // Worker 2 is idle: its sweep starts at worker 0's ring.
+        assert_eq!(d.steal(2).unwrap().spec.id, 10);
+        assert_eq!(d.steal(1).unwrap().spec.id, 11);
+        assert!(d.steal(1).is_none());
+        let (steals, hits, misses) = (
+            d.counters.steals.load(Ordering::Relaxed),
+            d.counters.steal_hits.load(Ordering::Relaxed),
+            d.counters.steal_misses.load(Ordering::Relaxed),
+        );
+        assert_eq!(steals, 3);
+        assert_eq!(hits, 2);
+        assert_eq!(misses, 1);
+        assert_eq!(steals, hits + misses);
+    }
+
+    #[test]
+    fn single_worker_domain_never_sweeps() {
+        let d = StealDomain::new(1, 4);
+        d.local(0).push(job(1)).unwrap();
+        assert!(d.steal(0).is_none(), "no siblings to steal from");
+        assert_eq!(d.counters.steals.load(Ordering::Relaxed), 0);
+        assert_eq!(d.local(0).pop().unwrap().spec.id, 1);
+    }
+
+    #[test]
+    fn drop_releases_queued_jobs() {
+        let q = StealQueue::new(8);
+        for i in 0..5 {
+            q.push(job(i)).unwrap();
+        }
+        drop(q); // Drop drains; miri/asan would flag a leak here.
+    }
+}

@@ -1,0 +1,282 @@
+//! Streaming result delivery: per-client bounded channels.
+//!
+//! Non-blocking submission only pays off if results come back without a
+//! batch-at-drain barrier. A client opens a [`ResultStream`] (one bounded
+//! channel), attaches its [`ResultSender`] to each submission, and consumes
+//! [`crate::job::JobResult`]s as shards finish them — results interleave
+//! with submissions instead of materializing all at once in
+//! [`crate::worker::DrainOutcome`].
+//!
+//! The channel is bounded with *blocking* backpressure on the sender side:
+//! a shard that outruns a slow client waits for space rather than dropping
+//! a result, preserving the runtime's zero-loss drain contract (the same
+//! trade the bounded on-chip FIFOs make). End-of-stream is reference
+//! counted: once every sender clone is dropped — the client's own handle
+//! plus one per in-flight job — `recv` drains what is queued and then
+//! returns `None`.
+
+use crate::job::JobResult;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct ChannelState {
+    queue: VecDeque<JobResult>,
+}
+
+struct Channel {
+    state: Mutex<ChannelState>,
+    /// Signalled when a result arrives or the last sender drops.
+    readable: Condvar,
+    /// Signalled when the client drains a slot.
+    writable: Condvar,
+    capacity: usize,
+    /// Live [`ResultSender`] clones; 0 means end-of-stream once drained.
+    senders: AtomicUsize,
+}
+
+/// The producer half: cloned once per submission, dropped when the job's
+/// terminal result has been delivered.
+pub struct ResultSender {
+    chan: Arc<Channel>,
+}
+
+impl Clone for ResultSender {
+    fn clone(&self) -> Self {
+        self.chan.senders.fetch_add(1, Ordering::Relaxed);
+        ResultSender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl Drop for ResultSender {
+    fn drop(&mut self) {
+        if self.chan.senders.fetch_sub(1, Ordering::Release) == 1 {
+            // Last sender gone: wake a client blocked in recv so it can
+            // observe end-of-stream.
+            let _guard = self.chan.state.lock().unwrap();
+            self.chan.readable.notify_all();
+        }
+    }
+}
+
+impl ResultSender {
+    /// Delivers one result, blocking while the channel is full — bounded
+    /// backpressure toward the worker rather than silent loss.
+    pub fn send(&self, result: JobResult) {
+        let mut st = self.chan.state.lock().unwrap();
+        while st.queue.len() >= self.chan.capacity {
+            st = self.chan.writable.wait(st).unwrap();
+        }
+        st.queue.push_back(result);
+        drop(st);
+        self.chan.readable.notify_one();
+    }
+}
+
+impl std::fmt::Debug for ResultSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultSender")
+            .field("capacity", &self.chan.capacity)
+            .finish()
+    }
+}
+
+/// The consumer half: the client's live view of its jobs' results.
+pub struct ResultStream {
+    chan: Arc<Channel>,
+}
+
+impl ResultStream {
+    /// A new bounded stream; returns the consumer and the seed sender the
+    /// client clones into its submissions.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn bounded(capacity: usize) -> (ResultSender, ResultStream) {
+        assert!(capacity > 0, "stream capacity must be positive");
+        let chan = Arc::new(Channel {
+            state: Mutex::new(ChannelState {
+                queue: VecDeque::with_capacity(capacity),
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity,
+            senders: AtomicUsize::new(1),
+        });
+        (
+            ResultSender {
+                chan: Arc::clone(&chan),
+            },
+            ResultStream { chan },
+        )
+    }
+
+    /// Blocks for the next result. Returns `None` only at end-of-stream:
+    /// the queue is empty and every sender clone has been dropped.
+    pub fn recv(&self) -> Option<JobResult> {
+        let mut st = self.chan.state.lock().unwrap();
+        loop {
+            if let Some(r) = st.queue.pop_front() {
+                drop(st);
+                self.chan.writable.notify_one();
+                return Some(r);
+            }
+            if self.chan.senders.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            st = self.chan.readable.wait(st).unwrap();
+        }
+    }
+
+    /// Like [`ResultStream::recv`] but gives up after `timeout`; `Ok(None)`
+    /// is end-of-stream, `Err(())` is a timeout with the stream still open.
+    #[allow(clippy::result_unit_err)]
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<JobResult>, ()> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.chan.state.lock().unwrap();
+        loop {
+            if let Some(r) = st.queue.pop_front() {
+                drop(st);
+                self.chan.writable.notify_one();
+                return Ok(Some(r));
+            }
+            if self.chan.senders.load(Ordering::Acquire) == 0 {
+                return Ok(None);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(());
+            }
+            let (g, _) = self.chan.readable.wait_timeout(st, left).unwrap();
+            st = g;
+        }
+    }
+
+    /// Non-blocking poll: a result if one is queued right now.
+    pub fn try_recv(&self) -> Option<JobResult> {
+        let mut st = self.chan.state.lock().unwrap();
+        let r = st.queue.pop_front();
+        if r.is_some() {
+            drop(st);
+            self.chan.writable.notify_one();
+        }
+        r
+    }
+
+    /// Results queued right now (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.chan.state.lock().unwrap().queue.len()
+    }
+
+    /// Whether no results are queued right now (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for ResultStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultStream")
+            .field("capacity", &self.chan.capacity)
+            .finish()
+    }
+}
+
+impl Iterator for ResultStream {
+    type Item = JobResult;
+
+    fn next(&mut self) -> Option<JobResult> {
+        self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Backend, Outcome};
+
+    fn result(id: u64) -> JobResult {
+        JobResult {
+            id,
+            tenant: crate::tenant::Tenant::default().name().to_string(),
+            backend: Backend::SerialRef,
+            outcome: Outcome::Completed,
+            attempts: 1,
+            queue_wait_ms: 0.0,
+            run_ms: 0.0,
+            total_ms: 0.0,
+            cells_updated: 0,
+            checksum: None,
+            shadow_match: None,
+            plan: None,
+        }
+    }
+
+    #[test]
+    fn results_stream_in_order_then_end() {
+        let (tx, rx) = ResultStream::bounded(4);
+        tx.send(result(1));
+        tx.send(result(2));
+        drop(tx);
+        assert_eq!(rx.recv().map(|r| r.id), Some(1));
+        assert_eq!(rx.recv().map(|r| r.id), Some(2));
+        assert!(rx.recv().is_none(), "end-of-stream after last sender");
+        assert!(rx.recv().is_none(), "end-of-stream is sticky");
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let (tx, rx) = ResultStream::bounded(1);
+        tx.send(result(1));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                tx.send(result(2)); // blocks until the main thread drains
+                drop(tx);
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv().map(|r| r.id), Some(1));
+            assert_eq!(rx.recv().map(|r| r.id), Some(2));
+            assert!(rx.recv().is_none());
+        });
+    }
+
+    #[test]
+    fn many_senders_one_consumer_loses_nothing() {
+        let (tx, rx) = ResultStream::bounded(3);
+        const PER_THREAD: u64 = 50;
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        tx.send(result(t * PER_THREAD + i));
+                    }
+                });
+            }
+            drop(tx);
+            let mut got: Vec<u64> = std::iter::from_fn(|| rx.recv()).map(|r| r.id).collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..4 * PER_THREAD).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn try_recv_and_timeouts() {
+        let (tx, rx) = ResultStream::bounded(2);
+        assert!(rx.try_recv().is_none());
+        assert!(
+            rx.recv_timeout(Duration::from_millis(5)).is_err(),
+            "open stream times out"
+        );
+        tx.send(result(7));
+        assert_eq!(rx.try_recv().map(|r| r.id), Some(7));
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Ok(None)
+        ));
+    }
+}

@@ -1,11 +1,21 @@
-//! The sharded worker pool and the runtime façade.
+//! The sharded work-stealing worker pool and the runtime façade.
 //!
 //! [`Runtime::start`] spawns `workers_per_shard` std threads per configured
 //! backend; each shard drains the shared [`AdmissionQueue`] for its own
 //! backend only, so a slow backend can back up without starving the others
-//! — the queue is shared (one admission-control point, one capacity) but
-//! service is sharded, mirroring how the paper's host dispatches work onto
-//! whatever compute is attached.
+//! — the queue is shared (one admission-control point, one DWRR fairness
+//! point, one capacity) but service is sharded, mirroring how the paper's
+//! host dispatches work onto whatever compute is attached.
+//!
+//! Within a shard, workers *steal*: each worker owns a lock-free local ring
+//! ([`crate::steal::StealQueue`]); batched jobs popped from the global
+//! queue spill into the owner's ring, and a worker whose ring and the
+//! global queue are both dry sweeps its siblings' rings before sleeping.
+//! One worker stuck on a pathological shape mix can therefore never strand
+//! queued work behind it — a sibling lifts the backlog. Submission is
+//! non-blocking ([`Runtime::submit`] returns a [`Ticket`] immediately) and
+//! results can stream back per client over a bounded
+//! [`crate::stream::ResultStream`] instead of waiting for drain.
 //!
 //! Per job, a shard:
 //! 1. measures queue wait and drops jobs whose deadline expired while
@@ -39,8 +49,11 @@ use crate::job::{Backend, JobResult, JobSpec, Outcome};
 use crate::metrics::MetricsRegistry;
 use crate::planner::{DeviceProfile, PlanError, PlanMode, Planner, PlannerConfig};
 use crate::pool::{GridLease2D, GridLease3D, GridPool, PoolConfig, StencilMemo};
-use crate::queue::{AdmissionQueue, PushError, QueuedJob};
+use crate::queue::{AdmissionQueue, Popped, PushError, QueuedJob};
 use crate::retry::RetryPolicy;
+use crate::steal::{StealDomain, StealTotals};
+use crate::stream::ResultSender;
+use crate::tenant::{Tenant, TenantPolicy, TenantRegistry, TenantSnapshot};
 use cpu_engine::engines;
 use fpga_sim::{functional, serial_ref, threaded, SimCounters, SimOptions};
 use std::panic::{self, AssertUnwindSafe};
@@ -78,6 +91,12 @@ pub struct RuntimeConfig {
     pub sim: SimOptions,
     /// Grid buffer pool tunables (free-list bound per shape class).
     pub pool: PoolConfig,
+    /// Per-tenant DWRR weights and in-flight quotas.
+    pub tenants: TenantPolicy,
+    /// Capacity of each worker's local steal ring (rounded up to a power
+    /// of two). Batched jobs beyond the first spill here, where siblings
+    /// can steal them.
+    pub steal_ring: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -93,6 +112,8 @@ impl Default for RuntimeConfig {
             device: DeviceProfile::default(),
             sim: SimOptions::default(),
             pool: PoolConfig::default(),
+            tenants: TenantPolicy::default(),
+            steal_ring: 8,
         }
     }
 }
@@ -108,6 +129,14 @@ pub enum SubmitError {
     Closed,
     /// The runtime has no shard for the spec's backend.
     UnservedBackend(Backend),
+    /// The spec's tenant is at its in-flight quota — per-tenant
+    /// backpressure, deliberately distinct from the global [`SubmitError::QueueFull`].
+    QuotaExceeded {
+        /// The tenant that hit its cap.
+        tenant: Tenant,
+        /// The cap it hit.
+        max_in_flight: usize,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -117,26 +146,41 @@ impl std::fmt::Display for SubmitError {
             SubmitError::QueueFull => write!(f, "admission queue full"),
             SubmitError::Closed => write!(f, "runtime is shutting down"),
             SubmitError::UnservedBackend(b) => write!(f, "no shard serves backend {b}"),
+            SubmitError::QuotaExceeded {
+                tenant,
+                max_in_flight,
+            } => write!(
+                f,
+                "tenant {tenant} at its in-flight quota ({max_in_flight})"
+            ),
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
 
-/// The submitter's handle to one admitted job.
+/// The submitter's handle to one admitted job, returned immediately by the
+/// non-blocking [`Runtime::submit`]. The terminal [`JobResult`] arrives via
+/// the drain sink and, for streaming submissions, the client's
+/// [`crate::stream::ResultStream`].
 #[derive(Debug, Clone)]
-pub struct JobHandle {
+pub struct Ticket {
     /// The spec's `id`.
     pub id: u64,
+    /// The spec's tenant.
+    pub tenant: Tenant,
     token: CancelToken,
 }
 
-impl JobHandle {
+impl Ticket {
     /// Requests cooperative cancellation of the job.
     pub fn cancel(&self) {
         self.token.cancel();
     }
 }
+
+/// Pre-streaming name for [`Ticket`], kept for source compatibility.
+pub type JobHandle = Ticket;
 
 /// What [`Runtime::drain`] hands back.
 #[derive(Debug)]
@@ -148,6 +192,10 @@ pub struct DrainOutcome {
     pub wedged_workers: usize,
     /// Total wall time the runtime was up, in seconds.
     pub wall_seconds: f64,
+    /// Final per-tenant admission accounting, sorted by tenant name.
+    pub tenants: Vec<TenantSnapshot>,
+    /// Steal-protocol counters summed over every backend shard.
+    pub steals: StealTotals,
 }
 
 /// Terminal results shared between shards and the submitter.
@@ -190,7 +238,11 @@ impl ResultSink {
 /// Shared state one shard worker needs.
 struct ShardCtx {
     backend: Backend,
+    /// This worker's index within its shard (its steal-domain ring).
+    worker: usize,
     queue: Arc<AdmissionQueue>,
+    domain: Arc<StealDomain>,
+    tenants: Arc<TenantRegistry>,
     metrics: Arc<MetricsRegistry>,
     sink: Arc<ResultSink>,
     planner: Arc<Planner>,
@@ -226,6 +278,8 @@ pub struct Runtime {
     metrics: Arc<MetricsRegistry>,
     sink: Arc<ResultSink>,
     planner: Arc<Planner>,
+    tenants: Arc<TenantRegistry>,
+    domains: Vec<Arc<StealDomain>>,
     workers: Vec<JoinHandle<()>>,
     config: RuntimeConfig,
     started: Instant,
@@ -240,17 +294,30 @@ impl Runtime {
         assert!(!config.backends.is_empty(), "need at least one backend");
         assert!(config.workers_per_shard > 0, "need at least one worker");
         install_quiet_panic_hook();
-        let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
+        let queue = Arc::new(AdmissionQueue::with_policy(
+            config.queue_capacity,
+            config.tenants.clone(),
+        ));
         let metrics = Arc::new(MetricsRegistry::new());
         let sink = Arc::new(ResultSink::default());
         let planner = Arc::new(Planner::with_device(config.planner.clone(), config.device));
+        let tenants = Arc::new(TenantRegistry::new(config.tenants.clone()));
         let env = ExecEnv::new(&metrics, config.sim, config.pool);
         let mut workers = Vec::new();
+        let mut domains = Vec::new();
         for &backend in &config.backends {
+            let domain = Arc::new(StealDomain::new(
+                config.workers_per_shard,
+                config.steal_ring,
+            ));
+            domains.push(Arc::clone(&domain));
             for w in 0..config.workers_per_shard {
                 let ctx = ShardCtx {
                     backend,
+                    worker: w,
                     queue: Arc::clone(&queue),
+                    domain: Arc::clone(&domain),
+                    tenants: Arc::clone(&tenants),
                     metrics: Arc::clone(&metrics),
                     sink: Arc::clone(&sink),
                     planner: Arc::clone(&planner),
@@ -272,6 +339,8 @@ impl Runtime {
             metrics,
             sink,
             planner,
+            tenants,
+            domains,
             workers,
             config,
             started: Instant::now(),
@@ -288,7 +357,30 @@ impl Runtime {
     /// or cannot be planned, [`SubmitError::UnservedBackend`] when no
     /// shard serves the backend, [`SubmitError::QueueFull`] under
     /// backpressure, and [`SubmitError::Closed`] during shutdown.
-    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+    pub fn submit(&self, spec: JobSpec) -> Result<Ticket, SubmitError> {
+        self.submit_inner(spec, None)
+    }
+
+    /// Non-blocking streaming submission: like [`Runtime::submit`], but the
+    /// job's terminal [`JobResult`] is also delivered over `reply` — the
+    /// client's bounded [`crate::stream::ResultStream`] — the moment a
+    /// shard finishes it, instead of only at drain.
+    ///
+    /// # Errors
+    /// Same as [`Runtime::submit`].
+    pub fn submit_streaming(
+        &self,
+        spec: JobSpec,
+        reply: &ResultSender,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_inner(spec, Some(reply.clone()))
+    }
+
+    fn submit_inner(
+        &self,
+        spec: JobSpec,
+        reply: Option<ResultSender>,
+    ) -> Result<Ticket, SubmitError> {
         let mut spec = spec;
         self.metrics.counter("jobs_submitted").inc();
         if spec.plan == PlanMode::Explicit && !self.config.backends.contains(&spec.backend) {
@@ -299,6 +391,17 @@ impl Runtime {
             self.metrics.counter("jobs_invalid").inc();
             return Err(SubmitError::Invalid(why));
         }
+        // Tenant quota: claim the in-flight slot before planning so a
+        // quota-capped flood never touches the planner. Rolled back in
+        // full on any later refusal.
+        if let Err(quota) = self.tenants.try_admit(&spec.tenant) {
+            self.metrics.counter("jobs_quota_rejected").inc();
+            return Err(SubmitError::QuotaExceeded {
+                tenant: quota.tenant,
+                max_in_flight: quota.max_in_flight,
+            });
+        }
+        let tenant = spec.tenant.clone();
         let plan = if spec.plan == PlanMode::Auto {
             match self
                 .planner
@@ -310,6 +413,7 @@ impl Runtime {
                 }
                 Err(why) => {
                     self.metrics.counter("jobs_invalid").inc();
+                    self.tenants.release(&tenant, false);
                     return Err(SubmitError::Invalid(why));
                 }
             }
@@ -326,18 +430,19 @@ impl Runtime {
         // refuses the job it never reaches a worker, so release it here
         // or the planner would count phantom backlog forever.
         let claimed = plan.clone();
-        match self.queue.push(spec, token.clone(), plan) {
+        match self.queue.push(spec, token.clone(), plan, reply) {
             Ok(_) => {
                 self.metrics.counter("jobs_admitted").inc();
                 self.metrics
                     .gauge("queue_depth")
                     .set(self.queue.depth() as i64);
-                Ok(JobHandle { id, token })
+                Ok(Ticket { id, tenant, token })
             }
             Err(e) => {
                 if let Some(assignment) = &claimed {
                     self.planner.release(assignment);
                 }
+                self.tenants.release(&tenant, false);
                 match e {
                     PushError::Full => {
                         self.metrics.counter("jobs_rejected").inc();
@@ -357,6 +462,18 @@ impl Runtime {
     /// The runtime's plan cache (shared; live).
     pub fn planner(&self) -> &Arc<Planner> {
         &self.planner
+    }
+
+    /// The runtime's tenant admission registry (shared; live).
+    pub fn tenants(&self) -> &Arc<TenantRegistry> {
+        &self.tenants
+    }
+
+    /// Steal-protocol counters summed over every backend shard, right now.
+    pub fn steal_totals(&self) -> StealTotals {
+        self.domains.iter().fold(StealTotals::default(), |acc, d| {
+            acc.merge(d.counters.totals())
+        })
     }
 
     /// Jobs currently waiting in the admission queue.
@@ -379,33 +496,123 @@ impl Runtime {
     /// all workers, and return the accumulated results.
     pub fn drain(self) -> DrainOutcome {
         self.queue.close();
+        let Runtime {
+            sink,
+            tenants,
+            domains,
+            workers,
+            started,
+            ..
+        } = self;
         let mut wedged = 0usize;
-        for w in self.workers {
+        for w in workers {
             if w.join().is_err() {
                 wedged += 1;
             }
         }
+        // Counters are final only after every worker has joined.
+        let steals = domains.iter().fold(StealTotals::default(), |acc, d| {
+            acc.merge(d.counters.totals())
+        });
         DrainOutcome {
-            results: self.sink.take(),
+            results: sink.take(),
             wedged_workers: wedged,
-            wall_seconds: self.started.elapsed().as_secs_f64(),
+            wall_seconds: started.elapsed().as_secs_f64(),
+            tenants: tenants.snapshot(),
+            steals,
         }
     }
 }
 
-/// One shard worker: drain the queue for this backend until close+empty.
+/// How long a worker blocks on the dry global queue before waking to sweep
+/// sibling rings. Short enough that a stuck sibling's backlog is lifted
+/// promptly; long enough that an idle runtime barely spins.
+const STEAL_POLL: Duration = Duration::from_millis(5);
+
+/// One shard worker: local ring first, then the global DWRR queue, then a
+/// steal sweep over sibling rings; exit only when the queue is closed and
+/// drained for this backend AND the worker's own ring is empty AND a final
+/// sweep finds nothing. Every job a worker ever parked in its own ring is
+/// drained by that worker (or stolen first), so close-then-drain loses
+/// nothing.
 fn shard_loop(ctx: &ShardCtx) {
     let depth_gauge = ctx.metrics.gauge("queue_depth");
     let batches = ctx.metrics.counter("batches");
     let batched_jobs = ctx.metrics.counter("batched_jobs");
-    while let Some(batch) = ctx.queue.pop_batch(ctx.backend, &ctx.batch) {
-        depth_gauge.set(ctx.queue.depth() as i64);
-        if batch.len() > 1 {
-            batches.inc();
-            batched_jobs.add(batch.len() as u64);
-        }
-        for job in batch {
+    let local = ctx.domain.local(ctx.worker);
+    loop {
+        // 1) Own ring: jobs this worker parked from an earlier batch (a
+        // sibling may have stolen some meanwhile — pop is MPMC-safe).
+        if let Some(job) = local.pop() {
             process_job(ctx, job);
+            continue;
+        }
+        // 2) Global queue, with a timeout so a dry spell wakes us to steal
+        // rather than blocking while a sibling drowns.
+        match ctx
+            .queue
+            .pop_batch_timeout(ctx.backend, &ctx.batch, STEAL_POLL)
+        {
+            Popped::Batch(batch) => {
+                depth_gauge.set(ctx.queue.depth() as i64);
+                if batch.len() > 1 {
+                    batches.inc();
+                    batched_jobs.add(batch.len() as u64);
+                }
+                // First job runs now; the rest park in the local ring
+                // where siblings can steal them. A full ring (can only
+                // happen with tiny ring configs) degrades to inline
+                // processing — never a lost job.
+                let mut it = batch.into_iter();
+                let first = it.next().expect("batch is never empty");
+                let mut overflow = Vec::new();
+                for job in it {
+                    if let Err(back) = local.push(job) {
+                        overflow.push(back);
+                    }
+                }
+                process_job(ctx, first);
+                for job in overflow {
+                    process_job(ctx, job);
+                }
+            }
+            Popped::Empty => {
+                // 3) Steal sweep (counted in the shard's steal counters
+                // and mirrored to metrics; single-worker shards have no
+                // siblings and skip the sweep entirely).
+                if ctx.domain.workers() > 1 {
+                    match ctx.domain.steal(ctx.worker) {
+                        Some(job) => {
+                            ctx.metrics.counter("steals").inc();
+                            ctx.metrics.counter("steal_hits").inc();
+                            process_job(ctx, job);
+                        }
+                        None => {
+                            ctx.metrics.counter("steals").inc();
+                            ctx.metrics.counter("steal_misses").inc();
+                        }
+                    }
+                }
+            }
+            Popped::Closed => {
+                // Drain own ring, then one last sweep for stragglers a
+                // sibling parked; exit only on a clean miss.
+                while let Some(job) = local.pop() {
+                    process_job(ctx, job);
+                }
+                if ctx.domain.workers() > 1 {
+                    if let Some(job) = ctx.domain.steal(ctx.worker) {
+                        ctx.metrics.counter("steals").inc();
+                        ctx.metrics.counter("steal_hits").inc();
+                        process_job(ctx, job);
+                        continue;
+                    }
+                    ctx.metrics.counter("steals").inc();
+                    ctx.metrics.counter("steal_misses").inc();
+                }
+                debug_assert!(local.is_empty(), "own ring drained before exit");
+                break;
+            }
         }
     }
 }
@@ -417,6 +624,7 @@ fn process_job(ctx: &ShardCtx, job: QueuedJob) {
         token,
         admitted,
         plan,
+        reply,
         ..
     } = job;
     let queue_wait_ms = admitted.elapsed().as_secs_f64() * 1000.0;
@@ -465,7 +673,14 @@ fn process_job(ctx: &ShardCtx, job: QueuedJob) {
                     // Transient failure absorbed at the shard boundary.
                     if ctx.retry.should_retry(attempts) && !token.is_cancelled() {
                         ctx.metrics.counter("retries").inc();
-                        std::thread::sleep(ctx.retry.backoff_after(attempts));
+                        // Decorrelated jitter keyed on job identity: a burst
+                        // of simultaneous failures fans out instead of
+                        // re-colliding, and a replayed workload sleeps the
+                        // exact same schedule.
+                        std::thread::sleep(
+                            ctx.retry
+                                .backoff_jittered(spec.id ^ spec.seed.rotate_left(16), attempts),
+                        );
                         continue;
                     }
                     break if token.is_cancelled() {
@@ -504,8 +719,9 @@ fn process_job(ctx: &ShardCtx, job: QueuedJob) {
         ctx.planner.release(assignment);
     }
 
-    ctx.sink.push(JobResult {
+    let result = JobResult {
         id: spec.id,
+        tenant: spec.tenant.name().to_string(),
         backend: ctx.backend,
         outcome,
         attempts,
@@ -516,7 +732,15 @@ fn process_job(ctx: &ShardCtx, job: QueuedJob) {
         checksum,
         shadow_match,
         plan: plan.map(|a| a.choice),
-    });
+    };
+    // Streaming clients get the result the moment it exists; the drain
+    // sink always gets it too (zero-loss accounting at shutdown).
+    if let Some(reply) = reply {
+        reply.send(result.clone());
+    }
+    ctx.sink.push(result);
+    // Terminal: the tenant's in-flight quota slot frees up.
+    ctx.tenants.release(&spec.tenant, true);
 }
 
 /// Timed-out vs cancelled, judged from the token's state.

@@ -10,8 +10,18 @@
 //! priorities, ~12% forced shadow verification, a few percent injected
 //! transient failures (testing retry), and a small slice of
 //! near-impossible deadlines (testing timeout handling).
+//!
+//! Both sources stream. [`JsonlStream`] yields specs line-buffered from any
+//! `BufRead` — the replay path never materializes the whole file — and
+//! [`ArrivalGaps`] is the infinite deterministic arrival process the
+//! open-loop generator paces submissions with. Multi-tenant workloads
+//! assign tenants round-robin by job id (`id % tenants`), deliberately
+//! *outside* the RNG draw sequence so a single-tenant and an N-tenant run
+//! of the same seed submit byte-identical job geometries.
 
 use crate::job::{Backend, JobSpec, Priority};
+use crate::tenant::Tenant;
+use std::io::BufRead;
 
 /// xorshift64* — a tiny, seedable, deterministic RNG for workload
 /// synthesis (quality is irrelevant; determinism is the point).
@@ -65,6 +75,9 @@ pub struct SyntheticParams {
     pub quick: bool,
     /// Mean open-loop inter-arrival gap, in microseconds.
     pub mean_arrival_us: u64,
+    /// Number of synthetic tenants; jobs are assigned round-robin by id.
+    /// `<= 1` leaves every job on the default tenant.
+    pub tenants: usize,
 }
 
 impl SyntheticParams {
@@ -76,7 +89,20 @@ impl SyntheticParams {
             seed,
             quick,
             mean_arrival_us: if quick { 200 } else { 500 },
+            tenants: 1,
         }
+    }
+}
+
+/// The tenant job `id` belongs to under round-robin assignment across
+/// `tenants` lanes: `tenant-<id % tenants>`, or the default tenant when
+/// `tenants <= 1`. Pure in `(id, tenants)` — no RNG draws — so enabling
+/// multi-tenancy never perturbs the synthesized job stream.
+pub fn tenant_for(id: u64, tenants: usize) -> Tenant {
+    if tenants <= 1 {
+        Tenant::default()
+    } else {
+        Tenant::new(&format!("tenant-{}", id % tenants as u64))
     }
 }
 
@@ -85,21 +111,48 @@ pub fn synthetic_workload(params: &SyntheticParams) -> Vec<JobSpec> {
     let mut rng = XorShift64::new(params.seed);
     let mut out = Vec::with_capacity(params.jobs);
     for id in 0..params.jobs as u64 {
-        out.push(synthesize_job(id, &mut rng, params.quick));
+        let mut spec = synthesize_job(id, &mut rng, params.quick);
+        spec.tenant = tenant_for(id, params.tenants);
+        out.push(spec);
     }
     out
 }
 
-/// Open-loop inter-arrival gaps (µs) for the workload: exponential with
-/// the configured mean, drawn from the same seed family so the arrival
-/// process replays exactly.
+/// The infinite open-loop arrival process: exponential inter-arrival gaps
+/// (µs) with a configured mean, drawn from a dedicated seed lane so the
+/// arrival process replays exactly — same seed, same gap sequence, however
+/// many gaps are consumed. Gaps are clamped at 50 ms so a pathological
+/// draw cannot stall a load test.
+#[derive(Debug, Clone)]
+pub struct ArrivalGaps {
+    rng: XorShift64,
+    mean_us: u64,
+}
+
+impl ArrivalGaps {
+    /// An arrival stream for `seed` with the given mean gap.
+    pub fn new(seed: u64, mean_arrival_us: u64) -> ArrivalGaps {
+        ArrivalGaps {
+            rng: XorShift64::new(seed ^ 0xa5a5_a5a5_a5a5_a5a5),
+            mean_us: mean_arrival_us,
+        }
+    }
+}
+
+impl Iterator for ArrivalGaps {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let u = self.rng.gen_f64().max(1e-12);
+        Some((-u.ln() * self.mean_us as f64).min(50_000.0) as u64)
+    }
+}
+
+/// Open-loop inter-arrival gaps (µs) for the workload: the first
+/// `params.jobs` draws of [`ArrivalGaps`].
 pub fn arrival_gaps_us(params: &SyntheticParams) -> Vec<u64> {
-    let mut rng = XorShift64::new(params.seed ^ 0xa5a5_a5a5_a5a5_a5a5);
-    (0..params.jobs)
-        .map(|_| {
-            let u = rng.gen_f64().max(1e-12);
-            (-u.ln() * params.mean_arrival_us as f64).min(50_000.0) as u64
-        })
+    ArrivalGaps::new(params.seed, params.mean_arrival_us)
+        .take(params.jobs)
         .collect()
 }
 
@@ -183,23 +236,52 @@ pub fn to_jsonl(specs: &[JobSpec]) -> String {
     out
 }
 
-/// Parses a JSONL workload; blank lines and `#` comments are skipped.
+/// Line-buffered streaming JSONL reader: yields one [`JobSpec`] per line
+/// as it is read, never materializing the file. Blank lines and `#`
+/// comments are skipped. Errors carry `(line_number, message)`.
+#[derive(Debug)]
+pub struct JsonlStream<R> {
+    reader: R,
+    lineno: usize,
+}
+
+impl<R: BufRead> JsonlStream<R> {
+    /// Streams specs out of `reader`.
+    pub fn new(reader: R) -> JsonlStream<R> {
+        JsonlStream { reader, lineno: 0 }
+    }
+}
+
+impl<R: BufRead> Iterator for JsonlStream<R> {
+    type Item = Result<JobSpec, (usize, String)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let mut line = String::new();
+            self.lineno += 1;
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => return Some(Err((self.lineno, e.to_string()))),
+            }
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            return Some(match serde_json::from_str::<JobSpec>(line) {
+                Ok(spec) => Ok(spec),
+                Err(e) => Err((self.lineno, e.to_string())),
+            });
+        }
+    }
+}
+
+/// Parses a JSONL workload eagerly (collects [`JsonlStream`]).
 ///
 /// # Errors
 /// Returns `(line_number, message)` for the first malformed line.
 pub fn parse_jsonl(text: &str) -> Result<Vec<JobSpec>, (usize, String)> {
-    let mut out = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        match serde_json::from_str::<JobSpec>(line) {
-            Ok(spec) => out.push(spec),
-            Err(e) => return Err((i + 1, e.to_string())),
-        }
-    }
-    Ok(out)
+    JsonlStream::new(text.as_bytes()).collect()
 }
 
 #[cfg(test)]
@@ -242,6 +324,63 @@ mod tests {
     fn jsonl_reports_bad_lines() {
         let err = parse_jsonl("# comment\n\n{\"not\": \"a spec\"}\n").unwrap_err();
         assert_eq!(err.0, 3, "line number of the bad line");
+    }
+
+    #[test]
+    fn tenant_assignment_is_pure_and_spec_preserving() {
+        let mut single = SyntheticParams::new(30, 11, true);
+        let mut multi = single.clone();
+        multi.tenants = 3;
+        let a = synthetic_workload(&single);
+        let b = synthetic_workload(&multi);
+        for (x, y) in a.iter().zip(&b) {
+            // Same geometry, backend, seed, deadline — only the tenant
+            // label differs.
+            let mut y2 = y.clone();
+            y2.tenant = x.tenant.clone();
+            assert_eq!(x, &y2, "tenancy must not perturb the RNG stream");
+        }
+        assert_eq!(b[0].tenant.name(), "tenant-0");
+        assert_eq!(b[4].tenant.name(), "tenant-1");
+        assert!(a.iter().all(|s| s.tenant.name() == "default"));
+        single.tenants = 1;
+        assert_eq!(synthetic_workload(&single), a);
+    }
+
+    #[test]
+    fn arrival_gap_stream_is_deterministic_and_infinite() {
+        let a: Vec<u64> = ArrivalGaps::new(9, 500).take(1000).collect();
+        let b: Vec<u64> = ArrivalGaps::new(9, 500).take(1000).collect();
+        assert_eq!(a, b, "same seed, same gap sequence");
+        let p = SyntheticParams {
+            jobs: 1000,
+            seed: 9,
+            quick: false,
+            mean_arrival_us: 500,
+            tenants: 1,
+        };
+        assert_eq!(arrival_gaps_us(&p), a, "eager form is the same stream");
+        assert!(a.iter().all(|&g| g <= 50_000), "gaps are clamped");
+        let mean = a.iter().sum::<u64>() as f64 / a.len() as f64;
+        assert!((300.0..700.0).contains(&mean), "mean near 500: {mean}");
+    }
+
+    #[test]
+    fn jsonl_stream_yields_line_by_line() {
+        let p = SyntheticParams::new(5, 3, true);
+        let specs = synthetic_workload(&p);
+        let text = format!("# header\n\n{}", to_jsonl(&specs));
+        let mut stream = JsonlStream::new(text.as_bytes());
+        for want in &specs {
+            assert_eq!(&stream.next().unwrap().unwrap(), want);
+        }
+        assert!(stream.next().is_none());
+        // A malformed line surfaces with its 1-based line number, and the
+        // stream keeps going afterwards.
+        let text = "# c\n{\"bad\": 1}\n";
+        let errs: Vec<_> = JsonlStream::new(text.as_bytes()).collect::<Vec<_>>();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].as_ref().unwrap_err().0, 2);
     }
 
     #[test]

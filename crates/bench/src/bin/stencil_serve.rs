@@ -6,7 +6,7 @@
 //!               [--auto-plan] [--plan-explain] [--device ddr|hbm]
 //!               [--tenants N] [--tenant-weight NAME=W] [--tenant-cap NAME=C]
 //!               [--mean-arrival-us U] [--stream-out FILE|-]
-//!               [--fairness-ratio F] [--out BENCH_serve.json]
+//!               [--fairness-ratio F] [--programs] [--out BENCH_serve.json]
 //! stencil_serve --workload FILE.jsonl [--out FILE]
 //! stencil_serve --synthetic --emit-workload FILE.jsonl [--jobs N] [--seed S]
 //! stencil_serve --check-report FILE [--min-pool-hit-rate F]
@@ -45,6 +45,16 @@
 //! `--fairness-ratio F` gates the run on per-tenant p99 spread: the
 //! slowest tenant's p99 must stay within `F×` the fastest's.
 //!
+//! `--programs` mixes multi-node stencil *programs* into the synthetic
+//! stream (a heat→gradient 2D pipeline and a 3-stage seismic 3D pipeline
+//! on half the job ids, spread across both tenant parities): each program
+//! is placed across simulated devices by the
+//! planner, streamed through bounded inter-device channels under the
+//! deterministic discrete-event cluster scheduler, bit-verified against
+//! the serial program interpreter, and accounted in the report's
+//! `dataflow` section (pipelined vs 1-device sequential makespans). Also
+//! honored by `--emit-workload`, so program jobs replay over `--workload`.
+//!
 //! `--diff-winners` compares the planner sections of two emitted reports
 //! (e.g. a DDR run and an HBM run of the same workload) and exits 0 only
 //! when at least one common shape class picked a different winning plan —
@@ -82,6 +92,7 @@ struct Args {
     min_pool_hit_rate: Option<f64>,
     diff_winners: Option<(String, String)>,
     tenants: usize,
+    programs: bool,
     tenant_policy: TenantPolicy,
     mean_arrival_us: Option<u64>,
     stream_out: Option<String>,
@@ -107,6 +118,7 @@ fn parse_args() -> Args {
         min_pool_hit_rate: None,
         diff_winners: None,
         tenants: 1,
+        programs: false,
         tenant_policy: TenantPolicy::default(),
         mean_arrival_us: None,
         stream_out: None,
@@ -142,6 +154,7 @@ fn parse_args() -> Args {
                 a.diff_winners = Some((left, right));
             }
             "--tenants" => a.tenants = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--programs" => a.programs = true,
             "--tenant-weight" => {
                 let (name, w) = split_kv(&take(&mut i));
                 let weight: u64 = w.parse().unwrap_or_else(|_| usage());
@@ -204,6 +217,11 @@ fn parse_args() -> Args {
     if a.min_pool_hit_rate.is_some() && a.check.is_none() {
         usage();
     }
+    // Program workloads are synthesized; replay files carry their own
+    // program jobs inline.
+    if a.programs && !a.synthetic {
+        usage();
+    }
     a
 }
 
@@ -219,7 +237,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: stencil_serve --synthetic [--jobs N] [--seed S] [--quick] \
          [--shadow-pct P] [--queue-cap C] [--workers W] [--auto-plan] \
-         [--plan-explain] [--device ddr|hbm] [--tenants N] \
+         [--plan-explain] [--device ddr|hbm] [--tenants N] [--programs] \
          [--tenant-weight NAME=W] [--tenant-cap NAME=C] [--mean-arrival-us U] \
          [--stream-out FILE|-] [--fairness-ratio F] [--out FILE]\
          \n       stencil_serve --workload FILE.jsonl [--auto-plan] [--out FILE]\
@@ -246,6 +264,7 @@ fn main() {
     // never materialized, so a replay can be arbitrarily long.
     let mut params = SyntheticParams::new(a.jobs, a.seed, a.quick);
     params.tenants = a.tenants;
+    params.programs = a.programs;
     if let Some(u) = a.mean_arrival_us {
         params.mean_arrival_us = u;
     }
@@ -289,7 +308,7 @@ fn main() {
 
     println!(
         "stencil_serve: {kind} workload (seed {seed}{}), queue cap {}, \
-         {} workers/shard, shadow {}%, device {}, mean arrival {} us{}{}{}",
+         {} workers/shard, shadow {}%, device {}, mean arrival {} us{}{}{}{}",
         if a.quick { ", quick" } else { "" },
         a.queue_cap,
         a.workers,
@@ -297,6 +316,7 @@ fn main() {
         a.device,
         params.mean_arrival_us,
         if a.auto_plan { ", auto-planned" } else { "" },
+        if a.programs { ", programs" } else { "" },
         if a.tenants > 1 {
             format!(", {} tenants", a.tenants)
         } else {
@@ -518,6 +538,34 @@ fn print_summary(r: &ServeReport) {
         "  scheduler: {} steal sweeps ({} hits, {} misses), quantum {} cells",
         sch.steals, sch.steal_hits, sch.steal_misses, sch.dwrr_quantum_cells
     );
+    let d = &r.dataflow;
+    if d.enabled {
+        println!(
+            "  dataflow: {}/{} programs, {} nodes on up to {} devices, \
+             {} frames; pipelined {} ticks vs sequential {} ({:.2}x), \
+             channel high water {}/{}",
+            d.programs_completed,
+            d.programs_requested,
+            d.nodes_placed,
+            d.devices_used_max,
+            d.frames,
+            d.pipelined_ticks,
+            d.sequential_ticks,
+            if d.pipelined_ticks > 0 {
+                d.sequential_ticks as f64 / d.pipelined_ticks as f64
+            } else {
+                0.0
+            },
+            d.channel_high_water_max,
+            d.channel_depth_max,
+        );
+        for s in &d.stages {
+            println!(
+                "    stage {}: {} cells over {} busy ticks ({:.1} cells/tick)",
+                s.stage, s.cells_updated, s.busy_ticks, s.cells_per_tick
+            );
+        }
+    }
     let p = &r.planner;
     if p.enabled {
         println!(

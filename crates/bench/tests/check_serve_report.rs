@@ -108,6 +108,57 @@ fn missing_steal_counters_exit_2() {
 }
 
 #[test]
+fn corrupted_dataflow_section_exits_2() {
+    // The fixture is the golden report with `dataflow.channel_high_water_max`
+    // raised above `channel_depth_max` — a bounded channel claiming to have
+    // held more frames than its deepest configured capacity.
+    let (code, stderr) = check(&fixture("serve_report_bad_dataflow.json"));
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("cannot overfill"), "stderr: {stderr}");
+}
+
+#[test]
+fn inconsistent_dataflow_stage_accounting_exits_2() {
+    // Per-stage cells must sum to the section's cells_updated total.
+    let text = std::fs::read_to_string(fixture("serve_report_golden.json")).unwrap();
+    let mut bad: stencil_runtime::ServeReport = serde_json::from_str(&text).unwrap();
+    assert!(
+        !bad.dataflow.stages.is_empty(),
+        "golden must carry program stages"
+    );
+    bad.dataflow.stages[0].cells_updated += 1;
+    let path = std::env::temp_dir().join(format!(
+        "serve_report_bad_stage_cells_{}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, serde_json::to_string(&bad).unwrap()).unwrap();
+    let (code, stderr) = check(&path);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("stage cells"), "stderr: {stderr}");
+}
+
+#[test]
+fn stripped_dataflow_section_exits_2() {
+    // Schema v6 made `dataflow` mandatory: a v6 report without it (schema
+    // drift back toward v5) must be rejected.
+    let text = std::fs::read_to_string(fixture("serve_report_golden.json")).unwrap();
+    let start = text
+        .find(",\n  \"dataflow\":")
+        .expect("golden has dataflow");
+    let stripped = format!("{}\n}}\n", &text[..start]);
+    let path = std::env::temp_dir().join(format!(
+        "serve_report_no_dataflow_{}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, stripped).unwrap();
+    let (code, stderr) = check(&path);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("dataflow"), "stderr: {stderr}");
+}
+
+#[test]
 fn inconsistent_steal_counters_exit_2() {
     // steals != steal_hits + steal_misses is corrupted accounting.
     let text = std::fs::read_to_string(fixture("serve_report_golden.json")).unwrap();

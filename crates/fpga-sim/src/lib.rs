@@ -40,6 +40,7 @@
 pub mod accelerator;
 pub mod area;
 pub mod chain;
+pub mod cluster;
 pub mod counters;
 pub mod device;
 pub mod event;
@@ -58,6 +59,7 @@ pub mod unblocked;
 
 pub use accelerator::Accelerator;
 pub use area::AreaEstimate;
+pub use cluster::{ChannelStats, ClusterKernel, ClusterNode, ClusterReport, ClusterSpec};
 pub use counters::SimCounters;
 pub use device::FpgaDevice;
 pub use fmax::FmaxModel;

@@ -7,6 +7,7 @@
 //! the replay format `stencil_serve` consumes.
 
 use crate::planner::{PlanChoice, PlanError, PlanMode};
+use crate::program::StencilProgram;
 use crate::tenant::Tenant;
 use serde::{Deserialize, Serialize};
 use stencil_core::BlockConfig;
@@ -191,6 +192,15 @@ pub struct JobSpec {
     /// (caught at the shard boundary) before the job is allowed to succeed.
     /// Exercises the retry/backoff path under load.
     pub fail_times: u32,
+    /// Optional stencil *program*: a DAG of dependent operators executed on
+    /// the multi-device cluster simulator instead of a single kernel.
+    /// Absent (the default, and in all pre-program JSONL workloads) the job
+    /// is the classic single-kernel run and every field above means what it
+    /// always did. Present, the per-node radii/time-steps replace `rad`/
+    /// `iters` and the block configuration comes from program placement;
+    /// the geometry, tenant, priority, deadline and seed fields still
+    /// apply.
+    pub program: Option<StencilProgram>,
 }
 
 impl JobSpec {
@@ -217,6 +227,7 @@ impl JobSpec {
             seed: id,
             shadow: false,
             fail_times: 0,
+            program: None,
         }
     }
 
@@ -243,6 +254,7 @@ impl JobSpec {
             seed: id,
             shadow: false,
             fail_times: 0,
+            program: None,
         }
     }
 
@@ -284,14 +296,28 @@ impl JobSpec {
         if self.replicas.get() == 0 {
             return Err(PlanError::ZeroReplicas);
         }
+        if let Some(program) = &self.program {
+            // Program jobs take their block configurations from placement,
+            // so the spec-level config fields are not checked; the graph
+            // and its halo/shape compatibility are.
+            program.validate().map_err(PlanError::Program)?;
+            return program
+                .validate_shape(self.dim, self.nx, self.ny, self.nz)
+                .map_err(PlanError::Program);
+        }
         match self.plan {
             PlanMode::Auto => Ok(()),
             PlanMode::Explicit => self.block_config().map(|_| ()),
         }
     }
 
-    /// Useful cell updates the job performs (`cells · iters`).
+    /// Useful cell updates the job performs: `cells · iters` for a
+    /// single-kernel job, the sum over every program stage and frame for a
+    /// program job.
     pub fn work_cells(&self) -> u64 {
+        if let Some(program) = &self.program {
+            return program.work_cells(self.dim, self.nx, self.ny, self.nz);
+        }
         let cells =
             self.nx as u64 * self.ny as u64 * if self.dim == 3 { self.nz as u64 } else { 1 };
         cells * self.iters as u64
@@ -432,6 +458,53 @@ mod tests {
             .unwrap()
             .replace("\"replicas\":1,", "\"replicas\":0,");
         assert!(serde_json::from_str::<JobSpec>(&zero).is_err());
+    }
+
+    #[test]
+    fn program_field_roundtrips_and_defaults_to_none() {
+        let mut spec = JobSpec::new_2d(9, 1, 64, 48, 2);
+        spec.program = Some(crate::program::StencilProgram::heat_gradient_2d(3));
+        let line = serde_json::to_string(&spec).unwrap();
+        let back: JobSpec = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, spec);
+
+        // Pre-program JSONL lines carry no `program` key and must load as
+        // plain single-kernel jobs (same precedent as `replicas`/`tenant`).
+        let plain = JobSpec::new_2d(9, 1, 64, 48, 2);
+        let line = serde_json::to_string(&plain)
+            .unwrap()
+            .replace(",\"program\":null", "");
+        assert!(!line.contains("program"), "field must be gone: {line}");
+        let back: JobSpec = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.program, None);
+        assert_eq!(back, plain);
+    }
+
+    #[test]
+    fn program_jobs_validate_graph_and_shape() {
+        let mut s = JobSpec::new_2d(1, 1, 64, 48, 2);
+        // Program jobs skip the explicit block-config check entirely.
+        s.partime = 3;
+        s.program = Some(crate::program::StencilProgram::heat_gradient_2d(2));
+        s.validate().unwrap();
+        assert_eq!(s.work_cells(), 64 * 48 * 3 * 2, "sum over stages x frames");
+
+        // Graph errors surface as the exact wrapped variant.
+        let mut p = crate::program::StencilProgram::heat_gradient_2d(2);
+        p.edges[0].depth = 0;
+        s.program = Some(p);
+        assert!(matches!(
+            s.validate().unwrap_err(),
+            PlanError::Program(crate::program::ProgramError::ZeroDepthChannel { .. })
+        ));
+
+        // Shape mismatch: a 3D program on a too-thin grid.
+        let mut s3 = JobSpec::new_3d(2, 2, 48, 48, 3, 2);
+        s3.program = Some(crate::program::StencilProgram::seismic_3d(2));
+        assert!(matches!(
+            s3.validate().unwrap_err(),
+            PlanError::Program(crate::program::ProgramError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod job;
 pub mod metrics;
 pub mod planner;
 pub mod pool;
+pub mod program;
 pub mod queue;
 pub mod report;
 pub mod retry;
@@ -57,9 +58,11 @@ pub use cancel::CancelToken;
 pub use job::{Backend, JobResult, JobSpec, Outcome, Priority, Replicas};
 pub use metrics::MetricsRegistry;
 pub use planner::{
-    DeviceProfile, PlanChoice, PlanError, PlanMode, Planner, PlannerConfig, ShapeKey,
+    place_program, DeviceProfile, PlanChoice, PlanError, PlanMode, Planner, PlannerConfig,
+    ProgramPlacement, ShapeKey, StagePlacement,
 };
 pub use pool::{GridLease2D, GridLease3D, GridPool, PoolConfig, PoolStats, StencilMemo};
+pub use program::{ProgramEdge, ProgramError, ProgramNode, StencilProgram};
 pub use queue::{AdmissionQueue, Popped, PushError};
 pub use report::{validate_report_json, LatencySummary, PlannerReport, ServeReport};
 pub use retry::RetryPolicy;

@@ -41,6 +41,7 @@
 
 use crate::job::{Backend, JobSpec};
 use crate::metrics::MetricsRegistry;
+use crate::program::StencilProgram;
 use fpga_sim::FpgaDevice;
 use perf_model::tuner;
 use serde::{Deserialize, Serialize};
@@ -73,6 +74,9 @@ pub enum PlanError {
     /// `replicas` was zero — the functional backend needs at least one
     /// chain.
     ZeroReplicas,
+    /// The job carries an invalid stencil program — the underlying
+    /// [`crate::program::ProgramError`] names the graph rule it violates.
+    Program(crate::program::ProgramError),
 }
 
 impl std::fmt::Display for PlanError {
@@ -85,6 +89,7 @@ impl std::fmt::Display for PlanError {
                 write!(f, "no valid candidate plan for dim {dim} rad {rad}")
             }
             PlanError::ZeroReplicas => write!(f, "replicas must be >= 1"),
+            PlanError::Program(e) => write!(f, "{e}"),
         }
     }
 }
@@ -93,6 +98,7 @@ impl std::error::Error for PlanError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PlanError::Config(e) => Some(e),
+            PlanError::Program(e) => Some(e),
             _ => None,
         }
     }
@@ -792,6 +798,162 @@ fn prior_cells_per_sec(backend: Backend) -> f64 {
 /// predicted to finish `spec` inside its deadline (jobs without deadlines
 /// always fit). Half the deadline is budgeted for the run; the rest
 /// covers queueing.
+/// One program node placed on a simulated device: the block configuration
+/// the tuner chose for it, the resources it occupies, and the perf-model
+/// stage-rate estimate the cluster scheduler prices its firings with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagePlacement {
+    /// The program node's name.
+    pub node: String,
+    /// Device the node runs on (dense ids; pipeline-parallel placements
+    /// give every node its own device).
+    pub device: usize,
+    /// Block configuration of one chain.
+    pub config: BlockConfig,
+    /// Spatially replicated chain count (HBM profiles may pick > 1).
+    pub replicas: usize,
+    /// DSP blocks the stage occupies on its device (all chains).
+    pub dsps: u64,
+    /// Physical BRAM bits the stage occupies on its device (all chains).
+    pub bram_bits: u64,
+    /// Derated perf-model estimate for the stage, cells/s.
+    pub est_cells_per_sec: f64,
+    /// Virtual ticks (µs of simulated time) one frame occupies the device.
+    pub exec_ticks: u64,
+}
+
+/// A whole program mapped onto a cluster of simulated devices, plus the
+/// perf-model throughput estimates for the pipelined placement and the
+/// 1-device sequential baseline. `est_pipelined_cells_per_sec >=
+/// est_sequential_cells_per_sec` always holds (the pipeline's bottleneck
+/// stage rate dominates the harmonic mean) — the serve-report validator
+/// enforces it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramPlacement {
+    /// Stages in topological order.
+    pub stages: Vec<StagePlacement>,
+    /// Devices the placement uses.
+    pub devices: usize,
+    /// Steady-state pipeline estimate: bottleneck frame rate x cells per
+    /// frame across all stages.
+    pub est_pipelined_cells_per_sec: f64,
+    /// Sequential baseline estimate: cells per frame over the summed
+    /// per-stage frame latencies.
+    pub est_sequential_cells_per_sec: f64,
+}
+
+/// Places `program`'s nodes onto simulated devices of `profile` under the
+/// per-device DSP/BRAM budgets the perf model reports.
+///
+/// Placement is pipeline-parallel — every node gets its own device, in
+/// topological order — and **rate-balanced**: the tuner's top candidate per
+/// node fixes the bottleneck frame rate, then every other node takes its
+/// *cheapest* (fewest DSPs) candidate that still meets that rate, so fast
+/// stages do not hoard area their frames cannot use.
+///
+/// # Errors
+/// [`PlanError::UnsupportedDim`] for non-2D/3D specs, or
+/// [`PlanError::NoCandidates`] when the tuner has no valid configuration
+/// for a node's radius on this shape.
+pub fn place_program(
+    profile: DeviceProfile,
+    spec: &JobSpec,
+    program: &StencilProgram,
+) -> Result<ProgramPlacement, PlanError> {
+    let device = profile.fpga_device();
+    let dim = match spec.dim {
+        2 => Dim::D2,
+        3 => Dim::D3,
+        d => return Err(PlanError::UnsupportedDim { dim: d }),
+    };
+    let order = program.topo_order().expect("validated program");
+    let cells = spec.nx as u64 * spec.ny as u64 * if spec.dim == 3 { spec.nz as u64 } else { 1 };
+
+    // Candidate tables per stage, in topological order.
+    let mut tables = Vec::with_capacity(order.len());
+    for &i in &order {
+        let node = &program.nodes[i];
+        let cands = tuner::shape_candidates(&device, dim, node.rad, spec.nx, spec.ny, 4);
+        if cands.is_empty() {
+            return Err(PlanError::NoCandidates {
+                dim: spec.dim,
+                rad: node.rad,
+            });
+        }
+        tables.push((i, cands));
+    }
+
+    // Bottleneck frame rate under each stage's top candidate. A frame
+    // costs `cells · iters` updates on its stage.
+    let frame_hz = |score: f64, iters: usize| score * 1e9 / (cells as f64 * iters as f64);
+    let bottleneck = tables
+        .iter()
+        .map(|(i, cands)| frame_hz(cands[0].score, program.nodes[*i].iters))
+        .fold(f64::INFINITY, f64::min);
+
+    let mut stages = Vec::with_capacity(tables.len());
+    let mut est_seq_latency = 0.0;
+    let mut total_frame_cells = 0u64;
+    for (slot, (i, cands)) in tables.iter().enumerate() {
+        let node = &program.nodes[*i];
+        // Cheapest candidate still meeting the bottleneck rate; the top
+        // candidate qualifies by construction, so the pick always exists.
+        let pick = cands
+            .iter()
+            .filter(|c| frame_hz(c.score, node.iters) >= bottleneck)
+            .min_by(|a, b| {
+                (a.dsps * a.replicas as u64, a.bram_bits * a.replicas as u64)
+                    .cmp(&(b.dsps * b.replicas as u64, b.bram_bits * b.replicas as u64))
+            })
+            .unwrap_or(&cands[0]);
+        let dsps = pick.dsps * pick.replicas as u64;
+        let bram_bits = pick.bram_bits * pick.replicas as u64;
+        debug_assert!(dsps <= device.dsps && bram_bits <= device.m20k_bits);
+        let est = pick.score * 1e9;
+        let stage_cells = cells as f64 * node.iters as f64;
+        est_seq_latency += stage_cells / est;
+        total_frame_cells += cells * node.iters as u64;
+        // One virtual tick is 1 µs of simulated device time.
+        let exec_ticks = (stage_cells / est * 1e6).ceil().max(1.0) as u64;
+        stages.push(StagePlacement {
+            node: node.name.clone(),
+            device: slot,
+            config: pick.config,
+            replicas: pick.replicas,
+            dsps,
+            bram_bits,
+            est_cells_per_sec: est,
+            exec_ticks,
+        });
+    }
+
+    let bottleneck_chosen = stages
+        .iter()
+        .zip(&tables)
+        .map(|(s, (i, _))| s.est_cells_per_sec / (cells as f64 * program.nodes[*i].iters as f64))
+        .fold(f64::INFINITY, f64::min);
+    Ok(ProgramPlacement {
+        devices: stages.len(),
+        est_pipelined_cells_per_sec: bottleneck_chosen * total_frame_cells as f64,
+        est_sequential_cells_per_sec: total_frame_cells as f64 / est_seq_latency,
+        stages,
+    })
+}
+
+impl Planner {
+    /// [`place_program`] against this planner's device profile.
+    ///
+    /// # Errors
+    /// See [`place_program`].
+    pub fn place_program(
+        &self,
+        spec: &JobSpec,
+        program: &StencilProgram,
+    ) -> Result<ProgramPlacement, PlanError> {
+        place_program(self.profile, spec, program)
+    }
+}
+
 fn deadline_fits(est_cells_per_sec: f64, spec: &JobSpec) -> bool {
     if spec.deadline_ms == 0 {
         return true;
@@ -839,6 +1001,43 @@ mod tests {
         let mut s = auto_spec(4, 2, 100, 60);
         s.nz = 77;
         assert_eq!(ShapeKey::of(&s), a);
+    }
+
+    #[test]
+    fn program_placement_is_pipelined_budgeted_and_rate_ordered() {
+        for profile in [DeviceProfile::Ddr, DeviceProfile::Hbm] {
+            let device = profile.fpga_device();
+            let spec = JobSpec::new_2d(1, 1, 192, 128, 1);
+            let program = crate::program::StencilProgram::heat_gradient_2d(3);
+            let p = place_program(profile, &spec, &program).unwrap();
+            assert_eq!(p.devices, 2, "pipeline-parallel: one node per device");
+            assert_eq!(p.stages.len(), 2);
+            for (slot, s) in p.stages.iter().enumerate() {
+                assert_eq!(s.device, slot);
+                assert!(s.dsps <= device.dsps, "DSP budget respected");
+                assert!(s.bram_bits <= device.m20k_bits, "BRAM budget respected");
+                assert!(s.exec_ticks >= 1);
+                assert!(s.est_cells_per_sec > 0.0);
+            }
+            assert!(
+                p.est_pipelined_cells_per_sec >= p.est_sequential_cells_per_sec,
+                "bottleneck rate dominates the harmonic mean"
+            );
+        }
+    }
+
+    #[test]
+    fn program_placement_3d_and_error_paths() {
+        let spec3 = JobSpec::new_3d(1, 2, 48, 48, 24, 1);
+        let program = crate::program::StencilProgram::seismic_3d(2);
+        let p = place_program(DeviceProfile::Ddr, &spec3, &program).unwrap();
+        assert_eq!(p.devices, 3);
+        let mut bad = JobSpec::new_2d(2, 1, 64, 64, 1);
+        bad.dim = 7;
+        assert!(matches!(
+            place_program(DeviceProfile::Ddr, &bad, &program),
+            Err(PlanError::UnsupportedDim { dim: 7 })
+        ));
     }
 
     #[test]

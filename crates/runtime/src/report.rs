@@ -25,8 +25,12 @@ use stencil_core::BlockConfig;
 /// (per-tenant fairness accounting: completed/rejected/p99 under DWRR
 /// scheduling and in-flight quotas) and `scheduler` (work-stealing
 /// counters, cross-validated `steals == steal_hits + steal_misses`)
-/// sections plus top-level `jobs_quota_rejected`.
-pub const SCHEMA_VERSION: u64 = 5;
+/// sections plus top-level `jobs_quota_rejected`; 6 = adds the mandatory
+/// `dataflow` section (multi-device stencil-program accounting: nodes
+/// placed, bounded-channel occupancy high waters, pipelined vs 1-device
+/// sequential makespans, per-stage throughput — identities cross-validated
+/// by [`validate_report_json`]).
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Latency distribution summary (milliseconds).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -320,6 +324,126 @@ pub struct SchedulerReport {
     pub steal_misses: u64,
 }
 
+/// One topological pipeline stage's slice of the `dataflow` section,
+/// aggregated across every completed program job (stage `k` of every
+/// program contributes to entry `k`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Topological stage index (0-based, dense).
+    pub stage: u64,
+    /// Useful cell updates this stage committed across all programs.
+    pub cells_updated: u64,
+    /// Virtual ticks the stage's device spent busy.
+    pub busy_ticks: u64,
+    /// `cells_updated / busy_ticks` (0 when the stage never fired).
+    pub cells_per_tick: f64,
+}
+
+/// The `dataflow` section: multi-device stencil-program accounting from
+/// the cluster simulator. All-zero (with `enabled: false`) when the
+/// workload contained no program jobs. The validator enforces the section's
+/// internal identities: channel high waters bounded by capacities, stage
+/// cells summing to the total, stage busy ticks summing to the sequential
+/// makespan (a serialized schedule never idles), the pipelined makespan
+/// never exceeding the sequential one, and the perf-model estimates
+/// ordered the same way.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataflowReport {
+    /// Whether any program job entered the runtime.
+    pub enabled: bool,
+    /// Program jobs admitted.
+    pub programs_requested: u64,
+    /// Program jobs that completed (and were bit-verified — program jobs
+    /// always shadow against the serial interpreter).
+    pub programs_completed: u64,
+    /// Program nodes placed onto devices, summed over completed programs.
+    pub nodes_placed: u64,
+    /// Most devices any single placement used.
+    pub devices_used_max: u64,
+    /// Inter-device channels instantiated, summed over completed programs.
+    pub channels: u64,
+    /// Deepest configured channel capacity observed.
+    pub channel_depth_max: u64,
+    /// Highest channel occupancy observed — **must not exceed**
+    /// `channel_depth_max` (bounded channels cannot overfill).
+    pub channel_high_water_max: u64,
+    /// Frames streamed through pipelines, summed over completed programs.
+    pub frames: u64,
+    /// Useful cell updates committed by program stages.
+    pub cells_updated: u64,
+    /// Virtual makespan of the placed (pipelined) schedules, summed.
+    pub pipelined_ticks: u64,
+    /// Virtual makespan of the same programs serialized on one device.
+    pub sequential_ticks: u64,
+    /// `cells_updated / pipelined_ticks` — the measured pipelined rate.
+    pub measured_pipelined_cells_per_tick: f64,
+    /// `cells_updated / sequential_ticks` — the measured 1-device rate.
+    pub measured_sequential_cells_per_tick: f64,
+    /// Perf-model estimate for the pipelined placements, cells/s (floored
+    /// per job; per job the pipelined estimate dominates the sequential
+    /// one, so the floored sums stay ordered).
+    pub est_pipelined_cells_per_sec: u64,
+    /// Perf-model estimate for the 1-device sequential baselines, cells/s.
+    pub est_sequential_cells_per_sec: u64,
+    /// Per-stage aggregates, dense from stage 0.
+    pub stages: Vec<StageReport>,
+}
+
+impl DataflowReport {
+    fn build(metrics: &MetricsRegistry) -> DataflowReport {
+        let count = |name: &str| metrics.counter(name).get();
+        let hw = |name: &str| metrics.gauge(name).high_water().max(0) as u64;
+        let cells = count("program_cells");
+        let pipelined_ticks = count("program_pipelined_ticks");
+        let sequential_ticks = count("program_sequential_ticks");
+        let mut stages = Vec::new();
+        for k in 0..crate::program::MAX_NODES {
+            let cells_updated = count(&format!("program_stage{k}_cells"));
+            let busy_ticks = count(&format!("program_stage{k}_ticks"));
+            if cells_updated == 0 && busy_ticks == 0 {
+                break;
+            }
+            stages.push(StageReport {
+                stage: k as u64,
+                cells_updated,
+                busy_ticks,
+                cells_per_tick: if busy_ticks > 0 {
+                    cells_updated as f64 / busy_ticks as f64
+                } else {
+                    0.0
+                },
+            });
+        }
+        DataflowReport {
+            enabled: count("programs_requested") > 0,
+            programs_requested: count("programs_requested"),
+            programs_completed: count("programs_completed"),
+            nodes_placed: count("program_nodes_placed"),
+            devices_used_max: hw("program_devices"),
+            channels: count("program_channels"),
+            channel_depth_max: hw("program_channel_depth"),
+            channel_high_water_max: hw("program_channel_high_water"),
+            frames: count("program_frames"),
+            cells_updated: cells,
+            pipelined_ticks,
+            sequential_ticks,
+            measured_pipelined_cells_per_tick: if pipelined_ticks > 0 {
+                cells as f64 / pipelined_ticks as f64
+            } else {
+                0.0
+            },
+            measured_sequential_cells_per_tick: if sequential_ticks > 0 {
+                cells as f64 / sequential_ticks as f64
+            } else {
+                0.0
+            },
+            est_pipelined_cells_per_sec: count("program_est_pipelined_cps"),
+            est_sequential_cells_per_sec: count("program_est_sequential_cps"),
+            stages,
+        }
+    }
+}
+
 /// The complete load-test report (`BENCH_serve.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -394,6 +518,8 @@ pub struct ServeReport {
     pub tenants: Vec<TenantReport>,
     /// DWRR and work-stealing counters.
     pub scheduler: SchedulerReport,
+    /// Multi-device stencil-program accounting (cluster simulator).
+    pub dataflow: DataflowReport,
 }
 
 impl ServeReport {
@@ -529,6 +655,7 @@ impl ServeReport {
                 steal_hits: steals.steal_hits,
                 steal_misses: steals.steal_misses,
             },
+            dataflow: DataflowReport::build(metrics),
         }
     }
 
@@ -657,7 +784,113 @@ pub fn validate_report_json(text: &str) -> Result<usize, String> {
     validate_memory(&report.memory)?;
     validate_tenants(&report)?;
     validate_scheduler(&report.scheduler)?;
+    validate_dataflow(&report.dataflow)?;
     Ok(report.backends.len())
+}
+
+/// Cross-validates the `dataflow` section's internal identities. These are
+/// structural facts about the cluster simulator, not tunables: a bounded
+/// channel can never hold more than its capacity, stage cells partition the
+/// total, a 1-device serialization never idles (so stage busy ticks sum to
+/// the sequential makespan), pipelining never loses to serialization, and
+/// the perf-model estimates are ordered the same way.
+fn validate_dataflow(d: &DataflowReport) -> Result<(), String> {
+    if d.enabled != (d.programs_requested > 0) {
+        return Err("dataflow.enabled disagrees with programs_requested".into());
+    }
+    if d.programs_completed > d.programs_requested {
+        return Err(format!(
+            "dataflow: completed ({}) > requested ({})",
+            d.programs_completed, d.programs_requested
+        ));
+    }
+    if d.channel_high_water_max > d.channel_depth_max {
+        return Err(format!(
+            "dataflow: channel high water {} exceeds deepest capacity {} — \
+             bounded channels cannot overfill",
+            d.channel_high_water_max, d.channel_depth_max
+        ));
+    }
+    let stage_cells: u64 = d.stages.iter().map(|s| s.cells_updated).sum();
+    if stage_cells != d.cells_updated {
+        return Err(format!(
+            "dataflow: stage cells sum to {stage_cells}, total says {}",
+            d.cells_updated
+        ));
+    }
+    let stage_ticks: u64 = d.stages.iter().map(|s| s.busy_ticks).sum();
+    if stage_ticks != d.sequential_ticks {
+        return Err(format!(
+            "dataflow: stage busy ticks sum to {stage_ticks}, sequential \
+             makespan says {} (a serialized schedule never idles)",
+            d.sequential_ticks
+        ));
+    }
+    if d.pipelined_ticks > d.sequential_ticks {
+        return Err(format!(
+            "dataflow: pipelined makespan {} exceeds sequential {}",
+            d.pipelined_ticks, d.sequential_ticks
+        ));
+    }
+    if d.programs_completed > 0 {
+        if d.stages.is_empty() {
+            return Err("dataflow: programs completed but no stage slices".into());
+        }
+        if d.nodes_placed < d.programs_completed {
+            return Err("dataflow: fewer nodes placed than programs completed".into());
+        }
+        if d.est_pipelined_cells_per_sec < d.est_sequential_cells_per_sec {
+            return Err(format!(
+                "dataflow: pipelined estimate {} below sequential estimate {}",
+                d.est_pipelined_cells_per_sec, d.est_sequential_cells_per_sec
+            ));
+        }
+    }
+    for (name, got, cells, ticks) in [
+        (
+            "measured_pipelined_cells_per_tick",
+            d.measured_pipelined_cells_per_tick,
+            d.cells_updated,
+            d.pipelined_ticks,
+        ),
+        (
+            "measured_sequential_cells_per_tick",
+            d.measured_sequential_cells_per_tick,
+            d.cells_updated,
+            d.sequential_ticks,
+        ),
+    ] {
+        let expected = if ticks > 0 {
+            cells as f64 / ticks as f64
+        } else {
+            0.0
+        };
+        if !got.is_finite() || (got - expected).abs() > expected.abs().max(1.0) * 1e-9 {
+            return Err(format!(
+                "dataflow.{name} {got} inconsistent with its raw counts ({expected})"
+            ));
+        }
+    }
+    for (k, s) in d.stages.iter().enumerate() {
+        if s.stage != k as u64 {
+            return Err(format!("dataflow: stage slice {k} labeled {}", s.stage));
+        }
+        let expected = if s.busy_ticks > 0 {
+            s.cells_updated as f64 / s.busy_ticks as f64
+        } else {
+            0.0
+        };
+        if !s.cells_per_tick.is_finite()
+            || (s.cells_per_tick - expected).abs() > expected.abs().max(1.0) * 1e-9
+        {
+            return Err(format!(
+                "dataflow: stage {k} cells_per_tick {} inconsistent with \
+                 cells/ticks ({expected})",
+                s.cells_per_tick
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Cross-validates the `tenants` section: registry-side admission counts
@@ -1409,5 +1642,133 @@ mod tests {
         bad.memory.pool_evictions = bad.memory.pool_returns + 1;
         let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
         assert!(err.contains("evictions exceed returns"), "{err}");
+    }
+
+    /// A report whose `dataflow` section reflects one completed 2-stage
+    /// program: identities hold by construction, mirroring what
+    /// `aggregate_dataflow` records for a real run.
+    fn program_report() -> ServeReport {
+        let metrics = MetricsRegistry::new();
+        let results = vec![result(1, Backend::Functional, Outcome::Completed)];
+        for name in ["jobs_submitted", "jobs_admitted"] {
+            metrics.counter(name).inc();
+        }
+        metrics.counter("jobs_completed").inc();
+        for name in ["queue_wait_ms", "run_ms", "total_ms", "run_ms_functional"] {
+            metrics.histogram(name).record(1.0);
+        }
+        metrics.counter("programs_requested").inc();
+        metrics.counter("programs_completed").inc();
+        metrics.counter("program_nodes_placed").add(2);
+        metrics.counter("program_channels").inc();
+        metrics.counter("program_frames").add(3);
+        metrics.counter("program_cells").add(100);
+        metrics.counter("program_pipelined_ticks").add(7);
+        metrics.counter("program_sequential_ticks").add(10);
+        metrics.counter("program_est_pipelined_cps").add(2000);
+        metrics.counter("program_est_sequential_cps").add(1500);
+        metrics.counter("program_stage0_cells").add(60);
+        metrics.counter("program_stage0_ticks").add(6);
+        metrics.counter("program_stage1_cells").add(40);
+        metrics.counter("program_stage1_ticks").add(4);
+        metrics.gauge("program_devices").set(2);
+        metrics.gauge("program_channel_depth").set(2);
+        metrics.gauge("program_channel_high_water").set(1);
+        ServeReport::build(
+            "synthetic",
+            11,
+            true,
+            DeviceProfile::Ddr,
+            1,
+            &results,
+            &metrics,
+            &[],
+            &[],
+            StealTotals::default(),
+            0,
+            0.5,
+        )
+    }
+
+    #[test]
+    fn dataflow_section_builds_from_metrics_and_validates() {
+        let report = program_report();
+        assert!(report.dataflow.enabled);
+        assert_eq!(report.dataflow.programs_completed, 1);
+        assert_eq!(report.dataflow.stages.len(), 2);
+        assert_eq!(report.dataflow.devices_used_max, 2);
+        assert!(
+            report.dataflow.measured_pipelined_cells_per_tick
+                > report.dataflow.measured_sequential_cells_per_tick
+        );
+        validate_report_json(&serde_json::to_string(&report).unwrap()).unwrap();
+
+        // A workload with no program jobs publishes a disabled section.
+        let plain = sample_report();
+        assert!(!plain.dataflow.enabled);
+        assert!(plain.dataflow.stages.is_empty());
+    }
+
+    #[test]
+    fn dataflow_validation_rejects_channel_overfill() {
+        // The corruption the committed bad-dataflow fixture carries.
+        let mut bad = program_report();
+        bad.dataflow.channel_high_water_max = bad.dataflow.channel_depth_max + 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("cannot overfill"), "{err}");
+    }
+
+    #[test]
+    fn dataflow_validation_rejects_stage_accounting_drift() {
+        let mut bad = program_report();
+        bad.dataflow.stages[0].cells_updated += 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("stage cells sum"), "{err}");
+
+        let mut bad = program_report();
+        bad.dataflow.stages[1].busy_ticks += 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("never idles"), "{err}");
+
+        let mut bad = program_report();
+        bad.dataflow.stages[1].cells_per_tick *= 2.0;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("cells_per_tick"), "{err}");
+    }
+
+    #[test]
+    fn dataflow_validation_rejects_pipelining_regressions() {
+        // A pipelined makespan above the sequential one is impossible.
+        let mut bad = program_report();
+        bad.dataflow.pipelined_ticks = bad.dataflow.sequential_ticks + 1;
+        bad.dataflow.measured_pipelined_cells_per_tick =
+            bad.dataflow.cells_updated as f64 / bad.dataflow.pipelined_ticks as f64;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("exceeds sequential"), "{err}");
+
+        // So is a pipelined estimate below the sequential one.
+        let mut bad = program_report();
+        bad.dataflow.est_pipelined_cells_per_sec = bad.dataflow.est_sequential_cells_per_sec - 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("below sequential estimate"), "{err}");
+    }
+
+    #[test]
+    fn dataflow_validation_rejects_bookkeeping_drift() {
+        let mut bad = program_report();
+        bad.dataflow.enabled = false;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("disagrees with programs_requested"), "{err}");
+
+        let mut bad = program_report();
+        bad.dataflow.programs_completed = bad.dataflow.programs_requested + 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("> requested"), "{err}");
+
+        // The section is mandatory at v6: a v5-shaped report fails parse.
+        let json = serde_json::to_string(&program_report()).unwrap();
+        let stripped = json.replacen("\"dataflow\"", "\"dataflow_gone\"", 1);
+        let err = validate_report_json(&stripped).unwrap_err();
+        assert!(err.contains("missing field `dataflow`"), "{err}");
     }
 }

@@ -47,14 +47,16 @@ use crate::batch::BatchPolicy;
 use crate::cancel::CancelToken;
 use crate::job::{Backend, JobResult, JobSpec, Outcome};
 use crate::metrics::MetricsRegistry;
-use crate::planner::{DeviceProfile, PlanError, PlanMode, Planner, PlannerConfig};
+use crate::planner::{place_program, DeviceProfile, PlanError, PlanMode, Planner, PlannerConfig};
 use crate::pool::{GridLease2D, GridLease3D, GridPool, PoolConfig, StencilMemo};
+use crate::program::{self, StencilProgram};
 use crate::queue::{AdmissionQueue, Popped, PushError, QueuedJob};
 use crate::retry::RetryPolicy;
 use crate::steal::{StealDomain, StealTotals};
 use crate::stream::ResultSender;
 use crate::tenant::{Tenant, TenantPolicy, TenantRegistry, TenantSnapshot};
 use cpu_engine::engines;
+use fpga_sim::cluster::{self, ClusterKernel, ClusterNode, ClusterSpec};
 use fpga_sim::{functional, serial_ref, threaded, SimCounters, SimOptions};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, Once};
@@ -259,14 +261,23 @@ struct ExecEnv {
     pool: Arc<GridPool>,
     stencils: Arc<StencilMemo>,
     sim: SimOptions,
+    /// Device profile program placement ranks candidates against — the
+    /// same profile the planner plans single-kernel jobs for.
+    profile: DeviceProfile,
 }
 
 impl ExecEnv {
-    fn new(metrics: &MetricsRegistry, sim: SimOptions, pool: PoolConfig) -> ExecEnv {
+    fn new(
+        metrics: &MetricsRegistry,
+        sim: SimOptions,
+        pool: PoolConfig,
+        profile: DeviceProfile,
+    ) -> ExecEnv {
         ExecEnv {
             pool: Arc::new(GridPool::new(metrics, pool)),
             stencils: Arc::new(StencilMemo::new(metrics, StencilMemo::DEFAULT_CAPACITY)),
             sim,
+            profile,
         }
     }
 }
@@ -302,7 +313,7 @@ impl Runtime {
         let sink = Arc::new(ResultSink::default());
         let planner = Arc::new(Planner::with_device(config.planner.clone(), config.device));
         let tenants = Arc::new(TenantRegistry::new(config.tenants.clone()));
-        let env = ExecEnv::new(&metrics, config.sim, config.pool);
+        let env = ExecEnv::new(&metrics, config.sim, config.pool, config.device);
         let mut workers = Vec::new();
         let mut domains = Vec::new();
         for &backend in &config.backends {
@@ -391,6 +402,16 @@ impl Runtime {
             self.metrics.counter("jobs_invalid").inc();
             return Err(SubmitError::Invalid(why));
         }
+        // Program jobs are *placed* at admission too: a graph the tuner
+        // has no valid per-node configuration for is an admission error,
+        // not a worker-side panic. The worker re-derives the identical
+        // placement (it is a pure function of profile x spec x program).
+        if let Some(prog) = &spec.program {
+            if let Err(why) = place_program(self.config.device, &spec, prog) {
+                self.metrics.counter("jobs_invalid").inc();
+                return Err(SubmitError::Invalid(why));
+            }
+        }
         // Tenant quota: claim the in-flight slot before planning so a
         // quota-capped flood never touches the planner. Rolled back in
         // full on any later refusal.
@@ -402,7 +423,9 @@ impl Runtime {
             });
         }
         let tenant = spec.tenant.clone();
-        let plan = if spec.plan == PlanMode::Auto {
+        // Program jobs take their configuration from program placement,
+        // not the single-kernel planner — Auto mode is a no-op for them.
+        let plan = if spec.plan == PlanMode::Auto && spec.program.is_none() {
             match self
                 .planner
                 .plan(&spec, &self.config.backends, &self.metrics)
@@ -426,6 +449,7 @@ impl Runtime {
             CancelToken::new()
         };
         let id = spec.id;
+        let is_program = spec.program.is_some();
         // The plan's in-flight slot was claimed above; if the queue
         // refuses the job it never reaches a worker, so release it here
         // or the planner would count phantom backlog forever.
@@ -433,6 +457,9 @@ impl Runtime {
         match self.queue.push(spec, token.clone(), plan, reply) {
             Ok(_) => {
                 self.metrics.counter("jobs_admitted").inc();
+                if is_program {
+                    self.metrics.counter("programs_requested").inc();
+                }
                 self.metrics
                     .gauge("queue_depth")
                     .set(self.queue.depth() as i64);
@@ -658,6 +685,9 @@ fn process_job(ctx: &ShardCtx, job: QueuedJob) {
                     checksum = Some(out.checksum);
                     cells_updated = spec.work_cells();
                     aggregate_counters(&ctx.metrics, &out.counters);
+                    if let Some(stats) = &out.program {
+                        aggregate_dataflow(&ctx.metrics, stats);
+                    }
                     if should_shadow(&spec, ctx.shadow_percent) {
                         let matched = shadow_verify(&spec, &out.output, &ctx.env);
                         ctx.metrics.counter("shadow_runs").inc();
@@ -760,6 +790,10 @@ struct ExecOut {
     checksum: u64,
     counters: SimCounters,
     output: OutputGrid,
+    /// Dataflow accounting when the job was a program run (cluster
+    /// schedule, channel occupancy, sequential baseline); `None` for
+    /// single-kernel jobs.
+    program: Option<ProgramRunStats>,
 }
 
 /// The grid a job produced, kept for shadow comparison. Holds pool leases:
@@ -769,6 +803,35 @@ enum OutputGrid {
     G2(GridLease2D),
     /// 3D result.
     G3(GridLease3D),
+    /// 2D program result: the combined sink frame per streamed frame.
+    P2(Vec<GridLease2D>),
+    /// 3D program result.
+    P3(Vec<GridLease3D>),
+}
+
+/// What one program execution measured, folded into the `program_*`
+/// metrics the serve report's `dataflow` section is built from.
+struct ProgramRunStats {
+    /// Nodes placed (= devices in a pipeline-parallel placement).
+    nodes: u64,
+    /// Devices the placement used.
+    devices: u64,
+    /// Per-channel `(capacity, high_water)` in placement order.
+    channels: Vec<(u64, u64)>,
+    /// Frames streamed through the pipeline.
+    frames: u64,
+    /// Virtual makespan of the placed (pipelined) schedule.
+    pipelined_ticks: u64,
+    /// Virtual makespan of the same program serialized on one device.
+    sequential_ticks: u64,
+    /// Cell updates per topological stage.
+    stage_cells: Vec<u64>,
+    /// Device-busy ticks per topological stage.
+    stage_ticks: Vec<u64>,
+    /// Perf-model estimate for the pipelined placement, cells/s.
+    est_pipelined: f64,
+    /// Perf-model estimate for the 1-device sequential baseline, cells/s.
+    est_sequential: f64,
 }
 
 /// Runs the spec on its backend through the pooled, zero-allocation data
@@ -788,6 +851,9 @@ fn execute(
             "[transient] injected failure {attempt}/{} for job {}",
             spec.fail_times, spec.id
         );
+    }
+    if let Some(prog) = &spec.program {
+        return execute_program(spec, prog, token, env);
     }
     let cfg = spec.block_config().expect("spec validated at admission");
     if spec.dim == 2 {
@@ -846,6 +912,7 @@ fn execute(
             checksum: checksum_f32(out.as_slice()),
             counters,
             output: OutputGrid::G2(out),
+            program: None,
         })
     } else {
         let st = env.stencils.stencil_3d(spec.rad, spec.seed);
@@ -901,8 +968,371 @@ fn execute(
             checksum: checksum_f32(out.as_slice()),
             counters,
             output: OutputGrid::G3(out),
+            program: None,
         })
     }
+}
+
+/// Shared shape of one program run, derived once from the spec and reused
+/// by both cluster kernels: topological slots, per-slot program node
+/// indices, per-slot cluster nodes (preds/depths/device/exec ticks), and
+/// which slots are sinks (in [`StencilProgram::sinks`] order — the order
+/// sink frames are combined in, which must match the interpreter).
+struct ProgramShape {
+    placement: crate::planner::ProgramPlacement,
+    /// Cluster slot → program node index (topological order).
+    node_of: Vec<usize>,
+    /// Cluster nodes for the placed (pipelined) run.
+    cnodes: Vec<ClusterNode>,
+    /// Cluster slot → capture index when the slot is a sink.
+    capture_of: Vec<Option<usize>>,
+    /// Number of sinks.
+    sinks: usize,
+}
+
+impl ProgramShape {
+    fn new(spec: &JobSpec, prog: &StencilProgram, env: &ExecEnv) -> ProgramShape {
+        let placement =
+            place_program(env.profile, spec, prog).expect("program placed at admission");
+        let order = prog.topo_order().expect("program validated at admission");
+        let mut slot_of = vec![0usize; prog.nodes.len()];
+        for (slot, &i) in order.iter().enumerate() {
+            slot_of[i] = slot;
+        }
+        let cnodes = order
+            .iter()
+            .zip(&placement.stages)
+            .map(|(&i, stage)| {
+                let ins = prog.in_edges(i);
+                ClusterNode {
+                    device: stage.device,
+                    preds: ins
+                        .iter()
+                        .map(|&e| {
+                            let p = prog
+                                .node_index(&prog.edges[e].from)
+                                .expect("validated edge");
+                            slot_of[p]
+                        })
+                        .collect(),
+                    depths: ins.iter().map(|&e| prog.edges[e].depth).collect(),
+                    exec_ticks: stage.exec_ticks,
+                }
+            })
+            .collect();
+        let sinks = prog.sinks();
+        let mut capture_of = vec![None; prog.nodes.len()];
+        for (k, &s) in sinks.iter().enumerate() {
+            capture_of[slot_of[s]] = Some(k);
+        }
+        ProgramShape {
+            placement,
+            node_of: order,
+            cnodes,
+            capture_of,
+            sinks: sinks.len(),
+        }
+    }
+}
+
+/// 2D program cluster kernel: every firing leases pooled grids, sums its
+/// fan-in in edge order, runs the node's stencil through the functional
+/// engine, and captures sink outputs per frame for checksum/shadow use.
+struct ProgramKernel2D<'a> {
+    spec: &'a JobSpec,
+    prog: &'a StencilProgram,
+    shape: &'a ProgramShape,
+    env: &'a ExecEnv,
+    token: &'a CancelToken,
+    cancelled: bool,
+    counters: SimCounters,
+    /// `captured[capture_idx][frame]` — sink outputs in sink order.
+    captured: Vec<Vec<Option<GridLease2D>>>,
+}
+
+impl ClusterKernel for ProgramKernel2D<'_> {
+    type Payload = GridLease2D;
+
+    fn fire(&mut self, slot: usize, frame: usize, inputs: &[GridLease2D]) -> GridLease2D {
+        let i = self.shape.node_of[slot];
+        let node = &self.prog.nodes[i];
+        let stage = &self.shape.placement.stages[slot];
+        let mut input = self.env.pool.lease_2d(self.spec.nx, self.spec.ny);
+        if inputs.is_empty() {
+            program::fill_source_2d(&mut input, self.prog.frame_seed(self.spec.seed, i, frame));
+        } else {
+            input.copy_from(&inputs[0]);
+            for extra in &inputs[1..] {
+                program::add_into_2d(&mut input, extra);
+            }
+        }
+        let st = self
+            .env
+            .stencils
+            .stencil_2d(node.rad, self.prog.node_seed(self.spec.seed, i));
+        let mut out = self.env.pool.lease_2d(self.spec.nx, self.spec.ny);
+        let mut scratch = self.env.pool.lease_2d(self.spec.nx, self.spec.ny);
+        let cancel = || self.token.is_cancelled();
+        match functional::run_2d_replicated_cancellable_into(
+            &st,
+            &input,
+            &stage.config,
+            node.iters,
+            stage.config.parvec,
+            stage.replicas,
+            &cancel,
+            &mut out,
+            &mut scratch,
+        ) {
+            Some(c) => self.counters.merge(&c),
+            None => self.cancelled = true,
+        }
+        if let Some(k) = self.shape.capture_of[slot] {
+            self.captured[k][frame] = Some(out);
+            // Sinks feed no channel; a minimal placeholder keeps the
+            // payload contract uniform.
+            self.env.pool.lease_2d(1, 1)
+        } else {
+            out
+        }
+    }
+
+    fn dup(&mut self, payload: &GridLease2D) -> GridLease2D {
+        let mut copy = self.env.pool.lease_2d(self.spec.nx, self.spec.ny);
+        copy.copy_from(payload);
+        copy
+    }
+
+    fn stop(&mut self) -> bool {
+        self.cancelled || self.token.is_cancelled()
+    }
+}
+
+/// 3D twin of [`ProgramKernel2D`].
+struct ProgramKernel3D<'a> {
+    spec: &'a JobSpec,
+    prog: &'a StencilProgram,
+    shape: &'a ProgramShape,
+    env: &'a ExecEnv,
+    token: &'a CancelToken,
+    cancelled: bool,
+    counters: SimCounters,
+    captured: Vec<Vec<Option<GridLease3D>>>,
+}
+
+impl ClusterKernel for ProgramKernel3D<'_> {
+    type Payload = GridLease3D;
+
+    fn fire(&mut self, slot: usize, frame: usize, inputs: &[GridLease3D]) -> GridLease3D {
+        let i = self.shape.node_of[slot];
+        let node = &self.prog.nodes[i];
+        let stage = &self.shape.placement.stages[slot];
+        let (nx, ny, nz) = (self.spec.nx, self.spec.ny, self.spec.nz);
+        let mut input = self.env.pool.lease_3d(nx, ny, nz);
+        if inputs.is_empty() {
+            program::fill_source_3d(&mut input, self.prog.frame_seed(self.spec.seed, i, frame));
+        } else {
+            input.copy_from(&inputs[0]);
+            for extra in &inputs[1..] {
+                program::add_into_3d(&mut input, extra);
+            }
+        }
+        let st = self
+            .env
+            .stencils
+            .stencil_3d(node.rad, self.prog.node_seed(self.spec.seed, i));
+        let mut out = self.env.pool.lease_3d(nx, ny, nz);
+        let mut scratch = self.env.pool.lease_3d(nx, ny, nz);
+        let cancel = || self.token.is_cancelled();
+        match functional::run_3d_replicated_cancellable_into(
+            &st,
+            &input,
+            &stage.config,
+            node.iters,
+            stage.config.parvec,
+            stage.replicas,
+            &cancel,
+            &mut out,
+            &mut scratch,
+        ) {
+            Some(c) => self.counters.merge(&c),
+            None => self.cancelled = true,
+        }
+        if let Some(k) = self.shape.capture_of[slot] {
+            self.captured[k][frame] = Some(out);
+            self.env.pool.lease_3d(1, 1, 1)
+        } else {
+            out
+        }
+    }
+
+    fn dup(&mut self, payload: &GridLease3D) -> GridLease3D {
+        let mut copy = self
+            .env
+            .pool
+            .lease_3d(self.spec.nx, self.spec.ny, self.spec.nz);
+        copy.copy_from(payload);
+        copy
+    }
+
+    fn stop(&mut self) -> bool {
+        self.cancelled || self.token.is_cancelled()
+    }
+}
+
+/// Payload-free kernel for schedule-only re-runs (the 1-device sequential
+/// baseline): the discrete-event schedule is payload-independent, so the
+/// sequential makespan needs no recomputation of any grid.
+struct NoopKernel;
+
+impl ClusterKernel for NoopKernel {
+    type Payload = ();
+    fn fire(&mut self, _node: usize, _frame: usize, _inputs: &[()]) {}
+    fn dup(&mut self, _payload: &()) {}
+}
+
+/// Runs a program job on the simulated device cluster: nodes are placed by
+/// the planner (one device per stage, pipeline-parallel), frames stream
+/// through bounded inter-device channels under the deterministic
+/// discrete-event scheduler, and every node firing executes through the
+/// functional engine regardless of the spec's backend (programs model the
+/// paper's multi-FPGA dataflow, which only the FPGA-functional engine
+/// represents). The same schedule is then re-run with every node on one
+/// device — the measured sequential baseline the serve report compares
+/// pipelining against. The job checksum folds the per-frame combined sink
+/// checksums in frame order.
+fn execute_program(
+    spec: &JobSpec,
+    prog: &StencilProgram,
+    token: &CancelToken,
+    env: &ExecEnv,
+) -> Result<ExecOut, Interrupted> {
+    let shape = ProgramShape::new(spec, prog, env);
+    let cspec = ClusterSpec {
+        nodes: shape.cnodes.clone(),
+        frames: prog.frames,
+        seed: spec.seed,
+    };
+    let cells = (spec.nx * spec.ny * if spec.dim == 3 { spec.nz } else { 1 }) as u64;
+
+    let (counters, output, rep) = if spec.dim == 2 {
+        let mut kernel = ProgramKernel2D {
+            spec,
+            prog,
+            shape: &shape,
+            env,
+            token,
+            cancelled: false,
+            counters: SimCounters::default(),
+            captured: (0..shape.sinks)
+                .map(|_| (0..prog.frames).map(|_| None).collect())
+                .collect(),
+        };
+        let rep = cluster::run(&cspec, &mut kernel);
+        if rep.aborted || kernel.cancelled || token.is_cancelled() {
+            return Err(Interrupted);
+        }
+        // Combine sink outputs per frame, in sink order — the exact
+        // combination the serial interpreter performs.
+        let mut frames = Vec::with_capacity(prog.frames);
+        for f in 0..prog.frames {
+            let mut captured = kernel.captured.iter_mut();
+            let mut combined = captured.next().expect("program has a sink")[f]
+                .take()
+                .expect("completed run captured every frame");
+            for rest in captured {
+                let extra = rest[f].take().expect("completed run captured every frame");
+                program::add_into_2d(&mut combined, &extra);
+            }
+            frames.push(combined);
+        }
+        (kernel.counters, OutputGrid::P2(frames), rep)
+    } else {
+        let mut kernel = ProgramKernel3D {
+            spec,
+            prog,
+            shape: &shape,
+            env,
+            token,
+            cancelled: false,
+            counters: SimCounters::default(),
+            captured: (0..shape.sinks)
+                .map(|_| (0..prog.frames).map(|_| None).collect())
+                .collect(),
+        };
+        let rep = cluster::run(&cspec, &mut kernel);
+        if rep.aborted || kernel.cancelled || token.is_cancelled() {
+            return Err(Interrupted);
+        }
+        let mut frames = Vec::with_capacity(prog.frames);
+        for f in 0..prog.frames {
+            let mut captured = kernel.captured.iter_mut();
+            let mut combined = captured.next().expect("program has a sink")[f]
+                .take()
+                .expect("completed run captured every frame");
+            for rest in captured {
+                let extra = rest[f].take().expect("completed run captured every frame");
+                program::add_into_3d(&mut combined, &extra);
+            }
+            frames.push(combined);
+        }
+        (kernel.counters, OutputGrid::P3(frames), rep)
+    };
+
+    // Sequential baseline: identical graph and stage costs, every node on
+    // device 0. Payload-free — scheduling does not depend on the data.
+    let seq_spec = ClusterSpec {
+        nodes: shape
+            .cnodes
+            .iter()
+            .map(|n| ClusterNode {
+                device: 0,
+                preds: n.preds.clone(),
+                depths: n.depths.clone(),
+                exec_ticks: n.exec_ticks,
+            })
+            .collect(),
+        frames: prog.frames,
+        seed: spec.seed,
+    };
+    let seq_rep = cluster::run(&seq_spec, &mut NoopKernel);
+
+    let checksum = match &output {
+        OutputGrid::P2(frames) => frames.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, f| {
+            (h ^ checksum_f32(f.as_slice())).wrapping_mul(0x0000_0100_0000_01b3)
+        }),
+        OutputGrid::P3(frames) => frames.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, f| {
+            (h ^ checksum_f32(f.as_slice())).wrapping_mul(0x0000_0100_0000_01b3)
+        }),
+        _ => unreachable!("program output is always P2/P3"),
+    };
+    let stats = ProgramRunStats {
+        nodes: shape.cnodes.len() as u64,
+        devices: shape.placement.devices as u64,
+        channels: rep
+            .channels
+            .iter()
+            .map(|c| (c.capacity as u64, c.high_water as u64))
+            .collect(),
+        frames: prog.frames as u64,
+        pipelined_ticks: rep.makespan_ticks,
+        sequential_ticks: seq_rep.makespan_ticks,
+        stage_cells: rep
+            .fired
+            .iter()
+            .enumerate()
+            .map(|(slot, &n)| n as u64 * cells * prog.nodes[shape.node_of[slot]].iters as u64)
+            .collect(),
+        stage_ticks: rep.busy_ticks.clone(),
+        est_pipelined: shape.placement.est_pipelined_cells_per_sec,
+        est_sequential: shape.placement.est_sequential_cells_per_sec,
+    };
+    Ok(ExecOut {
+        checksum,
+        counters,
+        output,
+        program: Some(stats),
+    })
 }
 
 /// Re-executes the spec on the frozen `serial_ref` oracle and bit-compares.
@@ -910,9 +1340,9 @@ fn execute(
 /// itself still allocates internally — it is the frozen reference and stays
 /// untouched.
 fn shadow_verify(spec: &JobSpec, output: &OutputGrid, env: &ExecEnv) -> bool {
-    let cfg = spec.block_config().expect("spec validated at admission");
     match output {
         OutputGrid::G2(out) => {
+            let cfg = spec.block_config().expect("spec validated at admission");
             let st = env.stencils.stencil_2d(spec.rad, spec.seed);
             let mut input = env.pool.lease_2d(spec.nx, spec.ny);
             fill_grid_2d(spec, &mut input);
@@ -920,19 +1350,42 @@ fn shadow_verify(spec: &JobSpec, output: &OutputGrid, env: &ExecEnv) -> bool {
             **out == oracle
         }
         OutputGrid::G3(out) => {
+            let cfg = spec.block_config().expect("spec validated at admission");
             let st = env.stencils.stencil_3d(spec.rad, spec.seed);
             let mut input = env.pool.lease_3d(spec.nx, spec.ny, spec.nz);
             fill_grid_3d(spec, &mut input);
             let oracle = serial_ref::run_3d_serial(&st, &input, &cfg, spec.iters);
             **out == oracle
         }
+        // Program outputs replay the whole graph on the serial interpreter
+        // (topological order, one device) and bit-compare every frame.
+        OutputGrid::P2(frames) => {
+            let prog = spec.program.as_ref().expect("P2 output implies program");
+            let mut matched = frames.len() == prog.frames;
+            program::interpret_2d(prog, spec.nx, spec.ny, spec.seed, |f, oracle| {
+                matched = matched && *frames[f] == *oracle;
+            });
+            matched
+        }
+        OutputGrid::P3(frames) => {
+            let prog = spec.program.as_ref().expect("P3 output implies program");
+            let mut matched = frames.len() == prog.frames;
+            program::interpret_3d(prog, spec.nx, spec.ny, spec.nz, spec.seed, |f, oracle| {
+                matched = matched && *frames[f] == *oracle;
+            });
+            matched
+        }
     }
 }
 
-/// Deterministic shadow sampling: forced by the spec, or a seed/id hash
-/// falling under the configured percentage.
+/// Deterministic shadow sampling: forced by the spec, forced for every
+/// program job (the dataflow section's bit-exactness contract is only as
+/// good as its coverage), or a seed/id hash falling under the configured
+/// percentage.
 fn should_shadow(spec: &JobSpec, percent: u8) -> bool {
-    spec.shadow || splitmix64(spec.id ^ spec.seed.rotate_left(32)) % 100 < percent as u64
+    spec.program.is_some()
+        || spec.shadow
+        || splitmix64(spec.id ^ spec.seed.rotate_left(32)) % 100 < percent as u64
 }
 
 /// Counters for backends that don't self-instrument: the useful work is
@@ -953,6 +1406,53 @@ fn aggregate_counters(metrics: &MetricsRegistry, c: &SimCounters) {
     metrics.counter("sim_rows_fed").add(c.rows_fed);
     metrics.counter("sim_passes").add(c.passes);
     metrics.counter("sim_blocks").add(c.blocks);
+}
+
+/// Folds one completed program run's [`ProgramRunStats`] into the
+/// `program_*` metrics the serve report's `dataflow` section aggregates.
+/// Estimated cells/s sums are floored to u64 — per job the pipelined
+/// estimate dominates the sequential one, so the floored sums preserve the
+/// ordering the report validator enforces. Channel depth/high-water gauges
+/// rely on [`crate::metrics::Gauge::set`] tracking the high water mark:
+/// per channel `high_water <= capacity`, so the gauge maxima keep
+/// `program_channel_high_water <= program_channel_depth`.
+fn aggregate_dataflow(metrics: &MetricsRegistry, s: &ProgramRunStats) {
+    metrics.counter("programs_completed").inc();
+    metrics.counter("program_nodes_placed").add(s.nodes);
+    metrics
+        .counter("program_channels")
+        .add(s.channels.len() as u64);
+    metrics.counter("program_frames").add(s.frames);
+    metrics
+        .counter("program_pipelined_ticks")
+        .add(s.pipelined_ticks);
+    metrics
+        .counter("program_sequential_ticks")
+        .add(s.sequential_ticks);
+    metrics
+        .counter("program_cells")
+        .add(s.stage_cells.iter().sum());
+    metrics
+        .counter("program_est_pipelined_cps")
+        .add(s.est_pipelined as u64);
+    metrics
+        .counter("program_est_sequential_cps")
+        .add(s.est_sequential as u64);
+    metrics.gauge("program_devices").set(s.devices as i64);
+    for &(capacity, high_water) in &s.channels {
+        metrics.gauge("program_channel_depth").set(capacity as i64);
+        metrics
+            .gauge("program_channel_high_water")
+            .set(high_water as i64);
+    }
+    for (k, (&cells, &ticks)) in s.stage_cells.iter().zip(&s.stage_ticks).enumerate() {
+        metrics
+            .counter(&format!("program_stage{k}_cells"))
+            .add(cells);
+        metrics
+            .counter(&format!("program_stage{k}_ticks"))
+            .add(ticks);
+    }
 }
 
 /// Writes the deterministic contents every 2D job with this spec starts
@@ -1047,7 +1547,12 @@ mod tests {
     /// so pool counters can be asserted in isolation.
     fn test_env() -> (ExecEnv, Arc<MetricsRegistry>) {
         let metrics = Arc::new(MetricsRegistry::new());
-        let env = ExecEnv::new(&metrics, SimOptions::default(), PoolConfig::default());
+        let env = ExecEnv::new(
+            &metrics,
+            SimOptions::default(),
+            PoolConfig::default(),
+            DeviceProfile::Ddr,
+        );
         (env, metrics)
     }
 
@@ -1098,7 +1603,7 @@ mod tests {
             };
             match &out.output {
                 OutputGrid::G2(g) => assert_eq!(&**g, &oracle, "{backend}"),
-                OutputGrid::G3(_) => panic!("2D job produced 3D grid"),
+                _ => panic!("2D job produced a non-G2 output"),
             }
             let sum = checksum_f32(oracle.as_slice());
             assert_eq!(out.checksum, sum, "{backend}");
@@ -1127,7 +1632,7 @@ mod tests {
             };
             match &out.output {
                 OutputGrid::G2(g) => assert_eq!(&**g, &oracle, "replicas {replicas}"),
-                OutputGrid::G3(_) => panic!("2D job produced 3D grid"),
+                _ => panic!("2D job produced a non-G2 output"),
             }
             match expected {
                 None => expected = Some(out.checksum),
@@ -1152,7 +1657,7 @@ mod tests {
             let oracle = exec::run_3d(&st, &grid_3d(&spec), 3);
             match &out.output {
                 OutputGrid::G3(g) => assert_eq!(&**g, &oracle, "{backend}"),
-                OutputGrid::G2(_) => panic!("3D job produced 2D grid"),
+                _ => panic!("3D job produced a non-G3 output"),
             }
         }
     }
@@ -1279,5 +1784,100 @@ mod tests {
     fn checksum_distinguishes_grids() {
         assert_ne!(checksum_f32(&[1.0, 2.0]), checksum_f32(&[2.0, 1.0]));
         assert_eq!(checksum_f32(&[1.0, 2.0]), checksum_f32(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn program_execution_matches_the_serial_interpreter_2d() {
+        let token = CancelToken::new();
+        let (env, _) = test_env();
+        let mut spec = JobSpec::new_2d(41, 1, 96, 64, 1);
+        spec.seed = 9;
+        spec.program = Some(StencilProgram::heat_gradient_2d(3));
+        spec.validate().expect("canned program validates");
+        let out = execute(&spec, 1, &token, &env).ok().expect("completes");
+        let stats = out.program.as_ref().expect("program stats");
+        assert_eq!(stats.nodes, 2);
+        assert_eq!(stats.devices, 2);
+        assert_eq!(stats.frames, 3);
+        // The pipelined schedule strictly beats the 1-device serialization
+        // once more than one frame streams through more than one stage.
+        assert!(stats.pipelined_ticks < stats.sequential_ticks);
+        assert!(stats.est_pipelined >= stats.est_sequential);
+        for &(capacity, high_water) in &stats.channels {
+            assert!(high_water <= capacity);
+        }
+        assert_eq!(
+            stats.stage_cells.iter().sum::<u64>(),
+            spec.work_cells(),
+            "every placed stage fired every frame"
+        );
+        // Bit-exactness: every combined sink frame equals the serial
+        // interpreter's, and the checksum is replay-stable.
+        assert!(shadow_verify(&spec, &out.output, &env));
+        let again = execute(&spec, 1, &token, &env).ok().expect("completes");
+        assert_eq!(out.checksum, again.checksum);
+    }
+
+    #[test]
+    fn program_execution_matches_the_serial_interpreter_3d() {
+        let token = CancelToken::new();
+        let (env, _) = test_env();
+        let mut spec = JobSpec::new_3d(42, 1, 24, 20, 16, 1);
+        spec.seed = 5;
+        spec.program = Some(StencilProgram::seismic_3d(2));
+        spec.validate().expect("canned program validates");
+        let out = execute(&spec, 1, &token, &env).ok().expect("completes");
+        let stats = out.program.as_ref().expect("program stats");
+        assert_eq!(stats.nodes, 3);
+        assert_eq!(stats.devices, 3);
+        assert!(stats.pipelined_ticks < stats.sequential_ticks);
+        assert!(shadow_verify(&spec, &out.output, &env));
+        match &out.output {
+            OutputGrid::P3(frames) => assert_eq!(frames.len(), 2),
+            _ => panic!("3D program must produce P3 output"),
+        }
+    }
+
+    #[test]
+    fn program_jobs_always_shadow_and_fold_dataflow_metrics() {
+        let mut spec = JobSpec::new_2d(7, 1, 48, 32, 1);
+        spec.program = Some(StencilProgram::heat_gradient_2d(2));
+        assert!(
+            should_shadow(&spec, 0),
+            "program jobs are always shadow-verified"
+        );
+
+        let token = CancelToken::new();
+        let (env, _) = test_env();
+        let metrics = MetricsRegistry::new();
+        let out = execute(&spec, 1, &token, &env).ok().expect("completes");
+        aggregate_dataflow(&metrics, out.program.as_ref().expect("program stats"));
+        assert_eq!(metrics.counter("programs_completed").get(), 1);
+        assert_eq!(metrics.counter("program_nodes_placed").get(), 2);
+        assert_eq!(metrics.counter("program_frames").get(), 2);
+        assert_eq!(metrics.counter("program_cells").get(), spec.work_cells());
+        assert!(
+            metrics.counter("program_pipelined_ticks").get()
+                <= metrics.counter("program_sequential_ticks").get()
+        );
+        assert!(
+            metrics.gauge("program_channel_high_water").high_water()
+                <= metrics.gauge("program_channel_depth").high_water()
+        );
+        assert_eq!(
+            metrics.counter("program_stage0_cells").get()
+                + metrics.counter("program_stage1_cells").get(),
+            metrics.counter("program_cells").get()
+        );
+    }
+
+    #[test]
+    fn cancelled_program_runs_are_interrupted() {
+        let token = CancelToken::new();
+        token.cancel();
+        let (env, _) = test_env();
+        let mut spec = JobSpec::new_2d(8, 1, 48, 32, 1);
+        spec.program = Some(StencilProgram::heat_gradient_2d(2));
+        assert!(execute(&spec, 1, &token, &env).is_err());
     }
 }

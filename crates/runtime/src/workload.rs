@@ -20,6 +20,7 @@
 //! of the same seed submit byte-identical job geometries.
 
 use crate::job::{Backend, JobSpec, Priority};
+use crate::program::StencilProgram;
 use crate::tenant::Tenant;
 use std::io::BufRead;
 
@@ -78,6 +79,15 @@ pub struct SyntheticParams {
     /// Number of synthetic tenants; jobs are assigned round-robin by id.
     /// `<= 1` leaves every job on the default tenant.
     pub tenants: usize,
+    /// Mixes multi-node stencil *programs* into the stream: jobs whose
+    /// `id % 4` is 1 or 2 become programs (alternating a 2-stage
+    /// heat→gradient 2D pipeline and a 3-stage seismic 3D pipeline), the
+    /// rest stay single-kernel so the planner/pool sections keep their
+    /// coverage. The picker deliberately spans both id parities so the
+    /// round-robin tenant assignment splits program load evenly across
+    /// two tenants. `false` leaves the historical stream untouched, draw
+    /// for draw.
+    pub programs: bool,
 }
 
 impl SyntheticParams {
@@ -90,6 +100,7 @@ impl SyntheticParams {
             quick,
             mean_arrival_us: if quick { 200 } else { 500 },
             tenants: 1,
+            programs: false,
         }
     }
 }
@@ -111,7 +122,11 @@ pub fn synthetic_workload(params: &SyntheticParams) -> Vec<JobSpec> {
     let mut rng = XorShift64::new(params.seed);
     let mut out = Vec::with_capacity(params.jobs);
     for id in 0..params.jobs as u64 {
-        let mut spec = synthesize_job(id, &mut rng, params.quick);
+        let mut spec = if params.programs && matches!(id % 4, 1 | 2) {
+            synthesize_program_job(id, &mut rng, params.quick)
+        } else {
+            synthesize_job(id, &mut rng, params.quick)
+        };
         spec.tenant = tenant_for(id, params.tenants);
         out.push(spec);
     }
@@ -223,6 +238,40 @@ fn synthesize_job(id: u64, rng: &mut XorShift64, quick: bool) -> JobSpec {
         0
     };
     debug_assert!(spec.validate().is_ok(), "generator must emit valid specs");
+    spec
+}
+
+/// Synthesizes one stencil-*program* job: a canned multi-node graph
+/// (heat→gradient in 2D, the 3-stage seismic pipeline in 3D) on a
+/// moderate grid, always on the Functional shard — program nodes execute
+/// through the functional engine regardless, and a stable shard keeps the
+/// pool's shape classes warm for the CI hit-rate gate.
+fn synthesize_program_job(id: u64, rng: &mut XorShift64, quick: bool) -> JobSpec {
+    let heat = rng.gen_f64() < 0.5;
+    let mut spec = if heat {
+        let (nx, ny) = if quick { (96, 64) } else { (192, 128) };
+        let frames = rng.gen_range(2, 5) as usize;
+        let mut s = JobSpec::new_2d(id, 1, nx, ny, 1);
+        s.program = Some(StencilProgram::heat_gradient_2d(frames));
+        s
+    } else {
+        let n = if quick { 32 } else { 48 };
+        let frames = rng.gen_range(2, 4) as usize;
+        let mut s = JobSpec::new_3d(id, 2, n, n, n, 1);
+        s.program = Some(StencilProgram::seismic_3d(frames));
+        s
+    };
+    spec.backend = Backend::Functional;
+    spec.seed = rng.next_u64() % 10_000;
+    spec.priority = match rng.next_u64() % 10 {
+        0..=1 => Priority::Low,
+        2..=7 => Priority::Normal,
+        _ => Priority::High,
+    };
+    debug_assert!(
+        spec.validate().is_ok(),
+        "generator must emit valid programs"
+    );
     spec
 }
 
@@ -358,6 +407,7 @@ mod tests {
             quick: false,
             mean_arrival_us: 500,
             tenants: 1,
+            programs: false,
         };
         assert_eq!(arrival_gaps_us(&p), a, "eager form is the same stream");
         assert!(a.iter().all(|&g| g <= 50_000), "gaps are clamped");
@@ -381,6 +431,39 @@ mod tests {
         let errs: Vec<_> = JsonlStream::new(text.as_bytes()).collect::<Vec<_>>();
         assert_eq!(errs.len(), 1);
         assert_eq!(errs[0].as_ref().unwrap_err().0, 2);
+    }
+
+    #[test]
+    fn program_mix_alternates_and_round_trips() {
+        let mut p = SyntheticParams::new(40, 13, true);
+        p.programs = true;
+        let specs = synthetic_workload(&p);
+        // Ids with `id % 4` in {1, 2} carry programs (both canned graphs
+        // appear) and span both parities, so two round-robin tenants get
+        // equal program load; the rest are the usual single-kernel stream.
+        assert!(specs
+            .iter()
+            .all(|s| s.program.is_some() == matches!(s.id % 4, 1 | 2)));
+        let (even, odd): (Vec<_>, Vec<_>) = specs
+            .iter()
+            .filter(|s| s.program.is_some())
+            .partition(|s| s.id % 2 == 0);
+        assert_eq!(even.len(), odd.len());
+        assert!(specs.iter().any(|s| s.program.is_some() && s.dim == 2));
+        assert!(specs.iter().any(|s| s.program.is_some() && s.dim == 3));
+        assert!(specs
+            .iter()
+            .filter(|s| s.program.is_some())
+            .all(|s| s.backend == Backend::Functional && s.validate().is_ok()));
+        // Program jobs survive the JSONL replay format bit-for-bit.
+        let back = parse_jsonl(&to_jsonl(&specs)).unwrap();
+        assert_eq!(back, specs);
+        // The flag off reproduces the historical stream exactly.
+        p.programs = false;
+        assert_eq!(
+            synthetic_workload(&p),
+            synthetic_workload(&SyntheticParams::new(40, 13, true))
+        );
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //!               [--fairness-ratio F] [--programs] [--out BENCH_serve.json]
 //! stencil_serve --workload FILE.jsonl [--out FILE]
 //! stencil_serve --synthetic --emit-workload FILE.jsonl [--jobs N] [--seed S]
-//! stencil_serve --check-report FILE [--min-pool-hit-rate F]
+//! stencil_serve --check-report FILE [--min-pool-hit-rate F] [--min-warm-convergence F]
 //! stencil_serve --diff-winners A.json B.json
+//! stencil_serve --check-trace FILE.jsonl
+//! stencil_serve --trace-summary FILE.jsonl
 //! ```
 //!
 //! `--synthetic` generates a seeded, deterministic open-loop workload
@@ -55,6 +57,22 @@
 //! `dataflow` section (pipelined vs 1-device sequential makespans). Also
 //! honored by `--emit-workload`, so program jobs replay over `--workload`.
 //!
+//! `--trace-out FILE` makes the runtime emit one JSONL
+//! [`stencil_runtime::TraceRecord`] per terminal job — span timestamps for
+//! queue wait, planning, every execution attempt, shadow verification, and
+//! stream delivery, plus tenant, backend, plan provenance, and placement —
+//! closed by a footer carrying the record count. `--check-trace FILE`
+//! re-validates such a file (span arithmetic, uniqueness, footer count;
+//! exit 2 on any violation) and `--trace-summary FILE` prints exact
+//! nearest-rank span percentiles from it — the raw-sample cross-view of the
+//! report's bucket-conservative histograms. `--planner-memory FILE`
+//! persists the planner's measured-rate table to a checksummed sidecar at
+//! drain and warm-starts the plan cache from it at boot (corrupt or
+//! mismatched sidecars are rejected and counted, never fatal);
+//! `--check-report --min-warm-convergence F` then gates on the report's
+//! `trace.converged_at_fraction`: a warm-started run must reach its final
+//! cache hit rate within the first `F` fraction of plan requests.
+//!
 //! `--diff-winners` compares the planner sections of two emitted reports
 //! (e.g. a DDR run and an HBM run of the same workload) and exits 0 only
 //! when at least one common shape class picked a different winning plan —
@@ -66,11 +84,13 @@
 //! `stencil_bench --check-matrix`.
 
 use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
+use stencil_runtime::metrics::exact_quantile_ms;
 use stencil_runtime::workload::{to_jsonl, ArrivalGaps, JsonlStream};
 use stencil_runtime::{
-    validate_report_json, DeviceProfile, PlanMode, ResultStream, Runtime, RuntimeConfig,
-    ServeReport, SubmitError, SyntheticParams, TenantPolicy,
+    validate_report_json, validate_trace_file, DeviceProfile, PlanMode, ResultStream, Runtime,
+    RuntimeConfig, ServeReport, SubmitError, SyntheticParams, TenantPolicy,
 };
 
 #[derive(Debug)]
@@ -97,6 +117,11 @@ struct Args {
     mean_arrival_us: Option<u64>,
     stream_out: Option<String>,
     fairness_ratio: Option<f64>,
+    trace_out: Option<String>,
+    planner_memory: Option<String>,
+    check_trace: Option<String>,
+    trace_summary: Option<String>,
+    min_warm_convergence: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -123,6 +148,11 @@ fn parse_args() -> Args {
         mean_arrival_us: None,
         stream_out: None,
         fairness_ratio: None,
+        trace_out: None,
+        planner_memory: None,
+        check_trace: None,
+        trace_summary: None,
+        min_warm_convergence: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -193,6 +223,17 @@ fn parse_args() -> Args {
                 }
                 a.min_pool_hit_rate = Some(v);
             }
+            "--min-warm-convergence" => {
+                let v: f64 = take(&mut i).parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&v) {
+                    usage();
+                }
+                a.min_warm_convergence = Some(v);
+            }
+            "--trace-out" => a.trace_out = Some(take(&mut i)),
+            "--planner-memory" => a.planner_memory = Some(take(&mut i)),
+            "--check-trace" => a.check_trace = Some(take(&mut i)),
+            "--trace-summary" => a.trace_summary = Some(take(&mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -204,7 +245,9 @@ fn parse_args() -> Args {
     let modes = a.synthetic as usize
         + a.workload.is_some() as usize
         + a.check.is_some() as usize
-        + a.diff_winners.is_some() as usize;
+        + a.diff_winners.is_some() as usize
+        + a.check_trace.is_some() as usize
+        + a.trace_summary.is_some() as usize;
     if modes != 1
         || a.jobs == 0
         || a.shadow_pct > 100
@@ -214,7 +257,12 @@ fn parse_args() -> Args {
     {
         usage();
     }
-    if a.min_pool_hit_rate.is_some() && a.check.is_none() {
+    if (a.min_pool_hit_rate.is_some() || a.min_warm_convergence.is_some()) && a.check.is_none() {
+        usage();
+    }
+    // Trace emission and planner persistence only make sense on a run.
+    let running = a.synthetic || a.workload.is_some();
+    if (a.trace_out.is_some() || a.planner_memory.is_some()) && !running {
         usage();
     }
     // Program workloads are synthesized; replay files carry their own
@@ -239,11 +287,15 @@ fn usage() -> ! {
          [--shadow-pct P] [--queue-cap C] [--workers W] [--auto-plan] \
          [--plan-explain] [--device ddr|hbm] [--tenants N] [--programs] \
          [--tenant-weight NAME=W] [--tenant-cap NAME=C] [--mean-arrival-us U] \
-         [--stream-out FILE|-] [--fairness-ratio F] [--out FILE]\
+         [--stream-out FILE|-] [--fairness-ratio F] [--trace-out FILE.jsonl] \
+         [--planner-memory FILE] [--out FILE]\
          \n       stencil_serve --workload FILE.jsonl [--auto-plan] [--out FILE]\
          \n       stencil_serve --synthetic --emit-workload FILE.jsonl [--jobs N] [--seed S]\
-         \n       stencil_serve --check-report FILE [--min-pool-hit-rate F]\
-         \n       stencil_serve --diff-winners A.json B.json"
+         \n       stencil_serve --check-report FILE [--min-pool-hit-rate F] \
+         [--min-warm-convergence F]\
+         \n       stencil_serve --diff-winners A.json B.json\
+         \n       stencil_serve --check-trace FILE.jsonl\
+         \n       stencil_serve --trace-summary FILE.jsonl"
     );
     std::process::exit(2);
 }
@@ -251,11 +303,19 @@ fn usage() -> ! {
 fn main() {
     let a = parse_args();
     if let Some(file) = &a.check {
-        check_report(file, a.min_pool_hit_rate);
+        check_report(file, a.min_pool_hit_rate, a.min_warm_convergence);
         return;
     }
     if let Some((left, right)) = &a.diff_winners {
         diff_winners(left, right);
+        return;
+    }
+    if let Some(file) = &a.check_trace {
+        check_trace(file);
+        return;
+    }
+    if let Some(file) = &a.trace_summary {
+        trace_summary(file);
         return;
     }
 
@@ -335,6 +395,8 @@ fn main() {
         shadow_percent: a.shadow_pct,
         device: a.device,
         tenants: a.tenant_policy.clone(),
+        planner_memory: a.planner_memory.as_ref().map(PathBuf::from),
+        trace_out: a.trace_out.as_ref().map(PathBuf::from),
         ..RuntimeConfig::default()
     });
 
@@ -400,6 +462,7 @@ fn main() {
         consumer.join().expect("stream consumer")
     });
     let shapes = planner.snapshot();
+    let history = planner.plan_history();
     let report = ServeReport::build(
         kind,
         seed,
@@ -409,6 +472,7 @@ fn main() {
         &outcome.results,
         &metrics,
         &shapes,
+        &history,
         &outcome.tenants,
         outcome.steals,
         outcome.wedged_workers,
@@ -435,6 +499,32 @@ fn main() {
             std::process::exit(1);
         }
         println!("  stream: {lines} results delivered, zero loss");
+    }
+
+    // Re-validate the trace the runtime just wrote: every span checks out
+    // and the record count equals the terminal job count — the lossless
+    // trace-writer contract, proven from the file itself.
+    if let Some(path) = &a.trace_out {
+        match validate_trace_file(Path::new(path)) {
+            Ok(stats) if stats.records == report.terminal_jobs() => {
+                println!(
+                    "  trace: {path}: {} records, one per terminal job, zero loss",
+                    stats.records
+                );
+            }
+            Ok(stats) => {
+                eprintln!(
+                    "stencil_serve: TRACE LOSS: {path} holds {} records vs {} terminal jobs",
+                    stats.records,
+                    report.terminal_jobs()
+                );
+                std::process::exit(1);
+            }
+            Err(msg) => {
+                eprintln!("stencil_serve: {path}: {msg}");
+                std::process::exit(1);
+            }
+        }
     }
 
     if let Some(bound) = a.fairness_ratio {
@@ -580,6 +670,15 @@ fn print_summary(r: &ServeReport) {
             p.feedback_samples,
             p.shapes.len(),
         );
+        let t = &r.trace;
+        println!(
+            "  warm start: {} shapes loaded, {} sidecars rejected, {} warm hits; \
+             hit rate converged after {:.0}% of plans",
+            t.warm_shapes_loaded,
+            t.warm_rejected,
+            t.warm_hits,
+            t.converged_at_fraction * 100.0,
+        );
     }
 }
 
@@ -613,8 +712,11 @@ fn print_plan_tables(shapes: &[stencil_runtime::planner::ShapeSnapshot]) {
 /// Validates an emitted report file; exit 0 on success, 2 on any mismatch.
 /// With `--min-pool-hit-rate F`, additionally requires the memory section's
 /// pool hit rate to reach `F` — the CI gate that keeps the serving path
-/// actually pooled.
-fn check_report(path: &str, min_pool_hit_rate: Option<f64>) {
+/// actually pooled. With `--min-warm-convergence F`, requires the run to
+/// have warm-started from a planner-memory sidecar and reached its final
+/// cache hit rate within the first `F` fraction of plan requests — the CI
+/// gate that keeps the sidecar actually useful.
+fn check_report(path: &str, min_pool_hit_rate: Option<f64>, min_warm_convergence: Option<f64>) {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -642,6 +744,98 @@ fn check_report(path: &str, min_pool_hit_rate: Option<f64>) {
         println!(
             "{path}: pool hit rate {:.3} >= {min:.3}",
             report.memory.pool_hit_rate
+        );
+    }
+    if let Some(max_fraction) = min_warm_convergence {
+        let report: ServeReport = serde_json::from_str(&text).expect("validated above");
+        let t = &report.trace;
+        if t.warm_shapes_loaded == 0 {
+            eprintln!(
+                "stencil_serve: {path}: no planner-memory sidecar was loaded \
+                 ({} rejected) — the run never warm-started",
+                t.warm_rejected
+            );
+            std::process::exit(2);
+        }
+        if t.converged_at_fraction > max_fraction {
+            eprintln!(
+                "stencil_serve: {path}: hit rate only converged after {:.0}% of \
+                 plans (required <= {:.0}%)",
+                t.converged_at_fraction * 100.0,
+                max_fraction * 100.0
+            );
+            std::process::exit(2);
+        }
+        println!(
+            "{path}: warm start ({} shapes) converged after {:.0}% of plans (<= {:.0}%)",
+            t.warm_shapes_loaded,
+            t.converged_at_fraction * 100.0,
+            max_fraction * 100.0
+        );
+    }
+}
+
+/// The `--check-trace` gate: the file must be a healthy trace — every line
+/// parses at the current trace schema, every record's span arithmetic is
+/// consistent, no job appears twice, and the closing footer's count matches
+/// the records present. Exit 0 on success, 2 on any violation, mirroring
+/// `--check-report`.
+fn check_trace(path: &str) {
+    match validate_trace_file(Path::new(path)) {
+        Ok(stats) => println!(
+            "{path}: OK ({} records, {} attempts, {} stolen, {} warm; \
+             outcomes {}/{}/{}/{} completed/timed-out/cancelled/failed)",
+            stats.records,
+            stats.attempts,
+            stats.stolen,
+            stats.warm,
+            stats.by_outcome[0],
+            stats.by_outcome[1],
+            stats.by_outcome[2],
+            stats.by_outcome[3],
+        ),
+        Err(msg) => {
+            eprintln!("stencil_serve: {path}: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `--trace-summary` view: validates the trace, then prints exact
+/// nearest-rank percentiles over the raw per-record spans — unlike the
+/// serve report's fixed-bucket histograms, these are not rounded up to a
+/// bucket boundary. Exit 2 on an invalid trace.
+fn trace_summary(path: &str) {
+    let stats = match validate_trace_file(Path::new(path)) {
+        Ok(stats) => stats,
+        Err(msg) => {
+            eprintln!("stencil_serve: {path}: {msg}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{path}: {} records ({} completed, {} timed out, {} cancelled, {} failed), \
+         {} attempts, {} stolen, {} warm-planned",
+        stats.records,
+        stats.by_outcome[0],
+        stats.by_outcome[1],
+        stats.by_outcome[2],
+        stats.by_outcome[3],
+        stats.attempts,
+        stats.stolen,
+        stats.warm,
+    );
+    for (name, samples) in [
+        ("queue_wait", &stats.queue_wait_ms),
+        ("exec", &stats.exec_ms),
+        ("total", &stats.total_ms),
+    ] {
+        println!(
+            "  {name:>10} ms (exact): p50 {:.3}, p95 {:.3}, p99 {:.3}, max {:.3}",
+            exact_quantile_ms(samples, 0.50),
+            exact_quantile_ms(samples, 0.95),
+            exact_quantile_ms(samples, 0.99),
+            exact_quantile_ms(samples, 1.0),
         );
     }
 }

@@ -1,0 +1,104 @@
+//! End-to-end tests for `stencil_serve --check-trace`: the trace gate
+//! must accept a known-good per-job JSONL trace (exit 0) and reject each
+//! committed corruption — a record missing a span field, a negative
+//! duration, a footer whose record count disagrees with the file, and an
+//! unknown schema version — with exit 2 and a pointed diagnostic,
+//! mirroring `check_serve_report.rs` for the aggregate report.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/fixtures/{name}"))
+}
+
+/// Runs `stencil_serve --check-trace <file>`; returns (exit code, stderr).
+fn check(path: &Path) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_stencil_serve"))
+        .args(["--check-trace", path.to_str().unwrap()])
+        .output()
+        .expect("run stencil_serve");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn golden_trace_passes_with_exit_0() {
+    let (code, stderr) = check(&fixture("trace_golden.jsonl"));
+    assert_eq!(code, 0, "stderr: {stderr}");
+}
+
+#[test]
+fn record_missing_a_span_field_exits_2() {
+    // The fixture is the golden trace with `queue_wait_ms` deleted from
+    // the first record: schema drift must fail parsing, not default to 0.
+    let (code, stderr) = check(&fixture("trace_missing_span.jsonl"));
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("queue_wait_ms"), "stderr: {stderr}");
+}
+
+#[test]
+fn negative_attempt_duration_exits_2() {
+    // First record's `exec_ms` negated: spans are measurements and a
+    // negative one means the writer (or an editor) corrupted the record.
+    let (code, stderr) = check(&fixture("trace_negative_duration.jsonl"));
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("negative duration"), "stderr: {stderr}");
+}
+
+#[test]
+fn footer_record_count_mismatch_exits_2() {
+    // Footer claims 13 records over a 12-record body: the losslessness
+    // proof is exactly this equality, so it must be enforced.
+    let (code, stderr) = check(&fixture("trace_count_mismatch.jsonl"));
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("record-count mismatch"), "stderr: {stderr}");
+}
+
+#[test]
+fn unknown_record_schema_version_exits_2() {
+    // First record stamped schema_version 99: future traces must be
+    // rejected loudly rather than misread.
+    let (code, stderr) = check(&fixture("trace_bad_version.jsonl"));
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("schema version 99"), "stderr: {stderr}");
+}
+
+#[test]
+fn truncated_trace_without_footer_exits_2() {
+    // A trace cut off before the footer (crashed writer) must not pass:
+    // without the footer the record count cannot be proven complete.
+    let text = std::fs::read_to_string(fixture("trace_golden.jsonl")).unwrap();
+    let body: String = text
+        .lines()
+        .filter(|l| !l.contains("\"trace_footer\""))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let path = std::env::temp_dir().join(format!("trace_no_footer_{}.jsonl", std::process::id()));
+    std::fs::write(&path, body).unwrap();
+    let (code, stderr) = check(&path);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("footer"), "stderr: {stderr}");
+}
+
+#[test]
+fn trace_summary_reports_exact_percentiles_on_the_golden() {
+    let out = Command::new(env!("CARGO_BIN_EXE_stencil_serve"))
+        .args([
+            "--trace-summary",
+            fixture("trace_golden.jsonl").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run stencil_serve");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["p50", "p95", "p99", "queue_wait", "exec", "total"] {
+        assert!(
+            stdout.contains(needle),
+            "summary missing {needle}: {stdout}"
+        );
+    }
+}

@@ -41,6 +41,7 @@ pub mod batch;
 pub mod cancel;
 pub mod job;
 pub mod metrics;
+pub mod persist;
 pub mod planner;
 pub mod pool;
 pub mod program;
@@ -50,6 +51,7 @@ pub mod retry;
 pub mod steal;
 pub mod stream;
 pub mod tenant;
+pub mod trace;
 pub mod worker;
 pub mod workload;
 
@@ -57,17 +59,26 @@ pub use batch::BatchPolicy;
 pub use cancel::CancelToken;
 pub use job::{Backend, JobResult, JobSpec, Outcome, Priority, Replicas};
 pub use metrics::MetricsRegistry;
+pub use persist::{
+    load_planner_memory, save_planner_memory, PersistError, PlannerMemory, ShapeMemory, StatMemory,
+};
 pub use planner::{
-    place_program, DeviceProfile, PlanChoice, PlanError, PlanMode, Planner, PlannerConfig,
-    ProgramPlacement, ShapeKey, StagePlacement,
+    place_program, DeviceProfile, PlanChoice, PlanError, PlanEvent, PlanMode, Planner,
+    PlannerConfig, ProgramPlacement, ShapeKey, StagePlacement,
 };
 pub use pool::{GridLease2D, GridLease3D, GridPool, PoolConfig, PoolStats, StencilMemo};
 pub use program::{ProgramEdge, ProgramError, ProgramNode, StencilProgram};
 pub use queue::{AdmissionQueue, Popped, PushError};
-pub use report::{validate_report_json, LatencySummary, PlannerReport, ServeReport};
+pub use report::{
+    converged_at_fraction, validate_report_json, LatencySummary, PlannerReport, ServeReport,
+    TraceReport,
+};
 pub use retry::RetryPolicy;
 pub use steal::{StealCounters, StealDomain, StealQueue};
 pub use stream::{ResultSender, ResultStream};
 pub use tenant::{Tenant, TenantConfig, TenantPolicy, TenantRegistry, TenantSnapshot};
+pub use trace::{
+    validate_trace_file, AttemptSpan, TraceRecord, TraceStats, TraceWriter, TRACE_SCHEMA_VERSION,
+};
 pub use worker::{DrainOutcome, JobHandle, Runtime, RuntimeConfig, SubmitError, Ticket};
 pub use workload::{synthetic_workload, tenant_for, ArrivalGaps, JsonlStream, SyntheticParams};

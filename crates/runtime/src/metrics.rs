@@ -154,6 +154,23 @@ impl Histogram {
     }
 }
 
+/// Exact nearest-rank percentile over raw samples, in milliseconds —
+/// the ground truth the fixed-bucket [`Histogram::quantile_ms`]
+/// estimate is conservative against. `--trace-summary` computes this
+/// from the per-job trace records (which make the exact answer free),
+/// and a test cross-checks the histogram's bucket-bound answer never
+/// undershoots it. Sorts a copy; 0 when empty.
+pub fn exact_quantile_ms(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n) - 1;
+    sorted[rank]
+}
+
 /// A named registry of counters, gauges, and histograms.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
@@ -296,6 +313,59 @@ mod tests {
         assert!(h.quantile_ms(0.50) <= h.quantile_ms(0.95));
         assert_eq!(h.max_ms(), 100.0);
         assert!((h.mean_ms() - (90.0 * 0.3 + 10.0 * 100.0) / 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn bucket_quantiles_never_undershoot_exact_nearest_rank() {
+        // The histogram's answer is the containing bucket's upper bound,
+        // so for any sample set it must be >= the exact nearest-rank
+        // percentile (and within one bucket: <= the next bound above it).
+        let samples: Vec<f64> = (0..500)
+            .map(|i| {
+                // A deterministic spread across several buckets, with a
+                // heavy tail.
+                let x = (i as f64 * 0.37) % 7.0;
+                if i % 50 == 0 {
+                    300.0 + x
+                } else {
+                    x
+                }
+            })
+            .collect();
+        let h = Histogram::new(&LATENCY_BUCKETS_MS);
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile_ms(&samples, q);
+            let bucketed = h.quantile_ms(q);
+            assert!(
+                bucketed >= exact,
+                "q={q}: bucket estimate {bucketed} undershoots exact {exact}"
+            );
+            // Conservative by at most one bucket: the exact value lives in
+            // the same bucket the estimate names.
+            let bucket_floor = LATENCY_BUCKETS_MS
+                .iter()
+                .rev()
+                .find(|&&b| b < bucketed)
+                .copied()
+                .unwrap_or(0.0);
+            assert!(
+                exact > bucket_floor || bucketed == exact,
+                "q={q}: exact {exact} below the estimate's bucket ({bucket_floor}, {bucketed}]"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_quantile_is_nearest_rank() {
+        let samples = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(exact_quantile_ms(&samples, 0.5), 3.0);
+        assert_eq!(exact_quantile_ms(&samples, 0.0), 1.0);
+        assert_eq!(exact_quantile_ms(&samples, 1.0), 5.0);
+        assert_eq!(exact_quantile_ms(&samples, 0.99), 5.0);
+        assert_eq!(exact_quantile_ms(&[], 0.5), 0.0);
     }
 
     #[test]

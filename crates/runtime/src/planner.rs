@@ -41,6 +41,7 @@
 
 use crate::job::{Backend, JobSpec};
 use crate::metrics::MetricsRegistry;
+use crate::persist::{PersistError, PlannerMemory, ShapeMemory, StatMemory};
 use crate::program::StencilProgram;
 use fpga_sim::FpgaDevice;
 use perf_model::tuner;
@@ -284,9 +285,27 @@ pub struct PlanChoice {
     pub cached: bool,
     /// Whether this job explored (epsilon draw) rather than exploited.
     pub explored: bool,
+    /// Whether the cache entry serving this hit was seeded from a
+    /// planner-memory sidecar rather than learned this run.
+    pub warm: bool,
 }
 
 impl PlanChoice {
+    /// The plan's provenance label, as trace records carry it:
+    /// `explored` > `warm` > `cached` > `model` (a cache miss trusts the
+    /// model's static ranking).
+    pub fn provenance(&self) -> &'static str {
+        if self.explored {
+            "explored"
+        } else if self.warm {
+            "warm"
+        } else if self.cached {
+            "cached"
+        } else {
+            "model"
+        }
+    }
+
     /// Writes the plan into a spec's configuration fields.
     pub fn apply_to(&self, spec: &mut JobSpec) {
         spec.backend = self.backend;
@@ -348,6 +367,20 @@ struct CacheEntry {
     candidates: Vec<PlanCandidate>,
     stats: Vec<Stat>,
     planned: u64,
+    /// Whether the entry was seeded from a planner-memory sidecar.
+    warm: bool,
+}
+
+/// One plan request's outcome, in request order — the per-request ledger
+/// behind the serve report's warm-convergence curve. `history.len()`
+/// always equals the `plans_requested` counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanEvent {
+    /// Whether the request hit the plan cache (failed requests count as
+    /// misses, mirroring the counters).
+    pub hit: bool,
+    /// Whether the hit landed on a sidecar-seeded (warm) entry.
+    pub warm: bool,
 }
 
 /// Point-in-time view of one shape class, for reports and `--plan-explain`.
@@ -377,6 +410,9 @@ pub struct Planner {
     /// of the load-aware exploit rule. Locked after `cache` when both are
     /// held.
     load: Mutex<BTreeMap<Backend, u64>>,
+    /// Per-request hit/miss ledger, in request order. Locked after
+    /// `cache` when both are held.
+    history: Mutex<Vec<PlanEvent>>,
 }
 
 impl Planner {
@@ -398,6 +434,7 @@ impl Planner {
             config,
             cache: Mutex::new(BTreeMap::new()),
             load: Mutex::new(BTreeMap::new()),
+            history: Mutex::new(Vec::new()),
         }
     }
 
@@ -438,6 +475,10 @@ impl Planner {
             let candidates = self.build_candidates(&key, served);
             if candidates.is_empty() {
                 metrics.counter("plan_cache_misses").inc();
+                self.push_event(PlanEvent {
+                    hit: false,
+                    warm: false,
+                });
                 return Err(PlanError::NoCandidates {
                     dim: key.dim,
                     rad: key.rad,
@@ -450,6 +491,7 @@ impl Planner {
                     candidates,
                     stats,
                     planned: 0,
+                    warm: false,
                 },
             );
         }
@@ -489,11 +531,16 @@ impl Planner {
             // known — so the report invariants `hits + misses == requested`
             // and `explored + exploited == hits` hold across failed plans.
             metrics.counter("plan_cache_misses").inc();
+            self.push_event(PlanEvent {
+                hit: false,
+                warm: false,
+            });
             return Err(PlanError::NoCandidates {
                 dim: key.dim,
                 rad: key.rad,
             });
         }
+        let warm = cached && entry.warm;
         metrics
             .counter(if cached {
                 "plan_cache_hits"
@@ -501,6 +548,10 @@ impl Planner {
                 "plan_cache_misses"
             })
             .inc();
+        if warm {
+            metrics.counter("plan_cache_warm_hits").inc();
+        }
+        self.push_event(PlanEvent { hit: cached, warm });
         entry.planned += 1;
 
         // Epsilon-greedy over the eligible set. Exploration is a
@@ -562,8 +613,21 @@ impl Planner {
                 score: c.score,
                 cached,
                 explored,
+                warm,
             },
         })
+    }
+
+    /// Appends one request's outcome to the plan-history ledger.
+    fn push_event(&self, event: PlanEvent) {
+        self.history.lock().unwrap().push(event);
+    }
+
+    /// The per-request hit/miss ledger, in request order. Its length
+    /// always equals the `plans_requested` counter — the serve-report
+    /// validator leans on that identity.
+    pub fn plan_history(&self) -> Vec<PlanEvent> {
+        self.history.lock().unwrap().clone()
     }
 
     /// Feeds one completed job's measured throughput back into the plan
@@ -630,10 +694,128 @@ impl Planner {
                     candidates: candidates.clone(),
                     stats,
                     planned: 0,
+                    warm: false,
                 },
             );
         }
         candidates
+    }
+
+    /// Exports the plan cache's learned state for persistence: every
+    /// cached shape's key, candidate-table fingerprint, planned count,
+    /// and per-candidate throughput accumulators (float sums as IEEE-754
+    /// bits, so the sidecar round-trips byte-stably).
+    pub fn export_memory(&self) -> PlannerMemory {
+        let cache = self.cache.lock().unwrap();
+        PlannerMemory {
+            device: self.profile.name().to_string(),
+            shapes: cache
+                .iter()
+                .map(|(key, entry)| ShapeMemory {
+                    dim: key.dim as u64,
+                    rad: key.rad as u64,
+                    nx_class: key.nx_class as u64,
+                    ny_class: key.ny_class as u64,
+                    nz_class: key.nz_class as u64,
+                    fingerprint: candidate_fingerprint(&entry.candidates),
+                    planned: entry.planned,
+                    stats: entry
+                        .stats
+                        .iter()
+                        .map(|s| StatMemory {
+                            sum_bits: s.sum_cells_per_sec.to_bits(),
+                            samples: s.samples,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Warm-starts the plan cache from a persisted [`PlannerMemory`]:
+    /// rebuilds each shape's candidate table against this planner's
+    /// device and the `served` backends, verifies the sidecar's
+    /// fingerprint matches (the measured rates must index the *same*
+    /// candidates), and seeds the measured-rate accumulators. Adoption is
+    /// all-or-nothing — any drift rejects the whole sidecar, leaving the
+    /// cache exactly as it was. Seeded entries keep `planned = 0` (the
+    /// counter describes *this* run) and are marked warm, so hits on
+    /// them surface as `warm` provenance and in `plan_cache_warm_hits`.
+    ///
+    /// Returns the number of shapes adopted.
+    ///
+    /// # Errors
+    /// [`PersistError::DeviceMismatch`] for a sidecar learned on another
+    /// profile, [`PersistError::ShapeKeyDrift`] for an impossible shape
+    /// key, [`PersistError::RateTableDrift`] when a shape's candidate
+    /// table no longer matches its persisted fingerprint or stat count.
+    pub fn warm_start(
+        &self,
+        memory: &PlannerMemory,
+        served: &[Backend],
+    ) -> Result<usize, PersistError> {
+        if memory.device != self.profile.name() {
+            return Err(PersistError::DeviceMismatch {
+                expected: self.profile.name().to_string(),
+                found: memory.device.clone(),
+            });
+        }
+        // Validate and rebuild everything before touching the cache, so
+        // a drifted shape found halfway through cannot leave a
+        // half-adopted table behind.
+        let mut adopted: Vec<(ShapeKey, CacheEntry)> = Vec::with_capacity(memory.shapes.len());
+        for shape in &memory.shapes {
+            let pow2 = |n: u64| n > 0 && (n as usize).is_power_of_two();
+            let valid_key = (shape.dim == 2 || shape.dim == 3)
+                && pow2(shape.nx_class)
+                && pow2(shape.ny_class)
+                && pow2(shape.nz_class)
+                && (shape.dim == 3 || shape.nz_class == 1);
+            if !valid_key {
+                return Err(PersistError::ShapeKeyDrift {
+                    label: shape.label(),
+                });
+            }
+            let key = ShapeKey {
+                dim: shape.dim as usize,
+                rad: shape.rad as usize,
+                nx_class: shape.nx_class as usize,
+                ny_class: shape.ny_class as usize,
+                nz_class: shape.nz_class as usize,
+            };
+            let candidates = self.build_candidates(&key, served);
+            if candidates.is_empty()
+                || candidates.len() != shape.stats.len()
+                || candidate_fingerprint(&candidates) != shape.fingerprint
+            {
+                return Err(PersistError::RateTableDrift {
+                    label: shape.label(),
+                });
+            }
+            let stats = shape
+                .stats
+                .iter()
+                .map(|s| Stat {
+                    sum_cells_per_sec: s.sum_cells_per_sec(),
+                    samples: s.samples,
+                })
+                .collect();
+            adopted.push((
+                key,
+                CacheEntry {
+                    candidates,
+                    stats,
+                    planned: 0,
+                    warm: true,
+                },
+            ));
+        }
+        let mut cache = self.cache.lock().unwrap();
+        let count = adopted.len();
+        for (key, entry) in adopted {
+            cache.insert(key, entry);
+        }
+        Ok(count)
     }
 
     /// Point-in-time snapshot of every cached shape, for the serve report.
@@ -968,6 +1150,32 @@ fn gcd(a: usize, b: usize) -> usize {
     } else {
         gcd(b, a % b)
     }
+}
+
+/// FNV-1a fingerprint of a candidate table: backend names, block
+/// configurations, replica counts, and score bit patterns, in table
+/// order. A sidecar's measured rates are only adoptable when the table
+/// they index hashes to the same value — any change to the tuner, the
+/// device model, or the served-backend set shows up here as drift.
+fn candidate_fingerprint(candidates: &[PlanCandidate]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        // Hash whole 64-bit lanes (same folding trick as checksum_f32):
+        // one multiply per field, order-sensitive.
+        h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for c in candidates {
+        for b in c.backend.name().bytes() {
+            mix(b as u64);
+        }
+        mix(c.config.bsize_x as u64);
+        mix(c.config.bsize_y as u64);
+        mix(c.config.parvec as u64);
+        mix(c.config.partime as u64);
+        mix(c.replicas as u64);
+        mix(c.score.to_bits());
+    }
+    h
 }
 
 /// splitmix64 — the deterministic hash behind exploration sampling.
@@ -1319,6 +1527,138 @@ mod tests {
                 assert_eq!(c.replicas, 1, "{:?}", c.backend);
             }
         }
+    }
+
+    #[test]
+    fn export_warm_start_round_trip_seeds_measured_rates() {
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        // Learn on one planner: plan a shape, feed back a decisive rate
+        // for a non-default candidate.
+        let teacher = Planner::new(PlannerConfig {
+            top_k: 4,
+            epsilon_pct: 0,
+        });
+        let first = teacher
+            .plan(&auto_spec(1, 2, 96, 32), &served, &metrics)
+            .unwrap();
+        let other = PlanAssignment {
+            index: first.index + 1,
+            ..first.clone()
+        };
+        teacher.record_throughput(&other, 1e9, &metrics);
+        teacher.record_throughput(&first, 1e3, &metrics);
+        let memory = teacher.export_memory();
+        assert_eq!(memory.device, "ddr");
+        assert_eq!(memory.shapes.len(), 1);
+
+        // A fresh planner warm-started from that memory must exploit the
+        // taught winner on its very first request — and the request is a
+        // cache *hit* with warm provenance.
+        let student = Planner::new(PlannerConfig {
+            top_k: 4,
+            epsilon_pct: 0,
+        });
+        let fresh = MetricsRegistry::new();
+        assert_eq!(student.warm_start(&memory, &served).unwrap(), 1);
+        let asg = student
+            .plan(&auto_spec(99, 2, 96, 32), &served, &fresh)
+            .unwrap();
+        assert_eq!(asg.index, other.index, "warm rates steer the first plan");
+        assert!(asg.choice.cached, "warm-started shape is a hit");
+        assert!(asg.choice.warm);
+        assert_eq!(asg.choice.provenance(), "warm");
+        assert_eq!(fresh.counter("plan_cache_hits").get(), 1);
+        assert_eq!(fresh.counter("plan_cache_warm_hits").get(), 1);
+        assert_eq!(fresh.counter("plan_cache_misses").get(), 0);
+        let history = student.plan_history();
+        assert_eq!(history.len(), 1);
+        assert!(history[0].hit && history[0].warm);
+        // Export from the student reproduces the taught sums (planned
+        // resets per run, so compare shapes' stats only).
+        let re = student.export_memory();
+        assert_eq!(re.shapes[0].stats, memory.shapes[0].stats);
+    }
+
+    #[test]
+    fn warm_start_rejects_drift_with_exact_variants() {
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        let teacher = Planner::new(PlannerConfig::default());
+        teacher
+            .plan(&auto_spec(1, 2, 96, 32), &served, &metrics)
+            .unwrap();
+        let memory = teacher.export_memory();
+
+        // Device mismatch.
+        let hbm = Planner::with_device(PlannerConfig::default(), DeviceProfile::Hbm);
+        assert_eq!(
+            hbm.warm_start(&memory, &served).unwrap_err(),
+            crate::persist::PersistError::DeviceMismatch {
+                expected: "hbm".into(),
+                found: "ddr".into(),
+            }
+        );
+
+        // Shape-key drift: a non-power-of-two extent class.
+        let mut bad_key = memory.clone();
+        bad_key.shapes[0].nx_class = 100;
+        let student = Planner::new(PlannerConfig::default());
+        assert_eq!(
+            student.warm_start(&bad_key, &served).unwrap_err(),
+            crate::persist::PersistError::ShapeKeyDrift {
+                label: bad_key.shapes[0].label(),
+            }
+        );
+
+        // Rate-table drift: fingerprint from a different candidate table.
+        let mut bad_table = memory.clone();
+        bad_table.shapes[0].fingerprint ^= 1;
+        assert_eq!(
+            student.warm_start(&bad_table, &served).unwrap_err(),
+            crate::persist::PersistError::RateTableDrift {
+                label: bad_table.shapes[0].label(),
+            }
+        );
+
+        // Stat-count drift is rate-table drift too.
+        let mut bad_stats = memory.clone();
+        bad_stats.shapes[0].stats.pop();
+        assert!(matches!(
+            student.warm_start(&bad_stats, &served).unwrap_err(),
+            crate::persist::PersistError::RateTableDrift { .. }
+        ));
+
+        // Rejection is all-or-nothing: the student's cache stayed cold.
+        assert!(student.snapshot().is_empty());
+        assert_eq!(
+            student.export_memory().shapes.len(),
+            0,
+            "no partial adoption"
+        );
+    }
+
+    #[test]
+    fn plan_history_tracks_every_request() {
+        let planner = Planner::new(PlannerConfig::default());
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        for id in 0..4 {
+            planner
+                .plan(&auto_spec(id, 2, 96, 32), &served, &metrics)
+                .unwrap();
+        }
+        // A failed request (no served backends) is recorded as a miss.
+        planner.plan(&auto_spec(9, 2, 96, 32), &[], &metrics).ok();
+        let history = planner.plan_history();
+        assert_eq!(
+            history.len() as u64,
+            metrics.counter("plans_requested").get()
+        );
+        let hits = history.iter().filter(|e| e.hit).count() as u64;
+        assert_eq!(hits, metrics.counter("plan_cache_hits").get());
+        assert!(!history[0].hit, "first sight misses");
+        assert!(!history.last().unwrap().hit, "failed plan is a miss");
     }
 
     #[test]

@@ -50,6 +50,13 @@ pub struct QueuedJob {
     pub token: CancelToken,
     /// When the job was admitted (queue-wait measurement origin).
     pub admitted: Instant,
+    /// When the job arrived at submission, before planning — the trace
+    /// record's enqueue origin. Planning happens between `submitted` and
+    /// `admitted`.
+    pub submitted: Instant,
+    /// Wall time spent planning the job before admission, ms (0 for
+    /// explicit-mode jobs).
+    pub plan_ms: f64,
     /// Admission sequence number — the FIFO tiebreaker within a priority.
     pub seq: u64,
     /// The planner's decision for auto jobs, carried through to the worker
@@ -206,6 +213,25 @@ impl AdmissionQueue {
         plan: Option<PlanAssignment>,
         reply: Option<ResultSender>,
     ) -> Result<QueuedJob, PushError> {
+        self.push_traced(spec, token, plan, reply, Instant::now(), 0.0)
+    }
+
+    /// [`AdmissionQueue::push`] with the submitter's trace origin: when
+    /// the job arrived at submission (before planning) and how long
+    /// planning took. The plain `push` records both as "now"/zero.
+    ///
+    /// # Errors
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`AdmissionQueue::close`].
+    pub fn push_traced(
+        &self,
+        spec: JobSpec,
+        token: CancelToken,
+        plan: Option<PlanAssignment>,
+        reply: Option<ResultSender>,
+        submitted: Instant,
+        plan_ms: f64,
+    ) -> Result<QueuedJob, PushError> {
         let mut st = self.state.lock().unwrap();
         if st.closed {
             return Err(PushError::Closed);
@@ -219,6 +245,8 @@ impl AdmissionQueue {
             spec,
             token,
             admitted: Instant::now(),
+            submitted,
+            plan_ms,
             seq: st.next_seq,
             plan,
             reply,

@@ -7,7 +7,7 @@
 
 use crate::job::{Backend, JobResult, Outcome};
 use crate::metrics::MetricsRegistry;
-use crate::planner::{DeviceProfile, ShapeSnapshot};
+use crate::planner::{DeviceProfile, PlanEvent, ShapeSnapshot};
 use crate::steal::StealTotals;
 use crate::tenant::TenantSnapshot;
 use serde::{Deserialize, Serialize};
@@ -29,8 +29,12 @@ use stencil_core::BlockConfig;
 /// `dataflow` section (multi-device stencil-program accounting: nodes
 /// placed, bounded-channel occupancy high waters, pipelined vs 1-device
 /// sequential makespans, per-stage throughput — identities cross-validated
-/// by [`validate_report_json`]).
-pub const SCHEMA_VERSION: u64 = 6;
+/// by [`validate_report_json`]); 7 = adds the mandatory `trace` section
+/// (per-job JSONL trace accounting — exactly one record per terminal job —
+/// plus planner-memory warm-start counters and the plan-cache convergence
+/// headline, cross-validated against the job counters, the wall clock, and
+/// the `planner` section).
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Latency distribution summary (milliseconds).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -444,6 +448,85 @@ impl DataflowReport {
     }
 }
 
+/// The `trace` section: accounting for the per-job JSONL trace stream and
+/// the planner's persistent-memory warm start. The validator requires the
+/// lossless-writer contract to hold (exactly one record per terminal job),
+/// bounds every traced span by the run's wall clock, and reconciles the
+/// warm-start counters against the `planner` section.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Trace record schema version the runtime emitted
+    /// ([`crate::trace::TRACE_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Trace records emitted — **must equal** the terminal job count; the
+    /// bounded writer blocks producers rather than dropping records.
+    pub records: u64,
+    /// Largest admission-to-terminal span among the results, in ms —
+    /// necessarily bounded by the run's wall clock.
+    pub max_span_ms: f64,
+    /// Shape classes seeded from a planner-memory sidecar at boot.
+    pub warm_shapes_loaded: u64,
+    /// Sidecar loads rejected as corrupt, stale, or mismatched — each one
+    /// cold-started the planner instead of panicking.
+    pub warm_rejected: u64,
+    /// Plan-cache hits answered by a warm-started (sidecar-seeded) entry.
+    pub warm_hits: u64,
+    /// Plan decisions logged in the planner's in-order history — **must
+    /// equal** `planner.plans_requested`.
+    pub plans_logged: u64,
+    /// Earliest fraction of the plan history at which the cumulative cache
+    /// hit rate first reached the run's final hit rate: ~0 for a warm start
+    /// (the first request already hits), ~1 for a single-shape cold start
+    /// (the opening miss is only amortized by the full run), 0 when nothing
+    /// was planned. `stencil_serve --min-warm-convergence` gates on it.
+    pub converged_at_fraction: f64,
+}
+
+impl TraceReport {
+    /// Folds the trace/warm-start counters and the planner's plan history
+    /// into the report section.
+    fn build(
+        metrics: &MetricsRegistry,
+        history: &[PlanEvent],
+        results: &[JobResult],
+    ) -> TraceReport {
+        let count = |name: &str| metrics.counter(name).get();
+        TraceReport {
+            schema_version: crate::trace::TRACE_SCHEMA_VERSION,
+            records: count("trace_records"),
+            max_span_ms: results.iter().map(|r| r.total_ms).fold(0.0, f64::max),
+            warm_shapes_loaded: count("planner_warm_shapes"),
+            warm_rejected: count("planner_warm_rejected"),
+            warm_hits: count("plan_cache_warm_hits"),
+            plans_logged: history.len() as u64,
+            converged_at_fraction: converged_at_fraction(history),
+        }
+    }
+}
+
+/// Earliest prefix fraction of the plan history whose cumulative cache hit
+/// rate already matches the run's final hit rate — the warm-start
+/// convergence headline. Returns 0 for an empty history; otherwise the
+/// result is in `(0, 1]` (the full history trivially qualifies).
+pub fn converged_at_fraction(history: &[PlanEvent]) -> f64 {
+    let n = history.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total_hits = history.iter().filter(|e| e.hit).count();
+    let final_rate = total_hits as f64 / n as f64;
+    let mut hits = 0usize;
+    for (k, e) in history.iter().enumerate() {
+        if e.hit {
+            hits += 1;
+        }
+        if hits as f64 / (k + 1) as f64 + 1e-12 >= final_rate {
+            return (k + 1) as f64 / n as f64;
+        }
+    }
+    1.0
+}
+
 /// The complete load-test report (`BENCH_serve.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -520,6 +603,8 @@ pub struct ServeReport {
     pub scheduler: SchedulerReport,
     /// Multi-device stencil-program accounting (cluster simulator).
     pub dataflow: DataflowReport,
+    /// Per-job trace accounting and planner warm-start convergence.
+    pub trace: TraceReport,
 }
 
 impl ServeReport {
@@ -537,6 +622,7 @@ impl ServeReport {
         results: &[JobResult],
         metrics: &MetricsRegistry,
         planner_shapes: &[ShapeSnapshot],
+        plan_history: &[PlanEvent],
         tenant_snapshots: &[TenantSnapshot],
         steals: StealTotals,
         wedged_workers: usize,
@@ -656,6 +742,7 @@ impl ServeReport {
                 steal_misses: steals.steal_misses,
             },
             dataflow: DataflowReport::build(metrics),
+            trace: TraceReport::build(metrics, plan_history, results),
         }
     }
 
@@ -785,6 +872,7 @@ pub fn validate_report_json(text: &str) -> Result<usize, String> {
     validate_tenants(&report)?;
     validate_scheduler(&report.scheduler)?;
     validate_dataflow(&report.dataflow)?;
+    validate_trace(&report)?;
     Ok(report.backends.len())
 }
 
@@ -981,6 +1069,67 @@ fn validate_scheduler(s: &SchedulerReport) -> Result<(), String> {
     Ok(())
 }
 
+/// Cross-validates the `trace` section against the job counters, the wall
+/// clock, and the `planner` section: the lossless trace writer must have
+/// emitted exactly one record per terminal job, no traced span may outlast
+/// the run, warm hits are a subset of cache hits and require a warm start,
+/// and the convergence headline must be derived from exactly the plans the
+/// planner logged.
+fn validate_trace(report: &ServeReport) -> Result<(), String> {
+    let t = &report.trace;
+    if t.schema_version != crate::trace::TRACE_SCHEMA_VERSION {
+        return Err(format!(
+            "trace.schema_version {} != expected {}",
+            t.schema_version,
+            crate::trace::TRACE_SCHEMA_VERSION
+        ));
+    }
+    if t.records != report.terminal_jobs() {
+        return Err(format!(
+            "trace.records ({}) != terminal jobs ({}): the lossless trace \
+             writer dropped or duplicated records",
+            t.records,
+            report.terminal_jobs()
+        ));
+    }
+    if !t.max_span_ms.is_finite() || t.max_span_ms < 0.0 {
+        return Err("trace.max_span_ms must be finite and >= 0".into());
+    }
+    if t.max_span_ms > report.wall_seconds * 1000.0 + 0.5 {
+        return Err(format!(
+            "trace.max_span_ms {} exceeds the wall clock ({} ms)",
+            t.max_span_ms,
+            report.wall_seconds * 1000.0
+        ));
+    }
+    if t.warm_hits > report.planner.cache_hits {
+        return Err(format!(
+            "trace.warm_hits ({}) exceed planner cache hits ({})",
+            t.warm_hits, report.planner.cache_hits
+        ));
+    }
+    if t.warm_hits > 0 && t.warm_shapes_loaded == 0 {
+        return Err("trace: warm hits recorded without a warm start".into());
+    }
+    if t.plans_logged != report.planner.plans_requested {
+        return Err(format!(
+            "trace.plans_logged ({}) != plans_requested ({}): the planner \
+             history lost events",
+            t.plans_logged, report.planner.plans_requested
+        ));
+    }
+    if !t.converged_at_fraction.is_finite() || !(0.0..=1.0).contains(&t.converged_at_fraction) {
+        return Err("trace.converged_at_fraction must be within [0, 1]".into());
+    }
+    if t.plans_logged == 0 && t.converged_at_fraction != 0.0 {
+        return Err("trace: convergence fraction without any logged plans".into());
+    }
+    if t.plans_logged > 0 && t.converged_at_fraction <= 0.0 {
+        return Err("trace: logged plans but a zero convergence fraction".into());
+    }
+    Ok(())
+}
+
 /// Schema and accounting checks for the `memory` section.
 fn validate_memory(m: &MemoryReport) -> Result<(), String> {
     let leases = m.pool_hits + m.pool_misses;
@@ -1166,6 +1315,7 @@ mod tests {
         metrics.gauge("pool_resident_bytes").add(3 * 4096);
         metrics.counter("stencil_memo_misses").add(2);
         metrics.counter("stencil_memo_hits").add(1);
+        metrics.counter("trace_records").add(2);
         ServeReport::build(
             "synthetic",
             42,
@@ -1174,6 +1324,7 @@ mod tests {
             2,
             &results,
             &metrics,
+            &[],
             &[],
             &[],
             StealTotals::default(),
@@ -1200,8 +1351,10 @@ mod tests {
         for name in ["queue_wait_ms", "run_ms", "total_ms", "run_ms_functional"] {
             metrics.histogram(name).record(1.0);
         }
+        metrics.counter("trace_records").inc();
         let results = vec![result(1, Backend::Functional, Outcome::Completed)];
         let shapes = planner.snapshot();
+        let history = planner.plan_history();
         ServeReport::build(
             "synthetic",
             7,
@@ -1211,6 +1364,7 @@ mod tests {
             &results,
             &metrics,
             &shapes,
+            &history,
             &[],
             StealTotals::default(),
             0,
@@ -1372,6 +1526,7 @@ mod tests {
         for name in ["queue_wait_ms", "run_ms", "total_ms", "run_ms_functional"] {
             metrics.histogram(name).record(1.0);
         }
+        metrics.counter("trace_records").inc();
         let report = ServeReport::build(
             "jsonl",
             0,
@@ -1380,6 +1535,7 @@ mod tests {
             1,
             &results,
             &metrics,
+            &[],
             &[],
             &[],
             StealTotals::default(),
@@ -1426,8 +1582,10 @@ mod tests {
         for name in ["queue_wait_ms", "run_ms", "total_ms", "run_ms_functional"] {
             metrics.histogram(name).record(1.0);
         }
+        metrics.counter("trace_records").inc();
         let results = vec![result(1, Backend::Functional, Outcome::Completed)];
         let shapes = planner.snapshot();
+        let history = planner.plan_history();
         ServeReport::build(
             "synthetic",
             9,
@@ -1437,6 +1595,7 @@ mod tests {
             &results,
             &metrics,
             &shapes,
+            &history,
             &[],
             StealTotals::default(),
             0,
@@ -1610,6 +1769,7 @@ mod tests {
             rejected_quota: 2,
             in_flight_high_water: 1,
         }];
+        metrics.counter("trace_records").inc();
         let report = ServeReport::build(
             "synthetic",
             3,
@@ -1618,6 +1778,7 @@ mod tests {
             3,
             &results,
             &metrics,
+            &[],
             &[],
             &snaps,
             StealTotals::default(),
@@ -1674,6 +1835,7 @@ mod tests {
         metrics.gauge("program_devices").set(2);
         metrics.gauge("program_channel_depth").set(2);
         metrics.gauge("program_channel_high_water").set(1);
+        metrics.counter("trace_records").inc();
         ServeReport::build(
             "synthetic",
             11,
@@ -1682,6 +1844,7 @@ mod tests {
             1,
             &results,
             &metrics,
+            &[],
             &[],
             &[],
             StealTotals::default(),
@@ -1770,5 +1933,87 @@ mod tests {
         let stripped = json.replacen("\"dataflow\"", "\"dataflow_gone\"", 1);
         let err = validate_report_json(&stripped).unwrap_err();
         assert!(err.contains("missing field `dataflow`"), "{err}");
+    }
+
+    #[test]
+    fn trace_section_validates_and_rejects_drift() {
+        let report = planned_report();
+        assert_eq!(report.trace.records, 1);
+        assert_eq!(report.trace.plans_logged, 4);
+        assert!(report.trace.converged_at_fraction > 0.0);
+        validate_report_json(&serde_json::to_string(&report).unwrap()).unwrap();
+
+        // A dropped (or duplicated) trace record breaks the lossless-writer
+        // contract.
+        let mut bad = planned_report();
+        bad.trace.records += 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("lossless trace"), "{err}");
+
+        // A traced span cannot outlast the run.
+        let mut bad = planned_report();
+        bad.trace.max_span_ms = bad.wall_seconds * 1000.0 + 10.0;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("wall clock"), "{err}");
+
+        // Warm hits are a subset of cache hits.
+        let mut bad = planned_report();
+        bad.trace.warm_hits = bad.planner.cache_hits + 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("warm_hits"), "{err}");
+
+        // Warm hits without a loaded sidecar are impossible.
+        let mut bad = planned_report();
+        bad.trace.warm_hits = 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("without a warm start"), "{err}");
+
+        // The plan history must cover every plan request.
+        let mut bad = planned_report();
+        bad.trace.plans_logged += 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("plans_logged"), "{err}");
+
+        // The convergence fraction is a fraction.
+        let mut bad = planned_report();
+        bad.trace.converged_at_fraction = 1.5;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("converged_at_fraction"), "{err}");
+
+        // The section is mandatory at v7: a v6-shaped report fails parse.
+        let json = serde_json::to_string(&planned_report()).unwrap();
+        let stripped = json.replacen("\"trace\"", "\"trace_gone\"", 1);
+        let err = validate_report_json(&stripped).unwrap_err();
+        assert!(err.contains("trace"), "{err}");
+    }
+
+    #[test]
+    fn convergence_fraction_favors_warm_histories() {
+        // Cold single-shape history: the opening miss is only amortized at
+        // the very end — the fraction is 1.
+        let miss = PlanEvent {
+            hit: false,
+            warm: false,
+        };
+        let hit = PlanEvent {
+            hit: true,
+            warm: false,
+        };
+        let warm_hit = PlanEvent {
+            hit: true,
+            warm: true,
+        };
+        let mut cold = vec![miss];
+        cold.extend(std::iter::repeat_n(hit, 9));
+        assert!((converged_at_fraction(&cold) - 1.0).abs() < 1e-12);
+
+        // Warm history: the first request already hits, so the cumulative
+        // rate reaches the final rate immediately.
+        let mut warm = vec![warm_hit];
+        warm.extend(std::iter::repeat_n(hit, 9));
+        assert!((converged_at_fraction(&warm) - 0.1).abs() < 1e-12);
+
+        assert_eq!(converged_at_fraction(&[]), 0.0);
+        assert!((converged_at_fraction(&[miss]) - 1.0).abs() < 1e-12);
     }
 }

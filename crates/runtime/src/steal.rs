@@ -302,6 +302,8 @@ mod tests {
             spec: JobSpec::new_2d(id, 1, 64, 16, 1),
             token: CancelToken::new(),
             admitted: Instant::now(),
+            submitted: Instant::now(),
+            plan_ms: 0.0,
             seq: id,
             plan: None,
             reply: None,

@@ -47,6 +47,7 @@ use crate::batch::BatchPolicy;
 use crate::cancel::CancelToken;
 use crate::job::{Backend, JobResult, JobSpec, Outcome};
 use crate::metrics::MetricsRegistry;
+use crate::persist::{load_planner_memory, save_planner_memory};
 use crate::planner::{place_program, DeviceProfile, PlanError, PlanMode, Planner, PlannerConfig};
 use crate::pool::{GridLease2D, GridLease3D, GridPool, PoolConfig, StencilMemo};
 use crate::program::{self, StencilProgram};
@@ -55,10 +56,12 @@ use crate::retry::RetryPolicy;
 use crate::steal::{StealDomain, StealTotals};
 use crate::stream::ResultSender;
 use crate::tenant::{Tenant, TenantPolicy, TenantRegistry, TenantSnapshot};
+use crate::trace::{outcome_label, AttemptSpan, TraceRecord, TraceWriter, TRACE_SCHEMA_VERSION};
 use cpu_engine::engines;
 use fpga_sim::cluster::{self, ClusterKernel, ClusterNode, ClusterSpec};
 use fpga_sim::{functional, serial_ref, threaded, SimCounters, SimOptions};
 use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex, Once};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -99,6 +102,16 @@ pub struct RuntimeConfig {
     /// of two). Batched jobs beyond the first spill here, where siblings
     /// can steal them.
     pub steal_ring: usize,
+    /// Planner-memory sidecar path. When set, boot loads it (if present)
+    /// to warm-start the plan cache — any corrupt or drifted sidecar is
+    /// rejected to a cold start with `planner_warm_rejected` incremented,
+    /// never a panic — and drain writes the learned rates back.
+    pub planner_memory: Option<PathBuf>,
+    /// Per-job JSONL trace output path. The runtime always traces (the
+    /// serve report's `trace` section counts records either way); a path
+    /// here additionally writes each record to disk through the bounded
+    /// lossless writer.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for RuntimeConfig {
@@ -116,6 +129,8 @@ impl Default for RuntimeConfig {
             pool: PoolConfig::default(),
             tenants: TenantPolicy::default(),
             steal_ring: 8,
+            planner_memory: None,
+            trace_out: None,
         }
     }
 }
@@ -198,6 +213,9 @@ pub struct DrainOutcome {
     pub tenants: Vec<TenantSnapshot>,
     /// Steal-protocol counters summed over every backend shard.
     pub steals: StealTotals,
+    /// Trace records the writer drained (one per terminal job; the
+    /// lossless-writer invariant makes this equal `results.len()`).
+    pub trace_records_written: u64,
 }
 
 /// Terminal results shared between shards and the submitter.
@@ -248,6 +266,10 @@ struct ShardCtx {
     metrics: Arc<MetricsRegistry>,
     sink: Arc<ResultSink>,
     planner: Arc<Planner>,
+    tracer: Arc<TraceWriter>,
+    /// The runtime's start instant — the origin every trace timestamp is
+    /// measured from.
+    epoch: Instant,
     retry: RetryPolicy,
     batch: BatchPolicy,
     shadow_percent: u8,
@@ -292,6 +314,7 @@ pub struct Runtime {
     tenants: Arc<TenantRegistry>,
     domains: Vec<Arc<StealDomain>>,
     workers: Vec<JoinHandle<()>>,
+    tracer: Arc<TraceWriter>,
     config: RuntimeConfig,
     started: Instant,
 }
@@ -299,12 +322,23 @@ pub struct Runtime {
 impl Runtime {
     /// Starts the shards and returns the serving façade.
     ///
+    /// When `config.planner_memory` names an existing sidecar, the plan
+    /// cache is warm-started from it before any worker runs: on success
+    /// the `planner_warm_shapes` counter records the shapes adopted; any
+    /// load or drift error rejects the whole sidecar to a cold start and
+    /// increments `planner_warm_rejected` — never a panic.
+    ///
     /// # Panics
-    /// Panics when the config names no backends or zero workers per shard.
+    /// Panics when the config names no backends or zero workers per
+    /// shard, or when `config.trace_out` cannot be created (callers
+    /// should validate the path first; a service that silently loses its
+    /// trace output would defeat the lossless contract).
     pub fn start(config: RuntimeConfig) -> Runtime {
         assert!(!config.backends.is_empty(), "need at least one backend");
         assert!(config.workers_per_shard > 0, "need at least one worker");
         install_quiet_panic_hook();
+        // The epoch: every trace timestamp is milliseconds since here.
+        let started = Instant::now();
         let queue = Arc::new(AdmissionQueue::with_policy(
             config.queue_capacity,
             config.tenants.clone(),
@@ -312,6 +346,24 @@ impl Runtime {
         let metrics = Arc::new(MetricsRegistry::new());
         let sink = Arc::new(ResultSink::default());
         let planner = Arc::new(Planner::with_device(config.planner.clone(), config.device));
+        if let Some(path) = &config.planner_memory {
+            if path.exists() {
+                match load_planner_memory(path)
+                    .and_then(|memory| planner.warm_start(&memory, &config.backends))
+                {
+                    Ok(shapes) => {
+                        metrics.counter("planner_warm_shapes").add(shapes as u64);
+                    }
+                    Err(_why) => {
+                        // Cold start; the sidecar stays on disk untouched
+                        // for post-mortem, and drain overwrites it with
+                        // freshly learned rates.
+                        metrics.counter("planner_warm_rejected").inc();
+                    }
+                }
+            }
+        }
+        let tracer = Arc::new(TraceWriter::spawn(config.trace_out.clone()).expect("trace output"));
         let tenants = Arc::new(TenantRegistry::new(config.tenants.clone()));
         let env = ExecEnv::new(&metrics, config.sim, config.pool, config.device);
         let mut workers = Vec::new();
@@ -332,6 +384,8 @@ impl Runtime {
                     metrics: Arc::clone(&metrics),
                     sink: Arc::clone(&sink),
                     planner: Arc::clone(&planner),
+                    tracer: Arc::clone(&tracer),
+                    epoch: started,
                     retry: config.retry,
                     batch: config.batch,
                     shadow_percent: config.shadow_percent,
@@ -353,8 +407,9 @@ impl Runtime {
             tenants,
             domains,
             workers,
+            tracer,
             config,
-            started: Instant::now(),
+            started,
         }
     }
 
@@ -393,6 +448,8 @@ impl Runtime {
         reply: Option<ResultSender>,
     ) -> Result<Ticket, SubmitError> {
         let mut spec = spec;
+        // Trace origin: when the job arrived, before validation/planning.
+        let submitted = Instant::now();
         self.metrics.counter("jobs_submitted").inc();
         if spec.plan == PlanMode::Explicit && !self.config.backends.contains(&spec.backend) {
             self.metrics.counter("jobs_invalid").inc();
@@ -425,11 +482,14 @@ impl Runtime {
         let tenant = spec.tenant.clone();
         // Program jobs take their configuration from program placement,
         // not the single-kernel planner — Auto mode is a no-op for them.
+        let mut plan_ms = 0.0f64;
         let plan = if spec.plan == PlanMode::Auto && spec.program.is_none() {
-            match self
+            let plan_start = Instant::now();
+            let planned = self
                 .planner
-                .plan(&spec, &self.config.backends, &self.metrics)
-            {
+                .plan(&spec, &self.config.backends, &self.metrics);
+            plan_ms = plan_start.elapsed().as_secs_f64() * 1000.0;
+            match planned {
                 Ok(assignment) => {
                     assignment.choice.apply_to(&mut spec);
                     Some(assignment)
@@ -454,7 +514,10 @@ impl Runtime {
         // refuses the job it never reaches a worker, so release it here
         // or the planner would count phantom backlog forever.
         let claimed = plan.clone();
-        match self.queue.push(spec, token.clone(), plan, reply) {
+        match self
+            .queue
+            .push_traced(spec, token.clone(), plan, reply, submitted, plan_ms)
+        {
             Ok(_) => {
                 self.metrics.counter("jobs_admitted").inc();
                 if is_program {
@@ -520,7 +583,10 @@ impl Runtime {
     }
 
     /// Graceful shutdown: close admissions, drain every queued job, join
-    /// all workers, and return the accumulated results.
+    /// all workers, persist the planner's learned rates (when
+    /// `planner_memory` is configured), and close-then-drain the trace
+    /// writer — its final record count lands in `trace_records_written`
+    /// and the `trace_records_written` counter.
     pub fn drain(self) -> DrainOutcome {
         self.queue.close();
         let Runtime {
@@ -528,6 +594,10 @@ impl Runtime {
             tenants,
             domains,
             workers,
+            tracer,
+            planner,
+            metrics,
+            config,
             started,
             ..
         } = self;
@@ -541,12 +611,28 @@ impl Runtime {
         let steals = domains.iter().fold(StealTotals::default(), |acc, d| {
             acc.merge(d.counters.totals())
         });
+        if let Some(path) = &config.planner_memory {
+            match save_planner_memory(path, &planner.export_memory()) {
+                Ok(()) => metrics.counter("planner_memory_saved").inc(),
+                Err(_why) => metrics.counter("planner_memory_save_failed").inc(),
+            }
+        }
+        // Every worker has joined, so every emit has happened and the
+        // workers' Arc clones are dropped: this close drains the last
+        // buffered records and writes the footer.
+        let trace_records_written = Arc::into_inner(tracer)
+            .expect("workers joined; no tracer handles remain")
+            .close();
+        metrics
+            .counter("trace_records_written")
+            .add(trace_records_written);
         DrainOutcome {
             results: sink.take(),
             wedged_workers: wedged,
             wall_seconds: started.elapsed().as_secs_f64(),
             tenants: tenants.snapshot(),
             steals,
+            trace_records_written,
         }
     }
 }
@@ -571,7 +657,7 @@ fn shard_loop(ctx: &ShardCtx) {
         // 1) Own ring: jobs this worker parked from an earlier batch (a
         // sibling may have stolen some meanwhile — pop is MPMC-safe).
         if let Some(job) = local.pop() {
-            process_job(ctx, job);
+            process_job(ctx, job, false);
             continue;
         }
         // 2) Global queue, with a timeout so a dry spell wakes us to steal
@@ -598,9 +684,9 @@ fn shard_loop(ctx: &ShardCtx) {
                         overflow.push(back);
                     }
                 }
-                process_job(ctx, first);
+                process_job(ctx, first, false);
                 for job in overflow {
-                    process_job(ctx, job);
+                    process_job(ctx, job, false);
                 }
             }
             Popped::Empty => {
@@ -612,7 +698,7 @@ fn shard_loop(ctx: &ShardCtx) {
                         Some(job) => {
                             ctx.metrics.counter("steals").inc();
                             ctx.metrics.counter("steal_hits").inc();
-                            process_job(ctx, job);
+                            process_job(ctx, job, true);
                         }
                         None => {
                             ctx.metrics.counter("steals").inc();
@@ -625,13 +711,13 @@ fn shard_loop(ctx: &ShardCtx) {
                 // Drain own ring, then one last sweep for stragglers a
                 // sibling parked; exit only on a clean miss.
                 while let Some(job) = local.pop() {
-                    process_job(ctx, job);
+                    process_job(ctx, job, false);
                 }
                 if ctx.domain.workers() > 1 {
                     if let Some(job) = ctx.domain.steal(ctx.worker) {
                         ctx.metrics.counter("steals").inc();
                         ctx.metrics.counter("steal_hits").inc();
-                        process_job(ctx, job);
+                        process_job(ctx, job, true);
                         continue;
                     }
                     ctx.metrics.counter("steals").inc();
@@ -644,24 +730,32 @@ fn shard_loop(ctx: &ShardCtx) {
     }
 }
 
-/// Drives one admitted job to a terminal state and records it.
-fn process_job(ctx: &ShardCtx, job: QueuedJob) {
+/// Drives one admitted job to a terminal state and records it — counters
+/// and histograms as aggregates, one [`TraceRecord`] as the per-job
+/// ledger line. `stolen` marks jobs lifted from a sibling's ring.
+fn process_job(ctx: &ShardCtx, job: QueuedJob, stolen: bool) {
     let QueuedJob {
         spec,
         token,
         admitted,
+        submitted,
+        plan_ms,
         plan,
         reply,
         ..
     } = job;
-    let queue_wait_ms = admitted.elapsed().as_secs_f64() * 1000.0;
+    let since_epoch = |t: Instant| t.saturating_duration_since(ctx.epoch).as_secs_f64() * 1000.0;
+    let picked_up = Instant::now();
+    let queue_wait_ms = picked_up.duration_since(admitted).as_secs_f64() * 1000.0;
     ctx.metrics.histogram("queue_wait_ms").record(queue_wait_ms);
 
     let mut attempts = 0u32;
+    let mut attempt_spans: Vec<AttemptSpan> = Vec::new();
     let mut run_ms = 0.0f64;
     let mut checksum = None;
     let mut cells_updated = 0u64;
     let mut shadow_match = None;
+    let mut shadow_ms = None;
 
     let outcome = if token.is_cancelled() {
         // Expired or cancelled while queued: never started.
@@ -675,6 +769,12 @@ fn process_job(ctx: &ShardCtx, job: QueuedJob) {
                 execute(&spec, attempts, &token, &ctx.env)
             }));
             run_ms = t.elapsed().as_secs_f64() * 1000.0;
+            attempt_spans.push(AttemptSpan {
+                start_ms: since_epoch(t),
+                exec_ms: run_ms,
+                backoff_ms: 0.0,
+                panicked: attempt_result.is_err(),
+            });
             match attempt_result {
                 Ok(Ok(out)) => {
                     // A run that raced its deadline still counts as timed
@@ -689,7 +789,9 @@ fn process_job(ctx: &ShardCtx, job: QueuedJob) {
                         aggregate_dataflow(&ctx.metrics, stats);
                     }
                     if should_shadow(&spec, ctx.shadow_percent) {
+                        let shadow_start = Instant::now();
                         let matched = shadow_verify(&spec, &out.output, &ctx.env);
+                        shadow_ms = Some(shadow_start.elapsed().as_secs_f64() * 1000.0);
                         ctx.metrics.counter("shadow_runs").inc();
                         if !matched {
                             ctx.metrics.counter("shadow_mismatches").inc();
@@ -707,10 +809,14 @@ fn process_job(ctx: &ShardCtx, job: QueuedJob) {
                         // of simultaneous failures fans out instead of
                         // re-colliding, and a replayed workload sleeps the
                         // exact same schedule.
-                        std::thread::sleep(
-                            ctx.retry
-                                .backoff_jittered(spec.id ^ spec.seed.rotate_left(16), attempts),
-                        );
+                        let backoff = ctx
+                            .retry
+                            .backoff_jittered(spec.id ^ spec.seed.rotate_left(16), attempts);
+                        std::thread::sleep(backoff);
+                        attempt_spans
+                            .last_mut()
+                            .expect("attempt span pushed above")
+                            .backoff_ms = backoff.as_secs_f64() * 1000.0;
                         continue;
                     }
                     break if token.is_cancelled() {
@@ -733,7 +839,8 @@ fn process_job(ctx: &ShardCtx, job: QueuedJob) {
     let backend_hist = format!("run_ms_{}", ctx.backend.name());
     ctx.metrics.histogram(&backend_hist).record(run_ms);
     ctx.metrics.histogram("run_ms").record(run_ms);
-    let total_ms = admitted.elapsed().as_secs_f64() * 1000.0;
+    let done = Instant::now();
+    let total_ms = done.duration_since(admitted).as_secs_f64() * 1000.0;
     ctx.metrics.histogram("total_ms").record(total_ms);
 
     // Close the planner's feedback loop: a completed auto-planned job
@@ -761,13 +868,43 @@ fn process_job(ctx: &ShardCtx, job: QueuedJob) {
         cells_updated,
         checksum,
         shadow_match,
-        plan: plan.map(|a| a.choice),
+        plan: plan.as_ref().map(|a| a.choice.clone()),
     };
     // Streaming clients get the result the moment it exists; the drain
     // sink always gets it too (zero-loss accounting at shutdown).
-    if let Some(reply) = reply {
+    let stream_ms = reply.map(|reply| {
+        let stream_start = Instant::now();
         reply.send(result.clone());
-    }
+        stream_start.elapsed().as_secs_f64() * 1000.0
+    });
+    // One trace record per terminal job — the per-job ledger line the
+    // serve report's `trace` section is cross-validated against. Emitted
+    // before the sink push so a client observing the result count never
+    // races ahead of the trace count at drain.
+    ctx.tracer.emit(TraceRecord {
+        schema_version: TRACE_SCHEMA_VERSION,
+        id: spec.id,
+        tenant: spec.tenant.name().to_string(),
+        backend: ctx.backend.name().to_string(),
+        outcome: outcome_label(outcome).to_string(),
+        provenance: plan
+            .as_ref()
+            .map_or("explicit", |a| a.choice.provenance())
+            .to_string(),
+        replicas: spec.replicas.get() as u64,
+        program_nodes: spec.program.as_ref().map_or(0, |p| p.nodes.len() as u64),
+        stolen,
+        enqueue_ms: since_epoch(submitted),
+        plan_ms,
+        queue_wait_ms,
+        exec_start_ms: since_epoch(picked_up),
+        done_ms: since_epoch(done),
+        attempts: attempt_spans,
+        shadow_ms,
+        stream_ms,
+        cells: cells_updated,
+    });
+    ctx.metrics.counter("trace_records").inc();
     ctx.sink.push(result);
     // Terminal: the tenant's in-flight quota slot frees up.
     ctx.tenants.release(&spec.tenant, true);

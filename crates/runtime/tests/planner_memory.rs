@@ -1,0 +1,203 @@
+//! Integration tests for the planner-memory sidecar: a cold run persists
+//! the planner's learned per-shape rates at drain, a warm boot adopts them
+//! into the plan cache, and every corruption mode rejects to a cold start
+//! — the run still completes, `planner_warm_rejected` ticks, and the next
+//! drain overwrites the bad sidecar with a fresh valid one. The on-disk
+//! format is byte-stable under save→load→save.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use stencil_runtime::persist::{parse_planner_memory, PERSIST_SCHEMA_VERSION};
+use stencil_runtime::{
+    load_planner_memory, save_planner_memory, JobSpec, PersistError, PlanMode, Runtime,
+    RuntimeConfig,
+};
+
+/// A collision-free temp path for one test's sidecar.
+fn temp_sidecar(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "stencil_planner_memory_{}_{}.json",
+        tag,
+        std::process::id()
+    ))
+}
+
+/// An auto-planned job of a fixed shape class, so every submission after
+/// the first is a plan-cache hit.
+fn auto_job(id: u64) -> JobSpec {
+    let mut s = JobSpec::new_2d(id, 1, 96, 32, 3);
+    s.plan = PlanMode::Auto;
+    s
+}
+
+/// Runs `jobs` auto-planned jobs against `sidecar` and returns the final
+/// counter values named by `counters`.
+fn run_with_sidecar(sidecar: &Path, jobs: u64, counters: &[&str]) -> Vec<u64> {
+    let rt = Runtime::start(RuntimeConfig {
+        shadow_percent: 0,
+        planner_memory: Some(sidecar.to_path_buf()),
+        ..RuntimeConfig::default()
+    });
+    for id in 0..jobs {
+        rt.submit(auto_job(id)).expect("admission");
+    }
+    assert!(
+        rt.wait_for_results(jobs as usize, Duration::from_secs(120)),
+        "jobs stuck"
+    );
+    let metrics = rt.metrics().clone();
+    let outcome = rt.drain();
+    assert_eq!(outcome.results.len(), jobs as usize, "run completes");
+    counters
+        .iter()
+        .map(|name| metrics.counter(name).get())
+        .collect()
+}
+
+/// Cold run saves a sidecar at drain; the warm boot adopts its shapes,
+/// serves warm cache hits, and the format round-trips byte-stably.
+#[test]
+fn cold_run_saves_and_warm_boot_reuses_the_sidecar() {
+    let path = temp_sidecar("roundtrip");
+    let _ = std::fs::remove_file(&path);
+
+    // Cold: nothing to load, drain persists the learned rates.
+    let cold = run_with_sidecar(
+        &path,
+        8,
+        &[
+            "planner_warm_shapes",
+            "planner_warm_rejected",
+            "plan_cache_warm_hits",
+            "planner_memory_saved",
+        ],
+    );
+    assert_eq!(cold[0], 0, "cold boot adopts nothing");
+    assert_eq!(cold[1], 0, "nothing to reject");
+    assert_eq!(cold[2], 0, "no warm entries to hit");
+    assert_eq!(cold[3], 1, "drain saved the sidecar");
+    assert!(path.exists(), "sidecar written");
+
+    // The saved sidecar parses and carries the single shape class served.
+    let memory = load_planner_memory(&path).expect("sidecar valid");
+    assert_eq!(memory.shapes.len(), 1, "one shape class in the workload");
+    assert!(
+        memory.shapes[0].stats.iter().any(|s| s.samples > 0),
+        "measured rates persisted, not placeholders"
+    );
+
+    // save -> load -> save is byte-stable.
+    let text = std::fs::read_to_string(&path).expect("readable");
+    let resaved = temp_sidecar("roundtrip_resave");
+    save_planner_memory(&resaved, &memory).expect("resave");
+    assert_eq!(
+        text,
+        std::fs::read_to_string(&resaved).expect("readable"),
+        "save -> load -> save must not perturb a byte"
+    );
+    let _ = std::fs::remove_file(&resaved);
+
+    // Warm: the boot adopts the shape and serves warm cache hits.
+    let warm = run_with_sidecar(
+        &path,
+        8,
+        &[
+            "planner_warm_shapes",
+            "planner_warm_rejected",
+            "plan_cache_warm_hits",
+            "planner_memory_saved",
+        ],
+    );
+    assert_eq!(warm[0], 1, "warm boot adopts the persisted shape");
+    assert_eq!(warm[1], 0, "valid sidecar is not rejected");
+    assert!(warm[2] >= 1, "cache hits land on the warm entry");
+    assert_eq!(warm[3], 1, "drain re-saves the refreshed rates");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Every corruption mode maps to its exact typed [`PersistError`] at the
+/// parse layer, and at the runtime layer rejects to a cold start: the run
+/// completes, `planner_warm_rejected` ticks, and drain replaces the bad
+/// sidecar with a fresh valid one.
+#[test]
+fn corrupt_sidecars_reject_to_cold_start_and_are_replaced() {
+    let path = temp_sidecar("corrupt");
+    let _ = std::fs::remove_file(&path);
+    run_with_sidecar(&path, 4, &[]);
+    let good = std::fs::read_to_string(&path).expect("valid sidecar");
+
+    // Truncated: shape lines cut off after the header.
+    let header_end = good.find('\n').expect("header line");
+    let truncated = &good[..header_end + 1];
+    assert!(matches!(
+        parse_planner_memory(truncated),
+        Err(PersistError::Truncated)
+    ));
+
+    // Bad checksum: one flipped payload byte.
+    let mut flipped = good.clone();
+    let digit = flipped
+        .rfind("\"samples\":")
+        .map(|i| i + "\"samples\":".len())
+        .expect("stat field");
+    flipped.replace_range(digit..digit + 1, "9");
+    assert!(matches!(
+        parse_planner_memory(&flipped),
+        Err(PersistError::BadChecksum { .. })
+    ));
+
+    // Wrong version: a future schema in the header.
+    let bumped = good.replace(
+        &format!("\"schema_version\":{PERSIST_SCHEMA_VERSION}"),
+        &format!("\"schema_version\":{}", PERSIST_SCHEMA_VERSION + 1),
+    );
+    assert_ne!(bumped, good, "version field located");
+    assert!(matches!(
+        parse_planner_memory(&bumped),
+        Err(PersistError::WrongVersion { found }) if found == PERSIST_SCHEMA_VERSION + 1
+    ));
+
+    // Each corrupt sidecar rejects to a cold start at boot; the run still
+    // completes and drain overwrites the corpse with a valid sidecar.
+    for (label, bad) in [
+        ("truncated", truncated.to_string()),
+        ("bad-checksum", flipped),
+        ("wrong-version", bumped),
+    ] {
+        std::fs::write(&path, &bad).expect("plant corruption");
+        let counters = run_with_sidecar(
+            &path,
+            4,
+            &[
+                "planner_warm_shapes",
+                "planner_warm_rejected",
+                "planner_memory_saved",
+            ],
+        );
+        assert_eq!(counters[0], 0, "{label}: nothing adopted");
+        assert_eq!(counters[1], 1, "{label}: exactly one rejection");
+        assert_eq!(counters[2], 1, "{label}: drain re-saved");
+        load_planner_memory(&path)
+            .unwrap_or_else(|e| panic!("{label}: drain must leave a valid sidecar, got {e:?}"));
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A sidecar for a different device profile is rejected: rates measured
+/// against HBM candidate tables must never seed a DDR planner.
+#[test]
+fn device_mismatch_rejects_the_sidecar() {
+    let path = temp_sidecar("device");
+    let _ = std::fs::remove_file(&path);
+    run_with_sidecar(&path, 4, &[]);
+
+    let mut memory = load_planner_memory(&path).expect("valid");
+    memory.device = "hbm".into();
+    save_planner_memory(&path, &memory).expect("resave");
+
+    let counters = run_with_sidecar(&path, 4, &["planner_warm_shapes", "planner_warm_rejected"]);
+    assert_eq!(counters[0], 0, "nothing adopted across devices");
+    assert_eq!(counters[1], 1, "device mismatch rejected");
+    let _ = std::fs::remove_file(&path);
+}

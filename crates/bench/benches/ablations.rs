@@ -6,12 +6,17 @@
 //! * temporal wave-front depth on the CPU (§V.B),
 //! * overlapped-blocking redundancy vs chain depth,
 //! * generic runtime-radius row kernel vs the radius/lane-monomorphized
-//!   dispatch (`kernels_specialized`).
+//!   dispatch (`kernels_specialized`),
+//! * kernel-IR 3-way on box stencils: frozen reference interpreter vs the
+//!   scalar compiled kernel vs the lane-vectorized specialized kernel
+//!   (`kernels_ir`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpga_sim::{timing, FpgaDevice, GridDims, TimingOptions};
 use stencil_core::simd::{row_2d_generic, select_row_2d};
-use stencil_core::{BlockConfig, Grid2D, Stencil2D};
+use stencil_core::{
+    compile_2d, kernel_ir, BlockConfig, BoundaryCond, Grid2D, KernelDesc, Stencil2D,
+};
 
 fn bench_memctrl_coalescing(c: &mut Criterion) {
     let device = FpgaDevice::arria10_gx1150();
@@ -171,12 +176,43 @@ fn bench_kernels_specialized(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_kernels_ir(c: &mut Criterion) {
+    // Whole-grid kernel-IR comparison on the shapes the star fast path
+    // cannot express: periodic-boundary box stencils. Three data paths per
+    // radius — the frozen generic-reference interpreter, the scalar
+    // (lane width 1) compiled kernel, and the lane-8 specialized kernel —
+    // all bit-exact by the specializer's contract, so any gap is pure
+    // specialization.
+    let (nx, ny, iters) = (512usize, 128usize, 2usize);
+    let grid = Grid2D::from_fn(nx, ny, |x, y| ((x * 5 + y * 11) % 97) as f32).unwrap();
+    let mut g = c.benchmark_group("kernels_ir");
+    g.sample_size(10);
+    for rad in [2usize, 4] {
+        let desc = KernelDesc::box_2d(rad, rad as u64, BoundaryCond::Periodic).unwrap();
+        g.bench_with_input(BenchmarkId::new("reference", rad), &desc, |b, desc| {
+            b.iter(|| std::hint::black_box(kernel_ir::reference_run_2d(desc, &grid, iters)))
+        });
+        let scalar = compile_2d::<f32>(&desc, 1).unwrap();
+        g.bench_with_input(BenchmarkId::new("scalar", rad), &scalar, |b, k| {
+            b.iter(|| std::hint::black_box(k.run(&grid, iters)))
+        });
+        let specialized = compile_2d::<f32>(&desc, 8).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("specialized", rad),
+            &specialized,
+            |b, k| b.iter(|| std::hint::black_box(k.run(&grid, iters))),
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_memctrl_coalescing,
     bench_parvec_sweep,
     bench_wavefront_depth,
     bench_overlap_redundancy,
-    bench_kernels_specialized
+    bench_kernels_specialized,
+    bench_kernels_ir
 );
 criterion_main!(benches);

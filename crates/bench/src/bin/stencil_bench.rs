@@ -22,6 +22,12 @@
 //! (lane width 1, the pre-SIMD data path), and the block-parallel
 //! lane-vectorized path (lane width = `parvec`) — and writes cells/s for
 //! each plus both speedups and the run's counters to `BENCH_simulator.json`.
+//! The same file gains a kernel-IR section — rows discriminated by a
+//! `kernel_class` field — sweeping box / asymmetric / star descriptors
+//! through the 3-way comparison the kernel specializer is built around:
+//! the frozen generic-reference interpreter, the scalar (lane width 1)
+//! compiled kernel, and the lane-vectorized specialized kernel, with all
+//! three checked bit-exact against each other before timings are recorded.
 //! `--quick` shrinks the grids and times a single repetition so the matrix
 //! doubles as a CI smoke test; `--check-matrix FILE` validates an emitted
 //! JSON file against the documented schema (exit 2 on mismatch).
@@ -29,7 +35,10 @@
 use cpu_engine::{engines, measure, Tile};
 use fpga_sim::{functional, Accelerator, FpgaDevice, SimCounters};
 use serde::Serialize;
-use stencil_core::{exec, BlockConfig, Grid2D, Grid3D, Stencil2D, Stencil3D};
+use stencil_core::{
+    compile_2d, compile_3d, exec, kernel_ir, BlockConfig, BoundaryCond, Grid2D, Grid3D,
+    KernelClass, KernelDesc, Stencil2D, Stencil3D,
+};
 
 #[derive(Debug)]
 struct Args {
@@ -266,6 +275,40 @@ struct MatrixEntry {
     counters: SimCounters,
 }
 
+/// One kernel-IR row of `BENCH_simulator.json`: a declarative [`KernelDesc`]
+/// timed on the frozen generic-reference interpreter, the compiled kernel
+/// at lane width 1 (the scalar generic path), and the compiled kernel at
+/// full lane width (the runtime-specialized path). The `kernel_class` field
+/// discriminates these rows from the legacy star-matrix entries, which stay
+/// byte-compatible with the old schema.
+#[derive(Debug, Serialize)]
+struct KernelMatrixEntry {
+    /// Tap family (`star`/`box`/`asymmetric`).
+    kernel_class: String,
+    /// Boundary condition (`clamp`/`periodic`/`reflective`).
+    boundary: String,
+    dim: usize,
+    rad: usize,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    iters: usize,
+    /// Taps in the desc (the per-cell multiply count).
+    taps: usize,
+    /// Lane width the specialized run executed with.
+    lanes: u64,
+    reference_secs: f64,
+    scalar_secs: f64,
+    specialized_secs: f64,
+    reference_cells_per_s: f64,
+    scalar_cells_per_s: f64,
+    specialized_cells_per_s: f64,
+    /// Specialized path vs the frozen generic-reference interpreter.
+    speedup: f64,
+    /// Specialized path vs the scalar (lane width 1) compiled kernel.
+    speedup_vs_scalar: f64,
+}
+
 /// Sweeps the fixed configuration matrix — 2D and 3D, radius 1 through 4 —
 /// comparing `functional::run_*_serial` (the seed's single-thread per-cell
 /// data path) with the block-parallel zero-allocation path, and writes the
@@ -284,6 +327,139 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
         best = best.min(secs);
     }
     (result, best)
+}
+
+/// Sweeps the kernel-IR shapes — box/asymmetric/star tap families under
+/// non-clamp boundaries — timing the frozen generic-reference interpreter,
+/// the compiled kernel at lane width 1 (scalar generic), and the compiled
+/// kernel at full lane width (specialized). Every path is verified
+/// bit-exact against the reference before its timing is recorded.
+fn kernel_matrix(quick: bool, reps: usize) -> Vec<KernelMatrixEntry> {
+    const KERNEL_LANES: usize = 8;
+    let shapes: &[(usize, KernelClass, BoundaryCond, usize)] = &[
+        (2, KernelClass::Box, BoundaryCond::Periodic, 2),
+        (2, KernelClass::Box, BoundaryCond::Clamp, 4),
+        (2, KernelClass::Asymmetric, BoundaryCond::Reflective, 3),
+        (2, KernelClass::Star, BoundaryCond::Clamp, 4),
+        (3, KernelClass::Box, BoundaryCond::Periodic, 2),
+    ];
+    let mut entries = Vec::new();
+    for &(dim, class, boundary, rad) in shapes {
+        let seed = rad as u64;
+        let entry = if dim == 2 {
+            let desc = match class {
+                KernelClass::Star => KernelDesc::star_2d(rad, seed, boundary),
+                KernelClass::Box => KernelDesc::box_2d(rad, seed, boundary),
+                KernelClass::Asymmetric => KernelDesc::asymmetric_2d(rad, seed, boundary),
+            }
+            .unwrap();
+            let (nx, ny, iters) = if quick { (256, 64, 2) } else { (1024, 384, 8) };
+            let grid = Grid2D::from_fn(nx, ny, |x, y| ((x * 31 + y * 17) % 103) as f32).unwrap();
+            let (reference, reference_secs) =
+                time_best(reps, || kernel_ir::reference_run_2d(&desc, &grid, iters));
+            let scalar_kernel = compile_2d::<f32>(&desc, 1).unwrap();
+            let (scalar, scalar_secs) = time_best(reps, || scalar_kernel.run(&grid, iters));
+            let specialized_kernel = compile_2d::<f32>(&desc, KERNEL_LANES).unwrap();
+            let (specialized, specialized_secs) =
+                time_best(reps, || specialized_kernel.run(&grid, iters));
+            assert_eq!(
+                reference, scalar,
+                "2D {class:?}/{boundary:?} rad {rad}: scalar diverged from reference"
+            );
+            assert_eq!(
+                reference, specialized,
+                "2D {class:?}/{boundary:?} rad {rad}: specialized diverged from reference"
+            );
+            let cells = (nx * ny * iters) as f64;
+            KernelMatrixEntry {
+                kernel_class: class.name().to_string(),
+                boundary: boundary.name().to_string(),
+                dim,
+                rad,
+                nx,
+                ny,
+                nz: 1,
+                iters,
+                taps: desc.taps.len(),
+                lanes: specialized_kernel.lanes() as u64,
+                reference_secs,
+                scalar_secs,
+                specialized_secs,
+                reference_cells_per_s: cells / reference_secs,
+                scalar_cells_per_s: cells / scalar_secs,
+                specialized_cells_per_s: cells / specialized_secs,
+                speedup: reference_secs / specialized_secs,
+                speedup_vs_scalar: scalar_secs / specialized_secs,
+            }
+        } else {
+            let desc = match class {
+                KernelClass::Star => KernelDesc::star_3d(rad, seed, boundary),
+                KernelClass::Box => KernelDesc::box_3d(rad, seed, boundary),
+                KernelClass::Asymmetric => KernelDesc::asymmetric_3d(rad, seed, boundary),
+            }
+            .unwrap();
+            let (nx, ny, nz, iters) = if quick {
+                (48, 32, 12, 2)
+            } else {
+                (128, 96, 16, 2)
+            };
+            let grid =
+                Grid3D::from_fn(nx, ny, nz, |x, y, z| ((x + 3 * y + 7 * z) % 53) as f32).unwrap();
+            let (reference, reference_secs) =
+                time_best(reps, || kernel_ir::reference_run_3d(&desc, &grid, iters));
+            let scalar_kernel = compile_3d::<f32>(&desc, 1).unwrap();
+            let (scalar, scalar_secs) = time_best(reps, || scalar_kernel.run(&grid, iters));
+            let specialized_kernel = compile_3d::<f32>(&desc, KERNEL_LANES).unwrap();
+            let (specialized, specialized_secs) =
+                time_best(reps, || specialized_kernel.run(&grid, iters));
+            assert_eq!(
+                reference, scalar,
+                "3D {class:?}/{boundary:?} rad {rad}: scalar diverged from reference"
+            );
+            assert_eq!(
+                reference, specialized,
+                "3D {class:?}/{boundary:?} rad {rad}: specialized diverged from reference"
+            );
+            let cells = (nx * ny * nz * iters) as f64;
+            KernelMatrixEntry {
+                kernel_class: class.name().to_string(),
+                boundary: boundary.name().to_string(),
+                dim,
+                rad,
+                nx,
+                ny,
+                nz,
+                iters,
+                taps: desc.taps.len(),
+                lanes: specialized_kernel.lanes() as u64,
+                reference_secs,
+                scalar_secs,
+                specialized_secs,
+                reference_cells_per_s: cells / reference_secs,
+                scalar_cells_per_s: cells / scalar_secs,
+                specialized_cells_per_s: cells / specialized_secs,
+                speedup: reference_secs / specialized_secs,
+                speedup_vs_scalar: scalar_secs / specialized_secs,
+            }
+        };
+        println!(
+            "{}D {}/{} rad {} ({} taps): reference {:.3e}, scalar {:.3e}, \
+             {} lanes {:.3e} cells/s — {:.2}x vs reference, {:.2}x vs scalar",
+            entry.dim,
+            entry.kernel_class,
+            entry.boundary,
+            entry.rad,
+            entry.taps,
+            entry.reference_cells_per_s,
+            entry.scalar_cells_per_s,
+            entry.lanes,
+            entry.specialized_cells_per_s,
+            entry.speedup,
+            entry.speedup_vs_scalar,
+        );
+        entries.push(entry);
+    }
+    entries
 }
 
 fn simulator_matrix(out: &str, quick: bool) {
@@ -407,12 +583,25 @@ fn simulator_matrix(out: &str, quick: bool) {
         entries.push(entry);
     }
 
-    let json = serde_json::to_string_pretty(&entries).expect("matrix serialize");
+    let kernel_entries = kernel_matrix(quick, reps);
+    // The two entry shapes share one array; kernel-IR rows are
+    // discriminated by their `kernel_class` field.
+    let rows: Vec<serde::Value> = entries
+        .iter()
+        .map(Serialize::to_value)
+        .chain(kernel_entries.iter().map(Serialize::to_value))
+        .collect();
+    let json = serde_json::to_string_pretty(&rows).expect("matrix serialize");
     if let Err(e) = std::fs::write(out, json + "\n") {
         eprintln!("stencil_bench: cannot write {out}: {e}");
         std::process::exit(2);
     }
-    println!("wrote {out} ({} entries)", entries.len());
+    println!(
+        "wrote {out} ({} entries: {} star-matrix, {} kernel-IR)",
+        rows.len(),
+        entries.len(),
+        kernel_entries.len()
+    );
 }
 
 /// Validates a `--simulator-matrix` output file against the documented

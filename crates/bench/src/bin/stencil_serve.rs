@@ -6,10 +6,12 @@
 //!               [--auto-plan] [--plan-explain] [--device ddr|hbm]
 //!               [--tenants N] [--tenant-weight NAME=W] [--tenant-cap NAME=C]
 //!               [--mean-arrival-us U] [--stream-out FILE|-]
-//!               [--fairness-ratio F] [--programs] [--out BENCH_serve.json]
+//!               [--fairness-ratio F] [--programs] [--kernels]
+//!               [--out BENCH_serve.json]
 //! stencil_serve --workload FILE.jsonl [--out FILE]
 //! stencil_serve --synthetic --emit-workload FILE.jsonl [--jobs N] [--seed S]
 //! stencil_serve --check-report FILE [--min-pool-hit-rate F] [--min-warm-convergence F]
+//!               [--min-kernel-cache-hit-rate F]
 //! stencil_serve --diff-winners A.json B.json
 //! stencil_serve --check-trace FILE.jsonl
 //! stencil_serve --trace-summary FILE.jsonl
@@ -56,6 +58,16 @@
 //! the serial program interpreter, and accounted in the report's
 //! `dataflow` section (pipelined vs 1-device sequential makespans). Also
 //! honored by `--emit-workload`, so program jobs replay over `--workload`.
+//!
+//! `--kernels` mixes declarative *kernel-desc* jobs into the synthetic
+//! stream (a quarter of the ids, disjoint from the `--programs` slice):
+//! star/box/asymmetric tap families under clamp/periodic/reflective
+//! boundaries, lowered at runtime by the kernel specializer, cached in the
+//! compiled-kernel memo, and every one bit-verified against the frozen
+//! generic-reference interpreter. `--check-report
+//! --min-kernel-cache-hit-rate F` then gates on the report's
+//! `memory.kernel_memo_hit_rate` — the CI assertion that repeated kernel
+//! shapes actually reuse compiled kernels instead of re-specializing.
 //!
 //! `--trace-out FILE` makes the runtime emit one JSONL
 //! [`stencil_runtime::TraceRecord`] per terminal job — span timestamps for
@@ -113,6 +125,7 @@ struct Args {
     diff_winners: Option<(String, String)>,
     tenants: usize,
     programs: bool,
+    kernels: bool,
     tenant_policy: TenantPolicy,
     mean_arrival_us: Option<u64>,
     stream_out: Option<String>,
@@ -122,6 +135,7 @@ struct Args {
     check_trace: Option<String>,
     trace_summary: Option<String>,
     min_warm_convergence: Option<f64>,
+    min_kernel_cache_hit_rate: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -144,6 +158,7 @@ fn parse_args() -> Args {
         diff_winners: None,
         tenants: 1,
         programs: false,
+        kernels: false,
         tenant_policy: TenantPolicy::default(),
         mean_arrival_us: None,
         stream_out: None,
@@ -153,6 +168,7 @@ fn parse_args() -> Args {
         check_trace: None,
         trace_summary: None,
         min_warm_convergence: None,
+        min_kernel_cache_hit_rate: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -185,6 +201,7 @@ fn parse_args() -> Args {
             }
             "--tenants" => a.tenants = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--programs" => a.programs = true,
+            "--kernels" => a.kernels = true,
             "--tenant-weight" => {
                 let (name, w) = split_kv(&take(&mut i));
                 let weight: u64 = w.parse().unwrap_or_else(|_| usage());
@@ -230,6 +247,13 @@ fn parse_args() -> Args {
                 }
                 a.min_warm_convergence = Some(v);
             }
+            "--min-kernel-cache-hit-rate" => {
+                let v: f64 = take(&mut i).parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&v) {
+                    usage();
+                }
+                a.min_kernel_cache_hit_rate = Some(v);
+            }
             "--trace-out" => a.trace_out = Some(take(&mut i)),
             "--planner-memory" => a.planner_memory = Some(take(&mut i)),
             "--check-trace" => a.check_trace = Some(take(&mut i)),
@@ -257,7 +281,11 @@ fn parse_args() -> Args {
     {
         usage();
     }
-    if (a.min_pool_hit_rate.is_some() || a.min_warm_convergence.is_some()) && a.check.is_none() {
+    if (a.min_pool_hit_rate.is_some()
+        || a.min_warm_convergence.is_some()
+        || a.min_kernel_cache_hit_rate.is_some())
+        && a.check.is_none()
+    {
         usage();
     }
     // Trace emission and planner persistence only make sense on a run.
@@ -265,9 +293,9 @@ fn parse_args() -> Args {
     if (a.trace_out.is_some() || a.planner_memory.is_some()) && !running {
         usage();
     }
-    // Program workloads are synthesized; replay files carry their own
-    // program jobs inline.
-    if a.programs && !a.synthetic {
+    // Program and kernel workloads are synthesized; replay files carry
+    // their own program/kernel jobs inline.
+    if (a.programs || a.kernels) && !a.synthetic {
         usage();
     }
     a
@@ -285,14 +313,14 @@ fn usage() -> ! {
     eprintln!(
         "usage: stencil_serve --synthetic [--jobs N] [--seed S] [--quick] \
          [--shadow-pct P] [--queue-cap C] [--workers W] [--auto-plan] \
-         [--plan-explain] [--device ddr|hbm] [--tenants N] [--programs] \
+         [--plan-explain] [--device ddr|hbm] [--tenants N] [--programs] [--kernels] \
          [--tenant-weight NAME=W] [--tenant-cap NAME=C] [--mean-arrival-us U] \
          [--stream-out FILE|-] [--fairness-ratio F] [--trace-out FILE.jsonl] \
          [--planner-memory FILE] [--out FILE]\
          \n       stencil_serve --workload FILE.jsonl [--auto-plan] [--out FILE]\
          \n       stencil_serve --synthetic --emit-workload FILE.jsonl [--jobs N] [--seed S]\
          \n       stencil_serve --check-report FILE [--min-pool-hit-rate F] \
-         [--min-warm-convergence F]\
+         [--min-warm-convergence F] [--min-kernel-cache-hit-rate F]\
          \n       stencil_serve --diff-winners A.json B.json\
          \n       stencil_serve --check-trace FILE.jsonl\
          \n       stencil_serve --trace-summary FILE.jsonl"
@@ -303,7 +331,12 @@ fn usage() -> ! {
 fn main() {
     let a = parse_args();
     if let Some(file) = &a.check {
-        check_report(file, a.min_pool_hit_rate, a.min_warm_convergence);
+        check_report(
+            file,
+            a.min_pool_hit_rate,
+            a.min_warm_convergence,
+            a.min_kernel_cache_hit_rate,
+        );
         return;
     }
     if let Some((left, right)) = &a.diff_winners {
@@ -325,6 +358,7 @@ fn main() {
     let mut params = SyntheticParams::new(a.jobs, a.seed, a.quick);
     params.tenants = a.tenants;
     params.programs = a.programs;
+    params.kernels = a.kernels;
     if let Some(u) = a.mean_arrival_us {
         params.mean_arrival_us = u;
     }
@@ -368,7 +402,7 @@ fn main() {
 
     println!(
         "stencil_serve: {kind} workload (seed {seed}{}), queue cap {}, \
-         {} workers/shard, shadow {}%, device {}, mean arrival {} us{}{}{}{}",
+         {} workers/shard, shadow {}%, device {}, mean arrival {} us{}{}{}{}{}",
         if a.quick { ", quick" } else { "" },
         a.queue_cap,
         a.workers,
@@ -377,6 +411,7 @@ fn main() {
         params.mean_arrival_us,
         if a.auto_plan { ", auto-planned" } else { "" },
         if a.programs { ", programs" } else { "" },
+        if a.kernels { ", kernels" } else { "" },
         if a.tenants > 1 {
             format!(", {} tenants", a.tenants)
         } else {
@@ -616,6 +651,15 @@ fn print_summary(r: &ServeReport) {
         m.stencil_memo_hits,
         m.stencil_memo_misses,
     );
+    if m.kernel_memo_hits + m.kernel_memo_misses > 0 {
+        println!(
+            "  kernel cache: {:.0}% hit ({} hits / {} misses, {} evicted)",
+            m.kernel_memo_hit_rate * 100.0,
+            m.kernel_memo_hits,
+            m.kernel_memo_misses,
+            m.kernel_memo_evictions,
+        );
+    }
     for t in &r.tenants {
         println!(
             "    tenant {:>10} (w{}): {} admitted, {} quota-rejected, \
@@ -715,8 +759,16 @@ fn print_plan_tables(shapes: &[stencil_runtime::planner::ShapeSnapshot]) {
 /// actually pooled. With `--min-warm-convergence F`, requires the run to
 /// have warm-started from a planner-memory sidecar and reached its final
 /// cache hit rate within the first `F` fraction of plan requests — the CI
-/// gate that keeps the sidecar actually useful.
-fn check_report(path: &str, min_pool_hit_rate: Option<f64>, min_warm_convergence: Option<f64>) {
+/// gate that keeps the sidecar actually useful. With
+/// `--min-kernel-cache-hit-rate F`, requires the compiled-kernel cache's
+/// hit rate to reach `F` — the CI gate that keeps repeated kernel shapes
+/// reusing compiled kernels instead of re-specializing.
+fn check_report(
+    path: &str,
+    min_pool_hit_rate: Option<f64>,
+    min_warm_convergence: Option<f64>,
+    min_kernel_cache_hit_rate: Option<f64>,
+) {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -771,6 +823,28 @@ fn check_report(path: &str, min_pool_hit_rate: Option<f64>, min_warm_convergence
             t.warm_shapes_loaded,
             t.converged_at_fraction * 100.0,
             max_fraction * 100.0
+        );
+    }
+    if let Some(min) = min_kernel_cache_hit_rate {
+        let report: ServeReport = serde_json::from_str(&text).expect("validated above");
+        let m = &report.memory;
+        if m.kernel_memo_hits + m.kernel_memo_misses == 0 {
+            eprintln!(
+                "stencil_serve: {path}: no compiled-kernel cache activity — \
+                 the run never executed a kernel-desc job"
+            );
+            std::process::exit(2);
+        }
+        if m.kernel_memo_hit_rate < min {
+            eprintln!(
+                "stencil_serve: {path}: kernel cache hit rate {:.3} below required {min:.3}",
+                m.kernel_memo_hit_rate
+            );
+            std::process::exit(2);
+        }
+        println!(
+            "{path}: kernel cache hit rate {:.3} >= {min:.3}",
+            m.kernel_memo_hit_rate
         );
     }
 }

@@ -23,6 +23,28 @@ pub const ENTRY_FLOAT_FIELDS: &[&str] = &[
     "speedup",
     "speedup_vs_scalar",
 ];
+/// Kernel-IR entry fields that must be present and hold non-negative
+/// integers. Kernel-IR rows are discriminated from legacy star-matrix rows
+/// by the presence of `kernel_class`.
+pub const KERNEL_ENTRY_UINT_FIELDS: &[&str] =
+    &["dim", "rad", "nx", "ny", "nz", "iters", "taps", "lanes"];
+/// Kernel-IR entry fields that must be present and hold finite positive
+/// numbers.
+pub const KERNEL_ENTRY_FLOAT_FIELDS: &[&str] = &[
+    "reference_secs",
+    "scalar_secs",
+    "specialized_secs",
+    "reference_cells_per_s",
+    "scalar_cells_per_s",
+    "specialized_cells_per_s",
+    "speedup",
+    "speedup_vs_scalar",
+];
+/// Tap-family names a kernel-IR entry may carry.
+pub const KERNEL_CLASSES: &[&str] = &["star", "box", "asymmetric"];
+/// Boundary-condition names a kernel-IR entry may carry.
+pub const KERNEL_BOUNDARIES: &[&str] = &["clamp", "periodic", "reflective"];
+
 /// `SimCounters` fields that must be present and hold non-negative
 /// integers.
 pub const COUNTER_UINT_FIELDS: &[&str] = &[
@@ -36,10 +58,14 @@ pub const COUNTER_UINT_FIELDS: &[&str] = &[
 ];
 
 /// Validates a `--simulator-matrix` output document against the documented
-/// schema: a non-empty array of entries, each carrying the dimension /
-/// configuration integers (including the executed lane width), the three
-/// timings with derived rates and speedups, and a full `SimCounters`
-/// record. Returns the number of entries on success.
+/// schema: a non-empty array of entries. Legacy star-matrix entries carry
+/// the dimension / configuration integers (including the executed lane
+/// width), the three timings with derived rates and speedups, and a full
+/// `SimCounters` record. Kernel-IR entries — discriminated by the presence
+/// of `kernel_class` — carry the tap family and boundary names plus the
+/// 3-way reference / scalar / specialized timings, with the published
+/// speedups cross-checked against the timings they summarize. Returns the
+/// number of entries on success.
 ///
 /// # Errors
 /// A human-readable description of the first schema violation found.
@@ -58,6 +84,10 @@ pub fn validate_matrix_json(text: &str) -> Result<usize, String> {
             .as_map()
             .map(<[_]>::to_vec)
             .ok_or_else(|| format!("entry {i} is not an object"))?;
+        if get(&map, "kernel_class").is_some() {
+            validate_kernel_entry(i, &map)?;
+            continue;
+        }
         for &key in ENTRY_UINT_FIELDS {
             match get(&map, key).as_ref().and_then(|v| v.as_integer()) {
                 Some(n) if n >= 0 => {}
@@ -131,6 +161,70 @@ pub fn validate_matrix_json(text: &str) -> Result<usize, String> {
     Ok(entries.len())
 }
 
+/// Schema and accounting checks for one kernel-IR matrix row.
+fn validate_kernel_entry(i: usize, map: &[(String, Value)]) -> Result<(), String> {
+    let get = |key: &str| map.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone());
+    let class = get("kernel_class")
+        .as_ref()
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("entry {i}: `kernel_class` is not a string"))?;
+    if !KERNEL_CLASSES.contains(&class.as_str()) {
+        return Err(format!("entry {i}: unknown kernel_class `{class}`"));
+    }
+    let boundary = get("boundary")
+        .as_ref()
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("entry {i}: `boundary` missing or not a string"))?;
+    if !KERNEL_BOUNDARIES.contains(&boundary.as_str()) {
+        return Err(format!("entry {i}: unknown boundary `{boundary}`"));
+    }
+    for &key in KERNEL_ENTRY_UINT_FIELDS {
+        match get(key).as_ref().and_then(Value::as_integer) {
+            Some(n) if n >= 0 => {}
+            _ => {
+                return Err(format!(
+                    "entry {i}: `{key}` missing or not a non-negative integer"
+                ))
+            }
+        }
+    }
+    let mut floats = std::collections::BTreeMap::new();
+    for &key in KERNEL_ENTRY_FLOAT_FIELDS {
+        match get(key).as_ref().and_then(Value::as_f64) {
+            Some(x) if x.is_finite() && x > 0.0 => {
+                floats.insert(key, x);
+            }
+            _ => {
+                return Err(format!(
+                    "entry {i}: `{key}` missing or not a positive number"
+                ))
+            }
+        }
+    }
+    if get("lanes").and_then(|v| v.as_integer()).unwrap_or(0) < 1 {
+        return Err(format!("entry {i}: `lanes` must be >= 1"));
+    }
+    if get("taps").and_then(|v| v.as_integer()).unwrap_or(0) < 1 {
+        return Err(format!("entry {i}: `taps` must be >= 1"));
+    }
+    // The published speedups must agree with the timings they summarize.
+    for (name, num, den) in [
+        ("speedup", "reference_secs", "specialized_secs"),
+        ("speedup_vs_scalar", "scalar_secs", "specialized_secs"),
+    ] {
+        let got = floats[name];
+        let expected = floats[num] / floats[den];
+        if (got - expected).abs() > expected.abs().max(1.0) * 1e-9 {
+            return Err(format!(
+                "entry {i}: `{name}` {got} inconsistent with {num}/{den} ({expected})"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +287,71 @@ mod tests {
         );
         let err = validate_matrix_json(&doc).unwrap_err();
         assert!(err.contains("disagrees"), "{err}");
+    }
+
+    /// A schema-complete kernel-IR entry with self-consistent speedups.
+    pub(crate) fn valid_kernel_entry() -> String {
+        let uints = KERNEL_ENTRY_UINT_FIELDS
+            .iter()
+            .filter(|&&k| k != "lanes")
+            .map(|k| format!("\"{k}\": 2"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{ \"kernel_class\": \"box\", \"boundary\": \"periodic\", {uints}, \
+             \"lanes\": 8, \"reference_secs\": 3.0, \"scalar_secs\": 1.5, \
+             \"specialized_secs\": 0.5, \"reference_cells_per_s\": 1000.0, \
+             \"scalar_cells_per_s\": 2000.0, \"specialized_cells_per_s\": 6000.0, \
+             \"speedup\": 6.0, \"speedup_vs_scalar\": 3.0 }}"
+        )
+    }
+
+    #[test]
+    fn accepts_a_mixed_star_and_kernel_matrix() {
+        let doc = format!("[{}, {}]", valid_entry(), valid_kernel_entry());
+        assert_eq!(validate_matrix_json(&doc), Ok(2));
+    }
+
+    #[test]
+    fn rejects_unknown_kernel_class_and_boundary() {
+        let doc = format!("[{}]", valid_kernel_entry().replace("\"box\"", "\"cross\""));
+        let err = validate_matrix_json(&doc).unwrap_err();
+        assert!(err.contains("unknown kernel_class"), "{err}");
+
+        let doc = format!(
+            "[{}]",
+            valid_kernel_entry().replace("\"periodic\"", "\"mirror\"")
+        );
+        let err = validate_matrix_json(&doc).unwrap_err();
+        assert!(err.contains("unknown boundary"), "{err}");
+    }
+
+    #[test]
+    fn rejects_kernel_speedup_drift() {
+        let doc = format!(
+            "[{}]",
+            valid_kernel_entry().replace("\"speedup\": 6.0", "\"speedup\": 5.0")
+        );
+        let err = validate_matrix_json(&doc).unwrap_err();
+        assert!(err.contains("inconsistent"), "{err}");
+
+        let doc = format!(
+            "[{}]",
+            valid_kernel_entry()
+                .replace("\"speedup_vs_scalar\": 3.0", "\"speedup_vs_scalar\": 4.0")
+        );
+        let err = validate_matrix_json(&doc).unwrap_err();
+        assert!(err.contains("speedup_vs_scalar"), "{err}");
+    }
+
+    #[test]
+    fn rejects_kernel_entry_missing_timing() {
+        let doc = format!(
+            "[{}]",
+            valid_kernel_entry().replace("\"specialized_secs\": 0.5, ", "")
+        );
+        let err = validate_matrix_json(&doc).unwrap_err();
+        assert!(err.contains("specialized_secs"), "{err}");
     }
 
     #[test]

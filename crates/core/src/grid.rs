@@ -441,6 +441,13 @@ impl<T: Real> Grid3D<T> {
         &self.data[s..s + self.ny * self.nx]
     }
 
+    /// Mutable view of the `z`-plane as a flat `nx × ny` slice.
+    #[inline(always)]
+    pub fn plane_mut(&mut self, z: usize) -> &mut [T] {
+        let s = z * self.ny * self.nx;
+        &mut self.data[s..s + self.ny * self.nx]
+    }
+
     /// Fills `out` (row-major `width × height`) with the cells of plane `z`
     /// in the window `[x0, x0 + width) × [y0, y0 + height)`, clamping all
     /// coordinates onto the grid. The bulk-copy analogue of per-cell

@@ -36,8 +36,10 @@ pub mod characteristics;
 pub mod error;
 pub mod exec;
 pub mod grid;
+pub mod kernel_ir;
 pub mod real;
 pub mod simd;
+pub mod specialize;
 pub mod stats;
 pub mod stencil;
 pub mod symmetric;
@@ -48,8 +50,10 @@ pub use blocking::{BlockConfig, BlockSpan, Dim};
 pub use characteristics::StencilCharacteristics;
 pub use error::{Result, StencilError};
 pub use grid::{Grid2D, Grid3D};
+pub use kernel_ir::{BoundaryCond, KernelClass, KernelDesc, TapDesc};
 pub use real::Real;
 pub use simd::{Lanes, RowKernel2D, RowKernel3D};
+pub use specialize::{compile_2d, compile_3d, CompiledKernel2D, CompiledKernel3D};
 pub use stats::FieldStats;
 pub use stencil::{Arm2, Arm3, Direction, Stencil2D, Stencil3D};
 pub use symmetric::{SymmetricStencil2D, SymmetricStencil3D};

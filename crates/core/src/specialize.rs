@@ -1,0 +1,694 @@
+//! Runtime kernel specializer: lowers a [`KernelDesc`] into a vectorized
+//! row kernel without a textual JIT.
+//!
+//! The specializer composes **monomorphized building blocks** that already
+//! exist in the binary — const-generic tap-fusion inner loops
+//! ([`Lanes`]-based, unrolled in chunks of 8/4/2/1 taps) instantiated per
+//! lane width `W ∈ {1, 2, 4, 8}` — and selects the right instantiation at
+//! compile time via a fn pointer. "Compilation" is therefore pure data
+//! preparation (tap planning + table lookup): offline-safe, no codegen, no
+//! new dependencies, and a few microseconds per desc, which is why compiled
+//! kernels are worth caching (`StencilMemo` keys them by
+//! [`KernelDesc::stable_hash`]).
+//!
+//! # Execution model
+//!
+//! A [`CompiledKernel2D`] updates the *x-interior* of one output row from a
+//! window of `2·rad + 1` boundary-resolved source rows
+//! ([`CompiledKernel2D::run_row`]); a [`CompiledKernel3D`] does the same
+//! from a window of `2·rad + 1` source *planes* (full-plane access is what
+//! admits 3D corner taps, which the star row interface cannot express).
+//! Border cells — where an x tap (or, in 3D, a y tap) would leave the grid
+//! — evaluate through [`CompiledKernel2D::eval_cell`] with a caller-supplied
+//! boundary-resolving read. The [`CompiledKernel2D::step_row`] /
+//! [`CompiledKernel3D::step_row`] helpers tie both together for
+//! grid-resident execution and are what the parallel engines fan out over.
+//!
+//! # Bit-exactness
+//!
+//! Per cell, every path — W-lane interior, scalar tail, border
+//! [`CompiledKernel2D::eval_cell`] — evaluates the identical expression in
+//! desc-tap order: first term a multiply, then one separate multiply + add
+//! per tap, no FMA. Lanes are cells and nothing crosses lanes, so the
+//! specialized kernels are bit-identical to the frozen interpreter
+//! ([`crate::kernel_ir::reference_run_2d`]) for *every* desc, and to
+//! `serial_ref` for star/clamp descs (proptested in `fpga-sim`).
+
+use crate::blocking::Dim;
+use crate::error::StencilError;
+use crate::grid::{Grid2D, Grid3D};
+use crate::kernel_ir::{KernelClass, KernelDesc, MAX_KERNEL_RADIUS};
+use crate::real::Real;
+use crate::simd::Lanes;
+
+/// Rows (2D) or planes (3D) in a kernel's source window: `2·rad + 1` at the
+/// largest supported radius.
+pub const MAX_WINDOW: usize = 2 * MAX_KERNEL_RADIUS + 1;
+
+/// A tap with its coefficient converted to execution precision and its
+/// window index precomputed.
+#[derive(Debug, Clone, Copy)]
+struct Planned<T> {
+    /// Index into the row/plane window (`rad + dy` in 2D, `rad + dz` in 3D).
+    win: usize,
+    dx: i32,
+    dy: i32,
+    dz: i32,
+    coeff: T,
+}
+
+type RowFn2<T> = fn(&[Planned<T>], &[&[T]], &mut [T], usize, usize);
+type RowFn3<T> = fn(&[Planned<T>], &[&[T]], usize, usize, &mut [T], usize, usize);
+
+/// One chunk of `K` taps fused into the accumulator — the const-generic
+/// building block the specializer composes. `K` is a compile-time constant,
+/// so LLVM fully unrolls the loop and keeps the whole chunk in registers.
+#[inline(always)]
+fn fuse_chunk_2d<T: Real, const W: usize, const K: usize>(
+    acc: &mut Lanes<T, W>,
+    chunk: &[Planned<T>],
+    rows: &[&[T]],
+    x: usize,
+) {
+    let chunk: &[Planned<T>; K] = chunk.try_into().expect("chunk of K taps");
+    for t in chunk {
+        let xx = (x as isize + t.dx as isize) as usize;
+        acc.add_scaled(t.coeff, Lanes::load(&rows[t.win][xx..]));
+    }
+}
+
+#[inline(always)]
+fn fuse_chunk_3d<T: Real, const W: usize, const K: usize>(
+    acc: &mut Lanes<T, W>,
+    chunk: &[Planned<T>],
+    planes: &[&[T]],
+    width: usize,
+    row_off: usize,
+    x: usize,
+) {
+    let chunk: &[Planned<T>; K] = chunk.try_into().expect("chunk of K taps");
+    for t in chunk {
+        let idx = (row_off as isize + t.dy as isize * width as isize + x as isize + t.dx as isize)
+            as usize;
+        acc.add_scaled(t.coeff, Lanes::load(&planes[t.win][idx..]));
+    }
+}
+
+/// Scalar evaluation of one interior cell, canonical order (used by the
+/// ragged tail and the `W = 1` scalar-generic entry).
+#[inline(always)]
+fn eval_interior_2d<T: Real>(taps: &[Planned<T>], rows: &[&[T]], x: usize) -> T {
+    let (first, rest) = taps.split_first().expect("center tap");
+    let xx = (x as isize + first.dx as isize) as usize;
+    let mut acc = first.coeff * rows[first.win][xx];
+    for t in rest {
+        let xx = (x as isize + t.dx as isize) as usize;
+        acc += t.coeff * rows[t.win][xx];
+    }
+    acc
+}
+
+#[inline(always)]
+fn eval_interior_3d<T: Real>(
+    taps: &[Planned<T>],
+    planes: &[&[T]],
+    width: usize,
+    row_off: usize,
+    x: usize,
+) -> T {
+    let (first, rest) = taps.split_first().expect("center tap");
+    let idx = |t: &Planned<T>| {
+        (row_off as isize + t.dy as isize * width as isize + x as isize + t.dx as isize) as usize
+    };
+    let mut acc = first.coeff * planes[first.win][idx(first)];
+    for t in rest {
+        acc += t.coeff * planes[t.win][idx(t)];
+    }
+    acc
+}
+
+/// The 2D row kernel monomorphized at lane width `W`: W-cell strides of
+/// fused tap chunks, then the scalar canonical-order tail.
+fn row_fn_2d<T: Real, const W: usize>(
+    taps: &[Planned<T>],
+    rows: &[&[T]],
+    dst: &mut [T],
+    x0: usize,
+    x1: usize,
+) {
+    let mut x = x0;
+    if W > 1 {
+        while x + W <= x1 {
+            let (first, rest) = taps.split_first().expect("center tap");
+            let xx = (x as isize + first.dx as isize) as usize;
+            let mut acc = Lanes::<T, W>::load(&rows[first.win][xx..]).mul_coeff(first.coeff);
+            let mut rem = rest;
+            while rem.len() >= 8 {
+                fuse_chunk_2d::<T, W, 8>(&mut acc, &rem[..8], rows, x);
+                rem = &rem[8..];
+            }
+            if rem.len() >= 4 {
+                fuse_chunk_2d::<T, W, 4>(&mut acc, &rem[..4], rows, x);
+                rem = &rem[4..];
+            }
+            if rem.len() >= 2 {
+                fuse_chunk_2d::<T, W, 2>(&mut acc, &rem[..2], rows, x);
+                rem = &rem[2..];
+            }
+            if !rem.is_empty() {
+                fuse_chunk_2d::<T, W, 1>(&mut acc, rem, rows, x);
+            }
+            acc.store(&mut dst[x..]);
+            x += W;
+        }
+    }
+    for (xi, d) in dst.iter_mut().enumerate().take(x1).skip(x) {
+        *d = eval_interior_2d(taps, rows, xi);
+    }
+}
+
+/// The 3D row kernel monomorphized at lane width `W` (see [`row_fn_2d`]).
+fn row_fn_3d<T: Real, const W: usize>(
+    taps: &[Planned<T>],
+    planes: &[&[T]],
+    width: usize,
+    row_off: usize,
+    dst: &mut [T],
+    x0: usize,
+    x1: usize,
+) {
+    let mut x = x0;
+    if W > 1 {
+        while x + W <= x1 {
+            let (first, rest) = taps.split_first().expect("center tap");
+            let idx = (row_off as isize
+                + first.dy as isize * width as isize
+                + x as isize
+                + first.dx as isize) as usize;
+            let mut acc = Lanes::<T, W>::load(&planes[first.win][idx..]).mul_coeff(first.coeff);
+            let mut rem = rest;
+            while rem.len() >= 8 {
+                fuse_chunk_3d::<T, W, 8>(&mut acc, &rem[..8], planes, width, row_off, x);
+                rem = &rem[8..];
+            }
+            if rem.len() >= 4 {
+                fuse_chunk_3d::<T, W, 4>(&mut acc, &rem[..4], planes, width, row_off, x);
+                rem = &rem[4..];
+            }
+            if rem.len() >= 2 {
+                fuse_chunk_3d::<T, W, 2>(&mut acc, &rem[..2], planes, width, row_off, x);
+                rem = &rem[2..];
+            }
+            if !rem.is_empty() {
+                fuse_chunk_3d::<T, W, 1>(&mut acc, rem, planes, width, row_off, x);
+            }
+            acc.store(&mut dst[x..]);
+            x += W;
+        }
+    }
+    for (xi, d) in dst.iter_mut().enumerate().take(x1).skip(x) {
+        *d = eval_interior_3d(taps, planes, width, row_off, xi);
+    }
+}
+
+fn select_lanes(lanes: usize) -> usize {
+    match lanes {
+        8 | 4 | 2 => lanes,
+        _ => 1,
+    }
+}
+
+/// A 2D kernel lowered from a [`KernelDesc`] at a fixed lane width.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel2D<T> {
+    desc: KernelDesc,
+    rad: usize,
+    taps: Vec<Planned<T>>,
+    row_fn: RowFn2<T>,
+    lanes: usize,
+}
+
+/// Lowers a 2D desc at lane width `lanes` (1/2/4/8; anything else selects
+/// the scalar entry). This is data preparation, not codegen — a few
+/// microseconds, cacheable by [`KernelDesc::stable_hash`].
+///
+/// # Errors
+/// Returns [`StencilError`] when the desc is invalid or not 2D.
+pub fn compile_2d<T: Real>(
+    desc: &KernelDesc,
+    lanes: usize,
+) -> Result<CompiledKernel2D<T>, StencilError> {
+    desc.validate()?;
+    if desc.dim != Dim::D2 {
+        return Err(StencilError::InvalidConfig {
+            reason: "compile_2d needs a 2D kernel desc".into(),
+        });
+    }
+    let rad = desc.radius();
+    let taps = desc
+        .taps
+        .iter()
+        .map(|t| Planned {
+            win: (rad as i32 + t.dy) as usize,
+            dx: t.dx,
+            dy: t.dy,
+            dz: 0,
+            coeff: T::from_f64(t.coeff),
+        })
+        .collect();
+    let lanes = select_lanes(lanes);
+    let row_fn = match lanes {
+        8 => row_fn_2d::<T, 8> as RowFn2<T>,
+        4 => row_fn_2d::<T, 4>,
+        2 => row_fn_2d::<T, 2>,
+        _ => row_fn_2d::<T, 1>,
+    };
+    Ok(CompiledKernel2D {
+        desc: desc.clone(),
+        rad,
+        taps,
+        row_fn,
+        lanes,
+    })
+}
+
+impl<T: Real> CompiledKernel2D<T> {
+    /// The desc this kernel was lowered from.
+    pub fn desc(&self) -> &KernelDesc {
+        &self.desc
+    }
+
+    /// Kernel radius.
+    pub fn radius(&self) -> usize {
+        self.rad
+    }
+
+    /// Selected lane width (1 = the scalar-generic entry).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Structural class of the underlying desc.
+    pub fn class(&self) -> KernelClass {
+        self.desc.class()
+    }
+
+    /// Updates interior cells `x0..x1` of one output row.
+    ///
+    /// `rows` is the boundary-resolved source window: `2·rad + 1` full-width
+    /// row slices, `rows[rad]` the current row, `rows[rad + dy]` the row a
+    /// `dy` tap reads. Interior means every x tap stays in range:
+    /// `x0 ≥ rad` and `x1 + rad ≤` row length.
+    ///
+    /// # Panics
+    /// Panics when the window or span preconditions are violated.
+    #[inline]
+    pub fn run_row(&self, rows: &[&[T]], dst: &mut [T], x0: usize, x1: usize) {
+        if x0 >= x1 {
+            return;
+        }
+        assert_eq!(rows.len(), 2 * self.rad + 1, "window height");
+        assert!(x1 <= dst.len(), "dst too short");
+        assert!(x0 >= self.rad, "x0 inside the left halo");
+        assert!(
+            rows.iter().all(|r| r.len() >= x1 + self.rad),
+            "row shorter than x1 + rad"
+        );
+        (self.row_fn)(&self.taps, rows, dst, x0, x1);
+    }
+
+    /// Evaluates one cell through a caller-supplied read of tap `(dx, dy)`
+    /// — the border path, where the caller resolves the boundary condition.
+    /// Identical expression and order as the interior paths.
+    #[inline]
+    pub fn eval_cell(&self, read: impl Fn(i32, i32) -> T) -> T {
+        let (first, rest) = self.taps.split_first().expect("center tap");
+        let mut acc = first.coeff * read(first.dx, first.dy);
+        for t in rest {
+            acc += t.coeff * read(t.dx, t.dy);
+        }
+        acc
+    }
+
+    /// Computes one full output row of a grid-resident step: vectorized
+    /// interior, [`Self::eval_cell`] borders, rows resolved through the
+    /// desc's boundary condition. The unit the parallel engines fan out
+    /// over (`dst_row` rows of a scratch grid are disjoint).
+    ///
+    /// # Panics
+    /// Panics when `dst_row` is not `src.nx()` long or `y` is out of range.
+    pub fn step_row(&self, src: &Grid2D<T>, y: usize, dst_row: &mut [T]) {
+        let (nx, ny) = (src.nx(), src.ny());
+        assert_eq!(dst_row.len(), nx, "dst row width");
+        assert!(y < ny, "row out of range");
+        let rad = self.rad;
+        let bc = self.desc.boundary;
+        let mut rows: [&[T]; MAX_WINDOW] = [src.row(0); MAX_WINDOW];
+        for (k, slot) in rows.iter_mut().enumerate().take(2 * rad + 1) {
+            let yy = bc.resolve(y as i64 + k as i64 - rad as i64, ny as i64);
+            *slot = src.row(yy);
+        }
+        let x_lo = rad.min(nx);
+        let x_hi = nx.saturating_sub(rad).max(x_lo);
+        self.run_row(&rows[..2 * rad + 1], dst_row, x_lo, x_hi);
+        for x in (0..x_lo).chain(x_hi..nx) {
+            dst_row[x] = self.eval_cell(|dx, dy| {
+                let xx = bc.resolve(x as i64 + dx as i64, nx as i64);
+                rows[(rad as i32 + dy) as usize][xx]
+            });
+        }
+    }
+
+    /// One whole grid step ([`Self::step_row`] over every row).
+    ///
+    /// # Panics
+    /// Panics when `src` and `dst` differ in shape.
+    pub fn step_grid(&self, src: &Grid2D<T>, dst: &mut Grid2D<T>) {
+        assert_eq!((src.nx(), src.ny()), (dst.nx(), dst.ny()), "shape mismatch");
+        for y in 0..src.ny() {
+            self.step_row(src, y, dst.row_mut(y));
+        }
+    }
+
+    /// Runs `iters` grid steps serially (ping-pong buffers).
+    pub fn run(&self, grid: &Grid2D<T>, iters: usize) -> Grid2D<T> {
+        let mut src = grid.clone();
+        let mut dst = grid.clone();
+        for _ in 0..iters {
+            self.step_grid(&src, &mut dst);
+            src.swap(&mut dst);
+        }
+        src
+    }
+}
+
+/// A 3D kernel lowered from a [`KernelDesc`] at a fixed lane width.
+///
+/// The source window is `2·rad + 1` boundary-resolved *planes* — corner
+/// taps (`dy ≠ 0` and `dz ≠ 0`) need full-plane access, which the star
+/// kernels' per-distance row slices cannot express.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel3D<T> {
+    desc: KernelDesc,
+    rad: usize,
+    taps: Vec<Planned<T>>,
+    row_fn: RowFn3<T>,
+    lanes: usize,
+}
+
+/// Lowers a 3D desc at lane width `lanes` (see [`compile_2d`]).
+///
+/// # Errors
+/// Returns [`StencilError`] when the desc is invalid or not 3D.
+pub fn compile_3d<T: Real>(
+    desc: &KernelDesc,
+    lanes: usize,
+) -> Result<CompiledKernel3D<T>, StencilError> {
+    desc.validate()?;
+    if desc.dim != Dim::D3 {
+        return Err(StencilError::InvalidConfig {
+            reason: "compile_3d needs a 3D kernel desc".into(),
+        });
+    }
+    let rad = desc.radius();
+    let taps = desc
+        .taps
+        .iter()
+        .map(|t| Planned {
+            win: (rad as i32 + t.dz) as usize,
+            dx: t.dx,
+            dy: t.dy,
+            dz: t.dz,
+            coeff: T::from_f64(t.coeff),
+        })
+        .collect();
+    let lanes = select_lanes(lanes);
+    let row_fn = match lanes {
+        8 => row_fn_3d::<T, 8> as RowFn3<T>,
+        4 => row_fn_3d::<T, 4>,
+        2 => row_fn_3d::<T, 2>,
+        _ => row_fn_3d::<T, 1>,
+    };
+    Ok(CompiledKernel3D {
+        desc: desc.clone(),
+        rad,
+        taps,
+        row_fn,
+        lanes,
+    })
+}
+
+impl<T: Real> CompiledKernel3D<T> {
+    /// The desc this kernel was lowered from.
+    pub fn desc(&self) -> &KernelDesc {
+        &self.desc
+    }
+
+    /// Kernel radius.
+    pub fn radius(&self) -> usize {
+        self.rad
+    }
+
+    /// Selected lane width (1 = the scalar-generic entry).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Structural class of the underlying desc.
+    pub fn class(&self) -> KernelClass {
+        self.desc.class()
+    }
+
+    /// Updates interior cells `x0..x1` of the output row at `row_off`
+    /// (`= y·width`) from a window of `2·rad + 1` boundary-resolved planes
+    /// (`planes[rad + dz]` is the plane a `dz` tap reads; each plane is
+    /// row-major `width`-wide). The row must be y-interior
+    /// (`rad ≤ y < height − rad`) and the span x-interior
+    /// (`x0 ≥ rad`, `x1 + rad ≤ width`).
+    ///
+    /// # Panics
+    /// Panics when the window or span preconditions are violated.
+    #[inline]
+    pub fn run_row(
+        &self,
+        planes: &[&[T]],
+        width: usize,
+        row_off: usize,
+        dst: &mut [T],
+        x0: usize,
+        x1: usize,
+    ) {
+        if x0 >= x1 {
+            return;
+        }
+        assert_eq!(planes.len(), 2 * self.rad + 1, "window depth");
+        assert!(x1 <= dst.len(), "dst too short");
+        assert!(
+            x0 >= self.rad && x1 + self.rad <= width,
+            "x span not interior"
+        );
+        let need = row_off + self.rad * width + x1 + self.rad;
+        assert!(row_off >= self.rad * width, "row inside the south halo");
+        assert!(
+            planes.iter().all(|p| p.len() >= need),
+            "plane shorter than the tap window"
+        );
+        (self.row_fn)(&self.taps, planes, width, row_off, dst, x0, x1);
+    }
+
+    /// Evaluates one cell through a caller-supplied read of tap
+    /// `(dx, dy, dz)` — the border path (see [`CompiledKernel2D::eval_cell`]).
+    #[inline]
+    pub fn eval_cell(&self, read: impl Fn(i32, i32, i32) -> T) -> T {
+        let (first, rest) = self.taps.split_first().expect("center tap");
+        let mut acc = first.coeff * read(first.dx, first.dy, first.dz);
+        for t in rest {
+            acc += t.coeff * read(t.dx, t.dy, t.dz);
+        }
+        acc
+    }
+
+    /// Computes one full output row `(y, z)` of a grid-resident step:
+    /// vectorized x-interior when the row is y-interior, [`Self::eval_cell`]
+    /// everywhere else, planes resolved through the boundary condition.
+    ///
+    /// # Panics
+    /// Panics when `dst_row` is not `src.nx()` long or `(y, z)` is out of
+    /// range.
+    pub fn step_row(&self, src: &Grid3D<T>, y: usize, z: usize, dst_row: &mut [T]) {
+        let (nx, ny, nz) = (src.nx(), src.ny(), src.nz());
+        assert_eq!(dst_row.len(), nx, "dst row width");
+        assert!(y < ny && z < nz, "row out of range");
+        let rad = self.rad;
+        let bc = self.desc.boundary;
+        let mut planes: [&[T]; MAX_WINDOW] = [src.plane(0); MAX_WINDOW];
+        for (k, slot) in planes.iter_mut().enumerate().take(2 * rad + 1) {
+            let zz = bc.resolve(z as i64 + k as i64 - rad as i64, nz as i64);
+            *slot = src.plane(zz);
+        }
+        let planes = &planes[..2 * rad + 1];
+        let y_interior = y >= rad && y + rad < ny;
+        let x_lo = rad.min(nx);
+        let x_hi = nx.saturating_sub(rad).max(x_lo);
+        if y_interior {
+            self.run_row(planes, nx, y * nx, dst_row, x_lo, x_hi);
+        }
+        let border_x = if y_interior {
+            (0..x_lo).chain(x_hi..nx)
+        } else {
+            #[allow(clippy::reversed_empty_ranges)]
+            (0..nx).chain(1..1)
+        };
+        for x in border_x {
+            dst_row[x] = self.eval_cell(|dx, dy, dz| {
+                let xx = bc.resolve(x as i64 + dx as i64, nx as i64);
+                let yy = bc.resolve(y as i64 + dy as i64, ny as i64);
+                planes[(rad as i32 + dz) as usize][yy * nx + xx]
+            });
+        }
+    }
+
+    /// One whole grid step ([`Self::step_row`] over every row of every
+    /// plane).
+    ///
+    /// # Panics
+    /// Panics when `src` and `dst` differ in shape.
+    pub fn step_grid(&self, src: &Grid3D<T>, dst: &mut Grid3D<T>) {
+        assert_eq!(
+            (src.nx(), src.ny(), src.nz()),
+            (dst.nx(), dst.ny(), dst.nz()),
+            "shape mismatch"
+        );
+        let nx = src.nx();
+        for z in 0..src.nz() {
+            for y in 0..src.ny() {
+                let row = &mut dst.plane_mut(z)[y * nx..(y + 1) * nx];
+                self.step_row(src, y, z, row);
+            }
+        }
+    }
+
+    /// Runs `iters` grid steps serially (ping-pong buffers).
+    pub fn run(&self, grid: &Grid3D<T>, iters: usize) -> Grid3D<T> {
+        let mut src = grid.clone();
+        let mut dst = grid.clone();
+        for _ in 0..iters {
+            self.step_grid(&src, &mut dst);
+            src.swap(&mut dst);
+        }
+        src
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec;
+    use crate::kernel_ir::{reference_run_2d, reference_run_3d, BoundaryCond};
+    use crate::stencil::{Stencil2D, Stencil3D};
+
+    fn grid_2d(nx: usize, ny: usize) -> Grid2D<f32> {
+        Grid2D::from_fn(nx, ny, |x, y| ((x * 31 + y * 17) % 103) as f32 - 51.0).unwrap()
+    }
+
+    fn grid_3d(nx: usize, ny: usize, nz: usize) -> Grid3D<f32> {
+        Grid3D::from_fn(nx, ny, nz, |x, y, z| {
+            ((x + 3 * y + 7 * z) % 53) as f32 - 26.0
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn every_lane_width_matches_reference_2d() {
+        for bc in BoundaryCond::ALL {
+            for rad in [1usize, 2, 3] {
+                let desc = KernelDesc::box_2d(rad, 11 + rad as u64, bc).unwrap();
+                let grid = grid_2d(37, 9);
+                let expect = reference_run_2d::<f32>(&desc, &grid, 3);
+                for lanes in [1usize, 2, 4, 8] {
+                    let k = compile_2d::<f32>(&desc, lanes).unwrap();
+                    assert_eq!(k.lanes(), lanes);
+                    assert_eq!(k.run(&grid, 3), expect, "{bc} rad {rad} lanes {lanes}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_lane_width_matches_reference_3d() {
+        for bc in BoundaryCond::ALL {
+            let desc = KernelDesc::box_3d(2, 5, bc).unwrap();
+            let grid = grid_3d(13, 9, 7);
+            let expect = reference_run_3d::<f32>(&desc, &grid, 2);
+            for lanes in [1usize, 2, 4, 8] {
+                let k = compile_3d::<f32>(&desc, lanes).unwrap();
+                assert_eq!(k.run(&grid, 2), expect, "{bc} lanes {lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn star_clamp_matches_serial_oracle() {
+        for rad in 1..=4 {
+            let seed = 60 + rad as u64;
+            let st = Stencil2D::<f32>::random(rad, seed).unwrap();
+            let desc = KernelDesc::star_2d(rad, seed, BoundaryCond::Clamp).unwrap();
+            let k = compile_2d::<f32>(&desc, 8).unwrap();
+            let grid = grid_2d(41, 12);
+            assert_eq!(k.run(&grid, 4), exec::run_2d(&st, &grid, 4), "rad {rad}");
+        }
+        let st = Stencil3D::<f32>::random(2, 71).unwrap();
+        let desc = KernelDesc::star_3d(2, 71, BoundaryCond::Clamp).unwrap();
+        let k = compile_3d::<f32>(&desc, 8).unwrap();
+        let grid = grid_3d(11, 10, 6);
+        assert_eq!(k.run(&grid, 3), exec::run_3d(&st, &grid, 3));
+    }
+
+    #[test]
+    fn degenerate_narrow_grids() {
+        // Grids narrower than the radius: the whole row is border cells.
+        for bc in BoundaryCond::ALL {
+            let desc = KernelDesc::box_2d(3, 9, bc).unwrap();
+            let k = compile_2d::<f32>(&desc, 8).unwrap();
+            for (nx, ny) in [(1, 1), (2, 9), (5, 2), (7, 3)] {
+                let grid = grid_2d(nx, ny);
+                assert_eq!(
+                    k.run(&grid, 2),
+                    reference_run_2d::<f32>(&desc, &grid, 2),
+                    "{bc} {nx}x{ny}"
+                );
+            }
+            let desc3 = KernelDesc::asymmetric_3d(2, 9, bc).unwrap();
+            let k3 = compile_3d::<f32>(&desc3, 4).unwrap();
+            for (nx, ny, nz) in [(1, 1, 1), (3, 2, 5), (9, 1, 2)] {
+                let grid = grid_3d(nx, ny, nz);
+                assert_eq!(
+                    k3.run(&grid, 2),
+                    reference_run_3d::<f32>(&desc3, &grid, 2),
+                    "{bc} {nx}x{ny}x{nz}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_dim_and_invalid_descs_rejected() {
+        let d2 = KernelDesc::box_2d(1, 1, BoundaryCond::Clamp).unwrap();
+        let d3 = KernelDesc::box_3d(1, 1, BoundaryCond::Clamp).unwrap();
+        assert!(compile_3d::<f32>(&d2, 8).is_err());
+        assert!(compile_2d::<f32>(&d3, 8).is_err());
+        let bad = KernelDesc {
+            dim: Dim::D2,
+            taps: vec![],
+            boundary: BoundaryCond::Clamp,
+        };
+        assert!(compile_2d::<f32>(&bad, 8).is_err());
+    }
+
+    #[test]
+    fn unsupported_lane_width_falls_back_to_scalar() {
+        let d = KernelDesc::box_2d(1, 1, BoundaryCond::Clamp).unwrap();
+        assert_eq!(compile_2d::<f32>(&d, 16).unwrap().lanes(), 1);
+        assert_eq!(compile_2d::<f32>(&d, 0).unwrap().lanes(), 1);
+    }
+}

@@ -244,6 +244,112 @@ pub fn parallel_3d_into<T: Real>(
     }
 }
 
+/// Rayon-parallel execution of a runtime-specialized desc kernel
+/// ([`stencil_core::CompiledKernel2D`]) — the CPU engine's route into the
+/// open-ended kernel space (box/asymmetric tap sets, periodic/reflective
+/// boundaries). Same partitioning as [`parallel_2d_into`]: each worker owns
+/// disjoint output rows, the kernel's `step_row` does the boundary-resolved
+/// vectorized update, so results are bit-exact with the frozen
+/// generic-reference interpreter at every thread count.
+///
+/// # Panics
+/// Panics when the buffer shapes do not match `grid`.
+pub fn parallel_2d_kernel_into<T: Real>(
+    kernel: &stencil_core::CompiledKernel2D<T>,
+    grid: &Grid2D<T>,
+    iters: usize,
+    out: &mut Grid2D<T>,
+    scratch: &mut Grid2D<T>,
+) {
+    let nx = grid.nx();
+    assert_eq!(
+        (out.nx(), out.ny()),
+        (grid.nx(), grid.ny()),
+        "out buffer shape mismatch"
+    );
+    assert_eq!(
+        (scratch.nx(), scratch.ny()),
+        (grid.nx(), grid.ny()),
+        "scratch buffer shape mismatch"
+    );
+    out.copy_from(grid);
+    for _ in 0..iters {
+        {
+            let src: &Grid2D<T> = out;
+            scratch
+                .as_mut_slice()
+                .par_chunks_mut(nx)
+                .enumerate()
+                .for_each(|(y, dst_row)| kernel.step_row(src, y, dst_row));
+        }
+        out.swap(scratch);
+    }
+}
+
+/// Allocating wrapper over [`parallel_2d_kernel_into`].
+pub fn parallel_2d_kernel<T: Real>(
+    kernel: &stencil_core::CompiledKernel2D<T>,
+    grid: &Grid2D<T>,
+    iters: usize,
+) -> Grid2D<T> {
+    let mut out = grid.clone();
+    let mut scratch = grid.clone();
+    parallel_2d_kernel_into(kernel, grid, iters, &mut out, &mut scratch);
+    out
+}
+
+/// 3D variant of [`parallel_2d_kernel_into`] (parallel over z-planes).
+///
+/// # Panics
+/// Panics when the buffer shapes do not match `grid`.
+pub fn parallel_3d_kernel_into<T: Real>(
+    kernel: &stencil_core::CompiledKernel3D<T>,
+    grid: &Grid3D<T>,
+    iters: usize,
+    out: &mut Grid3D<T>,
+    scratch: &mut Grid3D<T>,
+) {
+    let (nx, ny) = (grid.nx(), grid.ny());
+    assert_eq!(
+        (out.nx(), out.ny(), out.nz()),
+        (grid.nx(), grid.ny(), grid.nz()),
+        "out buffer shape mismatch"
+    );
+    assert_eq!(
+        (scratch.nx(), scratch.ny(), scratch.nz()),
+        (grid.nx(), grid.ny(), grid.nz()),
+        "scratch buffer shape mismatch"
+    );
+    out.copy_from(grid);
+    for _ in 0..iters {
+        {
+            let src: &Grid3D<T> = out;
+            scratch
+                .as_mut_slice()
+                .par_chunks_mut(nx * ny)
+                .enumerate()
+                .for_each(|(z, dst_plane)| {
+                    for (y, dst_row) in dst_plane.chunks_mut(nx).enumerate() {
+                        kernel.step_row(src, y, z, dst_row);
+                    }
+                });
+        }
+        out.swap(scratch);
+    }
+}
+
+/// Allocating wrapper over [`parallel_3d_kernel_into`].
+pub fn parallel_3d_kernel<T: Real>(
+    kernel: &stencil_core::CompiledKernel3D<T>,
+    grid: &Grid3D<T>,
+    iters: usize,
+) -> Grid3D<T> {
+    let mut out = grid.clone();
+    let mut scratch = grid.clone();
+    parallel_3d_kernel_into(kernel, grid, iters, &mut out, &mut scratch);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +426,40 @@ mod tests {
             parallel_3d_into(&st3, &grid3(), iters, &mut out, &mut scratch);
             assert_eq!(out, parallel_3d(&st3, &grid3(), iters), "3d iters {iters}");
         }
+    }
+
+    #[test]
+    fn parallel_kernel_matches_interpreter() {
+        use stencil_core::kernel_ir::{
+            reference_run_2d, reference_run_3d, BoundaryCond, KernelDesc,
+        };
+        for bc in BoundaryCond::ALL {
+            let desc = KernelDesc::box_2d(2, 13, bc).unwrap();
+            let k = stencil_core::compile_2d::<f32>(&desc, 8).unwrap();
+            assert_eq!(
+                parallel_2d_kernel(&k, &grid2(), 3),
+                reference_run_2d::<f32>(&desc, &grid2(), 3),
+                "{bc}"
+            );
+            let desc3 = KernelDesc::asymmetric_3d(2, 14, bc).unwrap();
+            let k3 = stencil_core::compile_3d::<f32>(&desc3, 4).unwrap();
+            assert_eq!(
+                parallel_3d_kernel(&k3, &grid3(), 2),
+                reference_run_3d::<f32>(&desc3, &grid3(), 2),
+                "{bc}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_kernel_into_overwrites_dirty_buffers() {
+        use stencil_core::kernel_ir::{BoundaryCond, KernelDesc};
+        let desc = KernelDesc::box_2d(1, 3, BoundaryCond::Periodic).unwrap();
+        let k = stencil_core::compile_2d::<f32>(&desc, 8).unwrap();
+        let mut out = Grid2D::filled(41, 23, f32::NAN).unwrap();
+        let mut scratch = Grid2D::filled(41, 23, -4.0e18f32).unwrap();
+        parallel_2d_kernel_into(&k, &grid2(), 3, &mut out, &mut scratch);
+        assert_eq!(out, parallel_2d_kernel(&k, &grid2(), 3));
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub mod padded;
 pub mod tuner;
 pub mod wavefront;
 
-pub use engines::{naive_2d, naive_3d, parallel_2d, parallel_3d, tiled_2d, tiled_3d, Tile};
+pub use engines::{
+    naive_2d, naive_3d, parallel_2d, parallel_2d_kernel, parallel_2d_kernel_into, parallel_3d,
+    parallel_3d_kernel, parallel_3d_kernel_into, tiled_2d, tiled_3d, Tile,
+};
 pub use folded::{
     distinct_blocks_touched, distinct_blocks_touched_3d, folded_run_2d, folded_run_2d_into,
     folded_run_3d, folded_run_3d_into, FoldedGrid2D, FoldedGrid3D,

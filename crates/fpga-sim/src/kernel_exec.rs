@@ -1,0 +1,243 @@
+//! Grid-resident parallel execution of runtime-specialized kernels.
+//!
+//! Desc kernels ([`stencil_core::KernelDesc`]) cover boundary conditions a
+//! *streaming* design cannot serve: a PE chain holds only the last
+//! `2·rad + 1` rows, so periodic/reflective taps in the streamed dimension
+//! would need rows that have not arrived yet. This module is therefore the
+//! Functional backend's execution path for desc jobs: the whole grid stays
+//! resident, each pass fans output-row bands out across the rayon pool
+//! (disjoint `&mut` bands of the scratch grid, shared `&` source grid), and
+//! the compiled kernel's vectorized row update runs per row with
+//! `eval_cell` borders — all three boundary conditions, bit-exact with the
+//! frozen interpreter.
+//!
+//! The shape mirrors `functional::run_2d_replicated_cancellable_into`:
+//! ping-pong `out`/`scratch` buffers exchanged by Vec-pointer swap, a
+//! cooperative cancellation hook polled before each pass and at every band,
+//! and a [`SimCounters`] tally. Clamp-boundary descs can additionally run
+//! through the streaming PEs (`Pe2D::set_kernel`); this path exists so the
+//! open-ended desc space is never restricted by the stream topology.
+
+use crate::counters::SimCounters;
+use rayon::prelude::*;
+use std::time::Instant;
+use stencil_core::{CompiledKernel2D, CompiledKernel3D, Grid2D, Grid3D, Real};
+
+/// Output rows per parallel task: big enough to amortize the fork/join,
+/// small enough that the cancellation hook is polled frequently.
+const ROW_BAND: usize = 32;
+
+/// Runs `iters` passes of a compiled 2D kernel into caller-provided
+/// buffers. `out` holds the result (starting from a copy of `grid`),
+/// `scratch` is the ping-pong partner; both must match `grid`'s shape.
+///
+/// Returns `None` without touching the counters when `cancel` fires (the
+/// buffers then hold partial data, as with the functional path).
+///
+/// # Panics
+/// Panics on a buffer shape mismatch.
+pub fn run_kernel_2d_cancellable_into<T: Real>(
+    kernel: &CompiledKernel2D<T>,
+    grid: &Grid2D<T>,
+    iters: usize,
+    cancel: &(dyn Fn() -> bool + Sync),
+    out: &mut Grid2D<T>,
+    scratch: &mut Grid2D<T>,
+) -> Option<SimCounters> {
+    let (nx, ny) = (grid.nx(), grid.ny());
+    assert_eq!((out.nx(), out.ny()), (nx, ny), "out buffer shape mismatch");
+    assert_eq!(
+        (scratch.nx(), scratch.ny()),
+        (nx, ny),
+        "scratch buffer shape mismatch"
+    );
+    out.copy_from(grid);
+    let mut counters = SimCounters {
+        lane_width: kernel.lanes() as u64,
+        ..Default::default()
+    };
+    let t_run = Instant::now();
+    for _ in 0..iters {
+        if cancel() {
+            return None;
+        }
+        let t_pass = Instant::now();
+        let src: &Grid2D<T> = out;
+        let bands = scratch
+            .as_mut_slice()
+            .par_chunks_mut(nx * ROW_BAND)
+            .enumerate();
+        bands.for_each(|(band, rows)| {
+            if cancel() {
+                return;
+            }
+            let y0 = band * ROW_BAND;
+            for (i, dst_row) in rows.chunks_mut(nx).enumerate() {
+                kernel.step_row(src, y0 + i, dst_row);
+            }
+        });
+        if cancel() {
+            return None;
+        }
+        counters.cells_updated += (nx * ny) as u64;
+        counters.rows_fed += ny as u64;
+        counters.bytes_moved += (2 * nx * ny * std::mem::size_of::<T>()) as u64;
+        counters.blocks += ny.div_ceil(ROW_BAND).max(1) as u64;
+        counters.passes += 1;
+        counters.pass_seconds.push(t_pass.elapsed().as_secs_f64());
+        out.swap(scratch);
+    }
+    counters.elapsed_seconds = t_run.elapsed().as_secs_f64();
+    Some(counters)
+}
+
+/// Allocating convenience wrapper over [`run_kernel_2d_cancellable_into`]
+/// with no cancellation.
+pub fn run_kernel_2d<T: Real>(
+    kernel: &CompiledKernel2D<T>,
+    grid: &Grid2D<T>,
+    iters: usize,
+) -> (Grid2D<T>, SimCounters) {
+    let mut out = grid.clone();
+    let mut scratch = grid.clone();
+    let counters =
+        run_kernel_2d_cancellable_into(kernel, grid, iters, &|| false, &mut out, &mut scratch)
+            .expect("never-cancelled run cannot be cancelled");
+    (out, counters)
+}
+
+/// Runs `iters` passes of a compiled 3D kernel into caller-provided buffers
+/// (see [`run_kernel_2d_cancellable_into`]); parallelism is over z-planes.
+///
+/// # Panics
+/// Panics on a buffer shape mismatch.
+pub fn run_kernel_3d_cancellable_into<T: Real>(
+    kernel: &CompiledKernel3D<T>,
+    grid: &Grid3D<T>,
+    iters: usize,
+    cancel: &(dyn Fn() -> bool + Sync),
+    out: &mut Grid3D<T>,
+    scratch: &mut Grid3D<T>,
+) -> Option<SimCounters> {
+    let (nx, ny, nz) = (grid.nx(), grid.ny(), grid.nz());
+    assert_eq!(
+        (out.nx(), out.ny(), out.nz()),
+        (nx, ny, nz),
+        "out buffer shape mismatch"
+    );
+    assert_eq!(
+        (scratch.nx(), scratch.ny(), scratch.nz()),
+        (nx, ny, nz),
+        "scratch buffer shape mismatch"
+    );
+    out.copy_from(grid);
+    let mut counters = SimCounters {
+        lane_width: kernel.lanes() as u64,
+        ..Default::default()
+    };
+    let t_run = Instant::now();
+    for _ in 0..iters {
+        if cancel() {
+            return None;
+        }
+        let t_pass = Instant::now();
+        let src: &Grid3D<T> = out;
+        let planes = scratch.as_mut_slice().par_chunks_mut(nx * ny).enumerate();
+        planes.for_each(|(z, plane)| {
+            if cancel() {
+                return;
+            }
+            for (y, dst_row) in plane.chunks_mut(nx).enumerate() {
+                kernel.step_row(src, y, z, dst_row);
+            }
+        });
+        if cancel() {
+            return None;
+        }
+        counters.cells_updated += (nx * ny * nz) as u64;
+        counters.rows_fed += (ny * nz) as u64;
+        counters.bytes_moved += (2 * nx * ny * nz * std::mem::size_of::<T>()) as u64;
+        counters.blocks += nz as u64;
+        counters.passes += 1;
+        counters.pass_seconds.push(t_pass.elapsed().as_secs_f64());
+        out.swap(scratch);
+    }
+    counters.elapsed_seconds = t_run.elapsed().as_secs_f64();
+    Some(counters)
+}
+
+/// Allocating convenience wrapper over [`run_kernel_3d_cancellable_into`]
+/// with no cancellation.
+pub fn run_kernel_3d<T: Real>(
+    kernel: &CompiledKernel3D<T>,
+    grid: &Grid3D<T>,
+    iters: usize,
+) -> (Grid3D<T>, SimCounters) {
+    let mut out = grid.clone();
+    let mut scratch = grid.clone();
+    let counters =
+        run_kernel_3d_cancellable_into(kernel, grid, iters, &|| false, &mut out, &mut scratch)
+            .expect("never-cancelled run cannot be cancelled");
+    (out, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::kernel_ir::{reference_run_2d, reference_run_3d, BoundaryCond, KernelDesc};
+    use stencil_core::{compile_2d, compile_3d};
+
+    fn grid_2d(nx: usize, ny: usize) -> Grid2D<f32> {
+        Grid2D::from_fn(nx, ny, |x, y| ((x * 31 + y * 17) % 103) as f32 - 51.0).unwrap()
+    }
+
+    #[test]
+    fn parallel_runner_matches_interpreter_2d() {
+        for bc in BoundaryCond::ALL {
+            let desc = KernelDesc::box_2d(2, 77, bc).unwrap();
+            let k = compile_2d::<f32>(&desc, 8).unwrap();
+            // Multiple row bands (ny > ROW_BAND) and a ragged final band.
+            let grid = grid_2d(61, 2 * ROW_BAND + 7);
+            let (got, counters) = run_kernel_2d(&k, &grid, 3);
+            assert_eq!(got, reference_run_2d::<f32>(&desc, &grid, 3), "{bc}");
+            assert_eq!(counters.passes, 3);
+            assert_eq!(counters.cells_updated, (grid.len() * 3) as u64);
+            assert_eq!(counters.lane_width, 8);
+            assert!(counters.cells_per_second() > 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_runner_matches_interpreter_3d() {
+        for bc in BoundaryCond::ALL {
+            let desc = KernelDesc::asymmetric_3d(2, 78, bc).unwrap();
+            let k = compile_3d::<f32>(&desc, 4).unwrap();
+            let grid =
+                Grid3D::from_fn(17, 9, 6, |x, y, z| ((x + 3 * y + 7 * z) % 53) as f32).unwrap();
+            let (got, counters) = run_kernel_3d(&k, &grid, 2);
+            assert_eq!(got, reference_run_3d::<f32>(&desc, &grid, 2), "{bc}");
+            assert_eq!(counters.blocks, 12, "one block per plane per pass");
+        }
+    }
+
+    #[test]
+    fn cancel_returns_none() {
+        let desc = KernelDesc::box_2d(1, 1, BoundaryCond::Periodic).unwrap();
+        let k = compile_2d::<f32>(&desc, 8).unwrap();
+        let grid = grid_2d(32, 32);
+        let mut out = grid.clone();
+        let mut scratch = grid.clone();
+        let r = run_kernel_2d_cancellable_into(&k, &grid, 5, &|| true, &mut out, &mut scratch);
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn zero_iters_is_identity_copy() {
+        let desc = KernelDesc::box_2d(1, 2, BoundaryCond::Clamp).unwrap();
+        let k = compile_2d::<f32>(&desc, 2).unwrap();
+        let grid = grid_2d(9, 5);
+        let (got, counters) = run_kernel_2d(&k, &grid, 0);
+        assert_eq!(got, grid);
+        assert_eq!(counters.passes, 0);
+    }
+}

@@ -9,8 +9,10 @@
 //! deterministic and never reaches a committed cell.
 
 use crate::shift_register::{RowPool, ShiftRegister};
+use std::sync::Arc;
 use stencil_core::simd::{select_row_2d, select_row_3d};
-use stencil_core::{Real, Stencil2D, Stencil3D};
+use stencil_core::specialize::MAX_WINDOW;
+use stencil_core::{BoundaryCond, CompiledKernel2D, CompiledKernel3D, Real, Stencil2D, Stencil3D};
 
 /// Maximum supported stencil radius (generously above the paper's 4; §VI.A
 /// discusses feasibility up to 6).
@@ -43,6 +45,9 @@ pub struct Pe2D<T> {
     /// Pool backing the allocating [`Self::feed`] wrapper, so repeated
     /// convenience calls recycle buffers instead of allocating per call.
     pool: RowPool<T>,
+    /// When set, the row update runs through this runtime-specialized desc
+    /// kernel instead of the star fast path (see [`Self::set_kernel`]).
+    kernel: Option<Arc<CompiledKernel2D<T>>>,
 }
 
 impl<T: Real> Pe2D<T> {
@@ -67,12 +72,40 @@ impl<T: Real> Pe2D<T> {
             active: true,
             lanes: 1,
             pool: RowPool::new(),
+            kernel: None,
         }
     }
 
     /// Deactivates the PE: it forwards its input unchanged (pass-through).
     pub fn set_active(&mut self, active: bool) {
         self.active = active;
+    }
+
+    /// Routes the PE's row update through a runtime-specialized desc kernel
+    /// (shared via `Arc` with the memo cache) instead of the star fast path.
+    /// Interior columns run the kernel's vectorized row update over the
+    /// shift-register window; border columns use its canonical-order
+    /// `eval_cell` with the PE's two-clamp tap scheme.
+    ///
+    /// # Panics
+    /// Panics when the desc's boundary is not [`BoundaryCond::Clamp`] — a
+    /// streaming PE holds only the last `2·rad + 1` rows, so periodic or
+    /// reflective taps in the streamed dimension would need rows that have
+    /// not arrived yet (those descs run grid-resident instead) — or when the
+    /// kernel radius differs from the PE stencil's (the shift-register depth
+    /// and halo geometry are sized by it).
+    pub fn set_kernel(&mut self, kernel: Arc<CompiledKernel2D<T>>) {
+        assert_eq!(
+            kernel.desc().boundary,
+            BoundaryCond::Clamp,
+            "streaming PEs support clamp only"
+        );
+        assert_eq!(
+            kernel.radius(),
+            self.stencil.radius(),
+            "kernel radius must match the PE's shift-register depth"
+        );
+        self.kernel = Some(kernel);
     }
 
     /// Selects the interior-kernel lane width (the design's `parvec`).
@@ -134,6 +167,10 @@ impl<T: Real> Pe2D<T> {
     }
 
     fn compute_row_into(&self, y: i64, out: &mut Vec<T>) {
+        if let Some(k) = &self.kernel {
+            self.compute_row_kernel_into(k, y, out);
+            return;
+        }
         let rad = self.stencil.radius();
         let hi = self.ny - 1;
         let cur = self.sr.get_clamped(y, 0, hi);
@@ -190,6 +227,35 @@ impl<T: Real> Pe2D<T> {
         }
     }
 
+    /// Desc-kernel variant of [`Self::compute_row_into`]: same shift-register
+    /// window and interior/border split, but the arithmetic comes from the
+    /// specialized kernel (vectorized `run_row` interior, canonical-order
+    /// `eval_cell` borders) so arbitrary clamp-boundary tap sets stream
+    /// through the PE chain bit-exactly with the frozen interpreter.
+    fn compute_row_kernel_into(&self, k: &CompiledKernel2D<T>, y: i64, out: &mut Vec<T>) {
+        let rad = k.radius();
+        let hi = self.ny - 1;
+        let mut win: [&[T]; MAX_WINDOW] = [self.sr.get_clamped(y, 0, hi); MAX_WINDOW];
+        for d in 1..=rad {
+            win[rad - d] = self.sr.get_clamped(y - d as i64, 0, hi);
+            win[rad + d] = self.sr.get_clamped(y + d as i64, 0, hi);
+        }
+        let win = &win[..2 * rad + 1];
+        out.clear();
+        out.resize(self.width, T::ZERO);
+        let r = rad as i64;
+        let lo = r.max(r - self.x0).clamp(0, self.width as i64) as usize;
+        let hi_x = (self.width as i64 - r)
+            .min(self.nx - r - self.x0)
+            .clamp(lo as i64, self.width as i64) as usize;
+        k.run_row(win, out, lo, hi_x);
+        for j in (0..lo).chain(hi_x..self.width) {
+            let gx = self.x0 + j as i64;
+            out[j] =
+                k.eval_cell(|dx, dy| win[(rad as i32 + dy) as usize][self.tap_x(gx + dx as i64)]);
+        }
+    }
+
     /// Local index of the tap for global column `gx`: first clamp to the
     /// grid (`[0, nx)`, the boundary condition), then to the read region
     /// (halo-garbage containment — see module docs).
@@ -217,6 +283,7 @@ pub struct Pe3D<T> {
     active: bool,
     lanes: usize,
     pool: RowPool<T>,
+    kernel: Option<Arc<CompiledKernel3D<T>>>,
 }
 
 impl<T: Real> Pe3D<T> {
@@ -253,12 +320,34 @@ impl<T: Real> Pe3D<T> {
             active: true,
             lanes: 1,
             pool: RowPool::new(),
+            kernel: None,
         }
     }
 
     /// Deactivates the PE (pass-through).
     pub fn set_active(&mut self, active: bool) {
         self.active = active;
+    }
+
+    /// Routes the PE's plane update through a runtime-specialized desc
+    /// kernel (see [`Pe2D::set_kernel`] — same clamp-only contract, since
+    /// the streamed z dimension cannot wrap or reflect).
+    ///
+    /// # Panics
+    /// Panics when the desc's boundary is not [`BoundaryCond::Clamp`] or the
+    /// kernel radius differs from the PE stencil's.
+    pub fn set_kernel(&mut self, kernel: Arc<CompiledKernel3D<T>>) {
+        assert_eq!(
+            kernel.desc().boundary,
+            BoundaryCond::Clamp,
+            "streaming PEs support clamp only"
+        );
+        assert_eq!(
+            kernel.radius(),
+            self.stencil.radius(),
+            "kernel radius must match the PE's shift-register depth"
+        );
+        self.kernel = Some(kernel);
     }
 
     /// Selects the interior-kernel lane width (see [`Pe2D::set_lanes`]).
@@ -310,6 +399,10 @@ impl<T: Real> Pe3D<T> {
     }
 
     fn compute_plane_into(&self, z: i64, out: &mut Vec<T>) {
+        if let Some(k) = &self.kernel {
+            self.compute_plane_kernel_into(k, z, out);
+            return;
+        }
         let rad = self.stencil.radius();
         let hi = self.nz - 1;
         let cur = self.sr.get_clamped(z, 0, hi);
@@ -398,6 +491,59 @@ impl<T: Real> Pe3D<T> {
                     &below[..rad],
                     &above[..rad],
                 );
+            }
+        }
+    }
+
+    /// Desc-kernel variant of [`Self::compute_plane_into`] (see
+    /// [`Pe2D::compute_row_kernel_into`]): vectorized `run_row` for rows
+    /// whose full tap footprint is interior in y, canonical-order
+    /// `eval_cell` with the two-clamp scheme everywhere else. Full-box
+    /// corner taps read arbitrary `(dy, dz)` combinations, which is why the
+    /// window here is whole planes rather than per-distance rows.
+    fn compute_plane_kernel_into(&self, k: &CompiledKernel3D<T>, z: i64, out: &mut Vec<T>) {
+        let rad = k.radius();
+        let hi = self.nz - 1;
+        let mut win: [&[T]; MAX_WINDOW] = [self.sr.get_clamped(z, 0, hi); MAX_WINDOW];
+        for d in 1..=rad {
+            win[rad - d] = self.sr.get_clamped(z - d as i64, 0, hi);
+            win[rad + d] = self.sr.get_clamped(z + d as i64, 0, hi);
+        }
+        let win = &win[..2 * rad + 1];
+        out.clear();
+        out.resize(self.width * self.height, T::ZERO);
+        let r = rad as i64;
+        let xlo = r.max(r - self.x0).clamp(0, self.width as i64) as usize;
+        let xhi = (self.width as i64 - r)
+            .min(self.nx - r - self.x0)
+            .clamp(xlo as i64, self.width as i64) as usize;
+        let ylo = r.max(r - self.y0).clamp(0, self.height as i64) as usize;
+        let yhi = (self.height as i64 - r)
+            .min(self.ny - r - self.y0)
+            .clamp(ylo as i64, self.height as i64) as usize;
+        for i in 0..self.height {
+            let gy = self.y0 + i as i64;
+            let row_interior = i >= ylo && i < yhi;
+            let row_off = i * self.width;
+            if row_interior {
+                k.run_row(
+                    win,
+                    self.width,
+                    row_off,
+                    &mut out[row_off..row_off + self.width],
+                    xlo,
+                    xhi,
+                );
+            }
+            for j in 0..self.width {
+                if row_interior && j >= xlo && j < xhi {
+                    continue;
+                }
+                let gx = self.x0 + j as i64;
+                out[row_off + j] = k.eval_cell(|dx, dy, dz| {
+                    win[(rad as i32 + dz) as usize]
+                        [self.tap_y(gy + dy as i64) * self.width + self.tap_x(gx + dx as i64)]
+                });
             }
         }
     }
@@ -506,6 +652,140 @@ mod tests {
         let st = Stencil2D::<f32>::uniform(1).unwrap();
         let mut pe = Pe2D::new(st, 0, 4, 4, 4);
         pe.feed(0, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn pe_kernel_box_clamp_matches_interpreter_2d() {
+        use stencil_core::kernel_ir::{reference_run_2d, KernelDesc};
+        for rad in 1..=3usize {
+            let (nx, ny) = (14, 11);
+            let st = Stencil2D::<f32>::random(rad, 9).unwrap();
+            let desc = KernelDesc::box_2d(rad, 41, BoundaryCond::Clamp).unwrap();
+            let k = Arc::new(stencil_core::compile_2d::<f32>(&desc, 8).unwrap());
+            let grid = Grid2D::from_fn(nx, ny, |x, y| ((x * 5 + y * 7) % 19) as f32).unwrap();
+            let mut pe = Pe2D::new(st, 0, nx, nx, ny);
+            pe.set_kernel(k);
+
+            let mut got = Grid2D::<f32>::zeros(nx, ny).unwrap();
+            for y in 0..ny {
+                let row: Vec<f32> = (0..nx).map(|x| grid.get(x, y)).collect();
+                for (oy, orow) in pe.feed(y as i64, row) {
+                    got.row_mut(oy as usize).copy_from_slice(&orow);
+                }
+            }
+            assert_eq!(got, reference_run_2d::<f32>(&desc, &grid, 1), "rad {rad}");
+        }
+    }
+
+    /// A star/clamp desc built *from* the PE's stencil must reproduce the
+    /// star fast path bit for bit — the desc route is a superset, not a
+    /// numerically different engine.
+    #[test]
+    fn pe_kernel_star_clamp_is_bit_exact_with_star_path() {
+        use stencil_core::kernel_ir::KernelDesc;
+        let (nx, ny) = (13, 11);
+        let rad = 3;
+        let st = Stencil2D::<f32>::random(rad, 21).unwrap();
+        let desc = KernelDesc::from_star_2d(&st, BoundaryCond::Clamp);
+        let k = Arc::new(stencil_core::compile_2d::<f32>(&desc, 8).unwrap());
+        let grid = Grid2D::from_fn(nx, ny, |x, y| ((x * 7 + y * 3) % 17) as f32).unwrap();
+        let mut pe = Pe2D::new(st.clone(), 0, nx, nx, ny);
+        pe.set_kernel(k);
+
+        let mut got = Grid2D::<f32>::zeros(nx, ny).unwrap();
+        for y in 0..ny {
+            let row: Vec<f32> = (0..nx).map(|x| grid.get(x, y)).collect();
+            for (oy, orow) in pe.feed(y as i64, row) {
+                got.row_mut(oy as usize).copy_from_slice(&orow);
+            }
+        }
+        assert_eq!(got, exec::run_2d(&st, &grid, 1));
+    }
+
+    #[test]
+    fn pe_kernel_matches_interpreter_3d() {
+        use stencil_core::kernel_ir::{reference_run_3d, KernelDesc};
+        let (nx, ny, nz) = (9, 8, 10);
+        let rad = 2;
+        let st = Stencil3D::<f32>::random(rad, 33).unwrap();
+        let desc = KernelDesc::box_3d(rad, 55, BoundaryCond::Clamp).unwrap();
+        let k = Arc::new(stencil_core::compile_3d::<f32>(&desc, 4).unwrap());
+        let grid =
+            Grid3D::from_fn(nx, ny, nz, |x, y, z| ((x + 2 * y + 5 * z) % 13) as f32).unwrap();
+        let mut pe = Pe3D::new(st, 0, 0, nx, ny, nx, ny, nz);
+        pe.set_kernel(k);
+
+        let mut got = Grid3D::<f32>::zeros(nx, ny, nz).unwrap();
+        for z in 0..nz {
+            let plane: Vec<f32> = (0..ny)
+                .flat_map(|y| (0..nx).map(move |x| (x, y)))
+                .map(|(x, y)| grid.get(x, y, z))
+                .collect();
+            for (oz, oplane) in pe.feed(z as i64, plane) {
+                for y in 0..ny {
+                    for x in 0..nx {
+                        got.set(x, y, oz as usize, oplane[y * nx + x]);
+                    }
+                }
+            }
+        }
+        assert_eq!(got, reference_run_3d::<f32>(&desc, &grid, 1));
+    }
+
+    /// Halo block with a desc kernel: committed cells (distance >= rad from
+    /// the region edges) must match the grid-resident interpreter.
+    #[test]
+    fn pe_kernel_halo_block_commits_interpreter_cells() {
+        use stencil_core::kernel_ir::{reference_run_2d, KernelDesc};
+        let (nx, ny) = (12, 6);
+        let rad = 2;
+        let st = Stencil2D::<f32>::random(rad, 5).unwrap();
+        let desc = KernelDesc::box_2d(rad, 77, BoundaryCond::Clamp).unwrap();
+        let k = Arc::new(stencil_core::compile_2d::<f32>(&desc, 8).unwrap());
+        let grid = Grid2D::from_fn(nx, ny, |x, y| (x * x + y) as f32).unwrap();
+        let (x0, width) = (-3i64, 12usize);
+        let mut pe = Pe2D::new(st, x0, width, nx, ny);
+        pe.set_kernel(k);
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        for y in 0..ny {
+            let row: Vec<f32> = (0..width)
+                .map(|j| grid.get_clamped(x0 as isize + j as isize, y as isize))
+                .collect();
+            for (_, orow) in pe.feed(y as i64, row) {
+                rows.push(orow);
+            }
+        }
+        let expect = reference_run_2d::<f32>(&desc, &grid, 1);
+        for (y, orow) in rows.iter().enumerate() {
+            for (j, &val) in orow.iter().enumerate().take(width - rad).skip(rad) {
+                let gx = x0 + j as i64;
+                if (0..nx as i64).contains(&gx) {
+                    assert_eq!(val, expect.get(gx as usize, y), "cell ({gx},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp only")]
+    fn pe_rejects_non_clamp_kernel() {
+        use stencil_core::kernel_ir::KernelDesc;
+        let st = Stencil2D::<f32>::uniform(2).unwrap();
+        let desc = KernelDesc::box_2d(2, 1, BoundaryCond::Periodic).unwrap();
+        let k = Arc::new(stencil_core::compile_2d::<f32>(&desc, 8).unwrap());
+        let mut pe = Pe2D::new(st, 0, 8, 8, 8);
+        pe.set_kernel(k);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must match")]
+    fn pe_rejects_radius_mismatched_kernel() {
+        use stencil_core::kernel_ir::KernelDesc;
+        let st = Stencil2D::<f32>::uniform(2).unwrap();
+        let desc = KernelDesc::box_2d(1, 1, BoundaryCond::Clamp).unwrap();
+        let k = Arc::new(stencil_core::compile_2d::<f32>(&desc, 8).unwrap());
+        let mut pe = Pe2D::new(st, 0, 8, 8, 8);
+        pe.set_kernel(k);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::planner::{PlanChoice, PlanError, PlanMode};
 use crate::program::StencilProgram;
 use crate::tenant::Tenant;
 use serde::{Deserialize, Serialize};
-use stencil_core::BlockConfig;
+use stencil_core::{BlockConfig, BoundaryCond, KernelClass, KernelDesc, StencilError};
 
 /// Which execution engine serves the job. One worker-pool shard exists per
 /// backend, so the backend choice is also the routing key.
@@ -109,6 +109,84 @@ impl Deserialize for Replicas {
     }
 }
 
+/// Declarative kernel request — the wire-format gateway into the kernel-IR
+/// scenario space beyond the classic star/clamp stencil.
+///
+/// A job with `kernel: Some(spec)` still draws its radius and coefficient
+/// seed from `rad`/`seed`; the spec only picks the tap family and boundary
+/// condition. At execution the full [`KernelDesc`] is built via
+/// [`KernelSpec::desc`] (a pure function of `(dim, rad, seed, spec)`), so
+/// two jobs with equal geometry, seed, and spec remain bit-identical work
+/// items. A star/clamp spec is exactly the legacy job: the desc's
+/// coefficients match `Stencil2D::random(rad, seed)` value for value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KernelSpec {
+    /// Tap family: `star` (the paper's shape), `box` (full `(2r+1)^d`
+    /// neighborhood), or `asymmetric` (scattered offsets).
+    pub taps: KernelClass,
+    /// Boundary condition applied on every axis.
+    pub boundary: BoundaryCond,
+}
+
+impl KernelSpec {
+    /// Builds the concrete kernel desc this spec denotes for a job's
+    /// dimensionality, radius, and seed.
+    ///
+    /// # Errors
+    /// Propagates [`StencilError`] for invalid radius/dimension combos.
+    pub fn desc(&self, dim: usize, rad: usize, seed: u64) -> Result<KernelDesc, StencilError> {
+        match (dim, self.taps) {
+            (2, KernelClass::Star) => KernelDesc::star_2d(rad, seed, self.boundary),
+            (2, KernelClass::Box) => KernelDesc::box_2d(rad, seed, self.boundary),
+            (2, KernelClass::Asymmetric) => KernelDesc::asymmetric_2d(rad, seed, self.boundary),
+            (3, KernelClass::Star) => KernelDesc::star_3d(rad, seed, self.boundary),
+            (3, KernelClass::Box) => KernelDesc::box_3d(rad, seed, self.boundary),
+            (3, KernelClass::Asymmetric) => KernelDesc::asymmetric_3d(rad, seed, self.boundary),
+            (d, _) => Err(StencilError::InvalidConfig {
+                reason: format!("kernel desc needs dim 2 or 3, got {d}"),
+            }),
+        }
+    }
+}
+
+// Wire format: `{"taps": "box", "boundary": "periodic"}`. Names round-trip
+// through `KernelClass::name`/`BoundaryCond::name`; unknown strings are
+// typed errors, not defaults.
+impl Serialize for KernelSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                "taps".to_string(),
+                serde::Value::Str(self.taps.name().to_string()),
+            ),
+            (
+                "boundary".to_string(),
+                serde::Value::Str(self.boundary.name().to_string()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for KernelSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("kernel must be an object"))?;
+        let field = |name: &str| {
+            map.iter()
+                .find(|(k, _)| k == name)
+                .and_then(|(_, v)| v.as_str())
+                .ok_or_else(|| serde::Error::custom(format!("kernel.{name} must be a string")))
+        };
+        let taps = KernelClass::parse(field("taps")?)
+            .ok_or_else(|| serde::Error::custom("kernel.taps must be star|box|asymmetric"))?;
+        let boundary = BoundaryCond::parse(field("boundary")?).ok_or_else(|| {
+            serde::Error::custom("kernel.boundary must be clamp|periodic|reflective")
+        })?;
+        Ok(KernelSpec { taps, boundary })
+    }
+}
+
 /// Scheduling priority. Within a shard, higher priorities always pop before
 /// lower ones; ties break FIFO by admission order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -201,6 +279,13 @@ pub struct JobSpec {
     /// the geometry, tenant, priority, deadline and seed fields still
     /// apply.
     pub program: Option<StencilProgram>,
+    /// Optional desc-kernel request (see [`KernelSpec`]). Absent (the
+    /// default, and in all pre-kernel JSONL workloads) the job is the
+    /// classic star/clamp stencil; present, the job runs the requested tap
+    /// family and boundary condition through the runtime kernel specializer.
+    /// Mutually exclusive with `program`; the threaded backend cannot serve
+    /// kernel jobs (its dataflow streams fixed star taps).
+    pub kernel: Option<KernelSpec>,
 }
 
 impl JobSpec {
@@ -228,6 +313,7 @@ impl JobSpec {
             shadow: false,
             fail_times: 0,
             program: None,
+            kernel: None,
         }
     }
 
@@ -255,6 +341,7 @@ impl JobSpec {
             shadow: false,
             fail_times: 0,
             program: None,
+            kernel: None,
         }
     }
 
@@ -295,6 +382,18 @@ impl JobSpec {
         }
         if self.replicas.get() == 0 {
             return Err(PlanError::ZeroReplicas);
+        }
+        if let Some(spec) = &self.kernel {
+            if self.program.is_some() {
+                return Err(PlanError::KernelWithProgram);
+            }
+            if self.plan == PlanMode::Explicit && self.backend == Backend::Threaded {
+                return Err(PlanError::KernelBackend {
+                    backend: self.backend,
+                });
+            }
+            spec.desc(self.dim, self.rad, self.seed)
+                .map_err(PlanError::Config)?;
         }
         if let Some(program) = &self.program {
             // Program jobs take their block configurations from placement,
@@ -505,6 +604,85 @@ mod tests {
             s3.validate().unwrap_err(),
             PlanError::Program(crate::program::ProgramError::ShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn kernel_field_roundtrips_and_defaults_to_none() {
+        let mut spec = JobSpec::new_2d(11, 2, 64, 48, 2);
+        spec.kernel = Some(KernelSpec {
+            taps: KernelClass::Box,
+            boundary: BoundaryCond::Periodic,
+        });
+        let line = serde_json::to_string(&spec).unwrap();
+        assert!(
+            line.contains("\"taps\":\"box\"") && line.contains("\"boundary\":\"periodic\""),
+            "wire names: {line}"
+        );
+        let back: JobSpec = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, spec);
+
+        // Pre-kernel JSONL lines carry no `kernel` key and must load as
+        // classic star/clamp jobs (same precedent as `program`).
+        let plain = JobSpec::new_2d(11, 2, 64, 48, 2);
+        let line = serde_json::to_string(&plain)
+            .unwrap()
+            .replace(",\"kernel\":null", "");
+        assert!(!line.contains("kernel"), "field must be gone: {line}");
+        let back: JobSpec = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.kernel, None);
+        assert_eq!(back, plain);
+
+        // Unknown tap / boundary names are typed errors, not defaults.
+        let bad = serde_json::to_string(&spec)
+            .unwrap()
+            .replace("\"taps\":\"box\"", "\"taps\":\"hex\"");
+        assert!(serde_json::from_str::<JobSpec>(&bad).is_err());
+    }
+
+    #[test]
+    fn kernel_jobs_validate_backend_and_program_exclusion() {
+        let mut s = JobSpec::new_2d(1, 2, 96, 32, 4);
+        s.kernel = Some(KernelSpec {
+            taps: KernelClass::Asymmetric,
+            boundary: BoundaryCond::Reflective,
+        });
+        s.validate().unwrap();
+        // The threaded dataflow simulator cannot serve desc kernels.
+        s.backend = Backend::Threaded;
+        assert_eq!(
+            s.validate().unwrap_err(),
+            PlanError::KernelBackend {
+                backend: Backend::Threaded
+            }
+        );
+        // ...unless the planner picks the backend anyway.
+        s.plan = PlanMode::Auto;
+        s.validate().unwrap();
+        // Kernel and program are mutually exclusive.
+        s.program = Some(crate::program::StencilProgram::heat_gradient_2d(2));
+        assert_eq!(s.validate().unwrap_err(), PlanError::KernelWithProgram);
+    }
+
+    #[test]
+    fn kernel_spec_desc_is_pure_and_star_matches_legacy_coefficients() {
+        let spec = KernelSpec {
+            taps: KernelClass::Star,
+            boundary: BoundaryCond::Clamp,
+        };
+        let a = spec.desc(2, 3, 77).unwrap();
+        let b = spec.desc(2, 3, 77).unwrap();
+        assert_eq!(a, b, "desc is a pure function of (dim, rad, seed, spec)");
+        // A star/clamp spec executes bit-exactly as the legacy star job
+        // with the same (rad, seed) — the desc route is unobservable.
+        let legacy = stencil_core::Stencil2D::<f32>::random(3, 77).unwrap();
+        let grid =
+            stencil_core::Grid2D::from_fn(17, 9, |x, y| ((x * 3 + y * 5) % 11) as f32).unwrap();
+        let k = stencil_core::compile_2d::<f32>(&a, 8).unwrap();
+        assert_eq!(
+            k.run(&grid, 2),
+            stencil_core::exec::run_2d(&legacy, &grid, 2)
+        );
+        assert!(spec.desc(4, 3, 77).is_err(), "bad dim is a typed error");
     }
 
     #[test]

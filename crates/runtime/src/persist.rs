@@ -29,7 +29,11 @@ use std::path::Path;
 /// Version stamped in the sidecar header. Bump whenever the header or
 /// shape-line schema changes; [`load_planner_memory`] rejects any other
 /// version with [`PersistError::WrongVersion`].
-pub const PERSIST_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: shape lines gained `kernel_class` (desc-kernel shape classes get
+/// their own candidate tables) and `age` (boots since the shape's rates
+/// last saw fresh feedback — the input to warm-start age decay).
+pub const PERSIST_SCHEMA_VERSION: u64 = 2;
 
 /// The header magic naming the file format.
 pub const PERSIST_MAGIC: &str = "stencil-planner-memory";
@@ -144,21 +148,35 @@ pub struct ShapeMemory {
     pub ny_class: u64,
     /// `nz` class (power of two; 1 for 2D).
     pub nz_class: u64,
+    /// Kernel-class name for desc-kernel shape classes (`"star"`,
+    /// `"box"`, `"asymmetric"`), empty for legacy star jobs.
+    pub kernel_class: String,
     /// FNV-1a fingerprint of the candidate table the stats index into
     /// (see `Planner::export_memory`).
     pub fingerprint: u64,
     /// Jobs planned against the shape in the run that wrote the sidecar.
     pub planned: u64,
+    /// Boots since the shape's rates last saw fresh feedback. Incremented
+    /// at every export that recorded no feedback for the shape; the
+    /// planner's warm start decays persisted means toward the backend
+    /// prior by `0.5^(age / half_life)`.
+    pub age: u64,
     /// Per-candidate accumulators, in candidate-table order.
     pub stats: Vec<StatMemory>,
 }
 
 impl ShapeMemory {
-    /// The shape's stable label (`d2r3x128y64z1`), matching
+    /// The shape's stable label (`d2r3x128y64z1`, with a `k<class>`
+    /// suffix for desc-kernel shapes), matching
     /// [`crate::planner::ShapeKey::label`].
     pub fn label(&self) -> String {
+        let suffix = if self.kernel_class.is_empty() {
+            String::new()
+        } else {
+            format!("k{}", &self.kernel_class[..self.kernel_class.len().min(4)])
+        };
         format!(
-            "d{}r{}x{}y{}z{}",
+            "d{}r{}x{}y{}z{}{suffix}",
             self.dim, self.rad, self.nx_class, self.ny_class, self.nz_class
         )
     }
@@ -316,8 +334,10 @@ mod tests {
                     nx_class: 128,
                     ny_class: 64,
                     nz_class: 1,
+                    kernel_class: String::new(),
                     fingerprint: 0xdead_beef,
                     planned: 40,
+                    age: 0,
                     stats: vec![
                         StatMemory {
                             sum_bits: 1.25e8f64.to_bits(),
@@ -335,8 +355,10 @@ mod tests {
                     nx_class: 64,
                     ny_class: 64,
                     nz_class: 32,
+                    kernel_class: "asymmetric".into(),
                     fingerprint: 7,
                     planned: 3,
+                    age: 5,
                     stats: vec![StatMemory {
                         sum_bits: 0.1f64.to_bits(),
                         samples: 1,
@@ -392,7 +414,7 @@ mod tests {
 
     #[test]
     fn wrong_version_is_rejected() {
-        let text = render(&sample()).replace("\"schema_version\":1", "\"schema_version\":9");
+        let text = render(&sample()).replace("\"schema_version\":2", "\"schema_version\":9");
         assert_eq!(
             parse_planner_memory(&text),
             Err(PersistError::WrongVersion { found: 9 })

@@ -48,7 +48,7 @@ use perf_model::tuner;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
-use stencil_core::{BlockConfig, Dim, StencilError};
+use stencil_core::{BlockConfig, Dim, KernelClass, StencilError};
 
 /// Why a job spec cannot be validated or planned. The typed replacement
 /// for the stringly errors `JobSpec::block_config` used to return — tests
@@ -78,6 +78,15 @@ pub enum PlanError {
     /// The job carries an invalid stencil program — the underlying
     /// [`crate::program::ProgramError`] names the graph rule it violates.
     Program(crate::program::ProgramError),
+    /// The job pairs a desc kernel with a backend that cannot execute it
+    /// (the threaded dataflow simulator streams with fixed star taps).
+    KernelBackend {
+        /// The backend the spec asked for.
+        backend: Backend,
+    },
+    /// The job sets both `kernel` and `program` — a desc kernel describes
+    /// one operator, a program is a DAG of fixed-star operators.
+    KernelWithProgram,
 }
 
 impl std::fmt::Display for PlanError {
@@ -91,6 +100,12 @@ impl std::fmt::Display for PlanError {
             }
             PlanError::ZeroReplicas => write!(f, "replicas must be >= 1"),
             PlanError::Program(e) => write!(f, "{e}"),
+            PlanError::KernelBackend { backend } => {
+                write!(f, "backend {backend} cannot execute desc kernels")
+            }
+            PlanError::KernelWithProgram => {
+                write!(f, "a job cannot carry both a kernel and a program")
+            }
         }
     }
 }
@@ -223,6 +238,12 @@ pub struct ShapeKey {
     pub ny_class: usize,
     /// `nz` rounded up to a power of two (1 for 2D).
     pub nz_class: usize,
+    /// Kernel class for desc-kernel jobs (`None` for legacy star jobs,
+    /// keeping their shape keys and labels byte-identical). Desc kernels
+    /// get their own candidate tables even for the star family: their
+    /// tables must never carry the Threaded backend, which cannot execute
+    /// them.
+    pub kernel_class: Option<KernelClass>,
 }
 
 impl ShapeKey {
@@ -235,16 +256,34 @@ impl ShapeKey {
             nx_class: bucket(spec.nx),
             ny_class: bucket(spec.ny),
             nz_class: if spec.dim == 3 { bucket(spec.nz) } else { 1 },
+            kernel_class: spec.kernel.as_ref().map(|k| k.taps),
         }
     }
 
     /// Stable string form, used as the metrics-gauge suffix and the
-    /// report key: `d2r3x128y64z1`.
+    /// report key: `d2r3x128y64z1` for legacy jobs, with a `kstar` /
+    /// `kbox` / `kasym` suffix for desc-kernel shape classes.
     pub fn label(&self) -> String {
         format!(
-            "d{}r{}x{}y{}z{}",
-            self.dim, self.rad, self.nx_class, self.ny_class, self.nz_class
+            "d{}r{}x{}y{}z{}{}",
+            self.dim,
+            self.rad,
+            self.nx_class,
+            self.ny_class,
+            self.nz_class,
+            kernel_class_suffix(self.kernel_class)
         )
+    }
+}
+
+/// The label suffix a kernel class contributes to shape keys (empty for
+/// legacy star jobs, so every pre-kernel label survives unchanged).
+fn kernel_class_suffix(class: Option<KernelClass>) -> &'static str {
+    match class {
+        None => "",
+        Some(KernelClass::Star) => "kstar",
+        Some(KernelClass::Box) => "kbox",
+        Some(KernelClass::Asymmetric) => "kasym",
     }
 }
 
@@ -337,6 +376,13 @@ pub struct PlannerConfig {
     /// Percentage (0–100) of cache hits that explore a deterministic
     /// pseudo-random candidate instead of exploiting the best-measured one.
     pub epsilon_pct: u8,
+    /// Half-life, in boots, of persisted measured rates. A warm-started
+    /// shape that last saw fresh feedback `age` boots ago has its means
+    /// blended toward the backend prior with weight `0.5^(age / half_life)`
+    /// — after enough idle boots a once-fast candidate's stale rate decays
+    /// to the prior and fresh feedback beats it. Rates measured (or
+    /// refreshed) in the current run never decay.
+    pub warm_half_life_boots: f64,
 }
 
 impl Default for PlannerConfig {
@@ -344,6 +390,7 @@ impl Default for PlannerConfig {
         PlannerConfig {
             top_k: 4,
             epsilon_pct: 10,
+            warm_half_life_boots: 4.0,
         }
     }
 }
@@ -353,11 +400,26 @@ impl Default for PlannerConfig {
 struct Stat {
     sum_cells_per_sec: f64,
     samples: u64,
+    /// Whether any sample arrived in the current run (fresh feedback is
+    /// exempt from age decay, and resets the entry's exported age).
+    fresh: bool,
 }
 
 impl Stat {
     fn mean(&self) -> Option<f64> {
         (self.samples > 0).then(|| self.sum_cells_per_sec / self.samples as f64)
+    }
+
+    /// The mean the decision rules see: fresh feedback verbatim, persisted
+    /// feedback blended toward the backend prior by the age-decay weight.
+    fn decayed_mean(&self, backend: Backend, decay: f64) -> Option<f64> {
+        self.mean().map(|m| {
+            if self.fresh {
+                m
+            } else {
+                decay * m + (1.0 - decay) * prior_cells_per_sec(backend)
+            }
+        })
     }
 }
 
@@ -369,6 +431,21 @@ struct CacheEntry {
     planned: u64,
     /// Whether the entry was seeded from a planner-memory sidecar.
     warm: bool,
+    /// Boots since the entry's rates last saw fresh feedback (0 for
+    /// entries built or fed back this run; warm-started entries inherit
+    /// the sidecar's age).
+    age: u64,
+}
+
+impl CacheEntry {
+    /// Age-decay weight for this entry's persisted means.
+    fn decay(&self, half_life: f64) -> f64 {
+        if half_life <= 0.0 || self.age == 0 {
+            1.0
+        } else {
+            0.5f64.powf(self.age as f64 / half_life)
+        }
+    }
 }
 
 /// One plan request's outcome, in request order — the per-request ledger
@@ -492,16 +569,24 @@ impl Planner {
                     stats,
                     planned: 0,
                     warm: false,
+                    age: 0,
                 },
             );
         }
         let entry = cache.get_mut(&key).expect("inserted above");
 
-        // Estimated throughput per candidate: the measured mean once
-        // feedback exists, the backend's conservative prior until then.
-        // Copied out of the entry so the entry stays mutable below.
+        // Estimated throughput per candidate: the measured mean (decayed
+        // by the entry's warm-start age) once feedback exists, the
+        // backend's conservative prior until then. Copied out of the
+        // entry so the entry stays mutable below.
+        let decay = entry.decay(self.config.warm_half_life_boots);
         let backends: Vec<Backend> = entry.candidates.iter().map(|c| c.backend).collect();
-        let means: Vec<Option<f64>> = entry.stats.iter().map(Stat::mean).collect();
+        let means: Vec<Option<f64>> = entry
+            .stats
+            .iter()
+            .zip(&backends)
+            .map(|(s, &b)| s.decayed_mean(b, decay))
+            .collect();
         let est =
             |i: usize| -> f64 { means[i].unwrap_or_else(|| prior_cells_per_sec(backends[i])) };
 
@@ -581,10 +666,7 @@ impl Planner {
                 };
                 (pool[(h >> 32) as usize % pool.len()], true)
             } else {
-                (
-                    exploit_index(&eligible, &entry.candidates, &entry.stats, &load),
-                    false,
-                )
+                (exploit_index(&eligible, &backends, &means, &load), false)
             }
         } else {
             // First sight of the shape: trust the model's ranking.
@@ -650,6 +732,7 @@ impl Planner {
         };
         stat.sum_cells_per_sec += cells_per_sec;
         stat.samples += 1;
+        stat.fresh = true;
         metrics.counter("plan_feedback_samples").inc();
         let best = best_measured(&entry.stats).unwrap_or(0.0);
         metrics
@@ -695,6 +778,7 @@ impl Planner {
                     stats,
                     planned: 0,
                     warm: false,
+                    age: 0,
                 },
             );
         }
@@ -717,8 +801,19 @@ impl Planner {
                     nx_class: key.nx_class as u64,
                     ny_class: key.ny_class as u64,
                     nz_class: key.nz_class as u64,
+                    kernel_class: key
+                        .kernel_class
+                        .map_or(String::new(), |c| c.name().to_string()),
                     fingerprint: candidate_fingerprint(&entry.candidates),
                     planned: entry.planned,
+                    // Entries that saw fresh feedback this run export as
+                    // age 0; untouched warm entries age one boot per
+                    // export, so stale rates decay across restarts.
+                    age: if entry.stats.iter().any(|s| s.fresh) {
+                        0
+                    } else {
+                        entry.age + 1
+                    },
                     stats: entry
                         .stats
                         .iter()
@@ -766,6 +861,15 @@ impl Planner {
         let mut adopted: Vec<(ShapeKey, CacheEntry)> = Vec::with_capacity(memory.shapes.len());
         for shape in &memory.shapes {
             let pow2 = |n: u64| n > 0 && (n as usize).is_power_of_two();
+            let kernel_class = if shape.kernel_class.is_empty() {
+                None
+            } else {
+                Some(KernelClass::parse(&shape.kernel_class).ok_or_else(|| {
+                    PersistError::ShapeKeyDrift {
+                        label: shape.label(),
+                    }
+                })?)
+            };
             let valid_key = (shape.dim == 2 || shape.dim == 3)
                 && pow2(shape.nx_class)
                 && pow2(shape.ny_class)
@@ -782,6 +886,7 @@ impl Planner {
                 nx_class: shape.nx_class as usize,
                 ny_class: shape.ny_class as usize,
                 nz_class: shape.nz_class as usize,
+                kernel_class,
             };
             let candidates = self.build_candidates(&key, served);
             if candidates.is_empty()
@@ -798,6 +903,7 @@ impl Planner {
                 .map(|s| Stat {
                     sum_cells_per_sec: s.sum_cells_per_sec(),
                     samples: s.samples,
+                    fresh: false,
                 })
                 .collect();
             adopted.push((
@@ -807,6 +913,7 @@ impl Planner {
                     stats,
                     planned: 0,
                     warm: true,
+                    age: shape.age,
                 },
             ));
         }
@@ -896,8 +1003,10 @@ impl Planner {
                 });
             }
             // The threaded simulator spawns one thread set per chained PE,
-            // so its candidate uses the minimum legal temporal depth.
-            if served.contains(&Backend::Threaded) {
+            // so its candidate uses the minimum legal temporal depth. It
+            // streams fixed star taps with clamped edges, so desc-kernel
+            // shape classes never list it.
+            if key.kernel_class.is_none() && served.contains(&Backend::Threaded) {
                 let step = 4 / gcd(key.rad, 4);
                 let shallow = match dim {
                     Dim::D2 => BlockConfig::new_2d(key.rad, best.config.bsize_x, 2, step),
@@ -928,23 +1037,21 @@ impl Planner {
 }
 
 /// Exploit rule: among `eligible` candidates, maximize estimated
-/// throughput — measured mean cells/s where feedback exists, the
-/// backend's conservative prior otherwise — divided by `(in-flight + 1)`
-/// on the candidate's backend. Ties keep the earlier (model-best)
-/// candidate.
+/// throughput — the (age-decayed) measured mean cells/s where feedback
+/// exists, the backend's conservative prior otherwise — divided by
+/// `(in-flight + 1)` on the candidate's backend. Ties keep the earlier
+/// (model-best) candidate.
 fn exploit_index(
     eligible: &[usize],
-    candidates: &[PlanCandidate],
-    stats: &[Stat],
+    backends: &[Backend],
+    means: &[Option<f64>],
     load: &BTreeMap<Backend, u64>,
 ) -> usize {
     let mut best = eligible[0];
     let mut best_rate = f64::NEG_INFINITY;
     for &i in eligible {
-        let backend = candidates[i].backend;
-        let est = stats[i]
-            .mean()
-            .unwrap_or_else(|| prior_cells_per_sec(backend));
+        let backend = backends[i];
+        let est = means[i].unwrap_or_else(|| prior_cells_per_sec(backend));
         let in_flight = load.get(&backend).copied().unwrap_or(0);
         let rate = est / (in_flight + 1) as f64;
         if rate > best_rate {
@@ -1291,6 +1398,7 @@ mod tests {
         let planner = Planner::new(PlannerConfig {
             top_k: 4,
             epsilon_pct: 0, // pure exploitation after the miss
+            ..Default::default()
         });
         let metrics = MetricsRegistry::new();
         let served = Backend::ALL.to_vec();
@@ -1319,6 +1427,7 @@ mod tests {
         let planner = Planner::new(PlannerConfig {
             top_k: 4,
             epsilon_pct: 30,
+            ..Default::default()
         });
         let metrics = MetricsRegistry::new();
         let served = Backend::ALL.to_vec();
@@ -1350,6 +1459,7 @@ mod tests {
         let planner = Planner::new(PlannerConfig {
             top_k: 4,
             epsilon_pct: 0, // pure exploitation
+            ..Default::default()
         });
         let metrics = MetricsRegistry::new();
         let served = Backend::ALL.to_vec();
@@ -1381,6 +1491,7 @@ mod tests {
         let planner = Planner::new(PlannerConfig {
             top_k: 4,
             epsilon_pct: 100, // force exploration — even explorers obey
+            ..Default::default()
         });
         let metrics = MetricsRegistry::new();
         let served = Backend::ALL.to_vec();
@@ -1406,6 +1517,7 @@ mod tests {
         let planner = Planner::new(PlannerConfig {
             top_k: 4,
             epsilon_pct: 50,
+            ..Default::default()
         });
         let metrics = MetricsRegistry::new();
         let served = vec![Backend::CpuEngine];
@@ -1538,6 +1650,7 @@ mod tests {
         let teacher = Planner::new(PlannerConfig {
             top_k: 4,
             epsilon_pct: 0,
+            ..Default::default()
         });
         let first = teacher
             .plan(&auto_spec(1, 2, 96, 32), &served, &metrics)
@@ -1558,6 +1671,7 @@ mod tests {
         let student = Planner::new(PlannerConfig {
             top_k: 4,
             epsilon_pct: 0,
+            ..Default::default()
         });
         let fresh = MetricsRegistry::new();
         assert_eq!(student.warm_start(&memory, &served).unwrap(), 1);
@@ -1636,6 +1750,117 @@ mod tests {
             0,
             "no partial adoption"
         );
+    }
+
+    #[test]
+    fn kernel_jobs_get_their_own_shape_class_without_threaded() {
+        use crate::job::KernelSpec;
+        use stencil_core::BoundaryCond;
+        let legacy = auto_spec(1, 2, 96, 32);
+        let mut kernel = auto_spec(2, 2, 96, 32);
+        kernel.kernel = Some(KernelSpec {
+            taps: KernelClass::Box,
+            boundary: BoundaryCond::Periodic,
+        });
+        let lk = ShapeKey::of(&legacy);
+        let kk = ShapeKey::of(&kernel);
+        assert_ne!(lk, kk, "kernel jobs never share legacy candidate tables");
+        assert_eq!(lk.label(), "d2r2x128y32z1", "legacy labels unchanged");
+        assert_eq!(kk.label(), "d2r2x128y32z1kbox");
+        // Even the star family gets its own class: its table must omit
+        // Threaded, which legacy star tables include.
+        let mut star = auto_spec(3, 2, 96, 32);
+        star.kernel = Some(KernelSpec {
+            taps: KernelClass::Star,
+            boundary: BoundaryCond::Clamp,
+        });
+        assert_eq!(ShapeKey::of(&star).label(), "d2r2x128y32z1kstar");
+
+        let planner = Planner::new(PlannerConfig::default());
+        let served = Backend::ALL.to_vec();
+        for key in [kk, ShapeKey::of(&star)] {
+            let cands = planner.candidates(key, &served);
+            assert!(!cands.is_empty());
+            assert!(
+                cands.iter().all(|c| c.backend != Backend::Threaded),
+                "desc-kernel tables must omit the streaming Threaded backend"
+            );
+        }
+        assert!(
+            planner
+                .candidates(lk, &served)
+                .iter()
+                .any(|c| c.backend == Backend::Threaded),
+            "legacy star table keeps its Threaded candidate"
+        );
+    }
+
+    #[test]
+    fn stale_warm_rates_decay_and_lose_to_fresh_feedback() {
+        let metrics = MetricsRegistry::new();
+        let served = Backend::ALL.to_vec();
+        // Teach a decisive winner: candidate `slow.index + 1` at 1e9.
+        let teacher = Planner::new(PlannerConfig {
+            top_k: 4,
+            epsilon_pct: 0,
+            ..Default::default()
+        });
+        let first = teacher
+            .plan(&auto_spec(1, 2, 96, 32), &served, &metrics)
+            .unwrap();
+        let taught = PlanAssignment {
+            index: first.index + 1,
+            ..first.clone()
+        };
+        teacher.record_throughput(&taught, 1e9, &metrics);
+        let mut memory = teacher.export_memory();
+        assert_eq!(memory.shapes[0].age, 0, "fed-back entries export age 0");
+
+        // Simulate many idle boots: the entry ages without fresh feedback.
+        memory.shapes[0].age = 40;
+
+        // A student with a 4-boot half-life sees the stale 1e9 decayed by
+        // 2^-10 toward the prior; one fresh sample at 2x the prior on the
+        // model-best candidate must now win.
+        let student = Planner::new(PlannerConfig {
+            top_k: 4,
+            epsilon_pct: 0,
+            warm_half_life_boots: 4.0,
+        });
+        let fresh = MetricsRegistry::new();
+        assert_eq!(student.warm_start(&memory, &served).unwrap(), 1);
+        let asg = student
+            .plan(&auto_spec(50, 2, 96, 32), &served, &fresh)
+            .unwrap();
+        student.release(&asg);
+        let best = PlanAssignment {
+            index: first.index,
+            ..first.clone()
+        };
+        student.record_throughput(&best, 1e8, &fresh);
+        let next = student
+            .plan(&auto_spec(51, 2, 96, 32), &served, &fresh)
+            .unwrap();
+        assert_eq!(
+            next.index, first.index,
+            "fresh 1e8 beats the 40-boot-old 1e9 (decayed to ~the prior)"
+        );
+
+        // Control: the same sidecar at age 0 still steers to the taught
+        // winner even against the same fresh sample.
+        memory.shapes[0].age = 0;
+        let control = Planner::new(PlannerConfig {
+            top_k: 4,
+            epsilon_pct: 0,
+            warm_half_life_boots: 4.0,
+        });
+        let cm = MetricsRegistry::new();
+        control.warm_start(&memory, &served).unwrap();
+        control.record_throughput(&best, 1e8, &cm);
+        let kept = control
+            .plan(&auto_spec(52, 2, 96, 32), &served, &cm)
+            .unwrap();
+        assert_eq!(kept.index, taught.index, "age-0 rates do not decay");
     }
 
     #[test]

@@ -33,8 +33,11 @@ use stencil_core::BlockConfig;
 /// (per-job JSONL trace accounting — exactly one record per terminal job —
 /// plus planner-memory warm-start counters and the plan-cache convergence
 /// headline, cross-validated against the job counters, the wall clock, and
-/// the `planner` section).
-pub const SCHEMA_VERSION: u64 = 7;
+/// the `planner` section); 8 = adds the compiled-kernel cache counters to
+/// the `memory` section (`kernel_memo_hits` / `kernel_memo_misses` /
+/// `kernel_memo_evictions` / `kernel_memo_hit_rate` from the runtime
+/// kernel specializer, cross-validated by [`validate_report_json`]).
+pub const SCHEMA_VERSION: u64 = 8;
 
 /// Latency distribution summary (milliseconds).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -250,6 +253,17 @@ pub struct MemoryReport {
     pub stencil_memo_hits: u64,
     /// Stencil constructions that had to build coefficients.
     pub stencil_memo_misses: u64,
+    /// Compiled-kernel requests answered from the specializer cache.
+    pub kernel_memo_hits: u64,
+    /// Compiled-kernel requests that ran the runtime specializer.
+    pub kernel_memo_misses: u64,
+    /// Compiled kernels dropped by the cache's FIFO bound (each eviction
+    /// follows an insert, and every insert follows a miss, so evictions
+    /// can never exceed misses).
+    pub kernel_memo_evictions: u64,
+    /// `kernel_memo_hits / (kernel_memo_hits + kernel_memo_misses)` (0 when
+    /// no kernel was ever requested).
+    pub kernel_memo_hit_rate: f64,
 }
 
 impl MemoryReport {
@@ -258,6 +272,8 @@ impl MemoryReport {
         let count = |name: &str| metrics.counter(name).get();
         let hits = count("pool_hits");
         let misses = count("pool_misses");
+        let khits = count("kernel_memo_hits");
+        let kmisses = count("kernel_memo_misses");
         MemoryReport {
             pool_hits: hits,
             pool_misses: misses,
@@ -275,6 +291,14 @@ impl MemoryReport {
                 as u64,
             stencil_memo_hits: count("stencil_memo_hits"),
             stencil_memo_misses: count("stencil_memo_misses"),
+            kernel_memo_hits: khits,
+            kernel_memo_misses: kmisses,
+            kernel_memo_evictions: count("kernel_memo_evictions"),
+            kernel_memo_hit_rate: if khits + kmisses > 0 {
+                khits as f64 / (khits + kmisses) as f64
+            } else {
+                0.0
+            },
         }
     }
 }
@@ -1156,6 +1180,25 @@ fn validate_memory(m: &MemoryReport) -> Result<(), String> {
     if m.pool_hits > 0 && m.bytes_pooled == 0 {
         return Err("memory: pool hits recorded but bytes_pooled is 0".into());
     }
+    let kernel_lookups = m.kernel_memo_hits + m.kernel_memo_misses;
+    let expected_kernel_rate = if kernel_lookups > 0 {
+        m.kernel_memo_hits as f64 / kernel_lookups as f64
+    } else {
+        0.0
+    };
+    if !m.kernel_memo_hit_rate.is_finite()
+        || (m.kernel_memo_hit_rate - expected_kernel_rate).abs() > 1e-9
+    {
+        return Err(format!(
+            "memory.kernel_memo_hit_rate {} inconsistent with hits/(hits+misses)",
+            m.kernel_memo_hit_rate
+        ));
+    }
+    if m.kernel_memo_evictions > m.kernel_memo_misses {
+        return Err(
+            "memory: kernel evictions exceed misses (every eviction follows a compile)".into(),
+        );
+    }
     Ok(())
 }
 
@@ -1315,6 +1358,9 @@ mod tests {
         metrics.gauge("pool_resident_bytes").add(3 * 4096);
         metrics.counter("stencil_memo_misses").add(2);
         metrics.counter("stencil_memo_hits").add(1);
+        metrics.counter("kernel_memo_misses").add(2);
+        metrics.counter("kernel_memo_hits").add(2);
+        metrics.counter("kernel_memo_evictions").add(1);
         metrics.counter("trace_records").add(2);
         ServeReport::build(
             "synthetic",
@@ -1795,6 +1841,43 @@ mod tests {
         bad.tenants[0].rejected_quota = 0;
         let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
         assert!(err.contains("quota_rejected != submitted"), "{err}");
+    }
+
+    #[test]
+    fn kernel_memo_section_validates_and_rejects_drift() {
+        let report = sample_report();
+        assert_eq!(report.memory.kernel_memo_hits, 2);
+        assert_eq!(report.memory.kernel_memo_misses, 2);
+        assert_eq!(report.memory.kernel_memo_evictions, 1);
+        assert!((report.memory.kernel_memo_hit_rate - 0.5).abs() < 1e-12);
+        validate_report_json(&serde_json::to_string(&report).unwrap()).unwrap();
+
+        // A hit rate that disagrees with the raw counters is drift.
+        let mut bad = sample_report();
+        bad.memory.kernel_memo_hit_rate = 0.9;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("kernel_memo_hit_rate"), "{err}");
+
+        // Every eviction follows an insert, and every insert a miss.
+        let mut bad = sample_report();
+        bad.memory.kernel_memo_evictions = bad.memory.kernel_memo_misses + 1;
+        let err = validate_report_json(&serde_json::to_string(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("kernel evictions exceed misses"), "{err}");
+
+        // The counters are mandatory at v8: a v7-shaped report fails parse.
+        let json = serde_json::to_string(&sample_report()).unwrap();
+        let stripped = json.replacen("\"kernel_memo_hits\"", "\"kernel_memo_hits_gone\"", 1);
+        let err = validate_report_json(&stripped).unwrap_err();
+        assert!(err.contains("kernel_memo_hits"), "{err}");
+
+        // A workload that never requested a kernel still validates with an
+        // all-zero slice (rate 0, not NaN).
+        let mut zero = sample_report();
+        zero.memory.kernel_memo_hits = 0;
+        zero.memory.kernel_memo_misses = 0;
+        zero.memory.kernel_memo_evictions = 0;
+        zero.memory.kernel_memo_hit_rate = 0.0;
+        validate_report_json(&serde_json::to_string(&zero).unwrap()).unwrap();
     }
 
     #[test]

@@ -59,13 +59,13 @@ use crate::tenant::{Tenant, TenantPolicy, TenantRegistry, TenantSnapshot};
 use crate::trace::{outcome_label, AttemptSpan, TraceRecord, TraceWriter, TRACE_SCHEMA_VERSION};
 use cpu_engine::engines;
 use fpga_sim::cluster::{self, ClusterKernel, ClusterNode, ClusterSpec};
-use fpga_sim::{functional, serial_ref, threaded, SimCounters, SimOptions};
+use fpga_sim::{functional, kernel_exec, serial_ref, threaded, SimCounters, SimOptions};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex, Once};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use stencil_core::{Grid2D, Grid3D};
+use stencil_core::{kernel_ir, Grid2D, Grid3D, KernelDesc};
 
 /// Everything tunable about a [`Runtime`].
 #[derive(Debug, Clone)]
@@ -992,6 +992,9 @@ fn execute(
     if let Some(prog) = &spec.program {
         return execute_program(spec, prog, token, env);
     }
+    if spec.kernel.is_some() {
+        return execute_kernel(spec, token, env);
+    }
     let cfg = spec.block_config().expect("spec validated at admission");
     if spec.dim == 2 {
         let st = env.stencils.stencil_2d(spec.rad, spec.seed);
@@ -1094,6 +1097,156 @@ fn execute(
             Backend::SerialRef => {
                 out.copy_from(&serial_ref::run_3d_serial(&st, &input, &cfg, spec.iters));
                 plain_counters(spec)
+            }
+        };
+        drop(scratch);
+        drop(input);
+        if token.is_cancelled() {
+            return Err(Interrupted);
+        }
+        Ok(ExecOut {
+            checksum: checksum_f32(out.as_slice()),
+            counters,
+            output: OutputGrid::G3(out),
+            program: None,
+        })
+    }
+}
+
+/// Lane width every runtime-specialized kernel is compiled at. Eight f32
+/// lanes is the widest fused path the specializer emits and matches the
+/// paper's `parvec` sweet spot on the DDR profile.
+const KERNEL_LANES: usize = 8;
+
+/// Rebuilds the validated [`KernelDesc`] a kernel job describes. Pure
+/// function of the spec (taps family × boundary × dim/rad/seed), so the
+/// worker and the shadow oracle derive the identical desc.
+fn kernel_desc_for(spec: &JobSpec) -> KernelDesc {
+    spec.kernel
+        .as_ref()
+        .expect("caller checked spec.kernel")
+        .desc(spec.dim, spec.rad, spec.seed)
+        .expect("kernel desc validated at admission")
+}
+
+/// Runs a kernel job — a [`JobSpec`] carrying a [`crate::job::KernelSpec`]
+/// that opens the scenario space beyond star/clamp — through the pooled
+/// data path. The desc is lowered once per (desc, lanes) pair by the
+/// [`StencilMemo`] kernel cache; repeat shapes reuse the compiled kernel.
+///
+/// Backend routing: `SerialRef` executes the frozen generic-reference
+/// interpreter (the oracle itself), `CpuEngine` the rayon row-parallel
+/// specialized path, `Functional` the grid-resident simulator runner with
+/// block-boundary cancellation. `Threaded` is rejected at admission and
+/// never planned for kernel jobs: the streaming channel pipeline cannot
+/// wrap or reflect in the streamed dimension.
+fn execute_kernel(
+    spec: &JobSpec,
+    token: &CancelToken,
+    env: &ExecEnv,
+) -> Result<ExecOut, Interrupted> {
+    let desc = kernel_desc_for(spec);
+    if spec.dim == 2 {
+        let mut input = env.pool.lease_2d(spec.nx, spec.ny);
+        fill_grid_2d(spec, &mut input);
+        let mut out = env.pool.lease_2d(spec.nx, spec.ny);
+        let mut scratch = env.pool.lease_2d(spec.nx, spec.ny);
+        let counters = match spec.backend {
+            Backend::Functional => {
+                let kernel = env
+                    .stencils
+                    .kernel_2d(&desc, KERNEL_LANES)
+                    .expect("kernel desc validated at admission");
+                let cancel = || token.is_cancelled();
+                match kernel_exec::run_kernel_2d_cancellable_into(
+                    &kernel,
+                    &input,
+                    spec.iters,
+                    &cancel,
+                    &mut out,
+                    &mut scratch,
+                ) {
+                    Some(c) => c,
+                    None => return Err(Interrupted),
+                }
+            }
+            Backend::CpuEngine => {
+                let kernel = env
+                    .stencils
+                    .kernel_2d(&desc, KERNEL_LANES)
+                    .expect("kernel desc validated at admission");
+                engines::parallel_2d_kernel_into(
+                    &kernel,
+                    &input,
+                    spec.iters,
+                    &mut out,
+                    &mut scratch,
+                );
+                plain_counters(spec)
+            }
+            Backend::SerialRef => {
+                out.copy_from(&kernel_ir::reference_run_2d(&desc, &input, spec.iters));
+                plain_counters(spec)
+            }
+            Backend::Threaded => {
+                unreachable!("kernel jobs are rejected for the Threaded backend at admission")
+            }
+        };
+        drop(scratch);
+        drop(input);
+        if token.is_cancelled() {
+            return Err(Interrupted);
+        }
+        Ok(ExecOut {
+            checksum: checksum_f32(out.as_slice()),
+            counters,
+            output: OutputGrid::G2(out),
+            program: None,
+        })
+    } else {
+        let mut input = env.pool.lease_3d(spec.nx, spec.ny, spec.nz);
+        fill_grid_3d(spec, &mut input);
+        let mut out = env.pool.lease_3d(spec.nx, spec.ny, spec.nz);
+        let mut scratch = env.pool.lease_3d(spec.nx, spec.ny, spec.nz);
+        let counters = match spec.backend {
+            Backend::Functional => {
+                let kernel = env
+                    .stencils
+                    .kernel_3d(&desc, KERNEL_LANES)
+                    .expect("kernel desc validated at admission");
+                let cancel = || token.is_cancelled();
+                match kernel_exec::run_kernel_3d_cancellable_into(
+                    &kernel,
+                    &input,
+                    spec.iters,
+                    &cancel,
+                    &mut out,
+                    &mut scratch,
+                ) {
+                    Some(c) => c,
+                    None => return Err(Interrupted),
+                }
+            }
+            Backend::CpuEngine => {
+                let kernel = env
+                    .stencils
+                    .kernel_3d(&desc, KERNEL_LANES)
+                    .expect("kernel desc validated at admission");
+                engines::parallel_3d_kernel_into(
+                    &kernel,
+                    &input,
+                    spec.iters,
+                    &mut out,
+                    &mut scratch,
+                );
+                plain_counters(spec)
+            }
+            Backend::SerialRef => {
+                out.copy_from(&kernel_ir::reference_run_3d(&desc, &input, spec.iters));
+                plain_counters(spec)
+            }
+            Backend::Threaded => {
+                unreachable!("kernel jobs are rejected for the Threaded backend at admission")
             }
         };
         drop(scratch);
@@ -1478,6 +1631,21 @@ fn execute_program(
 /// untouched.
 fn shadow_verify(spec: &JobSpec, output: &OutputGrid, env: &ExecEnv) -> bool {
     match output {
+        // Kernel jobs verify against the frozen generic-reference
+        // interpreter — the oracle for the open-ended desc space, which
+        // `serial_ref` (star/clamp only) cannot cover.
+        OutputGrid::G2(out) if spec.kernel.is_some() => {
+            let desc = kernel_desc_for(spec);
+            let mut input = env.pool.lease_2d(spec.nx, spec.ny);
+            fill_grid_2d(spec, &mut input);
+            **out == kernel_ir::reference_run_2d(&desc, &input, spec.iters)
+        }
+        OutputGrid::G3(out) if spec.kernel.is_some() => {
+            let desc = kernel_desc_for(spec);
+            let mut input = env.pool.lease_3d(spec.nx, spec.ny, spec.nz);
+            fill_grid_3d(spec, &mut input);
+            **out == kernel_ir::reference_run_3d(&desc, &input, spec.iters)
+        }
         OutputGrid::G2(out) => {
             let cfg = spec.block_config().expect("spec validated at admission");
             let st = env.stencils.stencil_2d(spec.rad, spec.seed);
@@ -1517,10 +1685,12 @@ fn shadow_verify(spec: &JobSpec, output: &OutputGrid, env: &ExecEnv) -> bool {
 
 /// Deterministic shadow sampling: forced by the spec, forced for every
 /// program job (the dataflow section's bit-exactness contract is only as
-/// good as its coverage), or a seed/id hash falling under the configured
-/// percentage.
+/// good as its coverage), forced for every kernel job (the open desc space
+/// is exactly where a specializer bug would hide), or a seed/id hash
+/// falling under the configured percentage.
 fn should_shadow(spec: &JobSpec, percent: u8) -> bool {
     spec.program.is_some()
+        || spec.kernel.is_some()
         || spec.shadow
         || splitmix64(spec.id ^ spec.seed.rotate_left(32)) % 100 < percent as u64
 }
@@ -2006,6 +2176,94 @@ mod tests {
                 + metrics.counter("program_stage1_cells").get(),
             metrics.counter("program_cells").get()
         );
+    }
+
+    #[test]
+    fn kernel_jobs_execute_and_shadow_on_every_routed_backend() {
+        use crate::job::KernelSpec;
+        use stencil_core::{BoundaryCond, KernelClass};
+        let token = CancelToken::new();
+        let (env, metrics) = test_env();
+        for backend in [Backend::SerialRef, Backend::CpuEngine, Backend::Functional] {
+            for (taps, boundary) in [
+                (KernelClass::Box, BoundaryCond::Periodic),
+                (KernelClass::Asymmetric, BoundaryCond::Reflective),
+                (KernelClass::Star, BoundaryCond::Clamp),
+            ] {
+                let mut spec = JobSpec::new_2d(19, 2, 61, 23, 3);
+                spec.backend = backend;
+                spec.kernel = Some(KernelSpec { taps, boundary });
+                spec.validate().expect("kernel spec validates");
+                assert!(should_shadow(&spec, 0), "kernel jobs always shadow");
+                let out = execute(&spec, 1, &token, &env).ok().expect("completes");
+                let desc = kernel_desc_for(&spec);
+                let oracle = kernel_ir::reference_run_2d(&desc, &grid_2d(&spec), 3);
+                match &out.output {
+                    OutputGrid::G2(g) => assert_eq!(&**g, &oracle, "{backend} {taps} {boundary}"),
+                    _ => panic!("2D kernel job produced a non-G2 output"),
+                }
+                assert!(shadow_verify(&spec, &out.output, &env));
+            }
+        }
+        // Compiled kernels are memoized: 3 distinct 2D descs were compiled
+        // once each and then re-served across backends and shadow runs.
+        assert_eq!(metrics.counter("kernel_memo_misses").get(), 3);
+        assert!(metrics.counter("kernel_memo_hits").get() >= 3);
+    }
+
+    #[test]
+    fn kernel_jobs_execute_3d_and_star_clamp_matches_legacy_oracle() {
+        use crate::job::KernelSpec;
+        use stencil_core::{BoundaryCond, KernelClass};
+        let token = CancelToken::new();
+        let (env, _) = test_env();
+        let mut spec = JobSpec::new_3d(23, 2, 20, 14, 9, 2);
+        spec.backend = Backend::Functional;
+        spec.kernel = Some(KernelSpec {
+            taps: KernelClass::Box,
+            boundary: BoundaryCond::Periodic,
+        });
+        spec.validate().expect("kernel spec validates");
+        let out = execute(&spec, 1, &token, &env).ok().expect("completes");
+        let desc = kernel_desc_for(&spec);
+        let oracle = kernel_ir::reference_run_3d(&desc, &grid_3d(&spec), 2);
+        match &out.output {
+            OutputGrid::G3(g) => assert_eq!(&**g, &oracle),
+            _ => panic!("3D kernel job produced a non-G3 output"),
+        }
+        assert!(shadow_verify(&spec, &out.output, &env));
+
+        // A star/clamp kernel job is bit-exact with the legacy star path:
+        // the desc space strictly contains the old fast path.
+        let mut star = JobSpec::new_2d(29, 2, 96, 24, 5);
+        star.backend = Backend::CpuEngine;
+        star.kernel = Some(KernelSpec {
+            taps: KernelClass::Star,
+            boundary: BoundaryCond::Clamp,
+        });
+        let out = execute(&star, 1, &token, &env).ok().expect("completes");
+        let st = Stencil2D::<f32>::random(2, star.seed).unwrap();
+        let legacy = exec::run_2d(&st, &grid_2d(&star), 5);
+        match &out.output {
+            OutputGrid::G2(g) => assert_eq!(&**g, &legacy, "star/clamp desc == legacy star path"),
+            _ => panic!("2D kernel job produced a non-G2 output"),
+        }
+    }
+
+    #[test]
+    fn cancelled_kernel_jobs_are_interrupted() {
+        use crate::job::KernelSpec;
+        use stencil_core::{BoundaryCond, KernelClass};
+        let token = CancelToken::new();
+        token.cancel();
+        let (env, _) = test_env();
+        let mut spec = JobSpec::new_2d(31, 2, 48, 32, 4);
+        spec.backend = Backend::Functional;
+        spec.kernel = Some(KernelSpec {
+            taps: KernelClass::Box,
+            boundary: BoundaryCond::Periodic,
+        });
+        assert!(execute(&spec, 1, &token, &env).is_err());
     }
 
     #[test]

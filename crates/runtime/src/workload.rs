@@ -19,10 +19,11 @@
 //! *outside* the RNG draw sequence so a single-tenant and an N-tenant run
 //! of the same seed submit byte-identical job geometries.
 
-use crate::job::{Backend, JobSpec, Priority};
+use crate::job::{Backend, JobSpec, KernelSpec, Priority};
 use crate::program::StencilProgram;
 use crate::tenant::Tenant;
 use std::io::BufRead;
+use stencil_core::{BoundaryCond, KernelClass};
 
 /// xorshift64* — a tiny, seedable, deterministic RNG for workload
 /// synthesis (quality is irrelevant; determinism is the point).
@@ -88,6 +89,14 @@ pub struct SyntheticParams {
     /// two tenants. `false` leaves the historical stream untouched, draw
     /// for draw.
     pub programs: bool,
+    /// Mixes declarative *kernel-desc* jobs into the stream: jobs whose
+    /// `id % 4` is 3 gain a [`KernelSpec`] cycling through the tap
+    /// families (star/box/asymmetric) and boundary conditions
+    /// (clamp/periodic/reflective), routed only to backends that execute
+    /// desc kernels (never `Threaded`). Disjoint from the `programs`
+    /// slice, so both mixes can run together. `false` leaves the
+    /// historical stream untouched, draw for draw.
+    pub kernels: bool,
 }
 
 impl SyntheticParams {
@@ -101,6 +110,7 @@ impl SyntheticParams {
             mean_arrival_us: if quick { 200 } else { 500 },
             tenants: 1,
             programs: false,
+            kernels: false,
         }
     }
 }
@@ -124,6 +134,8 @@ pub fn synthetic_workload(params: &SyntheticParams) -> Vec<JobSpec> {
     for id in 0..params.jobs as u64 {
         let mut spec = if params.programs && matches!(id % 4, 1 | 2) {
             synthesize_program_job(id, &mut rng, params.quick)
+        } else if params.kernels && id % 4 == 3 {
+            synthesize_kernel_job(id, &mut rng, params.quick)
         } else {
             synthesize_job(id, &mut rng, params.quick)
         };
@@ -275,6 +287,84 @@ fn synthesize_program_job(id: u64, rng: &mut XorShift64, quick: bool) -> JobSpec
     spec
 }
 
+/// Synthesizes one declarative *kernel-desc* job: the geometry draw of a
+/// plain 2D/3D job plus a [`KernelSpec`], on a backend that executes desc
+/// kernels (`Threaded` cannot, so it is excluded from the draw — admission
+/// would reject it anyway).
+///
+/// The desc itself (taps + boundary + radius + coefficient seed) is drawn
+/// from a *small fixed table* of recurring kernel types rather than fully
+/// at random: a serving fleet runs a handful of kernel shapes over and
+/// over, and recurring descs are exactly what the compiled-kernel cache
+/// exists for — a fully random coefficient seed would make every desc
+/// hash unique and pin the cache hit rate at zero. Radii stay small (1–2)
+/// so box neighborhoods stay affordable at serve scale; the bench matrix
+/// covers the deep-radius shapes.
+fn synthesize_kernel_job(id: u64, rng: &mut XorShift64, quick: bool) -> JobSpec {
+    const KERNEL_BACKENDS: [Backend; 3] =
+        [Backend::SerialRef, Backend::CpuEngine, Backend::Functional];
+    /// The recurring kernel types: (taps, boundary, rad, 3D?). The 2D
+    /// slice spans every tap family and boundary condition; the 3D slice
+    /// keeps the deep shapes that stress plane-major lowering.
+    const TYPES: [(KernelClass, BoundaryCond, usize, bool); 6] = [
+        (KernelClass::Star, BoundaryCond::Clamp, 1, false),
+        (KernelClass::Box, BoundaryCond::Periodic, 2, false),
+        (KernelClass::Asymmetric, BoundaryCond::Reflective, 2, false),
+        (KernelClass::Box, BoundaryCond::Reflective, 1, false),
+        (KernelClass::Star, BoundaryCond::Periodic, 2, true),
+        (KernelClass::Box, BoundaryCond::Clamp, 1, true),
+    ];
+    let backend = KERNEL_BACKENDS[(rng.next_u64() % 3) as usize];
+    let kind = (rng.next_u64() % TYPES.len() as u64) as usize;
+    let (taps, boundary, rad, dim3) = TYPES[kind];
+    let mut spec = if dim3 {
+        let n = if quick {
+            rng.gen_range(10, 18) as usize
+        } else {
+            rng.gen_range(16, 28) as usize
+        };
+        let iters = if quick {
+            2
+        } else {
+            rng.gen_range(2, 4) as usize
+        };
+        JobSpec::new_3d(id, rad, n, n, n.div_ceil(2), iters)
+    } else {
+        let (nx, ny) = if quick {
+            (
+                rng.gen_range(48, 96) as usize,
+                rng.gen_range(16, 40) as usize,
+            )
+        } else {
+            (
+                rng.gen_range(96, 256) as usize,
+                rng.gen_range(32, 96) as usize,
+            )
+        };
+        let iters = if quick {
+            rng.gen_range(1, 3) as usize
+        } else {
+            rng.gen_range(2, 6) as usize
+        };
+        JobSpec::new_2d(id, rad, nx, ny, iters)
+    };
+    spec.backend = backend;
+    spec.kernel = Some(KernelSpec { taps, boundary });
+    // The coefficient seed is the type index: same type, same desc, same
+    // stable hash — the compiled-kernel cache hits on every repeat.
+    spec.seed = kind as u64;
+    spec.priority = match rng.next_u64() % 10 {
+        0..=1 => Priority::Low,
+        2..=7 => Priority::Normal,
+        _ => Priority::High,
+    };
+    debug_assert!(
+        spec.validate().is_ok(),
+        "generator must emit valid kernel jobs"
+    );
+    spec
+}
+
 /// Serializes a workload as JSONL (one spec per line).
 pub fn to_jsonl(specs: &[JobSpec]) -> String {
     let mut out = String::new();
@@ -408,6 +498,7 @@ mod tests {
             mean_arrival_us: 500,
             tenants: 1,
             programs: false,
+            kernels: false,
         };
         assert_eq!(arrival_gaps_us(&p), a, "eager form is the same stream");
         assert!(a.iter().all(|&g| g <= 50_000), "gaps are clamped");
@@ -464,6 +555,65 @@ mod tests {
             synthetic_workload(&p),
             synthetic_workload(&SyntheticParams::new(40, 13, true))
         );
+    }
+
+    #[test]
+    fn kernel_mix_spans_the_scenario_space_and_round_trips() {
+        let mut p = SyntheticParams::new(120, 17, true);
+        p.kernels = true;
+        let specs = synthetic_workload(&p);
+        // Exactly the `id % 4 == 3` slice carries kernel descs.
+        assert!(specs.iter().all(|s| s.kernel.is_some() == (s.id % 4 == 3)));
+        let kernel_jobs: Vec<_> = specs.iter().filter(|s| s.kernel.is_some()).collect();
+        assert_eq!(kernel_jobs.len(), 30);
+        // The mix covers every tap family and boundary condition, both
+        // dimensionalities, and never routes to Threaded (which cannot
+        // execute desc kernels).
+        for taps in [KernelClass::Star, KernelClass::Box, KernelClass::Asymmetric] {
+            assert!(
+                kernel_jobs
+                    .iter()
+                    .any(|s| s.kernel.as_ref().unwrap().taps == taps),
+                "missing tap family {taps:?}"
+            );
+        }
+        for boundary in [
+            BoundaryCond::Clamp,
+            BoundaryCond::Periodic,
+            BoundaryCond::Reflective,
+        ] {
+            assert!(
+                kernel_jobs
+                    .iter()
+                    .any(|s| s.kernel.as_ref().unwrap().boundary == boundary),
+                "missing boundary {boundary:?}"
+            );
+        }
+        assert!(kernel_jobs.iter().any(|s| s.dim == 2));
+        assert!(kernel_jobs.iter().any(|s| s.dim == 3));
+        assert!(kernel_jobs
+            .iter()
+            .all(|s| s.backend != Backend::Threaded && s.validate().is_ok()));
+        // Kernel jobs survive the JSONL replay format bit-for-bit.
+        let back = parse_jsonl(&to_jsonl(&specs)).unwrap();
+        assert_eq!(back, specs);
+        // The flag off reproduces the historical stream exactly.
+        p.kernels = false;
+        assert_eq!(
+            synthetic_workload(&p),
+            synthetic_workload(&SyntheticParams::new(120, 17, true))
+        );
+        // Programs and kernels occupy disjoint id slices, so both mixes
+        // compose without colliding.
+        let mut both = SyntheticParams::new(40, 17, true);
+        both.programs = true;
+        both.kernels = true;
+        let specs = synthetic_workload(&both);
+        assert!(specs
+            .iter()
+            .all(|s| !(s.program.is_some() && s.kernel.is_some())));
+        assert!(specs.iter().any(|s| s.program.is_some()));
+        assert!(specs.iter().any(|s| s.kernel.is_some()));
     }
 
     #[test]

@@ -51,7 +51,7 @@ proptest! {
         epsilon in 0u8..=100,
         jobs in 1usize..12,
     ) {
-        let planner = Planner::new(PlannerConfig { top_k: 4, epsilon_pct: epsilon });
+        let planner = Planner::new(PlannerConfig { top_k: 4, epsilon_pct: epsilon, ..Default::default() });
         let metrics = MetricsRegistry::new();
         let served = Backend::ALL.to_vec();
         for id in 0..jobs as u64 {
@@ -73,7 +73,7 @@ proptest! {
         praised_slot in 0usize..8,
         reps in 1usize..6,
     ) {
-        let planner = Planner::new(PlannerConfig { top_k: 4, epsilon_pct: 0 });
+        let planner = Planner::new(PlannerConfig { top_k: 4, epsilon_pct: 0, ..Default::default() });
         let metrics = MetricsRegistry::new();
         let served = Backend::ALL.to_vec();
         let first = planner
@@ -103,7 +103,7 @@ proptest! {
         per_shape in 1usize..8,
         epsilon in 0u8..=100,
     ) {
-        let planner = Planner::new(PlannerConfig { top_k: 4, epsilon_pct: epsilon });
+        let planner = Planner::new(PlannerConfig { top_k: 4, epsilon_pct: epsilon, ..Default::default() });
         let metrics = MetricsRegistry::new();
         let served = Backend::ALL.to_vec();
         let mut distinct = std::collections::BTreeSet::new();

@@ -151,6 +151,7 @@ fn run_random_workload(seed: u64) {
         mean_arrival_us: d.range(20, 200) as u64,
         tenants: d.range(1, 3),
         programs: d.next() % 2 == 0,
+        kernels: d.next() % 2 == 0,
     };
     let specs = synthetic_workload(&params);
     let path = temp_trace("rand", seed);
